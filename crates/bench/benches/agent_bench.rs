@@ -1,0 +1,55 @@
+//! Criterion benchmarks of the learning stack: EP-GNN forward pass, one
+//! complete selection rollout, and a REINFORCE iteration's backward pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl_ccd::{CcdEnv, RlCcd, RlConfig};
+use rl_ccd_flow::FlowRecipe;
+use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+use rl_ccd_nn::Tape;
+use std::time::Duration;
+
+fn gnn_forward(c: &mut Criterion) {
+    let d = generate(&DesignSpec::new("bench", 1500, TechNode::N7, 4));
+    let env = CcdEnv::new(d, FlowRecipe::default(), 24);
+    let (model, params) = RlCcd::init(RlConfig::default());
+    c.bench_function("epgnn_forward_1500c", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let binding = params.bind(&mut tape);
+            let x = tape.leaf(env.features().with_flags(&[]));
+            model.gnn_forward(&mut tape, &binding, x, env.adjacency(), env.readout())
+        });
+    });
+}
+
+fn rollout(c: &mut Criterion) {
+    let d = generate(&DesignSpec::new("bench", 1000, TechNode::N7, 5));
+    let env = CcdEnv::new(d, FlowRecipe::default(), 24);
+    let (model, params) = RlCcd::init(RlConfig::default());
+    let mut group = c.benchmark_group("rollout");
+    group.sample_size(10);
+    group.bench_function("selection_trajectory_1k", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            model.rollout(&params, &env, &mut rng)
+        });
+    });
+    group.bench_function("trajectory_backward_1k", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        let ro = model.rollout(&params, &env, &mut rng);
+        b.iter(|| ro.tape.backward(ro.total_log_prob));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    targets = gnn_forward, rollout
+}
+criterion_main!(benches);

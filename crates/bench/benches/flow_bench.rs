@@ -1,0 +1,57 @@
+//! Criterion benchmarks of the flow substrate: the useful-skew engine alone
+//! and the complete placement-optimization flow (one Table II "default"
+//! column entry).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rl_ccd_flow::{run_flow, run_useful_skew, FlowRecipe, UsefulSkewOpts};
+use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+use rl_ccd_sta::{Constraints, EndpointMargins, TimingGraph};
+use std::time::Duration;
+
+fn useful_skew(c: &mut Criterion) {
+    let d = generate(&DesignSpec::new("bench", 2000, TechNode::N7, 2));
+    let recipe = FlowRecipe::default();
+    let graph = TimingGraph::new(&d.netlist);
+    let cons = Constraints::with_period(d.period_ps);
+    let margins = EndpointMargins::zero(&d.netlist);
+    c.bench_function("useful_skew_2k", |b| {
+        b.iter(|| {
+            let mut clocks = recipe.clock_schedule(&d.netlist, d.period_ps);
+            run_useful_skew(
+                &d.netlist,
+                &graph,
+                &cons,
+                &mut clocks,
+                &margins,
+                &UsefulSkewOpts::default(),
+            )
+        });
+    });
+}
+
+fn full_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("default_flow");
+    group.sample_size(10);
+    for cells in [800usize, 2500] {
+        let d = generate(&DesignSpec::new("bench", cells, TechNode::N7, 3));
+        let recipe = FlowRecipe::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(d.netlist.cell_count()),
+            &d,
+            |b, d| {
+                b.iter(|| run_flow(d, &recipe, &[]));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    targets = useful_skew, full_flow
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks of the STA engine: one full setup+hold
+//! analysis pass at three design sizes (the inner loop of everything).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+use rl_ccd_sta::{analyze, ClockSchedule, Constraints, EndpointMargins, TimingGraph};
+use std::time::Duration;
+
+fn sta_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sta_full_pass");
+    for cells in [500usize, 2000, 8000] {
+        let d = generate(&DesignSpec::new("bench", cells, TechNode::N7, 1));
+        let graph = TimingGraph::new(&d.netlist);
+        let clocks = ClockSchedule::balanced(&d.netlist, 60.0, 3.0, 200.0, 1);
+        let cons = Constraints::with_period(d.period_ps);
+        let margins = EndpointMargins::zero(&d.netlist);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(d.netlist.cell_count()),
+            &d,
+            |b, d| {
+                b.iter(|| analyze(&d.netlist, &graph, &cons, &clocks, &margins));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn timing_graph_build(c: &mut Criterion) {
+    let d = generate(&DesignSpec::new("bench", 2000, TechNode::N7, 1));
+    c.bench_function("timing_graph_build_2k", |b| {
+        b.iter(|| TimingGraph::new(&d.netlist));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    targets = sta_analysis, timing_graph_build
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! **Extension ablation**: past-actions encoder architecture.
+//!
+//! The paper motivates the LSTM encoder by arguing selections "should not
+//! be independent of each other" (§III-B.2). This ablation trains the full
+//! framework with three encoders — the paper's LSTM, a GRU, and no history
+//! at all (constant zero query) — on the same designs.
+//!
+//! Usage:
+//! ```text
+//! ablation_encoder [--cells 1500] [--designs 3] [--iters 10] [--seed 700] [--csv ablation_encoder.csv]
+//! ```
+
+use rl_ccd::{train, CcdEnv, EncoderKind, RlConfig};
+use rl_ccd_bench::{arg_value, write_csv};
+use rl_ccd_flow::FlowRecipe;
+use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cells: usize = arg_value(&args, "--cells", 1500);
+    let designs: usize = arg_value(&args, "--designs", 3);
+    let iters: usize = arg_value(&args, "--iters", 10);
+    let seed0: u64 = arg_value(&args, "--seed", 700);
+    let csv: String = arg_value(&args, "--csv", "ablation_encoder.csv".to_string());
+
+    println!("encoder ablation ({designs} designs × {cells} cells, {iters} iterations)\n");
+    println!(
+        "{:<8} {:>12} | {:>10} {:>10} {:>10}",
+        "design", "default TNS", "LSTM", "GRU", "none"
+    );
+
+    let mut csv_rows = Vec::new();
+    let mut sums = [0.0f64; 3];
+    for i in 0..designs {
+        let name = format!("enc{i}");
+        let design = generate(&DesignSpec::new(&name, cells, TechNode::N7, seed0 + i as u64));
+        let env = CcdEnv::new(
+            design,
+            FlowRecipe::default(),
+            RlConfig::default().fanout_cap,
+        );
+        let default = env.default_flow();
+        let mut gains = [0.0f64; 3];
+        for (k, kind) in [EncoderKind::Lstm, EncoderKind::Gru, EncoderKind::None]
+            .into_iter()
+            .enumerate()
+        {
+            let mut config = RlConfig::default();
+            config.max_iterations = iters;
+            config.encoder = kind;
+            let outcome = train(&env, &config, None);
+            gains[k] = outcome.best_result.tns_gain_over(&default);
+            sums[k] += gains[k];
+        }
+        println!(
+            "{:<8} {:>12.0} | {:>+9.1}% {:>+9.1}% {:>+9.1}%",
+            name, default.final_qor.tns_ps, gains[0], gains[1], gains[2]
+        );
+        csv_rows.push(format!(
+            "{name},{:.1},{:.2},{:.2},{:.2}",
+            default.final_qor.tns_ps, gains[0], gains[1], gains[2]
+        ));
+    }
+    let n = designs.max(1) as f64;
+    println!(
+        "\nmean gains: LSTM {:+.1}% | GRU {:+.1}% | none {:+.1}%",
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / n
+    );
+    match write_csv(
+        &csv,
+        "design,default_tns_ps,lstm_pct,gru_pct,none_pct",
+        &csv_rows,
+    ) {
+        Ok(()) => println!("wrote {csv}"),
+        Err(e) => eprintln!("could not write {csv}: {e}"),
+    }
+}

@@ -1,0 +1,71 @@
+//! **Ablation A**: sweep of the fan-in-cone overlap-masking threshold ρ.
+//!
+//! The paper fixes ρ = 0.3 and credits the masking technique for part of
+//! RL-CCD's success (§IV-C). This sweep shows why the default works: small
+//! ρ lets poisonous selections mask the valuable ones, large ρ disables
+//! masking so the agent is forced to select (and margin) every violating
+//! endpoint.
+//!
+//! Usage:
+//! ```text
+//! ablation_rho [--cells 1500] [--seed 77] [--iters 10] [--csv ablation_rho.csv]
+//! ```
+
+use rl_ccd::{train, CcdEnv, RlConfig};
+use rl_ccd_bench::{arg_value, write_csv};
+use rl_ccd_flow::FlowRecipe;
+use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cells: usize = arg_value(&args, "--cells", 1500);
+    let seed: u64 = arg_value(&args, "--seed", 77);
+    let iters: usize = arg_value(&args, "--iters", 10);
+    let csv: String = arg_value(&args, "--csv", "ablation_rho.csv".to_string());
+
+    let design = generate(&DesignSpec::new("rho_sweep", cells, TechNode::N7, seed));
+    println!(
+        "ρ ablation on {} cells (pool rebuilt per run; default flow as baseline)",
+        design.netlist.cell_count()
+    );
+    let env = CcdEnv::new(
+        design,
+        FlowRecipe::default(),
+        RlConfig::default().fanout_cap,
+    );
+    let default = env.default_flow();
+    println!(
+        "default flow TNS {:.0} ps\n\n{:>5} {:>14} {:>10} {:>10} {:>8}",
+        default.final_qor.tns_ps, "rho", "best TNS ps", "gain %", "#selected", "iters"
+    );
+
+    let mut csv_rows = Vec::new();
+    for rho in [0.1f32, 0.2, 0.3, 0.5, 0.7, 0.9] {
+        let mut config = RlConfig::default();
+        config.rho = rho;
+        config.max_iterations = iters;
+        let outcome = train(&env, &config, None);
+        let gain = outcome.best_result.tns_gain_over(&default);
+        println!(
+            "{rho:>5.1} {:>14.0} {:>+10.1} {:>10} {:>8}",
+            outcome.best_result.final_qor.tns_ps,
+            gain,
+            outcome.best_selection.len(),
+            outcome.history.len()
+        );
+        csv_rows.push(format!(
+            "{rho},{:.1},{gain:.2},{},{}",
+            outcome.best_result.final_qor.tns_ps,
+            outcome.best_selection.len(),
+            outcome.history.len()
+        ));
+    }
+    match write_csv(
+        &csv,
+        "rho,best_tns_ps,gain_pct,selected,iterations",
+        &csv_rows,
+    ) {
+        Ok(()) => println!("wrote {csv}"),
+        Err(e) => eprintln!("could not write {csv}: {e}"),
+    }
+}

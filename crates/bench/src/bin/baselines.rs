@@ -1,0 +1,79 @@
+//! **Extension experiment**: RL-CCD vs. non-learning selection heuristics.
+//!
+//! The paper only compares against the native tool flow; this harness adds
+//! the bounding baselines (worst-first, mildest-first, random,
+//! headroom-first), all run through the same masking loop and the same
+//! flow, so the value of *learning* the selection is isolated.
+//!
+//! Usage:
+//! ```text
+//! baselines [--cells 1500] [--designs 4] [--iters 10] [--csv baselines.csv]
+//! ```
+
+use rl_ccd::{train, Baseline, CcdEnv, RlConfig};
+use rl_ccd_bench::{arg_value, write_csv};
+use rl_ccd_flow::FlowRecipe;
+use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cells: usize = arg_value(&args, "--cells", 1500);
+    let designs: usize = arg_value(&args, "--designs", 4);
+    let iters: usize = arg_value(&args, "--iters", 10);
+    let csv: String = arg_value(&args, "--csv", "baselines.csv".to_string());
+
+    println!("RL-CCD vs selection heuristics ({designs} designs × {cells} cells)\n");
+    println!(
+        "{:<8} {:>12} | {:>9} {:>9} {:>9} {:>9} | {:>9}",
+        "design", "default TNS", "worst", "mildest", "random", "headroom", "RL-CCD"
+    );
+
+    let mut csv_rows = Vec::new();
+    let mut sums = [0.0f64; 5];
+    for i in 0..designs {
+        let name = format!("bl{i}");
+        let design = generate(&DesignSpec::new(&name, cells, TechNode::N7, 900 + i as u64));
+        let mut config = RlConfig::default();
+        config.max_iterations = iters;
+        let env = CcdEnv::new(design, FlowRecipe::default(), config.fanout_cap);
+        let default = env.default_flow();
+        let gain_of = |b: Baseline| -> f64 {
+            let sel = b.select(&env, config.rho, 7);
+            env.evaluate(&sel).tns_gain_over(&default)
+        };
+        let g_worst = gain_of(Baseline::WorstFirst);
+        let g_mild = gain_of(Baseline::MildestFirst);
+        let g_rand = gain_of(Baseline::Random);
+        let g_head = gain_of(Baseline::HeadroomFirst);
+        let outcome = train(&env, &config, None);
+        let g_rl = outcome.best_result.tns_gain_over(&default);
+        for (s, g) in sums.iter_mut().zip([g_worst, g_mild, g_rand, g_head, g_rl]) {
+            *s += g;
+        }
+        println!(
+            "{:<8} {:>12.0} | {:>+8.1}% {:>+8.1}% {:>+8.1}% {:>+8.1}% | {:>+8.1}%",
+            name, default.final_qor.tns_ps, g_worst, g_mild, g_rand, g_head, g_rl
+        );
+        csv_rows.push(format!(
+            "{name},{:.1},{g_worst:.2},{g_mild:.2},{g_rand:.2},{g_head:.2},{g_rl:.2}",
+            default.final_qor.tns_ps
+        ));
+    }
+    let n = designs.max(1) as f64;
+    println!(
+        "\nmean gains: worst {:+.1}% | mildest {:+.1}% | random {:+.1}% | headroom {:+.1}% | RL {:+.1}%",
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / n,
+        sums[3] / n,
+        sums[4] / n
+    );
+    match write_csv(
+        &csv,
+        "design,default_tns_ps,worst_first_pct,mildest_first_pct,random_pct,headroom_pct,rl_pct",
+        &csv_rows,
+    ) {
+        Ok(()) => println!("wrote {csv}"),
+        Err(e) => eprintln!("could not write {csv}: {e}"),
+    }
+}

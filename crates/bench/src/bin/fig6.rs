@@ -1,0 +1,123 @@
+//! Regenerates **Fig. 6**: transfer learning on the block19 analogue.
+//!
+//! A donor EP-GNN is first trained on other same-technology designs
+//! (block15 and block17 are the suite's other N7 blocks of similar size);
+//! its weights are reloaded with a fresh encoder/decoder and training on
+//! block19 is compared against training everything from scratch. The paper
+//! shows the transferred run converging to comparable TNS in far fewer
+//! iterations.
+//!
+//! Usage:
+//! ```text
+//! fig6 [--scale 0.5] [--iters 16] [--donor-iters 8] [--csv fig6.csv]
+//! ```
+
+use rl_ccd::{train, with_pretrained_gnn, CcdEnv, RlConfig};
+use rl_ccd_bench::{arg_value, write_csv};
+use rl_ccd_flow::FlowRecipe;
+use rl_ccd_netlist::{block_suite, generate};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: f32 = arg_value(&args, "--scale", 0.5);
+    let iters: usize = arg_value(&args, "--iters", 16);
+    let donor_iters: usize = arg_value(&args, "--donor-iters", 8);
+    let csv: String = arg_value(&args, "--csv", "fig6.csv".to_string());
+
+    let suite = block_suite(scale);
+    let mut config = RlConfig::default();
+    config.max_iterations = iters;
+    config.patience = iters; // plot full curves, no early stop
+
+    // Pre-train the EP-GNN on the other 7 nm blocks (indices 14, 16).
+    let mut donor_cfg = config.clone();
+    donor_cfg.max_iterations = donor_iters;
+    donor_cfg.patience = donor_iters;
+    let mut donor_params = None;
+    for &idx in &[14usize, 16usize] {
+        let design = generate(&suite[idx]);
+        println!(
+            "pre-training EP-GNN on {} ({} cells)…",
+            suite[idx].name,
+            design.netlist.cell_count()
+        );
+        let env = CcdEnv::new(design, FlowRecipe::default(), donor_cfg.fanout_cap);
+        let outcome = train(&env, &donor_cfg, donor_params.take());
+        donor_params = Some(outcome.params);
+    }
+    let donor = donor_params.expect("donor training ran");
+
+    // Target: block19 (index 18), the suite's largest 7 nm design.
+    let design = generate(&suite[18]);
+    println!(
+        "\nFig. 6 reproduction on {} ({} cells)",
+        suite[18].name,
+        design.netlist.cell_count()
+    );
+    let env = CcdEnv::new(design, FlowRecipe::default(), config.fanout_cap);
+    let default = env.default_flow();
+
+    let scratch = train(&env, &config, None);
+    let (_, transfer_params, adopted) = with_pretrained_gnn(config.clone(), &donor);
+    println!("transferred {adopted} EP-GNN tensors; encoder/decoder fresh");
+    let transferred = train(&env, &config, Some(transfer_params));
+
+    println!(
+        "\n{:>5} {:>14} {:>14} {:>14} {:>14}   (TNS ps; default flow {:.0})",
+        "iter",
+        "scratch-greedy",
+        "scratch-best",
+        "xfer-greedy",
+        "xfer-best",
+        default.final_qor.tns_ps
+    );
+    let n = scratch.history.len().max(transferred.history.len());
+    let mut csv_rows = Vec::new();
+    for i in 0..n {
+        let sg = scratch
+            .history
+            .get(i)
+            .map(|h| h.greedy_reward)
+            .unwrap_or(f64::NAN);
+        let s = scratch
+            .history
+            .get(i)
+            .map(|h| h.best_so_far)
+            .unwrap_or(f64::NAN);
+        let tg = transferred
+            .history
+            .get(i)
+            .map(|h| h.greedy_reward)
+            .unwrap_or(f64::NAN);
+        let t = transferred
+            .history
+            .get(i)
+            .map(|h| h.best_so_far)
+            .unwrap_or(f64::NAN);
+        println!("{i:>5} {sg:>14.0} {s:>14.0} {tg:>14.0} {t:>14.0}");
+        csv_rows.push(format!("{i},{sg:.1},{s:.1},{tg:.1},{t:.1}"));
+    }
+    // Convergence speed: first iteration reaching within 2% of the final
+    // best, per curve.
+    let first_hit = |hist: &[rl_ccd::IterationStats]| {
+        let best = hist.last().map(|h| h.best_so_far).unwrap_or(0.0);
+        hist.iter()
+            .position(|h| h.best_so_far <= best * 0.98 || h.best_so_far >= best)
+            .unwrap_or(hist.len())
+    };
+    println!(
+        "\nscratch best {:.0} (reached ~iter {}), transfer best {:.0} (reached ~iter {})",
+        scratch.best_result.final_qor.tns_ps,
+        first_hit(&scratch.history),
+        transferred.best_result.final_qor.tns_ps,
+        first_hit(&transferred.history),
+    );
+    match write_csv(
+        &csv,
+        "iteration,scratch_greedy_tns_ps,scratch_best_tns_ps,transfer_greedy_tns_ps,transfer_best_tns_ps",
+        &csv_rows,
+    ) {
+        Ok(()) => println!("wrote {csv}"),
+        Err(e) => eprintln!("could not write {csv}: {e}"),
+    }
+}

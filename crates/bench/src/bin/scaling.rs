@@ -1,0 +1,99 @@
+//! **Scaling study**: how every pipeline stage grows with design size.
+//!
+//! The paper notes RL's runtime "may be prohibitive" and answers with
+//! transfer learning; this harness quantifies where our reproduction's time
+//! goes — STA pass, full default flow, one GNN forward, one selection
+//! trajectory — across a size sweep.
+//!
+//! Usage:
+//! ```text
+//! scaling [--max-cells 8000] [--csv scaling.csv]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl_ccd::{CcdEnv, RlCcd, RlConfig};
+use rl_ccd_bench::{arg_value, write_csv};
+use rl_ccd_flow::{run_flow, FlowRecipe};
+use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+use rl_ccd_sta::{analyze, Constraints, EndpointMargins, TimingGraph};
+use std::time::Instant;
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let max_cells: usize = arg_value(&args, "--max-cells", 8000);
+    let csv: String = arg_value(&args, "--csv", "scaling.csv".to_string());
+
+    println!(
+        "{:>8} {:>8} {:>8} | {:>10} {:>10} {:>10} {:>12}",
+        "cells", "nets", "pool", "sta (ms)", "flow (ms)", "gnn (ms)", "rollout (ms)"
+    );
+    let mut csv_rows = Vec::new();
+    let mut cells = 500usize;
+    while cells <= max_cells {
+        let d = generate(&DesignSpec::new("scale", cells, TechNode::N7, 7));
+        let n_cells = d.netlist.cell_count();
+        let n_nets = d.netlist.net_count();
+
+        // STA pass.
+        let graph = TimingGraph::new(&d.netlist);
+        let recipe = FlowRecipe::default();
+        let clocks = recipe.clock_schedule(&d.netlist, d.period_ps);
+        let cons = Constraints::with_period(d.period_ps);
+        let margins = EndpointMargins::zero(&d.netlist);
+        let t = Instant::now();
+        for _ in 0..5 {
+            let _ = analyze(&d.netlist, &graph, &cons, &clocks, &margins);
+        }
+        let sta_ms = ms(t) / 5.0;
+
+        // Full default flow.
+        let t = Instant::now();
+        let _ = run_flow(&d, &recipe, &[]);
+        let flow_ms = ms(t);
+
+        // GNN forward + one rollout.
+        let env = CcdEnv::new(d, recipe, 24);
+        let (model, params) = RlCcd::init(RlConfig::default());
+        let t = Instant::now();
+        {
+            let mut tape = rl_ccd_nn::Tape::new();
+            let binding = params.bind(&mut tape);
+            let x = tape.leaf(env.features().with_flags(&[]));
+            let _ = model.gnn_forward(&mut tape, &binding, x, env.adjacency(), env.readout());
+        }
+        let gnn_ms = ms(t);
+        let t = Instant::now();
+        let ro = model.rollout(&params, &env, &mut StdRng::seed_from_u64(1));
+        let rollout_ms = ms(t);
+
+        println!(
+            "{:>8} {:>8} {:>8} | {:>10.2} {:>10.1} {:>10.2} {:>12.1}",
+            n_cells,
+            n_nets,
+            env.pool().len(),
+            sta_ms,
+            flow_ms,
+            gnn_ms,
+            rollout_ms
+        );
+        csv_rows.push(format!(
+            "{n_cells},{n_nets},{},{sta_ms:.3},{flow_ms:.2},{gnn_ms:.3},{rollout_ms:.2},{}",
+            env.pool().len(),
+            ro.steps()
+        ));
+        cells *= 2;
+    }
+    match write_csv(
+        &csv,
+        "cells,nets,pool,sta_ms,flow_ms,gnn_forward_ms,rollout_ms,trajectory_steps",
+        &csv_rows,
+    ) {
+        Ok(()) => println!("wrote {csv}"),
+        Err(e) => eprintln!("could not write {csv}: {e}"),
+    }
+}

@@ -1,0 +1,71 @@
+//! Regenerates **Table II**: default tool flow vs. RL-CCD over the 19-block
+//! suite — WNS / TNS (goal %) / NVE / power / normalized runtime per block,
+//! plus the average-gain summary row.
+//!
+//! Usage:
+//! ```text
+//! table2 [--scale 0.5] [--iters 12] [--workers 8] [--blocks 19] [--csv table2.csv]
+//! ```
+//!
+//! `--scale` multiplies the suite cell counts (1.0 ≈ paper sizes ÷ 100);
+//! `--blocks` limits how many of the 19 designs run (in paper order).
+
+use rl_ccd::RlConfig;
+use rl_ccd_bench::{arg_value, run_block, table2_header, table2_row, table2_summary, write_csv};
+use rl_ccd_netlist::{block_suite, generate};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: f32 = arg_value(&args, "--scale", 0.5);
+    let iters: usize = arg_value(&args, "--iters", 12);
+    let workers: usize = arg_value(&args, "--workers", 8);
+    let blocks: usize = arg_value(&args, "--blocks", 19);
+    let csv: String = arg_value(&args, "--csv", "table2.csv".to_string());
+
+    let mut config = RlConfig::default();
+    config.max_iterations = iters;
+    config.workers = workers;
+
+    println!(
+        "Table II reproduction: {blocks} blocks at scale {scale}, {iters} iterations × {workers} workers"
+    );
+    println!("{}", table2_header());
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for spec in block_suite(scale).into_iter().take(blocks) {
+        let design = generate(&spec);
+        let (row, _) = run_block(design, &config);
+        println!("{}", table2_row(&row));
+        csv_rows.push(format!(
+            "{},{},{},{:.3},{:.2},{},{:.2},{:.3},{:.2},{},{:.2},{:.3},{:.2},{:.2},{},{:.2},{},{:.1}",
+            row.name,
+            row.cells,
+            row.tech,
+            row.default.begin.wns_ns(),
+            row.default.begin.tns_ns(),
+            row.default.begin.nve,
+            row.default.begin.power_mw,
+            row.default.final_qor.wns_ns(),
+            row.default.final_qor.tns_ns(),
+            row.default.final_qor.nve,
+            row.default.final_qor.power_mw,
+            row.rl.final_qor.wns_ns(),
+            row.rl.final_qor.tns_ns(),
+            row.rl.tns_gain_over(&row.default),
+            row.rl.final_qor.nve,
+            row.rl.final_qor.power_mw,
+            row.prioritized,
+            row.runtime_ratio,
+        ));
+        rows.push(row);
+    }
+    println!("{}", "-".repeat(152));
+    println!("{}", table2_summary(&rows));
+    let header = "design,cells,tech,wns_begin_ns,tns_begin_ns,nve_begin,power_begin_mw,\
+wns_default_ns,tns_default_ns,nve_default,power_default_mw,\
+wns_rl_ns,tns_rl_ns,tns_gain_pct,nve_rl,power_rl_mw,prioritized,runtime_ratio";
+    match write_csv(&csv, header, &csv_rows) {
+        Ok(()) => println!("wrote {csv}"),
+        Err(e) => eprintln!("could not write {csv}: {e}"),
+    }
+}

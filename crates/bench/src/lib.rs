@@ -1,0 +1,217 @@
+//! Benchmark harness shared by the table/figure regeneration binaries.
+//!
+//! Every table and figure of the paper's evaluation section has a binary in
+//! `src/bin` built on these helpers:
+//!
+//! * `table2` — Table II: default tool flow vs. RL-CCD on the 19-block suite;
+//! * `fig5` — histogram of clock-arrival adjustments (block11 analogue);
+//! * `fig6` — transfer-learning convergence on block19;
+//! * `ablation_rho` — sweep of the overlap-masking threshold ρ;
+//! * `ablation_overfix` — over-fix vs. under-fix margin modes (§III-A).
+//!
+//! Binaries print aligned text tables and write CSV files next to the
+//! working directory for plotting.
+
+#![warn(missing_docs)]
+
+use rl_ccd::{train, CcdEnv, RlConfig, TrainOutcome};
+use rl_ccd_flow::{FlowRecipe, FlowResult};
+use rl_ccd_netlist::{block_suite, generate, DesignSpec, GeneratedDesign};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// One row of the Table II reproduction.
+#[derive(Clone, Debug)]
+pub struct BlockRow {
+    /// Design name.
+    pub name: String,
+    /// Cell count of the generated block.
+    pub cells: usize,
+    /// Technology name.
+    pub tech: &'static str,
+    /// Default tool flow result (begin snapshot inside).
+    pub default: FlowResult,
+    /// RL-CCD enhanced result (best training outcome).
+    pub rl: FlowResult,
+    /// Endpoints the agent prioritized.
+    pub prioritized: usize,
+    /// Training iterations executed.
+    pub iterations: usize,
+    /// RL-CCD wall-clock divided by the default flow's (the paper's
+    /// normalized runtime column).
+    pub runtime_ratio: f64,
+}
+
+/// Builds the scaled 19-block suite.
+pub fn build_suite(scale: f32) -> Vec<GeneratedDesign> {
+    block_suite(scale).iter().map(generate).collect()
+}
+
+/// Builds a single spec'd design (for the figure binaries).
+pub fn build_block(spec: &DesignSpec) -> GeneratedDesign {
+    generate(spec)
+}
+
+/// Trains RL-CCD on one design and assembles the Table II row.
+pub fn run_block(design: GeneratedDesign, config: &RlConfig) -> (BlockRow, TrainOutcome) {
+    let name = design.spec.name.clone();
+    let cells = design.netlist.cell_count();
+    let tech = design.spec.tech.name();
+    let env = CcdEnv::new(design, FlowRecipe::default(), config.fanout_cap);
+    let t_default = Instant::now();
+    let default = env.default_flow();
+    let default_secs = t_default.elapsed().as_secs_f64().max(1e-6);
+    let t_rl = Instant::now();
+    let outcome = train(&env, config, None);
+    let rl_secs = t_rl.elapsed().as_secs_f64();
+    let row = BlockRow {
+        name,
+        cells,
+        tech,
+        default,
+        rl: outcome.best_result.clone(),
+        prioritized: outcome.best_selection.len(),
+        iterations: outcome.history.len(),
+        runtime_ratio: rl_secs / default_secs,
+    };
+    (row, outcome)
+}
+
+/// Formats the Table II header.
+pub fn table2_header() -> String {
+    format!(
+        "{:<10} {:>7} {:>5} | {:>8} {:>10} {:>6} {:>8} | {:>8} {:>10} {:>6} {:>8} | {:>8} {:>18} {:>6} {:>8} {:>6} {:>5}\n{}",
+        "design",
+        "cells",
+        "tech",
+        "WNSb",
+        "TNSb",
+        "NVEb",
+        "PWRb",
+        "WNSd",
+        "TNSd",
+        "NVEd",
+        "PWRd",
+        "WNSr",
+        "TNSr(goal)",
+        "NVEr",
+        "PWRr",
+        "#prio",
+        "rt",
+        "-".repeat(152)
+    )
+}
+
+/// Formats one Table II row (times in ns, power in mW, like the paper).
+pub fn table2_row(r: &BlockRow) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{:<10} {:>7} {:>5} | {:>8.3} {:>10.2} {:>6} {:>8.2} | {:>8.3} {:>10.2} {:>6} {:>8.2} | {:>8.3} {:>9.2} ({:>+5.1}%) {:>6} {:>8.2} {:>6} {:>4.0}x",
+        r.name,
+        r.cells,
+        r.tech,
+        r.default.begin.wns_ns(),
+        r.default.begin.tns_ns(),
+        r.default.begin.nve,
+        r.default.begin.power_mw,
+        r.default.final_qor.wns_ns(),
+        r.default.final_qor.tns_ns(),
+        r.default.final_qor.nve,
+        r.default.final_qor.power_mw,
+        r.rl.final_qor.wns_ns(),
+        r.rl.final_qor.tns_ns(),
+        r.rl.tns_gain_over(&r.default),
+        r.rl.final_qor.nve,
+        r.rl.final_qor.power_mw,
+        r.prioritized,
+        r.runtime_ratio,
+    );
+    s
+}
+
+/// Summary line: average TNS / NVE / power deltas (the paper's last row).
+pub fn table2_summary(rows: &[BlockRow]) -> String {
+    let n = rows.len().max(1) as f64;
+    let tns: f64 = rows
+        .iter()
+        .map(|r| r.rl.tns_gain_over(&r.default))
+        .sum::<f64>()
+        / n;
+    let nve: f64 = rows
+        .iter()
+        .map(|r| {
+            let d = r.default.final_qor.nve.max(1) as f64;
+            (1.0 - r.rl.final_qor.nve as f64 / d) * 100.0
+        })
+        .sum::<f64>()
+        / n;
+    let pwr: f64 = rows
+        .iter()
+        .map(|r| {
+            let d = r.default.final_qor.power_mw.max(1e-9);
+            (1.0 - r.rl.final_qor.power_mw / d) * 100.0
+        })
+        .sum::<f64>()
+        / n;
+    format!(
+        "avg TNS gain {tns:+.1}% | avg NVE gain {nve:+.1}% | avg power gain {pwr:+.2}% (paper: 24%, 19.4%, 0.2%)"
+    )
+}
+
+/// Writes rows as a CSV file.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_csv(path: &str, header: &str, rows: &[String]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{header}")?;
+    for r in rows {
+        writeln!(f, "{r}")?;
+    }
+    Ok(())
+}
+
+/// Parses `--key value` style CLI arguments with a default.
+pub fn arg_value<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_ccd_netlist::TechNode;
+
+    #[test]
+    fn run_block_produces_consistent_row() {
+        let design = build_block(&DesignSpec::new("rowtest", 400, TechNode::N7, 5));
+        let mut cfg = RlConfig::fast();
+        cfg.max_iterations = 2;
+        cfg.patience = 2;
+        let (row, outcome) = run_block(design, &cfg);
+        assert_eq!(row.name, "rowtest");
+        assert!(row.cells > 0);
+        assert_eq!(row.iterations, outcome.history.len());
+        assert!(row.runtime_ratio > 1.0, "RL must cost more than one flow");
+        let line = table2_row(&row);
+        assert!(line.contains("rowtest"));
+        assert!(table2_header().contains("TNSr"));
+        assert!(table2_summary(std::slice::from_ref(&row)).contains("avg TNS gain"));
+    }
+
+    #[test]
+    fn arg_parsing_defaults_and_overrides() {
+        let args: Vec<String> = ["--scale", "0.5", "--iters", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_value(&args, "--scale", 1.0f32), 0.5);
+        assert_eq!(arg_value(&args, "--iters", 10usize), 7);
+        assert_eq!(arg_value(&args, "--missing", 3usize), 3);
+    }
+}

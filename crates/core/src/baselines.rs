@@ -1,0 +1,168 @@
+//! Non-learning selection baselines.
+//!
+//! The paper compares RL-CCD only against the tool's native flow (empty
+//! selection). These heuristics bound the problem from other directions:
+//! if RL cannot beat them, the learning is not earning its runtime.
+//! All of them respect the same cone-overlap masking as the agent, so the
+//! comparison is apples-to-apples at the mechanism level.
+
+use crate::env::CcdEnv;
+use crate::masking::SelectionMask;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rl_ccd_netlist::EndpointId;
+use rl_ccd_sta::{analyze, Constraints, EndpointMargins, TimingGraph};
+
+/// A named selection heuristic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Baseline {
+    /// The native tool flow: prioritize nothing.
+    Native,
+    /// Walk the pool worst-slack-first (the tool's own criticality order).
+    WorstFirst,
+    /// Walk the pool mildest-slack-first.
+    MildestFirst,
+    /// Uniformly random order.
+    Random,
+    /// Launch-headroom-first: prefer endpoints whose capture register has
+    /// the most Q-side slack to donate (a hand-crafted "clock-fixability"
+    /// proxy — the strongest non-learning competitor).
+    HeadroomFirst,
+}
+
+impl Baseline {
+    /// All baselines, for sweep harnesses.
+    pub fn all() -> [Baseline; 5] {
+        [
+            Baseline::Native,
+            Baseline::WorstFirst,
+            Baseline::MildestFirst,
+            Baseline::Random,
+            Baseline::HeadroomFirst,
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Baseline::Native => "native",
+            Baseline::WorstFirst => "worst-first",
+            Baseline::MildestFirst => "mildest-first",
+            Baseline::Random => "random",
+            Baseline::HeadroomFirst => "headroom-first",
+        }
+    }
+
+    /// Produces the baseline's selection on `env`, walking its preferred
+    /// order through the same masking loop as the agent (ρ from `rho`).
+    pub fn select(self, env: &CcdEnv, rho: f32, seed: u64) -> Vec<EndpointId> {
+        if self == Baseline::Native {
+            return Vec::new();
+        }
+        let pool = env.pool();
+        // Order of local indices to attempt.
+        let mut order: Vec<usize> = (0..pool.len()).collect();
+        match self {
+            Baseline::Native => unreachable!(),
+            // The pool is already sorted worst-first by the environment.
+            Baseline::WorstFirst => {}
+            Baseline::MildestFirst => order.reverse(),
+            Baseline::Random => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                order.shuffle(&mut rng);
+            }
+            Baseline::HeadroomFirst => {
+                let design = env.design();
+                let recipe = env.recipe();
+                let graph = TimingGraph::new(&design.netlist);
+                let clocks = recipe.clock_schedule(&design.netlist, design.period_ps);
+                let report = analyze(
+                    &design.netlist,
+                    &graph,
+                    &Constraints::with_period(design.period_ps),
+                    &clocks,
+                    &EndpointMargins::zero(&design.netlist),
+                );
+                let headroom = |i: usize| -> f32 {
+                    let cell = env.pool_cells()[i];
+                    let q = report.cell_slack(cell);
+                    let need = -report.endpoint_slack(pool[i].index());
+                    if q.is_finite() {
+                        q - need
+                    } else {
+                        f32::MAX
+                    }
+                };
+                order.sort_by(|&a, &b| {
+                    headroom(b)
+                        .partial_cmp(&headroom(a))
+                        .expect("finite headroom")
+                });
+            }
+        }
+        let mut mask = SelectionMask::new(pool.len(), rho);
+        let mut selected = Vec::new();
+        for i in order {
+            if mask.status(i) == crate::masking::EndpointStatus::Valid {
+                mask.select(i, env.cones());
+                selected.push(pool[i]);
+            }
+        }
+        selected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_ccd_flow::FlowRecipe;
+    use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+
+    fn env() -> CcdEnv {
+        let d = generate(&DesignSpec::new("base", 600, TechNode::N7, 91));
+        CcdEnv::new(d, FlowRecipe::default(), 24)
+    }
+
+    #[test]
+    fn all_baselines_produce_valid_maximal_selections() {
+        let env = env();
+        for b in Baseline::all() {
+            let sel = b.select(&env, 0.3, 7);
+            if b == Baseline::Native {
+                assert!(sel.is_empty());
+                continue;
+            }
+            // Unique, in-pool.
+            let mut u = sel.clone();
+            u.sort();
+            u.dedup();
+            assert_eq!(u.len(), sel.len(), "{} duplicated", b.name());
+            for e in &sel {
+                assert!(env.pool().contains(e));
+            }
+            // Maximal: replay exhausts the pool.
+            let mut mask = SelectionMask::new(env.pool().len(), 0.3);
+            for e in &sel {
+                let i = env.pool().iter().position(|p| p == e).expect("in pool");
+                mask.select(i, env.cones());
+            }
+            assert!(!mask.any_valid(), "{} not maximal", b.name());
+        }
+    }
+
+    #[test]
+    fn orders_actually_differ() {
+        let env = env();
+        let worst = Baseline::WorstFirst.select(&env, 0.3, 7);
+        let mild = Baseline::MildestFirst.select(&env, 0.3, 7);
+        assert_ne!(worst.first(), mild.first());
+        // Random is seed-deterministic.
+        assert_eq!(
+            Baseline::Random.select(&env, 0.3, 7),
+            Baseline::Random.select(&env, 0.3, 7)
+        );
+        assert!(Baseline::all().len() == 5);
+        assert_eq!(Baseline::HeadroomFirst.name(), "headroom-first");
+    }
+}

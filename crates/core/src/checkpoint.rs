@@ -1,0 +1,108 @@
+//! Training checkpoints: persist everything a run produced — parameters,
+//! optimizer-independent telemetry, and the champion selection — so results
+//! can be inspected, plotted, or transferred later.
+
+use crate::reinforce::TrainOutcome;
+use rl_ccd_netlist::EndpointId;
+use rl_ccd_nn::ParamSet;
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+/// Writes a checkpoint directory:
+///
+/// * `params.txt` — the trained parameters ([`ParamSet::save`] format);
+/// * `history.csv` — per-iteration telemetry (the Fig. 6 curves);
+/// * `selection.txt` — the champion endpoint selection, one id per line.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn save_checkpoint(outcome: &TrainOutcome, dir: impl AsRef<Path>) -> std::io::Result<()> {
+    let dir = dir.as_ref();
+    fs::create_dir_all(dir)?;
+    outcome
+        .params
+        .save(std::io::BufWriter::new(fs::File::create(
+            dir.join("params.txt"),
+        )?))?;
+    let mut hist = fs::File::create(dir.join("history.csv"))?;
+    writeln!(
+        hist,
+        "iteration,mean_reward,batch_best,greedy_reward,best_so_far,mean_steps"
+    )?;
+    for h in &outcome.history {
+        let mean_steps = if h.steps.is_empty() {
+            0.0
+        } else {
+            h.steps.iter().sum::<usize>() as f64 / h.steps.len() as f64
+        };
+        writeln!(
+            hist,
+            "{},{:.3},{:.3},{:.3},{:.3},{:.2}",
+            h.iteration, h.mean_reward, h.batch_best, h.greedy_reward, h.best_so_far, mean_steps
+        )?;
+    }
+    let mut sel = fs::File::create(dir.join("selection.txt"))?;
+    for e in &outcome.best_selection {
+        writeln!(sel, "{}", e.index())?;
+    }
+    Ok(())
+}
+
+/// Loads the parameters from a checkpoint directory.
+///
+/// # Errors
+/// Returns an error on I/O failure or malformed content.
+pub fn load_checkpoint_params(
+    dir: impl AsRef<Path>,
+) -> Result<ParamSet, Box<dyn std::error::Error>> {
+    let file = fs::File::open(dir.as_ref().join("params.txt"))?;
+    Ok(ParamSet::load(BufReader::new(file))?)
+}
+
+/// Loads the champion selection from a checkpoint directory.
+///
+/// # Errors
+/// Returns an error on I/O failure or malformed content.
+pub fn load_checkpoint_selection(
+    dir: impl AsRef<Path>,
+) -> Result<Vec<EndpointId>, Box<dyn std::error::Error>> {
+    let file = fs::File::open(dir.as_ref().join("selection.txt"))?;
+    let mut out = Vec::new();
+    for line in BufReader::new(file).lines() {
+        let line = line?;
+        let idx: usize = line.trim().parse()?;
+        out.push(EndpointId::new(idx));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RlConfig;
+    use crate::env::CcdEnv;
+    use crate::reinforce::train;
+    use rl_ccd_flow::FlowRecipe;
+    use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let d = generate(&DesignSpec::new("ckpt", 450, TechNode::N7, 61));
+        let env = CcdEnv::new(d, FlowRecipe::default(), 24);
+        let mut cfg = RlConfig::fast();
+        cfg.max_iterations = 2;
+        cfg.patience = 2;
+        let outcome = train(&env, &cfg, None);
+        let dir = std::env::temp_dir().join("rl_ccd_ckpt_test");
+        save_checkpoint(&outcome, &dir).expect("save");
+        let params = load_checkpoint_params(&dir).expect("params");
+        assert_eq!(params, outcome.params);
+        let sel = load_checkpoint_selection(&dir).expect("selection");
+        assert_eq!(sel, outcome.best_selection);
+        let hist = std::fs::read_to_string(dir.join("history.csv")).expect("history");
+        assert!(hist.starts_with("iteration,"));
+        assert_eq!(hist.lines().count(), outcome.history.len() + 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

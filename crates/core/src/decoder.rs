@@ -1,0 +1,267 @@
+//! Attention decoder (paper Eqs. 5–6, §III-B.3).
+//!
+//! Pointer-network-style additive attention: given the query vector q_t
+//! (the LSTM hidden state) and the endpoint embeddings F, each endpoint's
+//! score is `vᵀ tanh(W1·F + W2·q)`; invalid (selected or masked) endpoints
+//! get −∞ and a numerically-stable masked softmax turns the scores into the
+//! sampling distribution. (Eq. 6 in the paper omits the `exp` in the
+//! denominator — an obvious typo — so a standard softmax is used.)
+
+use crate::config::RlConfig;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rl_ccd_nn::{xavier, Linear, ParamBinding, ParamSet, Tape, Var};
+use std::sync::Arc;
+
+/// Parameter name prefix of the decoder.
+pub const DECODER_PREFIX: &str = "dec.";
+
+/// The self-supervised attention decoder.
+#[derive(Clone, Debug)]
+pub struct AttentionDecoder {
+    w1: Linear,
+    w2: Linear,
+}
+
+/// One decoding step: log-probabilities plus the sampled action.
+#[derive(Clone, Copy, Debug)]
+pub struct DecodeStep {
+    /// Log-probability vector over endpoints (−∞ at invalid entries).
+    pub log_probs: Var,
+    /// Local index of the sampled endpoint.
+    pub action: usize,
+    /// Log-probability of the sampled endpoint (1×1, differentiable).
+    pub action_log_prob: Var,
+}
+
+impl AttentionDecoder {
+    /// Creates the decoder and registers its parameters (`W1`, `W2`, `v`).
+    pub fn init(config: &RlConfig, params: &mut ParamSet, rng: &mut StdRng) -> Self {
+        let w1 = Linear::init(
+            format!("{DECODER_PREFIX}w1"),
+            config.embed_dim,
+            config.attn_dim,
+            params,
+            rng,
+        );
+        let w2 = Linear::init(
+            format!("{DECODER_PREFIX}w2"),
+            config.lstm_hidden,
+            config.attn_dim,
+            params,
+            rng,
+        );
+        params.insert(
+            format!("{DECODER_PREFIX}v"),
+            xavier(config.attn_dim, 1, rng),
+        );
+        Self { w1, w2 }
+    }
+
+    /// Like [`AttentionDecoder::decode`] but deterministic: picks the
+    /// argmax endpoint instead of sampling (greedy policy evaluation).
+    ///
+    /// # Panics
+    /// Panics if `valid` has no `true` entry.
+    pub fn decode_greedy(
+        &self,
+        tape: &mut Tape,
+        binding: &ParamBinding,
+        embeddings: Var,
+        query: Var,
+        valid: &[bool],
+    ) -> DecodeStep {
+        let log_probs = self.scores(tape, binding, embeddings, query, valid);
+        let lp = tape.value(log_probs);
+        let action = (0..valid.len())
+            .filter(|&i| valid[i])
+            .max_by(|&a, &b| {
+                lp.at(a, 0)
+                    .partial_cmp(&lp.at(b, 0))
+                    .expect("finite log probs on valid entries")
+            })
+            .expect("at least one valid endpoint");
+        let action_log_prob = tape.pick(log_probs, action, 0);
+        DecodeStep {
+            log_probs,
+            action,
+            action_log_prob,
+        }
+    }
+
+    /// Eqs. 5–6: attention scores → masked log-softmax.
+    fn scores(
+        &self,
+        tape: &mut Tape,
+        binding: &ParamBinding,
+        embeddings: Var,
+        query: Var,
+        valid: &[bool],
+    ) -> Var {
+        let f_proj = self.w1.forward(tape, binding, embeddings);
+        let q_proj = self.w2.forward(tape, binding, query);
+        let pre = tape.add_row(f_proj, q_proj);
+        let act = tape.tanh(pre);
+        let v = binding.var(&format!("{DECODER_PREFIX}v"));
+        let scores = tape.matmul(act, v); // (E×1)
+        let mask = Arc::new(valid.to_vec());
+        tape.masked_log_softmax(scores, mask)
+    }
+
+    /// Computes attention scores, masks invalid endpoints, samples one
+    /// action from the resulting distribution, and returns the
+    /// differentiable log-probability of that action.
+    ///
+    /// # Panics
+    /// Panics if `valid` has no `true` entry or its length differs from the
+    /// number of embeddings.
+    pub fn decode(
+        &self,
+        tape: &mut Tape,
+        binding: &ParamBinding,
+        embeddings: Var,
+        query: Var,
+        valid: &[bool],
+        rng: &mut StdRng,
+    ) -> DecodeStep {
+        // Eq. 5: A = vᵀ tanh(W1·F + W2·q), broadcast over endpoints.
+        let f_proj = self.w1.forward(tape, binding, embeddings);
+        let q_proj = self.w2.forward(tape, binding, query);
+        let pre = tape.add_row(f_proj, q_proj);
+        let act = tape.tanh(pre);
+        let v = binding.var(&format!("{DECODER_PREFIX}v"));
+        let scores = tape.matmul(act, v); // (E×1)
+                                          // Eq. 6 (fixed): masked, numerically-stable log-softmax.
+        let mask = Arc::new(valid.to_vec());
+        let log_probs = tape.masked_log_softmax(scores, mask);
+        // Sample one endpoint from the distribution.
+        let lp = tape.value(log_probs);
+        let mut x: f32 = rng.gen_range(0.0..1.0);
+        let mut action = valid
+            .iter()
+            .position(|&m| m)
+            .expect("at least one valid endpoint");
+        for (i, &ok) in valid.iter().enumerate() {
+            if !ok {
+                continue;
+            }
+            let p = lp.at(i, 0).exp();
+            if x < p {
+                action = i;
+                break;
+            }
+            x -= p;
+            action = i; // fall back to the last valid on rounding loss
+        }
+        let action_log_prob = tape.pick(log_probs, action, 0);
+        DecodeStep {
+            log_probs,
+            action,
+            action_log_prob,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rl_ccd_nn::Tensor;
+
+    fn build() -> (ParamSet, AttentionDecoder, RlConfig) {
+        let cfg = RlConfig::fast();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut params = ParamSet::new();
+        let dec = AttentionDecoder::init(&cfg, &mut params, &mut rng);
+        (params, dec, cfg)
+    }
+
+    fn embeddings(cfg: &RlConfig, n: usize) -> Tensor {
+        let mut t = Tensor::zeros(n, cfg.embed_dim);
+        for i in 0..t.len() {
+            t.data_mut()[i] = ((i * 31 % 17) as f32 - 8.0) * 0.1;
+        }
+        t
+    }
+
+    #[test]
+    fn probabilities_normalize_over_valid() {
+        let (params, dec, cfg) = build();
+        let mut tape = Tape::new();
+        let binding = params.bind(&mut tape);
+        let e = tape.leaf(embeddings(&cfg, 5));
+        let q = tape.leaf(Tensor::zeros(1, cfg.lstm_hidden));
+        let valid = vec![true, false, true, true, false];
+        let mut rng = StdRng::seed_from_u64(1);
+        let step = dec.decode(&mut tape, &binding, e, q, &valid, &mut rng);
+        let lp = tape.value(step.log_probs);
+        let total: f32 = (0..5)
+            .filter(|&i| valid[i])
+            .map(|i| lp.at(i, 0).exp())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-5);
+        assert!(valid[step.action], "sampled an invalid endpoint");
+        assert_eq!(lp.at(1, 0), f32::NEG_INFINITY);
+        // The picked log-prob matches the vector entry.
+        assert_eq!(
+            tape.value(step.action_log_prob).data()[0],
+            lp.at(step.action, 0)
+        );
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic_and_varied() {
+        let (params, dec, cfg) = build();
+        let run = |seed: u64| {
+            let mut tape = Tape::new();
+            let binding = params.bind(&mut tape);
+            let e = tape.leaf(embeddings(&cfg, 8));
+            let q = tape.leaf(Tensor::zeros(1, cfg.lstm_hidden));
+            let valid = vec![true; 8];
+            let mut rng = StdRng::seed_from_u64(seed);
+            dec.decode(&mut tape, &binding, e, q, &valid, &mut rng)
+                .action
+        };
+        assert_eq!(run(7), run(7));
+        // Across many seeds, more than one endpoint gets sampled.
+        let actions: std::collections::HashSet<usize> = (0..32).map(run).collect();
+        assert!(actions.len() > 1, "sampling looks degenerate");
+    }
+
+    #[test]
+    fn greedy_picks_the_most_probable_valid_endpoint() {
+        let (params, dec, cfg) = build();
+        let mut tape = Tape::new();
+        let binding = params.bind(&mut tape);
+        let e = tape.leaf(embeddings(&cfg, 6));
+        let q = tape.leaf(Tensor::zeros(1, cfg.lstm_hidden));
+        let valid = vec![true, true, false, true, true, true];
+        let step = dec.decode_greedy(&mut tape, &binding, e, q, &valid);
+        assert!(valid[step.action]);
+        let lp = tape.value(step.log_probs);
+        for i in 0..valid.len() {
+            if valid[i] {
+                assert!(lp.at(step.action, 0) >= lp.at(i, 0));
+            }
+        }
+        // Deterministic: same inputs, same action.
+        let mut tape2 = Tape::new();
+        let binding2 = params.bind(&mut tape2);
+        let e2 = tape2.leaf(embeddings(&cfg, 6));
+        let q2 = tape2.leaf(Tensor::zeros(1, cfg.lstm_hidden));
+        let step2 = dec.decode_greedy(&mut tape2, &binding2, e2, q2, &valid);
+        assert_eq!(step.action, step2.action);
+    }
+
+    #[test]
+    #[should_panic(expected = "all entries masked")]
+    fn decode_with_nothing_valid_panics() {
+        let (params, dec, cfg) = build();
+        let mut tape = Tape::new();
+        let binding = params.bind(&mut tape);
+        let e = tape.leaf(embeddings(&cfg, 3));
+        let q = tape.leaf(Tensor::zeros(1, cfg.lstm_hidden));
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = dec.decode(&mut tape, &binding, e, q, &[false; 3], &mut rng);
+    }
+}

@@ -1,0 +1,189 @@
+//! Past-actions encoder (paper Eq. 4, §III-B.2).
+//!
+//! The paper uses an LSTM to encode the sequence of past selections; its
+//! hidden vector is the query the attention decoder consumes. Two ablation
+//! variants are provided: a GRU (lighter recurrence) and `None` (a constant
+//! zero query — no action history at all), which probes the paper's claim
+//! that selections "should not be independent of each other".
+
+use crate::config::{EncoderKind, RlConfig};
+use rand::rngs::StdRng;
+use rl_ccd_nn::{GruCell, LstmCell, LstmState, ParamBinding, ParamSet, Tape, Tensor, Var};
+
+/// Parameter name prefix of the encoder (distinct from [`crate::epgnn::GNN_PREFIX`]
+/// so transfer learning can leave it behind).
+pub const ENCODER_PREFIX: &str = "enc.";
+
+#[derive(Clone, Debug)]
+enum Backend {
+    Lstm(LstmCell),
+    Gru(GruCell),
+    None,
+}
+
+/// The past-actions encoder (LSTM by default; GRU / none for ablations).
+#[derive(Clone, Debug)]
+pub struct ActionEncoder {
+    backend: Backend,
+    embed_dim: usize,
+    hidden: usize,
+}
+
+/// Recurrent state of the encoder, holding the current query.
+#[derive(Clone, Copy, Debug)]
+pub enum EncoderState {
+    /// LSTM hidden + cell state.
+    Lstm(LstmState),
+    /// GRU hidden state.
+    Gru(Var),
+    /// No history: a constant zero query.
+    None(Var),
+}
+
+impl EncoderState {
+    /// The attention query vector q_t (1×hidden).
+    pub fn query(&self) -> Var {
+        match self {
+            EncoderState::Lstm(s) => s.h,
+            EncoderState::Gru(h) => *h,
+            EncoderState::None(z) => *z,
+        }
+    }
+}
+
+impl ActionEncoder {
+    /// Creates the encoder and registers its parameters.
+    pub fn init(config: &RlConfig, params: &mut ParamSet, rng: &mut StdRng) -> Self {
+        let backend = match config.encoder {
+            EncoderKind::Lstm => Backend::Lstm(LstmCell::init(
+                format!("{ENCODER_PREFIX}lstm"),
+                config.embed_dim,
+                config.lstm_hidden,
+                params,
+                rng,
+            )),
+            EncoderKind::Gru => Backend::Gru(GruCell::init(
+                format!("{ENCODER_PREFIX}gru"),
+                config.embed_dim,
+                config.lstm_hidden,
+                params,
+                rng,
+            )),
+            EncoderKind::None => Backend::None,
+        };
+        Self {
+            backend,
+            embed_dim: config.embed_dim,
+            hidden: config.lstm_hidden,
+        }
+    }
+
+    /// Query vector width.
+    pub fn query_dim(&self) -> usize {
+        self.hidden
+    }
+
+    /// Zero state and zero previous-action embedding for t = 0
+    /// (Algorithm 1 line 3).
+    pub fn start(&self, tape: &mut Tape) -> (EncoderState, Var) {
+        let zero_embed = tape.leaf(Tensor::zeros(1, self.embed_dim));
+        let state = match &self.backend {
+            Backend::Lstm(cell) => EncoderState::Lstm(cell.zero_state(tape)),
+            Backend::Gru(cell) => EncoderState::Gru(cell.zero_state(tape)),
+            Backend::None => EncoderState::None(tape.leaf(Tensor::zeros(1, self.hidden))),
+        };
+        (state, zero_embed)
+    }
+
+    /// Encodes one more selected-endpoint embedding, producing the next
+    /// state; `state.query()` is the attention query q_t.
+    pub fn step(
+        &self,
+        tape: &mut Tape,
+        binding: &ParamBinding,
+        prev_action_embed: Var,
+        state: EncoderState,
+    ) -> EncoderState {
+        match (&self.backend, state) {
+            (Backend::Lstm(cell), EncoderState::Lstm(s)) => {
+                EncoderState::Lstm(cell.step(tape, binding, prev_action_embed, s))
+            }
+            (Backend::Gru(cell), EncoderState::Gru(h)) => {
+                EncoderState::Gru(cell.step(tape, binding, prev_action_embed, h))
+            }
+            (Backend::None, s @ EncoderState::None(_)) => s,
+            _ => unreachable!("encoder state kind matches the backend"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn config_with(kind: EncoderKind) -> RlConfig {
+        let mut cfg = RlConfig::fast();
+        cfg.encoder = kind;
+        cfg
+    }
+
+    #[test]
+    fn lstm_query_evolves_with_actions() {
+        let cfg = config_with(EncoderKind::Lstm);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut params = ParamSet::new();
+        let enc = ActionEncoder::init(&cfg, &mut params, &mut rng);
+        assert_eq!(enc.query_dim(), cfg.lstm_hidden);
+        let mut tape = Tape::new();
+        let binding = params.bind(&mut tape);
+        let (s0, zero) = enc.start(&mut tape);
+        assert_eq!(tape.value(s0.query()).norm(), 0.0);
+        let s1 = enc.step(&mut tape, &binding, zero, s0);
+        let fake = tape.leaf(Tensor::from_vec(
+            1,
+            cfg.embed_dim,
+            (0..cfg.embed_dim).map(|i| i as f32 * 0.1).collect(),
+        ));
+        let s2 = enc.step(&mut tape, &binding, fake, s1);
+        assert_ne!(tape.value(s2.query()).data(), tape.value(s1.query()).data());
+    }
+
+    #[test]
+    fn gru_variant_works_and_uses_gru_params() {
+        let cfg = config_with(EncoderKind::Gru);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut params = ParamSet::new();
+        let enc = ActionEncoder::init(&cfg, &mut params, &mut rng);
+        assert!(params.iter().all(|(n, _)| n.starts_with("enc.gru")));
+        let mut tape = Tape::new();
+        let binding = params.bind(&mut tape);
+        let (s0, zero) = enc.start(&mut tape);
+        let s1 = enc.step(&mut tape, &binding, zero, s0);
+        assert_eq!(tape.value(s1.query()).shape(), (1, cfg.lstm_hidden));
+    }
+
+    #[test]
+    fn none_variant_has_no_parameters_and_constant_query() {
+        let cfg = config_with(EncoderKind::None);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut params = ParamSet::new();
+        let enc = ActionEncoder::init(&cfg, &mut params, &mut rng);
+        assert!(params.is_empty());
+        let mut tape = Tape::new();
+        let binding = params.bind(&mut tape);
+        let (s0, zero) = enc.start(&mut tape);
+        let s1 = enc.step(&mut tape, &binding, zero, s0);
+        assert_eq!(tape.value(s1.query()).norm(), 0.0);
+    }
+
+    #[test]
+    fn encoder_params_use_enc_prefix() {
+        let cfg = config_with(EncoderKind::Lstm);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut params = ParamSet::new();
+        ActionEncoder::init(&cfg, &mut params, &mut rng);
+        assert!(params.iter().all(|(n, _)| n.starts_with(ENCODER_PREFIX)));
+        assert!(params.len() >= 12, "4 gates × 3 tensors");
+    }
+}

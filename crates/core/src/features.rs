@@ -1,0 +1,184 @@
+//! Table I node features for EP-GNN.
+//!
+//! Thirteen scalars per cell: the dynamic "RL masked" flag plus twelve
+//! static attributes (location x/y, output-net capacitance, driven load,
+//! input capacitance, internal power, leakage power, output-net switching
+//! power, max toggle rate, worst slack through the cell, worst output slew,
+//! worst input slew). Static columns are z-score normalized per design so
+//! designs of any size or technology produce comparable inputs — the basis
+//! of the paper's transfer-learning claim.
+
+use rl_ccd_netlist::{analyze_power, CellId, Netlist};
+use rl_ccd_nn::Tensor;
+use rl_ccd_sta::TimingReport;
+
+/// Number of feature columns (Table I).
+pub const FEATURE_DIM: usize = 13;
+
+/// Column index of the dynamic "RL masked" flag.
+pub const MASKED_COL: usize = 0;
+
+/// Per-design feature matrix with a refreshable "RL masked" column.
+#[derive(Clone, Debug)]
+pub struct NodeFeatures {
+    base: Tensor,
+}
+
+impl NodeFeatures {
+    /// Extracts and normalizes the static feature columns for every cell.
+    ///
+    /// `report` must be a timing analysis of the same netlist state;
+    /// `period_ps` and `activity_seed` parameterize the power model.
+    pub fn extract(
+        netlist: &Netlist,
+        report: &TimingReport,
+        period_ps: f32,
+        activity_seed: u64,
+    ) -> Self {
+        let n = netlist.cell_count();
+        let power = analyze_power(netlist, period_ps, activity_seed);
+        let lib = netlist.library();
+        let mut base = Tensor::zeros(n, FEATURE_DIM);
+        for id in netlist.cell_ids() {
+            let i = id.index();
+            let cell = netlist.cell(id);
+            let lc = lib.cell(cell.lib);
+            let (out_cap, load_cap, net_pow) = match cell.output {
+                Some(net) => (
+                    lib.wire().cap(netlist.net_hpwl(net)),
+                    netlist.net_load(net),
+                    power.net_switching(net),
+                ),
+                None => (0.0, 0.0, 0.0),
+            };
+            let slack = report.cell_slack(id);
+            let row = [
+                0.0, // RL masked (dynamic)
+                cell.loc.x,
+                cell.loc.y,
+                out_cap,
+                load_cap,
+                lc.input_cap,
+                power.internal(id),
+                power.leakage(id),
+                net_pow,
+                power.toggle(id),
+                if slack.is_finite() { slack } else { 0.0 },
+                report.out_slew(id),
+                report.worst_in_slew(id),
+            ];
+            for (c, v) in row.into_iter().enumerate() {
+                base.set(i, c, v);
+            }
+        }
+        normalize_columns(&mut base, MASKED_COL + 1);
+        Self { base }
+    }
+
+    /// Number of cells covered.
+    pub fn node_count(&self) -> usize {
+        self.base.rows()
+    }
+
+    /// Produces the feature tensor for one RL step: the static columns plus
+    /// the current masked/selected flags (`1.0` for each cell in `flagged`).
+    pub fn with_flags(&self, flagged: &[CellId]) -> Tensor {
+        let mut t = self.base.clone();
+        for &cell in flagged {
+            t.set(cell.index(), MASKED_COL, 1.0);
+        }
+        t
+    }
+
+    /// The normalized static features (masked column all zero).
+    pub fn base(&self) -> &Tensor {
+        &self.base
+    }
+}
+
+/// Z-score normalizes every column from `from_col` on (in place); constant
+/// columns become zero.
+fn normalize_columns(t: &mut Tensor, from_col: usize) {
+    let (n, m) = t.shape();
+    if n == 0 {
+        return;
+    }
+    for c in from_col..m {
+        let mut mean = 0.0f64;
+        for r in 0..n {
+            mean += t.at(r, c) as f64;
+        }
+        mean /= n as f64;
+        let mut var = 0.0f64;
+        for r in 0..n {
+            let d = t.at(r, c) as f64 - mean;
+            var += d * d;
+        }
+        let std = (var / n as f64).sqrt().max(1e-9);
+        for r in 0..n {
+            let z = ((t.at(r, c) as f64 - mean) / std) as f32;
+            t.set(r, c, z);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+    use rl_ccd_sta::{analyze, ClockSchedule, Constraints, EndpointMargins, TimingGraph};
+
+    fn features() -> (rl_ccd_netlist::GeneratedDesign, NodeFeatures) {
+        let d = generate(&DesignSpec::new("f", 400, TechNode::N7, 8));
+        let graph = TimingGraph::new(&d.netlist);
+        let clocks = ClockSchedule::balanced(&d.netlist, 60.0, 3.0, 200.0, 1);
+        let rep = analyze(
+            &d.netlist,
+            &graph,
+            &Constraints::with_period(d.period_ps),
+            &clocks,
+            &EndpointMargins::zero(&d.netlist),
+        );
+        let f = NodeFeatures::extract(&d.netlist, &rep, d.period_ps, 1);
+        (d, f)
+    }
+
+    #[test]
+    fn dimensions_match_table_one() {
+        let (d, f) = features();
+        assert_eq!(f.base().shape(), (d.netlist.cell_count(), FEATURE_DIM));
+        assert_eq!(FEATURE_DIM, 13, "Table I: 1+2+1+1+1+2+1+1+1+1+1");
+    }
+
+    #[test]
+    fn static_columns_are_normalized() {
+        let (_, f) = features();
+        let t = f.base();
+        let (n, m) = t.shape();
+        for c in 1..m {
+            let mean: f64 = (0..n).map(|r| t.at(r, c) as f64).sum::<f64>() / n as f64;
+            assert!(mean.abs() < 1e-3, "column {c} mean {mean}");
+            let var: f64 = (0..n)
+                .map(|r| (t.at(r, c) as f64 - mean).powi(2))
+                .sum::<f64>()
+                / n as f64;
+            // Either unit variance or a constant column squashed to zero.
+            assert!(
+                (var - 1.0).abs() < 1e-2 || var < 1e-6,
+                "column {c} var {var}"
+            );
+        }
+    }
+
+    #[test]
+    fn masked_flags_apply_without_touching_base() {
+        let (d, f) = features();
+        let cell = d.netlist.endpoints()[0].cell();
+        let flagged = f.with_flags(&[cell]);
+        assert_eq!(flagged.at(cell.index(), MASKED_COL), 1.0);
+        // Base stays clean; other rows unflagged.
+        assert_eq!(f.base().at(cell.index(), MASKED_COL), 0.0);
+        let other = (cell.index() + 1) % d.netlist.cell_count();
+        assert_eq!(flagged.at(other, MASKED_COL), 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Fan-in-cone overlap masking (paper §III-C, Fig. 3).
+//!
+//! After each selection, every still-valid endpoint whose fan-in cone
+//! overlaps the selected endpoint's cone by more than ρ is masked. The
+//! selection loop ends when no endpoint remains valid — which is how the
+//! agent implicitly chooses *how many* endpoints to prioritize.
+
+use rl_ccd_netlist::ConeSet;
+
+/// Status of one candidate endpoint during a selection trajectory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EndpointStatus {
+    /// Still selectable.
+    Valid,
+    /// Chosen by the agent.
+    Selected,
+    /// Masked by cone overlap with a selected endpoint.
+    Masked,
+}
+
+/// Mutable selection state over the violating-endpoint pool.
+///
+/// # Examples
+/// ```
+/// use rl_ccd::SelectionMask;
+/// use rl_ccd_netlist::{generate, ConeSet, DesignSpec, EndpointId, TechNode};
+///
+/// let d = generate(&DesignSpec::new("mask", 300, TechNode::N7, 1));
+/// let eps: Vec<EndpointId> = (0..d.netlist.endpoints().len())
+///     .map(EndpointId::new)
+///     .collect();
+/// let cones = ConeSet::new(&d.netlist, &eps);
+/// let mut mask = SelectionMask::new(eps.len(), 0.3);
+/// let masked = mask.select(0, &cones);
+/// // The selection plus its masked overlaps are flagged.
+/// assert_eq!(mask.flagged().len(), masked.len() + 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SelectionMask {
+    status: Vec<EndpointStatus>,
+    rho: f32,
+}
+
+impl SelectionMask {
+    /// All endpoints start valid.
+    pub fn new(count: usize, rho: f32) -> Self {
+        Self {
+            status: vec![EndpointStatus::Valid; count],
+            rho,
+        }
+    }
+
+    /// Number of candidate endpoints.
+    pub fn len(&self) -> usize {
+        self.status.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.status.is_empty()
+    }
+
+    /// Status of endpoint `i`.
+    pub fn status(&self, i: usize) -> EndpointStatus {
+        self.status[i]
+    }
+
+    /// Validity bitmap for the decoder.
+    pub fn valid_mask(&self) -> Vec<bool> {
+        self.status
+            .iter()
+            .map(|&s| s == EndpointStatus::Valid)
+            .collect()
+    }
+
+    /// Whether any endpoint can still be selected.
+    pub fn any_valid(&self) -> bool {
+        self.status.contains(&EndpointStatus::Valid)
+    }
+
+    /// Local indices flagged selected *or* masked (the cells whose
+    /// "RL masked" feature is 1 per Table I).
+    pub fn flagged(&self) -> Vec<usize> {
+        (0..self.status.len())
+            .filter(|&i| self.status[i] != EndpointStatus::Valid)
+            .collect()
+    }
+
+    /// Local indices of selected endpoints, in selection order is *not*
+    /// preserved here — trajectory bookkeeping lives with the agent.
+    pub fn selected(&self) -> Vec<usize> {
+        (0..self.status.len())
+            .filter(|&i| self.status[i] == EndpointStatus::Selected)
+            .collect()
+    }
+
+    /// Records a selection and masks every valid endpoint whose cone
+    /// overlap with it exceeds ρ. Returns the newly-masked local indices.
+    ///
+    /// # Panics
+    /// Panics if `action` is not currently valid.
+    pub fn select(&mut self, action: usize, cones: &ConeSet) -> Vec<usize> {
+        assert_eq!(
+            self.status[action],
+            EndpointStatus::Valid,
+            "selected endpoint must be valid"
+        );
+        self.status[action] = EndpointStatus::Selected;
+        let mut newly_masked = Vec::new();
+        for other in 0..self.status.len() {
+            if self.status[other] == EndpointStatus::Valid
+                && cones.overlap_ratio(action, other) > self.rho
+            {
+                self.status[other] = EndpointStatus::Masked;
+                newly_masked.push(other);
+            }
+        }
+        newly_masked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_ccd_netlist::{generate, ConeSet, DesignSpec, EndpointId, TechNode};
+
+    fn pool() -> (ConeSet, usize) {
+        let d = generate(&DesignSpec::new("m", 700, TechNode::N7, 12));
+        let eps: Vec<EndpointId> = (0..d.netlist.endpoints().len())
+            .map(EndpointId::new)
+            .collect();
+        let cones = ConeSet::new(&d.netlist, &eps);
+        let n = eps.len();
+        (cones, n)
+    }
+
+    #[test]
+    fn selection_masks_overlapping_cones() {
+        let (cones, n) = pool();
+        let mut mask = SelectionMask::new(n, 0.3);
+        assert!(mask.any_valid());
+        assert!(!mask.is_empty());
+        // Find an endpoint with at least one heavy overlap.
+        let action = (0..n)
+            .find(|&a| !cones.overlapping(a, 0.3).is_empty())
+            .expect("generated clusters share cones");
+        let masked = mask.select(action, &cones);
+        assert!(!masked.is_empty());
+        assert_eq!(mask.status(action), EndpointStatus::Selected);
+        for &m in &masked {
+            assert_eq!(mask.status(m), EndpointStatus::Masked);
+        }
+        let flagged = mask.flagged();
+        assert!(flagged.contains(&action));
+        assert_eq!(flagged.len(), masked.len() + 1);
+        assert_eq!(mask.selected(), vec![action]);
+    }
+
+    #[test]
+    fn loop_terminates_with_everything_flagged() {
+        let (cones, n) = pool();
+        let mut mask = SelectionMask::new(n, 0.3);
+        let mut steps = 0;
+        while mask.any_valid() {
+            let action = mask
+                .valid_mask()
+                .iter()
+                .position(|&v| v)
+                .expect("some valid");
+            mask.select(action, &cones);
+            steps += 1;
+            assert!(steps <= n, "selection loop must terminate");
+        }
+        assert_eq!(mask.flagged().len(), n);
+        // Higher ρ masks less → at least as many selections needed.
+        let mut strict = SelectionMask::new(n, 0.95);
+        let mut strict_steps = 0;
+        while strict.any_valid() {
+            let action = strict
+                .valid_mask()
+                .iter()
+                .position(|&v| v)
+                .expect("some valid");
+            strict.select(action, &cones);
+            strict_steps += 1;
+        }
+        assert!(strict_steps >= steps, "{strict_steps} < {steps}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be valid")]
+    fn double_selection_panics() {
+        let (cones, n) = pool();
+        let mut mask = SelectionMask::new(n, 0.3);
+        mask.select(0, &cones);
+        mask.select(0, &cones);
+    }
+}

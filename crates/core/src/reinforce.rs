@@ -1,0 +1,209 @@
+//! REINFORCE training (paper Eq. 7, Algorithm 1).
+//!
+//! Each iteration collects a mini-batch of parallel trajectories, scores
+//! every one with a full flow run (terminal reward = final TNS), converts
+//! rewards to standardized advantages (a batch-mean baseline — plain
+//! REINFORCE is too noisy without one), and ascends
+//! `Σ advantage · Σ_t log π(a_t|s_t)` with Adam. Training stops when the
+//! best reward has not improved for `patience` consecutive iterations
+//! (paper: 3) or the iteration cap is hit.
+
+use crate::agent::RlCcd;
+use crate::config::RlConfig;
+use crate::env::CcdEnv;
+use crate::parallel::{run_rollouts, ScoredRollout};
+use rl_ccd_flow::FlowResult;
+use rl_ccd_netlist::EndpointId;
+use rl_ccd_nn::{Adam, GradSet, ParamSet};
+
+/// Per-iteration training telemetry.
+#[derive(Clone, Debug)]
+pub struct IterationStats {
+    /// Iteration index (0-based).
+    pub iteration: usize,
+    /// Mean batch reward (TNS ps).
+    pub mean_reward: f64,
+    /// Best reward within this batch.
+    pub batch_best: f64,
+    /// Reward of the deterministic greedy trajectory *after* this
+    /// iteration's update — the policy-quality curve of Fig. 6.
+    pub greedy_reward: f64,
+    /// Best reward seen so far across training.
+    pub best_so_far: f64,
+    /// Trajectory lengths in the batch.
+    pub steps: Vec<usize>,
+}
+
+/// Everything a finished training run produces.
+#[derive(Clone, Debug)]
+pub struct TrainOutcome {
+    /// Final parameters.
+    pub params: ParamSet,
+    /// The best flow result observed.
+    pub best_result: FlowResult,
+    /// The selection that produced it.
+    pub best_selection: Vec<EndpointId>,
+    /// Telemetry per iteration (the curves of Fig. 6).
+    pub history: Vec<IterationStats>,
+}
+
+/// Trains RL-CCD on one environment.
+///
+/// `initial` lets callers inject pre-trained parameters (transfer
+/// learning); pass `None` to train from scratch (Table II setting).
+pub fn train(env: &CcdEnv, config: &RlConfig, initial: Option<ParamSet>) -> TrainOutcome {
+    let (model, fresh) = RlCcd::init(config.clone());
+    let mut params = initial.unwrap_or(fresh);
+    let mut adam = Adam::new(config.learning_rate);
+    // The native flow (empty selection) seeds the champion: the tool's own
+    // result is always available, so RL-CCD never reports anything worse.
+    let default_flow = env.default_flow();
+    let mut best_reward = default_flow.final_qor.tns_ps;
+    let mut best_result: Option<FlowResult> = Some(default_flow);
+    let mut best_selection = Vec::new();
+    let mut best_mean = f64::NEG_INFINITY;
+    let mut stale = 0usize;
+    let mut history = Vec::new();
+
+    for iteration in 0..config.max_iterations {
+        let seeds: Vec<u64> = (0..config.workers.max(1))
+            .map(|w| {
+                config
+                    .seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((iteration * 1009 + w) as u64)
+            })
+            .collect();
+        let scored = run_rollouts(&model, &params, env, &seeds);
+        let rewards: Vec<f64> = scored.iter().map(ScoredRollout::reward).collect();
+        let mean = rewards.iter().sum::<f64>() / rewards.len() as f64;
+        let var = rewards.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / rewards.len() as f64;
+        let std = var.sqrt();
+        let batch_best = rewards.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+        // Track the champion selection.
+        let mut improved = false;
+        for s in &scored {
+            if s.reward() > best_reward {
+                best_reward = s.reward();
+                best_result = Some(s.result.clone());
+                best_selection = s.selected.clone();
+                improved = true;
+            }
+        }
+
+        // Policy-gradient update (skip degenerate batches). Workers already
+        // computed ∇Σlogπ; REINFORCE's gradient is that, scaled by
+        // −advantage (Eq. 7 with a standardized baseline).
+        if std > 1e-9 {
+            let mut grads = GradSet::new();
+            for s in scored.iter() {
+                let advantage = ((s.reward() - mean) / std) as f32;
+                let mut local = GradSet::new();
+                local.merge(s.log_prob_grads.clone());
+                local.scale(-advantage);
+                grads.merge(local);
+            }
+            grads.average();
+            grads.clip_global_norm(config.grad_clip);
+            adam.step(&mut params, &grads);
+        }
+
+        // Greedy policy evaluation after the update (the learning curve).
+        let greedy = model.rollout_greedy(&params, env);
+        let greedy_result = env.evaluate(&greedy.selected);
+        let greedy_reward = greedy_result.final_qor.tns_ps;
+        if greedy_reward > best_reward {
+            best_reward = greedy_reward;
+            best_result = Some(greedy_result);
+            best_selection = greedy.selected.clone();
+            improved = true;
+        }
+
+        history.push(IterationStats {
+            iteration,
+            mean_reward: mean,
+            batch_best,
+            greedy_reward,
+            best_so_far: best_reward,
+            steps: scored.iter().map(|s| s.steps).collect(),
+        });
+
+        // Progress = a new champion *or* a better batch mean (the policy is
+        // still learning even when the single best trajectory stands).
+        if mean > best_mean + 1e-9 {
+            best_mean = mean;
+            improved = true;
+        }
+        stale = if improved { 0 } else { stale + 1 };
+        if stale >= config.patience {
+            break;
+        }
+    }
+
+    TrainOutcome {
+        params,
+        best_result: best_result.expect("champion seeded with the default flow"),
+        best_selection,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_ccd_flow::FlowRecipe;
+    use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+
+    fn env() -> CcdEnv {
+        let d = generate(&DesignSpec::new("train", 500, TechNode::N7, 77));
+        CcdEnv::new(d, FlowRecipe::default(), 24)
+    }
+
+    #[test]
+    fn training_runs_and_tracks_best() {
+        let env = env();
+        let cfg = RlConfig::fast();
+        let out = train(&env, &cfg, None);
+        assert!(!out.history.is_empty());
+        assert!(out.history.len() <= cfg.max_iterations);
+        assert!(out.best_result.final_qor.tns_ps <= 0.0);
+        // best_so_far is monotone non-decreasing.
+        for w in out.history.windows(2) {
+            assert!(w[1].best_so_far >= w[0].best_so_far);
+        }
+        // Parameters moved (training actually updated something).
+        let (_, fresh) = RlCcd::init(cfg);
+        let moved = fresh
+            .iter()
+            .any(|(name, t)| out.params.get(name) != Some(t));
+        assert!(moved, "parameters never changed");
+    }
+
+    #[test]
+    fn early_stop_respects_patience() {
+        let env = env();
+        let mut cfg = RlConfig::fast();
+        cfg.max_iterations = 12;
+        cfg.patience = 1;
+        let out = train(&env, &cfg, None);
+        // With patience 1 the loop stops as soon as one iteration fails to
+        // improve, so it must terminate well before the cap in practice;
+        // at minimum it cannot exceed the cap.
+        assert!(out.history.len() <= 12);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let env = env();
+        let cfg = RlConfig::fast();
+        let a = train(&env, &cfg, None);
+        let b = train(&env, &cfg, None);
+        assert_eq!(a.best_selection, b.best_selection);
+        assert_eq!(
+            a.best_result.final_qor.tns_ps,
+            b.best_result.final_qor.tns_ps
+        );
+        assert_eq!(a.history.len(), b.history.len());
+    }
+}

@@ -1,0 +1,91 @@
+//! Transfer learning (paper §IV-B): reuse a pre-trained EP-GNN on unseen
+//! designs with a fresh encoder/decoder.
+//!
+//! The paper's rationale: GNN netlist encoding should be universal (at least
+//! within a technology), while the encoder/decoder are design-specific
+//! (trajectory lengths and endpoint pools differ), so only the `gnn.*`
+//! parameters carry over.
+
+use crate::agent::RlCcd;
+use crate::config::RlConfig;
+use crate::epgnn::GNN_PREFIX;
+use rl_ccd_nn::{LoadParamsError, ParamSet};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// Saves trained parameters to a text file.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn save_params(params: &ParamSet, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    params.save(BufWriter::new(file))
+}
+
+/// Loads parameters previously written by [`save_params`].
+///
+/// # Errors
+/// Returns an error on I/O failure or malformed content.
+pub fn load_params(path: impl AsRef<Path>) -> Result<ParamSet, Box<dyn std::error::Error>> {
+    let file = File::open(path)?;
+    ParamSet::load(BufReader::new(file)).map_err(|e: LoadParamsError| e.into())
+}
+
+/// Builds a fresh model whose EP-GNN weights come from `pretrained` while
+/// the encoder/decoder start from scratch. Returns the model and its
+/// parameter set; pass the set as `initial` to [`crate::reinforce::train`].
+///
+/// The returned count is the number of adopted tensors (useful to verify the
+/// donor really contained a trained EP-GNN).
+pub fn with_pretrained_gnn(config: RlConfig, pretrained: &ParamSet) -> (RlCcd, ParamSet, usize) {
+    let (model, mut params) = RlCcd::init(config);
+    let adopted = params.adopt_prefixed(pretrained, GNN_PREFIX);
+    (model, params, adopted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretrained_gnn_carries_over_and_rest_is_fresh() {
+        let cfg = RlConfig::fast();
+        let (_, mut donor) = RlCcd::init(cfg.clone());
+        // Perturb the donor's GNN weights so adoption is observable.
+        let names: Vec<String> = donor
+            .iter()
+            .filter(|(n, _)| n.starts_with(GNN_PREFIX))
+            .map(|(n, _)| n.to_string())
+            .collect();
+        assert!(!names.is_empty());
+        for n in &names {
+            donor.get_mut(n).expect("exists").data_mut()[0] = 42.0;
+        }
+        let (_, params, adopted) = with_pretrained_gnn(cfg.clone(), &donor);
+        assert_eq!(adopted, names.len());
+        for n in &names {
+            assert_eq!(params.get(n).expect("adopted").data()[0], 42.0);
+        }
+        // Encoder/decoder parameters equal a fresh init (same seed).
+        let (_, fresh) = RlCcd::init(cfg);
+        for (name, t) in fresh.iter() {
+            if !name.starts_with(GNN_PREFIX) {
+                assert_eq!(params.get(name), Some(t), "{name} should be fresh");
+            }
+        }
+    }
+
+    #[test]
+    fn params_roundtrip_through_disk() {
+        let cfg = RlConfig::fast();
+        let (_, params) = RlCcd::init(cfg);
+        let dir = std::env::temp_dir().join("rl_ccd_transfer_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("params.txt");
+        save_params(&params, &path).expect("save");
+        let loaded = load_params(&path).expect("load");
+        assert_eq!(params, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the RL-CCD agent's invariants across random
+//! designs, seeds, and masking thresholds.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl_ccd::{CcdEnv, RlCcd, RlConfig, SelectionMask};
+use rl_ccd_flow::FlowRecipe;
+use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+
+fn make_env(seed: u64) -> CcdEnv {
+    let d = generate(&DesignSpec::new("pagent", 450, TechNode::N7, seed));
+    CcdEnv::new(d, FlowRecipe::default(), 24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn every_trajectory_partitions_the_pool(
+        design_seed in 0u64..200,
+        rollout_seed in 0u64..1000,
+        rho in 0.05f32..0.95,
+    ) {
+        let env = make_env(design_seed);
+        let mut cfg = RlConfig::fast();
+        cfg.rho = rho;
+        let (model, params) = RlCcd::init(cfg.clone());
+        let mut rng = StdRng::seed_from_u64(rollout_seed);
+        let ro = model.rollout(&params, &env, &mut rng);
+        // Selected endpoints are unique members of the pool.
+        let mut sorted = ro.selected.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), ro.selected.len());
+        prop_assert!(ro.steps() >= 1 && ro.steps() <= env.pool().len());
+        // Replaying through a fresh mask flags the entire pool.
+        let mut mask = SelectionMask::new(env.pool().len(), rho);
+        for e in &ro.selected {
+            let local = env.pool().iter().position(|p| p == e).expect("in pool");
+            mask.select(local, env.cones());
+        }
+        prop_assert!(!mask.any_valid());
+        // Log-probability of the trajectory is a valid log of a product of
+        // probabilities.
+        let lp = ro.tape.value(ro.total_log_prob).data()[0];
+        prop_assert!(lp.is_finite() && lp <= 1e-4, "log prob {lp}");
+    }
+
+    #[test]
+    fn greedy_is_deterministic_and_valid(design_seed in 0u64..200) {
+        let env = make_env(design_seed);
+        let (model, params) = RlCcd::init(RlConfig::fast());
+        let a = model.rollout_greedy(&params, &env);
+        let b = model.rollout_greedy(&params, &env);
+        prop_assert_eq!(&a.selected, &b.selected);
+        for e in &a.selected {
+            prop_assert!(env.pool().contains(e));
+        }
+    }
+
+    #[test]
+    fn feature_flags_round_trip_masking(design_seed in 0u64..200) {
+        // The feature tensor's masked column must exactly reflect the mask's
+        // flagged set at every step of a trajectory prefix.
+        let env = make_env(design_seed);
+        let mut mask = SelectionMask::new(env.pool().len(), 0.3);
+        let mut step = 0;
+        while mask.any_valid() && step < 4 {
+            let action = mask.valid_mask().iter().position(|&v| v).expect("valid");
+            mask.select(action, env.cones());
+            step += 1;
+            let flagged: Vec<_> = mask
+                .flagged()
+                .iter()
+                .map(|&i| env.pool_cells()[i])
+                .collect();
+            let x = env.features().with_flags(&flagged);
+            let ones = (0..x.rows())
+                .filter(|&r| x.at(r, rl_ccd::MASKED_COL) == 1.0)
+                .count();
+            prop_assert_eq!(ones, flagged.len());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn every_encoder_variant_produces_valid_trajectories(
+        design_seed in 0u64..100,
+        variant in 0usize..3,
+    ) {
+        let env = make_env(design_seed);
+        let mut cfg = RlConfig::fast();
+        cfg.encoder = match variant {
+            0 => rl_ccd::EncoderKind::Lstm,
+            1 => rl_ccd::EncoderKind::Gru,
+            _ => rl_ccd::EncoderKind::None,
+        };
+        let (model, params) = RlCcd::init(cfg);
+        let mut rng = StdRng::seed_from_u64(11);
+        let ro = model.rollout(&params, &env, &mut rng);
+        prop_assert!(ro.steps() >= 1);
+        let lp = ro.tape.value(ro.total_log_prob).data()[0];
+        prop_assert!(lp.is_finite());
+        // Backward works for every variant.
+        let grads = ro.tape.backward(ro.total_log_prob);
+        drop(grads);
+    }
+}

@@ -1,0 +1,187 @@
+//! Hold fixing: padding short paths with delay buffers.
+//!
+//! Useful skew trades setup slack against hold slack; commercial CCD flows
+//! therefore run a hold-fixing pass that inserts small delay buffers on the
+//! shortest paths into any hold-violating register. The skew engine's
+//! guards keep designs hold-clean in normal operation, so this pass is a
+//! safety net — and a prerequisite for experimenting with more aggressive
+//! skew settings (smaller hold floors, larger bounds).
+
+use rl_ccd_netlist::{Drive, GateKind, Netlist};
+use rl_ccd_sta::{analyze, ClockSchedule, Constraints, EndpointMargins, TimingGraph, TimingReport};
+
+/// Tuning knobs of the hold-fixing pass.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HoldFixOpts {
+    /// Fix endpoints whose hold slack is below this many ps.
+    pub target_slack: f32,
+    /// Maximum delay buffers inserted per endpoint.
+    pub max_buffers_per_endpoint: usize,
+    /// Maximum total buffers inserted by the pass.
+    pub max_total_buffers: usize,
+}
+
+impl Default for HoldFixOpts {
+    fn default() -> Self {
+        Self {
+            target_slack: 0.0,
+            max_buffers_per_endpoint: 4,
+            max_total_buffers: 200,
+        }
+    }
+}
+
+/// Inserts min-delay padding until no register endpoint violates hold (or
+/// budgets run out). Returns the number of buffers inserted and the final
+/// report.
+///
+/// Each round pads the data input of every hold-violating endpoint with one
+/// X1 buffer placed at the endpoint cell (shortest wire, smallest cell —
+/// the classic hold-fix move), then re-analyzes. Setup slack on those paths
+/// shrinks by the pad delay, which is why the pass runs *after* setup
+/// optimization and only where hold is actually violated.
+pub fn fix_hold(
+    netlist: &mut Netlist,
+    graph: &mut TimingGraph,
+    constraints: &Constraints,
+    clocks: &ClockSchedule,
+    opts: &HoldFixOpts,
+) -> (usize, TimingReport) {
+    let margins = EndpointMargins::zero(netlist);
+    let mut inserted = 0usize;
+    for _round in 0..opts.max_buffers_per_endpoint {
+        let report = analyze(netlist, graph, constraints, clocks, &margins);
+        let victims: Vec<usize> = (0..netlist.endpoints().len())
+            .filter(|&i| {
+                let h = report.endpoint_hold_slack(i);
+                h.is_finite() && h < opts.target_slack
+            })
+            .collect();
+        if victims.is_empty() || inserted >= opts.max_total_buffers {
+            break;
+        }
+        let buf_lib = netlist.library().variant(GateKind::Buf, Drive::X1);
+        let mut any = false;
+        for ei in victims {
+            if inserted >= opts.max_total_buffers {
+                break;
+            }
+            let cell = netlist.endpoints()[ei].cell();
+            let net = netlist.cell(cell).inputs[0];
+            // Find this endpoint's sink entry on the net.
+            let pin = netlist
+                .net(net)
+                .sinks
+                .iter()
+                .find(|&&(c, _)| c == cell)
+                .map(|&(_, p)| p)
+                .expect("endpoint is a sink of its data net");
+            let loc = netlist.cell(cell).loc;
+            netlist.insert_buffer(net, &[(cell, pin)], buf_lib, loc);
+            inserted += 1;
+            any = true;
+        }
+        if !any {
+            break;
+        }
+        *graph = TimingGraph::new(netlist);
+    }
+    let report = analyze(netlist, graph, constraints, clocks, &margins);
+    (inserted, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+
+    /// Builds a design and deliberately advances launcher clocks to
+    /// manufacture hold violations.
+    fn broken_hold() -> (
+        rl_ccd_netlist::Netlist,
+        TimingGraph,
+        Constraints,
+        ClockSchedule,
+    ) {
+        let d = generate(&DesignSpec::new("hold", 600, TechNode::N7, 37));
+        let graph = TimingGraph::new(&d.netlist);
+        let cons = Constraints::with_period(d.period_ps);
+        let mut clocks =
+            ClockSchedule::balanced(&d.netlist, 0.1 * d.period_ps, 2.0, d.period_ps, 5);
+        // Advance every register's clock hard: min paths now violate hold.
+        for r in 0..d.netlist.flops().len() {
+            if r % 2 == 0 {
+                clocks.adjust(r, -60.0);
+            } else {
+                clocks.adjust(r, 40.0);
+            }
+        }
+        (d.netlist, graph, cons, clocks)
+    }
+
+    #[test]
+    fn hold_fix_removes_violations() {
+        let (mut nl, mut graph, cons, clocks) = broken_hold();
+        let margins = EndpointMargins::zero(&nl);
+        let before = analyze(&nl, &graph, &cons, &clocks, &margins);
+        let broken_before = (0..nl.endpoints().len())
+            .filter(|&i| {
+                let h = before.endpoint_hold_slack(i);
+                h.is_finite() && h < 0.0
+            })
+            .count();
+        assert!(broken_before > 0, "setup: no hold violations to fix");
+        let (inserted, after) =
+            fix_hold(&mut nl, &mut graph, &cons, &clocks, &HoldFixOpts::default());
+        assert!(inserted > 0);
+        let broken_after = (0..nl.endpoints().len())
+            .filter(|&i| {
+                let h = after.endpoint_hold_slack(i);
+                h.is_finite() && h < 0.0
+            })
+            .count();
+        assert!(
+            broken_after < broken_before,
+            "hold violations should shrink: {broken_before} -> {broken_after}"
+        );
+        assert!(nl.check().is_empty(), "{:?}", nl.check());
+    }
+
+    #[test]
+    fn budgets_bound_the_pass() {
+        let (mut nl, mut graph, cons, clocks) = broken_hold();
+        let opts = HoldFixOpts {
+            max_total_buffers: 3,
+            ..HoldFixOpts::default()
+        };
+        let (inserted, _) = fix_hold(&mut nl, &mut graph, &cons, &clocks, &opts);
+        assert!(inserted <= 3);
+    }
+
+    #[test]
+    fn pass_converges_to_hold_clean_or_exhausts_budget() {
+        // Generator designs can carry a few port-path hold quirks (input
+        // delay < insertion latency); the pass must clean them up and stop.
+        let d = generate(&DesignSpec::new("clean", 500, TechNode::N7, 38));
+        let mut nl = d.netlist.clone();
+        let mut graph = TimingGraph::new(&nl);
+        let cons = Constraints::with_period(d.period_ps);
+        let clocks = ClockSchedule::balanced(&nl, 0.1 * d.period_ps, 2.0, d.period_ps, 5);
+        let opts = HoldFixOpts {
+            max_buffers_per_endpoint: 8,
+            max_total_buffers: 2000,
+            ..HoldFixOpts::default()
+        };
+        let (inserted, after) = fix_hold(&mut nl, &mut graph, &cons, &clocks, &opts);
+        let broken_after = (0..nl.endpoints().len())
+            .filter(|&i| {
+                let h = after.endpoint_hold_slack(i);
+                h.is_finite() && h < 0.0
+            })
+            .count();
+        assert_eq!(broken_after, 0, "pass should reach hold-clean");
+        // Idempotent: a second run does nothing.
+        let (again, _) = fix_hold(&mut nl, &mut graph, &cons, &clocks, &opts);
+        assert_eq!(again, 0, "second pass must be a no-op (first: {inserted})");
+    }
+}

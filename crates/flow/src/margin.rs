@@ -1,0 +1,157 @@
+//! Endpoint margin policies (Algorithm 1, lines 14 & 16).
+//!
+//! RL-CCD prioritizes endpoints by *worsening their apparent timing to the
+//! design WNS* before useful skew, so the skew engine over-allocates clock
+//! adjustment to them ("over-fix"). The margins are removed before the
+//! remaining placement optimization. The paper reports that the over-fix
+//! route works significantly better than under-fixing; both are implemented
+//! so the ablation bench can reproduce that comparison.
+
+use rl_ccd_netlist::EndpointId;
+use rl_ccd_sta::{EndpointMargins, TimingReport};
+
+/// How prioritized endpoints are margined before useful skew.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum MarginMode {
+    /// Worsen each selected endpoint to the design WNS (the paper's method):
+    /// the skew engine sees them as the most critical and over-fixes them.
+    #[default]
+    OverFixToWns,
+    /// Make each selected endpoint *look healthier* by half its violation,
+    /// so the skew engine under-serves it and leaves the fix to the
+    /// data-path engine (the alternative the paper found inferior).
+    UnderFix,
+}
+
+/// Computes the margins that implement `mode` for the `selected` endpoints,
+/// given the current timing `report`.
+///
+/// Margins are *subtracted from required time*: positive values worsen an
+/// endpoint. For [`MarginMode::OverFixToWns`] the margin is
+/// `slack(e) − WNS ≥ 0`, which drops the endpoint's apparent slack exactly
+/// to WNS; endpoints already at WNS get zero margin. Margins are set-based
+/// (an earlier experiment with per-rank margin offsets froze the skew
+/// engine's adaptive re-prioritization between sweeps and hurt badly).
+pub fn prioritization_margins(
+    report: &TimingReport,
+    selected: &[EndpointId],
+    mode: MarginMode,
+    mut margins: EndpointMargins,
+) -> EndpointMargins {
+    margins.clear();
+    let wns = report.wns();
+    for &e in selected {
+        let i = e.index();
+        let slack = report.endpoint_slack(i);
+        let m = match mode {
+            MarginMode::OverFixToWns => (slack - wns).max(0.0),
+            MarginMode::UnderFix => {
+                if slack < 0.0 {
+                    0.5 * slack // negative margin: apparent slack improves
+                } else {
+                    0.0
+                }
+            }
+        };
+        margins.set(i, m);
+    }
+    margins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+    use rl_ccd_sta::{analyze, ClockSchedule, Constraints, TimingGraph};
+
+    fn setup() -> (
+        rl_ccd_netlist::Netlist,
+        TimingGraph,
+        ClockSchedule,
+        Constraints,
+        TimingReport,
+    ) {
+        let d = generate(&DesignSpec::new("m", 600, TechNode::N7, 6));
+        let graph = TimingGraph::new(&d.netlist);
+        let clocks = ClockSchedule::balanced(&d.netlist, 80.0, 4.0, 0.12 * d.period_ps, 3);
+        let cons = Constraints::with_period(d.period_ps);
+        let rep = analyze(
+            &d.netlist,
+            &graph,
+            &cons,
+            &clocks,
+            &EndpointMargins::zero(&d.netlist),
+        );
+        (d.netlist, graph, clocks, cons, rep)
+    }
+
+    #[test]
+    fn overfix_drops_selected_to_wns() {
+        let (nl, graph, clocks, cons, rep) = setup();
+        let viol = rep.violating_endpoints();
+        assert!(viol.len() >= 2);
+        // Select the *least* violating endpoint: a large margin is needed.
+        let chosen = EndpointId::new(viol[viol.len() - 1]);
+        let margins = prioritization_margins(
+            &rep,
+            &[chosen],
+            MarginMode::OverFixToWns,
+            EndpointMargins::zero(&nl),
+        );
+        let rep2 = analyze(&nl, &graph, &cons, &clocks, &margins);
+        assert!(
+            (rep2.endpoint_slack(chosen.index()) - rep.wns()).abs() < 1e-2,
+            "selected endpoint should sit at WNS: {} vs {}",
+            rep2.endpoint_slack(chosen.index()),
+            rep.wns()
+        );
+    }
+
+    #[test]
+    fn worst_endpoint_gets_zero_margin() {
+        let (nl, _, _, _, rep) = setup();
+        let viol = rep.violating_endpoints();
+        let worst = EndpointId::new(viol[0]);
+        let margins = prioritization_margins(
+            &rep,
+            &[worst],
+            MarginMode::OverFixToWns,
+            EndpointMargins::zero(&nl),
+        );
+        assert!(margins.get(worst.index()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn underfix_improves_apparent_slack() {
+        let (nl, graph, clocks, cons, rep) = setup();
+        let viol = rep.violating_endpoints();
+        let chosen = EndpointId::new(viol[0]);
+        let margins = prioritization_margins(
+            &rep,
+            &[chosen],
+            MarginMode::UnderFix,
+            EndpointMargins::zero(&nl),
+        );
+        assert!(margins.get(chosen.index()) < 0.0);
+        let rep2 = analyze(&nl, &graph, &cons, &clocks, &margins);
+        assert!(rep2.endpoint_slack(chosen.index()) > rep.endpoint_slack(chosen.index()));
+    }
+
+    #[test]
+    fn unselected_endpoints_untouched() {
+        let (nl, _, _, _, rep) = setup();
+        let viol = rep.violating_endpoints();
+        let chosen = EndpointId::new(viol[0]);
+        let margins = prioritization_margins(
+            &rep,
+            &[chosen],
+            MarginMode::OverFixToWns,
+            EndpointMargins::zero(&nl),
+        );
+        for i in 0..nl.endpoints().len() {
+            if i != chosen.index() {
+                assert_eq!(margins.get(i), 0.0);
+            }
+        }
+    }
+}

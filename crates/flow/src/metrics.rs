@@ -1,0 +1,106 @@
+//! Quality-of-results containers shared by the flow and the benches.
+
+use crate::datapath::OpStats;
+
+/// A QoR snapshot: the four quantities Table II reports per flow stage.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Qor {
+    /// Worst negative slack, ps (≤ 0).
+    pub wns_ps: f32,
+    /// Total negative slack, ps (≤ 0).
+    pub tns_ps: f64,
+    /// Number of violating endpoints.
+    pub nve: usize,
+    /// Total power, mW.
+    pub power_mw: f64,
+}
+
+impl Qor {
+    /// WNS in ns (Table II units).
+    pub fn wns_ns(&self) -> f32 {
+        self.wns_ps / 1000.0
+    }
+
+    /// TNS in ns (Table II units).
+    pub fn tns_ns(&self) -> f64 {
+        self.tns_ps / 1000.0
+    }
+
+    /// Relative TNS improvement of `self` over `other` in percent
+    /// (positive = `self` is better, i.e. less negative TNS).
+    pub fn tns_gain_pct(&self, other: &Qor) -> f64 {
+        if other.tns_ps == 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.tns_ps / other.tns_ps) * 100.0
+    }
+}
+
+/// Complete result of one placement-optimization flow run.
+#[derive(Clone, Debug)]
+pub struct FlowResult {
+    /// QoR at the beginning (post global placement).
+    pub begin: Qor,
+    /// QoR after the complete flow.
+    pub final_qor: Qor,
+    /// Data-path operations applied by the main optimization.
+    pub op_stats: OpStats,
+    /// Cells downsized by power recovery.
+    pub downsizes: usize,
+    /// Useful-skew sweeps executed (main run + touch-up).
+    pub skew_sweeps: usize,
+    /// Final per-register clock-skew adjustments, ps (paper Fig. 5).
+    pub skews: Vec<f32>,
+    /// Wall-clock seconds for the flow run.
+    pub runtime_s: f64,
+}
+
+impl FlowResult {
+    /// TNS improvement of the final QoR over `baseline`'s final QoR, in
+    /// percent (the parenthesized "goal" deltas of Table II).
+    pub fn tns_gain_over(&self, baseline: &FlowResult) -> f64 {
+        self.final_qor.tns_gain_pct(&baseline.final_qor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        let q = Qor {
+            wns_ps: -240.0,
+            tns_ps: -2009980.0,
+            nve: 33785,
+            power_mw: 482.9,
+        };
+        assert!((q.wns_ns() + 0.24).abs() < 1e-6);
+        assert!((q.tns_ns() + 2009.98).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tns_gain_direction() {
+        let better = Qor {
+            wns_ps: -10.0,
+            tns_ps: -50.0,
+            nve: 3,
+            power_mw: 1.0,
+        };
+        let worse = Qor {
+            wns_ps: -20.0,
+            tns_ps: -100.0,
+            nve: 6,
+            power_mw: 1.0,
+        };
+        assert!(better.tns_gain_pct(&worse) > 0.0);
+        assert!(worse.tns_gain_pct(&better) < 0.0);
+        let clean = Qor {
+            wns_ps: 0.0,
+            tns_ps: 0.0,
+            nve: 0,
+            power_mw: 1.0,
+        };
+        assert_eq!(better.tns_gain_pct(&clean), 0.0);
+    }
+}

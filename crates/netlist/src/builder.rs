@@ -1,0 +1,209 @@
+//! Ergonomic netlist construction.
+//!
+//! [`NetlistBuilder`] wraps the low-level arena operations with validation,
+//! so hand-written designs (tests, examples) and the synthetic generator can
+//! build netlists without touching internals.
+
+use crate::cell::{Drive, GateKind, Point};
+use crate::graph::Netlist;
+use crate::ids::{CellId, NetId};
+use crate::library::Library;
+
+/// Incremental netlist builder.
+///
+/// # Examples
+/// ```
+/// use rl_ccd_netlist::{NetlistBuilder, Library, TechNode, GateKind, Drive, Point};
+///
+/// let mut b = NetlistBuilder::new("adder_bit", Library::new(TechNode::N7));
+/// let a = b.input(Point::new(0.0, 0.0));
+/// let q = b.flop(Drive::X1, Point::new(30.0, 0.0));
+/// let x = b.gate(GateKind::Xor2, Drive::X1, Point::new(10.0, 0.0));
+/// b.drive(a, x);
+/// b.drive(q, x);
+/// b.drive(x, q);
+/// let netlist = b.finish().expect("consistent netlist");
+/// assert_eq!(netlist.cell_count(), 3);
+/// ```
+#[derive(Debug)]
+pub struct NetlistBuilder {
+    netlist: Netlist,
+}
+
+/// Error produced when [`NetlistBuilder::finish`] finds structural problems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildNetlistError {
+    violations: Vec<String>,
+}
+
+impl BuildNetlistError {
+    /// The individual structural violations found.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+}
+
+impl std::fmt::Display for BuildNetlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "netlist has {} structural violations (first: {})",
+            self.violations.len(),
+            self.violations.first().map(String::as_str).unwrap_or("?")
+        )
+    }
+}
+
+impl std::error::Error for BuildNetlistError {}
+
+impl NetlistBuilder {
+    /// Starts building a netlist bound to `library`.
+    pub fn new(name: impl Into<String>, library: Library) -> Self {
+        Self {
+            netlist: Netlist::new(name, library),
+        }
+    }
+
+    /// Adds a primary input port; its output net is created eagerly.
+    pub fn input(&mut self, loc: Point) -> CellId {
+        let lib = self.netlist.library().variant(GateKind::Input, Drive::X1);
+        let id = self.netlist.push_cell(lib, loc);
+        self.netlist.push_net(id);
+        id
+    }
+
+    /// Adds a primary output port (one input pin, no output net).
+    pub fn output(&mut self, loc: Point) -> CellId {
+        let lib = self.netlist.library().variant(GateKind::Output, Drive::X1);
+        self.netlist.push_cell(lib, loc)
+    }
+
+    /// Adds a flip-flop; its Q net is created eagerly.
+    pub fn flop(&mut self, drive: Drive, loc: Point) -> CellId {
+        let lib = self.netlist.library().variant(GateKind::Dff, drive);
+        let id = self.netlist.push_cell(lib, loc);
+        self.netlist.push_net(id);
+        id
+    }
+
+    /// Adds a combinational gate; its output net is created eagerly.
+    ///
+    /// # Panics
+    /// Panics if `kind` is not combinational.
+    pub fn gate(&mut self, kind: GateKind, drive: Drive, loc: Point) -> CellId {
+        assert!(kind.is_combinational(), "use input/output/flop for {kind}");
+        let lib = self.netlist.library().variant(kind, drive);
+        let id = self.netlist.push_cell(lib, loc);
+        self.netlist.push_net(id);
+        id
+    }
+
+    /// Connects the output net of `from` to the next free input pin of `to`.
+    ///
+    /// # Panics
+    /// Panics if `from` has no output net or `to` has no free input pin.
+    pub fn drive(&mut self, from: CellId, to: CellId) {
+        let net = self
+            .netlist
+            .cell(from)
+            .output
+            .expect("driver cell must have an output net");
+        let kind = self.netlist.kind(to);
+        assert!(
+            self.netlist.cell(to).inputs.len() < kind.input_count(),
+            "{to} ({kind}) has no free input pin"
+        );
+        self.netlist.connect(net, to);
+    }
+
+    /// The output net of a cell, if created.
+    pub fn output_net(&self, cell: CellId) -> Option<NetId> {
+        self.netlist.cell(cell).output
+    }
+
+    /// Number of free (unconnected) input pins remaining on `cell`.
+    pub fn free_inputs(&self, cell: CellId) -> usize {
+        self.netlist.kind(cell).input_count() - self.netlist.cell(cell).inputs.len()
+    }
+
+    /// Read-only view of the netlist under construction.
+    pub fn as_netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Validates and returns the finished netlist.
+    ///
+    /// # Errors
+    /// Returns [`BuildNetlistError`] if any cell has unconnected input pins
+    /// or the connectivity tables are inconsistent.
+    pub fn finish(self) -> Result<Netlist, BuildNetlistError> {
+        let violations = self.netlist.check();
+        if violations.is_empty() {
+            Ok(self.netlist)
+        } else {
+            Err(BuildNetlistError { violations })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::TechNode;
+
+    #[test]
+    fn builds_a_two_stage_pipeline() {
+        let mut b = NetlistBuilder::new("pipe", Library::new(TechNode::N12));
+        let pi = b.input(Point::new(0.0, 0.0));
+        let f1 = b.flop(Drive::X1, Point::new(20.0, 0.0));
+        let f2 = b.flop(Drive::X1, Point::new(60.0, 0.0));
+        let g1 = b.gate(GateKind::And2, Drive::X1, Point::new(10.0, 0.0));
+        let g2 = b.gate(GateKind::Or2, Drive::X1, Point::new(40.0, 0.0));
+        let po = b.output(Point::new(80.0, 0.0));
+        b.drive(pi, g1);
+        b.drive(f1, g1); // feedback-style second input
+        b.drive(g1, f1);
+        b.drive(f1, g2);
+        b.drive(f2, g2);
+        b.drive(g2, f2);
+        b.drive(f2, po);
+        // f1 drives g1, g2 and nothing else; every pin is connected.
+        let nl = b.finish().expect("valid");
+        assert_eq!(nl.flops().len(), 2);
+        assert_eq!(nl.endpoints().len(), 3); // 2 FF D + 1 PO
+        assert_eq!(nl.startpoints().len(), 3); // 2 FF Q + 1 PI
+    }
+
+    #[test]
+    fn unconnected_pin_is_an_error() {
+        let mut b = NetlistBuilder::new("bad", Library::new(TechNode::N7));
+        let pi = b.input(Point::default());
+        let g = b.gate(GateKind::Nand2, Drive::X1, Point::default());
+        b.drive(pi, g); // second NAND input left dangling
+        let err = b.finish().expect_err("must fail");
+        assert!(!err.violations().is_empty());
+        assert!(err.to_string().contains("structural violations"));
+    }
+
+    #[test]
+    fn free_inputs_tracks_connections() {
+        let mut b = NetlistBuilder::new("t", Library::new(TechNode::N7));
+        let pi = b.input(Point::default());
+        let g = b.gate(GateKind::Mux2, Drive::X1, Point::default());
+        assert_eq!(b.free_inputs(g), 3);
+        b.drive(pi, g);
+        assert_eq!(b.free_inputs(g), 2);
+        assert!(b.output_net(g).is_some());
+        assert_eq!(b.as_netlist().cell_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no free input pin")]
+    fn overdriving_panics() {
+        let mut b = NetlistBuilder::new("t", Library::new(TechNode::N7));
+        let pi = b.input(Point::default());
+        let g = b.gate(GateKind::Inv, Drive::X1, Point::default());
+        b.drive(pi, g);
+        b.drive(pi, g);
+    }
+}

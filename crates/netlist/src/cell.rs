@@ -1,0 +1,223 @@
+//! Gate functions, drive strengths, and geometric primitives.
+
+use std::fmt;
+
+/// Logic function class of a library cell.
+///
+/// The set mirrors a small standard-cell library: sequential elements,
+/// buffers/inverters used by data-path optimization, and a handful of
+/// combinational functions with one to three inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateKind {
+    /// Primary input port (virtual cell, no library timing).
+    Input,
+    /// Primary output port (virtual cell, no library timing).
+    Output,
+    /// D flip-flop (the only sequential element in the library).
+    Dff,
+    /// Non-inverting buffer.
+    Buf,
+    /// Inverter.
+    Inv,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// AND-OR-INVERT 2-1 (3 inputs).
+    Aoi21,
+    /// OR-AND-INVERT 2-1 (3 inputs).
+    Oai21,
+    /// 2-to-1 multiplexer (3 inputs: a, b, select).
+    Mux2,
+}
+
+impl GateKind {
+    /// Number of data input pins for this gate function.
+    ///
+    /// Ports have zero or one pins: an [`GateKind::Input`] has no inputs and
+    /// an [`GateKind::Output`] has exactly one. The [`GateKind::Dff`] has one
+    /// data input (D); its clock pin is modeled separately by the clock
+    /// schedule, not as a netlist connection.
+    pub fn input_count(self) -> usize {
+        match self {
+            GateKind::Input => 0,
+            GateKind::Output | GateKind::Dff | GateKind::Buf | GateKind::Inv => 1,
+            GateKind::Nand2 | GateKind::Nor2 | GateKind::And2 | GateKind::Or2 | GateKind::Xor2 => 2,
+            GateKind::Aoi21 | GateKind::Oai21 | GateKind::Mux2 => 3,
+        }
+    }
+
+    /// Whether the cell drives an output net (everything except output ports).
+    pub fn has_output(self) -> bool {
+        !matches!(self, GateKind::Output)
+    }
+
+    /// Whether this is a combinational logic gate (not a port or register).
+    pub fn is_combinational(self) -> bool {
+        !matches!(self, GateKind::Input | GateKind::Output | GateKind::Dff)
+    }
+
+    /// All combinational gate functions, used when building libraries.
+    pub fn combinational() -> &'static [GateKind] {
+        &[
+            GateKind::Buf,
+            GateKind::Inv,
+            GateKind::Nand2,
+            GateKind::Nor2,
+            GateKind::And2,
+            GateKind::Or2,
+            GateKind::Xor2,
+            GateKind::Aoi21,
+            GateKind::Oai21,
+            GateKind::Mux2,
+        ]
+    }
+
+    /// Short library-style name ("INV", "NAND2", ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            GateKind::Input => "IN",
+            GateKind::Output => "OUT",
+            GateKind::Dff => "DFF",
+            GateKind::Buf => "BUF",
+            GateKind::Inv => "INV",
+            GateKind::Nand2 => "NAND2",
+            GateKind::Nor2 => "NOR2",
+            GateKind::And2 => "AND2",
+            GateKind::Or2 => "OR2",
+            GateKind::Xor2 => "XOR2",
+            GateKind::Aoi21 => "AOI21",
+            GateKind::Oai21 => "OAI21",
+            GateKind::Mux2 => "MUX2",
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Drive strength of a library cell, as a power-of-two multiplier (X1..X8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Drive(u8);
+
+impl Drive {
+    /// Smallest drive strength (X1).
+    pub const X1: Drive = Drive(0);
+    /// X2 drive strength.
+    pub const X2: Drive = Drive(1);
+    /// X4 drive strength.
+    pub const X4: Drive = Drive(2);
+    /// Largest drive strength (X8).
+    pub const X8: Drive = Drive(3);
+
+    /// All drive strengths in increasing order.
+    pub fn all() -> [Drive; 4] {
+        [Drive::X1, Drive::X2, Drive::X4, Drive::X8]
+    }
+
+    /// The drive multiplier (1, 2, 4, or 8).
+    pub fn multiplier(self) -> f32 {
+        (1u32 << self.0) as f32
+    }
+
+    /// Next stronger drive, if any.
+    pub fn upsized(self) -> Option<Drive> {
+        (self.0 < 3).then(|| Drive(self.0 + 1))
+    }
+
+    /// Next weaker drive, if any.
+    pub fn downsized(self) -> Option<Drive> {
+        (self.0 > 0).then(|| Drive(self.0 - 1))
+    }
+
+    /// Rank in 0..4, useful for indexing.
+    pub fn rank(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Drive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", 1u32 << self.0)
+    }
+}
+
+/// A 2-D placement location in micrometres.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Point {
+    /// X coordinate in µm.
+    pub x: f32,
+    /// Y coordinate in µm.
+    pub y: f32,
+}
+
+impl Point {
+    /// Creates a point from coordinates in µm.
+    pub fn new(x: f32, y: f32) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan distance to another point, in µm.
+    pub fn manhattan(self, other: Point) -> f32 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Midpoint between two locations.
+    pub fn midpoint(self, other: Point) -> Point {
+        Point::new(0.5 * (self.x + other.x), 0.5 * (self.y + other.y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_counts_match_function() {
+        assert_eq!(GateKind::Input.input_count(), 0);
+        assert_eq!(GateKind::Inv.input_count(), 1);
+        assert_eq!(GateKind::Nand2.input_count(), 2);
+        assert_eq!(GateKind::Mux2.input_count(), 3);
+        assert_eq!(GateKind::Dff.input_count(), 1);
+        assert_eq!(GateKind::Output.input_count(), 1);
+    }
+
+    #[test]
+    fn combinational_classification() {
+        assert!(GateKind::Nand2.is_combinational());
+        assert!(!GateKind::Dff.is_combinational());
+        assert!(!GateKind::Input.is_combinational());
+        for k in GateKind::combinational() {
+            assert!(k.is_combinational());
+            assert!(k.has_output());
+        }
+    }
+
+    #[test]
+    fn drive_ladder() {
+        assert_eq!(Drive::X1.upsized(), Some(Drive::X2));
+        assert_eq!(Drive::X8.upsized(), None);
+        assert_eq!(Drive::X1.downsized(), None);
+        assert_eq!(Drive::X4.downsized(), Some(Drive::X2));
+        assert_eq!(Drive::X8.multiplier(), 8.0);
+        assert_eq!(format!("{}", Drive::X4), "X4");
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, -2.0);
+        assert_eq!(a.manhattan(b), 7.0);
+        let m = a.midpoint(b);
+        assert_eq!((m.x, m.y), (2.5, 0.0));
+    }
+}

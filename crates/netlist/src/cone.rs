@@ -1,0 +1,284 @@
+//! Fan-in cone tracing and cone-overlap calculation (paper Fig. 3).
+//!
+//! The fan-in cone of an endpoint is the set of *combinational* cells
+//! reachable backwards from the endpoint pin, stopping at startpoints
+//! (register Q outputs and primary inputs). The overlap ratio between a
+//! selected endpoint `a` and a candidate `b` divides the number of shared
+//! cone cells by the size of the candidate's cone; RL-CCD masks candidates
+//! whose ratio exceeds the threshold ρ.
+
+use crate::graph::{Endpoint, Netlist};
+use crate::ids::{CellId, EndpointId};
+
+/// Fan-in cone of one endpoint: sorted, deduplicated combinational cells.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Cone {
+    cells: Vec<CellId>,
+}
+
+impl Cone {
+    /// Cells in the cone, sorted ascending.
+    pub fn cells(&self) -> &[CellId] {
+        &self.cells
+    }
+
+    /// Number of cells in the cone.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the cone is empty (endpoint fed directly by a startpoint).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Whether `cell` belongs to the cone.
+    pub fn contains(&self, cell: CellId) -> bool {
+        self.cells.binary_search(&cell).is_ok()
+    }
+
+    /// Size of the intersection with another cone (sorted-merge, O(n+m)).
+    pub fn intersection_size(&self, other: &Cone) -> usize {
+        let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+        while i < self.cells.len() && j < other.cells.len() {
+            match self.cells[i].cmp(&other.cells[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+/// Traces the fan-in cone of `endpoint` in `netlist`.
+///
+/// Tracing walks input nets backwards from the endpoint cell; it collects
+/// combinational cells and stops at flip-flops and primary inputs (the
+/// previous startpoints), exactly as in the paper's Fig. 3.
+pub fn fanin_cone(netlist: &Netlist, endpoint: Endpoint) -> Cone {
+    let mut seen = vec![false; netlist.cell_count()];
+    let mut cells = Vec::new();
+    let mut stack: Vec<CellId> = Vec::new();
+    // Seed with the drivers of the endpoint cell's inputs.
+    let ep_cell = endpoint.cell();
+    for &net in &netlist.cell(ep_cell).inputs {
+        stack.push(netlist.net(net).driver);
+    }
+    while let Some(cell) = stack.pop() {
+        if seen[cell.index()] {
+            continue;
+        }
+        seen[cell.index()] = true;
+        if !netlist.kind(cell).is_combinational() {
+            continue; // startpoint boundary: FF Q or primary input
+        }
+        cells.push(cell);
+        for &net in &netlist.cell(cell).inputs {
+            let driver = netlist.net(net).driver;
+            if !seen[driver.index()] {
+                stack.push(driver);
+            }
+        }
+    }
+    cells.sort_unstable();
+    Cone { cells }
+}
+
+/// Precomputed fan-in cones for a set of endpoints, with overlap queries.
+///
+/// # Examples
+/// ```
+/// use rl_ccd_netlist::{generate, ConeSet, DesignSpec, EndpointId, TechNode};
+///
+/// let design = generate(&DesignSpec::new("cones", 300, TechNode::N7, 1));
+/// let eps: Vec<EndpointId> = (0..design.netlist.endpoints().len())
+///     .map(EndpointId::new)
+///     .collect();
+/// let cones = ConeSet::new(&design.netlist, &eps);
+/// // Overlap ratios are always in [0, 1].
+/// let r = cones.overlap_ratio(0, 1);
+/// assert!((0.0..=1.0).contains(&r));
+/// ```
+#[derive(Clone, Debug)]
+pub struct ConeSet {
+    endpoints: Vec<EndpointId>,
+    cones: Vec<Cone>,
+}
+
+impl ConeSet {
+    /// Traces the cones of the given endpoints.
+    pub fn new(netlist: &Netlist, endpoints: &[EndpointId]) -> Self {
+        let cones = endpoints
+            .iter()
+            .map(|&e| fanin_cone(netlist, netlist.endpoint(e)))
+            .collect();
+        Self {
+            endpoints: endpoints.to_vec(),
+            cones,
+        }
+    }
+
+    /// The endpoints this set was built for (positions are local indices).
+    pub fn endpoints(&self) -> &[EndpointId] {
+        &self.endpoints
+    }
+
+    /// Number of endpoints in the set.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// The cone of the endpoint at local index `i`.
+    pub fn cone(&self, i: usize) -> &Cone {
+        &self.cones[i]
+    }
+
+    /// Overlap ratio of candidate `b` against selected endpoint `a`
+    /// (both local indices): `|cone(a) ∩ cone(b)| / |cone(b)|`.
+    ///
+    /// An empty candidate cone overlaps fully (ratio 1.0) when the selected
+    /// cone is also empty and they share a driver region; we define the
+    /// empty/empty case as 0.0 so directly-register-fed endpoints are never
+    /// masked by each other spuriously.
+    pub fn overlap_ratio(&self, a: usize, b: usize) -> f32 {
+        let cb = &self.cones[b];
+        if cb.is_empty() {
+            return 0.0;
+        }
+        let shared = self.cones[a].intersection_size(cb);
+        shared as f32 / cb.len() as f32
+    }
+
+    /// Local indices of all candidates whose overlap with `selected`
+    /// (a local index) strictly exceeds `rho`. `selected` itself is not
+    /// included.
+    pub fn overlapping(&self, selected: usize, rho: f32) -> Vec<usize> {
+        (0..self.cones.len())
+            .filter(|&b| b != selected && self.overlap_ratio(selected, b) > rho)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::cell::{Drive, GateKind, Point};
+    use crate::library::{Library, TechNode};
+
+    /// Two endpoints sharing part of a logic cone:
+    ///   pi1 -> g1 -> g2 -> f_a(D)
+    ///   pi2 ----------^
+    ///   g1 -> g3 -> f_b(D)      (g1 shared between both cones)
+    fn shared_cone_netlist() -> (Netlist, Vec<EndpointId>) {
+        let mut b = NetlistBuilder::new("shared", Library::new(TechNode::N7));
+        let pi1 = b.input(Point::new(0.0, 0.0));
+        let pi2 = b.input(Point::new(0.0, 10.0));
+        let g1 = b.gate(GateKind::Buf, Drive::X1, Point::new(10.0, 0.0));
+        let g2 = b.gate(GateKind::And2, Drive::X1, Point::new(20.0, 0.0));
+        let g3 = b.gate(GateKind::Inv, Drive::X1, Point::new(20.0, 10.0));
+        let fa = b.flop(Drive::X1, Point::new(30.0, 0.0));
+        let fb = b.flop(Drive::X1, Point::new(30.0, 10.0));
+        let po_a = b.output(Point::new(40.0, 0.0));
+        let po_b = b.output(Point::new(40.0, 10.0));
+        b.drive(pi1, g1);
+        b.drive(g1, g2);
+        b.drive(pi2, g2);
+        b.drive(g2, fa);
+        b.drive(g1, g3);
+        b.drive(g3, fb);
+        b.drive(fa, po_a);
+        b.drive(fb, po_b);
+        let nl = b.finish().expect("valid");
+        let eps: Vec<EndpointId> = (0..nl.endpoints().len()).map(EndpointId::new).collect();
+        (nl, eps)
+    }
+
+    #[test]
+    fn cone_stops_at_startpoints() {
+        let (nl, _) = shared_cone_netlist();
+        // Endpoint of fa is FlopD(fa): cone = {g1, g2}.
+        let fa_ep = nl
+            .endpoints()
+            .iter()
+            .copied()
+            .find(|e| e.is_register())
+            .expect("has register endpoint");
+        let cone = fanin_cone(&nl, fa_ep);
+        assert_eq!(cone.len(), 2);
+        assert!(!cone.is_empty());
+        // Primary inputs are not in the cone.
+        for &c in cone.cells() {
+            assert!(nl.kind(c).is_combinational());
+        }
+    }
+
+    #[test]
+    fn overlap_ratio_counts_shared_cells() {
+        let (nl, eps) = shared_cone_netlist();
+        let set = ConeSet::new(&nl, &eps);
+        // Find the two register endpoints.
+        let regs: Vec<usize> = (0..set.len())
+            .filter(|&i| nl.endpoint(set.endpoints()[i]).is_register())
+            .collect();
+        let (a, b) = (regs[0], regs[1]);
+        // cone(fa) = {g1,g2}, cone(fb) = {g1,g3}; shared = {g1}.
+        assert_eq!(set.cone(a).intersection_size(set.cone(b)), 1);
+        assert!((set.overlap_ratio(a, b) - 0.5).abs() < 1e-6);
+        assert!((set.overlap_ratio(b, a) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn po_cone_through_flop_is_empty() {
+        let (nl, eps) = shared_cone_netlist();
+        let set = ConeSet::new(&nl, &eps);
+        let po_idx = (0..set.len())
+            .find(|&i| !nl.endpoint(set.endpoints()[i]).is_register())
+            .expect("has PO endpoint");
+        // PO is fed directly by a flop → empty cone, never masked.
+        assert!(set.cone(po_idx).is_empty());
+        for other in 0..set.len() {
+            if other != po_idx {
+                assert_eq!(set.overlap_ratio(other, po_idx), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_respects_threshold() {
+        let (nl, eps) = shared_cone_netlist();
+        let set = ConeSet::new(&nl, &eps);
+        let regs: Vec<usize> = (0..set.len())
+            .filter(|&i| nl.endpoint(set.endpoints()[i]).is_register())
+            .collect();
+        let masked_low = set.overlapping(regs[0], 0.3);
+        assert!(masked_low.contains(&regs[1]));
+        let masked_high = set.overlapping(regs[0], 0.6);
+        assert!(!masked_high.contains(&regs[1]));
+        assert!(!masked_low.contains(&regs[0]), "self never masked");
+    }
+
+    #[test]
+    fn cone_contains_is_consistent() {
+        let (nl, eps) = shared_cone_netlist();
+        let set = ConeSet::new(&nl, &eps);
+        for i in 0..set.len() {
+            let cone = set.cone(i);
+            for &c in cone.cells() {
+                assert!(cone.contains(c));
+            }
+            assert!(!cone.contains(CellId::new(nl.cell_count())));
+        }
+        assert!(!set.is_empty());
+    }
+}

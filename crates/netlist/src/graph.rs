@@ -1,0 +1,560 @@
+//! The gate-level netlist graph: cells, nets, endpoints, startpoints.
+//!
+//! Storage is arena-style: cells and nets live in `Vec`s indexed by
+//! [`CellId`]/[`NetId`]. Every cell drives at most one output net; nets
+//! record their driver and every (sink cell, input pin) pair. The clock
+//! network is abstracted: flip-flops carry no clock net — per-register clock
+//! arrival times live in the timing crate's clock schedule, which is exactly
+//! the abstraction useful-skew optimization manipulates.
+
+use crate::cell::{GateKind, Point};
+use crate::ids::{CellId, EndpointId, LibCellId, NetId, StartpointId};
+use crate::library::Library;
+
+/// One placed instance: a gate, register, or port.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cell {
+    /// Library cell implementing this instance.
+    pub lib: LibCellId,
+    /// Input nets, ordered by pin index (pin 0 is the fastest pin).
+    pub inputs: Vec<NetId>,
+    /// Output net, if this cell drives one (everything except output ports).
+    pub output: Option<NetId>,
+    /// Placement location.
+    pub loc: Point,
+}
+
+/// One net: a driver pin and its sink pins.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Net {
+    /// Driving cell.
+    pub driver: CellId,
+    /// Sinks as (cell, input pin index) pairs.
+    pub sinks: Vec<(CellId, u8)>,
+}
+
+/// A timing endpoint: where setup checks are performed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// The D input of a flip-flop.
+    FlopD(CellId),
+    /// A primary output port.
+    PrimaryOut(CellId),
+}
+
+impl Endpoint {
+    /// The cell that owns this endpoint pin.
+    pub fn cell(self) -> CellId {
+        match self {
+            Endpoint::FlopD(c) | Endpoint::PrimaryOut(c) => c,
+        }
+    }
+
+    /// Whether the endpoint is a register D pin (vs. a primary output).
+    pub fn is_register(self) -> bool {
+        matches!(self, Endpoint::FlopD(_))
+    }
+}
+
+/// A timing startpoint: where paths begin.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Startpoint {
+    /// The Q output of a flip-flop.
+    FlopQ(CellId),
+    /// A primary input port.
+    PrimaryIn(CellId),
+}
+
+impl Startpoint {
+    /// The cell that owns this startpoint pin.
+    pub fn cell(self) -> CellId {
+        match self {
+            Startpoint::FlopQ(c) | Startpoint::PrimaryIn(c) => c,
+        }
+    }
+}
+
+/// A gate-level netlist with placement, bound to a technology [`Library`].
+#[derive(Clone, Debug)]
+pub struct Netlist {
+    name: String,
+    library: Library,
+    cells: Vec<Cell>,
+    nets: Vec<Net>,
+    endpoints: Vec<Endpoint>,
+    startpoints: Vec<Startpoint>,
+    /// All flip-flop cells, in creation order; index here is the register
+    /// index used by clock schedules.
+    flops: Vec<CellId>,
+    /// For each cell, `Some(register index)` if it is a flip-flop.
+    flop_index: Vec<Option<u32>>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist bound to `library`.
+    pub fn new(name: impl Into<String>, library: Library) -> Self {
+        Self {
+            name: name.into(),
+            library,
+            cells: Vec::new(),
+            nets: Vec::new(),
+            endpoints: Vec::new(),
+            startpoints: Vec::new(),
+            flops: Vec::new(),
+            flop_index: Vec::new(),
+        }
+    }
+
+    /// Design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The technology library the netlist is bound to.
+    pub fn library(&self) -> &Library {
+        &self.library
+    }
+
+    /// Number of cells (including port cells).
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Borrow a cell.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Borrow a net.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Gate function of a cell (via its library binding).
+    pub fn kind(&self, id: CellId) -> GateKind {
+        self.library.cell(self.cells[id.index()].lib).kind
+    }
+
+    /// Iterate over all cell ids.
+    pub fn cell_ids(&self) -> impl Iterator<Item = CellId> {
+        (0..self.cells.len()).map(CellId::new)
+    }
+
+    /// Iterate over all net ids.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> {
+        (0..self.nets.len()).map(NetId::new)
+    }
+
+    /// All timing endpoints, indexable by [`EndpointId`].
+    pub fn endpoints(&self) -> &[Endpoint] {
+        &self.endpoints
+    }
+
+    /// All timing startpoints, indexable by [`StartpointId`].
+    pub fn startpoints(&self) -> &[Startpoint] {
+        &self.startpoints
+    }
+
+    /// Endpoint by id.
+    pub fn endpoint(&self, id: EndpointId) -> Endpoint {
+        self.endpoints[id.index()]
+    }
+
+    /// Startpoint by id.
+    pub fn startpoint(&self, id: StartpointId) -> Startpoint {
+        self.startpoints[id.index()]
+    }
+
+    /// All flip-flop cells; the slice position is the register index used by
+    /// clock schedules.
+    pub fn flops(&self) -> &[CellId] {
+        &self.flops
+    }
+
+    /// Register index of a cell, if it is a flip-flop.
+    pub fn flop_index(&self, id: CellId) -> Option<usize> {
+        self.flop_index[id.index()].map(|i| i as usize)
+    }
+
+    /// Half-perimeter wirelength of a net in µm (0 for degenerate nets).
+    pub fn net_hpwl(&self, id: NetId) -> f32 {
+        let net = &self.nets[id.index()];
+        let mut min = self.cells[net.driver.index()].loc;
+        let mut max = min;
+        for &(sink, _) in &net.sinks {
+            let p = self.cells[sink.index()].loc;
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        (max.x - min.x) + (max.y - min.y)
+    }
+
+    /// Manhattan length of the segment from the net driver to one sink, µm.
+    pub fn segment_length(&self, net: NetId, sink: CellId) -> f32 {
+        let n = &self.nets[net.index()];
+        self.cells[n.driver.index()]
+            .loc
+            .manhattan(self.cells[sink.index()].loc)
+    }
+
+    /// Total capacitive load seen by the driver of `net`: sink pin caps plus
+    /// wire capacitance over the net HPWL, in fF.
+    pub fn net_load(&self, id: NetId) -> f32 {
+        let net = &self.nets[id.index()];
+        let mut cap = self.library.wire().cap(self.net_hpwl(id));
+        for &(sink, _) in &net.sinks {
+            cap += self.library.cell(self.cells[sink.index()].lib).input_cap;
+        }
+        cap
+    }
+
+    // ------------------------------------------------------------------
+    // Construction (used by the builder & generator)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn push_cell(&mut self, lib: LibCellId, loc: Point) -> CellId {
+        let id = CellId::new(self.cells.len());
+        let kind = self.library.cell(lib).kind;
+        self.cells.push(Cell {
+            lib,
+            inputs: Vec::with_capacity(kind.input_count()),
+            output: None,
+            loc,
+        });
+        self.flop_index.push(None);
+        match kind {
+            GateKind::Dff => {
+                self.flop_index[id.index()] = Some(self.flops.len() as u32);
+                self.flops.push(id);
+                self.endpoints.push(Endpoint::FlopD(id));
+                self.startpoints.push(Startpoint::FlopQ(id));
+            }
+            GateKind::Input => self.startpoints.push(Startpoint::PrimaryIn(id)),
+            GateKind::Output => self.endpoints.push(Endpoint::PrimaryOut(id)),
+            _ => {}
+        }
+        id
+    }
+
+    pub(crate) fn push_net(&mut self, driver: CellId) -> NetId {
+        let id = NetId::new(self.nets.len());
+        debug_assert!(self.cells[driver.index()].output.is_none());
+        self.cells[driver.index()].output = Some(id);
+        self.nets.push(Net {
+            driver,
+            sinks: Vec::new(),
+        });
+        id
+    }
+
+    pub(crate) fn connect(&mut self, net: NetId, sink: CellId) {
+        let pin = self.cells[sink.index()].inputs.len() as u8;
+        self.cells[sink.index()].inputs.push(net);
+        self.nets[net.index()].sinks.push((sink, pin));
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation (used by data-path optimization)
+    // ------------------------------------------------------------------
+
+    /// Moves a cell to a new placement location.
+    pub fn set_location(&mut self, cell: CellId, loc: Point) {
+        self.cells[cell.index()].loc = loc;
+    }
+
+    /// Rebinds a cell to a different library cell of the same gate function
+    /// (gate sizing).
+    ///
+    /// # Panics
+    /// Panics if the new library cell has a different [`GateKind`].
+    pub fn resize(&mut self, cell: CellId, lib: LibCellId) {
+        let old = self.library.cell(self.cells[cell.index()].lib).kind;
+        let new = self.library.cell(lib).kind;
+        assert_eq!(old, new, "resize must preserve the gate function");
+        self.cells[cell.index()].lib = lib;
+    }
+
+    /// Rebinds a cell to a library cell of a *different* function with the
+    /// same pin count (logic remapping, e.g. NAND2 → AND2 when absorbing a
+    /// downstream inverter).
+    ///
+    /// # Panics
+    /// Panics if the input counts differ or output presence changes.
+    pub fn remap(&mut self, cell: CellId, lib: LibCellId) {
+        let old = self.library.cell(self.cells[cell.index()].lib).kind;
+        let new = self.library.cell(lib).kind;
+        assert_eq!(
+            old.input_count(),
+            new.input_count(),
+            "remap must preserve pin count"
+        );
+        assert_eq!(
+            old.has_output(),
+            new.has_output(),
+            "remap must preserve output presence"
+        );
+        assert!(
+            old.is_combinational() && new.is_combinational(),
+            "remap only applies to combinational cells"
+        );
+        self.cells[cell.index()].lib = lib;
+    }
+
+    /// Moves every sink of `from` onto `to` (the bypassed-cell transform:
+    /// after absorbing an inverter into its driver, the inverter's loads
+    /// re-attach to the driver's net). `from` is left without sinks.
+    ///
+    /// # Panics
+    /// Panics if `from == to`.
+    pub fn transfer_sinks(&mut self, from: NetId, to: NetId) {
+        assert_ne!(from, to, "cannot transfer a net onto itself");
+        let moved = std::mem::take(&mut self.nets[from.index()].sinks);
+        for &(sink, pin) in &moved {
+            self.cells[sink.index()].inputs[pin as usize] = to;
+        }
+        self.nets[to.index()].sinks.extend(moved);
+    }
+
+    /// Swaps two input pins of a cell, so the net previously on pin `a`
+    /// now connects to pin `b` and vice versa (pin swapping: move the
+    /// late-arriving signal to the faster pin).
+    ///
+    /// # Panics
+    /// Panics if either pin index is out of range.
+    pub fn swap_pins(&mut self, cell: CellId, a: u8, b: u8) {
+        if a == b {
+            return;
+        }
+        let net_a = self.cells[cell.index()].inputs[a as usize];
+        let net_b = self.cells[cell.index()].inputs[b as usize];
+        self.cells[cell.index()].inputs.swap(a as usize, b as usize);
+        for &(net, old_pin, new_pin) in &[(net_a, a, b), (net_b, b, a)] {
+            for s in &mut self.nets[net.index()].sinks {
+                if s.0 == cell && s.1 == old_pin {
+                    s.1 = new_pin;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Inserts a buffer of library cell `lib` on `net`, re-routing the given
+    /// subset of sink pins through it. Returns the new buffer cell.
+    ///
+    /// The buffer is placed at `loc`; a new net is created from the buffer to
+    /// the moved sinks. Sinks not listed remain on the original net.
+    ///
+    /// # Panics
+    /// Panics if `lib` is not a [`GateKind::Buf`], if `moved` is empty, or if
+    /// any entry of `moved` is not a sink of `net`.
+    pub fn insert_buffer(
+        &mut self,
+        net: NetId,
+        moved: &[(CellId, u8)],
+        lib: LibCellId,
+        loc: Point,
+    ) -> CellId {
+        assert_eq!(self.library.cell(lib).kind, GateKind::Buf);
+        assert!(!moved.is_empty(), "buffer must drive at least one sink");
+        let buf = self.push_cell(lib, loc);
+        let new_net = self.push_net(buf);
+        // Detach moved sinks from the old net.
+        for &(cell, pin) in moved {
+            let sinks = &mut self.nets[net.index()].sinks;
+            let pos = sinks
+                .iter()
+                .position(|&s| s == (cell, pin))
+                .expect("moved sink must belong to the net");
+            sinks.swap_remove(pos);
+            // Repoint the sink's input pin at the new net.
+            self.cells[cell.index()].inputs[pin as usize] = new_net;
+            self.nets[new_net.index()].sinks.push((cell, pin));
+        }
+        // The buffer itself becomes a sink of the original net (pin 0).
+        self.connect(net, buf);
+        buf
+    }
+
+    /// Validates structural invariants; returns a list of human-readable
+    /// violations (empty when consistent). Used by tests and after mutation
+    /// passes.
+    pub fn check(&self) -> Vec<String> {
+        let mut errs = Vec::new();
+        for (i, cell) in self.cells.iter().enumerate() {
+            let id = CellId::new(i);
+            let kind = self.library.cell(cell.lib).kind;
+            if cell.inputs.len() != kind.input_count() {
+                errs.push(format!(
+                    "{id}: {kind} expects {} inputs, has {}",
+                    kind.input_count(),
+                    cell.inputs.len()
+                ));
+            }
+            if kind.has_output() != cell.output.is_some() {
+                errs.push(format!("{id}: {kind} output presence mismatch"));
+            }
+            if let Some(net) = cell.output {
+                if self.nets[net.index()].driver != id {
+                    errs.push(format!("{id}: output net {net} driver mismatch"));
+                }
+            }
+            for (pin, &net) in cell.inputs.iter().enumerate() {
+                let ok = self.nets[net.index()].sinks.contains(&(id, pin as u8));
+                if !ok {
+                    errs.push(format!("{id}: input pin {pin} not registered on {net}"));
+                }
+            }
+        }
+        for (i, net) in self.nets.iter().enumerate() {
+            let id = NetId::new(i);
+            for &(sink, pin) in &net.sinks {
+                let cell = &self.cells[sink.index()];
+                if cell.inputs.get(pin as usize).copied() != Some(id) {
+                    errs.push(format!("{id}: sink ({sink},{pin}) does not point back"));
+                }
+            }
+        }
+        errs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::Drive;
+    use crate::library::TechNode;
+
+    fn tiny() -> Netlist {
+        // in -> INV -> NAND2 -> DFF ; second NAND2 input from DFF Q.
+        let lib = Library::new(TechNode::N7);
+        let mut nl = Netlist::new("tiny", lib);
+        let l_in = nl.library().variant(GateKind::Input, Drive::X1);
+        let l_inv = nl.library().variant(GateKind::Inv, Drive::X1);
+        let l_nand = nl.library().variant(GateKind::Nand2, Drive::X1);
+        let l_dff = nl.library().variant(GateKind::Dff, Drive::X1);
+        let pi = nl.push_cell(l_in, Point::new(0.0, 0.0));
+        let inv = nl.push_cell(l_inv, Point::new(10.0, 0.0));
+        let nand = nl.push_cell(l_nand, Point::new(20.0, 0.0));
+        let dff = nl.push_cell(l_dff, Point::new(30.0, 0.0));
+        let n_pi = nl.push_net(pi);
+        let n_inv = nl.push_net(inv);
+        let n_nand = nl.push_net(nand);
+        let n_q = nl.push_net(dff);
+        nl.connect(n_pi, inv);
+        nl.connect(n_inv, nand);
+        nl.connect(n_q, nand);
+        nl.connect(n_nand, dff);
+        nl
+    }
+
+    #[test]
+    fn tiny_netlist_is_consistent() {
+        let nl = tiny();
+        assert!(nl.check().is_empty(), "{:?}", nl.check());
+        assert_eq!(nl.cell_count(), 4);
+        assert_eq!(nl.net_count(), 4);
+        assert_eq!(nl.endpoints().len(), 1);
+        assert_eq!(nl.startpoints().len(), 2);
+        assert_eq!(nl.flops().len(), 1);
+        assert_eq!(nl.flop_index(nl.flops()[0]), Some(0));
+    }
+
+    #[test]
+    fn hpwl_and_load() {
+        let nl = tiny();
+        let inv_out = nl.cell(CellId::new(1)).output.expect("inv drives a net");
+        assert!(nl.net_hpwl(inv_out) > 0.0);
+        assert!(nl.net_load(inv_out) > 0.0);
+        assert!(nl.segment_length(inv_out, CellId::new(2)) > 0.0);
+    }
+
+    #[test]
+    fn pin_swap_keeps_consistency() {
+        let mut nl = tiny();
+        let nand = CellId::new(2);
+        let before = nl.cell(nand).inputs.clone();
+        nl.swap_pins(nand, 0, 1);
+        assert!(nl.check().is_empty(), "{:?}", nl.check());
+        let after = nl.cell(nand).inputs.clone();
+        assert_eq!(before[0], after[1]);
+        assert_eq!(before[1], after[0]);
+        nl.swap_pins(nand, 0, 0); // no-op
+        assert!(nl.check().is_empty());
+    }
+
+    #[test]
+    fn buffer_insertion_reroutes_sinks() {
+        let mut nl = tiny();
+        let pi_net = nl.cell(CellId::new(0)).output.expect("pi net");
+        let moved = nl.net(pi_net).sinks.clone();
+        let l_buf = nl.library().variant(GateKind::Buf, Drive::X2);
+        let buf = nl.insert_buffer(pi_net, &moved, l_buf, Point::new(5.0, 0.0));
+        assert!(nl.check().is_empty(), "{:?}", nl.check());
+        // Old net now drives exactly the buffer.
+        assert_eq!(nl.net(pi_net).sinks, vec![(buf, 0)]);
+        // Buffer output drives the inverter.
+        let bnet = nl.cell(buf).output.expect("buffer drives");
+        assert_eq!(nl.net(bnet).sinks.len(), 1);
+    }
+
+    #[test]
+    fn resize_preserves_kind() {
+        let mut nl = tiny();
+        let inv = CellId::new(1);
+        let stronger = nl.library().variant(GateKind::Inv, Drive::X4);
+        nl.resize(inv, stronger);
+        assert_eq!(nl.kind(inv), GateKind::Inv);
+        assert!(nl.check().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "resize must preserve the gate function")]
+    fn resize_to_other_kind_panics() {
+        let mut nl = tiny();
+        let to_nand = nl.library().variant(GateKind::Nand2, Drive::X1);
+        nl.resize(CellId::new(1), to_nand);
+    }
+
+    #[test]
+    fn remap_changes_function_with_same_arity() {
+        let mut nl = tiny();
+        let nand = CellId::new(2);
+        let to_and = nl.library().variant(GateKind::And2, Drive::X2);
+        nl.remap(nand, to_and);
+        assert_eq!(nl.kind(nand), GateKind::And2);
+        assert!(nl.check().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "remap must preserve pin count")]
+    fn remap_arity_mismatch_panics() {
+        let mut nl = tiny();
+        let to_mux = nl.library().variant(GateKind::Mux2, Drive::X1);
+        nl.remap(CellId::new(1), to_mux); // INV (1 pin) → MUX2 (3 pins)
+    }
+
+    #[test]
+    fn transfer_sinks_bypasses_a_cell() {
+        // inv output currently feeds the NAND; move the NAND input onto the
+        // PI net directly (as if the INV were absorbed).
+        let mut nl = tiny();
+        let pi_net = nl.cell(CellId::new(0)).output.expect("pi net");
+        let inv_net = nl.cell(CellId::new(1)).output.expect("inv net");
+        nl.transfer_sinks(inv_net, pi_net);
+        assert!(nl.net(inv_net).sinks.is_empty());
+        // The NAND's input now points at the PI net, consistency holds.
+        assert!(nl.check().is_empty(), "{:?}", nl.check());
+        assert!(nl
+            .net(pi_net)
+            .sinks
+            .iter()
+            .any(|&(c, _)| c == CellId::new(2)));
+    }
+}

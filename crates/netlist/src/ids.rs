@@ -1,0 +1,100 @@
+//! Strongly-typed index newtypes for netlist entities.
+//!
+//! All netlist storage is arena-style (`Vec`-backed), so entities are
+//! referred to by dense integer ids. Newtypes keep cell/net/library-cell
+//! indices from being confused with one another (C-NEWTYPE).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                debug_assert!(index <= u32::MAX as usize);
+                Self(index as u32)
+            }
+
+            /// Returns the raw index for container access.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a cell (gate, register, or port) in a [`crate::Netlist`].
+    CellId,
+    "c"
+);
+id_type!(
+    /// Identifier of a net (a driver pin plus its sink pins).
+    NetId,
+    "n"
+);
+id_type!(
+    /// Identifier of a library cell (a gate function at a drive strength).
+    LibCellId,
+    "L"
+);
+id_type!(
+    /// Identifier of a timing endpoint (register D input or primary output).
+    EndpointId,
+    "e"
+);
+id_type!(
+    /// Identifier of a timing startpoint (register Q output or primary input).
+    StartpointId,
+    "s"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let id = CellId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn debug_and_display_are_prefixed() {
+        assert_eq!(format!("{:?}", NetId::new(7)), "n7");
+        assert_eq!(format!("{}", EndpointId::new(3)), "e3");
+        assert_eq!(format!("{}", StartpointId::new(1)), "s1");
+        assert_eq!(format!("{}", LibCellId::new(9)), "L9");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(CellId::new(1) < CellId::new(2));
+        assert_eq!(CellId::new(5), CellId::new(5));
+    }
+}

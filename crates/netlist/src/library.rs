@@ -1,0 +1,411 @@
+//! Technology libraries: per-gate timing, capacitance, and power data.
+//!
+//! Three technology flavours are provided, loosely mirroring the 5 nm, 7 nm,
+//! and 12 nm nodes of the paper's benchmark suite. Absolute numbers are
+//! synthetic but internally consistent: finer nodes are faster, have lower
+//! capacitance, and leak relatively more.
+
+use crate::cell::{Drive, GateKind};
+use crate::ids::LibCellId;
+
+/// Technology node flavour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TechNode {
+    /// 5 nm-flavoured scaling.
+    N5,
+    /// 7 nm-flavoured scaling.
+    N7,
+    /// 12 nm-flavoured scaling.
+    N12,
+}
+
+impl TechNode {
+    /// Display name ("5nm", ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            TechNode::N5 => "5nm",
+            TechNode::N7 => "7nm",
+            TechNode::N12 => "12nm",
+        }
+    }
+
+    /// Delay scale relative to the 7 nm baseline.
+    fn delay_scale(self) -> f32 {
+        match self {
+            TechNode::N5 => 0.8,
+            TechNode::N7 => 1.0,
+            TechNode::N12 => 1.45,
+        }
+    }
+
+    /// Capacitance scale relative to the 7 nm baseline.
+    fn cap_scale(self) -> f32 {
+        match self {
+            TechNode::N5 => 0.85,
+            TechNode::N7 => 1.0,
+            TechNode::N12 => 1.35,
+        }
+    }
+
+    /// Leakage scale relative to the 7 nm baseline.
+    fn leakage_scale(self) -> f32 {
+        match self {
+            TechNode::N5 => 1.6,
+            TechNode::N7 => 1.0,
+            TechNode::N12 => 0.5,
+        }
+    }
+}
+
+/// Interconnect parasitics for a technology.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WireModel {
+    /// Wire capacitance per µm of Manhattan length, in fF/µm.
+    pub cap_per_um: f32,
+    /// Wire resistance per µm, in (ps/fF)/µm (Elmore-style units).
+    pub res_per_um: f32,
+}
+
+impl WireModel {
+    /// Lumped Elmore-style wire delay for a segment of `len` µm loaded by
+    /// `load_cap` fF at the far end, in ps.
+    pub fn delay(&self, len: f32, load_cap: f32) -> f32 {
+        let wire_cap = self.cap_per_um * len;
+        self.res_per_um * len * (0.5 * wire_cap + load_cap)
+    }
+
+    /// Total wire capacitance of a segment, in fF.
+    pub fn cap(&self, len: f32) -> f32 {
+        self.cap_per_um * len
+    }
+}
+
+/// One library cell: a gate function at a drive strength, with timing,
+/// capacitance, and power data.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LibCell {
+    /// Gate function.
+    pub kind: GateKind,
+    /// Drive strength.
+    pub drive: Drive,
+    /// Intrinsic (no-load) delay in ps. For a DFF this is the clk→Q delay.
+    pub intrinsic: f32,
+    /// Output resistance in ps/fF: delay grows by `resistance * load`.
+    pub resistance: f32,
+    /// Input pin capacitance in fF (per pin; pin asymmetry is modeled in the
+    /// delay calculation, not in the capacitance).
+    pub input_cap: f32,
+    /// Internal (short-circuit + CLK) energy per output toggle, in fJ.
+    pub internal_energy: f32,
+    /// Leakage power in nW.
+    pub leakage: f32,
+    /// Maximum load this cell should drive, in fF.
+    pub max_load: f32,
+    /// Output slew resistance in ps/fF: output transition is
+    /// `slew_intrinsic + slew_resistance * load`.
+    pub slew_resistance: f32,
+    /// Intrinsic output slew in ps.
+    pub slew_intrinsic: f32,
+    /// Register setup time in ps (DFF only, 0 otherwise).
+    pub setup: f32,
+    /// Register hold time in ps (DFF only, 0 otherwise).
+    pub hold: f32,
+}
+
+impl LibCell {
+    /// Full library name, e.g. "NAND2_X4".
+    pub fn name(&self) -> String {
+        format!("{}_{}", self.kind.name(), self.drive)
+    }
+}
+
+/// A complete technology library: all gate functions at all drive strengths,
+/// plus the interconnect model.
+#[derive(Clone, Debug)]
+pub struct Library {
+    tech: TechNode,
+    cells: Vec<LibCell>,
+    /// `variants[kind_rank][drive_rank]` → LibCellId.
+    variants: Vec<[LibCellId; 4]>,
+    wire: WireModel,
+    /// Supply voltage in volts (used by the power model).
+    vdd: f32,
+    /// Sensitivity of delay to input slew (dimensionless fraction of slew
+    /// added to delay).
+    slew_to_delay: f32,
+    /// Extra delay fraction per input pin index (pin 0 is fastest).
+    pin_asymmetry: f32,
+}
+
+fn kind_rank(kind: GateKind) -> usize {
+    match kind {
+        GateKind::Input => 0,
+        GateKind::Output => 1,
+        GateKind::Dff => 2,
+        GateKind::Buf => 3,
+        GateKind::Inv => 4,
+        GateKind::Nand2 => 5,
+        GateKind::Nor2 => 6,
+        GateKind::And2 => 7,
+        GateKind::Or2 => 8,
+        GateKind::Xor2 => 9,
+        GateKind::Aoi21 => 10,
+        GateKind::Oai21 => 11,
+        GateKind::Mux2 => 12,
+    }
+}
+
+const ALL_KINDS: [GateKind; 13] = [
+    GateKind::Input,
+    GateKind::Output,
+    GateKind::Dff,
+    GateKind::Buf,
+    GateKind::Inv,
+    GateKind::Nand2,
+    GateKind::Nor2,
+    GateKind::And2,
+    GateKind::Or2,
+    GateKind::Xor2,
+    GateKind::Aoi21,
+    GateKind::Oai21,
+    GateKind::Mux2,
+];
+
+/// Baseline (7 nm, X1) parameters per gate kind:
+/// (intrinsic ps, resistance ps/fF, input cap fF, internal energy fJ,
+///  leakage nW, slew intrinsic ps, slew resistance ps/fF)
+fn baseline(kind: GateKind) -> (f32, f32, f32, f32, f32, f32, f32) {
+    match kind {
+        GateKind::Input => (0.0, 1.5, 0.0, 0.0, 0.0, 10.0, 1.0),
+        GateKind::Output => (0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0),
+        GateKind::Dff => (42.0, 2.6, 1.2, 2.4, 22.0, 16.0, 1.6),
+        GateKind::Buf => (9.0, 1.9, 0.8, 0.55, 4.0, 9.0, 1.2),
+        GateKind::Inv => (6.0, 1.7, 0.7, 0.38, 3.0, 8.0, 1.1),
+        GateKind::Nand2 => (11.0, 2.2, 1.0, 0.62, 5.5, 11.0, 1.4),
+        GateKind::Nor2 => (13.0, 2.5, 1.0, 0.65, 5.5, 12.0, 1.5),
+        GateKind::And2 => (15.0, 2.1, 1.0, 0.80, 6.5, 11.0, 1.3),
+        GateKind::Or2 => (16.0, 2.3, 1.0, 0.82, 6.5, 12.0, 1.4),
+        GateKind::Xor2 => (22.0, 2.8, 1.4, 1.30, 9.0, 14.0, 1.7),
+        GateKind::Aoi21 => (17.0, 2.6, 1.1, 0.95, 7.5, 13.0, 1.6),
+        GateKind::Oai21 => (18.0, 2.7, 1.1, 0.97, 7.5, 13.0, 1.6),
+        GateKind::Mux2 => (20.0, 2.6, 1.2, 1.10, 8.5, 13.0, 1.6),
+    }
+}
+
+impl Library {
+    /// Builds the full library for a technology node.
+    pub fn new(tech: TechNode) -> Self {
+        let ds = tech.delay_scale();
+        let cs = tech.cap_scale();
+        let ls = tech.leakage_scale();
+        let mut cells = Vec::new();
+        let mut variants = vec![[LibCellId::new(0); 4]; ALL_KINDS.len()];
+        for kind in ALL_KINDS {
+            let (t0, r0, c0, e0, l0, s0, sr0) = baseline(kind);
+            for drive in Drive::all() {
+                let m = drive.multiplier();
+                let id = LibCellId::new(cells.len());
+                variants[kind_rank(kind)][drive.rank()] = id;
+                cells.push(LibCell {
+                    kind,
+                    drive,
+                    // Stronger drives: slightly higher intrinsic delay, much
+                    // lower resistance, larger input cap and power.
+                    intrinsic: t0 * ds * (1.0 + 0.06 * (m - 1.0).ln_1p()),
+                    resistance: r0 * ds / m,
+                    input_cap: c0 * cs * (0.55 + 0.45 * m),
+                    internal_energy: e0 * cs * (0.5 + 0.5 * m),
+                    leakage: l0 * ls * m,
+                    max_load: 16.0 * cs * m,
+                    slew_resistance: sr0 * ds / m,
+                    slew_intrinsic: s0 * ds,
+                    setup: if kind == GateKind::Dff {
+                        24.0 * ds
+                    } else {
+                        0.0
+                    },
+                    hold: if kind == GateKind::Dff { 5.0 * ds } else { 0.0 },
+                });
+            }
+        }
+        let wire = match tech {
+            TechNode::N5 => WireModel {
+                cap_per_um: 0.18,
+                res_per_um: 0.065,
+            },
+            TechNode::N7 => WireModel {
+                cap_per_um: 0.20,
+                res_per_um: 0.050,
+            },
+            TechNode::N12 => WireModel {
+                cap_per_um: 0.24,
+                res_per_um: 0.034,
+            },
+        };
+        Self {
+            tech,
+            cells,
+            variants,
+            wire,
+            vdd: match tech {
+                TechNode::N5 => 0.65,
+                TechNode::N7 => 0.70,
+                TechNode::N12 => 0.80,
+            },
+            slew_to_delay: 0.18,
+            pin_asymmetry: 0.07,
+        }
+    }
+
+    /// The technology node of this library.
+    pub fn tech(&self) -> TechNode {
+        self.tech
+    }
+
+    /// Interconnect model.
+    pub fn wire(&self) -> &WireModel {
+        &self.wire
+    }
+
+    /// Supply voltage in volts.
+    pub fn vdd(&self) -> f32 {
+        self.vdd
+    }
+
+    /// Fraction of input slew added to cell delay.
+    pub fn slew_to_delay(&self) -> f32 {
+        self.slew_to_delay
+    }
+
+    /// Extra delay fraction per input pin index (pin swapping exploits this).
+    pub fn pin_asymmetry(&self) -> f32 {
+        self.pin_asymmetry
+    }
+
+    /// Looks up a library cell by id.
+    pub fn cell(&self, id: LibCellId) -> &LibCell {
+        &self.cells[id.index()]
+    }
+
+    /// Number of library cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the library is empty (never true for a built library).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The library cell implementing `kind` at `drive`.
+    pub fn variant(&self, kind: GateKind, drive: Drive) -> LibCellId {
+        self.variants[kind_rank(kind)][drive.rank()]
+    }
+
+    /// The next-stronger variant of `id`, if one exists.
+    pub fn upsize(&self, id: LibCellId) -> Option<LibCellId> {
+        let c = self.cell(id);
+        c.drive.upsized().map(|d| self.variant(c.kind, d))
+    }
+
+    /// The next-weaker variant of `id`, if one exists.
+    pub fn downsize(&self, id: LibCellId) -> Option<LibCellId> {
+        let c = self.cell(id);
+        c.drive.downsized().map(|d| self.variant(c.kind, d))
+    }
+
+    /// Iterates over all library cells with their ids.
+    pub fn iter(&self) -> impl Iterator<Item = (LibCellId, &LibCell)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (LibCellId::new(i), c))
+    }
+
+    /// Looks up a library cell by its full name ("NAND2_X4").
+    pub fn find(&self, name: &str) -> Option<LibCellId> {
+        self.iter()
+            .find(|(_, c)| c.name() == name)
+            .map(|(id, _)| id)
+    }
+
+    /// Parses a technology node from its display name ("7nm").
+    pub fn parse_tech(name: &str) -> Option<TechNode> {
+        match name {
+            "5nm" => Some(TechNode::N5),
+            "7nm" => Some(TechNode::N7),
+            "12nm" => Some(TechNode::N12),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_cover_all_kinds_and_drives() {
+        let lib = Library::new(TechNode::N7);
+        for kind in ALL_KINDS {
+            for drive in Drive::all() {
+                let id = lib.variant(kind, drive);
+                let c = lib.cell(id);
+                assert_eq!(c.kind, kind);
+                assert_eq!(c.drive, drive);
+            }
+        }
+        assert_eq!(lib.len(), ALL_KINDS.len() * 4);
+        assert!(!lib.is_empty());
+    }
+
+    #[test]
+    fn upsizing_reduces_resistance_and_raises_cap() {
+        let lib = Library::new(TechNode::N7);
+        let x1 = lib.variant(GateKind::Nand2, Drive::X1);
+        let x2 = lib.upsize(x1).expect("x2 exists");
+        assert!(lib.cell(x2).resistance < lib.cell(x1).resistance);
+        assert!(lib.cell(x2).input_cap > lib.cell(x1).input_cap);
+        assert!(lib.cell(x2).leakage > lib.cell(x1).leakage);
+        let x8 = lib.variant(GateKind::Nand2, Drive::X8);
+        assert!(lib.upsize(x8).is_none());
+        assert_eq!(lib.downsize(x2), Some(x1));
+    }
+
+    #[test]
+    fn finer_nodes_are_faster_and_leakier() {
+        let n5 = Library::new(TechNode::N5);
+        let n12 = Library::new(TechNode::N12);
+        let k = GateKind::Inv;
+        let d = Drive::X1;
+        assert!(n5.cell(n5.variant(k, d)).intrinsic < n12.cell(n12.variant(k, d)).intrinsic);
+        assert!(n5.cell(n5.variant(k, d)).leakage > n12.cell(n12.variant(k, d)).leakage);
+        assert_eq!(n5.tech().name(), "5nm");
+    }
+
+    #[test]
+    fn dff_has_setup_hold_and_combs_do_not() {
+        let lib = Library::new(TechNode::N12);
+        let dff = lib.cell(lib.variant(GateKind::Dff, Drive::X2));
+        assert!(dff.setup > 0.0 && dff.hold > 0.0);
+        let inv = lib.cell(lib.variant(GateKind::Inv, Drive::X2));
+        assert_eq!(inv.setup, 0.0);
+        assert_eq!(inv.hold, 0.0);
+    }
+
+    #[test]
+    fn wire_delay_grows_with_length_and_load() {
+        let lib = Library::new(TechNode::N7);
+        let w = lib.wire();
+        assert!(w.delay(100.0, 2.0) > w.delay(10.0, 2.0));
+        assert!(w.delay(50.0, 8.0) > w.delay(50.0, 1.0));
+        assert!((w.cap(10.0) - 10.0 * w.cap_per_um).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lib_cell_names() {
+        let lib = Library::new(TechNode::N7);
+        let id = lib.variant(GateKind::Aoi21, Drive::X4);
+        assert_eq!(lib.cell(id).name(), "AOI21_X4");
+    }
+}

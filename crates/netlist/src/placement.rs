@@ -1,0 +1,160 @@
+//! Placement utilities: wirelength metrics and placement refinement.
+//!
+//! The synthetic generator assigns region-clustered locations directly; this
+//! module provides the metrics (HPWL) used throughout the flow, plus a
+//! deterministic force-directed refinement pass and the small legalization
+//! jitter applied at the end of placement optimization.
+
+use crate::cell::Point;
+use crate::graph::Netlist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Total half-perimeter wirelength of the design, in µm.
+pub fn total_hpwl(netlist: &Netlist) -> f64 {
+    netlist.net_ids().map(|n| netlist.net_hpwl(n) as f64).sum()
+}
+
+/// Bounding box of all cell locations: `(min, max)`.
+pub fn bounding_box(netlist: &Netlist) -> (Point, Point) {
+    let mut min = Point::new(f32::INFINITY, f32::INFINITY);
+    let mut max = Point::new(f32::NEG_INFINITY, f32::NEG_INFINITY);
+    for id in netlist.cell_ids() {
+        let p = netlist.cell(id).loc;
+        min.x = min.x.min(p.x);
+        min.y = min.y.min(p.y);
+        max.x = max.x.max(p.x);
+        max.y = max.y.max(p.y);
+    }
+    (min, max)
+}
+
+/// One sweep of force-directed refinement: moves each combinational cell a
+/// fraction `alpha` of the way towards the centroid of its connected cells.
+/// Ports and registers stay fixed (they anchor the clusters). Returns the
+/// HPWL after the sweep.
+pub fn refine_step(netlist: &mut Netlist, alpha: f32) -> f64 {
+    let n = netlist.cell_count();
+    let mut sum = vec![Point::default(); n];
+    let mut cnt = vec![0u32; n];
+    for net_id in netlist.net_ids() {
+        let net = netlist.net(net_id);
+        let dp = netlist.cell(net.driver).loc;
+        for &(sink, _) in &net.sinks {
+            let sp = netlist.cell(sink).loc;
+            sum[net.driver.index()].x += sp.x;
+            sum[net.driver.index()].y += sp.y;
+            cnt[net.driver.index()] += 1;
+            sum[sink.index()].x += dp.x;
+            sum[sink.index()].y += dp.y;
+            cnt[sink.index()] += 1;
+        }
+    }
+    let moves: Vec<(usize, Point)> = netlist
+        .cell_ids()
+        .filter(|&id| netlist.kind(id).is_combinational() && cnt[id.index()] > 0)
+        .map(|id| {
+            let i = id.index();
+            let c = cnt[i] as f32;
+            let centroid = Point::new(sum[i].x / c, sum[i].y / c);
+            let cur = netlist.cell(id).loc;
+            (
+                i,
+                Point::new(
+                    cur.x + alpha * (centroid.x - cur.x),
+                    cur.y + alpha * (centroid.y - cur.y),
+                ),
+            )
+        })
+        .collect();
+    for (i, p) in moves {
+        set_loc(netlist, i, p);
+    }
+    total_hpwl(netlist)
+}
+
+/// Legalization jitter: displaces every combinational cell by a small
+/// uniform offset up to `max_disp` µm, modeling the cell spreading done by
+/// legalization after optimization. Deterministic given `seed`.
+pub fn legalize_jitter(netlist: &mut Netlist, max_disp: f32, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ids: Vec<usize> = netlist
+        .cell_ids()
+        .filter(|&id| netlist.kind(id).is_combinational())
+        .map(|id| id.index())
+        .collect();
+    for i in ids {
+        let loc = current_loc(netlist, i);
+        let dx = rng.gen_range(-max_disp..=max_disp);
+        let dy = rng.gen_range(-max_disp..=max_disp);
+        set_loc(netlist, i, Point::new(loc.x + dx, loc.y + dy));
+    }
+}
+
+fn current_loc(netlist: &Netlist, index: usize) -> Point {
+    netlist.cell(crate::ids::CellId::new(index)).loc
+}
+
+fn set_loc(netlist: &mut Netlist, index: usize, p: Point) {
+    netlist.set_location(crate::ids::CellId::new(index), p);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::cell::{Drive, GateKind};
+    use crate::library::{Library, TechNode};
+
+    fn spread() -> Netlist {
+        let mut b = NetlistBuilder::new("spread", Library::new(TechNode::N7));
+        let pi = b.input(Point::new(0.0, 0.0));
+        let f = b.flop(Drive::X1, Point::new(100.0, 0.0));
+        // A gate placed far from both its neighbours.
+        let g = b.gate(GateKind::Buf, Drive::X1, Point::new(50.0, 200.0));
+        b.drive(pi, g);
+        b.drive(g, f);
+        let po = b.output(Point::new(120.0, 0.0));
+        b.drive(f, po);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn refine_reduces_hpwl() {
+        let mut nl = spread();
+        let before = total_hpwl(&nl);
+        let after = refine_step(&mut nl, 0.5);
+        assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn refine_keeps_anchors_fixed() {
+        let mut nl = spread();
+        let pi_loc = nl.cell(crate::ids::CellId::new(0)).loc;
+        refine_step(&mut nl, 0.9);
+        assert_eq!(nl.cell(crate::ids::CellId::new(0)).loc, pi_loc);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let mut a = spread();
+        let mut b = spread();
+        let before = a.cell(crate::ids::CellId::new(2)).loc;
+        legalize_jitter(&mut a, 2.0, 7);
+        legalize_jitter(&mut b, 2.0, 7);
+        let la = a.cell(crate::ids::CellId::new(2)).loc;
+        let lb = b.cell(crate::ids::CellId::new(2)).loc;
+        assert_eq!(la, lb, "same seed, same jitter");
+        assert!((la.x - before.x).abs() <= 2.0);
+        assert!((la.y - before.y).abs() <= 2.0);
+    }
+
+    #[test]
+    fn bounding_box_spans_cells() {
+        let nl = spread();
+        let (min, max) = bounding_box(&nl);
+        assert!(min.x <= 0.0 && max.x >= 120.0);
+        assert!(min.y <= 0.0 && max.y >= 200.0);
+        assert!(total_hpwl(&nl) > 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Design statistics: composition counts and logic-depth profiling.
+
+use crate::graph::Netlist;
+use crate::power::topological_comb;
+use std::fmt;
+
+/// Summary statistics of a netlist.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DesignStats {
+    /// Total cell count including ports.
+    pub cells: usize,
+    /// Combinational gate count.
+    pub gates: usize,
+    /// Flip-flop count.
+    pub flops: usize,
+    /// Primary input count.
+    pub inputs: usize,
+    /// Primary output count.
+    pub outputs: usize,
+    /// Net count.
+    pub nets: usize,
+    /// Timing endpoint count.
+    pub endpoints: usize,
+    /// Maximum combinational logic depth (in gates).
+    pub max_depth: usize,
+    /// Average fanout over driven nets.
+    pub avg_fanout: f32,
+}
+
+impl DesignStats {
+    /// Computes statistics for `netlist`.
+    pub fn of(netlist: &Netlist) -> Self {
+        use crate::cell::GateKind;
+        let mut gates = 0;
+        let mut inputs = 0;
+        let mut outputs = 0;
+        for id in netlist.cell_ids() {
+            match netlist.kind(id) {
+                GateKind::Input => inputs += 1,
+                GateKind::Output => outputs += 1,
+                GateKind::Dff => {}
+                _ => gates += 1,
+            }
+        }
+        // Depth via topological sweep.
+        let mut depth = vec![0u32; netlist.cell_count()];
+        let mut max_depth = 0usize;
+        for id in topological_comb(netlist) {
+            let d = netlist
+                .cell(id)
+                .inputs
+                .iter()
+                .map(|&n| {
+                    let drv = netlist.net(n).driver;
+                    if netlist.kind(drv).is_combinational() {
+                        depth[drv.index()] + 1
+                    } else {
+                        1
+                    }
+                })
+                .max()
+                .unwrap_or(1);
+            depth[id.index()] = d;
+            max_depth = max_depth.max(d as usize);
+        }
+        let total_sinks: usize = netlist.net_ids().map(|n| netlist.net(n).sinks.len()).sum();
+        Self {
+            cells: netlist.cell_count(),
+            gates,
+            flops: netlist.flops().len(),
+            inputs,
+            outputs,
+            nets: netlist.net_count(),
+            endpoints: netlist.endpoints().len(),
+            max_depth,
+            avg_fanout: total_sinks as f32 / netlist.net_count().max(1) as f32,
+        }
+    }
+}
+
+impl fmt::Display for DesignStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cells ({} gates, {} flops, {} PI, {} PO), {} nets, {} endpoints, depth {}, fanout {:.2}",
+            self.cells,
+            self.gates,
+            self.flops,
+            self.inputs,
+            self.outputs,
+            self.nets,
+            self.endpoints,
+            self.max_depth,
+            self.avg_fanout
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, DesignSpec};
+    use crate::library::TechNode;
+
+    #[test]
+    fn stats_are_consistent_with_netlist() {
+        let d = generate(&DesignSpec::new("s", 500, TechNode::N7, 3));
+        let s = DesignStats::of(&d.netlist);
+        assert_eq!(s.cells, d.netlist.cell_count());
+        assert_eq!(s.flops, d.netlist.flops().len());
+        assert_eq!(s.endpoints, d.netlist.endpoints().len());
+        assert_eq!(s.gates + s.flops + s.inputs + s.outputs, s.cells);
+        assert!(s.max_depth >= 2);
+        assert!(s.avg_fanout >= 1.0);
+        let text = s.to_string();
+        assert!(text.contains("cells") && text.contains("depth"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Netlist → GNN message-passing graph transformation.
+//!
+//! Following the netlist transformation of Lu & Lim (ICCAD'22) referenced by
+//! the paper, each net is expanded into driver↔sink message-passing edges
+//! (a "star" expansion), made undirected and deduplicated. The result is a
+//! CSR adjacency over cells, plus the mean-normalization used by EP-GNN's
+//! neighbourhood aggregation (Eq. 2).
+
+use crate::graph::Netlist;
+use crate::ids::CellId;
+
+/// Compressed-sparse-row adjacency over netlist cells.
+///
+/// Row `v` lists the message-passing neighbours `N(v)`. The matching
+/// `weights` hold `1/|N(v)|` per entry, so multiplying feature rows by this
+/// matrix computes the mean-aggregation of Eq. 2 directly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Adjacency {
+    indptr: Vec<u32>,
+    indices: Vec<u32>,
+    weights: Vec<f32>,
+}
+
+impl Adjacency {
+    /// Number of nodes (rows).
+    pub fn node_count(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Total number of directed edges stored.
+    pub fn edge_count(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Neighbour ids of node `v`.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        let (s, e) = (self.indptr[v] as usize, self.indptr[v + 1] as usize);
+        &self.indices[s..e]
+    }
+
+    /// Mean-normalization weights aligned with [`Adjacency::neighbors`].
+    pub fn weights_of(&self, v: usize) -> &[f32] {
+        let (s, e) = (self.indptr[v] as usize, self.indptr[v + 1] as usize);
+        &self.weights[s..e]
+    }
+
+    /// Raw CSR parts `(indptr, indices, weights)`, for conversion into a
+    /// sparse-tensor type.
+    pub fn as_csr(&self) -> (&[u32], &[u32], &[f32]) {
+        (&self.indptr, &self.indices, &self.weights)
+    }
+
+    /// Degree of node `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        (self.indptr[v + 1] - self.indptr[v]) as usize
+    }
+}
+
+/// Builds the undirected message-passing adjacency for `netlist`.
+///
+/// Every net contributes edges between its driver and each sink, in both
+/// directions. Nets with more than `fanout_cap` sinks only contribute the
+/// first `fanout_cap` (high-fanout nets such as resets would otherwise
+/// dominate message passing); pass `usize::MAX` to disable the cap.
+pub fn message_graph(netlist: &Netlist, fanout_cap: usize) -> Adjacency {
+    let n = netlist.cell_count();
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    for net_id in netlist.net_ids() {
+        let net = netlist.net(net_id);
+        let d = net.driver.index() as u32;
+        for &(sink, _) in net.sinks.iter().take(fanout_cap) {
+            let s = sink.index() as u32;
+            if s != d {
+                pairs.push((d, s));
+                pairs.push((s, d));
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    let mut indptr = vec![0u32; n + 1];
+    for &(from, _) in &pairs {
+        indptr[from as usize + 1] += 1;
+    }
+    for v in 0..n {
+        indptr[v + 1] += indptr[v];
+    }
+    let indices: Vec<u32> = pairs.iter().map(|&(_, to)| to).collect();
+    let mut weights = vec![0.0f32; indices.len()];
+    for v in 0..n {
+        let (s, e) = (indptr[v] as usize, indptr[v + 1] as usize);
+        let deg = (e - s).max(1) as f32;
+        for w in &mut weights[s..e] {
+            *w = 1.0 / deg;
+        }
+    }
+    Adjacency {
+        indptr,
+        indices,
+        weights,
+    }
+}
+
+/// Builds a CSR selection-plus-cone matrix for EP-GNN's readout (Eq. 3):
+/// row `i` (one per endpoint in `endpoint_cells`/`cones`) has weight 1.0 on
+/// the endpoint's own cell and on every cell of its fan-in cone, so
+/// `M · F` computes `f_e + Σ_{j∈cone(e)} f_j` in one sparse product.
+pub fn cone_readout(
+    node_count: usize,
+    endpoint_cells: &[CellId],
+    cones: &[crate::cone::Cone],
+) -> Adjacency {
+    assert_eq!(endpoint_cells.len(), cones.len());
+    let mut indptr = vec![0u32; endpoint_cells.len() + 1];
+    let mut indices = Vec::new();
+    for (i, (&cell, cone)) in endpoint_cells.iter().zip(cones).enumerate() {
+        indices.push(cell.index() as u32);
+        for &c in cone.cells() {
+            debug_assert!(c.index() < node_count);
+            if c != cell {
+                indices.push(c.index() as u32);
+            }
+        }
+        indptr[i + 1] = indices.len() as u32;
+    }
+    let weights = vec![1.0f32; indices.len()];
+    Adjacency {
+        indptr,
+        indices,
+        weights,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::cell::{Drive, GateKind, Point};
+    use crate::cone::fanin_cone;
+    use crate::library::{Library, TechNode};
+
+    fn chain() -> Netlist {
+        let mut b = NetlistBuilder::new("chain", Library::new(TechNode::N7));
+        let pi = b.input(Point::default());
+        let g1 = b.gate(GateKind::Inv, Drive::X1, Point::new(1.0, 0.0));
+        let g2 = b.gate(GateKind::Buf, Drive::X1, Point::new(2.0, 0.0));
+        let f = b.flop(Drive::X1, Point::new(3.0, 0.0));
+        let po = b.output(Point::new(4.0, 0.0));
+        b.drive(pi, g1);
+        b.drive(g1, g2);
+        b.drive(g2, f);
+        b.drive(f, po);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn star_expansion_is_symmetric() {
+        let nl = chain();
+        let adj = message_graph(&nl, usize::MAX);
+        assert_eq!(adj.node_count(), nl.cell_count());
+        // Undirected: every edge appears in both directions.
+        for v in 0..adj.node_count() {
+            for &u in adj.neighbors(v) {
+                assert!(
+                    adj.neighbors(u as usize).contains(&(v as u32)),
+                    "edge {v}->{u} missing reverse"
+                );
+            }
+        }
+        // pi-g1, g1-g2, g2-f, f-po → 4 undirected edges → 8 directed.
+        assert_eq!(adj.edge_count(), 8);
+    }
+
+    #[test]
+    fn weights_are_mean_normalized() {
+        let nl = chain();
+        let adj = message_graph(&nl, usize::MAX);
+        for v in 0..adj.node_count() {
+            let ws = adj.weights_of(v);
+            if !ws.is_empty() {
+                let sum: f32 = ws.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-6, "row {v} sums to {sum}");
+                assert_eq!(ws.len(), adj.degree(v));
+            }
+        }
+    }
+
+    #[test]
+    fn fanout_cap_limits_edges() {
+        // One driver with 5 sinks.
+        let mut b = NetlistBuilder::new("fan", Library::new(TechNode::N7));
+        let pi = b.input(Point::default());
+        for i in 0..5 {
+            let g = b.gate(GateKind::Inv, Drive::X1, Point::new(i as f32, 0.0));
+            b.drive(pi, g);
+            let po = b.output(Point::new(i as f32, 1.0));
+            b.drive(g, po);
+        }
+        let nl = b.finish().expect("valid");
+        let full = message_graph(&nl, usize::MAX);
+        let capped = message_graph(&nl, 2);
+        assert!(capped.edge_count() < full.edge_count());
+        assert_eq!(capped.degree(pi.index()), 2);
+    }
+
+    #[test]
+    fn cone_readout_includes_endpoint_and_cone() {
+        let nl = chain();
+        let ep = nl.endpoints()[0];
+        let cone = fanin_cone(&nl, ep);
+        let m = cone_readout(nl.cell_count(), &[ep.cell()], std::slice::from_ref(&cone));
+        assert_eq!(m.node_count(), 1);
+        let row = m.neighbors(0);
+        assert!(row.contains(&(ep.cell().index() as u32)));
+        for &c in cone.cells() {
+            assert!(row.contains(&(c.index() as u32)));
+        }
+        assert!(m.weights_of(0).iter().all(|&w| w == 1.0));
+    }
+}

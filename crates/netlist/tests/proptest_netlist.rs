@@ -1,0 +1,151 @@
+//! Property-based tests of the netlist substrate: the generator must emit
+//! structurally-valid, deterministic designs for *any* sane spec, and the
+//! analyses (cones, overlap, message graph) must uphold their invariants.
+
+use proptest::prelude::*;
+use rl_ccd_netlist::{
+    fanin_cone, generate, message_graph, ConeSet, DesignSpec, EndpointId, TechNode,
+};
+
+fn arb_tech() -> impl Strategy<Value = TechNode> {
+    prop_oneof![Just(TechNode::N5), Just(TechNode::N7), Just(TechNode::N12)]
+}
+
+fn arb_spec() -> impl Strategy<Value = DesignSpec> {
+    (
+        200usize..1200,
+        arb_tech(),
+        0u64..1000,
+        0.05f32..0.5,
+        0.0f32..0.45,
+        0.0f32..0.45,
+        3usize..10,
+    )
+        .prop_map(|(cells, tech, seed, viol, deep, chain, depth)| {
+            let mut spec = DesignSpec::new("prop", cells, tech, seed);
+            spec.viol_frac = viol;
+            spec.deep_frac = deep;
+            spec.chain_frac = chain;
+            spec.base_depth = depth;
+            spec
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generator_always_produces_valid_netlists(spec in arb_spec()) {
+        let d = generate(&spec);
+        prop_assert!(d.netlist.check().is_empty(), "{:?}", d.netlist.check());
+        prop_assert!(d.period_ps > 0.0 && d.period_ps.is_finite());
+        prop_assert_eq!(d.endpoint_class.len(), d.netlist.endpoints().len());
+        prop_assert!(!d.netlist.flops().is_empty());
+        // Every flop has exactly one data input and an output net.
+        for &f in d.netlist.flops() {
+            prop_assert_eq!(d.netlist.cell(f).inputs.len(), 1);
+            prop_assert!(d.netlist.cell(f).output.is_some());
+        }
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_the_spec(spec in arb_spec()) {
+        let a = generate(&spec);
+        let b = generate(&spec);
+        prop_assert_eq!(a.netlist.cell_count(), b.netlist.cell_count());
+        prop_assert_eq!(a.netlist.net_count(), b.netlist.net_count());
+        prop_assert_eq!(a.period_ps, b.period_ps);
+        prop_assert_eq!(a.endpoint_class, b.endpoint_class);
+    }
+
+    #[test]
+    fn cone_overlap_ratios_are_well_formed(seed in 0u64..500) {
+        let d = generate(&DesignSpec::new("cone", 500, TechNode::N7, seed));
+        let eps: Vec<EndpointId> = (0..d.netlist.endpoints().len().min(40))
+            .map(EndpointId::new)
+            .collect();
+        let cones = ConeSet::new(&d.netlist, &eps);
+        for a in 0..cones.len() {
+            for b in 0..cones.len() {
+                let r = cones.overlap_ratio(a, b);
+                prop_assert!((0.0..=1.0).contains(&r), "ratio {r} out of range");
+            }
+            // Self-overlap of a non-empty cone is 1.
+            if !cones.cone(a).is_empty() {
+                prop_assert_eq!(cones.overlap_ratio(a, a), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn cones_contain_only_combinational_cells(seed in 0u64..500) {
+        let d = generate(&DesignSpec::new("cone2", 400, TechNode::N12, seed));
+        for ep in d.netlist.endpoints().iter().take(30) {
+            let cone = fanin_cone(&d.netlist, *ep);
+            for &c in cone.cells() {
+                prop_assert!(d.netlist.kind(c).is_combinational());
+            }
+        }
+    }
+
+    #[test]
+    fn message_graph_is_symmetric_and_normalized(seed in 0u64..500, cap in 2usize..64) {
+        let d = generate(&DesignSpec::new("mg", 400, TechNode::N7, seed));
+        let adj = message_graph(&d.netlist, cap);
+        prop_assert_eq!(adj.node_count(), d.netlist.cell_count());
+        for v in 0..adj.node_count() {
+            let w: f32 = adj.weights_of(v).iter().sum();
+            if adj.degree(v) > 0 {
+                prop_assert!((w - 1.0).abs() < 1e-5);
+            }
+            // Undirected: every edge has its reverse.
+            for &u in adj.neighbors(v) {
+                prop_assert!(
+                    adj.neighbors(u as usize).contains(&(v as u32)),
+                    "edge {v}->{u} missing reverse"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn serialization_roundtrips_any_generated_design(spec in arb_spec()) {
+        let d = generate(&spec);
+        let mut buf = Vec::new();
+        rl_ccd_netlist::write_netlist(&d.netlist, &mut buf).expect("write to memory");
+        let loaded = rl_ccd_netlist::read_netlist(&buf[..]).expect("parse back");
+        prop_assert_eq!(loaded.cell_count(), d.netlist.cell_count());
+        prop_assert_eq!(loaded.net_count(), d.netlist.net_count());
+        prop_assert_eq!(loaded.flops().len(), d.netlist.flops().len());
+        // Spot-check structural identity on a sample of cells.
+        for i in (0..d.netlist.cell_count()).step_by(17) {
+            let id = rl_ccd_netlist::CellId::new(i);
+            prop_assert_eq!(loaded.cell(id), d.netlist.cell(id));
+        }
+    }
+
+    #[test]
+    fn verilog_export_is_wellformed_for_any_design(spec in arb_spec()) {
+        let d = generate(&spec);
+        let mut buf = Vec::new();
+        rl_ccd_netlist::write_verilog(&d.netlist, &mut buf).expect("write to memory");
+        let text = String::from_utf8(buf).expect("utf8");
+        prop_assert!(text.contains("module "));
+        prop_assert!(text.trim_end().ends_with("endmodule"));
+        // Instance count matches non-port cells.
+        let ports = d
+            .netlist
+            .cell_ids()
+            .filter(|&c| !matches!(
+                d.netlist.kind(c),
+                rl_ccd_netlist::GateKind::Input | rl_ccd_netlist::GateKind::Output
+            ))
+            .count();
+        let instances = text.lines().filter(|l| l.trim_start().starts_with(|c: char| c.is_ascii_uppercase())).count();
+        prop_assert_eq!(instances, ports);
+    }
+}

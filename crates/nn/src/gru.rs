@@ -1,0 +1,167 @@
+//! GRU cell — the lighter recurrent alternative to [`crate::LstmCell`],
+//! used by the encoder-architecture ablation.
+
+use crate::init::xavier;
+use crate::module::{ParamBinding, ParamSet};
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+const GATES: [&str; 3] = ["r", "z", "n"];
+
+/// One GRU cell with input width `in_dim` and state width `hidden`.
+///
+/// Parameters: `"{name}.wx_{g}"`, `"{name}.wh_{g}"`, `"{name}.b_{g}"` for
+/// gates `r` (reset), `z` (update), `n` (candidate).
+#[derive(Clone, Debug)]
+pub struct GruCell {
+    name: String,
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl GruCell {
+    /// Creates the cell and registers freshly-initialized parameters.
+    pub fn init(
+        name: impl Into<String>,
+        in_dim: usize,
+        hidden: usize,
+        params: &mut ParamSet,
+        rng: &mut StdRng,
+    ) -> Self {
+        let name = name.into();
+        for g in GATES {
+            params.insert(format!("{name}.wx_{g}"), xavier(in_dim, hidden, rng));
+            params.insert(format!("{name}.wh_{g}"), xavier(hidden, hidden, rng));
+            params.insert(format!("{name}.b_{g}"), Tensor::zeros(1, hidden));
+        }
+        Self {
+            name,
+            in_dim,
+            hidden,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Hidden width.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Zero initial hidden state.
+    pub fn zero_state(&self, tape: &mut Tape) -> Var {
+        tape.leaf(Tensor::zeros(1, self.hidden))
+    }
+
+    fn gate_pre(&self, tape: &mut Tape, binding: &ParamBinding, g: &str, x: Var, h: Var) -> Var {
+        let wx = binding.var(&format!("{}.wx_{g}", self.name));
+        let wh = binding.var(&format!("{}.wh_{g}", self.name));
+        let b = binding.var(&format!("{}.b_{g}", self.name));
+        let xs = tape.matmul(x, wx);
+        let hs = tape.matmul(h, wh);
+        let s = tape.add(xs, hs);
+        tape.add_row(s, b)
+    }
+
+    /// One recurrence step: `h' = (1−z)⊙n + z⊙h`.
+    pub fn step(&self, tape: &mut Tape, binding: &ParamBinding, x: Var, h: Var) -> Var {
+        let r_pre = self.gate_pre(tape, binding, "r", x, h);
+        let r = tape.sigmoid(r_pre);
+        let z_pre = self.gate_pre(tape, binding, "z", x, h);
+        let z = tape.sigmoid(z_pre);
+        // Candidate uses the reset-gated hidden state.
+        let rh = tape.mul(r, h);
+        let wx = binding.var(&format!("{}.wx_n", self.name));
+        let wh = binding.var(&format!("{}.wh_n", self.name));
+        let b = binding.var(&format!("{}.b_n", self.name));
+        let xs = tape.matmul(x, wx);
+        let hs = tape.matmul(rh, wh);
+        let pre = tape.add(xs, hs);
+        let pre = tape.add_row(pre, b);
+        let n = tape.tanh(pre);
+        // h' = n − z⊙n + z⊙h.
+        let zn = tape.mul(z, n);
+        let neg_zn = tape.scale(zn, -1.0);
+        let zh = tape.mul(z, h);
+        let part = tape.add(n, neg_zn);
+        tape.add(part, zh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::GradSet;
+    use rand::SeedableRng;
+
+    fn build() -> (ParamSet, GruCell) {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut params = ParamSet::new();
+        let cell = GruCell::init("gru", 3, 4, &mut params, &mut rng);
+        (params, cell)
+    }
+
+    #[test]
+    fn state_evolves_and_shapes_hold() {
+        let (params, cell) = build();
+        assert_eq!((cell.in_dim(), cell.hidden()), (3, 4));
+        let mut tape = Tape::new();
+        let binding = params.bind(&mut tape);
+        let h0 = cell.zero_state(&mut tape);
+        let x = tape.leaf(Tensor::from_vec(1, 3, vec![0.5, -1.0, 0.25]));
+        let h1 = cell.step(&mut tape, &binding, x, h0);
+        assert_eq!(tape.value(h1).shape(), (1, 4));
+        assert!(tape.value(h1).norm() > 0.0);
+        let h2 = cell.step(&mut tape, &binding, x, h1);
+        assert_ne!(tape.value(h2).data(), tape.value(h1).data());
+    }
+
+    #[test]
+    fn gradients_flow_through_all_gates() {
+        let (params, cell) = build();
+        let mut tape = Tape::new();
+        let binding = params.bind(&mut tape);
+        let mut h = cell.zero_state(&mut tape);
+        for i in 0..3 {
+            let x = tape.leaf(Tensor::from_vec(1, 3, vec![i as f32 * 0.3, 1.0, -0.5]));
+            h = cell.step(&mut tape, &binding, x, h);
+        }
+        let ones = tape.leaf(Tensor::from_vec(4, 1, vec![1.0; 4]));
+        let loss = tape.matmul(h, ones);
+        let mut grads = tape.backward(loss);
+        let mut gs = GradSet::new();
+        gs.accumulate(&binding, &mut grads);
+        for g in GATES {
+            assert!(
+                gs.get(&format!("gru.wx_{g}"))
+                    .map(|t| t.norm() > 0.0)
+                    .unwrap_or(false),
+                "gate {g} got no gradient"
+            );
+        }
+    }
+
+    #[test]
+    fn update_gate_interpolates() {
+        // With z forced toward 1 (large bias), h' ≈ h (state preserved).
+        let (mut params, cell) = build();
+        params
+            .get_mut("gru.b_z")
+            .expect("update bias")
+            .data_mut()
+            .iter_mut()
+            .for_each(|v| *v = 50.0);
+        let mut tape = Tape::new();
+        let binding = params.bind(&mut tape);
+        let h0 = tape.leaf(Tensor::from_vec(1, 4, vec![0.3, -0.2, 0.8, -0.9]));
+        let x = tape.leaf(Tensor::from_vec(1, 3, vec![1.0, 1.0, 1.0]));
+        let h1 = cell.step(&mut tape, &binding, x, h0);
+        for i in 0..4 {
+            assert!((tape.value(h1).at(0, i) - tape.value(h0).at(0, i)).abs() < 1e-3);
+        }
+    }
+}

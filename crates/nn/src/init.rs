@@ -1,0 +1,53 @@
+//! Deterministic weight initialization.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialization: `U(−a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Tensor {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    Tensor::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect(),
+    )
+}
+
+/// Uniform initialization in `(−scale, scale)`.
+pub fn uniform(rows: usize, cols: usize, scale: f32, rng: &mut StdRng) -> Tensor {
+    Tensor::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bounds_and_determinism() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let ta = xavier(16, 32, &mut a);
+        let tb = xavier(16, 32, &mut b);
+        assert_eq!(ta, tb);
+        let bound = (6.0 / 48.0f32).sqrt();
+        assert!(ta.data().iter().all(|&v| v.abs() <= bound));
+        // Not all zero.
+        assert!(ta.norm() > 0.0);
+    }
+
+    #[test]
+    fn uniform_respects_scale() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = uniform(4, 4, 0.1, &mut rng);
+        assert!(t.data().iter().all(|&v| v.abs() <= 0.1));
+    }
+}

@@ -1,0 +1,116 @@
+//! Fully-connected layer.
+
+use crate::init::xavier;
+use crate::module::{ParamBinding, ParamSet};
+use crate::tape::{Tape, Var};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// A dense layer `y = x·W + b`, with parameters registered in a [`ParamSet`]
+/// under `"{name}.w"` / `"{name}.b"`.
+#[derive(Clone, Debug)]
+pub struct Linear {
+    name: String,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Creates the layer and registers freshly-initialized parameters.
+    pub fn init(
+        name: impl Into<String>,
+        in_dim: usize,
+        out_dim: usize,
+        params: &mut ParamSet,
+        rng: &mut StdRng,
+    ) -> Self {
+        let name = name.into();
+        params.insert(format!("{name}.w"), xavier(in_dim, out_dim, rng));
+        params.insert(format!("{name}.b"), Tensor::zeros(1, out_dim));
+        Self {
+            name,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Re-attaches to parameters that already exist in a set (e.g. after
+    /// loading from disk).
+    ///
+    /// # Panics
+    /// Panics if the parameters are missing or have the wrong shape.
+    pub fn attach(name: impl Into<String>, params: &ParamSet) -> Self {
+        let name = name.into();
+        let w = params
+            .get(&format!("{name}.w"))
+            .unwrap_or_else(|| panic!("missing parameter {name}.w"));
+        let b = params
+            .get(&format!("{name}.b"))
+            .unwrap_or_else(|| panic!("missing parameter {name}.b"));
+        assert_eq!(b.shape(), (1, w.cols()), "bias shape mismatch for {name}");
+        Self {
+            in_dim: w.rows(),
+            out_dim: w.cols(),
+            name,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Applies the layer to `x` (n×in) on the tape, yielding n×out.
+    pub fn forward(&self, tape: &mut Tape, binding: &ParamBinding, x: Var) -> Var {
+        let w = binding.var(&format!("{}.w", self.name));
+        let b = binding.var(&format!("{}.b", self.name));
+        let h = tape.matmul(x, w);
+        tape.add_row(h, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut params = ParamSet::new();
+        let layer = Linear::init("fc", 4, 2, &mut params, &mut rng);
+        assert_eq!((layer.in_dim(), layer.out_dim()), (4, 2));
+        // Set bias to something visible.
+        params.get_mut("fc.b").expect("bias").set(0, 1, 5.0);
+        let mut tape = Tape::new();
+        let binding = params.bind(&mut tape);
+        let x = tape.leaf(Tensor::zeros(3, 4));
+        let y = layer.forward(&mut tape, &binding, x);
+        assert_eq!(tape.value(y).shape(), (3, 2));
+        // Zero input → bias shows through on every row.
+        for r in 0..3 {
+            assert_eq!(tape.value(y).at(r, 1), 5.0);
+        }
+    }
+
+    #[test]
+    fn attach_recovers_dims() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut params = ParamSet::new();
+        Linear::init("fc", 7, 3, &mut params, &mut rng);
+        let layer = Linear::attach("fc", &params);
+        assert_eq!((layer.in_dim(), layer.out_dim()), (7, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing parameter")]
+    fn attach_missing_panics() {
+        let params = ParamSet::new();
+        let _ = Linear::attach("nope", &params);
+    }
+}

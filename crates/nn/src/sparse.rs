@@ -1,0 +1,154 @@
+//! CSR sparse matrices (constants in the autodiff graph).
+//!
+//! EP-GNN's neighbourhood aggregation and fan-in-cone readout are sparse
+//! matrix × dense feature products; the sparse operand never needs a
+//! gradient, so CSR matrices live outside the tape and ops reference them
+//! via `Arc`.
+
+use crate::tensor::Tensor;
+use std::sync::Arc;
+
+/// A compressed-sparse-row matrix with `f32` weights.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<u32>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix from raw parts.
+    ///
+    /// # Panics
+    /// Panics if the parts are inconsistent (lengths, column bounds).
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<u32>,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        assert_eq!(indptr.len(), rows + 1, "indptr length");
+        assert_eq!(indices.len(), values.len(), "indices/values length");
+        assert_eq!(
+            *indptr.last().expect("non-empty indptr") as usize,
+            indices.len()
+        );
+        assert!(
+            indices.iter().all(|&c| (c as usize) < cols),
+            "column index out of bounds"
+        );
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Sparse × dense product: `self (r×c) · dense (c×m) → (r×m)`.
+    ///
+    /// # Panics
+    /// Panics if `dense.rows() != self.cols()`.
+    pub fn matmul(&self, dense: &Tensor) -> Tensor {
+        assert_eq!(dense.rows(), self.cols, "spmm inner dimension");
+        let m = dense.cols();
+        let mut out = Tensor::zeros(self.rows, m);
+        let dd = dense.data();
+        let od = out.data_mut();
+        for r in 0..self.rows {
+            let (s, e) = (self.indptr[r] as usize, self.indptr[r + 1] as usize);
+            let dst = r * m;
+            for k in s..e {
+                let c = self.indices[k] as usize;
+                let w = self.values[k];
+                let src = c * m;
+                for j in 0..m {
+                    od[dst + j] += w * dd[src + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed sparse × dense product: `selfᵀ (c×r) · dense (r×m) → (c×m)`.
+    /// This is the backward pass of [`Csr::matmul`] with respect to the dense
+    /// operand.
+    pub fn t_matmul(&self, dense: &Tensor) -> Tensor {
+        assert_eq!(dense.rows(), self.rows, "spmm-t inner dimension");
+        let m = dense.cols();
+        let mut out = Tensor::zeros(self.cols, m);
+        let dd = dense.data();
+        let od = out.data_mut();
+        for r in 0..self.rows {
+            let (s, e) = (self.indptr[r] as usize, self.indptr[r + 1] as usize);
+            let src = r * m;
+            for k in s..e {
+                let c = self.indices[k] as usize;
+                let w = self.values[k];
+                let dst = c * m;
+                for j in 0..m {
+                    od[dst + j] += w * dd[src + j];
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Shared handle used by tape ops.
+pub type SharedCsr = Arc<Csr>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> Csr {
+        // [[1, 0, 2],
+        //  [0, 3, 0]]
+        Csr::new(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0])
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let s = example();
+        let d = Tensor::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let out = s.matmul(&d);
+        assert_eq!(out.data(), &[11.0, 14.0, 9.0, 12.0]);
+        assert_eq!(s.nnz(), 3);
+        assert_eq!((s.rows(), s.cols()), (2, 3));
+    }
+
+    #[test]
+    fn transposed_spmm_matches_dense() {
+        let s = example();
+        let d = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let out = s.t_matmul(&d);
+        // sᵀ = [[1,0],[0,3],[2,0]]
+        assert_eq!(out.data(), &[1.0, 2.0, 9.0, 12.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column index out of bounds")]
+    fn bad_column_panics() {
+        let _ = Csr::new(1, 2, vec![0, 1], vec![5], vec![1.0]);
+    }
+}

@@ -1,0 +1,670 @@
+//! Reverse-mode automatic differentiation on a tape of tensor operations.
+//!
+//! A [`Tape`] records every operation of a forward pass; [`Tape::backward`]
+//! replays it in reverse, producing gradients for every recorded variable.
+//! The op set is exactly what the RL-CCD networks need: dense/sparse matrix
+//! products, broadcasting adds, elementwise nonlinearities, gather/pick, a
+//! trainable-scalar gate, and a masked log-softmax for the pointer-attention
+//! decoder.
+
+use crate::sparse::SharedCsr;
+use crate::tensor::Tensor;
+use std::sync::Arc;
+
+/// Handle to a tensor recorded on a [`Tape`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+impl Var {
+    /// Raw node index (stable for the lifetime of the tape).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+enum Op {
+    Leaf,
+    Matmul(Var, Var),
+    Spmm(SharedCsr, Var),
+    Add(Var, Var),
+    AddRow(Var, Var),
+    Mul(Var, Var),
+    ScaleConst(Var, f32),
+    ScalarMul(Var, Var),
+    AffineScalar(Var, f32, f32),
+    Sigmoid(Var),
+    Tanh(Var),
+    Relu(Var),
+    GatherRows(Var, Arc<Vec<u32>>),
+    Pick(Var, usize, usize),
+    MaskedLogSoftmax(Var, Arc<Vec<bool>>),
+    Mix(Var, Var, Var),
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+/// The autodiff tape: a growing list of computed tensors plus the recipe
+/// that produced each.
+#[derive(Debug, Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+/// Gradients produced by [`Tape::backward`], indexed by [`Var`].
+#[derive(Debug)]
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// Gradient of the loss with respect to `v`, if it received any.
+    pub fn get(&self, v: Var) -> Option<&Tensor> {
+        self.grads.get(v.index()).and_then(|g| g.as_ref())
+    }
+
+    /// Takes ownership of the gradient for `v`.
+    pub fn take(&mut self, v: Var) -> Option<Tensor> {
+        self.grads.get_mut(v.index()).and_then(|g| g.take())
+    }
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Records an input/parameter tensor.
+    pub fn leaf(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// The value of a recorded variable.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.index()].value
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> Var {
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Dense matrix product `a · b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::Matmul(a, b))
+    }
+
+    /// Sparse × dense product `csr · a` (no gradient flows to the CSR).
+    pub fn spmm(&mut self, csr: &SharedCsr, a: Var) -> Var {
+        let v = csr.matmul(self.value(a));
+        self.push(v, Op::Spmm(Arc::clone(csr), a))
+    }
+
+    /// Elementwise sum of two same-shape tensors.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.value(a).shape(), self.value(b).shape(), "add shapes");
+        let mut v = self.value(a).clone();
+        v.add_assign(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Adds a 1×m row vector to every row of an n×m matrix.
+    ///
+    /// # Panics
+    /// Panics if `row` is not 1×m.
+    pub fn add_row(&mut self, a: Var, row: Var) -> Var {
+        let (n, m) = self.value(a).shape();
+        assert_eq!(self.value(row).shape(), (1, m), "add_row shapes");
+        let mut v = self.value(a).clone();
+        {
+            let r = self.value(row).data().to_vec();
+            let d = v.data_mut();
+            for i in 0..n {
+                for j in 0..m {
+                    d[i * m + j] += r[j];
+                }
+            }
+        }
+        self.push(v, Op::AddRow(a, row))
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        assert_eq!(self.value(a).shape(), self.value(b).shape(), "mul shapes");
+        let bv = self.value(b).data().to_vec();
+        let mut v = self.value(a).clone();
+        for (x, y) in v.data_mut().iter_mut().zip(bv) {
+            *x *= y;
+        }
+        self.push(v, Op::Mul(a, b))
+    }
+
+    /// Multiplies by a compile-time constant.
+    pub fn scale(&mut self, a: Var, k: f32) -> Var {
+        let v = self.value(a).map(|x| k * x);
+        self.push(v, Op::ScaleConst(a, k))
+    }
+
+    /// Multiplies a tensor by a trainable 1×1 scalar.
+    ///
+    /// # Panics
+    /// Panics if `s` is not 1×1.
+    pub fn scalar_mul(&mut self, s: Var, a: Var) -> Var {
+        assert_eq!(self.value(s).shape(), (1, 1), "scalar_mul gate shape");
+        let k = self.value(s).data()[0];
+        let v = self.value(a).map(|x| k * x);
+        self.push(v, Op::ScalarMul(s, a))
+    }
+
+    /// Fused gated interpolation `s·a + (1−s)·b` with a trainable 1×1 gate
+    /// `s` (EP-GNN's Eq. 2 mixing in one op instead of four).
+    ///
+    /// # Panics
+    /// Panics if `s` is not 1×1 or `a`/`b` shapes differ.
+    pub fn mix(&mut self, s: Var, a: Var, b: Var) -> Var {
+        assert_eq!(self.value(s).shape(), (1, 1), "mix gate shape");
+        assert_eq!(self.value(a).shape(), self.value(b).shape(), "mix shapes");
+        let k = self.value(s).data()[0];
+        let bv = self.value(b).data().to_vec();
+        let mut v = self.value(a).clone();
+        for (x, y) in v.data_mut().iter_mut().zip(bv) {
+            *x = k * *x + (1.0 - k) * y;
+        }
+        self.push(v, Op::Mix(s, a, b))
+    }
+
+    /// Elementwise affine map `k·x + c`.
+    pub fn affine(&mut self, a: Var, k: f32, c: f32) -> Var {
+        let v = self.value(a).map(|x| k * x + c);
+        self.push(v, Op::AffineScalar(a, k, c))
+    }
+
+    /// Elementwise logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Elementwise tanh.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Elementwise ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Gathers the given rows of `a` into a new (k×m) tensor.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows(&mut self, a: Var, rows: Arc<Vec<u32>>) -> Var {
+        let (n, m) = self.value(a).shape();
+        let mut v = Tensor::zeros(rows.len(), m);
+        for (i, &r) in rows.iter().enumerate() {
+            assert!((r as usize) < n, "gather row out of bounds");
+            let src = self.value(a).row(r as usize).to_vec();
+            v.data_mut()[i * m..(i + 1) * m].copy_from_slice(&src);
+        }
+        self.push(v, Op::GatherRows(a, rows))
+    }
+
+    /// Extracts element `(r, c)` as a 1×1 tensor.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    pub fn pick(&mut self, a: Var, r: usize, c: usize) -> Var {
+        let v = Tensor::from_vec(1, 1, vec![self.value(a).at(r, c)]);
+        self.push(v, Op::Pick(a, r, c))
+    }
+
+    /// Masked log-softmax over all elements of `a` (treated flat, e.g. an
+    /// n×1 score vector). Masked-out entries get `-∞` log-probability and
+    /// receive zero gradient.
+    ///
+    /// # Panics
+    /// Panics if the mask length differs from the element count or no entry
+    /// is valid.
+    pub fn masked_log_softmax(&mut self, a: Var, mask: Arc<Vec<bool>>) -> Var {
+        let value = self.value(a);
+        assert_eq!(mask.len(), value.len(), "mask length");
+        assert!(mask.iter().any(|&m| m), "all entries masked");
+        let mut max = f32::NEG_INFINITY;
+        for (i, &x) in value.data().iter().enumerate() {
+            if mask[i] && x > max {
+                max = x;
+            }
+        }
+        let mut lse = 0.0f32;
+        for (i, &x) in value.data().iter().enumerate() {
+            if mask[i] {
+                lse += (x - max).exp();
+            }
+        }
+        let lse = lse.ln() + max;
+        let (r, c) = value.shape();
+        let data: Vec<f32> = value
+            .data()
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| if mask[i] { x - lse } else { f32::NEG_INFINITY })
+            .collect();
+        self.push(Tensor::from_vec(r, c, data), Op::MaskedLogSoftmax(a, mask))
+    }
+
+    /// Runs reverse-mode differentiation from `loss` (which must be 1×1)
+    /// and returns the gradient of every variable that participates.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not a scalar.
+    pub fn backward(&self, loss: Var) -> Gradients {
+        assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
+        grads[loss.index()] = Some(Tensor::from_vec(1, 1, vec![1.0]));
+        for idx in (0..self.nodes.len()).rev() {
+            let g = match grads[idx].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            let node = &self.nodes[idx];
+            match &node.op {
+                Op::Leaf => {
+                    grads[idx] = Some(g);
+                    continue;
+                }
+                Op::Matmul(a, b) => {
+                    let ga = g.matmul_t(&self.nodes[b.index()].value);
+                    let gb = self.nodes[a.index()].value.t_matmul(&g);
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::Spmm(csr, a) => {
+                    accumulate(&mut grads, *a, csr.t_matmul(&g));
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g);
+                }
+                Op::AddRow(a, row) => {
+                    let (n, m) = g.shape();
+                    let mut gr = Tensor::zeros(1, m);
+                    for i in 0..n {
+                        for j in 0..m {
+                            gr.data_mut()[j] += g.at(i, j);
+                        }
+                    }
+                    accumulate(&mut grads, *a, g);
+                    accumulate(&mut grads, *row, gr);
+                }
+                Op::Mul(a, b) => {
+                    let mut ga = g.clone();
+                    for (x, y) in ga
+                        .data_mut()
+                        .iter_mut()
+                        .zip(self.nodes[b.index()].value.data())
+                    {
+                        *x *= y;
+                    }
+                    let mut gb = g;
+                    for (x, y) in gb
+                        .data_mut()
+                        .iter_mut()
+                        .zip(self.nodes[a.index()].value.data())
+                    {
+                        *x *= y;
+                    }
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::ScaleConst(a, k) => {
+                    let mut ga = g;
+                    ga.scale_assign(*k);
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::ScalarMul(s, a) => {
+                    let k = self.nodes[s.index()].value.data()[0];
+                    let mut gs = 0.0f32;
+                    for (gi, ai) in g.data().iter().zip(self.nodes[a.index()].value.data()) {
+                        gs += gi * ai;
+                    }
+                    let mut ga = g;
+                    ga.scale_assign(k);
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *s, Tensor::from_vec(1, 1, vec![gs]));
+                }
+                Op::AffineScalar(a, k, _c) => {
+                    let mut ga = g;
+                    ga.scale_assign(*k);
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::Sigmoid(a) => {
+                    let mut ga = g;
+                    for (x, y) in ga.data_mut().iter_mut().zip(node.value.data()) {
+                        *x *= y * (1.0 - y);
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::Tanh(a) => {
+                    let mut ga = g;
+                    for (x, y) in ga.data_mut().iter_mut().zip(node.value.data()) {
+                        *x *= 1.0 - y * y;
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::Relu(a) => {
+                    let mut ga = g;
+                    for (x, y) in ga.data_mut().iter_mut().zip(node.value.data()) {
+                        if *y <= 0.0 {
+                            *x = 0.0;
+                        }
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::GatherRows(a, rows) => {
+                    let (n, m) = self.nodes[a.index()].value.shape();
+                    let mut ga = Tensor::zeros(n, m);
+                    for (i, &r) in rows.iter().enumerate() {
+                        let dst = r as usize * m;
+                        for j in 0..m {
+                            ga.data_mut()[dst + j] += g.at(i, j);
+                        }
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::Pick(a, r, c) => {
+                    let (n, m) = self.nodes[a.index()].value.shape();
+                    let mut ga = Tensor::zeros(n, m);
+                    ga.set(*r, *c, g.data()[0]);
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::Mix(s, a, b) => {
+                    let k = self.nodes[s.index()].value.data()[0];
+                    let av = &self.nodes[a.index()].value;
+                    let bv = &self.nodes[b.index()].value;
+                    let mut gs = 0.0f32;
+                    for ((gi, ai), bi) in g.data().iter().zip(av.data()).zip(bv.data()) {
+                        gs += gi * (ai - bi);
+                    }
+                    let mut ga = g.clone();
+                    ga.scale_assign(k);
+                    let mut gb = g;
+                    gb.scale_assign(1.0 - k);
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                    accumulate(&mut grads, *s, Tensor::from_vec(1, 1, vec![gs]));
+                }
+                Op::MaskedLogSoftmax(a, mask) => {
+                    // d logp_i / d x_j = δ_ij − p_j (valid j).
+                    let mut gsum = 0.0f32;
+                    for (i, &gi) in g.data().iter().enumerate() {
+                        if mask[i] {
+                            gsum += gi;
+                        }
+                    }
+                    let (n, m) = node.value.shape();
+                    let mut ga = Tensor::zeros(n, m);
+                    for i in 0..mask.len() {
+                        if mask[i] {
+                            let p = node.value.data()[i].exp();
+                            ga.data_mut()[i] = g.data()[i] - p * gsum;
+                        }
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+            }
+        }
+        Gradients { grads }
+    }
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], v: Var, g: Tensor) {
+    match &mut grads[v.index()] {
+        Some(existing) => existing.add_assign(&g),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::Csr;
+
+    /// Central-difference gradient check for a scalar function of one leaf.
+    fn grad_check(input: Tensor, f: impl Fn(&mut Tape, Var) -> Var, tol: f32) {
+        let mut tape = Tape::new();
+        let x = tape.leaf(input.clone());
+        let loss = f(&mut tape, x);
+        let grads = tape.backward(loss);
+        let g = grads.get(x).expect("input must receive gradient").clone();
+        let eps = 1e-2;
+        for i in 0..input.len() {
+            let mut plus = input.clone();
+            plus.data_mut()[i] += eps;
+            let mut tp = Tape::new();
+            let xp = tp.leaf(plus);
+            let vp = f(&mut tp, xp);
+            let lp = tp.value(vp).data()[0];
+            let mut minus = input.clone();
+            minus.data_mut()[i] -= eps;
+            let mut tm = Tape::new();
+            let xm = tm.leaf(minus);
+            let vm = f(&mut tm, xm);
+            let lm = tm.value(vm).data()[0];
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = g.data()[i];
+            assert!(
+                (num - ana).abs() < tol * (1.0 + num.abs().max(ana.abs())),
+                "element {i}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_chain_gradient() {
+        let w = Tensor::from_vec(3, 2, vec![0.3, -0.2, 0.5, 0.7, -0.4, 0.1]);
+        grad_check(
+            Tensor::from_vec(1, 3, vec![0.5, -1.0, 2.0]),
+            move |t, x| {
+                let wv = t.leaf(w.clone());
+                let h = t.matmul(x, wv);
+                let h = t.tanh(h);
+                let ones = t.leaf(Tensor::from_vec(2, 1, vec![1.0, 1.0]));
+                t.matmul(h, ones)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn sigmoid_mul_add_gradient() {
+        let b = Tensor::from_vec(1, 4, vec![0.1, 0.2, -0.3, 0.4]);
+        grad_check(
+            Tensor::from_vec(1, 4, vec![0.5, -1.0, 2.0, 0.0]),
+            move |t, x| {
+                let bv = t.leaf(b.clone());
+                let s = t.sigmoid(x);
+                let m = t.mul(s, bv);
+                let m = t.affine(m, 2.0, 0.25);
+                let ones = t.leaf(Tensor::from_vec(4, 1, vec![1.0; 4]));
+                t.matmul(m, ones)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn scalar_gate_gradient() {
+        // loss = sum(sigmoid(s) * x): check grad w.r.t. the scalar gate.
+        let x = Tensor::from_vec(1, 3, vec![1.0, -2.0, 0.5]);
+        grad_check(
+            Tensor::from_vec(1, 1, vec![0.3]),
+            move |t, s| {
+                let xv = t.leaf(x.clone());
+                let sg = t.sigmoid(s);
+                let y = t.scalar_mul(sg, xv);
+                let ones = t.leaf(Tensor::from_vec(3, 1, vec![1.0; 3]));
+                t.matmul(y, ones)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn spmm_gradient() {
+        let csr: SharedCsr = Arc::new(Csr::new(
+            2,
+            3,
+            vec![0, 2, 3],
+            vec![0, 2, 1],
+            vec![0.5, 2.0, -1.0],
+        ));
+        grad_check(
+            Tensor::from_vec(3, 2, vec![1.0, 2.0, -0.5, 0.3, 0.7, -1.2]),
+            move |t, x| {
+                let y = t.spmm(&csr, x);
+                let y = t.tanh(y);
+                let ones = t.leaf(Tensor::from_vec(2, 1, vec![1.0; 2]));
+                let col = t.matmul(y, ones);
+                let onesr = t.leaf(Tensor::from_vec(1, 2, vec![1.0; 2]));
+                t.matmul(onesr, col)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn masked_log_softmax_gradient() {
+        let mask = Arc::new(vec![true, false, true, true]);
+        grad_check(
+            Tensor::from_vec(4, 1, vec![0.2, 9.0, -0.5, 1.0]),
+            move |t, x| {
+                let lp = t.masked_log_softmax(x, Arc::clone(&mask));
+                t.pick(lp, 2, 0)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn masked_entries_have_zero_probability_and_gradient() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(3, 1, vec![1.0, 100.0, 2.0]));
+        let mask = Arc::new(vec![true, false, true]);
+        let lp = tape.masked_log_softmax(x, mask);
+        assert_eq!(tape.value(lp).at(1, 0), f32::NEG_INFINITY);
+        // Valid entries normalize.
+        let p: f32 = [0, 2].iter().map(|&i| tape.value(lp).at(i, 0).exp()).sum();
+        assert!((p - 1.0).abs() < 1e-5);
+        let loss = tape.pick(lp, 0, 0);
+        let grads = tape.backward(loss);
+        assert_eq!(grads.get(x).expect("grad").at(1, 0), 0.0);
+    }
+
+    #[test]
+    fn gather_and_addrow_gradient() {
+        let rows = Arc::new(vec![2u32, 0u32]);
+        let bias = Tensor::from_vec(1, 2, vec![0.3, -0.1]);
+        grad_check(
+            Tensor::from_vec(3, 2, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6]),
+            move |t, x| {
+                let g = t.gather_rows(x, Arc::clone(&rows));
+                let bv = t.leaf(bias.clone());
+                let g = t.add_row(g, bv);
+                let g = t.relu(g);
+                let ones = t.leaf(Tensor::from_vec(2, 1, vec![1.0; 2]));
+                let col = t.matmul(g, ones);
+                let onesr = t.leaf(Tensor::from_vec(1, 2, vec![1.0; 2]));
+                t.matmul(onesr, col)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn mix_gradient() {
+        // loss = sum(mix(sigmoid(s), a, b)); check grads w.r.t. the gate.
+        let a = Tensor::from_vec(1, 3, vec![1.0, -2.0, 0.5]);
+        let b = Tensor::from_vec(1, 3, vec![-0.5, 1.5, 2.0]);
+        grad_check(
+            Tensor::from_vec(1, 1, vec![0.2]),
+            move |t, s| {
+                let sg = t.sigmoid(s);
+                let av = t.leaf(a.clone());
+                let bv = t.leaf(b.clone());
+                let y = t.mix(sg, av, bv);
+                let ones = t.leaf(Tensor::from_vec(3, 1, vec![1.0; 3]));
+                t.matmul(y, ones)
+            },
+            1e-2,
+        );
+        // And w.r.t. the interpolated operands.
+        let s = Tensor::from_vec(1, 1, vec![0.3]);
+        let b2 = Tensor::from_vec(1, 3, vec![-0.5, 1.5, 2.0]);
+        grad_check(
+            Tensor::from_vec(1, 3, vec![1.0, -2.0, 0.5]),
+            move |t, a| {
+                let sv = t.leaf(s.clone());
+                let bv = t.leaf(b2.clone());
+                let y = t.mix(sv, a, bv);
+                let ones = t.leaf(Tensor::from_vec(3, 1, vec![1.0; 3]));
+                t.matmul(y, ones)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn mix_agrees_with_decomposed_form() {
+        let mut tape = Tape::new();
+        let s = tape.leaf(Tensor::from_vec(1, 1, vec![0.37]));
+        let a = tape.leaf(Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = tape.leaf(Tensor::from_vec(2, 2, vec![-1.0, 0.5, 0.0, 2.0]));
+        let fused = tape.mix(s, a, b);
+        // Decomposed: s·a + b − s·b.
+        let sa = tape.scalar_mul(s, a);
+        let sb = tape.scalar_mul(s, b);
+        let nsb = tape.scale(sb, -1.0);
+        let part = tape.add(b, nsb);
+        let slow = tape.add(sa, part);
+        for i in 0..4 {
+            assert!((tape.value(fused).data()[i] - tape.value(slow).data()[i]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fan_out_accumulates_gradients() {
+        // y = x + x → dy/dx = 2.
+        let mut tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(1, 1, vec![3.0]));
+        let y = tape.add(x, x);
+        let grads = tape.backward(y);
+        assert_eq!(grads.get(x).expect("grad").data()[0], 2.0);
+        assert_eq!(tape.len(), 2);
+        assert!(!tape.is_empty());
+    }
+}

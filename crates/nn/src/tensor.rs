@@ -1,0 +1,253 @@
+//! Dense 2-D tensors (row-major `f32`), the value type of the autodiff tape.
+
+use std::fmt;
+
+/// A dense row-major matrix of `f32`. Vectors are 1×n or n×1 tensors.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor[{}x{}]", self.rows, self.cols)?;
+        if self.data.len() <= 8 {
+            write!(f, " {:?}", self.data)?;
+        }
+        Ok(())
+    }
+}
+
+impl Tensor {
+    /// A tensor of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Builds a tensor from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A view of one row.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Panics
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul {}x{} by {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Tensor::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = k * other.cols;
+                let dst = i * other.cols;
+                for j in 0..other.cols {
+                    out.data[dst + j] += a * other.data[orow + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `selfᵀ · other` without materializing the transpose.
+    pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "t_matmul row mismatch");
+        let mut out = Tensor::zeros(self.cols, other.cols);
+        for r in 0..self.rows {
+            let arow = r * self.cols;
+            let brow = r * other.cols;
+            for i in 0..self.cols {
+                let a = self.data[arow + i];
+                if a == 0.0 {
+                    continue;
+                }
+                let dst = i * other.cols;
+                for j in 0..other.cols {
+                    out.data[dst + j] += a * other.data[brow + j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · otherᵀ` without materializing the transpose.
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "matmul_t col mismatch");
+        let mut out = Tensor::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = i * self.cols;
+            for j in 0..other.rows {
+                let brow = j * other.cols;
+                let mut acc = 0.0;
+                for k in 0..self.cols {
+                    acc += self.data[arow + k] * other.data[brow + k];
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Elementwise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// In-place `self += other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self *= k`.
+    pub fn scale_assign(&mut self, k: f32) {
+        for a in &mut self.data {
+            *a *= k;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_products_agree_with_explicit() {
+        let a = Tensor::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(2, 2, vec![1.0, 0.5, -1.0, 2.0]);
+        // aᵀ·b == explicit transpose multiply
+        let t = a.t_matmul(&b);
+        assert_eq!(t.shape(), (3, 2));
+        assert!((t.at(0, 0) - (1.0 * 1.0 + 4.0 * -1.0)).abs() < 1e-6);
+        // a·cᵀ
+        let c = Tensor::from_vec(4, 3, (0..12).map(|x| x as f32).collect());
+        let m = a.matmul_t(&c);
+        assert_eq!(m.shape(), (2, 4));
+        assert!((m.at(0, 0) - (1.0 * 0.0 + 2.0 * 1.0 + 3.0 * 2.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accessors_and_inplace_ops() {
+        let mut a = Tensor::zeros(2, 2);
+        a.set(0, 1, 3.0);
+        assert_eq!(a.at(0, 1), 3.0);
+        assert_eq!(a.row(0), &[0.0, 3.0]);
+        let b = Tensor::from_vec(2, 2, vec![1.0; 4]);
+        a.add_assign(&b);
+        assert_eq!(a.sum(), 3.0 + 4.0);
+        a.scale_assign(2.0);
+        assert_eq!(a.at(0, 1), 8.0);
+        assert!(a.norm() > 0.0);
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn bad_shape_panics() {
+        let _ = Tensor::from_vec(2, 2, vec![1.0; 3]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Clock schedule: per-register clock arrival times and skew adjustment.
+//!
+//! The clock network is abstracted as a per-register insertion latency plus
+//! an adjustable useful-skew term. This is exactly the interface a
+//! CCD useful-skew engine manipulates: it never re-synthesizes the tree,
+//! it schedules arrival adjustments within a bounded window.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rl_ccd_netlist::Netlist;
+
+/// Per-register clock arrival schedule.
+///
+/// Indexed by register index (position in [`Netlist::flops`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClockSchedule {
+    base: Vec<f32>,
+    skew: Vec<f32>,
+    bound: f32,
+}
+
+impl ClockSchedule {
+    /// A balanced tree: every register gets `insertion` latency plus a small
+    /// deterministic per-register variation of up to ±`variation` ps, with
+    /// useful-skew adjustments bounded to ±`bound` ps.
+    pub fn balanced(
+        netlist: &Netlist,
+        insertion: f32,
+        variation: f32,
+        bound: f32,
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = (0..netlist.flops().len())
+            .map(|_| insertion + rng.gen_range(-variation..=variation))
+            .collect();
+        Self {
+            base,
+            skew: vec![0.0; netlist.flops().len()],
+            bound,
+        }
+    }
+
+    /// Number of registers covered.
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Whether the design has no registers.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// Effective clock arrival at register `r`: base latency + skew, ps.
+    pub fn arrival(&self, r: usize) -> f32 {
+        self.base[r] + self.skew[r]
+    }
+
+    /// Current useful-skew adjustment of register `r`, ps.
+    pub fn skew(&self, r: usize) -> f32 {
+        self.skew[r]
+    }
+
+    /// The symmetric skew bound, ps.
+    pub fn bound(&self) -> f32 {
+        self.bound
+    }
+
+    /// Adds `delta` to register `r`'s skew, clamped to the bound. Returns
+    /// the skew actually applied after clamping.
+    pub fn adjust(&mut self, r: usize, delta: f32) -> f32 {
+        let next = (self.skew[r] + delta).clamp(-self.bound, self.bound);
+        let applied = next - self.skew[r];
+        self.skew[r] = next;
+        applied
+    }
+
+    /// Resets all skews to zero (back to the balanced tree).
+    pub fn reset_skews(&mut self) {
+        self.skew.iter_mut().for_each(|s| *s = 0.0);
+    }
+
+    /// All skew values, for histogramming (paper Fig. 5).
+    pub fn skews(&self) -> &[f32] {
+        &self.skew
+    }
+
+    /// Sum of absolute skew adjustments, ps — a cheap "how much did the
+    /// engine move" metric.
+    pub fn total_adjustment(&self) -> f64 {
+        self.skew.iter().map(|s| s.abs() as f64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+
+    fn sched() -> (ClockSchedule, usize) {
+        let d = generate(&DesignSpec::new("c", 300, TechNode::N7, 2));
+        let n = d.netlist.flops().len();
+        (ClockSchedule::balanced(&d.netlist, 100.0, 5.0, 50.0, 9), n)
+    }
+
+    #[test]
+    fn balanced_tree_has_small_variation() {
+        let (s, n) = sched();
+        assert_eq!(s.len(), n);
+        assert!(!s.is_empty());
+        for r in 0..n {
+            assert!((s.arrival(r) - 100.0).abs() <= 5.0);
+            assert_eq!(s.skew(r), 0.0);
+        }
+    }
+
+    #[test]
+    fn adjust_clamps_to_bound() {
+        let (mut s, _) = sched();
+        let applied = s.adjust(0, 80.0);
+        assert_eq!(s.skew(0), 50.0);
+        assert_eq!(applied, 50.0);
+        let applied = s.adjust(0, 10.0);
+        assert_eq!(applied, 0.0);
+        s.adjust(0, -120.0);
+        assert_eq!(s.skew(0), -50.0);
+        assert!(s.total_adjustment() > 0.0);
+        s.reset_skews();
+        assert_eq!(s.total_adjustment(), 0.0);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let d = generate(&DesignSpec::new("c", 300, TechNode::N7, 2));
+        let a = ClockSchedule::balanced(&d.netlist, 100.0, 5.0, 50.0, 9);
+        let b = ClockSchedule::balanced(&d.netlist, 100.0, 5.0, 50.0, 9);
+        assert_eq!(a, b);
+        let c = ClockSchedule::balanced(&d.netlist, 100.0, 5.0, 50.0, 10);
+        assert_ne!(a, c);
+    }
+}

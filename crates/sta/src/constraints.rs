@@ -1,0 +1,130 @@
+//! Timing constraints and endpoint margins.
+
+use rl_ccd_netlist::Netlist;
+
+/// Design timing constraints for one clock domain.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Constraints {
+    /// Clock period in ps.
+    pub period: f32,
+    /// Arrival of primary inputs relative to the clock edge, in ps.
+    pub input_delay: f32,
+    /// Required margin before the next edge at primary outputs, in ps.
+    pub output_delay: f32,
+    /// Clock uncertainty subtracted from every setup check, in ps.
+    pub uncertainty: f32,
+    /// OCV derate multiplying every *max* (late) data-path delay; ≥ 1
+    /// makes setup checks pessimistic. 1.0 = no derating.
+    pub derate_late: f32,
+    /// OCV derate multiplying every *min* (early) data-path delay; ≤ 1
+    /// makes hold checks pessimistic. 1.0 = no derating.
+    pub derate_early: f32,
+}
+
+impl Constraints {
+    /// Constraints with the given period, small default IO delays, and no
+    /// OCV derating.
+    pub fn with_period(period: f32) -> Self {
+        Self {
+            period,
+            input_delay: 0.05 * period,
+            output_delay: 0.05 * period,
+            uncertainty: 0.01 * period,
+            derate_late: 1.0,
+            derate_early: 1.0,
+        }
+    }
+
+    /// The same constraints with signoff-style OCV derates applied
+    /// (`late ≥ 1`, `early ≤ 1`).
+    ///
+    /// # Panics
+    /// Panics if the derates point the wrong way.
+    pub fn with_ocv(mut self, late: f32, early: f32) -> Self {
+        assert!(late >= 1.0, "late derate must be ≥ 1");
+        assert!(
+            (0.0..=1.0).contains(&early),
+            "early derate must be in (0, 1]"
+        );
+        self.derate_late = late;
+        self.derate_early = early;
+        self
+    }
+}
+
+/// Per-endpoint timing margins (ps), subtracted from the endpoint's required
+/// time. RL-CCD uses margins to worsen selected endpoints to the design WNS
+/// before useful skew (Algorithm 1 line 14) and removes them afterwards.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EndpointMargins {
+    values: Vec<f32>,
+}
+
+impl EndpointMargins {
+    /// Zero margins for every endpoint of `netlist`.
+    pub fn zero(netlist: &Netlist) -> Self {
+        Self {
+            values: vec![0.0; netlist.endpoints().len()],
+        }
+    }
+
+    /// Margin of endpoint `i` (ps).
+    pub fn get(&self, i: usize) -> f32 {
+        self.values[i]
+    }
+
+    /// Sets the margin of endpoint `i` (ps).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize, margin: f32) {
+        self.values[i] = margin;
+    }
+
+    /// Clears all margins back to zero (Algorithm 1 line 16).
+    pub fn clear(&mut self) {
+        self.values.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Whether any margin is non-zero.
+    pub fn any(&self) -> bool {
+        self.values.iter().any(|&v| v != 0.0)
+    }
+
+    /// Number of endpoints covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the design has no endpoints.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+
+    #[test]
+    fn with_period_scales_io_delays() {
+        let c = Constraints::with_period(1000.0);
+        assert_eq!(c.period, 1000.0);
+        assert!(c.input_delay > 0.0 && c.output_delay > 0.0 && c.uncertainty > 0.0);
+    }
+
+    #[test]
+    fn margins_roundtrip() {
+        let d = generate(&DesignSpec::new("m", 300, TechNode::N7, 1));
+        let mut m = EndpointMargins::zero(&d.netlist);
+        assert!(!m.is_empty());
+        assert!(!m.any());
+        m.set(0, 12.5);
+        assert!(m.any());
+        assert_eq!(m.get(0), 12.5);
+        m.clear();
+        assert!(!m.any());
+        assert_eq!(m.len(), d.netlist.endpoints().len());
+    }
+}

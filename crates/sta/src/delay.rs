@@ -1,0 +1,73 @@
+//! The delay model shared by forward and backward propagation.
+//!
+//! A slew-aware linear model: cell delay is intrinsic (with per-pin
+//! asymmetry) plus output-resistance × load plus a fraction of the input
+//! slew; wires use a lumped Elmore segment from driver to each sink.
+
+use rl_ccd_netlist::{CellId, LibCell, Library, NetId, Netlist};
+
+/// Computed timing of one net-segment hop into a sink pin.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EdgeTiming {
+    /// Wire delay from the net driver to this sink, ps.
+    pub wire_delay: f32,
+    /// Slew arriving at the sink pin, ps.
+    pub pin_slew: f32,
+}
+
+/// Wire + slew timing of the hop from `net`'s driver into `sink`.
+pub fn edge_timing(
+    netlist: &Netlist,
+    net: NetId,
+    sink: CellId,
+    driver_out_slew: f32,
+) -> EdgeTiming {
+    let lib = netlist.library();
+    let seg = netlist.segment_length(net, sink);
+    let sink_cap = lib.cell(netlist.cell(sink).lib).input_cap;
+    let wire_delay = lib.wire().delay(seg, sink_cap);
+    EdgeTiming {
+        wire_delay,
+        // Long RC segments degrade the transition.
+        pin_slew: driver_out_slew + 0.10 * wire_delay,
+    }
+}
+
+/// Propagation delay through a cell from input pin `pin` to its output,
+/// given the load on the output net and the slew at the pin, ps.
+pub fn cell_delay(lib: &Library, lc: &LibCell, pin: u8, load: f32, pin_slew: f32) -> f32 {
+    lc.intrinsic * (1.0 + lib.pin_asymmetry() * pin as f32)
+        + lc.resistance * load
+        + lib.slew_to_delay() * pin_slew
+}
+
+/// Output slew of a cell driving `load` fF, ps.
+pub fn output_slew(lc: &LibCell, load: f32) -> f32 {
+    lc.slew_intrinsic + lc.slew_resistance * load
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_ccd_netlist::{Drive, GateKind, Library, TechNode};
+
+    #[test]
+    fn delay_grows_with_load_slew_and_pin() {
+        let lib = Library::new(TechNode::N7);
+        let lc = lib.cell(lib.variant(GateKind::Nand2, Drive::X1)).clone();
+        let base = cell_delay(&lib, &lc, 0, 2.0, 10.0);
+        assert!(cell_delay(&lib, &lc, 0, 4.0, 10.0) > base);
+        assert!(cell_delay(&lib, &lc, 0, 2.0, 30.0) > base);
+        assert!(cell_delay(&lib, &lc, 1, 2.0, 10.0) > base);
+    }
+
+    #[test]
+    fn stronger_drive_is_faster_under_load() {
+        let lib = Library::new(TechNode::N7);
+        let x1 = lib.cell(lib.variant(GateKind::Nand2, Drive::X1)).clone();
+        let x8 = lib.cell(lib.variant(GateKind::Nand2, Drive::X8)).clone();
+        let load = 12.0;
+        assert!(cell_delay(&lib, &x8, 0, load, 20.0) < cell_delay(&lib, &x1, 0, load, 20.0));
+        assert!(output_slew(&x8, load) < output_slew(&x1, load));
+    }
+}

@@ -1,0 +1,207 @@
+//! Slack histograms and QoR comparisons — the summaries timing engineers
+//! actually look at when judging an optimization step.
+
+use crate::analysis::TimingReport;
+use std::fmt;
+
+/// A fixed-width histogram over endpoint setup slacks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SlackHistogram {
+    edges: Vec<f32>,
+    counts: Vec<usize>,
+    below: usize,
+    above: usize,
+}
+
+impl SlackHistogram {
+    /// Buckets `report`'s endpoint slacks into `buckets` bins covering
+    /// `[lo, hi)` ps; out-of-range endpoints land in the under/overflow
+    /// counters.
+    ///
+    /// # Panics
+    /// Panics if `buckets == 0` or `lo >= hi`.
+    pub fn new(report: &TimingReport, lo: f32, hi: f32, buckets: usize) -> Self {
+        assert!(buckets > 0, "need at least one bucket");
+        assert!(lo < hi, "empty slack range");
+        let width = (hi - lo) / buckets as f32;
+        let edges = (0..=buckets).map(|i| lo + i as f32 * width).collect();
+        let mut counts = vec![0usize; buckets];
+        let mut below = 0;
+        let mut above = 0;
+        for &s in report.endpoint_slacks() {
+            if s < lo {
+                below += 1;
+            } else if s >= hi {
+                above += 1;
+            } else {
+                counts[((s - lo) / width) as usize] += 1;
+            }
+        }
+        Self {
+            edges,
+            counts,
+            below,
+            above,
+        }
+    }
+
+    /// Bucket edges (length = buckets + 1).
+    pub fn edges(&self) -> &[f32] {
+        &self.edges
+    }
+
+    /// Per-bucket endpoint counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Endpoints below the histogram range.
+    pub fn underflow(&self) -> usize {
+        self.below
+    }
+
+    /// Endpoints at or above the histogram range.
+    pub fn overflow(&self) -> usize {
+        self.above
+    }
+
+    /// Total endpoints covered (in-range + out-of-range).
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum::<usize>() + self.below + self.above
+    }
+}
+
+impl fmt::Display for SlackHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = self.counts.iter().copied().max().unwrap_or(1).max(1);
+        if self.below > 0 {
+            writeln!(
+                f,
+                "{:>20} {:>6}",
+                format!("< {:.0}", self.edges[0]),
+                self.below
+            )?;
+        }
+        for i in 0..self.counts.len() {
+            let bar = "#".repeat(self.counts[i] * 40 / max);
+            writeln!(
+                f,
+                "[{:>8.0}, {:>8.0}) {:>6} {}",
+                self.edges[i],
+                self.edges[i + 1],
+                self.counts[i],
+                bar
+            )?;
+        }
+        if self.above > 0 {
+            writeln!(
+                f,
+                "{:>20} {:>6}",
+                format!(">= {:.0}", self.edges[self.edges.len() - 1]),
+                self.above
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-endpoint QoR movement between two analyses of the same design.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QorDelta {
+    /// Endpoints whose slack improved by more than the tolerance.
+    pub improved: usize,
+    /// Endpoints whose slack regressed by more than the tolerance.
+    pub regressed: usize,
+    /// Endpoints that stayed within the tolerance.
+    pub unchanged: usize,
+    /// TNS change, ps (positive = better).
+    pub tns_delta_ps: f64,
+    /// NVE change (negative = better).
+    pub nve_delta: isize,
+}
+
+/// Compares two reports endpoint-by-endpoint with a `tolerance_ps` dead-band.
+///
+/// # Panics
+/// Panics if the endpoint counts differ (the reports must describe the same
+/// design).
+pub fn qor_delta(before: &TimingReport, after: &TimingReport, tolerance_ps: f32) -> QorDelta {
+    assert_eq!(
+        before.endpoint_slacks().len(),
+        after.endpoint_slacks().len(),
+        "reports cover different designs"
+    );
+    let mut improved = 0;
+    let mut regressed = 0;
+    let mut unchanged = 0;
+    for (b, a) in before.endpoint_slacks().iter().zip(after.endpoint_slacks()) {
+        let d = a - b;
+        if d > tolerance_ps {
+            improved += 1;
+        } else if d < -tolerance_ps {
+            regressed += 1;
+        } else {
+            unchanged += 1;
+        }
+    }
+    QorDelta {
+        improved,
+        regressed,
+        unchanged,
+        tns_delta_ps: after.tns() - before.tns(),
+        nve_delta: after.nve() as isize - before.nve() as isize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze, TimingGraph};
+    use crate::clock::ClockSchedule;
+    use crate::constraints::{Constraints, EndpointMargins};
+    use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+
+    fn reports() -> (TimingReport, TimingReport, usize) {
+        let d = generate(&DesignSpec::new("h", 500, TechNode::N7, 41));
+        let graph = TimingGraph::new(&d.netlist);
+        let cons = Constraints::with_period(d.period_ps);
+        let margins = EndpointMargins::zero(&d.netlist);
+        let mut clocks = ClockSchedule::balanced(&d.netlist, 60.0, 3.0, 300.0, 2);
+        let before = analyze(&d.netlist, &graph, &cons, &clocks, &margins);
+        clocks.adjust(0, 25.0);
+        let after = analyze(&d.netlist, &graph, &cons, &clocks, &margins);
+        (before, after, d.netlist.endpoints().len())
+    }
+
+    #[test]
+    fn histogram_conserves_endpoints() {
+        let (rep, _, n) = reports();
+        let h = SlackHistogram::new(&rep, -500.0, 500.0, 10);
+        assert_eq!(h.total(), n);
+        assert_eq!(h.edges().len(), 11);
+        assert_eq!(h.counts().len(), 10);
+        let text = h.to_string();
+        assert!(text.contains('['));
+        // Extreme range captures everything in-range.
+        let wide = SlackHistogram::new(&rep, -1e9, 1e9, 4);
+        assert_eq!(wide.underflow() + wide.overflow(), 0);
+        assert_eq!(wide.total(), n);
+    }
+
+    #[test]
+    fn delta_counts_add_up() {
+        let (before, after, n) = reports();
+        let d = qor_delta(&before, &after, 0.5);
+        assert_eq!(d.improved + d.regressed + d.unchanged, n);
+        // Delaying a capture clock improves at least its own endpoint.
+        assert!(d.improved >= 1);
+        assert_eq!(d.tns_delta_ps, after.tns() - before.tns());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty slack range")]
+    fn bad_range_panics() {
+        let (rep, _, _) = reports();
+        let _ = SlackHistogram::new(&rep, 10.0, 10.0, 4);
+    }
+}

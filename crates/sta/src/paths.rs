@@ -1,0 +1,213 @@
+//! K-worst path enumeration.
+//!
+//! [`worst_paths`] returns, for one endpoint, the K distinct paths with the
+//! latest arrival, using a lazy best-first search over the fan-in DAG (a
+//! REA/k-longest-paths variant): partial paths are expanded backwards from
+//! the endpoint, ranked by their *potential* arrival — the accumulated
+//! suffix delay plus the STA arrival at the current frontier cell, which is
+//! an exact (not heuristic) bound under the engine's delay model.
+
+use crate::analysis::TimingReport;
+use crate::delay::{cell_delay, edge_timing};
+use rl_ccd_netlist::{CellId, Netlist};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One enumerated path, startpoint-first.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimingPath {
+    /// Cells from startpoint to the endpoint cell.
+    pub cells: Vec<CellId>,
+    /// Data arrival time at the endpoint pin along this path, ps.
+    pub arrival: f32,
+}
+
+/// A partial path during the search: a suffix ending at the endpoint.
+struct Partial {
+    /// Frontier cell (the path is `frontier → suffix... → endpoint`).
+    frontier: CellId,
+    /// Cells of the suffix, endpoint-last (frontier excluded).
+    suffix: Vec<CellId>,
+    /// Delay of the suffix edges, from the frontier's *output pin* to the
+    /// endpoint pin, ps.
+    suffix_delay: f32,
+    /// Upper bound on the full-path arrival: out-arrival(frontier) + suffix.
+    potential: f32,
+}
+
+impl PartialEq for Partial {
+    fn eq(&self, other: &Self) -> bool {
+        self.potential == other.potential
+    }
+}
+impl Eq for Partial {}
+impl PartialOrd for Partial {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Partial {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.potential
+            .partial_cmp(&other.potential)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Enumerates up to `k` worst (latest-arrival) paths into `endpoint_index`.
+///
+/// Paths are returned in non-increasing arrival order. The expansion bound
+/// is exact, so the first completed path is the true worst path and the
+/// enumeration never returns a path out of order.
+///
+/// # Examples
+/// ```
+/// use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+/// use rl_ccd_sta::{analyze, worst_paths, ClockSchedule, Constraints, EndpointMargins, TimingGraph};
+///
+/// let d = generate(&DesignSpec::new("paths", 300, TechNode::N7, 3));
+/// let graph = TimingGraph::new(&d.netlist);
+/// let clocks = ClockSchedule::balanced(&d.netlist, 60.0, 3.0, 200.0, 1);
+/// let report = analyze(
+///     &d.netlist,
+///     &graph,
+///     &Constraints::with_period(d.period_ps),
+///     &clocks,
+///     &EndpointMargins::zero(&d.netlist),
+/// );
+/// let paths = worst_paths(&d.netlist, &report, 0, 3);
+/// assert!(!paths.is_empty());
+/// assert!((paths[0].arrival - report.endpoint_arrival(0)).abs() < 1.0);
+/// ```
+pub fn worst_paths(
+    netlist: &Netlist,
+    report: &TimingReport,
+    endpoint_index: usize,
+    k: usize,
+) -> Vec<TimingPath> {
+    let ep = netlist.endpoints()[endpoint_index];
+    let ep_cell = ep.cell();
+    let mut heap: BinaryHeap<Partial> = BinaryHeap::new();
+    let lib = netlist.library();
+    // Seed: the endpoint's data input drivers.
+    let data_net = netlist.cell(ep_cell).inputs[0];
+    {
+        let drv = netlist.net(data_net).driver;
+        let et = edge_timing(netlist, data_net, ep_cell, report.out_slew(drv));
+        heap.push(Partial {
+            frontier: drv,
+            suffix: vec![ep_cell],
+            suffix_delay: et.wire_delay,
+            potential: report.out_arrival(drv) + et.wire_delay,
+        });
+    }
+    let mut out = Vec::new();
+    let mut expansions = 0usize;
+    // Guard against pathological blow-up on dense reconvergence.
+    let max_expansions = 50_000 + 200 * k;
+    while let Some(p) = heap.pop() {
+        if out.len() >= k || expansions > max_expansions {
+            break;
+        }
+        expansions += 1;
+        if !netlist.kind(p.frontier).is_combinational() {
+            // Reached a startpoint: the partial is a complete path.
+            let mut cells = Vec::with_capacity(p.suffix.len() + 1);
+            cells.push(p.frontier);
+            cells.extend(p.suffix.iter().rev());
+            out.push(TimingPath {
+                cells,
+                arrival: p.potential,
+            });
+            continue;
+        }
+        // Expand backwards through every input pin of the frontier cell.
+        let cell = netlist.cell(p.frontier);
+        let lc = lib.cell(cell.lib);
+        let my_load = cell.output.map(|n| netlist.net_load(n)).unwrap_or(0.0);
+        for (pin, &net) in cell.inputs.iter().enumerate() {
+            let drv = netlist.net(net).driver;
+            let et = edge_timing(netlist, net, p.frontier, report.out_slew(drv));
+            let d = cell_delay(lib, lc, pin as u8, my_load, et.pin_slew);
+            let mut suffix = p.suffix.clone();
+            suffix.push(p.frontier);
+            // Note: suffix stores endpoint-last; frontier appended at the
+            // back, reversed on completion.
+            let suffix_delay = p.suffix_delay + d + et.wire_delay;
+            heap.push(Partial {
+                frontier: drv,
+                suffix,
+                suffix_delay,
+                potential: report.out_arrival(drv) + et.wire_delay + d + p.suffix_delay,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze, TimingGraph};
+    use crate::clock::ClockSchedule;
+    use crate::constraints::{Constraints, EndpointMargins};
+    use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+
+    fn setup() -> (rl_ccd_netlist::GeneratedDesign, TimingGraph, TimingReport) {
+        let d = generate(&DesignSpec::new("kpaths", 500, TechNode::N7, 8));
+        let graph = TimingGraph::new(&d.netlist);
+        let clocks = ClockSchedule::balanced(&d.netlist, 60.0, 3.0, 200.0, 1);
+        let rep = analyze(
+            &d.netlist,
+            &graph,
+            &Constraints::with_period(d.period_ps),
+            &clocks,
+            &EndpointMargins::zero(&d.netlist),
+        );
+        (d, graph, rep)
+    }
+
+    #[test]
+    fn first_path_matches_sta_arrival() {
+        let (d, _, rep) = setup();
+        let viol = rep.violating_endpoints();
+        assert!(!viol.is_empty());
+        for &ei in viol.iter().take(5) {
+            let paths = worst_paths(&d.netlist, &rep, ei, 3);
+            assert!(!paths.is_empty());
+            // The top path's arrival equals the STA endpoint arrival.
+            assert!(
+                (paths[0].arrival - rep.endpoint_arrival(ei)).abs() < 0.5,
+                "endpoint {ei}: {} vs {}",
+                paths[0].arrival,
+                rep.endpoint_arrival(ei)
+            );
+        }
+    }
+
+    #[test]
+    fn paths_are_ordered_and_distinct() {
+        let (d, _, rep) = setup();
+        let ei = rep.violating_endpoints()[0];
+        let paths = worst_paths(&d.netlist, &rep, ei, 8);
+        for w in paths.windows(2) {
+            assert!(w[0].arrival >= w[1].arrival - 1e-3, "paths out of order");
+            assert_ne!(w[0].cells, w[1].cells, "duplicate path");
+        }
+        // Each path runs startpoint → endpoint cell.
+        let ep_cell = d.netlist.endpoints()[ei].cell();
+        for p in &paths {
+            assert!(!d.netlist.kind(p.cells[0]).is_combinational());
+            assert_eq!(*p.cells.last().expect("non-empty"), ep_cell);
+        }
+    }
+
+    #[test]
+    fn k_limits_output() {
+        let (d, _, rep) = setup();
+        let ei = rep.violating_endpoints()[0];
+        assert!(worst_paths(&d.netlist, &rep, ei, 1).len() == 1);
+        let many = worst_paths(&d.netlist, &rep, ei, 4);
+        assert!(many.len() <= 4);
+    }
+}

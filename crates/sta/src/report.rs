@@ -1,0 +1,168 @@
+//! Human-readable timing reports and worst-path tracing.
+
+use crate::analysis::TimingReport;
+use crate::clock::ClockSchedule;
+use rl_ccd_netlist::{CellId, Netlist};
+use std::fmt::Write as _;
+
+/// One hop of a traced timing path, endpoint-first.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PathHop {
+    /// The cell at this hop.
+    pub cell: CellId,
+    /// Arrival time at the cell's output (or at the endpoint pin for the
+    /// first hop), ps.
+    pub arrival: f32,
+}
+
+/// Traces the worst (latest-arrival) path into endpoint `endpoint_index`,
+/// returned startpoint-first. The trace follows, at each cell, the input
+/// pin whose driver has the latest output arrival — a close proxy for the
+/// true worst path under the linear delay model.
+pub fn worst_path(netlist: &Netlist, report: &TimingReport, endpoint_index: usize) -> Vec<PathHop> {
+    let mut hops = Vec::new();
+    let ep = netlist.endpoints()[endpoint_index];
+    let mut cell = ep.cell();
+    hops.push(PathHop {
+        cell,
+        arrival: report.endpoint_arrival(endpoint_index),
+    });
+    loop {
+        let inputs = &netlist.cell(cell).inputs;
+        if inputs.is_empty() {
+            break;
+        }
+        // Worst driver by output arrival.
+        let drv = inputs
+            .iter()
+            .map(|&n| netlist.net(n).driver)
+            .max_by(|a, b| {
+                report
+                    .out_arrival(*a)
+                    .partial_cmp(&report.out_arrival(*b))
+                    .expect("arrivals are finite")
+            })
+            .expect("non-empty inputs");
+        hops.push(PathHop {
+            cell: drv,
+            arrival: report.out_arrival(drv),
+        });
+        if !netlist.kind(drv).is_combinational() {
+            break; // reached a startpoint
+        }
+        cell = drv;
+    }
+    hops.reverse();
+    hops
+}
+
+/// Formats a QoR summary line (times converted to ns, as in Table II).
+pub fn qor_line(report: &TimingReport) -> String {
+    format!(
+        "WNS {:+.3} ns | TNS {:+.2} ns | NVE {}",
+        report.wns() / 1000.0,
+        report.tns() / 1000.0,
+        report.nve()
+    )
+}
+
+/// Formats a detailed report: QoR summary, the K worst endpoints with their
+/// traced paths, and the clock-skew spread.
+pub fn full_report(
+    netlist: &Netlist,
+    report: &TimingReport,
+    clocks: &ClockSchedule,
+    worst_k: usize,
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "design {}: {}", netlist.name(), qor_line(report));
+    let viol = report.violating_endpoints();
+    let _ = writeln!(
+        s,
+        "{} violating endpoints; showing worst {}",
+        viol.len(),
+        worst_k.min(viol.len())
+    );
+    for &ei in viol.iter().take(worst_k) {
+        let path = worst_path(netlist, report, ei);
+        let _ = writeln!(
+            s,
+            "  endpoint e{}  slack {:+.1} ps  path ({} hops):",
+            ei,
+            report.endpoint_slack(ei),
+            path.len()
+        );
+        for hop in &path {
+            let _ = writeln!(
+                s,
+                "    {:>8}  {}  arr {:>8.1} ps",
+                hop.cell.to_string(),
+                netlist.kind(hop.cell),
+                hop.arrival
+            );
+        }
+    }
+    let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+    for r in 0..clocks.len() {
+        lo = lo.min(clocks.skew(r));
+        hi = hi.max(clocks.skew(r));
+    }
+    if !clocks.is_empty() {
+        let _ = writeln!(
+            s,
+            "clock skews: [{lo:+.1}, {hi:+.1}] ps over {} regs",
+            clocks.len()
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze, TimingGraph};
+    use crate::constraints::{Constraints, EndpointMargins};
+    use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+
+    #[test]
+    fn worst_path_starts_at_a_startpoint() {
+        let d = generate(&DesignSpec::new("r", 500, TechNode::N7, 4));
+        let graph = TimingGraph::new(&d.netlist);
+        let clocks = ClockSchedule::balanced(&d.netlist, 80.0, 4.0, 40.0, 5);
+        let rep = analyze(
+            &d.netlist,
+            &graph,
+            &Constraints::with_period(d.period_ps),
+            &clocks,
+            &EndpointMargins::zero(&d.netlist),
+        );
+        let viol = rep.violating_endpoints();
+        assert!(!viol.is_empty(), "calibrated design must violate");
+        let path = worst_path(&d.netlist, &rep, viol[0]);
+        assert!(path.len() >= 2);
+        // First hop is a startpoint (not combinational).
+        assert!(!d.netlist.kind(path[0].cell).is_combinational());
+        // Arrivals are non-decreasing along the path.
+        for w in path.windows(2) {
+            assert!(w[1].arrival >= w[0].arrival - 1e-3);
+        }
+    }
+
+    #[test]
+    fn report_text_mentions_qor() {
+        let d = generate(&DesignSpec::new("r", 400, TechNode::N12, 4));
+        let graph = TimingGraph::new(&d.netlist);
+        let clocks = ClockSchedule::balanced(&d.netlist, 80.0, 4.0, 40.0, 5);
+        let rep = analyze(
+            &d.netlist,
+            &graph,
+            &Constraints::with_period(d.period_ps),
+            &clocks,
+            &EndpointMargins::zero(&d.netlist),
+        );
+        let text = full_report(&d.netlist, &rep, &clocks, 3);
+        assert!(text.contains("WNS"));
+        assert!(text.contains("violating endpoints"));
+        assert!(qor_line(&rep).contains("TNS"));
+    }
+}

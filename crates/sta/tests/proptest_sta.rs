@@ -1,0 +1,113 @@
+//! Property-based tests of the timing engine on randomly generated
+//! designs: finiteness, margin linearity, skew monotonicity, and the
+//! downstream-hold invariant the useful-skew engine relies on.
+
+use proptest::prelude::*;
+use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+use rl_ccd_sta::{analyze, ClockSchedule, Constraints, EndpointMargins, TimingGraph};
+
+fn setup(
+    seed: u64,
+    cells: usize,
+) -> (
+    rl_ccd_netlist::GeneratedDesign,
+    TimingGraph,
+    Constraints,
+    ClockSchedule,
+) {
+    let d = generate(&DesignSpec::new("psta", cells, TechNode::N7, seed));
+    let graph = TimingGraph::new(&d.netlist);
+    let cons = Constraints::with_period(d.period_ps);
+    let clocks = ClockSchedule::balanced(&d.netlist, 0.1 * d.period_ps, 2.0, d.period_ps, seed);
+    (d, graph, cons, clocks)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn all_reported_quantities_are_finite(seed in 0u64..400) {
+        let (d, graph, cons, clocks) = setup(seed, 400);
+        let rep = analyze(&d.netlist, &graph, &cons, &clocks, &EndpointMargins::zero(&d.netlist));
+        for i in 0..d.netlist.endpoints().len() {
+            prop_assert!(rep.endpoint_slack(i).is_finite());
+            prop_assert!(rep.endpoint_arrival(i).is_finite());
+            prop_assert!(rep.endpoint_arrival(i) >= 0.0);
+        }
+        for c in d.netlist.cell_ids() {
+            prop_assert!(!rep.out_slew(c).is_nan());
+            prop_assert!(!rep.cell_slack(c).is_nan());
+        }
+        prop_assert!(rep.wns() <= 0.0);
+        prop_assert!(rep.tns() <= 0.0);
+        prop_assert_eq!(rep.nve(), rep.violating_endpoints().len());
+    }
+
+    #[test]
+    fn margins_shift_slack_exactly(seed in 0u64..400, margin in 1.0f32..200.0) {
+        let (d, graph, cons, clocks) = setup(seed, 350);
+        let zero = EndpointMargins::zero(&d.netlist);
+        let before = analyze(&d.netlist, &graph, &cons, &clocks, &zero);
+        let target = seed as usize % d.netlist.endpoints().len();
+        let mut margins = EndpointMargins::zero(&d.netlist);
+        margins.set(target, margin);
+        let after = analyze(&d.netlist, &graph, &cons, &clocks, &margins);
+        // The margined endpoint's slack drops by exactly the margin…
+        prop_assert!(
+            (before.endpoint_slack(target) - after.endpoint_slack(target) - margin).abs() < 1e-2
+        );
+        // …and no other endpoint's own check moves.
+        for i in 0..d.netlist.endpoints().len() {
+            if i != target {
+                prop_assert_eq!(before.endpoint_slack(i), after.endpoint_slack(i));
+            }
+        }
+    }
+
+    #[test]
+    fn capture_delay_adds_slack_one_to_one(seed in 0u64..400, delta in 1.0f32..100.0) {
+        let (d, graph, cons, mut clocks) = setup(seed, 350);
+        let zero = EndpointMargins::zero(&d.netlist);
+        let before = analyze(&d.netlist, &graph, &cons, &clocks, &zero);
+        let reg = seed as usize % d.netlist.flops().len();
+        let ei = graph.endpoint_of_flop(reg);
+        clocks.adjust(reg, delta);
+        let after = analyze(&d.netlist, &graph, &cons, &clocks, &zero);
+        // Setup slack at the register's own D grows by exactly delta…
+        prop_assert!(
+            (after.endpoint_slack(ei) - before.endpoint_slack(ei) - delta).abs() < 1e-2
+        );
+        // …its hold slack shrinks by exactly delta…
+        prop_assert!(
+            (before.endpoint_hold_slack(ei) - after.endpoint_hold_slack(ei) - delta).abs() < 1e-2
+        );
+        // …and every *other* endpoint's slack can only stay or shrink
+        // (delaying a launch clock never helps anyone else's setup).
+        for i in 0..d.netlist.endpoints().len() {
+            if i != ei {
+                prop_assert!(after.endpoint_slack(i) <= before.endpoint_slack(i) + 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn downstream_hold_lower_bounds_endpoint_holds(seed in 0u64..400) {
+        let (d, graph, cons, clocks) = setup(seed, 350);
+        let rep = analyze(&d.netlist, &graph, &cons, &clocks, &EndpointMargins::zero(&d.netlist));
+        // For every register endpoint, the launching registers' downstream
+        // hold must not exceed this endpoint's hold slack.
+        for (ei, ep) in d.netlist.endpoints().iter().enumerate() {
+            let h = rep.endpoint_hold_slack(ei);
+            if !h.is_finite() {
+                continue;
+            }
+            let cell = ep.cell();
+            let driver = d.netlist.net(d.netlist.cell(cell).inputs[0]).driver;
+            prop_assert!(
+                rep.downstream_hold_slack(driver) <= h + 1e-3,
+                "endpoint {ei}: downstream hold {} > endpoint hold {h}",
+                rep.downstream_hold_slack(driver)
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! The paper's §I observation, measured: "not all violating endpoints are
+//! equal". For every violating endpoint, estimate how much of its violation
+//! clock-path and data-path optimization could each recover.
+//!
+//! ```text
+//! cargo run --release --example endpoint_sensitivity
+//! ```
+
+use rl_ccd_flow::{endpoint_sensitivities, FlowRecipe};
+use rl_ccd_netlist::{generate, ClusterClass, DesignSpec, TechNode};
+use rl_ccd_sta::{analyze, Constraints, EndpointMargins, TimingGraph};
+
+fn main() {
+    let design = generate(&DesignSpec::new("sens", 1500, TechNode::N7, 52));
+    let recipe = FlowRecipe::default();
+    let graph = TimingGraph::new(&design.netlist);
+    let clocks = recipe.clock_schedule(&design.netlist, design.period_ps);
+    let report = analyze(
+        &design.netlist,
+        &graph,
+        &Constraints::with_period(design.period_ps),
+        &clocks,
+        &EndpointMargins::zero(&design.netlist),
+    );
+    let sens = endpoint_sensitivities(&design.netlist, &graph, &report, 2.0);
+    println!(
+        "{} violating endpoints (WNS {:.0} ps)\n",
+        sens.len(),
+        report.wns()
+    );
+    println!(
+        "{:>5} {:>8} {:>8} {:>7} {:>7} {:>8}  class",
+        "ep", "need", "clock", "cfix", "dfix", "prefers"
+    );
+    for s in sens.iter().take(25) {
+        println!(
+            "{:>5} {:>8.0} {:>8.0} {:>6.0}% {:>6.0}% {:>8}  {:?}",
+            s.endpoint,
+            s.need_ps,
+            s.clock_recoverable_ps,
+            100.0 * s.clock_fixability(),
+            100.0 * s.data_fixability(),
+            if s.prefers_clock() { "clock" } else { "data" },
+            design.endpoint_class[s.endpoint],
+        );
+    }
+    // Class-level summary: the ground truth RL-CCD has to rediscover.
+    for class in [
+        ClusterClass::Normal,
+        ClusterClass::Deep,
+        ClusterClass::Chain,
+    ] {
+        let members: Vec<_> = sens
+            .iter()
+            .filter(|s| design.endpoint_class[s.endpoint] == class)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let clockish = members.iter().filter(|s| s.prefers_clock()).count();
+        println!(
+            "\n{class:?}: {} violating, {clockish} prefer clock ({:.0}%)",
+            members.len(),
+            100.0 * clockish as f64 / members.len() as f64
+        );
+    }
+}

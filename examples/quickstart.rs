@@ -1,0 +1,68 @@
+//! Quickstart: generate a design, inspect its timing, run the default tool
+//! flow, then let RL-CCD prioritize endpoints and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rl_ccd::{train, CcdEnv, RlConfig};
+use rl_ccd_flow::FlowRecipe;
+use rl_ccd_netlist::{generate, DesignSpec, DesignStats, TechNode};
+use rl_ccd_sta::{analyze, qor_line, Constraints, EndpointMargins, TimingGraph};
+
+fn main() {
+    // 1. A synthetic placed design (seeded → fully reproducible).
+    let spec = DesignSpec::new("quickstart", 1200, TechNode::N7, 42);
+    let design = generate(&spec);
+    println!(
+        "generated {}: {}",
+        spec.name,
+        DesignStats::of(&design.netlist)
+    );
+    println!("calibrated clock period: {:.0} ps", design.period_ps);
+
+    // 2. Static timing at the begin state.
+    let recipe = FlowRecipe::default();
+    let graph = TimingGraph::new(&design.netlist);
+    let clocks = recipe.clock_schedule(&design.netlist, design.period_ps);
+    let report = analyze(
+        &design.netlist,
+        &graph,
+        &Constraints::with_period(design.period_ps),
+        &clocks,
+        &EndpointMargins::zero(&design.netlist),
+    );
+    println!("begin timing: {}", qor_line(&report));
+
+    // 3. The native tool flow (no endpoint prioritization).
+    let env = CcdEnv::new(design, recipe, 24);
+    let default = env.default_flow();
+    println!(
+        "default flow: TNS {:.2} ns, {} violations, {:.2} mW",
+        default.final_qor.tns_ns(),
+        default.final_qor.nve,
+        default.final_qor.power_mw
+    );
+
+    // 4. Train RL-CCD (a short run; raise max_iterations for better QoR).
+    let mut config = RlConfig::default();
+    config.max_iterations = 10;
+    println!(
+        "training RL-CCD on {} violating endpoints…",
+        env.pool().len()
+    );
+    let outcome = train(&env, &config, None);
+    println!(
+        "RL-CCD:       TNS {:.2} ns ({:+.1}% vs default), {} violations, {} endpoints prioritized",
+        outcome.best_result.final_qor.tns_ns(),
+        outcome.best_result.tns_gain_over(&default),
+        outcome.best_result.final_qor.nve,
+        outcome.best_selection.len()
+    );
+    for h in &outcome.history {
+        println!(
+            "  iter {:>2}: batch mean {:>10.0} ps, best so far {:>10.0} ps",
+            h.iteration, h.mean_reward, h.best_so_far
+        );
+    }
+}

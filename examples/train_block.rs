@@ -1,0 +1,49 @@
+//! Train RL-CCD on one block of the paper's suite and save the parameters
+//! (usable later for transfer learning).
+//!
+//! ```text
+//! cargo run --release --example train_block -- [block_index 0..19] [scale] [iterations]
+//! cargo run --release --example train_block -- 10 0.5 12
+//! ```
+
+use rl_ccd::{save_params, train, CcdEnv, RlConfig};
+use rl_ccd_flow::FlowRecipe;
+use rl_ccd_netlist::{block_suite, generate};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let index: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(10);
+    let scale: f32 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(0.5);
+    let iters: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(12);
+
+    let suite = block_suite(scale);
+    let spec = &suite[index.min(suite.len() - 1)];
+    let design = generate(spec);
+    println!(
+        "training on {} ({} cells, {})",
+        spec.name,
+        design.netlist.cell_count(),
+        spec.tech.name()
+    );
+
+    let env = CcdEnv::new(design, FlowRecipe::default(), 24);
+    let default = env.default_flow();
+    let mut config = RlConfig::default();
+    config.max_iterations = iters;
+    let outcome = train(&env, &config, None);
+
+    println!(
+        "default TNS {:.2} ns → RL-CCD {:.2} ns ({:+.1}%), {} endpoints prioritized in {} iterations",
+        default.final_qor.tns_ns(),
+        outcome.best_result.final_qor.tns_ns(),
+        outcome.best_result.tns_gain_over(&default),
+        outcome.best_selection.len(),
+        outcome.history.len()
+    );
+
+    let path = format!("{}_params.txt", spec.name);
+    match save_params(&outcome.params, &path) {
+        Ok(()) => println!("saved trained parameters to {path}"),
+        Err(e) => eprintln!("could not save parameters: {e}"),
+    }
+}

@@ -1,0 +1,59 @@
+//! Transfer learning (paper §IV-B): pre-train the EP-GNN on one design,
+//! reuse it on an unseen design with a fresh encoder/decoder, and compare
+//! convergence against training from scratch.
+//!
+//! ```text
+//! cargo run --release --example transfer_learning
+//! ```
+
+use rl_ccd::{train, with_pretrained_gnn, CcdEnv, RlConfig};
+use rl_ccd_flow::FlowRecipe;
+use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+
+fn main() {
+    let mut config = RlConfig::default();
+    config.max_iterations = 10;
+    config.patience = 10;
+
+    // Donor: a mid-size 7 nm design.
+    let donor_design = generate(&DesignSpec::new("donor", 1200, TechNode::N7, 7));
+    println!(
+        "pre-training on donor ({} cells)…",
+        donor_design.netlist.cell_count()
+    );
+    let donor_env = CcdEnv::new(donor_design, FlowRecipe::default(), config.fanout_cap);
+    let donor = train(&donor_env, &config, None);
+
+    // Unseen target, same technology.
+    let target_design = generate(&DesignSpec::new("target", 1500, TechNode::N7, 99));
+    println!(
+        "target: {} cells, unseen by the donor run",
+        target_design.netlist.cell_count()
+    );
+    let env = CcdEnv::new(target_design, FlowRecipe::default(), config.fanout_cap);
+    let default = env.default_flow();
+
+    let scratch = train(&env, &config, None);
+    let (_, params, adopted) = with_pretrained_gnn(config.clone(), &donor.params);
+    println!("adopted {adopted} pre-trained EP-GNN tensors");
+    let transferred = train(&env, &config, Some(params));
+
+    println!(
+        "\n{:>5} {:>16} {:>16}   (best TNS so far, ps; default {:.0})",
+        "iter", "scratch", "transfer", default.final_qor.tns_ps
+    );
+    for i in 0..scratch.history.len().max(transferred.history.len()) {
+        let s = scratch.history.get(i).map(|h| h.best_so_far);
+        let t = transferred.history.get(i).map(|h| h.best_so_far);
+        println!(
+            "{i:>5} {:>16} {:>16}",
+            s.map(|v| format!("{v:.0}")).unwrap_or_default(),
+            t.map(|v| format!("{v:.0}")).unwrap_or_default()
+        );
+    }
+    println!(
+        "\nscratch best {:+.1}% | transfer best {:+.1}% vs default flow",
+        scratch.best_result.tns_gain_over(&default),
+        transferred.best_result.tns_gain_over(&default)
+    );
+}

@@ -1,0 +1,75 @@
+//! # RL-CCD reproduction — umbrella crate
+//!
+//! A from-scratch Rust reproduction of *RL-CCD: Concurrent Clock and Data
+//! Optimization using Attention-Based Self-Supervised Reinforcement
+//! Learning* (DAC 2023). This crate re-exports the whole stack and hosts
+//! the repository-level examples, integration tests, and the `rlccd` CLI.
+//!
+//! The layers, bottom-up:
+//!
+//! * [`netlist`] — gate-level netlist substrate: typed graph, synthetic
+//!   technology libraries, the seeded design generator, fan-in cones,
+//!   GNN message-graph transformation, placement & power models.
+//! * [`sta`] — slew-aware static timing analysis: arrivals, required times,
+//!   per-register clock schedules, margins, WNS/TNS/NVE.
+//! * [`flow`] — the "commercial tool" substrate: the useful-skew engine,
+//!   the budgeted data-path optimizer, hold fixing, and the full placement
+//!   optimization flow of the paper's Fig. 1.
+//! * [`nn`] — tape-based autodiff, Linear/LSTM/GRU, Adam, serialization.
+//! * [`agent`] — the paper's contribution: EP-GNN, LSTM encoder, pointer
+//!   attention, cone-overlap masking, REINFORCE training, transfer
+//!   learning.
+//!
+//! # End-to-end in eight lines
+//! ```no_run
+//! use rl_ccd_repro::prelude::*;
+//!
+//! let design = generate(&DesignSpec::new("demo", 1200, TechNode::N7, 42));
+//! let env = CcdEnv::new(design, FlowRecipe::default(), 24);
+//! let default = env.default_flow();
+//! let outcome = train(&env, &RlConfig::default(), None);
+//! println!(
+//!     "TNS {:.2} → {:.2} ns ({:+.1}%)",
+//!     default.final_qor.tns_ns(),
+//!     outcome.best_result.final_qor.tns_ns(),
+//!     outcome.best_result.tns_gain_over(&default),
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+/// Gate-level netlist substrate (re-export of [`rl_ccd_netlist`]).
+pub use rl_ccd_netlist as netlist;
+
+/// Static timing analysis engine (re-export of [`rl_ccd_sta`]).
+pub use rl_ccd_sta as sta;
+
+/// Placement-optimization flow simulator (re-export of [`rl_ccd_flow`]).
+pub use rl_ccd_flow as flow;
+
+/// Neural-network stack (re-export of [`rl_ccd_nn`]).
+pub use rl_ccd_nn as nn;
+
+/// The RL-CCD agent and trainer (re-export of [`rl_ccd`]).
+pub use rl_ccd as agent;
+
+/// The most common imports for working with the reproduction end to end.
+pub mod prelude {
+    pub use rl_ccd::{train, with_pretrained_gnn, Baseline, CcdEnv, EncoderKind, RlCcd, RlConfig};
+    pub use rl_ccd_flow::{run_flow, run_flow_traced, FlowRecipe, MarginMode};
+    pub use rl_ccd_netlist::{
+        block_suite, generate, DesignSpec, DesignStats, GeneratedDesign, TechNode,
+    };
+    pub use rl_ccd_sta::{analyze, ClockSchedule, Constraints, EndpointMargins, TimingGraph};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_links_the_stack() {
+        use crate::prelude::*;
+        let design = generate(&DesignSpec::new("facade", 300, TechNode::N12, 1));
+        let env = CcdEnv::new(design, FlowRecipe::default(), 24);
+        assert!(!env.pool().is_empty());
+    }
+}

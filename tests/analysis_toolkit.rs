@@ -1,0 +1,107 @@
+//! Integration of the analysis toolkit around the core flow: sensitivity,
+//! histograms, K-worst paths, hold fixing, and serialization working
+//! together on the same design.
+
+use rl_ccd_flow::{endpoint_sensitivities, fix_hold, run_flow_traced, FlowRecipe, HoldFixOpts};
+use rl_ccd_netlist::{generate, read_netlist, write_netlist, DesignSpec, TechNode};
+use rl_ccd_sta::{
+    analyze, qor_delta, worst_paths, Constraints, EndpointMargins, SlackHistogram, TimingGraph,
+};
+
+#[test]
+fn toolkit_agrees_on_one_design() {
+    let d = generate(&DesignSpec::new("toolkit", 900, TechNode::N7, 64));
+    let recipe = FlowRecipe::default();
+    let graph = TimingGraph::new(&d.netlist);
+    let cons = Constraints::with_period(d.period_ps);
+    let clocks = recipe.clock_schedule(&d.netlist, d.period_ps);
+    let report = analyze(
+        &d.netlist,
+        &graph,
+        &cons,
+        &clocks,
+        &EndpointMargins::zero(&d.netlist),
+    );
+
+    // Histogram totals = endpoint count; violating mass matches NVE.
+    let hist = SlackHistogram::new(&report, -2.0 * d.period_ps, 2.0 * d.period_ps, 16);
+    assert_eq!(hist.total(), d.netlist.endpoints().len());
+    let negative_mass: usize = hist
+        .counts()
+        .iter()
+        .zip(hist.edges().windows(2))
+        .filter(|(_, e)| e[1] <= 0.0)
+        .map(|(c, _)| c)
+        .sum::<usize>()
+        + hist.underflow();
+    assert!(negative_mass <= report.nve() + hist.counts()[7].max(1));
+
+    // Sensitivity covers every violation; K-worst paths agree with STA on
+    // the top path.
+    let sens = endpoint_sensitivities(&d.netlist, &graph, &report, 2.0);
+    assert_eq!(sens.len(), report.nve());
+    for s in sens.iter().take(3) {
+        let paths = worst_paths(&d.netlist, &report, s.endpoint, 2);
+        assert!((paths[0].arrival - report.endpoint_arrival(s.endpoint)).abs() < 0.5);
+    }
+}
+
+#[test]
+fn flow_then_holdfix_then_delta() {
+    let d = generate(&DesignSpec::new("tk2", 700, TechNode::N12, 65));
+    let recipe = FlowRecipe::default();
+    let (result, trace) = run_flow_traced(&d, &recipe, &[]);
+    assert_eq!(trace.len(), 5);
+
+    // Rebuild the post-begin state and run hold fixing on the raw design.
+    let mut netlist = d.netlist.clone();
+    let mut graph = TimingGraph::new(&netlist);
+    let cons = Constraints::with_period(d.period_ps);
+    let clocks = recipe.clock_schedule(&netlist, d.period_ps);
+    let before = analyze(
+        &netlist,
+        &graph,
+        &cons,
+        &clocks,
+        &EndpointMargins::zero(&netlist),
+    );
+    let (inserted, after) = fix_hold(
+        &mut netlist,
+        &mut graph,
+        &cons,
+        &clocks,
+        &HoldFixOpts {
+            max_buffers_per_endpoint: 8,
+            max_total_buffers: 2000,
+            ..HoldFixOpts::default()
+        },
+    );
+    // QoR delta machinery reports a consistent endpoint partition.
+    let delta = qor_delta(&before, &after, 0.5);
+    assert_eq!(
+        delta.improved + delta.regressed + delta.unchanged,
+        netlist.endpoints().len()
+    );
+    if inserted > 0 {
+        // Hold pads can only slow data paths down.
+        assert!(delta.tns_delta_ps <= 1.0);
+    }
+    // And the full flow still reports sane numbers on the original design.
+    assert!(result.final_qor.tns_ps >= result.begin.tns_ps);
+}
+
+#[test]
+fn serialized_design_flows_identically() {
+    let d = generate(&DesignSpec::new("tk3", 600, TechNode::N5, 66));
+    let mut buf = Vec::new();
+    write_netlist(&d.netlist, &mut buf).expect("serialize");
+    let loaded = read_netlist(&buf[..]).expect("parse");
+    let mut d2 = d.clone();
+    d2.netlist = loaded;
+    let recipe = FlowRecipe::default();
+    let a = rl_ccd_flow::run_flow(&d, &recipe, &[]);
+    let b = rl_ccd_flow::run_flow(&d2, &recipe, &[]);
+    assert_eq!(a.final_qor.tns_ps, b.final_qor.tns_ps);
+    assert_eq!(a.final_qor.nve, b.final_qor.nve);
+    assert_eq!(a.skews, b.skews);
+}

@@ -1,0 +1,86 @@
+//! Integration checks of the cone-overlap masking dynamics the agent
+//! exploits: the district asymmetry (deep selections mask chain endpoints,
+//! never vice versa) and trajectory-length control via ρ.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl_ccd::CcdEnv;
+use rl_ccd::{RlCcd, RlConfig, SelectionMask};
+use rl_ccd_flow::FlowRecipe;
+use rl_ccd_netlist::{generate, ClusterClass, DesignSpec, TechNode};
+
+fn env_with_classes(seed: u64) -> (CcdEnv, Vec<ClusterClass>) {
+    let d = generate(&DesignSpec::new("mask", 1200, TechNode::N7, seed));
+    let classes = d.endpoint_class.clone();
+    let env = CcdEnv::new(d, FlowRecipe::default(), 24);
+    let pool_classes = env.pool().iter().map(|&e| classes[e.index()]).collect();
+    (env, pool_classes)
+}
+
+#[test]
+fn district_masking_is_asymmetric() {
+    // Districts are paired geographically, so not every seed puts a paired
+    // deep+chain pair into the violating pool — but across several seeds
+    // many must appear, and wherever they do the asymmetry must hold.
+    let mut total_pairs = 0;
+    let mut masked = 0;
+    for seed in [77u64, 78, 79, 80] {
+        let (env, classes) = env_with_classes(seed);
+        let cones = env.cones();
+        for a in 0..env.pool().len() {
+            for b in 0..env.pool().len() {
+                if a == b || classes[a] != ClusterClass::Deep || classes[b] != ClusterClass::Chain {
+                    continue;
+                }
+                if cones.overlap_ratio(a, b) > 0.0 {
+                    total_pairs += 1;
+                    if cones.overlap_ratio(a, b) > 0.3 {
+                        masked += 1;
+                    }
+                    assert!(
+                        cones.overlap_ratio(b, a) <= 0.3,
+                        "seed {seed}: chain selection must never mask deep ({b}→{a})"
+                    );
+                }
+            }
+        }
+    }
+    assert!(total_pairs >= 5, "too few district pairs: {total_pairs}");
+    assert!(
+        masked * 10 >= total_pairs * 7,
+        "deep should mask chains in most pairs: {masked}/{total_pairs}"
+    );
+}
+
+#[test]
+fn rho_controls_trajectory_length() {
+    let (env, _) = env_with_classes(80);
+    let steps_at = |rho: f32| {
+        let mut cfg = RlConfig::fast();
+        cfg.rho = rho;
+        let (model, params) = RlCcd::init(cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        model.rollout(&params, &env, &mut rng).steps()
+    };
+    let tight = steps_at(0.1); // aggressive masking → few selections
+    let loose = steps_at(0.95); // masking off → select everything
+    assert!(tight < loose, "tight {tight} !< loose {loose}");
+    assert_eq!(loose, env.pool().len(), "ρ→1 must select the whole pool");
+}
+
+#[test]
+fn selection_mask_and_rollout_agree() {
+    // Replaying a rollout's actions through a fresh SelectionMask produces
+    // the same flagged set (the rollout and the mask share semantics).
+    let (env, _) = env_with_classes(81);
+    let (model, params) = RlCcd::init(RlConfig::fast());
+    let mut rng = StdRng::seed_from_u64(9);
+    let ro = model.rollout(&params, &env, &mut rng);
+    let mut mask = SelectionMask::new(env.pool().len(), RlConfig::fast().rho);
+    for e in &ro.selected {
+        let local = env.pool().iter().position(|p| p == e).expect("in pool");
+        mask.select(local, env.cones());
+    }
+    assert!(!mask.any_valid(), "rollout must exhaust the pool");
+    assert_eq!(mask.selected().len(), ro.steps());
+}

@@ -1,0 +1,63 @@
+//! The §IV-B transfer-learning protocol end to end at test scale.
+
+use rl_ccd::{train, with_pretrained_gnn, CcdEnv, RlConfig};
+use rl_ccd_flow::FlowRecipe;
+use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+
+fn fast() -> RlConfig {
+    let mut cfg = RlConfig::fast();
+    cfg.workers = 3;
+    cfg.max_iterations = 2;
+    cfg.patience = 2;
+    cfg
+}
+
+#[test]
+fn gnn_transfers_and_trains_on_an_unseen_design() {
+    // Donor: train briefly on one design.
+    let donor_design = generate(&DesignSpec::new("donor", 500, TechNode::N7, 81));
+    let donor_env = CcdEnv::new(donor_design, FlowRecipe::default(), 24);
+    let cfg = fast();
+    let donor = train(&donor_env, &cfg, None);
+
+    // Target: unseen design, same technology, adopted EP-GNN. (Whether the
+    // short donor run updated the weights depends on batch variance; the
+    // adoption mechanics are what this test pins down.)
+    let target_design = generate(&DesignSpec::new("target", 600, TechNode::N7, 82));
+    let target_env = CcdEnv::new(target_design, FlowRecipe::default(), 24);
+    let (_, params, adopted) = with_pretrained_gnn(cfg.clone(), &donor.params);
+    assert!(adopted >= 8, "EP-GNN has ≥ 8 tensors (3 layers + FC)");
+    // Adopted params equal the donor's GNN exactly.
+    for (name, t) in donor.params.iter() {
+        if name.starts_with("gnn.") {
+            assert_eq!(params.get(name), Some(t), "{name} not adopted");
+        }
+    }
+    let transferred = train(&target_env, &cfg, Some(params));
+    assert!(!transferred.history.is_empty());
+    assert!(transferred.best_result.final_qor.tns_ps <= 0.0);
+    // The champion never falls below the native flow (fallback guarantee).
+    let default = target_env.default_flow();
+    assert!(transferred.best_result.final_qor.tns_ps >= default.final_qor.tns_ps);
+}
+
+#[test]
+fn transfer_is_deterministic() {
+    let donor_design = generate(&DesignSpec::new("dd", 450, TechNode::N12, 83));
+    let donor_env = CcdEnv::new(donor_design, FlowRecipe::default(), 24);
+    let cfg = fast();
+    let donor = train(&donor_env, &cfg, None);
+    let run = || {
+        let target = generate(&DesignSpec::new("tt", 500, TechNode::N12, 84));
+        let env = CcdEnv::new(target, FlowRecipe::default(), 24);
+        let (_, params, _) = with_pretrained_gnn(cfg.clone(), &donor.params);
+        train(&env, &cfg, Some(params))
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.best_selection, b.best_selection);
+    assert_eq!(
+        a.best_result.final_qor.tns_ps,
+        b.best_result.final_qor.tns_ps
+    );
+}
