@@ -33,7 +33,12 @@ fn main() {
     let mut sums = [0.0f64; 3];
     for i in 0..designs {
         let name = format!("enc{i}");
-        let design = generate(&DesignSpec::new(&name, cells, TechNode::N7, seed0 + i as u64));
+        let design = generate(&DesignSpec::new(
+            &name,
+            cells,
+            TechNode::N7,
+            seed0 + i as u64,
+        ));
         let env = CcdEnv::new(
             design,
             FlowRecipe::default(),
@@ -45,9 +50,11 @@ fn main() {
             .into_iter()
             .enumerate()
         {
-            let mut config = RlConfig::default();
-            config.max_iterations = iters;
-            config.encoder = kind;
+            let config = RlConfig {
+                max_iterations: iters,
+                encoder: kind,
+                ..RlConfig::default()
+            };
             let outcome = train(&env, &config, None);
             gains[k] = outcome.best_result.tns_gain_over(&default);
             sums[k] += gains[k];

@@ -39,8 +39,10 @@ fn main() {
     for i in 0..designs {
         let name = format!("ofx{i}");
         let design = generate(&DesignSpec::new(&name, cells, TechNode::N7, 500 + i as u64));
-        let mut over_recipe = FlowRecipe::default();
-        over_recipe.margin_mode = MarginMode::OverFixToWns;
+        let over_recipe = FlowRecipe {
+            margin_mode: MarginMode::OverFixToWns,
+            ..FlowRecipe::default()
+        };
         let env = CcdEnv::new(design.clone(), over_recipe, 24);
         let default = env.default_flow();
         // The fixed selection: violating deep-class register endpoints.
@@ -55,8 +57,10 @@ fn main() {
             .collect();
         let over = env.evaluate(&selection);
 
-        let mut under_recipe = FlowRecipe::default();
-        under_recipe.margin_mode = MarginMode::UnderFix;
+        let under_recipe = FlowRecipe {
+            margin_mode: MarginMode::UnderFix,
+            ..FlowRecipe::default()
+        };
         let under_env = CcdEnv::new(design, under_recipe, 24);
         let under = under_env.evaluate(&selection);
 

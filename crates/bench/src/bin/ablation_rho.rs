@@ -41,9 +41,11 @@ fn main() {
 
     let mut csv_rows = Vec::new();
     for rho in [0.1f32, 0.2, 0.3, 0.5, 0.7, 0.9] {
-        let mut config = RlConfig::default();
-        config.rho = rho;
-        config.max_iterations = iters;
+        let config = RlConfig {
+            rho,
+            max_iterations: iters,
+            ..RlConfig::default()
+        };
         let outcome = train(&env, &config, None);
         let gain = outcome.best_result.tns_gain_over(&default);
         println!(

@@ -33,8 +33,10 @@ fn main() {
     for i in 0..designs {
         let name = format!("bl{i}");
         let design = generate(&DesignSpec::new(&name, cells, TechNode::N7, 900 + i as u64));
-        let mut config = RlConfig::default();
-        config.max_iterations = iters;
+        let config = RlConfig {
+            max_iterations: iters,
+            ..RlConfig::default()
+        };
         let env = CcdEnv::new(design, FlowRecipe::default(), config.fanout_cap);
         let default = env.default_flow();
         let gain_of = |b: Baseline| -> f64 {

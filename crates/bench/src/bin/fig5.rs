@@ -46,8 +46,10 @@ fn main() {
     );
 
     let default = run_flow(&design, &recipe, &[]);
-    let mut config = RlConfig::default();
-    config.max_iterations = iters;
+    let config = RlConfig {
+        max_iterations: iters,
+        ..RlConfig::default()
+    };
     let env = CcdEnv::new(design, recipe, config.fanout_cap);
     let outcome = train(&env, &config, None);
     let rl = env.evaluate(&outcome.best_selection);

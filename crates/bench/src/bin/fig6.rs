@@ -25,9 +25,11 @@ fn main() {
     let csv: String = arg_value(&args, "--csv", "fig6.csv".to_string());
 
     let suite = block_suite(scale);
-    let mut config = RlConfig::default();
-    config.max_iterations = iters;
-    config.patience = iters; // plot full curves, no early stop
+    let config = RlConfig {
+        max_iterations: iters,
+        patience: iters, // plot full curves, no early stop
+        ..RlConfig::default()
+    };
 
     // Pre-train the EP-GNN on the other 7 nm blocks (indices 14, 16).
     let mut donor_cfg = config.clone();

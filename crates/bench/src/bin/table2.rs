@@ -22,9 +22,11 @@ fn main() {
     let blocks: usize = arg_value(&args, "--blocks", 19);
     let csv: String = arg_value(&args, "--csv", "table2.csv".to_string());
 
-    let mut config = RlConfig::default();
-    config.max_iterations = iters;
-    config.workers = workers;
+    let config = RlConfig {
+        max_iterations: iters,
+        workers,
+        ..RlConfig::default()
+    };
 
     println!(
         "Table II reproduction: {blocks} blocks at scale {scale}, {iters} iterations × {workers} workers"

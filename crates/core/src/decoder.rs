@@ -239,8 +239,8 @@ mod tests {
         let step = dec.decode_greedy(&mut tape, &binding, e, q, &valid);
         assert!(valid[step.action]);
         let lp = tape.value(step.log_probs);
-        for i in 0..valid.len() {
-            if valid[i] {
+        for (i, &ok) in valid.iter().enumerate() {
+            if ok {
                 assert!(lp.at(step.action, 0) >= lp.at(i, 0));
             }
         }

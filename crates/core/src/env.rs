@@ -128,6 +128,12 @@ impl CcdEnv {
 
     /// Runs the full flow with the given prioritization and returns the
     /// complete result.
+    ///
+    /// One rollout costs one full STA propagation (building the flow's
+    /// [`rl_ccd_sta::IncrementalTimer`]) plus incremental re-timing for
+    /// every skew move, sizing edit, and margin change, with full
+    /// recomputes only at structural escape hatches (buffer insertion,
+    /// signoff legalization).
     pub fn evaluate(&self, selected: &[EndpointId]) -> FlowResult {
         run_flow(&self.design, &self.recipe, selected)
     }

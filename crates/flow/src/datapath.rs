@@ -9,7 +9,8 @@
 
 use rl_ccd_netlist::{CellId, Netlist};
 use rl_ccd_sta::{
-    analyze, worst_path, ClockSchedule, Constraints, EndpointMargins, TimingGraph, TimingReport,
+    worst_path, ClockSchedule, Constraints, EndpointMargins, IncrementalTimer, TimingGraph,
+    TimingReport,
 };
 
 /// Tuning knobs of the data-path optimizer.
@@ -74,7 +75,8 @@ impl OpStats {
 
 /// Attempts one improvement on `cell` (a combinational cell on a violating
 /// path). Returns `true` if an operation was applied. `dirty` is set when
-/// the netlist gained cells (graph rebuild needed).
+/// the netlist gained cells (graph rebuild needed); cells changed in place
+/// are appended to `touched` so the caller can re-time them incrementally.
 fn try_improve_cell(
     netlist: &mut Netlist,
     report: &TimingReport,
@@ -82,6 +84,7 @@ fn try_improve_cell(
     opts: &DatapathOpts,
     stats: &mut OpStats,
     dirty: &mut bool,
+    touched: &mut Vec<CellId>,
 ) -> bool {
     let n_inputs = netlist.cell(cell).inputs.len();
 
@@ -94,11 +97,12 @@ fn try_improve_cell(
             .map(|&net| report.out_arrival(netlist.net(net).driver))
             .collect();
         let worst_pin = (0..n_inputs)
-            .max_by(|&a, &b| arrivals[a].partial_cmp(&arrivals[b]).expect("finite"))
+            .max_by(|&a, &b| arrivals[a].total_cmp(&arrivals[b]))
             .expect("has inputs");
         if worst_pin != 0 && arrivals[worst_pin] > arrivals[0] + 1e-3 {
             netlist.swap_pins(cell, 0, worst_pin as u8);
             stats.pin_swaps += 1;
+            touched.push(cell);
             return true;
         }
     }
@@ -125,6 +129,8 @@ fn try_improve_cell(
                 let inv_out = netlist.cell(cell).output.expect("inverter drives");
                 netlist.transfer_sinks(inv_out, in_net);
                 stats.restructures += 1;
+                touched.push(drv);
+                touched.push(cell);
                 return true;
             }
         }
@@ -139,21 +145,22 @@ fn try_improve_cell(
             let load = netlist.net_load(out_net);
             let old = lib.cell(lc_id);
             let new = lib.cell(bigger);
-            // Gain at this cell minus extra delay pushed onto the worst driver.
-            let worst_in = netlist
+            // Gain at this cell minus the extra input capacitance pushed
+            // onto *every* input driver. Any driver may carry the critical
+            // path, and when several pins share one net (a register launch
+            // net feeding many side pins is common) the per-pin penalties
+            // on that driver genuinely add up — counting only the
+            // worst-arrival driver lets a sweep of individually-"improving"
+            // upsizes overload a shared launch net and regress TNS.
+            let upstream_penalty: f32 = netlist
                 .cell(cell)
                 .inputs
                 .iter()
-                .map(|&net| netlist.net(net).driver)
-                .max_by(|a, b| {
-                    report
-                        .out_arrival(*a)
-                        .partial_cmp(&report.out_arrival(*b))
-                        .expect("finite")
-                });
-            let upstream_penalty = worst_in
-                .map(|d| lib.cell(netlist.cell(d).lib).resistance * (new.input_cap - old.input_cap))
-                .unwrap_or(0.0);
+                .map(|&net| {
+                    let d = netlist.net(net).driver;
+                    lib.cell(netlist.cell(d).lib).resistance * (new.input_cap - old.input_cap)
+                })
+                .sum();
             let gain = (old.resistance - new.resistance) * load - upstream_penalty
                 + (old.intrinsic - new.intrinsic);
             (gain > opts.min_gain).then_some(bigger)
@@ -162,10 +169,15 @@ fn try_improve_cell(
     if let Some(bigger) = upsize_to {
         netlist.resize(cell, bigger);
         stats.upsizes += 1;
+        touched.push(cell);
         return true;
     }
 
-    // --- Buffer the longest input segment. ------------------------------
+    // --- Buffer the longest input segment, if splitting it actually wins. -
+    // Wire delay is quadratic in length, so halving a long segment helps —
+    // but the buffer adds its own intrinsic + drive delay and swaps the
+    // sink's pin cap for its own on the driver net. Inserting without this
+    // check turns marginal (≈`buffer_min_len`) segments into net losses.
     let mut best: Option<(usize, f32)> = None;
     for (pin, &net) in netlist.cell(cell).inputs.iter().enumerate() {
         let len = netlist.segment_length(net, cell);
@@ -173,17 +185,28 @@ fn try_improve_cell(
             best = Some((pin, len));
         }
     }
-    if let Some((pin, _)) = best {
+    if let Some((pin, len)) = best {
         let net = netlist.cell(cell).inputs[pin];
         let drv = netlist.net(net).driver;
-        let mid = netlist.cell(drv).loc.midpoint(netlist.cell(cell).loc);
-        let buf_lib = netlist
-            .library()
-            .variant(rl_ccd_netlist::GateKind::Buf, rl_ccd_netlist::Drive::X4);
-        netlist.insert_buffer(net, &[(cell, pin as u8)], buf_lib, mid);
-        stats.buffers += 1;
-        *dirty = true;
-        return true;
+        let lib = netlist.library();
+        let buf_lib = lib.variant(rl_ccd_netlist::GateKind::Buf, rl_ccd_netlist::Drive::X4);
+        let buf = lib.cell(buf_lib);
+        let sink_cap = lib.cell(netlist.cell(cell).lib).input_cap;
+        let wire = lib.wire();
+        let half = 0.5 * len;
+        let old_delay = wire.delay(len, sink_cap);
+        let new_delay = wire.delay(half, buf.input_cap)
+            + buf.intrinsic
+            + buf.resistance * (wire.cap(half) + sink_cap)
+            + wire.delay(half, sink_cap);
+        let driver_delta = lib.cell(netlist.cell(drv).lib).resistance * (buf.input_cap - sink_cap);
+        if old_delay - new_delay - driver_delta > opts.min_gain {
+            let mid = netlist.cell(drv).loc.midpoint(netlist.cell(cell).loc);
+            netlist.insert_buffer(net, &[(cell, pin as u8)], buf_lib, mid);
+            stats.buffers += 1;
+            *dirty = true;
+            return true;
+        }
     }
     false
 }
@@ -202,15 +225,36 @@ pub fn optimize_datapath(
     margins: &EndpointMargins,
     opts: &DatapathOpts,
 ) -> (OpStats, TimingReport) {
+    let mut timer = IncrementalTimer::new(netlist, constraints, clocks, margins);
+    optimize_datapath_with_timer(netlist, graph, &mut timer, opts)
+}
+
+/// Like [`optimize_datapath`], but re-times through an existing
+/// [`IncrementalTimer`]: in-place operations (sizing, pin swaps,
+/// restructures) are re-timed per pass via `touch_cells`, and only buffer
+/// insertion — which adds cells — falls back to the timer's
+/// `full_recompute` escape hatch. The timer must already reflect the
+/// netlist and the clocks/margins the caller wants applied; on return it
+/// reflects the optimized netlist.
+pub fn optimize_datapath_with_timer(
+    netlist: &mut Netlist,
+    graph: &mut TimingGraph,
+    timer: &mut IncrementalTimer,
+    opts: &DatapathOpts,
+) -> (OpStats, TimingReport) {
     let mut stats = OpStats::default();
     for _ in 0..opts.passes {
-        let report = analyze(netlist, graph, constraints, clocks, margins);
+        // The whole pass works from a snapshot of timing at pass start
+        // (matching the previous per-pass `analyze` semantics); edits are
+        // synced to the timer in one batch at pass end.
+        let report = timer.report().clone();
         if report.nve() == 0 {
             break;
         }
         let pass_budget = opts.pass_budget(netlist.cell_count());
         let mut budget = pass_budget;
         let mut dirty = false;
+        let mut touched: Vec<CellId> = Vec::new();
         for ei in report.violating_endpoints() {
             if budget == 0 {
                 break;
@@ -226,7 +270,15 @@ pub fn optimize_datapath(
                 if !netlist.kind(hop.cell).is_combinational() {
                     continue;
                 }
-                if try_improve_cell(netlist, &report, hop.cell, opts, &mut stats, &mut dirty) {
+                if try_improve_cell(
+                    netlist,
+                    &report,
+                    hop.cell,
+                    opts,
+                    &mut stats,
+                    &mut dirty,
+                    &mut touched,
+                ) {
                     spent += 1;
                     budget -= 1;
                 }
@@ -234,13 +286,15 @@ pub fn optimize_datapath(
         }
         if dirty {
             *graph = TimingGraph::new(netlist);
+            timer.full_recompute(netlist);
+        } else if !touched.is_empty() {
+            timer.touch_cells(netlist, &touched);
         }
         if budget == pass_budget {
             break; // nothing applied; further passes are no-ops
         }
     }
-    let report = analyze(netlist, graph, constraints, clocks, margins);
-    (stats, report)
+    (stats, timer.report().clone())
 }
 
 /// Power recovery: downsizes combinational cells whose worst-path slack
@@ -255,7 +309,21 @@ pub fn recover_power(
     margins: &EndpointMargins,
     slack_floor: f32,
 ) -> (usize, TimingReport) {
-    let report = analyze(netlist, graph, constraints, clocks, margins);
+    let mut timer = IncrementalTimer::new(netlist, constraints, clocks, margins);
+    let out = recover_power_with_timer(netlist, &mut timer, slack_floor);
+    let _ = graph; // retained for API stability; the timer owns its topology
+    out
+}
+
+/// Like [`recover_power`], but re-times through an existing
+/// [`IncrementalTimer`]: the downsizing decisions use the timer's current
+/// report and the applied downsizes are re-timed in one incremental batch.
+pub fn recover_power_with_timer(
+    netlist: &mut Netlist,
+    timer: &mut IncrementalTimer,
+    slack_floor: f32,
+) -> (usize, TimingReport) {
+    let report = timer.report().clone();
     let mut applied = 0usize;
     let lib = netlist.library().clone();
     let candidates: Vec<CellId> = netlist
@@ -266,6 +334,7 @@ pub fn recover_power(
             s.is_finite() && s > slack_floor
         })
         .collect();
+    let mut touched: Vec<CellId> = Vec::new();
     for cell in candidates {
         let lc_id = netlist.cell(cell).lib;
         if let Some(smaller) = lib.downsize(lc_id) {
@@ -277,18 +346,22 @@ pub fn recover_power(
                 (new.resistance - old.resistance) * load + (new.intrinsic - old.intrinsic);
             if delay_increase < 0.5 * (report.cell_slack(cell) - slack_floor) {
                 netlist.resize(cell, smaller);
+                touched.push(cell);
                 applied += 1;
             }
         }
     }
-    let final_report = analyze(netlist, graph, constraints, clocks, margins);
-    (applied, final_report)
+    if !touched.is_empty() {
+        timer.touch_cells(netlist, &touched);
+    }
+    (applied, timer.report().clone())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rl_ccd_netlist::{analyze_power, generate, DesignSpec, TechNode};
+    use rl_ccd_sta::analyze;
 
     fn setup(
         seed: u64,

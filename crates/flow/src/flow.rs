@@ -16,12 +16,14 @@
 //! 8. power recovery,
 //! 9. legalization jitter + final signoff STA.
 
-use crate::datapath::{optimize_datapath, recover_power, DatapathOpts};
+use crate::datapath::{optimize_datapath_with_timer, recover_power_with_timer, DatapathOpts};
 use crate::margin::{prioritization_margins, MarginMode};
 use crate::metrics::{FlowResult, Qor};
-use crate::useful_skew::{run_useful_skew, UsefulSkewOpts};
+use crate::useful_skew::{run_useful_skew_with_timer, UsefulSkewOpts};
 use rl_ccd_netlist::{analyze_power, placement, EndpointId, GeneratedDesign, Netlist};
-use rl_ccd_sta::{analyze, ClockSchedule, Constraints, EndpointMargins, TimingGraph, TimingReport};
+use rl_ccd_sta::{
+    ClockSchedule, Constraints, EndpointMargins, IncrementalTimer, TimingGraph, TimingReport,
+};
 use std::time::Instant;
 
 /// Every knob of the placement-optimization recipe. The *same* recipe must
@@ -71,8 +73,9 @@ impl Default for FlowRecipe {
                 ..DatapathOpts::default()
             },
             main_datapath: DatapathOpts {
+                passes: 5,
                 ops_per_pass: 0,
-                ops_per_kcell: 100.0,
+                ops_per_kcell: 160.0,
                 ..DatapathOpts::default()
             },
             recovery_slack: 40.0,
@@ -154,25 +157,24 @@ pub fn run_flow_traced(
     let mut graph = TimingGraph::new(&netlist);
     let mut margins = EndpointMargins::zero(&netlist);
 
+    // One incremental timer serves the whole flow: its construction is the
+    // single full STA pass, every stage after that applies deltas through
+    // it (with full recomputes only at the structural escape hatches:
+    // buffer insertion inside datapath passes and legalization at signoff).
+    let mut timer = IncrementalTimer::new(&netlist, &constraints, &clocks, &margins);
+
     // (1) Begin snapshot.
-    let begin_report = analyze(&netlist, &graph, &constraints, &clocks, &margins);
-    let begin = qor(&netlist, &begin_report, period, recipe.seed);
+    let begin = qor(&netlist, timer.report(), period, recipe.seed);
     trace.push(StageSnapshot {
         stage: "begin",
-        wns_ps: begin_report.wns(),
-        tns_ps: begin_report.tns(),
-        nve: begin_report.nve(),
+        wns_ps: timer.report().wns(),
+        tns_ps: timer.report().tns(),
+        nve: timer.report().nve(),
     });
 
     // (2) Light pre-CCD data-path pass.
-    let (_, pre_report) = optimize_datapath(
-        &mut netlist,
-        &mut graph,
-        &constraints,
-        &clocks,
-        &margins,
-        &recipe.pre_datapath,
-    );
+    let (_, pre_report) =
+        optimize_datapath_with_timer(&mut netlist, &mut graph, &mut timer, &recipe.pre_datapath);
 
     trace.push(StageSnapshot {
         stage: "pre-datapath",
@@ -184,39 +186,26 @@ pub fn run_flow_traced(
     // (3) Prioritization hook: margin selected endpoints (Alg. 1 line 14).
     if !prioritized.is_empty() {
         margins = prioritization_margins(&pre_report, prioritized, recipe.margin_mode, margins);
+        timer.set_margins_from(&netlist, &margins);
     }
 
     // (4) Useful skew with margins applied.
-    let skew_out = run_useful_skew(
-        &netlist,
-        &graph,
-        &constraints,
-        &mut clocks,
-        &margins,
-        &recipe.skew,
-    );
+    let skew_out =
+        run_useful_skew_with_timer(&netlist, &graph, &mut clocks, &mut timer, &recipe.skew);
 
     // (5) Remove margins (Alg. 1 line 16).
     margins.clear();
-    {
-        let r = analyze(&netlist, &graph, &constraints, &clocks, &margins);
-        trace.push(StageSnapshot {
-            stage: "useful-skew",
-            wns_ps: r.wns(),
-            tns_ps: r.tns(),
-            nve: r.nve(),
-        });
-    }
+    timer.set_margins_from(&netlist, &margins);
+    trace.push(StageSnapshot {
+        stage: "useful-skew",
+        wns_ps: timer.report().wns(),
+        tns_ps: timer.report().tns(),
+        nve: timer.report().nve(),
+    });
 
     // (6) Main data-path optimization.
-    let (op_stats, main_report) = optimize_datapath(
-        &mut netlist,
-        &mut graph,
-        &constraints,
-        &clocks,
-        &margins,
-        &recipe.main_datapath,
-    );
+    let (op_stats, main_report) =
+        optimize_datapath_with_timer(&mut netlist, &mut graph, &mut timer, &recipe.main_datapath);
 
     trace.push(StageSnapshot {
         stage: "main-datapath",
@@ -226,29 +215,23 @@ pub fn run_flow_traced(
     });
 
     // (7) Useful-skew touch-up.
-    let touchup_out = run_useful_skew(
+    let touchup_out = run_useful_skew_with_timer(
         &netlist,
         &graph,
-        &constraints,
         &mut clocks,
-        &margins,
+        &mut timer,
         &recipe.skew_touchup,
     );
 
     // (8) Power recovery.
-    let (downsizes, _) = recover_power(
-        &mut netlist,
-        &graph,
-        &constraints,
-        &clocks,
-        &margins,
-        recipe.recovery_slack,
-    );
+    let (downsizes, _) = recover_power_with_timer(&mut netlist, &mut timer, recipe.recovery_slack);
 
-    // (9) Legalization + signoff.
+    // (9) Legalization + signoff. Legalization moves every cell (all wire
+    // loads change), so this is the full-recompute escape hatch.
     placement::legalize_jitter(&mut netlist, recipe.legalize_disp, recipe.seed);
-    let final_report = analyze(&netlist, &graph, &constraints, &clocks, &margins);
-    let final_qor = qor(&netlist, &final_report, period, recipe.seed);
+    timer.full_recompute(&netlist);
+    let final_report = timer.report();
+    let final_qor = qor(&netlist, final_report, period, recipe.seed);
     trace.push(StageSnapshot {
         stage: "signoff",
         wns_ps: final_report.wns(),
@@ -274,6 +257,7 @@ pub fn run_flow_traced(
 mod tests {
     use super::*;
     use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+    use rl_ccd_sta::analyze;
 
     fn design(seed: u64) -> GeneratedDesign {
         generate(&DesignSpec::new("flow", 900, TechNode::N7, seed))

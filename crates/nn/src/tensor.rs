@@ -221,7 +221,7 @@ mod tests {
         // aᵀ·b == explicit transpose multiply
         let t = a.t_matmul(&b);
         assert_eq!(t.shape(), (3, 2));
-        assert!((t.at(0, 0) - (1.0 * 1.0 + 4.0 * -1.0)).abs() < 1e-6);
+        assert!((t.at(0, 0) - (1.0 * 1.0 - 4.0 * 1.0)).abs() < 1e-6);
         // a·cᵀ
         let c = Tensor::from_vec(4, 3, (0..12).map(|x| x as f32).collect());
         let m = a.matmul_t(&c);

@@ -48,19 +48,23 @@ impl TimingGraph {
 }
 
 /// Results of one full STA pass. All times in ps.
+///
+/// Fields are `pub(crate)` so the incremental engine
+/// ([`crate::incremental::IncrementalTimer`]) can maintain the same report
+/// in place instead of rebuilding it per edit.
 #[derive(Clone, Debug)]
 pub struct TimingReport {
-    endpoint_slack: Vec<f32>,
-    endpoint_hold_slack: Vec<f32>,
-    endpoint_arrival: Vec<f32>,
-    cell_slack: Vec<f32>,
-    out_arrival: Vec<f32>,
-    out_slew: Vec<f32>,
-    worst_in_slew: Vec<f32>,
-    downstream_hold: Vec<f32>,
-    wns: f32,
-    tns: f64,
-    nve: usize,
+    pub(crate) endpoint_slack: Vec<f32>,
+    pub(crate) endpoint_hold_slack: Vec<f32>,
+    pub(crate) endpoint_arrival: Vec<f32>,
+    pub(crate) cell_slack: Vec<f32>,
+    pub(crate) out_arrival: Vec<f32>,
+    pub(crate) out_slew: Vec<f32>,
+    pub(crate) worst_in_slew: Vec<f32>,
+    pub(crate) downstream_hold: Vec<f32>,
+    pub(crate) wns: f32,
+    pub(crate) tns: f64,
+    pub(crate) nve: usize,
 }
 
 impl TimingReport {
@@ -145,11 +149,7 @@ impl TimingReport {
         let mut v: Vec<usize> = (0..self.endpoint_slack.len())
             .filter(|&i| self.endpoint_slack[i] < 0.0)
             .collect();
-        v.sort_by(|&a, &b| {
-            self.endpoint_slack[a]
-                .partial_cmp(&self.endpoint_slack[b])
-                .expect("slacks are finite")
-        });
+        v.sort_by(|&a, &b| self.endpoint_slack[a].total_cmp(&self.endpoint_slack[b]));
         v
     }
 }
@@ -387,6 +387,43 @@ mod tests {
         let margins = EndpointMargins::zero(nl);
         let rep = analyze(nl, &graph, &cons, &clocks, &margins);
         (graph, clocks, rep)
+    }
+
+    #[test]
+    fn nan_margin_does_not_panic_reporting() {
+        // Regression: the violating-endpoint sort used
+        // `partial_cmp().expect(...)`, which panics the moment a NaN slack
+        // reaches it. A poisoned margin (NaN from an upstream divide) makes
+        // that endpoint's slack NaN; reporting must survive it.
+        let d = generate(&DesignSpec::new("nanm", 300, TechNode::N7, 5));
+        let graph = TimingGraph::new(&d.netlist);
+        let clocks = ClockSchedule::balanced(&d.netlist, 60.0, 3.0, 200.0, 1);
+        let cons = Constraints::with_period(d.period_ps);
+        let mut margins = EndpointMargins::zero(&d.netlist);
+        margins.set(0, f32::NAN);
+        let rep = analyze(&d.netlist, &graph, &cons, &clocks, &margins);
+        assert!(rep.endpoint_slack(0).is_nan());
+        // The NaN endpoint never counts as violating, and the sorted
+        // report, aggregates, and path walker all stay well-defined.
+        let viol = rep.violating_endpoints();
+        assert!(!viol.contains(&0));
+        assert_eq!(viol.len(), rep.nve());
+        assert!(rep.wns().is_finite());
+        assert!(rep.tns().is_finite());
+        if let Some(&worst) = viol.first() {
+            assert!(!crate::report::worst_path(&d.netlist, &rep, worst).is_empty());
+        }
+        // Every other endpoint is untouched by the poisoned margin.
+        let clean = analyze(
+            &d.netlist,
+            &graph,
+            &cons,
+            &clocks,
+            &EndpointMargins::zero(&d.netlist),
+        );
+        for i in 1..d.netlist.endpoints().len() {
+            assert_eq!(rep.endpoint_slack(i), clean.endpoint_slack(i));
+        }
     }
 
     #[test]

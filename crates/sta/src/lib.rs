@@ -33,6 +33,7 @@ pub mod clock;
 pub mod constraints;
 pub mod delay;
 pub mod histogram;
+pub mod incremental;
 pub mod paths;
 pub mod report;
 
@@ -41,5 +42,6 @@ pub use clock::ClockSchedule;
 pub use constraints::{Constraints, EndpointMargins};
 pub use delay::{cell_delay, edge_timing, output_slew, EdgeTiming};
 pub use histogram::{qor_delta, QorDelta, SlackHistogram};
+pub use incremental::{IncrementalTimer, TimerStats};
 pub use paths::{worst_paths, TimingPath};
 pub use report::{full_report, qor_line, worst_path, PathHop};

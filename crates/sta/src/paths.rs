@@ -111,14 +111,19 @@ pub fn worst_paths(
         }
         expansions += 1;
         if !netlist.kind(p.frontier).is_combinational() {
-            // Reached a startpoint: the partial is a complete path.
+            // Reached a startpoint: the partial is a complete path. A gate
+            // with two pins on the same net yields the same cell sequence
+            // through either pin (at slightly different delays), so keep
+            // only the worst occurrence of each distinct sequence.
             let mut cells = Vec::with_capacity(p.suffix.len() + 1);
             cells.push(p.frontier);
             cells.extend(p.suffix.iter().rev());
-            out.push(TimingPath {
-                cells,
-                arrival: p.potential,
-            });
+            if !out.iter().any(|q: &TimingPath| q.cells == cells) {
+                out.push(TimingPath {
+                    cells,
+                    arrival: p.potential,
+                });
+            }
             continue;
         }
         // Expand backwards through every input pin of the frontier cell.

@@ -36,12 +36,7 @@ pub fn worst_path(netlist: &Netlist, report: &TimingReport, endpoint_index: usiz
         let drv = inputs
             .iter()
             .map(|&n| netlist.net(n).driver)
-            .max_by(|a, b| {
-                report
-                    .out_arrival(*a)
-                    .partial_cmp(&report.out_arrival(*b))
-                    .expect("arrivals are finite")
-            })
+            .max_by(|a, b| report.out_arrival(*a).total_cmp(&report.out_arrival(*b)))
             .expect("non-empty inputs");
         hops.push(PathHop {
             cell: drv,

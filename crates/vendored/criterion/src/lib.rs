@@ -1,0 +1,313 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach a crate registry, so this crate
+//! implements the subset of the criterion 0.5 API the workspace's benches
+//! use: `Criterion` (builder + `bench_function` + `benchmark_group`),
+//! benchmark groups with `bench_function` / `bench_with_input` / `finish`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: after a warm-up window, each
+//! benchmark runs timed batches until the measurement window elapses and
+//! reports the mean, best, and worst per-iteration wall time. There are no
+//! statistical refinements, plots, or baselines — just honest numbers on
+//! stderr, enough to compare two implementations by orders of magnitude.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark harness (subset of `criterion::Criterion`).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_benchmark(name, self, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Finalizes reporting (no-op; provided for API compatibility).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named benchmark group (subset of `criterion::BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    fn config(&self) -> Criterion {
+        let mut c = self.parent.clone();
+        if let Some(n) = self.sample_size {
+            c.sample_size = n;
+        }
+        c
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, &self.config(), &mut f);
+        self
+    }
+
+    /// Runs one benchmark that borrows a shared input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, &self.config(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Closes the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (subset of `criterion::BenchmarkId`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = self.iters.max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, config: &Criterion, f: &mut F) {
+    // Warm-up: also calibrates how many iterations fit one sample.
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(0);
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < config.warm_up_time || warm_iters == 0 {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        warm_iters += 1;
+        per_iter = warm_start.elapsed() / warm_iters as u32;
+    }
+    let budget = config.measurement_time.as_nanos() / config.sample_size.max(1) as u128;
+    let iters_per_sample = (budget / per_iter.as_nanos().max(1)).clamp(1, 1 << 20) as u64;
+
+    let mut best = Duration::MAX;
+    let mut worst = Duration::ZERO;
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    let measure_start = Instant::now();
+    let mut samples = 0usize;
+    while samples < config.sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per = b.elapsed / iters_per_sample.max(1) as u32;
+        best = best.min(per);
+        worst = worst.max(per);
+        total += b.elapsed;
+        total_iters += iters_per_sample;
+        samples += 1;
+        // Never exceed 4x the measurement window even for slow benches.
+        if measure_start.elapsed() > config.measurement_time * 4 && samples >= 3 {
+            break;
+        }
+    }
+    let mean = if total_iters > 0 {
+        total / total_iters as u32
+    } else {
+        Duration::ZERO
+    };
+    eprintln!(
+        "{name:<44} time: [{} {} {}]  ({} samples x {} iters)",
+        fmt_duration(best),
+        fmt_duration(mean),
+        fmt_duration(worst),
+        samples,
+        iters_per_sample,
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions (subset of
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary entry point (subset of
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let input = 21u64;
+        group.bench_with_input(BenchmarkId::from_parameter(input), &input, |b, &i| {
+            b.iter(|| black_box(i * 2))
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

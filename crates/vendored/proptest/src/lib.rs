@@ -1,0 +1,556 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach a crate registry, so this crate
+//! re-implements the subset of proptest 1.x the workspace's property tests
+//! use: the [`proptest!`] macro (with an optional inner
+//! `#![proptest_config(..)]`), range / tuple / `Just` / `any::<bool>()` /
+//! `prop_oneof!` / `collection::vec` strategies, the `prop_map` /
+//! `prop_filter` combinators, and the `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!` macros.
+//!
+//! Differences from upstream: failing inputs are **not shrunk** (the failing
+//! case is reported verbatim), and sampling streams differ. Each test's RNG
+//! is seeded deterministically from the test name, so failures reproduce
+//! across runs.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Test-runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` (does not fail the test).
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result of one property-test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A source of random values of one type.
+///
+/// Unlike upstream there is no value tree / shrinking: a strategy is just a
+/// deterministic function of the RNG stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T: Debug, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `pred`, resampling (bounded retries).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: impl Into<String>,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            pred,
+        }
+    }
+
+    /// Boxes the strategy behind a trait object (for `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: std::rc::Rc::new(self),
+        }
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// `prop_filter` adapter (rejection sampling).
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1000 consecutive samples",
+            self.whence
+        );
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T> {
+    inner: std::rc::Rc<dyn DynSample<T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        self.inner.sample_dyn(rng)
+    }
+}
+
+/// Object-safe sampling, used by [`BoxedStrategy`].
+pub trait DynSample<T> {
+    /// Draws one value.
+    fn sample_dyn(&self, rng: &mut StdRng) -> T;
+}
+
+impl<S: Strategy> DynSample<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut StdRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Debug> Union<T> {
+    /// A union over the given alternatives.
+    ///
+    /// # Panics
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($t:ty) => {
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    };
+}
+impl_range_strategy!(f32);
+impl_range_strategy!(f64);
+impl_range_strategy!(usize);
+impl_range_strategy!(u64);
+impl_range_strategy!(u32);
+impl_range_strategy!(i32);
+impl_range_strategy!(i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$i:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(S0/0);
+impl_tuple_strategy!(S0/0, S1/1);
+impl_tuple_strategy!(S0/0, S1/1, S2/2);
+impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3);
+impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3, S4/4);
+impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3, S4/4, S5/5);
+impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3, S4/4, S5/5, S6/6);
+impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3, S4/4, S5/5, S6/6, S7/7);
+
+/// Types with a canonical "any value" strategy (subset of
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized + Debug {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Uniform `bool`.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn sample(&self, rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($t:ty) => {
+        impl Arbitrary for $t {
+            type Strategy = RangeInclusive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    };
+}
+impl_arbitrary_int!(u32);
+impl_arbitrary_int!(u64);
+impl_arbitrary_int!(i32);
+impl_arbitrary_int!(i64);
+
+/// The canonical strategy for `T` (`any::<bool>()`, …).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, StdRng};
+    use std::fmt::Debug;
+
+    /// A `Vec` of exactly `len` samples from `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy produced by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic per-test RNG seed (FNV-1a over the test path).
+pub fn rng_for_test(name: &str) -> StdRng {
+    use rand::SeedableRng;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Everything a property test file needs (mirrors `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{
+        any, collection as prop_collection, prop_assert, prop_assert_eq, prop_assert_ne,
+        prop_assume, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+    /// `prop::collection::...` paths used by upstream-style imports.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking)
+/// so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($a),
+            stringify!($b),
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}` (both: {:?})",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// Rejects the current case without failing the test.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Uniform choice among several strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Defines property tests: each `#[test] fn name(arg in strategy, ..)`
+/// becomes a standard `#[test]` running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+                let mut rejected = 0u32;
+                let mut case = 0u32;
+                let mut attempts = 0u32;
+                while case < config.cases {
+                    attempts += 1;
+                    if attempts > config.cases.saturating_mul(20).max(1000) {
+                        panic!(
+                            "proptest {}: too many rejected cases ({} rejects)",
+                            stringify!($name), rejected
+                        );
+                    }
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    let __inputs = format!(
+                        concat!($("  ", stringify!($arg), " = {:?}\n",)*),
+                        $(&$arg),*
+                    );
+                    let __outcome: $crate::TestCaseResult = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => { case += 1; }
+                        ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                        }
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed at case {}:\n{}\nwith inputs:\n{}",
+                                stringify!($name), case, msg, __inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Kind {
+        A(u64),
+        B(bool),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0u64..100, (a, b) in (0.0f32..1.0, 1.0f32..2.0)) {
+            prop_assert!(x < 100);
+            prop_assert!((0.0..1.0).contains(&a));
+            prop_assert!(b >= 1.0 && b < 2.0);
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop_collection::vec(any::<bool>(), 8),
+            k in prop_oneof![
+                (0u64..5).prop_map(Kind::A),
+                any::<bool>().prop_map(Kind::B),
+            ],
+        ) {
+            prop_assert_eq!(v.len(), 8);
+            match k {
+                Kind::A(n) => prop_assert!(n < 5),
+                Kind::B(_) => {}
+            }
+        }
+
+        #[test]
+        fn filter_and_assume(v in prop_collection::vec(any::<bool>(), 4)
+            .prop_filter("not all false", |v| v.iter().any(|&b| b))) {
+            prop_assume!(!v[0] || v.len() == 4);
+            prop_assert!(v.iter().any(|&b| b));
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_per_name() {
+        use rand::Rng;
+        let mut a = crate::rng_for_test("x::y");
+        let mut b = crate::rng_for_test("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::rng_for_test("x::z");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    fn failing_property(x: u64) -> crate::TestCaseResult {
+        prop_assert!(x > 100, "x was {}", x);
+        Ok(())
+    }
+
+    #[test]
+    fn prop_assert_returns_fail_without_panicking() {
+        match failing_property(3) {
+            Err(crate::TestCaseError::Fail(msg)) => assert!(msg.contains("x was 3")),
+            other => panic!("expected Fail, got {other:?}"),
+        }
+    }
+}

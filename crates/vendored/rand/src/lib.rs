@@ -1,0 +1,258 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no network access and no registry cache, so the
+//! real `rand` can never be fetched. This crate implements the *exact* API
+//! subset the workspace uses — `StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::{gen_range, gen_bool}`, and `seq::SliceRandom::shuffle` — on top of
+//! a deterministic xoshiro256\*\* generator. Streams differ from upstream
+//! `rand`'s ChaCha12 `StdRng`, but every consumer in this workspace only
+//! needs seed-reproducible uniform draws, never a specific stream.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The uniform-sampling interface (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next 64 raw bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of [0,1]");
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Types uniformly samplable over an interval (subset of
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform sample from `[low, high)` (or `[low, high]` when
+    /// `inclusive`).
+    fn sample_interval<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool)
+        -> Self;
+}
+
+/// Ranges that can be sampled uniformly (subset of
+/// `rand::distributions::uniform::SampleRange`).
+///
+/// A single generic impl per range shape keeps type inference working the
+/// same way upstream rand's does (`gen_range(-4.0..4.0)` infers `f32` from
+/// the call site).
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range");
+        T::sample_interval(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (a, b) = (*self.start(), *self.end());
+        assert!(a <= b, "empty range");
+        T::sample_interval(rng, a, b, true)
+    }
+}
+
+fn unit_f64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // 53 random mantissa bits -> uniform in [0, 1).
+    ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_uniform_float {
+    ($t:ty) => {
+        impl SampleUniform for $t {
+            fn sample_interval<R: Rng + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                _inclusive: bool,
+            ) -> Self {
+                // The closed-interval endpoint has measure zero for floats;
+                // upstream rand treats it the same way up to rounding.
+                low + (unit_f64(rng) as $t) * (high - low)
+            }
+        }
+    };
+}
+impl_uniform_float!(f32);
+impl_uniform_float!(f64);
+
+macro_rules! impl_uniform_int {
+    ($t:ty) => {
+        impl SampleUniform for $t {
+            fn sample_interval<R: Rng + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (high as i128 - low as i128) as u128 + inclusive as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (low as i128 + v as i128) as $t
+            }
+        }
+    };
+}
+impl_uniform_int!(usize);
+impl_uniform_int!(u64);
+impl_uniform_int!(u32);
+impl_uniform_int!(i32);
+impl_uniform_int!(i64);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256\*\* generator (stands in for `rand`'s
+    /// `StdRng`; the stream differs but determinism per seed holds).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed, as upstream does.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers (subset of `rand::seq`).
+pub mod seq {
+    use super::Rng;
+
+    /// Slice shuffling (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` when empty.
+        fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() as usize) % (i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<'a, R: Rng + ?Sized>(&'a self, rng: &mut R) -> Option<&'a T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(rng.next_u64() as usize) % self.len()])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f = r.gen_range(-2.5f32..3.5);
+            assert!((-2.5..3.5).contains(&f));
+            let g = r.gen_range(-1.0f32..=1.0);
+            assert!((-1.0..=1.0).contains(&g));
+            let u = r.gen_range(0usize..17);
+            assert!(u < 17);
+            let i = r.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn uniformity_is_rough_but_sane() {
+        let mut r = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.gen_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        let heads = (0..n).filter(|_| r.gen_bool(0.25)).count();
+        let frac = heads as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut r).is_some());
+    }
+}

@@ -15,8 +15,10 @@ fn main() {
     let env = CcdEnv::new(design.clone(), recipe.clone(), 24);
 
     // A quick training run to obtain a selection worth tracing.
-    let mut config = RlConfig::default();
-    config.max_iterations = 8;
+    let config = RlConfig {
+        max_iterations: 8,
+        ..RlConfig::default()
+    };
     let outcome = train(&env, &config, None);
     println!(
         "traced selection: {} endpoints prioritized\n",

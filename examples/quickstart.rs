@@ -45,8 +45,10 @@ fn main() {
     );
 
     // 4. Train RL-CCD (a short run; raise max_iterations for better QoR).
-    let mut config = RlConfig::default();
-    config.max_iterations = 10;
+    let config = RlConfig {
+        max_iterations: 10,
+        ..RlConfig::default()
+    };
     println!(
         "training RL-CCD on {} violating endpoints…",
         env.pool().len()

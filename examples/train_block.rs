@@ -28,8 +28,10 @@ fn main() {
 
     let env = CcdEnv::new(design, FlowRecipe::default(), 24);
     let default = env.default_flow();
-    let mut config = RlConfig::default();
-    config.max_iterations = iters;
+    let config = RlConfig {
+        max_iterations: iters,
+        ..RlConfig::default()
+    };
     let outcome = train(&env, &config, None);
 
     println!(

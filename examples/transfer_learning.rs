@@ -11,9 +11,11 @@ use rl_ccd_flow::FlowRecipe;
 use rl_ccd_netlist::{generate, DesignSpec, TechNode};
 
 fn main() {
-    let mut config = RlConfig::default();
-    config.max_iterations = 10;
-    config.patience = 10;
+    let config = RlConfig {
+        max_iterations: 10,
+        patience: 10,
+        ..RlConfig::default()
+    };
 
     // Donor: a mid-size 7 nm design.
     let donor_design = generate(&DesignSpec::new("donor", 1200, TechNode::N7, 7));

@@ -55,6 +55,11 @@ fn load_design(args: &[String]) -> Result<GeneratedDesign, String> {
     let file = File::open(&path).map_err(|e| format!("{path}: {e}"))?;
     let netlist: Netlist = read_netlist(BufReader::new(file)).map_err(|e| e.to_string())?;
     // Period: explicit, or recalibrated from the netlist structure.
+    if let Some(p) = arg::<f32>(args, "--period") {
+        if p.is_nan() || p <= 0.0 {
+            return Err(format!("--period must be a positive number of ps, got {p}"));
+        }
+    }
     let period = arg::<f32>(args, "--period").unwrap_or_else(|| {
         // Reuse the generator's calibration on the loaded structure by
         // regenerating a spec-shaped estimate: simplest robust choice is a
@@ -160,9 +165,11 @@ fn cmd_flow(args: &[String]) -> Result<(), String> {
 
 fn cmd_train(args: &[String]) -> Result<(), String> {
     let d = load_design(args)?;
-    let mut config = RlConfig::default();
-    config.max_iterations = arg(args, "--iters").unwrap_or(12);
-    config.workers = arg(args, "--workers").unwrap_or(8);
+    let config = RlConfig {
+        max_iterations: arg(args, "--iters").unwrap_or(12),
+        workers: arg(args, "--workers").unwrap_or(8),
+        ..RlConfig::default()
+    };
     let env = CcdEnv::new(d, FlowRecipe::default(), config.fanout_cap);
     let default = env.default_flow();
     println!(
@@ -194,8 +201,10 @@ fn cmd_transfer(args: &[String]) -> Result<(), String> {
     let d = load_design(args)?;
     let donor_path: String = arg(args, "--params").ok_or("missing --params FILE")?;
     let donor = rl_ccd::load_params(&donor_path).map_err(|e| e.to_string())?;
-    let mut config = RlConfig::default();
-    config.max_iterations = arg(args, "--iters").unwrap_or(12);
+    let config = RlConfig {
+        max_iterations: arg(args, "--iters").unwrap_or(12),
+        ..RlConfig::default()
+    };
     let env = CcdEnv::new(d, FlowRecipe::default(), config.fanout_cap);
     let default = env.default_flow();
     let (_, params, adopted) = with_pretrained_gnn(config.clone(), &donor);

@@ -58,8 +58,10 @@ fn same_seed_same_everything() {
 #[test]
 fn margin_mode_is_part_of_the_recipe() {
     let design = generate(&DesignSpec::new("mm", 700, TechNode::N7, 13));
-    let mut under = FlowRecipe::default();
-    under.margin_mode = MarginMode::UnderFix;
+    let under = FlowRecipe {
+        margin_mode: MarginMode::UnderFix,
+        ..FlowRecipe::default()
+    };
     let env_over = CcdEnv::new(design.clone(), FlowRecipe::default(), 24);
     let env_under = CcdEnv::new(design, under, 24);
     // Same selection, different margin modes → different outcomes.

@@ -52,7 +52,7 @@ fn flow_improves_all_three_cluster_classes_or_leaves_them() {
         ClusterClass::Chain,
     ] {
         assert!(
-            d.endpoint_class.iter().any(|&c| c == class),
+            d.endpoint_class.contains(&class),
             "{class:?} missing from generated design"
         );
     }
