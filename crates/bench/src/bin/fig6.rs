@@ -10,12 +10,43 @@
 //! Usage:
 //! ```text
 //! fig6 [--scale 0.5] [--iters 16] [--donor-iters 8] [--csv fig6.csv]
+//!      [--checkpoint DIR] [--checkpoint-every K]
 //! ```
+//!
+//! With `--checkpoint DIR`, each of the four training runs (two donors,
+//! scratch, transfer) keeps resumable state under its own `DIR/<run>/`
+//! subdirectory, so an interrupted regeneration continues where it stopped.
 
-use rl_ccd::{train, with_pretrained_gnn, CcdEnv, RlConfig};
+use rl_ccd::{train, train_or_resume, with_pretrained_gnn, CcdEnv, RlConfig, TrainSession};
 use rl_ccd_bench::{arg_value, write_csv};
 use rl_ccd_flow::FlowRecipe;
 use rl_ccd_netlist::{block_suite, generate};
+
+/// Trains with per-run resumable checkpoints when `root` is non-empty.
+fn run(
+    env: &CcdEnv,
+    config: &RlConfig,
+    initial: Option<rl_ccd_nn::ParamSet>,
+    root: &str,
+    sub: &str,
+    every: usize,
+) -> rl_ccd::TrainOutcome {
+    if root.is_empty() {
+        return train(env, config, initial);
+    }
+    let dir = std::path::Path::new(root).join(sub);
+    let session = TrainSession {
+        initial,
+        ..TrainSession::checkpointed(dir.clone(), every)
+    };
+    match train_or_resume(env, config, &dir, session) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("{sub}: training aborted: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,6 +54,8 @@ fn main() {
     let iters: usize = arg_value(&args, "--iters", 16);
     let donor_iters: usize = arg_value(&args, "--donor-iters", 8);
     let csv: String = arg_value(&args, "--csv", "fig6.csv".to_string());
+    let checkpoint: String = arg_value(&args, "--checkpoint", String::new());
+    let every: usize = arg_value(&args, "--checkpoint-every", 5);
 
     let suite = block_suite(scale);
     let config = RlConfig {
@@ -44,7 +77,15 @@ fn main() {
             design.netlist.cell_count()
         );
         let env = CcdEnv::new(design, FlowRecipe::default(), donor_cfg.fanout_cap);
-        let outcome = train(&env, &donor_cfg, donor_params.take());
+        let sub = format!("donor-{}", suite[idx].name);
+        let outcome = run(
+            &env,
+            &donor_cfg,
+            donor_params.take(),
+            &checkpoint,
+            &sub,
+            every,
+        );
         donor_params = Some(outcome.params);
     }
     let donor = donor_params.expect("donor training ran");
@@ -59,10 +100,17 @@ fn main() {
     let env = CcdEnv::new(design, FlowRecipe::default(), config.fanout_cap);
     let default = env.default_flow();
 
-    let scratch = train(&env, &config, None);
+    let scratch = run(&env, &config, None, &checkpoint, "scratch", every);
     let (_, transfer_params, adopted) = with_pretrained_gnn(config.clone(), &donor);
     println!("transferred {adopted} EP-GNN tensors; encoder/decoder fresh");
-    let transferred = train(&env, &config, Some(transfer_params));
+    let transferred = run(
+        &env,
+        &config,
+        Some(transfer_params),
+        &checkpoint,
+        "transfer",
+        every,
+    );
 
     println!(
         "\n{:>5} {:>14} {:>14} {:>14} {:>14}   (TNS ps; default flow {:.0})",

@@ -5,13 +5,19 @@
 //! Usage:
 //! ```text
 //! table2 [--scale 0.5] [--iters 12] [--workers 8] [--blocks 19] [--csv table2.csv]
+//!        [--checkpoint DIR] [--checkpoint-every K]
 //! ```
 //!
 //! `--scale` multiplies the suite cell counts (1.0 ≈ paper sizes ÷ 100);
 //! `--blocks` limits how many of the 19 designs run (in paper order).
+//! With `--checkpoint DIR` each block trains under `DIR/<block>/` with
+//! resumable state every K iterations — re-running an interrupted suite
+//! picks up mid-block instead of starting over.
 
-use rl_ccd::RlConfig;
-use rl_ccd_bench::{arg_value, run_block, table2_header, table2_row, table2_summary, write_csv};
+use rl_ccd::{RlConfig, TrainSession};
+use rl_ccd_bench::{
+    arg_value, run_block_with, table2_header, table2_row, table2_summary, write_csv,
+};
 use rl_ccd_netlist::{block_suite, generate};
 
 fn main() {
@@ -21,6 +27,8 @@ fn main() {
     let workers: usize = arg_value(&args, "--workers", 8);
     let blocks: usize = arg_value(&args, "--blocks", 19);
     let csv: String = arg_value(&args, "--csv", "table2.csv".to_string());
+    let checkpoint: String = arg_value(&args, "--checkpoint", String::new());
+    let every: usize = arg_value(&args, "--checkpoint-every", 5);
 
     let config = RlConfig {
         max_iterations: iters,
@@ -36,7 +44,19 @@ fn main() {
     let mut csv_rows = Vec::new();
     for spec in block_suite(scale).into_iter().take(blocks) {
         let design = generate(&spec);
-        let (row, _) = run_block(design, &config);
+        let session = if checkpoint.is_empty() {
+            TrainSession::default()
+        } else {
+            let dir = std::path::Path::new(&checkpoint).join(&spec.name);
+            TrainSession::checkpointed(dir, every)
+        };
+        let (row, _) = match run_block_with(design, &config, session) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: training aborted: {e}", spec.name);
+                continue;
+            }
+        };
         println!("{}", table2_row(&row));
         csv_rows.push(format!(
             "{},{},{},{:.3},{:.2},{},{:.2},{:.3},{:.2},{},{:.2},{:.3},{:.2},{:.2},{},{:.2},{},{:.1}",

@@ -14,7 +14,9 @@
 
 #![warn(missing_docs)]
 
-use rl_ccd::{train, CcdEnv, RlConfig, TrainOutcome};
+use rl_ccd::{
+    train_or_resume, try_train, CcdEnv, RlConfig, TrainError, TrainOutcome, TrainSession,
+};
 use rl_ccd_flow::{FlowRecipe, FlowResult};
 use rl_ccd_netlist::{block_suite, generate, DesignSpec, GeneratedDesign};
 use std::fmt::Write as _;
@@ -55,6 +57,22 @@ pub fn build_block(spec: &DesignSpec) -> GeneratedDesign {
 
 /// Trains RL-CCD on one design and assembles the Table II row.
 pub fn run_block(design: GeneratedDesign, config: &RlConfig) -> (BlockRow, TrainOutcome) {
+    run_block_with(design, config, TrainSession::default())
+        .expect("fault-free benchmark run must not fail")
+}
+
+/// [`run_block`] with full runtime control: when `session.checkpoint_dir`
+/// is set, the block resumes from any committed state there and keeps
+/// checkpointing, so an interrupted suite re-run skips straight to where
+/// it stopped.
+///
+/// # Errors
+/// Propagates [`TrainError`] from training (quorum loss, checkpoint I/O).
+pub fn run_block_with(
+    design: GeneratedDesign,
+    config: &RlConfig,
+    session: TrainSession,
+) -> Result<(BlockRow, TrainOutcome), TrainError> {
     let name = design.spec.name.clone();
     let cells = design.netlist.cell_count();
     let tech = design.spec.tech.name();
@@ -63,7 +81,10 @@ pub fn run_block(design: GeneratedDesign, config: &RlConfig) -> (BlockRow, Train
     let default = env.default_flow();
     let default_secs = t_default.elapsed().as_secs_f64().max(1e-6);
     let t_rl = Instant::now();
-    let outcome = train(&env, config, None);
+    let outcome = match session.checkpoint_dir.clone() {
+        Some(dir) => train_or_resume(&env, config, dir, session)?,
+        None => try_train(&env, config, session)?,
+    };
     let rl_secs = t_rl.elapsed().as_secs_f64();
     let row = BlockRow {
         name,
@@ -75,7 +96,7 @@ pub fn run_block(design: GeneratedDesign, config: &RlConfig) -> (BlockRow, Train
         iterations: outcome.history.len(),
         runtime_ratio: rl_secs / default_secs,
     };
-    (row, outcome)
+    Ok((row, outcome))
 }
 
 /// Formats the Table II header.
@@ -202,6 +223,35 @@ mod tests {
         assert!(line.contains("rowtest"));
         assert!(table2_header().contains("TNSr"));
         assert!(table2_summary(std::slice::from_ref(&row)).contains("avg TNS gain"));
+    }
+
+    #[test]
+    fn run_block_with_checkpoints_and_resumes() {
+        let dir = std::env::temp_dir().join(format!("rl-ccd-bench-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = RlConfig::fast();
+        cfg.max_iterations = 2;
+        cfg.patience = 2;
+        let spec = DesignSpec::new("ckpt", 400, TechNode::N7, 5);
+        let (row, outcome) = run_block_with(
+            build_block(&spec),
+            &cfg,
+            TrainSession::checkpointed(&dir, 1),
+        )
+        .expect("checkpointed run");
+        assert!(rl_ccd::training_state_exists(&dir), "state committed");
+        // Re-running the same block resumes from the exhausted state and
+        // reproduces the same champion without re-training.
+        let (row2, outcome2) = run_block_with(
+            build_block(&spec),
+            &cfg,
+            TrainSession::checkpointed(&dir, 1),
+        )
+        .expect("resumed run");
+        assert_eq!(outcome.best_selection, outcome2.best_selection);
+        assert_eq!(row.prioritized, row2.prioritized);
+        assert_eq!(outcome.history, outcome2.history);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

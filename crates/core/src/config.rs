@@ -47,6 +47,19 @@ pub struct RlConfig {
     pub seed: u64,
     /// Past-actions encoder architecture.
     pub encoder: EncoderKind,
+    /// Memory budget (bytes) the rollout phase may occupy with concurrent
+    /// trajectory tapes. Defaults to 6 GiB; lower it on small-RAM CI
+    /// machines, raise it on big servers. Values are clamped to
+    /// [256 MiB, 1 TiB] by [`crate::parallel::max_concurrent_tapes`].
+    pub tape_memory_budget: usize,
+    /// Minimum surviving rollouts an iteration needs after quarantine.
+    /// `None` (the default) means half the workers, rounded up; `Some(0)`
+    /// disables the quorum entirely (an all-fault iteration becomes a
+    /// logged no-op instead of an error).
+    pub quorum: Option<usize>,
+    /// Learning-rate decay applied after a divergent (non-finite) update
+    /// is rolled back to the last good snapshot.
+    pub divergence_lr_decay: f32,
 }
 
 impl Default for RlConfig {
@@ -65,11 +78,24 @@ impl Default for RlConfig {
             fanout_cap: 24,
             seed: 0xCCD,
             encoder: EncoderKind::Lstm,
+            tape_memory_budget: 6 << 30,
+            quorum: None,
+            divergence_lr_decay: 0.5,
         }
     }
 }
 
 impl RlConfig {
+    /// The quorum actually enforced: the configured value (capped at the
+    /// worker count), or half the workers rounded up when unset.
+    pub fn effective_quorum(&self) -> usize {
+        let workers = self.workers.max(1);
+        match self.quorum {
+            Some(q) => q.min(workers),
+            None => workers.div_ceil(2),
+        }
+    }
+
     /// A configuration scaled down for fast unit tests.
     pub fn fast() -> Self {
         Self {
@@ -103,5 +129,18 @@ mod tests {
         let f = RlConfig::fast();
         assert!(f.gnn_hidden < RlConfig::default().gnn_hidden);
         assert!(f.max_iterations < RlConfig::default().max_iterations);
+    }
+
+    #[test]
+    fn quorum_defaults_to_half_the_workers() {
+        let mut c = RlConfig::default();
+        assert_eq!(c.workers, 8);
+        assert_eq!(c.effective_quorum(), 4);
+        c.workers = 5;
+        assert_eq!(c.effective_quorum(), 3);
+        c.quorum = Some(0);
+        assert_eq!(c.effective_quorum(), 0);
+        c.quorum = Some(99);
+        assert_eq!(c.effective_quorum(), 5, "quorum capped at worker count");
     }
 }

@@ -1,0 +1,253 @@
+//! Deterministic fault injection and fault records for the training
+//! runtime.
+//!
+//! Long REINFORCE runs on a CPU farm must survive worker failures: a
+//! panicked rollout, a NaN reward out of the flow, or a poisoned gradient
+//! must be *quarantined* (dropped from the batch with a [`RolloutFault`]
+//! record) rather than kill or silently corrupt the run. This module
+//! provides the structured records plus a seeded, fully deterministic
+//! [`FaultPlan`] used by the integration tests to inject each fault class
+//! at an exact (iteration, worker) coordinate — the same plan always
+//! produces the same faults, so quarantine and resume behavior is testable
+//! bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// A fault class the test harness can inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// The rollout worker panics at the start of its trajectory.
+    WorkerPanic,
+    /// The rollout's flow reward is replaced by NaN.
+    NanReward,
+    /// One element of the rollout's policy gradient is replaced by NaN.
+    PoisonedGradient,
+    /// The periodic checkpoint write is torn mid-file (simulated crash
+    /// during the write; only the temp file is affected, never the
+    /// previously committed state).
+    TornCheckpoint,
+}
+
+/// One planned injection at an exact training coordinate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Injection {
+    iteration: usize,
+    worker: usize,
+    fault: InjectedFault,
+}
+
+/// A deterministic schedule of injected faults, threaded through the
+/// trainer and the parallel rollout runner behind a test-only hook
+/// (`TrainSession::fault_plan`). An empty plan — the default — injects
+/// nothing and costs nothing.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    injections: Vec<Injection>,
+}
+
+impl FaultPlan {
+    /// The empty plan (no injected faults).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.injections.is_empty()
+    }
+
+    /// Number of planned injections.
+    pub fn len(&self) -> usize {
+        self.injections.len()
+    }
+
+    fn with(mut self, iteration: usize, worker: usize, fault: InjectedFault) -> Self {
+        self.injections.push(Injection {
+            iteration,
+            worker,
+            fault,
+        });
+        self
+    }
+
+    /// Plans a worker panic at `(iteration, worker)`.
+    pub fn with_worker_panic(self, iteration: usize, worker: usize) -> Self {
+        self.with(iteration, worker, InjectedFault::WorkerPanic)
+    }
+
+    /// Plans a NaN reward at `(iteration, worker)`.
+    pub fn with_nan_reward(self, iteration: usize, worker: usize) -> Self {
+        self.with(iteration, worker, InjectedFault::NanReward)
+    }
+
+    /// Plans a poisoned (NaN) gradient element at `(iteration, worker)`.
+    pub fn with_poisoned_gradient(self, iteration: usize, worker: usize) -> Self {
+        self.with(iteration, worker, InjectedFault::PoisonedGradient)
+    }
+
+    /// Plans a torn checkpoint write at the checkpoint boundary that
+    /// follows `iteration`.
+    pub fn with_torn_checkpoint(self, iteration: usize) -> Self {
+        self.with(iteration, 0, InjectedFault::TornCheckpoint)
+    }
+
+    /// A pseudorandom but fully reproducible plan: `count` rollout faults
+    /// (panic / NaN reward / poisoned gradient) scattered over the
+    /// `iterations × workers` grid. The same seed always yields the same
+    /// plan — chaos testing without flaky tests.
+    pub fn seeded(seed: u64, iterations: usize, workers: usize, count: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = Self::none();
+        for _ in 0..count {
+            let fault = match rng.gen_range(0..3u32) {
+                0 => InjectedFault::WorkerPanic,
+                1 => InjectedFault::NanReward,
+                _ => InjectedFault::PoisonedGradient,
+            };
+            plan = plan.with(
+                rng.gen_range(0..iterations.max(1)),
+                rng.gen_range(0..workers.max(1)),
+                fault,
+            );
+        }
+        plan
+    }
+
+    /// Whether `fault` is scheduled at `(iteration, worker)`.
+    pub fn injects(&self, iteration: usize, worker: usize, fault: InjectedFault) -> bool {
+        self.injections
+            .iter()
+            .any(|i| i.iteration == iteration && i.worker == worker && i.fault == fault)
+    }
+
+    /// Whether the checkpoint written after `iteration` should be torn.
+    pub fn tears_checkpoint_after(&self, iteration: usize) -> bool {
+        self.injections
+            .iter()
+            .any(|i| i.iteration == iteration && i.fault == InjectedFault::TornCheckpoint)
+    }
+}
+
+/// What the supervisor observed when it quarantined a rollout (or the
+/// trainer when it guarded an update). These records are part of the
+/// training state: they survive checkpoints and resumes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker thread panicked.
+    WorkerPanic,
+    /// The rollout's reward was NaN or ±Inf.
+    NonFiniteReward,
+    /// The rollout's policy gradient held a NaN or ±Inf element.
+    NonFiniteGradient,
+    /// The merged batch update produced non-finite parameters or optimizer
+    /// state; the step was rolled back to the last good snapshot.
+    NonFiniteUpdate,
+    /// Every rollout of an iteration was quarantined (only reachable when
+    /// the quorum is explicitly disabled); the iteration became a no-op.
+    EmptyBatch,
+}
+
+impl FaultKind {
+    /// Stable one-token name used by the checkpoint format.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::WorkerPanic => "worker-panic",
+            FaultKind::NonFiniteReward => "non-finite-reward",
+            FaultKind::NonFiniteGradient => "non-finite-gradient",
+            FaultKind::NonFiniteUpdate => "non-finite-update",
+            FaultKind::EmptyBatch => "empty-batch",
+        }
+    }
+
+    /// Parses the token written by [`FaultKind::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "worker-panic" => FaultKind::WorkerPanic,
+            "non-finite-reward" => FaultKind::NonFiniteReward,
+            "non-finite-gradient" => FaultKind::NonFiniteGradient,
+            "non-finite-update" => FaultKind::NonFiniteUpdate,
+            "empty-batch" => FaultKind::EmptyBatch,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A structured record of one quarantined rollout or guarded update.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RolloutFault {
+    /// Training iteration the fault occurred in.
+    pub iteration: usize,
+    /// Worker slot within the iteration (0 for trainer-level faults).
+    pub worker: usize,
+    /// The rollout seed of the faulted worker (0 for trainer-level faults).
+    pub seed: u64,
+    /// What went wrong.
+    pub kind: FaultKind,
+    /// Free-form detail (panic message, offending value, …). Newlines are
+    /// stripped when the record is checkpointed.
+    pub detail: String,
+}
+
+impl fmt::Display for RolloutFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "iter {} worker {} (seed {}): {} — {}",
+            self.iteration, self.worker, self.seed, self.kind, self.detail
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let plan = FaultPlan::none()
+            .with_worker_panic(1, 0)
+            .with_nan_reward(2, 1)
+            .with_poisoned_gradient(3, 0)
+            .with_torn_checkpoint(1);
+        assert_eq!(plan.len(), 4);
+        assert!(plan.injects(1, 0, InjectedFault::WorkerPanic));
+        assert!(!plan.injects(1, 1, InjectedFault::WorkerPanic));
+        assert!(plan.injects(2, 1, InjectedFault::NanReward));
+        assert!(plan.injects(3, 0, InjectedFault::PoisonedGradient));
+        assert!(plan.tears_checkpoint_after(1));
+        assert!(!plan.tears_checkpoint_after(2));
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = FaultPlan::seeded(7, 10, 4, 6);
+        let b = FaultPlan::seeded(7, 10, 4, 6);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        let c = FaultPlan::seeded(8, 10, 4, 6);
+        assert_ne!(a, c, "different seeds should differ (overwhelmingly)");
+    }
+
+    #[test]
+    fn fault_kind_tokens_roundtrip() {
+        for k in [
+            FaultKind::WorkerPanic,
+            FaultKind::NonFiniteReward,
+            FaultKind::NonFiniteGradient,
+            FaultKind::NonFiniteUpdate,
+            FaultKind::EmptyBatch,
+        ] {
+            assert_eq!(FaultKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(FaultKind::parse("nope"), None);
+    }
+}

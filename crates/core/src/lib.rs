@@ -46,6 +46,7 @@ pub mod encoder;
 pub mod env;
 pub mod epgnn;
 pub mod eval;
+pub mod fault;
 pub mod features;
 pub mod masking;
 pub mod parallel;
@@ -54,15 +55,25 @@ pub mod transfer;
 
 pub use agent::{RlCcd, Rollout};
 pub use baselines::Baseline;
-pub use checkpoint::{load_checkpoint_params, load_checkpoint_selection, save_checkpoint};
+pub use checkpoint::{
+    load_checkpoint_params, load_checkpoint_selection, load_training_state, save_checkpoint,
+    save_training_state, training_state_exists, CheckpointError, TrainingState,
+};
 pub use config::{EncoderKind, RlConfig};
 pub use decoder::AttentionDecoder;
 pub use encoder::{ActionEncoder, EncoderState};
 pub use env::CcdEnv;
 pub use epgnn::EpGnn;
 pub use eval::{evaluate_policy, PolicyEval};
+pub use fault::{FaultKind, FaultPlan, InjectedFault, RolloutFault};
 pub use features::{NodeFeatures, FEATURE_DIM, MASKED_COL};
 pub use masking::{EndpointStatus, SelectionMask};
-pub use parallel::{run_rollouts, ScoredRollout};
-pub use reinforce::{train, IterationStats, TrainOutcome};
+pub use parallel::{
+    max_concurrent_tapes, run_rollouts, run_rollouts_supervised, RolloutBatch, ScoredRollout,
+    DEFAULT_TAPE_MEMORY_BUDGET, MAX_TAPE_MEMORY_BUDGET, MIN_TAPE_MEMORY_BUDGET,
+};
+pub use reinforce::{
+    resume_train, train, train_or_resume, try_train, IterationStats, TrainError, TrainOutcome,
+    TrainSession,
+};
 pub use transfer::{load_params, save_params, with_pretrained_gnn};

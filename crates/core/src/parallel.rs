@@ -9,14 +9,26 @@
 //! gradient by −advantage afterwards. Workers are additionally chunked by a
 //! memory model: a tape over a large design costs hundreds of MB, and more
 //! concurrent tapes than memory allows is how training runs die.
+//!
+//! # Fault tolerance
+//!
+//! [`run_rollouts_supervised`] wraps every worker in `catch_unwind` and
+//! validates its output: a panicked worker, a non-finite reward, or a
+//! non-finite gradient element *quarantines* that rollout — it is dropped
+//! from the batch and recorded as a structured [`RolloutFault`] — instead
+//! of killing or silently corrupting the run. The trainer then decides
+//! whether enough workers survived (the quorum rule in
+//! [`crate::reinforce`]).
 
 use crate::agent::RlCcd;
 use crate::env::CcdEnv;
+use crate::fault::{FaultKind, FaultPlan, InjectedFault, RolloutFault};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rl_ccd_flow::FlowResult;
 use rl_ccd_netlist::EndpointId;
 use rl_ccd_nn::{GradSet, ParamSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// One worker's trajectory summary: selection, flow result, and the
 /// *unscaled* policy gradient `∇ Σ log π`.
@@ -41,64 +53,234 @@ impl ScoredRollout {
     }
 }
 
+/// The outcome of one supervised rollout batch: surviving rollouts (tagged
+/// with their worker slot, in seed order) plus a record for every
+/// quarantined one.
+#[derive(Debug, Default)]
+pub struct RolloutBatch {
+    /// `(worker slot, rollout)` for every rollout that passed validation.
+    pub survivors: Vec<(usize, ScoredRollout)>,
+    /// One record per quarantined rollout.
+    pub faults: Vec<RolloutFault>,
+}
+
 /// Rough bytes-per-(cell·step) of a trajectory tape plus its transient
 /// backward buffers, calibrated against observed peaks.
 const TAPE_BYTES_PER_CELL_STEP: usize = 6000;
 
-/// Memory the rollout phase may occupy with concurrent tapes.
-const TAPE_MEMORY_BUDGET: usize = 6 << 30;
+/// Default memory the rollout phase may occupy with concurrent tapes
+/// (overridable via `RlConfig::tape_memory_budget`).
+pub const DEFAULT_TAPE_MEMORY_BUDGET: usize = 6 << 30;
 
-/// How many trajectory tapes can safely coexist for a given environment.
-pub fn max_concurrent_tapes(env: &CcdEnv) -> usize {
+/// Smallest budget [`max_concurrent_tapes`] will honor: below this the
+/// memory model would serialize everything anyway.
+pub const MIN_TAPE_MEMORY_BUDGET: usize = 256 << 20;
+
+/// Largest budget [`max_concurrent_tapes`] will honor (1 TiB).
+pub const MAX_TAPE_MEMORY_BUDGET: usize = 1 << 40;
+
+/// How many trajectory tapes can safely coexist for a given environment
+/// under `budget_bytes` of tape memory. The budget is clamped to
+/// [[`MIN_TAPE_MEMORY_BUDGET`], [`MAX_TAPE_MEMORY_BUDGET`]] and the result
+/// to `1..=16` concurrent tapes.
+pub fn max_concurrent_tapes(env: &CcdEnv, budget_bytes: usize) -> usize {
+    let budget = budget_bytes.clamp(MIN_TAPE_MEMORY_BUDGET, MAX_TAPE_MEMORY_BUDGET);
     let cells = env.design().netlist.cell_count();
     let steps = env.pool().len().clamp(4, 80);
     let per_tape = cells * steps * TAPE_BYTES_PER_CELL_STEP;
-    (TAPE_MEMORY_BUDGET / per_tape.max(1)).clamp(1, 16)
+    (budget / per_tape.max(1)).clamp(1, 16)
 }
 
 /// Runs `seeds.len()` rollouts, at most [`max_concurrent_tapes`] at a time,
 /// and returns them in seed order (deterministic regardless of scheduling).
+///
+/// This is the strict variant used by evaluation helpers: any fault —
+/// worker panic, non-finite reward or gradient — is a bug here, so it
+/// panics with the fault records instead of quarantining them.
 pub fn run_rollouts(
     model: &RlCcd,
     params: &ParamSet,
     env: &CcdEnv,
     seeds: &[u64],
 ) -> Vec<ScoredRollout> {
-    let chunk = max_concurrent_tapes(env);
-    let mut out = Vec::with_capacity(seeds.len());
-    for group in seeds.chunks(chunk.max(1)) {
-        let scored: Vec<ScoredRollout> = std::thread::scope(|scope| {
+    let batch = run_rollouts_supervised(
+        model,
+        params,
+        env,
+        seeds,
+        0,
+        DEFAULT_TAPE_MEMORY_BUDGET,
+        &FaultPlan::none(),
+    );
+    assert!(
+        batch.faults.is_empty(),
+        "rollout worker failed: {:?}",
+        batch.faults
+    );
+    batch.survivors.into_iter().map(|(_, s)| s).collect()
+}
+
+/// What one supervised worker hands back.
+type WorkerResult = Result<ScoredRollout, RolloutFault>;
+
+/// Runs `seeds.len()` rollouts under supervision: each worker is wrapped
+/// in `catch_unwind`, and its output is validated for finiteness before it
+/// may join the batch. Quarantined rollouts become [`RolloutFault`]
+/// records; survivors keep their worker slot so the trainer's telemetry
+/// and the fault log line up. `iteration` tags fault records and addresses
+/// the deterministic fault `plan` (pass [`FaultPlan::none`] outside tests).
+pub fn run_rollouts_supervised(
+    model: &RlCcd,
+    params: &ParamSet,
+    env: &CcdEnv,
+    seeds: &[u64],
+    iteration: usize,
+    tape_memory_budget: usize,
+    plan: &FaultPlan,
+) -> RolloutBatch {
+    let chunk = max_concurrent_tapes(env, tape_memory_budget);
+    let mut results: Vec<(usize, WorkerResult)> = Vec::with_capacity(seeds.len());
+    for (gi, group) in seeds.chunks(chunk).enumerate() {
+        let group_start = gi * chunk;
+        let scored: Vec<(usize, WorkerResult)> = std::thread::scope(|scope| {
             let handles: Vec<_> = group
                 .iter()
-                .map(|&seed| {
+                .enumerate()
+                .map(|(offset, &seed)| {
+                    let worker = group_start + offset;
                     scope.spawn(move || {
-                        let mut rng = StdRng::seed_from_u64(seed);
-                        let rollout = model.rollout(params, env, &mut rng);
-                        // Backward while the tape is hot, then drop it.
-                        let mut grads = rollout.tape.backward(rollout.total_log_prob);
-                        let mut log_prob_grads = GradSet::new();
-                        log_prob_grads.accumulate(&rollout.binding, &mut grads);
-                        let steps = rollout.steps();
-                        let selected = rollout.selected.clone();
-                        drop(rollout);
-                        let result = env.evaluate(&selected);
-                        ScoredRollout {
-                            selected,
-                            steps,
-                            log_prob_grads,
-                            result,
-                        }
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            run_one_worker(model, params, env, seed, iteration, worker, plan)
+                        }));
+                        let result = match outcome {
+                            Ok(rollout) => validate_rollout(rollout, iteration, worker, seed),
+                            Err(payload) => Err(RolloutFault {
+                                iteration,
+                                worker,
+                                seed,
+                                kind: FaultKind::WorkerPanic,
+                                detail: panic_message(payload.as_ref()),
+                            }),
+                        };
+                        (worker, result)
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("rollout worker must not panic"))
+                .map(|h| {
+                    h.join()
+                        .expect("supervised worker cannot panic past catch_unwind")
+                })
                 .collect()
         });
-        out.extend(scored);
+        results.extend(scored);
     }
-    out
+    let mut batch = RolloutBatch::default();
+    for (worker, result) in results {
+        match result {
+            Ok(s) => batch.survivors.push((worker, s)),
+            Err(f) => batch.faults.push(f),
+        }
+    }
+    batch
+}
+
+/// The worker body: one sampled trajectory, its backward pass, and the
+/// flow evaluation — with the test-only fault hooks applied at the exact
+/// points real faults would strike.
+fn run_one_worker(
+    model: &RlCcd,
+    params: &ParamSet,
+    env: &CcdEnv,
+    seed: u64,
+    iteration: usize,
+    worker: usize,
+    plan: &FaultPlan,
+) -> ScoredRollout {
+    if plan.injects(iteration, worker, InjectedFault::WorkerPanic) {
+        panic!("injected worker panic (fault plan, iter {iteration} worker {worker})");
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rollout = model.rollout(params, env, &mut rng);
+    // Backward while the tape is hot, then drop it.
+    let mut grads = rollout.tape.backward(rollout.total_log_prob);
+    let mut log_prob_grads = GradSet::new();
+    log_prob_grads.accumulate(&rollout.binding, &mut grads);
+    let steps = rollout.steps();
+    let selected = rollout.selected.clone();
+    drop(rollout);
+    let mut result = env.evaluate(&selected);
+    if plan.injects(iteration, worker, InjectedFault::NanReward) {
+        result.final_qor.tns_ps = f64::NAN;
+    }
+    if plan.injects(iteration, worker, InjectedFault::PoisonedGradient) {
+        poison_first_element(&mut log_prob_grads);
+    }
+    ScoredRollout {
+        selected,
+        steps,
+        log_prob_grads,
+        result,
+    }
+}
+
+/// Replaces the first gradient element with NaN (fault-plan support).
+fn poison_first_element(grads: &mut GradSet) {
+    let first = {
+        let mut it = grads.iter();
+        it.next().map(|(n, t)| (n.to_string(), t.clone()))
+    };
+    if let Some((name, mut t)) = first {
+        t.data_mut()[0] = f32::NAN;
+        grads.set(name, t);
+    }
+}
+
+/// Post-rollout validation: quarantine non-finite rewards and gradients.
+fn validate_rollout(
+    rollout: ScoredRollout,
+    iteration: usize,
+    worker: usize,
+    seed: u64,
+) -> WorkerResult {
+    let reward = rollout.reward();
+    if !reward.is_finite() {
+        return Err(RolloutFault {
+            iteration,
+            worker,
+            seed,
+            kind: FaultKind::NonFiniteReward,
+            detail: format!("reward {reward}"),
+        });
+    }
+    if !rollout.log_prob_grads.all_finite() {
+        let bad = rollout
+            .log_prob_grads
+            .iter()
+            .find(|(_, t)| !t.all_finite())
+            .map(|(n, _)| n.to_string())
+            .unwrap_or_default();
+        return Err(RolloutFault {
+            iteration,
+            worker,
+            seed,
+            kind: FaultKind::NonFiniteGradient,
+            detail: format!("non-finite gradient in {bad}"),
+        });
+    }
+    Ok(rollout)
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -140,12 +322,73 @@ mod tests {
     fn chunking_respects_memory_model() {
         let d = generate(&DesignSpec::new("mem", 500, TechNode::N7, 56));
         let env = CcdEnv::new(d, FlowRecipe::default(), 24);
-        let chunk = max_concurrent_tapes(&env);
+        let chunk = max_concurrent_tapes(&env, DEFAULT_TAPE_MEMORY_BUDGET);
         assert!((1..=16).contains(&chunk));
+        // A smaller budget can only shrink the chunk; the floor is 1.
+        let small = max_concurrent_tapes(&env, MIN_TAPE_MEMORY_BUDGET);
+        assert!((1..=chunk).contains(&small));
+        // Clamping: a zero budget behaves like the minimum, a huge budget
+        // like the maximum.
+        assert_eq!(small, max_concurrent_tapes(&env, 0));
+        assert!(max_concurrent_tapes(&env, usize::MAX) <= 16);
         // Chunked execution still returns everything, in order.
         let (model, params) = RlCcd::init(RlConfig::fast());
         let seeds: Vec<u64> = (0..5).collect();
         let scored = run_rollouts(&model, &params, &env, &seeds);
         assert_eq!(scored.len(), 5);
+    }
+
+    #[test]
+    fn injected_panic_is_quarantined_not_fatal() {
+        let d = generate(&DesignSpec::new("panic", 450, TechNode::N7, 57));
+        let env = CcdEnv::new(d, FlowRecipe::default(), 24);
+        let (model, params) = RlCcd::init(RlConfig::fast());
+        let plan = FaultPlan::none().with_worker_panic(3, 1);
+        let batch = run_rollouts_supervised(
+            &model,
+            &params,
+            &env,
+            &[10, 11, 12],
+            3,
+            DEFAULT_TAPE_MEMORY_BUDGET,
+            &plan,
+        );
+        assert_eq!(batch.survivors.len(), 2);
+        assert_eq!(batch.faults.len(), 1);
+        let f = &batch.faults[0];
+        assert_eq!((f.iteration, f.worker, f.seed), (3, 1, 11));
+        assert_eq!(f.kind, FaultKind::WorkerPanic);
+        assert!(f.detail.contains("injected"), "{}", f.detail);
+        // Survivors keep their worker slots.
+        let slots: Vec<usize> = batch.survivors.iter().map(|(w, _)| *w).collect();
+        assert_eq!(slots, vec![0, 2]);
+    }
+
+    #[test]
+    fn injected_nan_reward_and_gradient_are_quarantined() {
+        let d = generate(&DesignSpec::new("nanq", 450, TechNode::N7, 58));
+        let env = CcdEnv::new(d, FlowRecipe::default(), 24);
+        let (model, params) = RlCcd::init(RlConfig::fast());
+        let plan = FaultPlan::none()
+            .with_nan_reward(0, 0)
+            .with_poisoned_gradient(0, 2);
+        let batch = run_rollouts_supervised(
+            &model,
+            &params,
+            &env,
+            &[20, 21, 22],
+            0,
+            DEFAULT_TAPE_MEMORY_BUDGET,
+            &plan,
+        );
+        assert_eq!(batch.survivors.len(), 1);
+        assert_eq!(batch.survivors[0].0, 1);
+        let kinds: Vec<FaultKind> = batch.faults.iter().map(|f| f.kind).collect();
+        assert!(kinds.contains(&FaultKind::NonFiniteReward));
+        assert!(kinds.contains(&FaultKind::NonFiniteGradient));
+        for (_, s) in &batch.survivors {
+            assert!(s.reward().is_finite());
+            assert!(s.log_prob_grads.all_finite());
+        }
     }
 }

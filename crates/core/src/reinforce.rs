@@ -1,4 +1,5 @@
-//! REINFORCE training (paper Eq. 7, Algorithm 1).
+//! REINFORCE training (paper Eq. 7, Algorithm 1) on a fault-tolerant
+//! runtime.
 //!
 //! Each iteration collects a mini-batch of parallel trajectories, scores
 //! every one with a full flow run (terminal reward = final TNS), converts
@@ -7,31 +8,63 @@
 //! `Σ advantage · Σ_t log π(a_t|s_t)` with Adam. Training stops when the
 //! best reward has not improved for `patience` consecutive iterations
 //! (paper: 3) or the iteration cap is hit.
+//!
+//! # Fault tolerance
+//!
+//! The paper trains on an 8-worker CPU farm where long runs must survive
+//! worker failures. Three layers make that true here:
+//!
+//! 1. **Rollout supervision** — workers run under
+//!    [`run_rollouts_supervised`]; a panicked or non-finite rollout is
+//!    quarantined with a [`RolloutFault`] record and the iteration
+//!    proceeds if at least [`RlConfig::effective_quorum`] workers survive,
+//!    aborting with [`TrainError::QuorumLost`] otherwise.
+//! 2. **Update guards + soft restart** — the merged gradient and the
+//!    post-step parameters/optimizer moments are validated for
+//!    finiteness; a divergent step is rolled back to the pre-step
+//!    snapshot (kept in memory) and the learning rate is decayed, so one
+//!    bad batch can never destroy a run.
+//! 3. **Atomic resumable checkpoints** — every `checkpoint_every`
+//!    iterations the full [`TrainingState`] is committed via temp file +
+//!    fsync + rename with a checksum manifest; [`resume_train`] continues
+//!    a killed run bit-for-bit (rollout seeds are a pure function of the
+//!    config seed and the iteration index, so nothing is lost with the
+//!    process).
 
 use crate::agent::RlCcd;
+use crate::checkpoint::{
+    load_training_state, save_training_state, training_state_exists, write_torn_training_state,
+    CheckpointError, TrainingState,
+};
 use crate::config::RlConfig;
 use crate::env::CcdEnv;
-use crate::parallel::{run_rollouts, ScoredRollout};
+use crate::fault::{FaultKind, FaultPlan, RolloutFault};
+use crate::parallel::run_rollouts_supervised;
 use rl_ccd_flow::FlowResult;
 use rl_ccd_netlist::EndpointId;
 use rl_ccd_nn::{Adam, GradSet, ParamSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
 
 /// Per-iteration training telemetry.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct IterationStats {
     /// Iteration index (0-based).
     pub iteration: usize,
-    /// Mean batch reward (TNS ps).
+    /// Mean batch reward (TNS ps) over surviving rollouts
+    /// (`-inf` when every rollout of the iteration was quarantined).
     pub mean_reward: f64,
-    /// Best reward within this batch.
+    /// Best reward within this batch (`-inf` on an all-quarantined batch).
     pub batch_best: f64,
     /// Reward of the deterministic greedy trajectory *after* this
     /// iteration's update — the policy-quality curve of Fig. 6.
     pub greedy_reward: f64,
     /// Best reward seen so far across training.
     pub best_so_far: f64,
-    /// Trajectory lengths in the batch.
+    /// Trajectory lengths of surviving rollouts.
     pub steps: Vec<usize>,
+    /// Rewards of surviving rollouts, in worker order.
+    pub rewards: Vec<f64>,
 }
 
 /// Everything a finished training run produces.
@@ -45,27 +78,274 @@ pub struct TrainOutcome {
     pub best_selection: Vec<EndpointId>,
     /// Telemetry per iteration (the curves of Fig. 6).
     pub history: Vec<IterationStats>,
+    /// Every quarantined rollout and guarded update across the run.
+    pub faults: Vec<RolloutFault>,
+}
+
+/// Typed training failure. `Send + Sync`, so it crosses thread boundaries.
+#[derive(Debug)]
+pub enum TrainError {
+    /// Fewer rollouts than the quorum survived an iteration.
+    QuorumLost {
+        /// The iteration that lost quorum.
+        iteration: usize,
+        /// How many rollouts survived.
+        survivors: usize,
+        /// How many were required.
+        quorum: usize,
+        /// The faults that destroyed the batch.
+        faults: Vec<RolloutFault>,
+    },
+    /// Checkpoint I/O or validation failed.
+    Checkpoint(CheckpointError),
+    /// A resumed state was produced under a different master seed, so the
+    /// rollout seed stream would diverge from the original run.
+    SeedMismatch {
+        /// Seed the checkpoint was trained with.
+        expected: u64,
+        /// Seed the resuming config carries.
+        found: u64,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::QuorumLost {
+                iteration,
+                survivors,
+                quorum,
+                faults,
+            } => write!(
+                f,
+                "iteration {iteration} lost quorum: {survivors} of {quorum} required rollouts survived ({} faults)",
+                faults.len()
+            ),
+            TrainError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            TrainError::SeedMismatch { expected, found } => write!(
+                f,
+                "resume seed mismatch: checkpoint was trained with seed {expected}, config has {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+/// Runtime options of one training run that are not model
+/// hyper-parameters: warm-start parameters, checkpoint cadence, and the
+/// test-only fault-injection hook.
+#[derive(Clone, Debug, Default)]
+pub struct TrainSession {
+    /// Pre-trained parameters to start from (transfer learning); `None`
+    /// trains from scratch.
+    pub initial: Option<ParamSet>,
+    /// Directory for periodic [`TrainingState`] checkpoints. `None`
+    /// disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Commit the training state every this many iterations (0 disables
+    /// periodic writes even when a directory is set).
+    pub checkpoint_every: usize,
+    /// Test-only deterministic fault injection; [`FaultPlan::none`] (the
+    /// default) injects nothing.
+    pub fault_plan: FaultPlan,
+}
+
+impl TrainSession {
+    /// A session that checkpoints into `dir` every `every` iterations.
+    pub fn checkpointed(dir: impl Into<PathBuf>, every: usize) -> Self {
+        Self {
+            checkpoint_dir: Some(dir.into()),
+            checkpoint_every: every,
+            ..Self::default()
+        }
+    }
+}
+
+/// The live loop state — exactly what a [`TrainingState`] persists, plus
+/// the champion flow result (recomputable from the selection, so it is
+/// not checkpointed).
+struct LoopState {
+    next_iteration: usize,
+    params: ParamSet,
+    adam: Adam,
+    best_reward: f64,
+    best_result: FlowResult,
+    best_selection: Vec<EndpointId>,
+    best_mean: f64,
+    stale: usize,
+    history: Vec<IterationStats>,
+    faults: Vec<RolloutFault>,
+}
+
+impl LoopState {
+    fn snapshot(&self, next_iteration: usize, config: &RlConfig) -> TrainingState {
+        TrainingState {
+            next_iteration,
+            seed_base: config.seed,
+            best_reward: self.best_reward,
+            best_mean: self.best_mean,
+            stale: self.stale,
+            best_selection: self.best_selection.clone(),
+            params: self.params.clone(),
+            adam: self.adam.clone(),
+            history: self.history.clone(),
+            faults: self.faults.clone(),
+        }
+    }
 }
 
 /// Trains RL-CCD on one environment.
 ///
 /// `initial` lets callers inject pre-trained parameters (transfer
 /// learning); pass `None` to train from scratch (Table II setting).
+///
+/// This is the infallible convenience wrapper: no fault injection, no
+/// checkpointing. Without injected faults a quorum loss means every
+/// worker genuinely failed, which is unrecoverable — it panics with the
+/// fault records.
 pub fn train(env: &CcdEnv, config: &RlConfig, initial: Option<ParamSet>) -> TrainOutcome {
+    try_train(
+        env,
+        config,
+        TrainSession {
+            initial,
+            ..TrainSession::default()
+        },
+    )
+    .expect("fault-free training must not fail")
+}
+
+/// Trains RL-CCD with full runtime control: warm start, periodic atomic
+/// checkpoints, quorum supervision, and (in tests) fault injection.
+///
+/// # Errors
+/// [`TrainError::QuorumLost`] when too few rollouts survive an iteration,
+/// [`TrainError::Checkpoint`] when a checkpoint cannot be written.
+pub fn try_train(
+    env: &CcdEnv,
+    config: &RlConfig,
+    session: TrainSession,
+) -> Result<TrainOutcome, TrainError> {
     let (model, fresh) = RlCcd::init(config.clone());
-    let mut params = initial.unwrap_or(fresh);
-    let mut adam = Adam::new(config.learning_rate);
+    let params = session.initial.clone().unwrap_or(fresh);
     // The native flow (empty selection) seeds the champion: the tool's own
     // result is always available, so RL-CCD never reports anything worse.
     let default_flow = env.default_flow();
-    let mut best_reward = default_flow.final_qor.tns_ps;
-    let mut best_result: Option<FlowResult> = Some(default_flow);
-    let mut best_selection = Vec::new();
-    let mut best_mean = f64::NEG_INFINITY;
-    let mut stale = 0usize;
-    let mut history = Vec::new();
+    let state = LoopState {
+        next_iteration: 0,
+        params,
+        adam: Adam::new(config.learning_rate),
+        best_reward: default_flow.final_qor.tns_ps,
+        best_result: default_flow,
+        best_selection: Vec::new(),
+        best_mean: f64::NEG_INFINITY,
+        stale: 0,
+        history: Vec::new(),
+        faults: Vec::new(),
+    };
+    run_training(env, config, &model, state, &session)
+}
 
-    for iteration in 0..config.max_iterations {
+/// Resumes a run from the [`TrainingState`] committed in `dir` and
+/// continues training (checkpointing back into the same directory).
+/// Because per-worker rollout seeds are derived from the config seed and
+/// the absolute iteration index, a kill at any iteration followed by
+/// resume reproduces the uninterrupted run bit-for-bit.
+///
+/// # Errors
+/// [`TrainError::Checkpoint`] when the state fails to load or validate
+/// (including champion endpoints out of range for this design), and
+/// [`TrainError::SeedMismatch`] when `config.seed` differs from the seed
+/// the checkpoint was produced under.
+pub fn resume_train(
+    env: &CcdEnv,
+    config: &RlConfig,
+    dir: impl AsRef<Path>,
+    mut session: TrainSession,
+) -> Result<TrainOutcome, TrainError> {
+    let dir = dir.as_ref();
+    let state = load_training_state(dir)?;
+    if state.seed_base != config.seed {
+        return Err(TrainError::SeedMismatch {
+            expected: state.seed_base,
+            found: config.seed,
+        });
+    }
+    let endpoint_count = env.design().netlist.endpoints().len();
+    if let Some(bad) = state
+        .best_selection
+        .iter()
+        .find(|e| e.index() >= endpoint_count)
+    {
+        return Err(TrainError::Checkpoint(CheckpointError::OutOfRange {
+            index: bad.index(),
+            max: endpoint_count,
+        }));
+    }
+    let (model, _) = RlCcd::init(config.clone());
+    // The champion flow result is deterministic in the selection, so it is
+    // recomputed rather than stored (an empty selection is the native flow).
+    let best_result = env.evaluate(&state.best_selection);
+    session.checkpoint_dir = Some(dir.to_path_buf());
+    let state = LoopState {
+        next_iteration: state.next_iteration,
+        params: state.params,
+        adam: state.adam,
+        best_reward: state.best_reward,
+        best_result,
+        best_selection: state.best_selection,
+        best_mean: state.best_mean,
+        stale: state.stale,
+        history: state.history,
+        faults: state.faults,
+    };
+    run_training(env, config, &model, state, &session)
+}
+
+/// Resumes from `dir` when it holds a committed state, otherwise starts a
+/// fresh run checkpointing into `dir`. This is what the CLI and the bench
+/// binaries use: re-running an interrupted job just picks up where it
+/// stopped.
+///
+/// # Errors
+/// Propagates [`TrainError`] from the underlying run.
+pub fn train_or_resume(
+    env: &CcdEnv,
+    config: &RlConfig,
+    dir: impl AsRef<Path>,
+    mut session: TrainSession,
+) -> Result<TrainOutcome, TrainError> {
+    let dir = dir.as_ref();
+    if training_state_exists(dir) {
+        resume_train(env, config, dir, session)
+    } else {
+        session.checkpoint_dir = Some(dir.to_path_buf());
+        try_train(env, config, session)
+    }
+}
+
+/// The supervised training loop shared by fresh and resumed runs.
+fn run_training(
+    env: &CcdEnv,
+    config: &RlConfig,
+    model: &RlCcd,
+    mut s: LoopState,
+    session: &TrainSession,
+) -> Result<TrainOutcome, TrainError> {
+    let quorum = config.effective_quorum();
+    for iteration in s.next_iteration..config.max_iterations {
+        // A resumed state may already be exhausted (the original run
+        // stopped right after this checkpoint was written).
+        if s.stale >= config.patience {
+            break;
+        }
         let seeds: Vec<u64> = (0..config.workers.max(1))
             .map(|w| {
                 config
@@ -74,79 +354,169 @@ pub fn train(env: &CcdEnv, config: &RlConfig, initial: Option<ParamSet>) -> Trai
                     .wrapping_add((iteration * 1009 + w) as u64)
             })
             .collect();
-        let scored = run_rollouts(&model, &params, env, &seeds);
-        let rewards: Vec<f64> = scored.iter().map(ScoredRollout::reward).collect();
-        let mean = rewards.iter().sum::<f64>() / rewards.len() as f64;
-        let var = rewards.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / rewards.len() as f64;
-        let std = var.sqrt();
-        let batch_best = rewards.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let batch = run_rollouts_supervised(
+            model,
+            &s.params,
+            env,
+            &seeds,
+            iteration,
+            config.tape_memory_budget,
+            &session.fault_plan,
+        );
+        s.faults.extend(batch.faults.iter().cloned());
+        let survivors = batch.survivors;
+        if survivors.len() < quorum {
+            // Abort cleanly, leaving a resumable checkpoint of the state
+            // *before* this iteration so a fixed environment can continue.
+            if session.checkpoint_every > 0 {
+                if let Some(dir) = &session.checkpoint_dir {
+                    save_training_state(&s.snapshot(iteration, config), dir)?;
+                }
+            }
+            return Err(TrainError::QuorumLost {
+                iteration,
+                survivors: survivors.len(),
+                quorum,
+                faults: batch.faults,
+            });
+        }
 
-        // Track the champion selection.
         let mut improved = false;
-        for s in &scored {
-            if s.reward() > best_reward {
-                best_reward = s.reward();
-                best_result = Some(s.result.clone());
-                best_selection = s.selected.clone();
-                improved = true;
-            }
-        }
+        let (mean, batch_best, steps, rewards) = if survivors.is_empty() {
+            // Degenerate batch (possible only with the quorum explicitly
+            // disabled): no rewards exist, so the mean/variance of the
+            // empty set is undefined — record the skip instead of letting
+            // a 0/0 NaN poison the run.
+            s.faults.push(RolloutFault {
+                iteration,
+                worker: 0,
+                seed: 0,
+                kind: FaultKind::EmptyBatch,
+                detail: "all rollouts quarantined; update skipped".into(),
+            });
+            (f64::NEG_INFINITY, f64::NEG_INFINITY, Vec::new(), Vec::new())
+        } else {
+            let rewards: Vec<f64> = survivors.iter().map(|(_, r)| r.reward()).collect();
+            let mean = rewards.iter().sum::<f64>() / rewards.len() as f64;
+            let var =
+                rewards.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / rewards.len() as f64;
+            let std = var.sqrt();
+            let batch_best = rewards.iter().copied().fold(f64::NEG_INFINITY, f64::max);
 
-        // Policy-gradient update (skip degenerate batches). Workers already
-        // computed ∇Σlogπ; REINFORCE's gradient is that, scaled by
-        // −advantage (Eq. 7 with a standardized baseline).
-        if std > 1e-9 {
-            let mut grads = GradSet::new();
-            for s in scored.iter() {
-                let advantage = ((s.reward() - mean) / std) as f32;
-                let mut local = GradSet::new();
-                local.merge(s.log_prob_grads.clone());
-                local.scale(-advantage);
-                grads.merge(local);
+            // Track the champion selection.
+            for (_, r) in &survivors {
+                if r.reward() > s.best_reward {
+                    s.best_reward = r.reward();
+                    s.best_result = r.result.clone();
+                    s.best_selection = r.selected.clone();
+                    improved = true;
+                }
             }
-            grads.average();
-            grads.clip_global_norm(config.grad_clip);
-            adam.step(&mut params, &grads);
-        }
+
+            // Policy-gradient update (skip degenerate batches). Workers
+            // already computed ∇Σlogπ; REINFORCE's gradient is that,
+            // scaled by −advantage (Eq. 7 with a standardized baseline).
+            if std > 1e-9 {
+                let mut grads = GradSet::new();
+                for (_, r) in survivors.iter() {
+                    let advantage = ((r.reward() - mean) / std) as f32;
+                    let mut local = GradSet::new();
+                    local.merge(r.log_prob_grads.clone());
+                    local.scale(-advantage);
+                    grads.merge(local);
+                }
+                grads.average();
+                grads.clip_global_norm(config.grad_clip);
+                if !grads.all_finite() {
+                    // Per-rollout gradients were finite, so this is an
+                    // overflow in merge/clip arithmetic: skip the step.
+                    s.faults.push(RolloutFault {
+                        iteration,
+                        worker: 0,
+                        seed: 0,
+                        kind: FaultKind::NonFiniteUpdate,
+                        detail: "merged gradient non-finite; step skipped".into(),
+                    });
+                } else {
+                    let last_good = (s.params.clone(), s.adam.clone());
+                    s.adam.step(&mut s.params, &grads);
+                    if !s.params.all_finite() || !s.adam.state_is_finite() {
+                        // Soft restart: restore the last good snapshot and
+                        // decay the LR so a pathological batch cannot
+                        // repeatedly diverge the run.
+                        s.params = last_good.0;
+                        s.adam = last_good.1;
+                        s.adam.decay_lr(config.divergence_lr_decay);
+                        s.faults.push(RolloutFault {
+                            iteration,
+                            worker: 0,
+                            seed: 0,
+                            kind: FaultKind::NonFiniteUpdate,
+                            detail: format!(
+                                "post-step state non-finite; restored snapshot, lr -> {}",
+                                s.adam.lr
+                            ),
+                        });
+                    }
+                }
+            }
+            let steps = survivors.iter().map(|(_, r)| r.steps).collect();
+            (mean, batch_best, steps, rewards)
+        };
 
         // Greedy policy evaluation after the update (the learning curve).
-        let greedy = model.rollout_greedy(&params, env);
+        let greedy = model.rollout_greedy(&s.params, env);
         let greedy_result = env.evaluate(&greedy.selected);
         let greedy_reward = greedy_result.final_qor.tns_ps;
-        if greedy_reward > best_reward {
-            best_reward = greedy_reward;
-            best_result = Some(greedy_result);
-            best_selection = greedy.selected.clone();
+        if greedy_reward > s.best_reward {
+            s.best_reward = greedy_reward;
+            s.best_result = greedy_result;
+            s.best_selection = greedy.selected.clone();
             improved = true;
         }
 
-        history.push(IterationStats {
+        s.history.push(IterationStats {
             iteration,
             mean_reward: mean,
             batch_best,
             greedy_reward,
-            best_so_far: best_reward,
-            steps: scored.iter().map(|s| s.steps).collect(),
+            best_so_far: s.best_reward,
+            steps,
+            rewards,
         });
 
         // Progress = a new champion *or* a better batch mean (the policy is
         // still learning even when the single best trajectory stands).
-        if mean > best_mean + 1e-9 {
-            best_mean = mean;
+        if mean > s.best_mean + 1e-9 {
+            s.best_mean = mean;
             improved = true;
         }
-        stale = if improved { 0 } else { stale + 1 };
-        if stale >= config.patience {
+        s.stale = if improved { 0 } else { s.stale + 1 };
+
+        // Periodic atomic checkpoint at the iteration boundary.
+        if session.checkpoint_every > 0 && (iteration + 1) % session.checkpoint_every == 0 {
+            if let Some(dir) = &session.checkpoint_dir {
+                let snapshot = s.snapshot(iteration + 1, config);
+                if session.fault_plan.tears_checkpoint_after(iteration) {
+                    write_torn_training_state(&snapshot, dir)?;
+                } else {
+                    save_training_state(&snapshot, dir)?;
+                }
+            }
+        }
+
+        if s.stale >= config.patience {
             break;
         }
     }
 
-    TrainOutcome {
-        params,
-        best_result: best_result.expect("champion seeded with the default flow"),
-        best_selection,
-        history,
-    }
+    Ok(TrainOutcome {
+        params: s.params,
+        best_result: s.best_result,
+        best_selection: s.best_selection,
+        history: s.history,
+        faults: s.faults,
+    })
 }
 
 #[cfg(test)]
@@ -168,9 +538,15 @@ mod tests {
         assert!(!out.history.is_empty());
         assert!(out.history.len() <= cfg.max_iterations);
         assert!(out.best_result.final_qor.tns_ps <= 0.0);
+        assert!(out.faults.is_empty(), "no faults without injection");
         // best_so_far is monotone non-decreasing.
         for w in out.history.windows(2) {
             assert!(w[1].best_so_far >= w[0].best_so_far);
+        }
+        // Every iteration kept all workers (nothing quarantined).
+        for h in &out.history {
+            assert_eq!(h.rewards.len(), cfg.workers);
+            assert!(h.rewards.iter().all(|r| r.is_finite()));
         }
         // Parameters moved (training actually updated something).
         let (_, fresh) = RlCcd::init(cfg);
@@ -205,5 +581,66 @@ mod tests {
             b.best_result.final_qor.tns_ps
         );
         assert_eq!(a.history.len(), b.history.len());
+    }
+
+    #[test]
+    fn all_faulted_batch_without_quorum_is_skipped_not_nan() {
+        let env = env();
+        let mut cfg = RlConfig::fast();
+        cfg.max_iterations = 2;
+        cfg.patience = 2;
+        cfg.quorum = Some(0); // disable the quorum to reach the degenerate path
+        let plan = FaultPlan::none()
+            .with_worker_panic(0, 0)
+            .with_worker_panic(0, 1);
+        let out = try_train(
+            &env,
+            &cfg,
+            TrainSession {
+                fault_plan: plan,
+                ..TrainSession::default()
+            },
+        )
+        .expect("quorum disabled: must complete");
+        // Iteration 0 is a logged no-op: -inf sentinels, no NaN anywhere.
+        assert_eq!(out.history[0].mean_reward, f64::NEG_INFINITY);
+        assert!(out.history[0].rewards.is_empty());
+        assert!(out.history.iter().all(|h| !h.mean_reward.is_nan()));
+        assert!(out
+            .faults
+            .iter()
+            .any(|f| f.kind == FaultKind::EmptyBatch && f.iteration == 0));
+        assert!(out.params.all_finite());
+    }
+
+    #[test]
+    fn quorum_loss_is_a_typed_error() {
+        let env = env();
+        let mut cfg = RlConfig::fast(); // 2 workers -> quorum 1
+        cfg.max_iterations = 2;
+        let plan = FaultPlan::none()
+            .with_worker_panic(0, 0)
+            .with_nan_reward(0, 1);
+        let err = try_train(
+            &env,
+            &cfg,
+            TrainSession {
+                fault_plan: plan,
+                ..TrainSession::default()
+            },
+        )
+        .expect_err("all workers faulted: quorum must be lost");
+        match err {
+            TrainError::QuorumLost {
+                iteration,
+                survivors,
+                quorum,
+                faults,
+            } => {
+                assert_eq!((iteration, survivors, quorum), (0, 0, 1));
+                assert_eq!(faults.len(), 2);
+            }
+            other => panic!("unexpected error {other}"),
+        }
     }
 }

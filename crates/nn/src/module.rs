@@ -100,6 +100,12 @@ impl ParamSet {
         n
     }
 
+    /// Whether every scalar in every tensor is finite (no NaN or ±Inf).
+    /// Training uses this as a post-update divergence guard.
+    pub fn all_finite(&self) -> bool {
+        self.params.values().all(Tensor::all_finite)
+    }
+
     /// Records every parameter as a leaf on `tape`, returning the handle map
     /// used by the forward pass and by [`GradSet::accumulate`].
     pub fn bind(&self, tape: &mut Tape) -> ParamBinding {
@@ -293,6 +299,19 @@ impl GradSet {
     /// Iterates (name, grad) pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Tensor)> {
         self.grads.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Whether every gradient element is finite (no NaN or ±Inf). A rollout
+    /// whose gradients fail this check must be quarantined, not merged.
+    pub fn all_finite(&self) -> bool {
+        self.grads.values().all(Tensor::all_finite)
+    }
+
+    /// Inserts or replaces one raw gradient tensor without touching the
+    /// rollout count (fault injection and tests; normal accumulation goes
+    /// through [`GradSet::accumulate`]).
+    pub fn set(&mut self, name: impl Into<String>, g: Tensor) {
+        self.grads.insert(name.into(), g);
     }
 }
 

@@ -5,7 +5,7 @@ use crate::tensor::Tensor;
 use std::collections::BTreeMap;
 
 /// Adam optimizer with per-parameter first/second moment state.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Adam {
     /// Learning rate.
     pub lr: f32,
@@ -37,6 +37,21 @@ impl Adam {
     /// Number of steps taken.
     pub fn steps(&self) -> u64 {
         self.t
+    }
+
+    /// Multiplies the learning rate by `factor` (0 < factor ≤ 1). The
+    /// trainer calls this after a divergent update is rolled back so a
+    /// persistently bad loss landscape cannot destroy the run.
+    pub fn decay_lr(&mut self, factor: f32) {
+        debug_assert!(factor > 0.0 && factor <= 1.0, "bad decay factor {factor}");
+        self.lr *= factor;
+    }
+
+    /// Whether every moment estimate is finite. Non-finite moments mean a
+    /// poisoned gradient reached the optimizer and the state must be
+    /// restored from the last good snapshot.
+    pub fn state_is_finite(&self) -> bool {
+        self.m.values().all(Tensor::all_finite) && self.v.values().all(Tensor::all_finite)
     }
 
     /// Writes the optimizer state (step count + moment estimates) so a

@@ -199,6 +199,11 @@ impl Tensor {
     pub fn norm(&self) -> f32 {
         self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
     }
+
+    /// Whether every element is finite (no NaN or ±Inf).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
 }
 
 #[cfg(test)]

@@ -5,6 +5,8 @@
 //! rlccd report   --in design.nl [--paths 3]
 //! rlccd flow     --in design.nl [--period <ps>]
 //! rlccd train    --in design.nl [--iters 12] [--workers 8] [--params out.txt]
+//!                [--checkpoint DIR] [--checkpoint-every K] [--resume DIR]
+//!                [--tape-budget-gib G]
 //! rlccd transfer --in design.nl --params donor.txt [--iters 12]
 //! rlccd baseline --in design.nl [--period <ps>]
 //! rlccd verilog  --in design.nl --out design.v
@@ -16,7 +18,10 @@
 //! convention-free sidecar (printed, and recalibrated on load via
 //! `--period`).
 
-use rl_ccd::{save_params, train, with_pretrained_gnn, Baseline, CcdEnv, RlConfig};
+use rl_ccd::{
+    save_params, train, train_or_resume, with_pretrained_gnn, Baseline, CcdEnv, RlConfig,
+    TrainOutcome, TrainSession,
+};
 use rl_ccd_flow::{run_flow, FlowRecipe};
 use rl_ccd_netlist::{
     block_suite, generate, read_netlist, write_netlist, DesignSpec, DesignStats, GeneratedDesign,
@@ -42,6 +47,8 @@ fn usage() -> ExitCode {
          report   --in FILE [--period PS] [--paths K]\n\
          flow     --in FILE [--period PS]\n\
          train    --in FILE [--period PS] [--iters N] [--workers N] [--params FILE]\n\
+         \u{20}         [--checkpoint DIR] [--checkpoint-every K] [--resume DIR]\n\
+         \u{20}         [--tape-budget-gib G]\n\
          transfer --in FILE --params FILE [--period PS] [--iters N]\n\
          baseline --in FILE [--period PS]\n\
          verilog  --in FILE --out FILE\n\
@@ -165,11 +172,17 @@ fn cmd_flow(args: &[String]) -> Result<(), String> {
 
 fn cmd_train(args: &[String]) -> Result<(), String> {
     let d = load_design(args)?;
-    let config = RlConfig {
+    let mut config = RlConfig {
         max_iterations: arg(args, "--iters").unwrap_or(12),
         workers: arg(args, "--workers").unwrap_or(8),
         ..RlConfig::default()
     };
+    if let Some(gib) = arg::<f64>(args, "--tape-budget-gib") {
+        if !gib.is_finite() || gib <= 0.0 {
+            return Err(format!("--tape-budget-gib must be positive, got {gib}"));
+        }
+        config.tape_memory_budget = (gib * (1u64 << 30) as f64) as usize;
+    }
     let env = CcdEnv::new(d, FlowRecipe::default(), config.fanout_cap);
     let default = env.default_flow();
     println!(
@@ -177,7 +190,23 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         default.final_qor.tns_ns(),
         env.pool().len()
     );
-    let outcome = train(&env, &config, None);
+    // --resume DIR continues an interrupted run (or starts one that
+    // checkpoints into DIR); --checkpoint DIR starts fresh but writes
+    // resumable state every --checkpoint-every iterations.
+    let resume_dir = arg::<String>(args, "--resume");
+    let checkpoint_dir = resume_dir.clone().or(arg::<String>(args, "--checkpoint"));
+    let outcome: TrainOutcome = match checkpoint_dir {
+        Some(dir) => {
+            let every = arg(args, "--checkpoint-every").unwrap_or(5);
+            let session = TrainSession::checkpointed(&dir, every);
+            let resuming = resume_dir.is_some() && rl_ccd::training_state_exists(&dir);
+            if resuming {
+                println!("resuming from checkpoint in {dir}");
+            }
+            train_or_resume(&env, &config, &dir, session).map_err(|e| e.to_string())?
+        }
+        None => train(&env, &config, None),
+    };
     for h in &outcome.history {
         println!(
             "iter {:>3}: mean {:>10.0}  greedy {:>10.0}  best {:>10.0} ps",
@@ -190,6 +219,12 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         outcome.best_result.tns_gain_over(&default),
         outcome.best_selection.len()
     );
+    if !outcome.faults.is_empty() {
+        println!("{} rollout fault(s) quarantined:", outcome.faults.len());
+        for f in &outcome.faults {
+            println!("  {f}");
+        }
+    }
     if let Some(path) = arg::<String>(args, "--params") {
         save_params(&outcome.params, &path).map_err(|e| e.to_string())?;
         println!("saved parameters to {path}");

@@ -1,0 +1,259 @@
+//! Fault-tolerant training runtime, end to end: injected worker faults are
+//! quarantined, divergence guards keep the run alive, and atomic
+//! checkpoints make a killed run resume bit-for-bit.
+//!
+//! Every fault here is injected through the deterministic [`FaultPlan`]
+//! hook, so the suite is reproducible — no real crashes, no timing races.
+
+use rl_ccd::{
+    load_training_state, resume_train, train_or_resume, training_state_exists, try_train, CcdEnv,
+    FaultKind, FaultPlan, RlConfig, TrainOutcome, TrainSession,
+};
+use rl_ccd_flow::FlowRecipe;
+use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+use std::path::PathBuf;
+
+fn env() -> CcdEnv {
+    let design = generate(&DesignSpec::new("fault-tol", 500, TechNode::N7, 91));
+    CcdEnv::new(design, FlowRecipe::default(), 24)
+}
+
+/// Four workers, four iterations, no early stop: every run visits the same
+/// iteration indices, which the fault plans below rely on.
+fn config() -> RlConfig {
+    RlConfig {
+        workers: 4,
+        max_iterations: 4,
+        patience: 4,
+        ..RlConfig::fast()
+    }
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rl-ccd-ft-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn session(plan: FaultPlan) -> TrainSession {
+    TrainSession {
+        fault_plan: plan,
+        ..TrainSession::default()
+    }
+}
+
+fn assert_same_outcome(a: &TrainOutcome, b: &TrainOutcome) {
+    assert_eq!(a.best_selection, b.best_selection, "champion selection");
+    assert_eq!(
+        a.best_result.final_qor.tns_ps, b.best_result.final_qor.tns_ps,
+        "champion TNS"
+    );
+    assert_eq!(a.history, b.history, "iteration histories");
+    assert_eq!(a.params, b.params, "final parameters");
+}
+
+#[test]
+fn nan_reward_is_quarantined_not_fatal() {
+    let env = env();
+    let cfg = config();
+    let clean = try_train(&env, &cfg, session(FaultPlan::none())).expect("clean run");
+    let plan = FaultPlan::none().with_nan_reward(1, 2);
+    let out = try_train(&env, &cfg, session(plan)).expect("NaN reward must not kill the run");
+
+    // Exactly one fault, at the injected coordinates, and nothing
+    // non-finite leaks into telemetry or parameters.
+    assert_eq!(out.faults.len(), 1);
+    let f = &out.faults[0];
+    assert_eq!((f.iteration, f.worker), (1, 2));
+    assert_eq!(f.kind, FaultKind::NonFiniteReward);
+    assert_eq!(out.history[1].rewards.len(), cfg.workers - 1);
+    for h in &out.history {
+        assert!(
+            h.mean_reward.is_finite(),
+            "iter {} mean is NaN",
+            h.iteration
+        );
+        assert!(h.rewards.iter().all(|r| r.is_finite()));
+    }
+    assert!(out.params.all_finite());
+    // Iterations before the fault are untouched.
+    assert_eq!(out.history[0], clean.history[0]);
+}
+
+#[test]
+fn worker_panic_and_poisoned_gradient_are_quarantined() {
+    let env = env();
+    let cfg = config();
+    let plan = FaultPlan::none()
+        .with_worker_panic(0, 3)
+        .with_poisoned_gradient(2, 0);
+    let out = try_train(&env, &cfg, session(plan)).expect("faults under quorum must not abort");
+
+    let kinds: Vec<_> = out.faults.iter().map(|f| (f.iteration, f.kind)).collect();
+    assert!(kinds.contains(&(0, FaultKind::WorkerPanic)));
+    assert!(kinds.contains(&(2, FaultKind::NonFiniteGradient)));
+    assert_eq!(out.history.len(), cfg.max_iterations);
+    assert!(out.params.all_finite());
+}
+
+#[test]
+fn quorum_loss_aborts_with_resumable_checkpoint() {
+    let env = env();
+    let cfg = config(); // 4 workers -> quorum 2
+    let dir = tmp_dir("quorum");
+    // Iterations 0..2 are clean; iteration 2 loses 3 of 4 workers.
+    let plan = FaultPlan::none()
+        .with_worker_panic(2, 0)
+        .with_nan_reward(2, 1)
+        .with_poisoned_gradient(2, 2);
+    let sess = TrainSession {
+        fault_plan: plan,
+        ..TrainSession::checkpointed(&dir, 1)
+    };
+    let err = try_train(&env, &cfg, sess).expect_err("3 of 4 faulted: below quorum");
+    let msg = err.to_string();
+    assert!(msg.contains("quorum"), "unhelpful error: {msg}");
+
+    // The abort left the pre-iteration state committed: resuming without
+    // the fault plan completes the run.
+    let state = load_training_state(&dir).expect("abort checkpoint");
+    assert_eq!(state.next_iteration, 2);
+    let resumed =
+        resume_train(&env, &cfg, &dir, TrainSession::default()).expect("resume after quorum loss");
+    assert_eq!(resumed.history.len(), cfg.max_iterations);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_at_checkpoint_boundary_then_resume_is_bit_for_bit() {
+    let env = env();
+    let cfg = config();
+    let uninterrupted = try_train(&env, &cfg, session(FaultPlan::none())).expect("reference");
+
+    // "Kill" the run at the iteration-2 boundary by capping max_iterations:
+    // the loop body never reads the cap, so the first two iterations are
+    // exactly the prefix of the uninterrupted run.
+    let dir = tmp_dir("resume");
+    let mut truncated_cfg = cfg.clone();
+    truncated_cfg.max_iterations = 2;
+    try_train(&env, &truncated_cfg, TrainSession::checkpointed(&dir, 2)).expect("truncated run");
+    assert!(training_state_exists(&dir));
+
+    let resumed =
+        resume_train(&env, &cfg, &dir, TrainSession::checkpointed(&dir, 2)).expect("resumed run");
+    assert_same_outcome(&uninterrupted, &resumed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_checkpoint_write_preserves_the_previous_boundary() {
+    let env = env();
+    let cfg = config();
+    let dir = tmp_dir("torn");
+    // Checkpoints commit after iterations 1 and 3; the second write is
+    // torn mid-stream (simulated crash during the temp-file write).
+    let plan = FaultPlan::none().with_torn_checkpoint(3);
+    let sess = TrainSession {
+        fault_plan: plan,
+        ..TrainSession::checkpointed(&dir, 2)
+    };
+    try_train(&env, &cfg, sess).expect("torn write is not a training failure");
+
+    // The committed state is still the iteration-2 boundary — the torn
+    // temp file was never renamed over it.
+    let state = load_training_state(&dir).expect("previous boundary intact");
+    assert_eq!(state.next_iteration, 2);
+
+    // And it is a working resume point.
+    let uninterrupted = try_train(&env, &cfg, session(FaultPlan::none())).expect("reference");
+    let resumed =
+        resume_train(&env, &cfg, &dir, TrainSession::default()).expect("resume from boundary");
+    assert_same_outcome(&uninterrupted, &resumed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn seed_mismatch_on_resume_is_rejected() {
+    let env = env();
+    let cfg = config();
+    let dir = tmp_dir("seed");
+    try_train(&env, &cfg, TrainSession::checkpointed(&dir, 2)).expect("checkpointed run");
+    let mut other = cfg.clone();
+    other.seed ^= 1;
+    let err = resume_train(&env, &other, &dir, TrainSession::default())
+        .expect_err("different seed would diverge the rollout stream");
+    assert!(err.to_string().contains("seed"), "got: {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The issue's acceptance scenario: a run that survives an injected worker
+/// panic *and* an injected NaN reward *and* a kill+resume at a checkpoint
+/// boundary still reports the same champion selection and the same final
+/// greedy reward as the uninterrupted fault-free run.
+#[test]
+fn faulty_killed_and_resumed_run_matches_the_clean_run() {
+    let env = env();
+    let cfg = config();
+    let clean = try_train(&env, &cfg, session(FaultPlan::none())).expect("clean reference");
+    let last = cfg.max_iterations - 1;
+
+    // Quarantine changes the surviving batch, which changes the gradient —
+    // so to keep the final answer comparable the faults must hit the LAST
+    // iteration, on workers that were not carrying that iteration's best
+    // rollout. `IterationStats::rewards` (worker order) tells us which.
+    let rewards = &clean.history[last].rewards;
+    let best_worker = (0..rewards.len())
+        .max_by(|&a, &b| rewards[a].total_cmp(&rewards[b]))
+        .expect("non-empty batch");
+    let victims: Vec<usize> = (0..cfg.workers).filter(|w| *w != best_worker).collect();
+    let plan = FaultPlan::none()
+        .with_worker_panic(last, victims[0])
+        .with_nan_reward(last, victims[1]);
+
+    // Phase 1: the faulty run is killed at the iteration-2 checkpoint
+    // boundary (max_iterations cap stands in for the kill, as above).
+    let dir = tmp_dir("acceptance");
+    let mut truncated = cfg.clone();
+    truncated.max_iterations = 2;
+    let phase1 = TrainSession {
+        fault_plan: plan.clone(),
+        ..TrainSession::checkpointed(&dir, 2)
+    };
+    try_train(&env, &truncated, phase1).expect("phase 1");
+
+    // Phase 2: resume (train_or_resume picks up the committed state) and
+    // run to completion with the same fault plan still active.
+    let phase2 = TrainSession {
+        fault_plan: plan,
+        ..TrainSession::checkpointed(&dir, 2)
+    };
+    let faulty = train_or_resume(&env, &cfg, &dir, phase2).expect("phase 2");
+
+    // Both injected faults were recorded at the last iteration.
+    assert_eq!(faulty.faults.len(), 2);
+    assert!(faulty
+        .faults
+        .iter()
+        .any(|f| f.kind == FaultKind::WorkerPanic && f.iteration == last));
+    assert!(faulty
+        .faults
+        .iter()
+        .any(|f| f.kind == FaultKind::NonFiniteReward && f.iteration == last));
+    assert_eq!(faulty.history[last].rewards.len(), cfg.workers - 2);
+
+    // Same champion, same final greedy reward as the clean uninterrupted
+    // run — the fault-free prefix is bit-identical, and the last-iteration
+    // quarantine only dropped non-champion rollouts.
+    assert_eq!(faulty.best_selection, clean.best_selection);
+    assert_eq!(
+        faulty.best_result.final_qor.tns_ps,
+        clean.best_result.final_qor.tns_ps
+    );
+    assert_eq!(
+        faulty.history[last].greedy_reward,
+        clean.history[last].greedy_reward
+    );
+    // And the prefix really was untouched by the (last-iteration) faults.
+    assert_eq!(faulty.history[..last], clean.history[..last]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
