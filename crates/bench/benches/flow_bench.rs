@@ -3,7 +3,7 @@
 //! column entry).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rl_ccd_flow::{run_flow, run_useful_skew, FlowRecipe, UsefulSkewOpts};
+use rl_ccd_flow::{run_useful_skew, FlowRecipe, UsefulSkewOpts};
 use rl_ccd_netlist::{generate, DesignSpec, TechNode};
 use rl_ccd_sta::{Constraints, EndpointMargins, TimingGraph};
 use std::time::Duration;
@@ -39,7 +39,7 @@ fn full_flow(c: &mut Criterion) {
             BenchmarkId::from_parameter(d.netlist.cell_count()),
             &d,
             |b, d| {
-                b.iter(|| run_flow(d, &recipe, &[]));
+                b.iter(|| recipe.run(d, &[]));
             },
         );
     }

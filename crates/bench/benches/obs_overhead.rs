@@ -1,0 +1,65 @@
+//! Criterion benchmark of the observability layer's overhead on the flow.
+//!
+//! Three cases on the same design:
+//! * `uninstrumented_baseline` — the flow with no recorder attached: every
+//!   `span!`/`counter!` macro takes the disabled fast path (one relaxed
+//!   atomic load) and must cost ~nothing;
+//! * `recorder_attached` — the flow with a live recorder collecting spans
+//!   and metrics;
+//! * `disabled_macro_probe` — a tight loop of disabled macro hits, to put
+//!   a number on the fast path itself.
+//!
+//! The acceptance bar for this PR: `uninstrumented_baseline` within 2% of
+//! the pre-instrumentation flow (compare against `flow_bench`'s
+//! `full_flow` history).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rl_ccd_flow::FlowRecipe;
+use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+use rl_ccd_obs::Recorder;
+use std::time::Duration;
+
+fn flow_overhead(c: &mut Criterion) {
+    let design = generate(&DesignSpec::new("obsbench", 1200, TechNode::N7, 9));
+    let recipe = FlowRecipe::default();
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+
+    group.bench_function("uninstrumented_baseline", |b| {
+        assert!(!rl_ccd_obs::enabled(), "no recorder may leak in");
+        b.iter(|| recipe.run(&design, &[]));
+    });
+
+    group.bench_function("recorder_attached", |b| {
+        b.iter(|| {
+            let recorder = Recorder::new();
+            let _obs = rl_ccd_obs::attach(&recorder);
+            recipe.run(&design, &[])
+        });
+    });
+
+    group.finish();
+}
+
+fn macro_fast_path(c: &mut Criterion) {
+    c.bench_function("disabled_macro_probe_1k", |b| {
+        assert!(!rl_ccd_obs::enabled(), "no recorder may leak in");
+        b.iter(|| {
+            for i in 0..1000u64 {
+                rl_ccd_obs::counter!("bench.probe.hits", 1);
+                rl_ccd_obs::observe!("bench.probe.value", i);
+                let _span = rl_ccd_obs::span!("bench.probe", i = i);
+            }
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+    targets = flow_overhead, macro_fast_path
+}
+criterion_main!(benches);

@@ -7,21 +7,23 @@
 //!
 //! Usage:
 //! ```text
-//! ablation_encoder [--cells 1500] [--designs 3] [--iters 10] [--seed 700] [--csv ablation_encoder.csv]
+//! ablation_encoder [--cells 1500] [--designs 3] [--iters 10] [--seed 700]
+//!                  [--csv ablation_encoder.csv] [--trace-out run.jsonl]
 //! ```
 
-use rl_ccd::{train, CcdEnv, EncoderKind, RlConfig};
-use rl_ccd_bench::{arg_value, write_csv};
+use rl_ccd::{try_train, CcdEnv, EncoderKind, RlConfig, TrainSession};
+use rl_ccd_bench::{write_csv, Cli};
 use rl_ccd_flow::FlowRecipe;
 use rl_ccd_netlist::{generate, DesignSpec, TechNode};
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cells: usize = arg_value(&args, "--cells", 1500);
-    let designs: usize = arg_value(&args, "--designs", 3);
-    let iters: usize = arg_value(&args, "--iters", 10);
-    let seed0: u64 = arg_value(&args, "--seed", 700);
-    let csv: String = arg_value(&args, "--csv", "ablation_encoder.csv".to_string());
+fn main() -> Result<(), rl_ccd::Error> {
+    let cli = Cli::from_env();
+    let _obs = cli.attach();
+    let cells = cli.cells(1500);
+    let designs = cli.designs(3);
+    let iters = cli.iters(10);
+    let seed0 = cli.seed(700);
+    let csv = cli.csv("ablation_encoder.csv");
 
     println!("encoder ablation ({designs} designs × {cells} cells, {iters} iterations)\n");
     println!(
@@ -55,7 +57,7 @@ fn main() {
                 encoder: kind,
                 ..RlConfig::default()
             };
-            let outcome = train(&env, &config, None);
+            let outcome = try_train(&env, &config, TrainSession::default())?;
             gains[k] = outcome.best_result.tns_gain_over(&default);
             sums[k] += gains[k];
         }
@@ -75,12 +77,11 @@ fn main() {
         sums[1] / n,
         sums[2] / n
     );
-    match write_csv(
+    write_csv(
         &csv,
         "design,default_tns_ps,lstm_pct,gru_pct,none_pct",
         &csv_rows,
-    ) {
-        Ok(()) => println!("wrote {csv}"),
-        Err(e) => eprintln!("could not write {csv}: {e}"),
-    }
+    )?;
+    println!("wrote {csv}");
+    cli.finish()
 }

@@ -11,18 +11,20 @@
 //! Usage:
 //! ```text
 //! ablation_overfix [--cells 1500] [--designs 4] [--csv ablation_overfix.csv]
+//!                  [--trace-out run.jsonl]
 //! ```
 
 use rl_ccd::CcdEnv;
-use rl_ccd_bench::{arg_value, write_csv};
+use rl_ccd_bench::{write_csv, Cli};
 use rl_ccd_flow::{FlowRecipe, MarginMode};
 use rl_ccd_netlist::{generate, ClusterClass, DesignSpec, EndpointId, TechNode};
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cells: usize = arg_value(&args, "--cells", 1500);
-    let designs: usize = arg_value(&args, "--designs", 4);
-    let csv: String = arg_value(&args, "--csv", "ablation_overfix.csv".to_string());
+fn main() -> Result<(), rl_ccd::Error> {
+    let cli = Cli::from_env();
+    let _obs = cli.attach();
+    let cells = cli.cells(1500);
+    let designs = cli.designs(4);
+    let csv = cli.csv("ablation_overfix.csv");
 
     println!(
         "margin-mode ablation: {designs} designs × {cells} cells; the deep-class\n\
@@ -83,12 +85,11 @@ fn main() {
         over_sum / n,
         under_sum / n
     );
-    match write_csv(
+    write_csv(
         &csv,
         "design,default_tns_ps,overfix_tns_ps,overfix_gain_pct,underfix_tns_ps,underfix_gain_pct",
         &csv_rows,
-    ) {
-        Ok(()) => println!("wrote {csv}"),
-        Err(e) => eprintln!("could not write {csv}: {e}"),
-    }
+    )?;
+    println!("wrote {csv}");
+    cli.finish()
 }

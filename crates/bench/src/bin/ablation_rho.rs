@@ -9,19 +9,21 @@
 //! Usage:
 //! ```text
 //! ablation_rho [--cells 1500] [--seed 77] [--iters 10] [--csv ablation_rho.csv]
+//!              [--trace-out run.jsonl]
 //! ```
 
-use rl_ccd::{train, CcdEnv, RlConfig};
-use rl_ccd_bench::{arg_value, write_csv};
+use rl_ccd::{try_train, CcdEnv, RlConfig, TrainSession};
+use rl_ccd_bench::{write_csv, Cli};
 use rl_ccd_flow::FlowRecipe;
 use rl_ccd_netlist::{generate, DesignSpec, TechNode};
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cells: usize = arg_value(&args, "--cells", 1500);
-    let seed: u64 = arg_value(&args, "--seed", 77);
-    let iters: usize = arg_value(&args, "--iters", 10);
-    let csv: String = arg_value(&args, "--csv", "ablation_rho.csv".to_string());
+fn main() -> Result<(), rl_ccd::Error> {
+    let cli = Cli::from_env();
+    let _obs = cli.attach();
+    let cells = cli.cells(1500);
+    let seed = cli.seed(77);
+    let iters = cli.iters(10);
+    let csv = cli.csv("ablation_rho.csv");
 
     let design = generate(&DesignSpec::new("rho_sweep", cells, TechNode::N7, seed));
     println!(
@@ -46,7 +48,7 @@ fn main() {
             max_iterations: iters,
             ..RlConfig::default()
         };
-        let outcome = train(&env, &config, None);
+        let outcome = try_train(&env, &config, TrainSession::default())?;
         let gain = outcome.best_result.tns_gain_over(&default);
         println!(
             "{rho:>5.1} {:>14.0} {:>+10.1} {:>10} {:>8}",
@@ -62,12 +64,11 @@ fn main() {
             outcome.history.len()
         ));
     }
-    match write_csv(
+    write_csv(
         &csv,
         "rho,best_tns_ps,gain_pct,selected,iterations",
         &csv_rows,
-    ) {
-        Ok(()) => println!("wrote {csv}"),
-        Err(e) => eprintln!("could not write {csv}: {e}"),
-    }
+    )?;
+    println!("wrote {csv}");
+    cli.finish()
 }

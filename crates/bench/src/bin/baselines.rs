@@ -8,19 +8,21 @@
 //! Usage:
 //! ```text
 //! baselines [--cells 1500] [--designs 4] [--iters 10] [--csv baselines.csv]
+//!           [--trace-out run.jsonl]
 //! ```
 
-use rl_ccd::{train, Baseline, CcdEnv, RlConfig};
-use rl_ccd_bench::{arg_value, write_csv};
+use rl_ccd::{try_train, Baseline, CcdEnv, RlConfig, TrainSession};
+use rl_ccd_bench::{write_csv, Cli};
 use rl_ccd_flow::FlowRecipe;
 use rl_ccd_netlist::{generate, DesignSpec, TechNode};
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cells: usize = arg_value(&args, "--cells", 1500);
-    let designs: usize = arg_value(&args, "--designs", 4);
-    let iters: usize = arg_value(&args, "--iters", 10);
-    let csv: String = arg_value(&args, "--csv", "baselines.csv".to_string());
+fn main() -> Result<(), rl_ccd::Error> {
+    let cli = Cli::from_env();
+    let _obs = cli.attach();
+    let cells = cli.cells(1500);
+    let designs = cli.designs(4);
+    let iters = cli.iters(10);
+    let csv = cli.csv("baselines.csv");
 
     println!("RL-CCD vs selection heuristics ({designs} designs × {cells} cells)\n");
     println!(
@@ -47,7 +49,7 @@ fn main() {
         let g_mild = gain_of(Baseline::MildestFirst);
         let g_rand = gain_of(Baseline::Random);
         let g_head = gain_of(Baseline::HeadroomFirst);
-        let outcome = train(&env, &config, None);
+        let outcome = try_train(&env, &config, TrainSession::default())?;
         let g_rl = outcome.best_result.tns_gain_over(&default);
         for (s, g) in sums.iter_mut().zip([g_worst, g_mild, g_rand, g_head, g_rl]) {
             *s += g;
@@ -70,12 +72,11 @@ fn main() {
         sums[3] / n,
         sums[4] / n
     );
-    match write_csv(
+    write_csv(
         &csv,
         "design,default_tns_ps,worst_first_pct,mildest_first_pct,random_pct,headroom_pct,rl_pct",
         &csv_rows,
-    ) {
-        Ok(()) => println!("wrote {csv}"),
-        Err(e) => eprintln!("could not write {csv}: {e}"),
-    }
+    )?;
+    println!("wrote {csv}");
+    cli.finish()
 }

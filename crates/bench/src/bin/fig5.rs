@@ -7,11 +7,12 @@
 //! Usage:
 //! ```text
 //! fig5 [--scale 1.0] [--iters 12] [--block 10] [--buckets 8] [--csv fig5.csv]
+//!      [--trace-out run.jsonl]
 //! ```
 
-use rl_ccd::{train, CcdEnv, RlConfig};
-use rl_ccd_bench::{arg_value, write_csv};
-use rl_ccd_flow::{run_flow, FlowRecipe};
+use rl_ccd::{RlConfig, Session};
+use rl_ccd_bench::{write_csv, Cli};
+use rl_ccd_flow::FlowRecipe;
 use rl_ccd_netlist::{block_suite, generate};
 
 fn bucketize(skews: &[f32], bound: f32, buckets: usize) -> Vec<usize> {
@@ -24,13 +25,14 @@ fn bucketize(skews: &[f32], bound: f32, buckets: usize) -> Vec<usize> {
     counts
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale: f32 = arg_value(&args, "--scale", 1.0);
-    let iters: usize = arg_value(&args, "--iters", 12);
-    let buckets: usize = arg_value(&args, "--buckets", 8) * 2;
-    let csv: String = arg_value(&args, "--csv", "fig5.csv".to_string());
-    let block: usize = arg_value(&args, "--block", 10);
+fn main() -> Result<(), rl_ccd::Error> {
+    let cli = Cli::from_env();
+    let _obs = cli.attach();
+    let scale = cli.scale(1.0);
+    let iters = cli.iters(12);
+    let buckets: usize = cli.value("--buckets", 8usize) * 2;
+    let csv = cli.csv("fig5.csv");
+    let block: usize = cli.value("--block", 10);
 
     // block11 is index 10 in the suite (the paper's Fig. 5 subject).
     let spec = block_suite(scale).swap_remove(block.min(18));
@@ -45,14 +47,18 @@ fn main() {
         bound
     );
 
-    let default = run_flow(&design, &recipe, &[]);
     let config = RlConfig {
         max_iterations: iters,
         ..RlConfig::default()
     };
-    let env = CcdEnv::new(design, recipe, config.fanout_cap);
-    let outcome = train(&env, &config, None);
-    let rl = env.evaluate(&outcome.best_selection);
+    let session = Session::builder()
+        .design(design)
+        .recipe(recipe)
+        .rl_config(config)
+        .build()?;
+    let default = session.run_flow()?;
+    let outcome = session.train()?;
+    let rl = session.env().evaluate(&outcome.best_selection);
     println!(
         "RL-CCD prioritizes {} endpoints before useful skew (paper: 74)",
         outcome.best_selection.len()
@@ -86,8 +92,7 @@ fn main() {
         );
         csv_rows.push(format!("{lo:.1},{hi:.1},{},{}", d_hist[i], r_hist[i]));
     }
-    match write_csv(&csv, "bucket_lo_ps,bucket_hi_ps,default,rl_ccd", &csv_rows) {
-        Ok(()) => println!("wrote {csv}"),
-        Err(e) => eprintln!("could not write {csv}: {e}"),
-    }
+    write_csv(&csv, "bucket_lo_ps,bucket_hi_ps,default,rl_ccd", &csv_rows)?;
+    println!("wrote {csv}");
+    cli.finish()
 }

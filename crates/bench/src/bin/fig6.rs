@@ -10,54 +10,48 @@
 //! Usage:
 //! ```text
 //! fig6 [--scale 0.5] [--iters 16] [--donor-iters 8] [--csv fig6.csv]
-//!      [--checkpoint DIR] [--checkpoint-every K]
+//!      [--checkpoint DIR] [--checkpoint-every K] [--trace-out run.jsonl]
 //! ```
 //!
 //! With `--checkpoint DIR`, each of the four training runs (two donors,
 //! scratch, transfer) keeps resumable state under its own `DIR/<run>/`
 //! subdirectory, so an interrupted regeneration continues where it stopped.
 
-use rl_ccd::{train, train_or_resume, with_pretrained_gnn, CcdEnv, RlConfig, TrainSession};
-use rl_ccd_bench::{arg_value, write_csv};
-use rl_ccd_flow::FlowRecipe;
-use rl_ccd_netlist::{block_suite, generate};
+use rl_ccd::{with_pretrained_gnn, RlConfig, Session, TrainOutcome};
+use rl_ccd_bench::{write_csv, Cli};
+use rl_ccd_netlist::{generate, GeneratedDesign};
+use std::path::PathBuf;
 
-/// Trains with per-run resumable checkpoints when `root` is non-empty.
+/// Trains with per-run resumable checkpoints when `root` is set.
 fn run(
-    env: &CcdEnv,
+    design: GeneratedDesign,
     config: &RlConfig,
     initial: Option<rl_ccd_nn::ParamSet>,
-    root: &str,
+    root: Option<&PathBuf>,
     sub: &str,
     every: usize,
-) -> rl_ccd::TrainOutcome {
-    if root.is_empty() {
-        return train(env, config, initial);
+) -> Result<TrainOutcome, rl_ccd::Error> {
+    let mut builder = Session::builder().design(design).rl_config(config.clone());
+    if let Some(params) = initial {
+        builder = builder.initial_params(params);
     }
-    let dir = std::path::Path::new(root).join(sub);
-    let session = TrainSession {
-        initial,
-        ..TrainSession::checkpointed(dir.clone(), every)
-    };
-    match train_or_resume(env, config, &dir, session) {
-        Ok(outcome) => outcome,
-        Err(e) => {
-            eprintln!("{sub}: training aborted: {e}");
-            std::process::exit(1);
-        }
+    if let Some(root) = root {
+        builder = builder.checkpoint(root.join(sub), every);
     }
+    builder.build()?.train()
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale: f32 = arg_value(&args, "--scale", 0.5);
-    let iters: usize = arg_value(&args, "--iters", 16);
-    let donor_iters: usize = arg_value(&args, "--donor-iters", 8);
-    let csv: String = arg_value(&args, "--csv", "fig6.csv".to_string());
-    let checkpoint: String = arg_value(&args, "--checkpoint", String::new());
-    let every: usize = arg_value(&args, "--checkpoint-every", 5);
+fn main() -> Result<(), rl_ccd::Error> {
+    let cli = Cli::from_env();
+    let _obs = cli.attach();
+    let scale = cli.scale(0.5);
+    let iters = cli.iters(16);
+    let donor_iters: usize = cli.value("--donor-iters", 8);
+    let csv = cli.csv("fig6.csv");
+    let checkpoint = cli.checkpoint();
+    let every = cli.checkpoint_every(5);
 
-    let suite = block_suite(scale);
+    let suite = rl_ccd_netlist::block_suite(scale);
     let config = RlConfig {
         max_iterations: iters,
         patience: iters, // plot full curves, no early stop
@@ -76,16 +70,15 @@ fn main() {
             suite[idx].name,
             design.netlist.cell_count()
         );
-        let env = CcdEnv::new(design, FlowRecipe::default(), donor_cfg.fanout_cap);
         let sub = format!("donor-{}", suite[idx].name);
         let outcome = run(
-            &env,
+            design,
             &donor_cfg,
             donor_params.take(),
-            &checkpoint,
+            checkpoint.as_ref(),
             &sub,
             every,
-        );
+        )?;
         donor_params = Some(outcome.params);
     }
     let donor = donor_params.expect("donor training ran");
@@ -97,20 +90,30 @@ fn main() {
         suite[18].name,
         design.netlist.cell_count()
     );
-    let env = CcdEnv::new(design, FlowRecipe::default(), config.fanout_cap);
-    let default = env.default_flow();
+    let default = Session::builder()
+        .design(design.clone())
+        .rl_config(config.clone())
+        .build()?
+        .run_flow()?;
 
-    let scratch = run(&env, &config, None, &checkpoint, "scratch", every);
+    let scratch = run(
+        design.clone(),
+        &config,
+        None,
+        checkpoint.as_ref(),
+        "scratch",
+        every,
+    )?;
     let (_, transfer_params, adopted) = with_pretrained_gnn(config.clone(), &donor);
     println!("transferred {adopted} EP-GNN tensors; encoder/decoder fresh");
     let transferred = run(
-        &env,
+        design,
         &config,
         Some(transfer_params),
-        &checkpoint,
+        checkpoint.as_ref(),
         "transfer",
         every,
-    );
+    )?;
 
     println!(
         "\n{:>5} {:>14} {:>14} {:>14} {:>14}   (TNS ps; default flow {:.0})",
@@ -162,12 +165,11 @@ fn main() {
         transferred.best_result.final_qor.tns_ps,
         first_hit(&transferred.history),
     );
-    match write_csv(
+    write_csv(
         &csv,
         "iteration,scratch_greedy_tns_ps,scratch_best_tns_ps,transfer_greedy_tns_ps,transfer_best_tns_ps",
         &csv_rows,
-    ) {
-        Ok(()) => println!("wrote {csv}"),
-        Err(e) => eprintln!("could not write {csv}: {e}"),
-    }
+    )?;
+    println!("wrote {csv}");
+    cli.finish()
 }

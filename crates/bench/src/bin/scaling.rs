@@ -7,14 +7,14 @@
 //!
 //! Usage:
 //! ```text
-//! scaling [--max-cells 8000] [--csv scaling.csv]
+//! scaling [--max-cells 8000] [--csv scaling.csv] [--trace-out run.jsonl]
 //! ```
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rl_ccd::{CcdEnv, RlCcd, RlConfig};
-use rl_ccd_bench::{arg_value, write_csv};
-use rl_ccd_flow::{run_flow, FlowRecipe};
+use rl_ccd_bench::{write_csv, Cli};
+use rl_ccd_flow::FlowRecipe;
 use rl_ccd_netlist::{generate, DesignSpec, TechNode};
 use rl_ccd_sta::{analyze, Constraints, EndpointMargins, TimingGraph};
 use std::time::Instant;
@@ -23,10 +23,11 @@ fn ms(start: Instant) -> f64 {
     start.elapsed().as_secs_f64() * 1e3
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let max_cells: usize = arg_value(&args, "--max-cells", 8000);
-    let csv: String = arg_value(&args, "--csv", "scaling.csv".to_string());
+fn main() -> Result<(), rl_ccd::Error> {
+    let cli = Cli::from_env();
+    let _obs = cli.attach();
+    let max_cells: usize = cli.value("--max-cells", 8000);
+    let csv = cli.csv("scaling.csv");
 
     println!(
         "{:>8} {:>8} {:>8} | {:>10} {:>10} {:>10} {:>12}",
@@ -53,7 +54,7 @@ fn main() {
 
         // Full default flow.
         let t = Instant::now();
-        let _ = run_flow(&d, &recipe, &[]);
+        let _ = recipe.run(&d, &[]);
         let flow_ms = ms(t);
 
         // GNN forward + one rollout.
@@ -88,12 +89,11 @@ fn main() {
         ));
         cells *= 2;
     }
-    match write_csv(
+    write_csv(
         &csv,
         "cells,nets,pool,sta_ms,flow_ms,gnn_forward_ms,rollout_ms,trajectory_steps",
         &csv_rows,
-    ) {
-        Ok(()) => println!("wrote {csv}"),
-        Err(e) => eprintln!("could not write {csv}: {e}"),
-    }
+    )?;
+    println!("wrote {csv}");
+    cli.finish()
 }

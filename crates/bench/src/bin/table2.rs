@@ -5,7 +5,7 @@
 //! Usage:
 //! ```text
 //! table2 [--scale 0.5] [--iters 12] [--workers 8] [--blocks 19] [--csv table2.csv]
-//!        [--checkpoint DIR] [--checkpoint-every K]
+//!        [--checkpoint DIR] [--checkpoint-every K] [--trace-out run.jsonl]
 //! ```
 //!
 //! `--scale` multiplies the suite cell counts (1.0 ≈ paper sizes ÷ 100);
@@ -15,20 +15,19 @@
 //! picks up mid-block instead of starting over.
 
 use rl_ccd::{RlConfig, TrainSession};
-use rl_ccd_bench::{
-    arg_value, run_block_with, table2_header, table2_row, table2_summary, write_csv,
-};
+use rl_ccd_bench::{run_block_with, table2_header, table2_row, table2_summary, write_csv, Cli};
 use rl_ccd_netlist::{block_suite, generate};
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale: f32 = arg_value(&args, "--scale", 0.5);
-    let iters: usize = arg_value(&args, "--iters", 12);
-    let workers: usize = arg_value(&args, "--workers", 8);
-    let blocks: usize = arg_value(&args, "--blocks", 19);
-    let csv: String = arg_value(&args, "--csv", "table2.csv".to_string());
-    let checkpoint: String = arg_value(&args, "--checkpoint", String::new());
-    let every: usize = arg_value(&args, "--checkpoint-every", 5);
+fn main() -> Result<(), rl_ccd::Error> {
+    let cli = Cli::from_env();
+    let _obs = cli.attach();
+    let scale = cli.scale(0.5);
+    let iters = cli.iters(12);
+    let workers = cli.workers(8);
+    let blocks: usize = cli.value("--blocks", 19);
+    let csv = cli.csv("table2.csv");
+    let checkpoint = cli.checkpoint();
+    let every = cli.checkpoint_every(5);
 
     let config = RlConfig {
         max_iterations: iters,
@@ -44,11 +43,9 @@ fn main() {
     let mut csv_rows = Vec::new();
     for spec in block_suite(scale).into_iter().take(blocks) {
         let design = generate(&spec);
-        let session = if checkpoint.is_empty() {
-            TrainSession::default()
-        } else {
-            let dir = std::path::Path::new(&checkpoint).join(&spec.name);
-            TrainSession::checkpointed(dir, every)
+        let session = match &checkpoint {
+            None => TrainSession::default(),
+            Some(root) => TrainSession::checkpointed(root.join(&spec.name), every),
         };
         let (row, _) = match run_block_with(design, &config, session) {
             Ok(r) => r,
@@ -86,8 +83,7 @@ fn main() {
     let header = "design,cells,tech,wns_begin_ns,tns_begin_ns,nve_begin,power_begin_mw,\
 wns_default_ns,tns_default_ns,nve_default,power_default_mw,\
 wns_rl_ns,tns_rl_ns,tns_gain_pct,nve_rl,power_rl_mw,prioritized,runtime_ratio";
-    match write_csv(&csv, header, &csv_rows) {
-        Ok(()) => println!("wrote {csv}"),
-        Err(e) => eprintln!("could not write {csv}: {e}"),
-    }
+    write_csv(&csv, header, &csv_rows)?;
+    println!("wrote {csv}");
+    cli.finish()
 }

@@ -1,0 +1,163 @@
+//! Shared CLI parsing for the bench binaries.
+//!
+//! Every binary used to hand-roll the same `--key value` loop; [`Cli`]
+//! centralizes the common flags (`--scale`, `--iters`, `--workers`,
+//! `--seed`, `--csv`, `--checkpoint`, `--checkpoint-every`) and wires the
+//! observability layer: passing `--trace-out run.jsonl` to *any* binary
+//! creates a [`Recorder`], [`Cli::attach`] activates it for the run, and
+//! [`Cli::finish`] writes the versioned JSONL trace and prints the
+//! human-readable summary table.
+
+use rl_ccd_obs::{AttachGuard, Recorder};
+use std::path::PathBuf;
+use std::str::FromStr;
+
+/// Parsed command line of one bench binary.
+#[derive(Debug)]
+pub struct Cli {
+    args: Vec<String>,
+    trace_out: Option<PathBuf>,
+    recorder: Option<Recorder>,
+}
+
+impl Cli {
+    /// Parses the process arguments (binary name skipped).
+    pub fn from_env() -> Self {
+        Self::new(std::env::args().skip(1).collect())
+    }
+
+    /// Parses an explicit argument list; `--trace-out PATH` creates the
+    /// run's recorder.
+    pub fn new(args: Vec<String>) -> Self {
+        let trace_out = args
+            .iter()
+            .position(|a| a == "--trace-out")
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from);
+        let recorder = trace_out.as_ref().map(|_| Recorder::new());
+        Self {
+            args,
+            trace_out,
+            recorder,
+        }
+    }
+
+    /// Parses `--key value` with a default (any `FromStr` type).
+    pub fn value<T: FromStr>(&self, key: &str, default: T) -> T {
+        crate::arg_value(&self.args, key, default)
+    }
+
+    /// `--scale` — suite cell-count multiplier.
+    pub fn scale(&self, default: f32) -> f32 {
+        self.value("--scale", default)
+    }
+
+    /// `--iters` — training iteration cap.
+    pub fn iters(&self, default: usize) -> usize {
+        self.value("--iters", default)
+    }
+
+    /// `--workers` — parallel rollouts per iteration.
+    pub fn workers(&self, default: usize) -> usize {
+        self.value("--workers", default)
+    }
+
+    /// `--seed` — base RNG seed.
+    pub fn seed(&self, default: u64) -> u64 {
+        self.value("--seed", default)
+    }
+
+    /// `--cells` — target cell count for single-design studies.
+    pub fn cells(&self, default: usize) -> usize {
+        self.value("--cells", default)
+    }
+
+    /// `--designs` — how many designs a multi-design study runs.
+    pub fn designs(&self, default: usize) -> usize {
+        self.value("--designs", default)
+    }
+
+    /// `--csv` — output CSV path.
+    pub fn csv(&self, default: &str) -> String {
+        self.value("--csv", default.to_string())
+    }
+
+    /// `--checkpoint DIR` — resumable-state root, when given.
+    pub fn checkpoint(&self) -> Option<PathBuf> {
+        let dir: String = self.value("--checkpoint", String::new());
+        (!dir.is_empty()).then(|| PathBuf::from(dir))
+    }
+
+    /// `--checkpoint-every K` — commit cadence in iterations.
+    pub fn checkpoint_every(&self, default: usize) -> usize {
+        self.value("--checkpoint-every", default)
+    }
+
+    /// The `--trace-out` path, when given.
+    pub fn trace_out(&self) -> Option<&PathBuf> {
+        self.trace_out.as_ref()
+    }
+
+    /// The run's recorder (present exactly when `--trace-out` was given).
+    pub fn recorder(&self) -> Option<Recorder> {
+        self.recorder.clone()
+    }
+
+    /// Activates the recorder for the caller's scope. Hold the guard for
+    /// the duration of the run; without `--trace-out` this is free.
+    pub fn attach(&self) -> Option<AttachGuard> {
+        self.recorder.as_ref().map(rl_ccd_obs::attach)
+    }
+
+    /// Ends the run: with `--trace-out`, writes the JSONL trace and prints
+    /// the summary table (no-op otherwise).
+    ///
+    /// # Errors
+    /// [`rl_ccd::Error::Io`] when the trace cannot be written.
+    pub fn finish(&self) -> Result<(), rl_ccd::Error> {
+        if let (Some(recorder), Some(path)) = (&self.recorder, &self.trace_out) {
+            recorder.write_jsonl_to_path(path)?;
+            println!("\n{}", recorder.summary());
+            println!("wrote trace {}", path.display());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(args: &[&str]) -> Cli {
+        Cli::new(args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn common_flags_parse_with_defaults() {
+        let c = cli(&["--scale", "0.25", "--iters", "3", "--checkpoint", "ck"]);
+        assert_eq!(c.scale(1.0), 0.25);
+        assert_eq!(c.iters(12), 3);
+        assert_eq!(c.workers(8), 8);
+        assert_eq!(c.checkpoint(), Some(PathBuf::from("ck")));
+        assert_eq!(c.checkpoint_every(5), 5);
+        assert!(c.trace_out().is_none());
+        assert!(c.recorder().is_none());
+        assert!(c.attach().is_none());
+        c.finish().expect("finish without trace is a no-op");
+    }
+
+    #[test]
+    fn trace_out_creates_and_writes_a_recorder() {
+        let path = std::env::temp_dir().join(format!("rl-ccd-cli-{}.jsonl", std::process::id()));
+        let c = cli(&["--trace-out", path.to_str().unwrap()]);
+        {
+            let _obs = c.attach();
+            rl_ccd_obs::counter!("bench.test.events", 2);
+        }
+        c.finish().expect("trace written");
+        let text = std::fs::read_to_string(&path).expect("trace file");
+        rl_ccd_obs::validate_jsonl(text.as_bytes()).expect("schema-valid trace");
+        assert!(text.contains("bench.test.events"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -14,10 +14,12 @@
 
 #![warn(missing_docs)]
 
-use rl_ccd::{
-    train_or_resume, try_train, CcdEnv, RlConfig, TrainError, TrainOutcome, TrainSession,
-};
-use rl_ccd_flow::{FlowRecipe, FlowResult};
+pub mod cli;
+
+pub use cli::Cli;
+
+use rl_ccd::{Error, RlConfig, Session, TrainOutcome, TrainSession};
+use rl_ccd_flow::FlowResult;
 use rl_ccd_netlist::{block_suite, generate, DesignSpec, GeneratedDesign};
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -67,24 +69,32 @@ pub fn run_block(design: GeneratedDesign, config: &RlConfig) -> (BlockRow, Train
 /// it stopped.
 ///
 /// # Errors
-/// Propagates [`TrainError`] from training (quorum loss, checkpoint I/O).
+/// Propagates [`rl_ccd::Error`] from training (quorum loss, checkpoint
+/// I/O).
 pub fn run_block_with(
     design: GeneratedDesign,
     config: &RlConfig,
     session: TrainSession,
-) -> Result<(BlockRow, TrainOutcome), TrainError> {
+) -> Result<(BlockRow, TrainOutcome), Error> {
     let name = design.spec.name.clone();
     let cells = design.netlist.cell_count();
     let tech = design.spec.tech.name();
-    let env = CcdEnv::new(design, FlowRecipe::default(), config.fanout_cap);
+    let mut builder = Session::builder()
+        .design(design)
+        .rl_config(config.clone())
+        .fault_plan(session.fault_plan);
+    if let Some(dir) = session.checkpoint_dir {
+        builder = builder.checkpoint(dir, session.checkpoint_every);
+    }
+    if let Some(params) = session.initial {
+        builder = builder.initial_params(params);
+    }
+    let rl = builder.build()?;
     let t_default = Instant::now();
-    let default = env.default_flow();
+    let default = rl.env().default_flow();
     let default_secs = t_default.elapsed().as_secs_f64().max(1e-6);
     let t_rl = Instant::now();
-    let outcome = match session.checkpoint_dir.clone() {
-        Some(dir) => train_or_resume(&env, config, dir, session)?,
-        None => try_train(&env, config, session)?,
-    };
+    let outcome = rl.train()?;
     let rl_secs = t_rl.elapsed().as_secs_f64();
     let row = BlockRow {
         name,

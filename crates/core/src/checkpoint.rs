@@ -353,8 +353,11 @@ pub fn save_training_state(
     dir: impl AsRef<Path>,
 ) -> Result<(), CheckpointError> {
     let dir = dir.as_ref();
+    let commit_start = std::time::Instant::now();
+    let mut span = rl_ccd_obs::span!("train.checkpoint.commit", iteration = state.next_iteration,);
     fs::create_dir_all(dir)?;
     let bytes = state.to_bytes();
+    span.record("bytes", bytes.len());
     commit_file(dir, STATE_TMP, STATE_FILE, &bytes)?;
     let manifest = format!(
         "rl-ccd-manifest v1\n{STATE_FILE} {} {:016x}\n",
@@ -362,6 +365,11 @@ pub fn save_training_state(
         fnv1a64(&bytes)
     );
     commit_file(dir, MANIFEST_TMP, MANIFEST_FILE, manifest.as_bytes())?;
+    rl_ccd_obs::counter!("train.checkpoint.commits", 1);
+    rl_ccd_obs::observe!(
+        "train.checkpoint.commit_ms",
+        commit_start.elapsed().as_secs_f64() * 1e3
+    );
     Ok(())
 }
 
@@ -523,7 +531,7 @@ mod tests {
     use super::*;
     use crate::config::RlConfig;
     use crate::env::CcdEnv;
-    use crate::reinforce::train;
+    use crate::reinforce::{try_train, TrainSession};
     use rl_ccd_flow::FlowRecipe;
     use rl_ccd_netlist::{generate, DesignSpec, TechNode};
 
@@ -640,7 +648,7 @@ mod tests {
         let mut cfg = RlConfig::fast();
         cfg.max_iterations = 2;
         cfg.patience = 2;
-        let outcome = train(&env, &cfg, None);
+        let outcome = try_train(&env, &cfg, TrainSession::default()).unwrap();
         let dir = std::env::temp_dir().join("rl_ccd_ckpt_test");
         save_checkpoint(&outcome, &dir).expect("save");
         let params = load_checkpoint_params(&dir).expect("params");

@@ -7,7 +7,7 @@
 //! flow (the trajectory reward of Algorithm 1 line 17).
 
 use crate::features::NodeFeatures;
-use rl_ccd_flow::{run_flow, FlowRecipe, FlowResult};
+use rl_ccd_flow::{FlowRecipe, FlowResult};
 use rl_ccd_netlist::{
     cone_readout, fanin_cone, message_graph, CellId, Cone, ConeSet, EndpointId, GeneratedDesign,
 };
@@ -135,7 +135,7 @@ impl CcdEnv {
     /// recomputes only at structural escape hatches (buffer insertion,
     /// signoff legalization).
     pub fn evaluate(&self, selected: &[EndpointId]) -> FlowResult {
-        run_flow(&self.design, &self.recipe, selected)
+        self.recipe.run(&self.design, selected)
     }
 
     /// The native tool flow (no prioritization).

@@ -1,0 +1,124 @@
+//! The unified, workspace-level error surface.
+//!
+//! Binaries and library consumers see one [`enum@Error`] that wraps every
+//! failure the pipeline can produce — training ([`TrainError`]),
+//! checkpointing ([`CheckpointError`]), flow/STA sanity violations, trace
+//! I/O and configuration misuse — instead of a mix of `expect()` panics
+//! and ad-hoc `eprintln!` exits.
+
+use crate::checkpoint::CheckpointError;
+use crate::reinforce::TrainError;
+use std::fmt;
+
+/// Any failure of the RL-CCD pipeline. `Send + Sync`, so it crosses
+/// thread and binary boundaries.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Training failed (quorum loss, resume validation, checkpoint I/O).
+    Train(TrainError),
+    /// Checkpoint I/O or validation failed outside a training run.
+    Checkpoint(CheckpointError),
+    /// A flow or STA stage produced a non-finite QoR — the timing model
+    /// was poisoned (NaN arrivals, corrupt margins).
+    NonFiniteQor {
+        /// Which stage surfaced the non-finite value.
+        stage: String,
+    },
+    /// File I/O failed (trace output, CSV export, checkpoint dirs).
+    Io(std::io::Error),
+    /// A trace failed schema validation.
+    TraceSchema(rl_ccd_obs::SchemaError),
+    /// The caller misconfigured a builder or CLI invocation.
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Train(e) => write!(f, "training failed: {e}"),
+            Error::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            Error::NonFiniteQor { stage } => {
+                write!(f, "non-finite QoR out of the {stage} stage")
+            }
+            Error::Io(e) => write!(f, "I/O failure: {e}"),
+            Error::TraceSchema(e) => write!(f, "trace schema violation: {e}"),
+            Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Train(e) => Some(e),
+            Error::Checkpoint(e) => Some(e),
+            Error::Io(e) => Some(e),
+            Error::TraceSchema(e) => Some(e),
+            Error::NonFiniteQor { .. } | Error::Config(_) => None,
+        }
+    }
+}
+
+impl From<TrainError> for Error {
+    fn from(e: TrainError) -> Self {
+        Error::Train(e)
+    }
+}
+
+impl From<CheckpointError> for Error {
+    fn from(e: CheckpointError) -> Self {
+        Error::Checkpoint(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<rl_ccd_obs::SchemaError> for Error {
+    fn from(e: rl_ccd_obs::SchemaError) -> Self {
+        Error::TraceSchema(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync_error() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<Error>();
+        assert_bounds::<TrainError>();
+        assert_bounds::<CheckpointError>();
+    }
+
+    #[test]
+    fn conversions_and_display_cover_every_source() {
+        let e: Error = TrainError::SeedMismatch {
+            expected: 1,
+            found: 2,
+        }
+        .into();
+        assert!(e.to_string().contains("seed mismatch"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: Error = CheckpointError::Corrupt("bad".into()).into();
+        assert!(e.to_string().contains("checkpoint"));
+
+        let e: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("I/O failure"));
+
+        let e = Error::Config("missing design".into());
+        assert!(e.to_string().contains("missing design"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e = Error::NonFiniteQor {
+            stage: "signoff".into(),
+        };
+        assert!(e.to_string().contains("signoff"));
+    }
+}

@@ -14,24 +14,29 @@
 //!   distribution over endpoints (Eqs. 5–6);
 //! * [`SelectionMask`] — fan-in-cone overlap masking with threshold ρ
 //!   (Fig. 3);
-//! * [`train`] — REINFORCE with parallel rollouts and early stopping
+//! * [`reinforce`] — REINFORCE with parallel rollouts and early stopping
 //!   (Eq. 7, Algorithm 1);
 //! * [`transfer`] — EP-GNN weight reuse on unseen designs (§IV-B).
 //!
+//! The front door is [`Session`]: it bundles the design, recipe, RL
+//! configuration and an optional observability recorder, and exposes
+//! [`Session::run_flow`] and [`Session::train`] with the unified
+//! [`enum@Error`].
+//!
 //! # Quick start
 //! ```no_run
-//! use rl_ccd::{train, CcdEnv, RlConfig};
-//! use rl_ccd_flow::FlowRecipe;
+//! use rl_ccd::Session;
 //! use rl_ccd_netlist::{generate, DesignSpec, TechNode};
 //!
 //! let design = generate(&DesignSpec::new("demo", 800, TechNode::N7, 1));
-//! let env = CcdEnv::new(design, FlowRecipe::default(), 24);
-//! let outcome = train(&env, &RlConfig::default(), None);
+//! let session = Session::builder().design(design).build()?;
+//! let outcome = session.train()?;
 //! println!(
 //!     "best TNS {:.1} ps with {} prioritized endpoints",
 //!     outcome.best_result.final_qor.tns_ps,
 //!     outcome.best_selection.len()
 //! );
+//! # Ok::<(), rl_ccd::Error>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -45,12 +50,14 @@ pub mod decoder;
 pub mod encoder;
 pub mod env;
 pub mod epgnn;
+pub mod error;
 pub mod eval;
 pub mod fault;
 pub mod features;
 pub mod masking;
 pub mod parallel;
 pub mod reinforce;
+pub mod session;
 pub mod transfer;
 
 pub use agent::{RlCcd, Rollout};
@@ -64,6 +71,7 @@ pub use decoder::AttentionDecoder;
 pub use encoder::{ActionEncoder, EncoderState};
 pub use env::CcdEnv;
 pub use epgnn::EpGnn;
+pub use error::Error;
 pub use eval::{evaluate_policy, PolicyEval};
 pub use fault::{FaultKind, FaultPlan, InjectedFault, RolloutFault};
 pub use features::{NodeFeatures, FEATURE_DIM, MASKED_COL};
@@ -72,8 +80,8 @@ pub use parallel::{
     max_concurrent_tapes, run_rollouts, run_rollouts_supervised, RolloutBatch, ScoredRollout,
     DEFAULT_TAPE_MEMORY_BUDGET, MAX_TAPE_MEMORY_BUDGET, MIN_TAPE_MEMORY_BUDGET,
 };
-pub use reinforce::{
-    resume_train, train, train_or_resume, try_train, IterationStats, TrainError, TrainOutcome,
-    TrainSession,
-};
+#[allow(deprecated)]
+pub use reinforce::{resume_train, train, train_or_resume};
+pub use reinforce::{try_train, IterationStats, TrainError, TrainOutcome, TrainSession};
+pub use session::{Session, SessionBuilder};
 pub use transfer::{load_params, save_params, with_pretrained_gnn};

@@ -139,6 +139,10 @@ pub fn run_rollouts_supervised(
     plan: &FaultPlan,
 ) -> RolloutBatch {
     let chunk = max_concurrent_tapes(env, tape_memory_budget);
+    // Hand the driver's recorder (if any) to every worker thread: each
+    // worker attaches its own clone, records into its thread-local span
+    // buffer, and merges back when its rollout span closes.
+    let recorder = rl_ccd_obs::current();
     let mut results: Vec<(usize, WorkerResult)> = Vec::with_capacity(seeds.len());
     for (gi, group) in seeds.chunks(chunk).enumerate() {
         let group_start = gi * chunk;
@@ -148,7 +152,15 @@ pub fn run_rollouts_supervised(
                 .enumerate()
                 .map(|(offset, &seed)| {
                     let worker = group_start + offset;
+                    let recorder = recorder.clone();
                     scope.spawn(move || {
+                        let _obs = recorder.as_ref().map(rl_ccd_obs::attach);
+                        let mut span = rl_ccd_obs::span!(
+                            "train.rollout",
+                            iteration = iteration,
+                            worker = worker,
+                            seed = seed,
+                        );
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
                             run_one_worker(model, params, env, seed, iteration, worker, plan)
                         }));
@@ -162,6 +174,18 @@ pub fn run_rollouts_supervised(
                                 detail: panic_message(payload.as_ref()),
                             }),
                         };
+                        match &result {
+                            Ok(r) => {
+                                span.record("reward", r.reward());
+                                span.record("steps", r.steps);
+                                rl_ccd_obs::observe!("train.rollout.reward", r.reward());
+                            }
+                            Err(f) => {
+                                span.record("fault", format!("{:?}", f.kind));
+                                rl_ccd_obs::counter!("train.fault.quarantined", 1);
+                            }
+                        }
+                        drop(span);
                         (worker, result)
                     })
                 })

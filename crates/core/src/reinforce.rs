@@ -210,6 +210,11 @@ impl LoopState {
 /// checkpointing. Without injected faults a quorum loss means every
 /// worker genuinely failed, which is unrecoverable — it panics with the
 /// fault records.
+#[deprecated(
+    since = "0.2.0",
+    note = "use rl_ccd::Session::builder().…().build()?.train(), or try_train for the \
+            low-level fallible entry point"
+)]
 pub fn train(env: &CcdEnv, config: &RlConfig, initial: Option<ParamSet>) -> TrainOutcome {
     try_train(
         env,
@@ -264,13 +269,28 @@ pub fn try_train(
 /// (including champion endpoints out of range for this design), and
 /// [`TrainError::SeedMismatch`] when `config.seed` differs from the seed
 /// the checkpoint was produced under.
+#[deprecated(
+    since = "0.2.0",
+    note = "use rl_ccd::Session with a checkpoint directory; Session::train resumes \
+            automatically from a committed state"
+)]
 pub fn resume_train(
     env: &CcdEnv,
     config: &RlConfig,
     dir: impl AsRef<Path>,
+    session: TrainSession,
+) -> Result<TrainOutcome, TrainError> {
+    resume_train_impl(env, config, dir.as_ref(), session)
+}
+
+/// Non-deprecated body of [`resume_train`], shared with
+/// [`crate::Session::train`].
+pub(crate) fn resume_train_impl(
+    env: &CcdEnv,
+    config: &RlConfig,
+    dir: &Path,
     mut session: TrainSession,
 ) -> Result<TrainOutcome, TrainError> {
-    let dir = dir.as_ref();
     let state = load_training_state(dir)?;
     if state.seed_base != config.seed {
         return Err(TrainError::SeedMismatch {
@@ -316,15 +336,30 @@ pub fn resume_train(
 ///
 /// # Errors
 /// Propagates [`TrainError`] from the underlying run.
+#[deprecated(
+    since = "0.2.0",
+    note = "use rl_ccd::Session with a checkpoint directory; Session::train starts or \
+            resumes as appropriate"
+)]
 pub fn train_or_resume(
     env: &CcdEnv,
     config: &RlConfig,
     dir: impl AsRef<Path>,
+    session: TrainSession,
+) -> Result<TrainOutcome, TrainError> {
+    train_or_resume_impl(env, config, dir.as_ref(), session)
+}
+
+/// Non-deprecated body of [`train_or_resume`], shared with
+/// [`crate::Session::train`].
+pub(crate) fn train_or_resume_impl(
+    env: &CcdEnv,
+    config: &RlConfig,
+    dir: &Path,
     mut session: TrainSession,
 ) -> Result<TrainOutcome, TrainError> {
-    let dir = dir.as_ref();
     if training_state_exists(dir) {
-        resume_train(env, config, dir, session)
+        resume_train_impl(env, config, dir, session)
     } else {
         session.checkpoint_dir = Some(dir.to_path_buf());
         try_train(env, config, session)
@@ -340,12 +375,20 @@ fn run_training(
     session: &TrainSession,
 ) -> Result<TrainOutcome, TrainError> {
     let quorum = config.effective_quorum();
+    let mut train_span = rl_ccd_obs::span!(
+        "train.run",
+        start_iteration = s.next_iteration,
+        max_iterations = config.max_iterations,
+        workers = config.workers,
+        seed = config.seed,
+    );
     for iteration in s.next_iteration..config.max_iterations {
         // A resumed state may already be exhausted (the original run
         // stopped right after this checkpoint was written).
         if s.stale >= config.patience {
             break;
         }
+        let mut iter_span = rl_ccd_obs::span!("train.iteration", iteration = iteration);
         let seeds: Vec<u64> = (0..config.workers.max(1))
             .map(|w| {
                 config
@@ -426,10 +469,12 @@ fn run_training(
                     grads.merge(local);
                 }
                 grads.average();
+                rl_ccd_obs::gauge!("train.update.grad_norm", grads.global_norm());
                 grads.clip_global_norm(config.grad_clip);
                 if !grads.all_finite() {
                     // Per-rollout gradients were finite, so this is an
                     // overflow in merge/clip arithmetic: skip the step.
+                    rl_ccd_obs::counter!("train.update.guarded", 1);
                     s.faults.push(RolloutFault {
                         iteration,
                         worker: 0,
@@ -447,6 +492,7 @@ fn run_training(
                         s.params = last_good.0;
                         s.adam = last_good.1;
                         s.adam.decay_lr(config.divergence_lr_decay);
+                        rl_ccd_obs::counter!("train.update.guarded", 1);
                         s.faults.push(RolloutFault {
                             iteration,
                             worker: 0,
@@ -465,8 +511,12 @@ fn run_training(
         };
 
         // Greedy policy evaluation after the update (the learning curve).
-        let greedy = model.rollout_greedy(&s.params, env);
-        let greedy_result = env.evaluate(&greedy.selected);
+        let (greedy, greedy_result) = {
+            let _span = rl_ccd_obs::span!("train.greedy_eval", iteration = iteration);
+            let greedy = model.rollout_greedy(&s.params, env);
+            let greedy_result = env.evaluate(&greedy.selected);
+            (greedy, greedy_result)
+        };
         let greedy_reward = greedy_result.final_qor.tns_ps;
         if greedy_reward > s.best_reward {
             s.best_reward = greedy_reward;
@@ -475,6 +525,14 @@ fn run_training(
             improved = true;
         }
 
+        iter_span.record("mean_reward", mean);
+        iter_span.record("batch_best", batch_best);
+        iter_span.record("greedy_reward", greedy_reward);
+        iter_span.record("best_so_far", s.best_reward);
+        rl_ccd_obs::gauge!("train.iteration.mean_reward", mean);
+        rl_ccd_obs::gauge!("train.iteration.greedy_reward", greedy_reward);
+        rl_ccd_obs::gauge!("train.iteration.best_so_far", s.best_reward);
+        rl_ccd_obs::counter!("train.iterations", 1);
         s.history.push(IterationStats {
             iteration,
             mean_reward: mean,
@@ -510,6 +568,9 @@ fn run_training(
         }
     }
 
+    train_span.record("iterations", s.history.len());
+    train_span.record("best_reward", s.best_reward);
+    train_span.record("faults", s.faults.len());
     Ok(TrainOutcome {
         params: s.params,
         best_result: s.best_result,
@@ -534,7 +595,7 @@ mod tests {
     fn training_runs_and_tracks_best() {
         let env = env();
         let cfg = RlConfig::fast();
-        let out = train(&env, &cfg, None);
+        let out = try_train(&env, &cfg, TrainSession::default()).unwrap();
         assert!(!out.history.is_empty());
         assert!(out.history.len() <= cfg.max_iterations);
         assert!(out.best_result.final_qor.tns_ps <= 0.0);
@@ -562,7 +623,7 @@ mod tests {
         let mut cfg = RlConfig::fast();
         cfg.max_iterations = 12;
         cfg.patience = 1;
-        let out = train(&env, &cfg, None);
+        let out = try_train(&env, &cfg, TrainSession::default()).unwrap();
         // With patience 1 the loop stops as soon as one iteration fails to
         // improve, so it must terminate well before the cap in practice;
         // at minimum it cannot exceed the cap.
@@ -573,8 +634,8 @@ mod tests {
     fn training_is_deterministic() {
         let env = env();
         let cfg = RlConfig::fast();
-        let a = train(&env, &cfg, None);
-        let b = train(&env, &cfg, None);
+        let a = try_train(&env, &cfg, TrainSession::default()).unwrap();
+        let b = try_train(&env, &cfg, TrainSession::default()).unwrap();
         assert_eq!(a.best_selection, b.best_selection);
         assert_eq!(
             a.best_result.final_qor.tns_ps,

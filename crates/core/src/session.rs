@@ -1,0 +1,302 @@
+//! The [`Session`] facade — the one front door to the pipeline.
+//!
+//! Earlier revisions exposed a constellation of free functions
+//! (`run_flow`, `run_flow_traced`, `train`, `resume_train`,
+//! `train_or_resume`) that each caller had to wire together by hand,
+//! along with its own recorder attachment and error handling. A
+//! [`Session`] bundles the design, flow recipe, RL configuration and an
+//! optional observability [`Recorder`] behind a builder, and every entry
+//! point — [`Session::run_flow`], [`Session::train`] — attaches the
+//! recorder, runs, and returns the workspace-level
+//! [`Error`]:
+//!
+//! ```no_run
+//! use rl_ccd::Session;
+//! use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+//!
+//! let design = generate(&DesignSpec::new("demo", 800, TechNode::N7, 1));
+//! let session = Session::builder().design(design).build()?;
+//! let outcome = session.train()?;
+//! println!("best TNS {:.1} ps", outcome.best_result.final_qor.tns_ps);
+//! # Ok::<(), rl_ccd::Error>(())
+//! ```
+
+use crate::env::CcdEnv;
+use crate::error::Error;
+use crate::fault::FaultPlan;
+use crate::reinforce::{train_or_resume_impl, try_train, TrainOutcome, TrainSession};
+use crate::RlConfig;
+use rl_ccd_flow::{FlowRecipe, FlowResult, FlowTrace};
+use rl_ccd_netlist::{EndpointId, GeneratedDesign};
+use rl_ccd_nn::ParamSet;
+use rl_ccd_obs::Recorder;
+use std::path::{Path, PathBuf};
+
+/// Builds a [`Session`]. Only [`design`](SessionBuilder::design) is
+/// required; everything else has the same defaults as the deprecated
+/// free functions.
+#[derive(Debug, Default)]
+pub struct SessionBuilder {
+    design: Option<GeneratedDesign>,
+    recipe: FlowRecipe,
+    rl_config: RlConfig,
+    recorder: Option<Recorder>,
+    initial: Option<ParamSet>,
+    checkpoint: Option<(PathBuf, usize)>,
+    fault_plan: FaultPlan,
+}
+
+impl SessionBuilder {
+    /// The placed design to optimize (required).
+    pub fn design(mut self, design: GeneratedDesign) -> Self {
+        self.design = Some(design);
+        self
+    }
+
+    /// The flow recipe every evaluation runs (default:
+    /// [`FlowRecipe::default`]).
+    pub fn recipe(mut self, recipe: FlowRecipe) -> Self {
+        self.recipe = recipe;
+        self
+    }
+
+    /// RL hyper-parameters and runtime knobs (default:
+    /// [`RlConfig::default`]).
+    pub fn rl_config(mut self, config: RlConfig) -> Self {
+        self.rl_config = config;
+        self
+    }
+
+    /// An observability recorder. Every [`Session`] entry point attaches
+    /// it for the duration of the call, so spans and metrics from STA,
+    /// the flow, and the training loop all land in one trace.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Warm-start parameters (transfer learning); default trains from
+    /// scratch.
+    pub fn initial_params(mut self, params: ParamSet) -> Self {
+        self.initial = Some(params);
+        self
+    }
+
+    /// Checkpoint into `dir` every `every` iterations, and resume from a
+    /// committed state in `dir` when one exists.
+    pub fn checkpoint(mut self, dir: impl Into<PathBuf>, every: usize) -> Self {
+        self.checkpoint = Some((dir.into(), every));
+        self
+    }
+
+    /// Test-only deterministic fault injection.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Builds the environment (begin STA, endpoint pool, GNN graphs,
+    /// features) and returns the ready [`Session`].
+    ///
+    /// # Errors
+    /// [`Error::Config`] when no design was provided.
+    pub fn build(self) -> Result<Session, Error> {
+        let design = self.design.ok_or_else(|| {
+            Error::Config("Session requires a design (SessionBuilder::design)".into())
+        })?;
+        let env = {
+            let _obs = self.recorder.as_ref().map(rl_ccd_obs::attach);
+            CcdEnv::new(design, self.recipe, self.rl_config.fanout_cap)
+        };
+        Ok(Session {
+            env,
+            rl_config: self.rl_config,
+            recorder: self.recorder,
+            initial: self.initial,
+            checkpoint: self.checkpoint,
+            fault_plan: self.fault_plan,
+        })
+    }
+}
+
+/// One configured run of the pipeline: flow evaluation and RL training
+/// against a single design, with unified errors and observability.
+#[derive(Debug)]
+pub struct Session {
+    env: CcdEnv,
+    rl_config: RlConfig,
+    recorder: Option<Recorder>,
+    initial: Option<ParamSet>,
+    checkpoint: Option<(PathBuf, usize)>,
+    fault_plan: FaultPlan,
+}
+
+impl Session {
+    /// Starts building a session.
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The prepared environment (endpoint pool, graphs, features).
+    pub fn env(&self) -> &CcdEnv {
+        &self.env
+    }
+
+    /// The RL configuration this session trains with.
+    pub fn rl_config(&self) -> &RlConfig {
+        &self.rl_config
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.as_ref()
+    }
+
+    fn check_qor(result: FlowResult) -> Result<FlowResult, Error> {
+        if result.final_qor.wns_ps.is_finite() && result.final_qor.tns_ps.is_finite() {
+            Ok(result)
+        } else {
+            Err(Error::NonFiniteQor {
+                stage: "signoff".into(),
+            })
+        }
+    }
+
+    /// Runs the native flow (no RL prioritization) — the tool baseline.
+    ///
+    /// # Errors
+    /// [`Error::NonFiniteQor`] when the signoff QoR is not finite.
+    pub fn run_flow(&self) -> Result<FlowResult, Error> {
+        self.run_flow_prioritized(&[])
+    }
+
+    /// Runs the flow with `prioritized` endpoints over-fixed by useful
+    /// skew (what the RL agent's selection feeds into).
+    ///
+    /// # Errors
+    /// [`Error::NonFiniteQor`] when the signoff QoR is not finite.
+    pub fn run_flow_prioritized(&self, prioritized: &[EndpointId]) -> Result<FlowResult, Error> {
+        let _obs = self.recorder.as_ref().map(rl_ccd_obs::attach);
+        Self::check_qor(self.env.recipe().run(self.env.design(), prioritized))
+    }
+
+    /// Runs the native flow and returns the per-stage QoR trace alongside
+    /// the result.
+    ///
+    /// # Errors
+    /// [`Error::NonFiniteQor`] when the signoff QoR is not finite.
+    pub fn run_flow_traced(&self) -> Result<(FlowResult, FlowTrace), Error> {
+        let _obs = self.recorder.as_ref().map(rl_ccd_obs::attach);
+        let (result, trace) = self.env.recipe().run_traced(self.env.design(), &[]);
+        Ok((Self::check_qor(result)?, trace))
+    }
+
+    /// Trains RL-CCD. With a [`checkpoint`](SessionBuilder::checkpoint)
+    /// directory configured, resumes from a committed state when one
+    /// exists and checkpoints periodically; otherwise trains in memory.
+    ///
+    /// # Errors
+    /// Any [`TrainError`](crate::TrainError) (quorum loss, checkpoint
+    /// I/O, resume seed mismatch), wrapped as [`Error::Train`].
+    pub fn train(&self) -> Result<TrainOutcome, Error> {
+        let _obs = self.recorder.as_ref().map(rl_ccd_obs::attach);
+        let train_session = TrainSession {
+            initial: self.initial.clone(),
+            checkpoint_dir: self.checkpoint.as_ref().map(|(d, _)| d.clone()),
+            checkpoint_every: self.checkpoint.as_ref().map_or(0, |&(_, every)| every),
+            fault_plan: self.fault_plan.clone(),
+        };
+        let outcome = match &self.checkpoint {
+            Some((dir, _)) => train_or_resume_impl(&self.env, &self.rl_config, dir, train_session)?,
+            None => try_train(&self.env, &self.rl_config, train_session)?,
+        };
+        Ok(outcome)
+    }
+
+    /// Writes the recorder's trace as versioned JSONL to `path`.
+    ///
+    /// # Errors
+    /// [`Error::Config`] when the session has no recorder,
+    /// [`Error::Io`] on I/O failure.
+    pub fn write_trace(&self, path: impl AsRef<Path>) -> Result<(), Error> {
+        let recorder = self
+            .recorder
+            .as_ref()
+            .ok_or_else(|| Error::Config("Session has no recorder to write a trace from".into()))?;
+        recorder.write_jsonl_to_path(path.as_ref())?;
+        Ok(())
+    }
+
+    /// The recorder's human-readable end-of-run summary table, or `None`
+    /// when the session has no recorder.
+    pub fn summary(&self) -> Option<String> {
+        self.recorder.as_ref().map(Recorder::summary)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+
+    fn tiny_design() -> GeneratedDesign {
+        generate(&DesignSpec::new("session-t", 360, TechNode::N7, 11))
+    }
+
+    #[test]
+    fn builder_requires_a_design() {
+        let err = Session::builder().build().unwrap_err();
+        assert!(matches!(err, Error::Config(_)));
+    }
+
+    #[test]
+    fn session_flow_matches_free_function() {
+        let design = tiny_design();
+        let session = Session::builder().design(design.clone()).build().unwrap();
+        let via_session = session.run_flow().unwrap();
+        let via_recipe = FlowRecipe::default().run(&design, &[]);
+        assert_eq!(via_session.final_qor.wns_ps, via_recipe.final_qor.wns_ps);
+        assert_eq!(via_session.final_qor.tns_ps, via_recipe.final_qor.tns_ps);
+    }
+
+    #[test]
+    fn session_train_matches_try_train() {
+        let design = tiny_design();
+        let config = RlConfig::fast();
+        let session = Session::builder()
+            .design(design.clone())
+            .rl_config(config.clone())
+            .build()
+            .unwrap();
+        let via_session = session.train().unwrap();
+        let env = CcdEnv::new(design, FlowRecipe::default(), config.fanout_cap);
+        let direct = try_train(&env, &config, TrainSession::default()).unwrap();
+        assert_eq!(
+            via_session.best_result.final_qor.tns_ps,
+            direct.best_result.final_qor.tns_ps
+        );
+        assert_eq!(via_session.best_selection, direct.best_selection);
+    }
+
+    #[test]
+    fn recorder_collects_across_entry_points() {
+        let recorder = Recorder::new();
+        let session = Session::builder()
+            .design(tiny_design())
+            .recorder(recorder.clone())
+            .build()
+            .unwrap();
+        session.run_flow().unwrap();
+        assert!(!recorder.is_empty());
+        let names: Vec<&str> = recorder.spans().iter().map(|s| s.name).collect();
+        assert!(names.contains(&"flow.run"));
+        assert!(session.summary().unwrap().contains("flow.run"));
+    }
+
+    #[test]
+    fn write_trace_without_recorder_is_a_config_error() {
+        let session = Session::builder().design(tiny_design()).build().unwrap();
+        let err = session.write_trace("/tmp/never-written.jsonl").unwrap_err();
+        assert!(matches!(err, Error::Config(_)));
+    }
+}

@@ -294,6 +294,15 @@ pub fn optimize_datapath_with_timer(
             break; // nothing applied; further passes are no-ops
         }
     }
+    rl_ccd_obs::with_recorder(|r| {
+        let m = r.metrics();
+        m.counter("flow.datapath.upsizes").add(stats.upsizes as u64);
+        m.counter("flow.datapath.pin_swaps")
+            .add(stats.pin_swaps as u64);
+        m.counter("flow.datapath.buffers").add(stats.buffers as u64);
+        m.counter("flow.datapath.restructures")
+            .add(stats.restructures as u64);
+    });
     (stats, timer.report().clone())
 }
 
@@ -354,6 +363,7 @@ pub fn recover_power_with_timer(
     if !touched.is_empty() {
         timer.touch_cells(netlist, &touched);
     }
+    rl_ccd_obs::counter!("flow.power.downsizes", applied);
     (applied, timer.report().clone())
 }
 

@@ -100,6 +100,26 @@ impl FlowRecipe {
             self.seed,
         )
     }
+
+    /// Runs the complete placement-optimization flow on a fresh clone of
+    /// `design`'s netlist, prioritizing `prioritized` endpoints for useful
+    /// skew (pass an empty slice for the native tool flow).
+    ///
+    /// Returns the begin/final QoR, operation statistics, the final skew
+    /// distribution, and the runtime.
+    pub fn run(&self, design: &GeneratedDesign, prioritized: &[EndpointId]) -> FlowResult {
+        self.run_traced(design, prioritized).0
+    }
+
+    /// Like [`FlowRecipe::run`], additionally returning the per-stage QoR
+    /// trace — where in the flow each selection pays off (or doesn't).
+    pub fn run_traced(
+        &self,
+        design: &GeneratedDesign,
+        prioritized: &[EndpointId],
+    ) -> (FlowResult, FlowTrace) {
+        run_flow_impl(design, self, prioritized)
+    }
 }
 
 fn qor(netlist: &Netlist, report: &TimingReport, period: f32, seed: u64) -> Qor {
@@ -127,28 +147,67 @@ pub struct StageSnapshot {
 /// Per-stage QoR trace of one flow run, in execution order.
 pub type FlowTrace = Vec<StageSnapshot>;
 
-/// Runs the complete placement-optimization flow on a fresh clone of
-/// `design`'s netlist, prioritizing `prioritized` endpoints for useful skew
-/// (pass an empty slice for the native tool flow).
-///
-/// Returns the begin/final QoR, operation statistics, the final skew
-/// distribution, and the runtime.
+/// Free-function alias of [`FlowRecipe::run`], kept for migration.
+#[deprecated(
+    since = "0.2.0",
+    note = "use FlowRecipe::run (or rl_ccd::Session::run_flow)"
+)]
 pub fn run_flow(
     design: &GeneratedDesign,
     recipe: &FlowRecipe,
     prioritized: &[EndpointId],
 ) -> FlowResult {
-    run_flow_traced(design, recipe, prioritized).0
+    recipe.run(design, prioritized)
 }
 
-/// Like [`run_flow`], additionally returning the per-stage QoR trace —
-/// where in the flow each selection pays off (or doesn't).
+/// Free-function alias of [`FlowRecipe::run_traced`], kept for migration.
+#[deprecated(
+    since = "0.2.0",
+    note = "use FlowRecipe::run_traced (or rl_ccd::Session::run_flow_traced)"
+)]
 pub fn run_flow_traced(
     design: &GeneratedDesign,
     recipe: &FlowRecipe,
     prioritized: &[EndpointId],
 ) -> (FlowResult, FlowTrace) {
+    recipe.run_traced(design, prioritized)
+}
+
+/// Records a stage boundary: pushes the trace snapshot and annotates the
+/// stage's span with post-stage QoR and the TNS delta the stage produced.
+fn end_stage(
+    trace: &mut FlowTrace,
+    span: &mut rl_ccd_obs::SpanGuard,
+    stage: &'static str,
+    wns_ps: f32,
+    tns_ps: f64,
+    nve: usize,
+) {
+    let prev_tns = trace.last().map_or(tns_ps, |s| s.tns_ps);
+    span.record("wns_ps", wns_ps);
+    span.record("tns_ps", tns_ps);
+    span.record("tns_delta_ps", tns_ps - prev_tns);
+    span.record("nve", nve);
+    trace.push(StageSnapshot {
+        stage,
+        wns_ps,
+        tns_ps,
+        nve,
+    });
+}
+
+fn run_flow_impl(
+    design: &GeneratedDesign,
+    recipe: &FlowRecipe,
+    prioritized: &[EndpointId],
+) -> (FlowResult, FlowTrace) {
     let start = Instant::now();
+    let mut flow_span = rl_ccd_obs::span!(
+        "flow.run",
+        cells = design.netlist.cell_count(),
+        period_ps = design.period_ps,
+        prioritized = prioritized.len(),
+    );
     let mut trace: FlowTrace = Vec::with_capacity(8);
     let mut netlist = design.netlist.clone();
     let period = design.period_ps;
@@ -161,84 +220,136 @@ pub fn run_flow_traced(
     // single full STA pass, every stage after that applies deltas through
     // it (with full recomputes only at the structural escape hatches:
     // buffer insertion inside datapath passes and legalization at signoff).
-    let mut timer = IncrementalTimer::new(&netlist, &constraints, &clocks, &margins);
-
     // (1) Begin snapshot.
+    let mut timer = {
+        let mut span = rl_ccd_obs::span!("flow.begin_sta");
+        let timer = IncrementalTimer::new(&netlist, &constraints, &clocks, &margins);
+        end_stage(
+            &mut trace,
+            &mut span,
+            "begin",
+            timer.report().wns(),
+            timer.report().tns(),
+            timer.report().nve(),
+        );
+        timer
+    };
     let begin = qor(&netlist, timer.report(), period, recipe.seed);
-    trace.push(StageSnapshot {
-        stage: "begin",
-        wns_ps: timer.report().wns(),
-        tns_ps: timer.report().tns(),
-        nve: timer.report().nve(),
-    });
 
     // (2) Light pre-CCD data-path pass.
-    let (_, pre_report) =
-        optimize_datapath_with_timer(&mut netlist, &mut graph, &mut timer, &recipe.pre_datapath);
-
-    trace.push(StageSnapshot {
-        stage: "pre-datapath",
-        wns_ps: pre_report.wns(),
-        tns_ps: pre_report.tns(),
-        nve: pre_report.nve(),
-    });
+    let pre_report = {
+        let mut span = rl_ccd_obs::span!("flow.pre_datapath");
+        let (_, pre_report) = optimize_datapath_with_timer(
+            &mut netlist,
+            &mut graph,
+            &mut timer,
+            &recipe.pre_datapath,
+        );
+        end_stage(
+            &mut trace,
+            &mut span,
+            "pre-datapath",
+            pre_report.wns(),
+            pre_report.tns(),
+            pre_report.nve(),
+        );
+        pre_report
+    };
 
     // (3) Prioritization hook: margin selected endpoints (Alg. 1 line 14).
     if !prioritized.is_empty() {
+        let _span = rl_ccd_obs::span!("flow.margin", endpoints = prioritized.len());
         margins = prioritization_margins(&pre_report, prioritized, recipe.margin_mode, margins);
         timer.set_margins_from(&netlist, &margins);
     }
 
-    // (4) Useful skew with margins applied.
-    let skew_out =
-        run_useful_skew_with_timer(&netlist, &graph, &mut clocks, &mut timer, &recipe.skew);
-
-    // (5) Remove margins (Alg. 1 line 16).
-    margins.clear();
-    timer.set_margins_from(&netlist, &margins);
-    trace.push(StageSnapshot {
-        stage: "useful-skew",
-        wns_ps: timer.report().wns(),
-        tns_ps: timer.report().tns(),
-        nve: timer.report().nve(),
-    });
+    // (4) Useful skew with margins applied, then (5) remove margins
+    // (Alg. 1 line 16).
+    let skew_out = {
+        let mut span = rl_ccd_obs::span!("flow.useful_skew");
+        let skew_out =
+            run_useful_skew_with_timer(&netlist, &graph, &mut clocks, &mut timer, &recipe.skew);
+        margins.clear();
+        timer.set_margins_from(&netlist, &margins);
+        span.record("sweeps", skew_out.sweeps);
+        span.record("moves", skew_out.moves);
+        end_stage(
+            &mut trace,
+            &mut span,
+            "useful-skew",
+            timer.report().wns(),
+            timer.report().tns(),
+            timer.report().nve(),
+        );
+        skew_out
+    };
 
     // (6) Main data-path optimization.
-    let (op_stats, main_report) =
-        optimize_datapath_with_timer(&mut netlist, &mut graph, &mut timer, &recipe.main_datapath);
-
-    trace.push(StageSnapshot {
-        stage: "main-datapath",
-        wns_ps: main_report.wns(),
-        tns_ps: main_report.tns(),
-        nve: main_report.nve(),
-    });
+    let op_stats = {
+        let mut span = rl_ccd_obs::span!("flow.main_datapath");
+        let (op_stats, main_report) = optimize_datapath_with_timer(
+            &mut netlist,
+            &mut graph,
+            &mut timer,
+            &recipe.main_datapath,
+        );
+        span.record("ops", op_stats.total());
+        end_stage(
+            &mut trace,
+            &mut span,
+            "main-datapath",
+            main_report.wns(),
+            main_report.tns(),
+            main_report.nve(),
+        );
+        op_stats
+    };
 
     // (7) Useful-skew touch-up.
-    let touchup_out = run_useful_skew_with_timer(
-        &netlist,
-        &graph,
-        &mut clocks,
-        &mut timer,
-        &recipe.skew_touchup,
-    );
+    let touchup_out = {
+        let mut span = rl_ccd_obs::span!("flow.skew_touchup");
+        let out = run_useful_skew_with_timer(
+            &netlist,
+            &graph,
+            &mut clocks,
+            &mut timer,
+            &recipe.skew_touchup,
+        );
+        span.record("sweeps", out.sweeps);
+        span.record("moves", out.moves);
+        out
+    };
 
     // (8) Power recovery.
-    let (downsizes, _) = recover_power_with_timer(&mut netlist, &mut timer, recipe.recovery_slack);
+    let downsizes = {
+        let mut span = rl_ccd_obs::span!("flow.power_recovery");
+        let (downsizes, _) =
+            recover_power_with_timer(&mut netlist, &mut timer, recipe.recovery_slack);
+        span.record("downsizes", downsizes);
+        downsizes
+    };
 
     // (9) Legalization + signoff. Legalization moves every cell (all wire
     // loads change), so this is the full-recompute escape hatch.
-    placement::legalize_jitter(&mut netlist, recipe.legalize_disp, recipe.seed);
-    timer.full_recompute(&netlist);
-    let final_report = timer.report();
-    let final_qor = qor(&netlist, final_report, period, recipe.seed);
-    trace.push(StageSnapshot {
-        stage: "signoff",
-        wns_ps: final_report.wns(),
-        tns_ps: final_report.tns(),
-        nve: final_report.nve(),
-    });
+    let final_qor = {
+        let mut span = rl_ccd_obs::span!("flow.signoff");
+        placement::legalize_jitter(&mut netlist, recipe.legalize_disp, recipe.seed);
+        timer.full_recompute(&netlist);
+        let final_report = timer.report();
+        end_stage(
+            &mut trace,
+            &mut span,
+            "signoff",
+            final_report.wns(),
+            final_report.tns(),
+            final_report.nve(),
+        );
+        qor(&netlist, timer.report(), period, recipe.seed)
+    };
 
+    flow_span.record("wns_ps", final_qor.wns_ps);
+    flow_span.record("tns_ps", final_qor.tns_ps);
+    flow_span.record("tns_gain_pct", final_qor.tns_gain_pct(&begin));
     (
         FlowResult {
             begin,
@@ -266,7 +377,7 @@ mod tests {
     #[test]
     fn default_flow_improves_begin_qor() {
         let d = design(41);
-        let res = run_flow(&d, &FlowRecipe::default(), &[]);
+        let res = FlowRecipe::default().run(&d, &[]);
         assert!(
             res.final_qor.tns_ps > res.begin.tns_ps,
             "flow should improve TNS: {} -> {}",
@@ -282,7 +393,7 @@ mod tests {
     #[test]
     fn trace_covers_all_stages_in_order() {
         let d = design(44);
-        let (res, trace) = run_flow_traced(&d, &FlowRecipe::default(), &[]);
+        let (res, trace) = FlowRecipe::default().run_traced(&d, &[]);
         let stages: Vec<&str> = trace.iter().map(|s| s.stage).collect();
         assert_eq!(
             stages,
@@ -307,8 +418,8 @@ mod tests {
     #[test]
     fn flow_is_deterministic_given_seed() {
         let d = design(42);
-        let a = run_flow(&d, &FlowRecipe::default(), &[]);
-        let b = run_flow(&d, &FlowRecipe::default(), &[]);
+        let a = FlowRecipe::default().run(&d, &[]);
+        let b = FlowRecipe::default().run(&d, &[]);
         assert_eq!(a.final_qor.tns_ps, b.final_qor.tns_ps);
         assert_eq!(a.final_qor.nve, b.final_qor.nve);
         assert_eq!(a.skews, b.skews);
@@ -317,7 +428,7 @@ mod tests {
     #[test]
     fn prioritization_changes_the_outcome() {
         let d = design(43);
-        let base = run_flow(&d, &FlowRecipe::default(), &[]);
+        let base = FlowRecipe::default().run(&d, &[]);
         // Prioritize the worst handful of begin violations.
         let graph = TimingGraph::new(&d.netlist);
         let recipe = FlowRecipe::default();
@@ -338,7 +449,7 @@ mod tests {
             .take(8)
             .map(EndpointId::new)
             .collect();
-        let prio = run_flow(&d, &recipe, &chosen);
+        let prio = recipe.run(&d, &chosen);
         assert_ne!(
             base.final_qor.tns_ps, prio.final_qor.tns_ps,
             "prioritization must alter the result"

@@ -87,6 +87,7 @@ pub fn fix_hold(
         *graph = TimingGraph::new(netlist);
     }
     let report = analyze(netlist, graph, constraints, clocks, &margins);
+    rl_ccd_obs::counter!("flow.holdfix.buffers", inserted);
     (inserted, report)
 }
 

@@ -12,10 +12,10 @@
 //! # Quick start
 //! ```
 //! use rl_ccd_netlist::{generate, DesignSpec, TechNode};
-//! use rl_ccd_flow::{run_flow, FlowRecipe};
+//! use rl_ccd_flow::FlowRecipe;
 //!
 //! let design = generate(&DesignSpec::new("demo", 400, TechNode::N7, 1));
-//! let result = run_flow(&design, &FlowRecipe::default(), &[]);
+//! let result = FlowRecipe::default().run(&design, &[]);
 //! assert!(result.final_qor.tns_ps >= result.begin.tns_ps);
 //! ```
 
@@ -31,7 +31,9 @@ pub mod sensitivity;
 pub mod useful_skew;
 
 pub use datapath::{optimize_datapath, recover_power, DatapathOpts, OpStats};
-pub use flow::{run_flow, run_flow_traced, FlowRecipe, FlowTrace, StageSnapshot};
+#[allow(deprecated)]
+pub use flow::{run_flow, run_flow_traced};
+pub use flow::{FlowRecipe, FlowTrace, StageSnapshot};
 pub use holdfix::{fix_hold, HoldFixOpts};
 pub use margin::{prioritization_margins, MarginMode};
 pub use metrics::{FlowResult, Qor};

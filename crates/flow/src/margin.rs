@@ -55,6 +55,7 @@ pub fn prioritization_margins(
         };
         margins.set(i, m);
     }
+    rl_ccd_obs::counter!("flow.margin.endpoints", selected.len());
     margins
 }
 

@@ -254,9 +254,12 @@ pub fn run_useful_skew_with_timer(
             }
             timer.set_clocks_from(netlist, clocks);
             moves -= sweep_moves;
+            rl_ccd_obs::counter!("flow.useful_skew.reverted_sweeps", 1);
             break;
         }
     }
+    rl_ccd_obs::counter!("flow.useful_skew.sweeps", sweeps);
+    rl_ccd_obs::counter!("flow.useful_skew.moves", moves);
     SkewOutcome {
         sweeps,
         moves,

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use rl_ccd_flow::{
-    optimize_datapath, prioritization_margins, run_flow, run_useful_skew, DatapathOpts, FlowRecipe,
+    optimize_datapath, prioritization_margins, run_useful_skew, DatapathOpts, FlowRecipe,
     MarginMode, UsefulSkewOpts,
 };
 use rl_ccd_netlist::{generate, DesignSpec, EndpointId, TechNode};
@@ -99,8 +99,8 @@ proptest! {
             .take(take)
             .map(EndpointId::new)
             .collect();
-        let a = run_flow(&d, &recipe, &sel);
-        let b = run_flow(&d, &recipe, &sel);
+        let a = recipe.run(&d, &sel);
+        let b = recipe.run(&d, &sel);
         prop_assert_eq!(a.final_qor.tns_ps, b.final_qor.tns_ps);
         prop_assert_eq!(a.final_qor.nve, b.final_qor.nve);
         prop_assert_eq!(a.skews, b.skews);

@@ -162,6 +162,11 @@ pub fn generate(spec: &DesignSpec) -> GeneratedDesign {
         spec.target_cells >= 60,
         "target_cells too small for a structured design"
     );
+    let _obs_span = rl_ccd_obs::span!(
+        "netlist.generate",
+        target_cells = spec.target_cells,
+        seed = spec.seed,
+    );
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let lib = Library::new(spec.tech);
     let mut b = NetlistBuilder::new(spec.name.clone(), lib);

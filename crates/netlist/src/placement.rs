@@ -77,6 +77,7 @@ pub fn refine_step(netlist: &mut Netlist, alpha: f32) -> f64 {
 /// uniform offset up to `max_disp` µm, modeling the cell spreading done by
 /// legalization after optimization. Deterministic given `seed`.
 pub fn legalize_jitter(netlist: &mut Netlist, max_disp: f32, seed: u64) {
+    rl_ccd_obs::counter!("netlist.placement.legalize_calls", 1);
     let mut rng = StdRng::seed_from_u64(seed);
     let ids: Vec<usize> = netlist
         .cell_ids()

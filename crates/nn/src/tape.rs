@@ -284,6 +284,8 @@ impl Tape {
     /// Panics if `loss` is not a scalar.
     pub fn backward(&self, loss: Var) -> Gradients {
         assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
+        rl_ccd_obs::counter!("nn.tape.backward_passes", 1);
+        rl_ccd_obs::counter!("nn.tape.backward_nodes", self.nodes.len());
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         grads[loss.index()] = Some(Tensor::from_vec(1, 1, vec![1.0]));
         for idx in (0..self.nodes.len()).rev() {

@@ -1,0 +1,321 @@
+//! Metrics registry: named counters, gauges and histograms with atomic
+//! updates.
+//!
+//! Handles returned by [`Registry::counter`] & co. are cheap `Arc` clones
+//! and can be cached by hot loops to skip the name lookup. Values are
+//! plain atomics; a histogram keeps count / sum / min / max (enough for
+//! the summary table and the JSONL sink without bucket-boundary policy).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Which kind of metric a name is registered as.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing `u64`.
+    Counter,
+    /// Last-write-wins `f64`.
+    Gauge,
+    /// Count / sum / min / max of observed `f64` samples.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Lower-case name used in the JSONL schema.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Snapshot of one histogram's aggregate state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Smallest observation (`f64::INFINITY` when empty).
+    pub min: f64,
+    /// Largest observation (`f64::NEG_INFINITY` when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Snapshot value of one metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram aggregate.
+    Histogram(HistogramSnapshot),
+}
+
+/// Handle to a monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to a last-write-wins `f64` gauge.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+struct HistogramCell {
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+/// Handle to a count/sum/min/max histogram of `f64` samples.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCell>);
+
+/// Lock-free f64 update via compare-and-swap on the bit pattern.
+fn cas_f64(cell: &AtomicU64, update: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = update(f64::from_bits(cur)).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        cas_f64(&self.0.sum_bits, |s| s + v);
+        cas_f64(&self.0.min_bits, |m| m.min(v));
+        cas_f64(&self.0.max_bits, |m| m.max(v));
+    }
+
+    /// Aggregate snapshot.
+    pub fn get(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.0.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed)),
+            min: f64::from_bits(self.0.min_bits.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.0.max_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+enum Cell {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Cell {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Cell::Counter(_) => MetricKind::Counter,
+            Cell::Gauge(_) => MetricKind::Gauge,
+            Cell::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// Registry of named metrics. Names follow the `<crate>.<subsystem>.<what>`
+/// convention (see DESIGN.md §11); a name is permanently bound to the kind
+/// it is first registered as.
+#[derive(Default)]
+pub struct Registry {
+    cells: Mutex<BTreeMap<&'static str, Cell>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn cell<F: FnOnce() -> Cell>(&self, name: &'static str, kind: MetricKind, make: F) -> Cell {
+        let mut cells = self.cells.lock().expect("obs metrics lock");
+        let cell = cells.entry(name).or_insert_with(make);
+        assert_eq!(
+            cell.kind(),
+            kind,
+            "metric {name:?} already registered as {:?}",
+            cell.kind()
+        );
+        match cell {
+            Cell::Counter(c) => Cell::Counter(c.clone()),
+            Cell::Gauge(g) => Cell::Gauge(g.clone()),
+            Cell::Histogram(h) => Cell::Histogram(h.clone()),
+        }
+    }
+
+    /// Returns (registering on first use) the named counter.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        match self.cell(name, MetricKind::Counter, || {
+            Cell::Counter(Counter(Arc::new(AtomicU64::new(0))))
+        }) {
+            Cell::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Returns (registering on first use) the named gauge.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        match self.cell(name, MetricKind::Gauge, || {
+            Cell::Gauge(Gauge(Arc::new(AtomicU64::new(0.0_f64.to_bits()))))
+        }) {
+            Cell::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Returns (registering on first use) the named histogram.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        match self.cell(name, MetricKind::Histogram, || {
+            Cell::Histogram(Histogram(Arc::new(HistogramCell {
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0.0_f64.to_bits()),
+                min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+                max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            })))
+        }) {
+            Cell::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Sorted snapshot of every registered metric: `(name, kind, value)`.
+    pub fn snapshot(&self) -> Vec<(&'static str, MetricKind, MetricValue)> {
+        let cells = self.cells.lock().expect("obs metrics lock");
+        cells
+            .iter()
+            .map(|(name, cell)| {
+                let value = match cell {
+                    Cell::Counter(c) => MetricValue::Counter(c.get()),
+                    Cell::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Cell::Histogram(h) => MetricValue::Histogram(h.get()),
+                };
+                (*name, cell.kind(), value)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_accumulate() {
+        let reg = Registry::new();
+        let c = reg.counter("a.count");
+        c.add(3);
+        reg.counter("a.count").add(4);
+        assert_eq!(c.get(), 7);
+
+        let g = reg.gauge("a.gauge");
+        g.set(2.5);
+        g.set(-1.0);
+        assert_eq!(g.get(), -1.0);
+
+        let h = reg.histogram("a.hist");
+        h.observe(-4.0);
+        h.observe(10.0);
+        let snap = h.get();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum, 6.0);
+        assert_eq!(snap.min, -4.0);
+        assert_eq!(snap.max, 10.0);
+        assert_eq!(snap.mean(), 3.0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let reg = Registry::new();
+        reg.counter("z.last").add(1);
+        reg.gauge("a.first").set(1.0);
+        reg.histogram("m.mid").observe(1.0);
+        let names: Vec<_> = reg.snapshot().iter().map(|m| m.0).collect();
+        assert_eq!(names, vec!["a.first", "m.mid", "z.last"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflict_panics() {
+        let reg = Registry::new();
+        reg.counter("dup").add(1);
+        let _ = reg.gauge("dup");
+    }
+
+    #[test]
+    fn histogram_updates_race_free() {
+        let reg = Registry::new();
+        let h = reg.histogram("hot");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.observe(i as f64);
+                    }
+                });
+            }
+        });
+        let snap = h.get();
+        assert_eq!(snap.count, 4000);
+        assert_eq!(snap.sum, 4.0 * 999.0 * 1000.0 / 2.0);
+        assert_eq!(snap.min, 0.0);
+        assert_eq!(snap.max, 999.0);
+    }
+}

@@ -1,0 +1,537 @@
+//! Versioned JSONL trace schema and its validator.
+//!
+//! The schema contract (see DESIGN.md §11): every line is one JSON object
+//! with a `type` tag; the first line is a `header` carrying the schema name
+//! and version; the last line is an `end` marker with event counts.
+//! Consumers must ignore unknown keys (additions bump nothing); removing or
+//! renaming keys, or changing a type, bumps [`TRACE_SCHEMA_VERSION`].
+//!
+//! [`validate_jsonl`] is the single source of truth used by the unit tests,
+//! the `rlccd trace` subcommand and the CI smoke job.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::BufRead;
+
+/// Schema family name carried in the trace header.
+pub const TRACE_SCHEMA_NAME: &str = "rl-ccd-trace";
+
+/// Current schema version. Bump on any backwards-incompatible change
+/// (removed/renamed key, changed type, changed line ordering contract).
+pub const TRACE_SCHEMA_VERSION: u64 = 1;
+
+/// A parsed JSON value (minimal in-tree parser; the workspace is
+/// dependency-free by design).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object (keys sorted).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses a single JSON document from `s`.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first syntax error.
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8 in string")?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(out));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut out = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            out.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(out));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Why a trace failed validation.
+#[derive(Debug)]
+pub struct SchemaError {
+    /// 1-based line number the error was detected on (0 = whole file).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// What a valid trace contained, for smoke checks and tests.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSummary {
+    /// Schema version from the header.
+    pub version: u64,
+    /// Header metadata.
+    pub meta: BTreeMap<String, String>,
+    /// Number of span events.
+    pub spans: usize,
+    /// Number of metric events.
+    pub metrics: usize,
+    /// Distinct span names, sorted.
+    pub span_names: Vec<String>,
+    /// Metric names in file (= registry) order.
+    pub metric_names: Vec<String>,
+}
+
+fn err(line: usize, message: impl Into<String>) -> SchemaError {
+    SchemaError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Validates a JSONL trace produced by [`Recorder::write_jsonl`]
+/// (header/version check, per-event required keys and types, span parent
+/// references, end-marker counts). Returns a [`TraceSummary`] on success.
+///
+/// [`Recorder::write_jsonl`]: crate::Recorder::write_jsonl
+///
+/// # Errors
+/// Returns the first [`SchemaError`] encountered.
+pub fn validate_jsonl<R: BufRead>(reader: R) -> Result<TraceSummary, SchemaError> {
+    let mut summary = TraceSummary::default();
+    let mut span_ids = std::collections::BTreeSet::new();
+    let mut pending_parents: Vec<(usize, u64)> = Vec::new();
+    let mut saw_header = false;
+    let mut saw_end = false;
+
+    for (i, line) in reader.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.map_err(|e| err(lineno, format!("read error: {e}")))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if saw_end {
+            return Err(err(lineno, "data after end marker"));
+        }
+        let v = Json::parse(&line).map_err(|e| err(lineno, format!("invalid JSON: {e}")))?;
+        let ty = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err(lineno, "missing \"type\""))?;
+        match ty {
+            "header" => {
+                if saw_header {
+                    return Err(err(lineno, "duplicate header"));
+                }
+                if lineno != 1 {
+                    return Err(err(lineno, "header must be the first line"));
+                }
+                saw_header = true;
+                let schema = v.get("schema").and_then(Json::as_str).unwrap_or_default();
+                if schema != TRACE_SCHEMA_NAME {
+                    return Err(err(lineno, format!("unknown schema {schema:?}")));
+                }
+                let version = v
+                    .get("version")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| err(lineno, "missing numeric \"version\""))?
+                    as u64;
+                if version == 0 || version > TRACE_SCHEMA_VERSION {
+                    return Err(err(lineno, format!("unsupported version {version}")));
+                }
+                summary.version = version;
+                if let Some(Json::Obj(meta)) = v.get("meta") {
+                    for (k, mv) in meta {
+                        if let Json::Str(s) = mv {
+                            summary.meta.insert(k.clone(), s.clone());
+                        }
+                    }
+                }
+            }
+            "span" => {
+                if !saw_header {
+                    return Err(err(lineno, "span before header"));
+                }
+                let id = v
+                    .get("id")
+                    .and_then(Json::as_num)
+                    .ok_or_else(|| err(lineno, "span missing numeric \"id\""))?
+                    as u64;
+                if !span_ids.insert(id) {
+                    return Err(err(lineno, format!("duplicate span id {id}")));
+                }
+                match v.get("parent") {
+                    Some(Json::Null) => {}
+                    Some(Json::Num(p)) => pending_parents.push((lineno, *p as u64)),
+                    _ => return Err(err(lineno, "span \"parent\" must be null or a number")),
+                }
+                let name = v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| err(lineno, "span missing \"name\""))?;
+                for key in ["thread", "start_us", "dur_us"] {
+                    if v.get(key).and_then(Json::as_num).is_none() {
+                        return Err(err(lineno, format!("span missing numeric {key:?}")));
+                    }
+                }
+                if !matches!(v.get("fields"), Some(Json::Obj(_))) {
+                    return Err(err(lineno, "span missing \"fields\" object"));
+                }
+                summary.spans += 1;
+                let name = name.to_string();
+                if let Err(pos) = summary.span_names.binary_search(&name) {
+                    summary.span_names.insert(pos, name);
+                }
+            }
+            "metric" => {
+                if !saw_header {
+                    return Err(err(lineno, "metric before header"));
+                }
+                let name = v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| err(lineno, "metric missing \"name\""))?;
+                let kind = v
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| err(lineno, "metric missing \"kind\""))?;
+                // Non-finite numbers are encoded as strings ("inf", "NaN").
+                let has_value =
+                    |key: &str| matches!(v.get(key), Some(Json::Num(_)) | Some(Json::Str(_)));
+                match kind {
+                    "counter" | "gauge" => {
+                        if !has_value("value") {
+                            return Err(err(lineno, format!("{kind} missing \"value\"")));
+                        }
+                    }
+                    "histogram" => {
+                        for key in ["count", "sum", "min", "max"] {
+                            if !has_value(key) {
+                                return Err(err(lineno, format!("histogram missing {key:?}")));
+                            }
+                        }
+                    }
+                    other => return Err(err(lineno, format!("unknown metric kind {other:?}"))),
+                }
+                summary.metrics += 1;
+                summary.metric_names.push(name.to_string());
+            }
+            "end" => {
+                if !saw_header {
+                    return Err(err(lineno, "end before header"));
+                }
+                saw_end = true;
+                let spans = v.get("spans").and_then(Json::as_num).unwrap_or(-1.0) as i64;
+                let metrics = v.get("metrics").and_then(Json::as_num).unwrap_or(-1.0) as i64;
+                if spans != summary.spans as i64 || metrics != summary.metrics as i64 {
+                    return Err(err(
+                        lineno,
+                        format!(
+                            "end counts ({spans} spans, {metrics} metrics) disagree with file \
+                             ({} spans, {} metrics)",
+                            summary.spans, summary.metrics
+                        ),
+                    ));
+                }
+            }
+            other => return Err(err(lineno, format!("unknown event type {other:?}"))),
+        }
+    }
+
+    if !saw_header {
+        return Err(err(0, "empty trace: missing header"));
+    }
+    if !saw_end {
+        return Err(err(0, "truncated trace: missing end marker"));
+    }
+    for (lineno, parent) in pending_parents {
+        if !span_ids.contains(&parent) {
+            return Err(err(lineno, format!("span parent {parent} does not exist")));
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parser_handles_nesting_and_escapes() {
+        let v = Json::parse(r#"{"a":[1,-2.5,true,null],"b":{"c":"x\n\"y\""}}"#).unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(-2.5),
+                Json::Bool(true),
+                Json::Null
+            ]))
+        );
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")).and_then(Json::as_str),
+            Some("x\n\"y\"")
+        );
+        assert!(Json::parse("{\"a\":}").is_err());
+        assert!(Json::parse("[1,2").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+    }
+
+    fn valid_trace() -> String {
+        [
+            r#"{"type":"header","schema":"rl-ccd-trace","version":1,"meta":{"seed":"7"}}"#,
+            r#"{"type":"span","id":0,"parent":null,"name":"run","thread":0,"start_us":0,"dur_us":9,"fields":{}}"#,
+            r#"{"type":"span","id":1,"parent":0,"name":"step","thread":0,"start_us":1,"dur_us":2,"fields":{"i":1}}"#,
+            r#"{"type":"metric","name":"c","kind":"counter","value":3}"#,
+            r#"{"type":"metric","name":"h","kind":"histogram","count":2,"sum":8,"min":3,"max":5}"#,
+            r#"{"type":"end","spans":2,"metrics":2}"#,
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn validator_accepts_a_well_formed_trace() {
+        let sum = validate_jsonl(valid_trace().as_bytes()).unwrap();
+        assert_eq!(sum.version, 1);
+        assert_eq!(sum.meta.get("seed").map(String::as_str), Some("7"));
+        assert_eq!((sum.spans, sum.metrics), (2, 2));
+        assert_eq!(sum.span_names, vec!["run", "step"]);
+        assert_eq!(sum.metric_names, vec!["c", "h"]);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        let cases: Vec<(String, &str)> = vec![
+            (String::new(), "missing header"),
+            (
+                valid_trace().replace("rl-ccd-trace", "other"),
+                "unknown schema",
+            ),
+            (
+                valid_trace().replace("\"version\":1", "\"version\":99"),
+                "unsupported version",
+            ),
+            (
+                valid_trace().replace("\"parent\":0", "\"parent\":42"),
+                "does not exist",
+            ),
+            (
+                valid_trace().replace("\"spans\":2", "\"spans\":5"),
+                "disagree",
+            ),
+            (
+                valid_trace().replace("\"kind\":\"counter\"", "\"kind\":\"meter\""),
+                "unknown metric kind",
+            ),
+            (
+                valid_trace().lines().take(5).collect::<Vec<_>>().join("\n"),
+                "missing end",
+            ),
+            (valid_trace() + "\n{\"type\":\"span\"}", "after end"),
+        ];
+        for (trace, needle) in cases {
+            let e = validate_jsonl(trace.as_bytes()).expect_err(needle);
+            assert!(e.to_string().contains(needle), "expected {needle:?} in {e}");
+        }
+    }
+}

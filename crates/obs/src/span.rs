@@ -1,0 +1,190 @@
+//! Hierarchical timed spans with a lock-free per-thread buffer.
+//!
+//! Opening a span pushes a record onto a thread-local buffer and a
+//! thread-local open-span stack (parenting is derived from the stack).
+//! When the *outermost* span on a thread closes, the whole buffer is merged
+//! into the attached [`Recorder`](crate::Recorder) in one lock acquisition —
+//! i.e. once per rollout or flow run, never per span.
+
+use crate::{thread_id, with_recorder};
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// A span field value. Constructed via `From` impls so the `span!` macro
+/// accepts plain integers, floats, bools and strings.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// Signed integer field.
+    I64(i64),
+    /// Unsigned integer field.
+    U64(u64),
+    /// Floating-point field.
+    F64(f64),
+    /// Boolean field.
+    Bool(bool),
+    /// String field.
+    Str(String),
+}
+
+macro_rules! field_from {
+    ($($t:ty => $variant:ident as $conv:ty),* $(,)?) => {
+        $(impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self {
+                FieldValue::$variant(v as $conv)
+            }
+        })*
+    };
+}
+
+field_from!(
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    isize => I64 as i64,
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64,
+    f32 => F64 as f64, f64 => F64 as f64,
+);
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One closed span as merged into a recorder.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Process-unique id (assigned at merge time).
+    pub id: u64,
+    /// Id of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Span name (static, from the `span!` call site).
+    pub name: &'static str,
+    /// Small integer naming the recording thread.
+    pub thread: u32,
+    /// Start time in nanoseconds since the recorder's epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Key/value fields captured at span entry.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+#[derive(Default)]
+struct ThreadSpans {
+    /// Closed and still-open records, ids local to this buffer.
+    buf: Vec<SpanRecord>,
+    /// Indices into `buf` of currently open spans (innermost last).
+    open: Vec<usize>,
+}
+
+thread_local! {
+    static SPANS: RefCell<ThreadSpans> = RefCell::new(ThreadSpans::default());
+}
+
+/// Flushes this thread's span buffer into the attached recorder. Called when
+/// the outermost span closes and when an [`AttachGuard`](crate::AttachGuard)
+/// drops, so no records are lost if a guard outlives the attachment.
+pub(crate) fn flush_thread_buffer() {
+    SPANS.with(|s| {
+        let mut s = s.borrow_mut();
+        if !s.open.is_empty() || s.buf.is_empty() {
+            return;
+        }
+        let records = std::mem::take(&mut s.buf);
+        with_recorder(|rec| rec.merge_spans(records));
+    });
+}
+
+/// RAII guard for an open span; closes (and possibly flushes) on drop.
+/// Construct via the [`span!`](crate::span!) macro, not directly.
+#[must_use = "the span closes when the guard drops"]
+pub struct SpanGuard {
+    /// `Some((buffer index, enter instant))` when recording.
+    active: Option<(usize, Instant)>,
+}
+
+impl SpanGuard {
+    /// Opens a span on the current thread's buffer. The `span!` macro only
+    /// calls this when a recorder is enabled; a disabled guard is free.
+    pub fn enter(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> Self {
+        let mut start_ns = 0;
+        with_recorder(|rec| start_ns = rec.elapsed_ns());
+        let idx = SPANS.with(|s| {
+            let mut s = s.borrow_mut();
+            let idx = s.buf.len();
+            let parent = s.open.last().map(|&i| i as u64);
+            s.buf.push(SpanRecord {
+                id: idx as u64,
+                parent,
+                name,
+                thread: thread_id(),
+                start_ns,
+                dur_ns: 0,
+                fields,
+            });
+            s.open.push(idx);
+            idx
+        });
+        SpanGuard {
+            active: Some((idx, Instant::now())),
+        }
+    }
+
+    /// A guard that records nothing (the disabled fast path).
+    pub fn disabled() -> Self {
+        SpanGuard { active: None }
+    }
+
+    /// Appends a field to the open span — for values only known after the
+    /// work ran (e.g. a stage's post-WNS). No-op on a disabled guard.
+    pub fn record(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        let Some((idx, _)) = self.active else {
+            return;
+        };
+        let value = value.into();
+        SPANS.with(|s| {
+            if let Some(r) = s.borrow_mut().buf.get_mut(idx) {
+                r.fields.push((key, value));
+            }
+        });
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((idx, start)) = self.active.take() else {
+            return;
+        };
+        let dur_ns = start.elapsed().as_nanos() as u64;
+        let outermost = SPANS.with(|s| {
+            let mut s = s.borrow_mut();
+            // Unwind any spans leaked above us (e.g. a panic unwound past
+            // their guards) so parenting stays consistent.
+            while let Some(&top) = s.open.last() {
+                s.open.pop();
+                if top == idx {
+                    break;
+                }
+            }
+            if let Some(r) = s.buf.get_mut(idx) {
+                r.dur_ns = dur_ns;
+            }
+            s.open.is_empty()
+        });
+        if outermost {
+            flush_thread_buffer();
+        }
+    }
+}

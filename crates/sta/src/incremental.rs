@@ -290,6 +290,8 @@ impl IncrementalTimer {
     /// placement legalization (every wire length changes).
     pub fn full_recompute(&mut self, netlist: &Netlist) {
         self.stats.full_passes += 1;
+        rl_ccd_obs::counter!("sta.incremental.full_recomputes", 1);
+        let _obs_span = rl_ccd_obs::span!("sta.full_recompute", cells = netlist.cell_count());
         let lib = netlist.library();
         let n = netlist.cell_count();
         let eps = netlist.endpoints();
@@ -507,6 +509,7 @@ impl IncrementalTimer {
     /// WNS rescan.
     fn propagate(&mut self, netlist: &Netlist) {
         self.stats.edits += 1;
+        let retimed_before = self.stats.cells_retimed;
 
         // Forward: pushes always go to strictly higher levels (or to the
         // endpoint list), so one ascending sweep converges.
@@ -552,6 +555,12 @@ impl IncrementalTimer {
             }
             self.report.wns = wns;
         }
+
+        rl_ccd_obs::counter!("sta.incremental.moves", 1);
+        rl_ccd_obs::observe!(
+            "sta.incremental.frontier_cells",
+            self.stats.cells_retimed - retimed_before
+        );
     }
 
     /// Recomputes one cell's forward values (arrival, min arrival, slew,

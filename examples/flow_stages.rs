@@ -5,28 +5,32 @@
 //! cargo run --release --example flow_stages
 //! ```
 
-use rl_ccd::{train, CcdEnv, RlConfig};
-use rl_ccd_flow::{run_flow_traced, FlowRecipe};
+use rl_ccd::{RlConfig, Session};
+use rl_ccd_flow::FlowRecipe;
 use rl_ccd_netlist::{generate, DesignSpec, TechNode};
 
-fn main() {
+fn main() -> Result<(), rl_ccd::Error> {
     let design = generate(&DesignSpec::new("stages", 1200, TechNode::N7, 46));
     let recipe = FlowRecipe::default();
-    let env = CcdEnv::new(design.clone(), recipe.clone(), 24);
 
     // A quick training run to obtain a selection worth tracing.
     let config = RlConfig {
         max_iterations: 8,
         ..RlConfig::default()
     };
-    let outcome = train(&env, &config, None);
+    let session = Session::builder()
+        .design(design.clone())
+        .recipe(recipe.clone())
+        .rl_config(config)
+        .build()?;
+    let outcome = session.train()?;
     println!(
         "traced selection: {} endpoints prioritized\n",
         outcome.best_selection.len()
     );
 
-    let (_, default_trace) = run_flow_traced(&design, &recipe, &[]);
-    let (_, rl_trace) = run_flow_traced(&design, &recipe, &outcome.best_selection);
+    let (_, default_trace) = recipe.run_traced(&design, &[]);
+    let (_, rl_trace) = recipe.run_traced(&design, &outcome.best_selection);
 
     println!(
         "{:<14} | {:>10} {:>8} {:>5} | {:>10} {:>8} {:>5}",
@@ -46,4 +50,5 @@ fn main() {
         r_final.tns_ps,
         (1.0 - r_final.tns_ps / d_final.tns_ps.min(-1e-9)) * 100.0
     );
+    Ok(())
 }

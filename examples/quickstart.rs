@@ -5,12 +5,12 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use rl_ccd::{train, CcdEnv, RlConfig};
+use rl_ccd::{RlConfig, Session};
 use rl_ccd_flow::FlowRecipe;
 use rl_ccd_netlist::{generate, DesignSpec, DesignStats, TechNode};
 use rl_ccd_sta::{analyze, qor_line, Constraints, EndpointMargins, TimingGraph};
 
-fn main() {
+fn main() -> Result<(), rl_ccd::Error> {
     // 1. A synthetic placed design (seeded → fully reproducible).
     let spec = DesignSpec::new("quickstart", 1200, TechNode::N7, 42);
     let design = generate(&spec);
@@ -34,9 +34,20 @@ fn main() {
     );
     println!("begin timing: {}", qor_line(&report));
 
-    // 3. The native tool flow (no endpoint prioritization).
-    let env = CcdEnv::new(design, recipe, 24);
-    let default = env.default_flow();
+    // 3. One Session bundles the design, recipe and RL configuration
+    //    behind the facade every entry point shares.
+    let config = RlConfig {
+        max_iterations: 10,
+        ..RlConfig::default()
+    };
+    let session = Session::builder()
+        .design(design)
+        .recipe(recipe)
+        .rl_config(config)
+        .build()?;
+
+    // The native tool flow (no endpoint prioritization).
+    let default = session.run_flow()?;
     println!(
         "default flow: TNS {:.2} ns, {} violations, {:.2} mW",
         default.final_qor.tns_ns(),
@@ -45,15 +56,11 @@ fn main() {
     );
 
     // 4. Train RL-CCD (a short run; raise max_iterations for better QoR).
-    let config = RlConfig {
-        max_iterations: 10,
-        ..RlConfig::default()
-    };
     println!(
         "training RL-CCD on {} violating endpoints…",
-        env.pool().len()
+        session.env().pool().len()
     );
-    let outcome = train(&env, &config, None);
+    let outcome = session.train()?;
     println!(
         "RL-CCD:       TNS {:.2} ns ({:+.1}% vs default), {} violations, {} endpoints prioritized",
         outcome.best_result.final_qor.tns_ns(),
@@ -67,4 +74,5 @@ fn main() {
             h.iteration, h.mean_reward, h.best_so_far
         );
     }
+    Ok(())
 }

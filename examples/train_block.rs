@@ -6,11 +6,10 @@
 //! cargo run --release --example train_block -- 10 0.5 12
 //! ```
 
-use rl_ccd::{save_params, train, CcdEnv, RlConfig};
-use rl_ccd_flow::FlowRecipe;
+use rl_ccd::{save_params, RlConfig, Session};
 use rl_ccd_netlist::{block_suite, generate};
 
-fn main() {
+fn main() -> Result<(), rl_ccd::Error> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let index: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(10);
     let scale: f32 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(0.5);
@@ -26,13 +25,16 @@ fn main() {
         spec.tech.name()
     );
 
-    let env = CcdEnv::new(design, FlowRecipe::default(), 24);
-    let default = env.default_flow();
     let config = RlConfig {
         max_iterations: iters,
         ..RlConfig::default()
     };
-    let outcome = train(&env, &config, None);
+    let session = Session::builder()
+        .design(design)
+        .rl_config(config)
+        .build()?;
+    let default = session.run_flow()?;
+    let outcome = session.train()?;
 
     println!(
         "default TNS {:.2} ns → RL-CCD {:.2} ns ({:+.1}%), {} endpoints prioritized in {} iterations",
@@ -44,8 +46,7 @@ fn main() {
     );
 
     let path = format!("{}_params.txt", spec.name);
-    match save_params(&outcome.params, &path) {
-        Ok(()) => println!("saved trained parameters to {path}"),
-        Err(e) => eprintln!("could not save parameters: {e}"),
-    }
+    save_params(&outcome.params, &path)?;
+    println!("saved trained parameters to {path}");
+    Ok(())
 }

@@ -6,11 +6,10 @@
 //! cargo run --release --example transfer_learning
 //! ```
 
-use rl_ccd::{train, with_pretrained_gnn, CcdEnv, RlConfig};
-use rl_ccd_flow::FlowRecipe;
+use rl_ccd::{with_pretrained_gnn, RlConfig, Session};
 use rl_ccd_netlist::{generate, DesignSpec, TechNode};
 
-fn main() {
+fn main() -> Result<(), rl_ccd::Error> {
     let config = RlConfig {
         max_iterations: 10,
         patience: 10,
@@ -23,8 +22,11 @@ fn main() {
         "pre-training on donor ({} cells)…",
         donor_design.netlist.cell_count()
     );
-    let donor_env = CcdEnv::new(donor_design, FlowRecipe::default(), config.fanout_cap);
-    let donor = train(&donor_env, &config, None);
+    let donor = Session::builder()
+        .design(donor_design)
+        .rl_config(config.clone())
+        .build()?
+        .train()?;
 
     // Unseen target, same technology.
     let target_design = generate(&DesignSpec::new("target", 1500, TechNode::N7, 99));
@@ -32,13 +34,21 @@ fn main() {
         "target: {} cells, unseen by the donor run",
         target_design.netlist.cell_count()
     );
-    let env = CcdEnv::new(target_design, FlowRecipe::default(), config.fanout_cap);
-    let default = env.default_flow();
+    let target = Session::builder()
+        .design(target_design.clone())
+        .rl_config(config.clone())
+        .build()?;
+    let default = target.run_flow()?;
 
-    let scratch = train(&env, &config, None);
+    let scratch = target.train()?;
     let (_, params, adopted) = with_pretrained_gnn(config.clone(), &donor.params);
     println!("adopted {adopted} pre-trained EP-GNN tensors");
-    let transferred = train(&env, &config, Some(params));
+    let transferred = Session::builder()
+        .design(target_design)
+        .rl_config(config.clone())
+        .initial_params(params)
+        .build()?
+        .train()?;
 
     println!(
         "\n{:>5} {:>16} {:>16}   (best TNS so far, ps; default {:.0})",
@@ -58,4 +68,5 @@ fn main() {
         scratch.best_result.tns_gain_over(&default),
         transferred.best_result.tns_gain_over(&default)
     );
+    Ok(())
 }

@@ -3,33 +3,38 @@
 //! ```text
 //! rlccd generate --cells 1200 --tech 7nm --seed 42 --out design.nl
 //! rlccd report   --in design.nl [--paths 3]
-//! rlccd flow     --in design.nl [--period <ps>]
+//! rlccd flow     --in design.nl [--period <ps>] [--trace-out run.jsonl]
 //! rlccd train    --in design.nl [--iters 12] [--workers 8] [--params out.txt]
 //!                [--checkpoint DIR] [--checkpoint-every K] [--resume DIR]
-//!                [--tape-budget-gib G]
-//! rlccd transfer --in design.nl --params donor.txt [--iters 12]
+//!                [--tape-budget-gib G] [--trace-out run.jsonl]
+//! rlccd transfer --in design.nl --params donor.txt [--iters 12] [--trace-out run.jsonl]
 //! rlccd baseline --in design.nl [--period <ps>]
 //! rlccd verilog  --in design.nl --out design.v
 //! rlccd suite    [--scale 0.5]
+//! rlccd trace-validate --in run.jsonl
 //! ```
 //!
 //! `generate` writes the plain-text netlist format of
 //! [`rl_ccd_netlist::serialize`]; the clock period is embedded as a comment
 //! convention-free sidecar (printed, and recalibrated on load via
 //! `--period`).
+//!
+//! `--trace-out FILE` records hierarchical spans and metrics from STA, the
+//! flow, and the training loop into a versioned JSONL trace;
+//! `trace-validate` checks one against the schema. Every subcommand exits
+//! through the unified [`rl_ccd::Error`] instead of ad-hoc panics.
 
-use rl_ccd::{
-    save_params, train, train_or_resume, with_pretrained_gnn, Baseline, CcdEnv, RlConfig,
-    TrainOutcome, TrainSession,
-};
-use rl_ccd_flow::{run_flow, FlowRecipe};
+use rl_ccd::{save_params, with_pretrained_gnn, Baseline, Error, RlConfig, Session, TrainOutcome};
+use rl_ccd_flow::FlowRecipe;
 use rl_ccd_netlist::{
     block_suite, generate, read_netlist, write_netlist, DesignSpec, DesignStats, GeneratedDesign,
     Library, Netlist, TechNode,
 };
+use rl_ccd_obs::Recorder;
 use rl_ccd_sta::{analyze, full_report, Constraints, EndpointMargins, TimingGraph};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn arg<T: std::str::FromStr>(args: &[String], key: &str) -> Option<T> {
@@ -41,30 +46,57 @@ fn arg<T: std::str::FromStr>(args: &[String], key: &str) -> Option<T> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: rlccd <generate|report|flow|train|transfer|suite> [options]\n\
+        "usage: rlccd <generate|report|flow|train|transfer|suite|trace-validate> [options]\n\
          \n\
          generate --cells N --tech <5nm|7nm|12nm> --seed S [--out FILE]\n\
          report   --in FILE [--period PS] [--paths K]\n\
-         flow     --in FILE [--period PS]\n\
+         flow     --in FILE [--period PS] [--trace-out FILE]\n\
          train    --in FILE [--period PS] [--iters N] [--workers N] [--params FILE]\n\
          \u{20}         [--checkpoint DIR] [--checkpoint-every K] [--resume DIR]\n\
-         \u{20}         [--tape-budget-gib G]\n\
-         transfer --in FILE --params FILE [--period PS] [--iters N]\n\
-         baseline --in FILE [--period PS]\n\
+         \u{20}         [--tape-budget-gib G] [--trace-out FILE]\n\
+         transfer --in FILE --params FILE [--period PS] [--iters N] [--trace-out FILE]\n\
+         baseline --in FILE [--period PS] [--trace-out FILE]\n\
          verilog  --in FILE --out FILE\n\
-         suite    [--scale F]"
+         suite    [--scale F]\n\
+         trace-validate --in FILE"
     );
     ExitCode::FAILURE
 }
 
-fn load_design(args: &[String]) -> Result<GeneratedDesign, String> {
-    let path: String = arg(args, "--in").ok_or("missing --in FILE")?;
-    let file = File::open(&path).map_err(|e| format!("{path}: {e}"))?;
-    let netlist: Netlist = read_netlist(BufReader::new(file)).map_err(|e| e.to_string())?;
+/// The recorder requested by `--trace-out`, plus where to write it.
+struct Trace {
+    recorder: Recorder,
+    path: PathBuf,
+}
+
+fn trace_from(args: &[String]) -> Option<Trace> {
+    arg::<String>(args, "--trace-out").map(|path| Trace {
+        recorder: Recorder::new(),
+        path: PathBuf::from(path),
+    })
+}
+
+impl Trace {
+    fn finish(&self) -> Result<(), Error> {
+        self.recorder.write_jsonl_to_path(&self.path)?;
+        println!("\n{}", self.recorder.summary());
+        println!("wrote trace {}", self.path.display());
+        Ok(())
+    }
+}
+
+fn load_design(args: &[String]) -> Result<GeneratedDesign, Error> {
+    let path: String =
+        arg(args, "--in").ok_or_else(|| Error::Config("missing --in FILE".into()))?;
+    let file = File::open(&path)?;
+    let netlist: Netlist =
+        read_netlist(BufReader::new(file)).map_err(|e| Error::Config(format!("{path}: {e}")))?;
     // Period: explicit, or recalibrated from the netlist structure.
     if let Some(p) = arg::<f32>(args, "--period") {
         if p.is_nan() || p <= 0.0 {
-            return Err(format!("--period must be a positive number of ps, got {p}"));
+            return Err(Error::Config(format!(
+                "--period must be a positive number of ps, got {p}"
+            )));
         }
     }
     let period = arg::<f32>(args, "--period").unwrap_or_else(|| {
@@ -110,15 +142,16 @@ fn load_design(args: &[String]) -> Result<GeneratedDesign, String> {
     })
 }
 
-fn cmd_generate(args: &[String]) -> Result<(), String> {
+fn cmd_generate(args: &[String]) -> Result<(), Error> {
     let cells: usize = arg(args, "--cells").unwrap_or(1200);
     let tech_name: String = arg(args, "--tech").unwrap_or_else(|| "7nm".into());
-    let tech: TechNode = Library::parse_tech(&tech_name).ok_or("unknown --tech")?;
+    let tech: TechNode = Library::parse_tech(&tech_name)
+        .ok_or_else(|| Error::Config(format!("unknown --tech {tech_name}")))?;
     let seed: u64 = arg(args, "--seed").unwrap_or(42);
     let out: String = arg(args, "--out").unwrap_or_else(|| "design.nl".into());
     let d = generate(&DesignSpec::new("cli", cells, tech, seed));
-    let file = File::create(&out).map_err(|e| format!("{out}: {e}"))?;
-    write_netlist(&d.netlist, BufWriter::new(file)).map_err(|e| e.to_string())?;
+    let file = File::create(&out)?;
+    write_netlist(&d.netlist, BufWriter::new(file))?;
     println!("{}", DesignStats::of(&d.netlist));
     println!(
         "calibrated period: {:.1} ps (pass via --period when loading)",
@@ -128,7 +161,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_report(args: &[String]) -> Result<(), String> {
+fn cmd_report(args: &[String]) -> Result<(), Error> {
     let d = load_design(args)?;
     let paths: usize = arg(args, "--paths").unwrap_or(3);
     let recipe = FlowRecipe::default();
@@ -147,9 +180,15 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_flow(args: &[String]) -> Result<(), String> {
+fn cmd_flow(args: &[String]) -> Result<(), Error> {
     let d = load_design(args)?;
-    let res = run_flow(&d, &FlowRecipe::default(), &[]);
+    let trace = trace_from(args);
+    let mut builder = Session::builder().design(d);
+    if let Some(t) = &trace {
+        builder = builder.recorder(t.recorder.clone());
+    }
+    let session = builder.build()?;
+    let res = session.run_flow()?;
     println!(
         "begin: WNS {:.3} ns TNS {:.2} ns NVE {} power {:.2} mW",
         res.begin.wns_ns(),
@@ -167,10 +206,13 @@ fn cmd_flow(args: &[String]) -> Result<(), String> {
         res.downsizes,
         res.runtime_s
     );
+    if let Some(t) = &trace {
+        t.finish()?;
+    }
     Ok(())
 }
 
-fn cmd_train(args: &[String]) -> Result<(), String> {
+fn cmd_train(args: &[String]) -> Result<(), Error> {
     let d = load_design(args)?;
     let mut config = RlConfig {
         max_iterations: arg(args, "--iters").unwrap_or(12),
@@ -179,34 +221,37 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     };
     if let Some(gib) = arg::<f64>(args, "--tape-budget-gib") {
         if !gib.is_finite() || gib <= 0.0 {
-            return Err(format!("--tape-budget-gib must be positive, got {gib}"));
+            return Err(Error::Config(format!(
+                "--tape-budget-gib must be positive, got {gib}"
+            )));
         }
         config.tape_memory_budget = (gib * (1u64 << 30) as f64) as usize;
     }
-    let env = CcdEnv::new(d, FlowRecipe::default(), config.fanout_cap);
-    let default = env.default_flow();
-    println!(
-        "default flow TNS {:.2} ns | training on {} violating endpoints…",
-        default.final_qor.tns_ns(),
-        env.pool().len()
-    );
+    let trace = trace_from(args);
     // --resume DIR continues an interrupted run (or starts one that
     // checkpoints into DIR); --checkpoint DIR starts fresh but writes
     // resumable state every --checkpoint-every iterations.
     let resume_dir = arg::<String>(args, "--resume");
     let checkpoint_dir = resume_dir.clone().or(arg::<String>(args, "--checkpoint"));
-    let outcome: TrainOutcome = match checkpoint_dir {
-        Some(dir) => {
-            let every = arg(args, "--checkpoint-every").unwrap_or(5);
-            let session = TrainSession::checkpointed(&dir, every);
-            let resuming = resume_dir.is_some() && rl_ccd::training_state_exists(&dir);
-            if resuming {
-                println!("resuming from checkpoint in {dir}");
-            }
-            train_or_resume(&env, &config, &dir, session).map_err(|e| e.to_string())?
+    let mut builder = Session::builder().design(d).rl_config(config);
+    if let Some(t) = &trace {
+        builder = builder.recorder(t.recorder.clone());
+    }
+    if let Some(dir) = &checkpoint_dir {
+        let every = arg(args, "--checkpoint-every").unwrap_or(5);
+        builder = builder.checkpoint(dir, every);
+        if resume_dir.is_some() && rl_ccd::training_state_exists(dir) {
+            println!("resuming from checkpoint in {dir}");
         }
-        None => train(&env, &config, None),
-    };
+    }
+    let session = builder.build()?;
+    let default = session.env().default_flow();
+    println!(
+        "default flow TNS {:.2} ns | training on {} violating endpoints…",
+        default.final_qor.tns_ns(),
+        session.env().pool().len()
+    );
+    let outcome: TrainOutcome = session.train()?;
     for h in &outcome.history {
         println!(
             "iter {:>3}: mean {:>10.0}  greedy {:>10.0}  best {:>10.0} ps",
@@ -226,37 +271,62 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         }
     }
     if let Some(path) = arg::<String>(args, "--params") {
-        save_params(&outcome.params, &path).map_err(|e| e.to_string())?;
+        save_params(&outcome.params, &path)?;
         println!("saved parameters to {path}");
+    }
+    if let Some(t) = &trace {
+        t.finish()?;
     }
     Ok(())
 }
 
-fn cmd_transfer(args: &[String]) -> Result<(), String> {
+fn cmd_transfer(args: &[String]) -> Result<(), Error> {
     let d = load_design(args)?;
-    let donor_path: String = arg(args, "--params").ok_or("missing --params FILE")?;
-    let donor = rl_ccd::load_params(&donor_path).map_err(|e| e.to_string())?;
+    let donor_path: String =
+        arg(args, "--params").ok_or_else(|| Error::Config("missing --params FILE".into()))?;
+    let donor = rl_ccd::load_params(&donor_path)
+        .map_err(|e| Error::Config(format!("{donor_path}: {e}")))?;
     let config = RlConfig {
         max_iterations: arg(args, "--iters").unwrap_or(12),
         ..RlConfig::default()
     };
-    let env = CcdEnv::new(d, FlowRecipe::default(), config.fanout_cap);
-    let default = env.default_flow();
+    let trace = trace_from(args);
     let (_, params, adopted) = with_pretrained_gnn(config.clone(), &donor);
     println!("adopted {adopted} EP-GNN tensors from {donor_path}");
-    let outcome = train(&env, &config, Some(params));
+    let mut builder = Session::builder()
+        .design(d)
+        .rl_config(config)
+        .initial_params(params);
+    if let Some(t) = &trace {
+        builder = builder.recorder(t.recorder.clone());
+    }
+    let session = builder.build()?;
+    let default = session.env().default_flow();
+    let outcome = session.train()?;
     println!(
         "transfer run: TNS {:.2} ns ({:+.1}% vs default) in {} iterations",
         outcome.best_result.final_qor.tns_ns(),
         outcome.best_result.tns_gain_over(&default),
         outcome.history.len()
     );
+    if let Some(t) = &trace {
+        t.finish()?;
+    }
     Ok(())
 }
 
-fn cmd_baseline(args: &[String]) -> Result<(), String> {
+fn cmd_baseline(args: &[String]) -> Result<(), Error> {
     let d = load_design(args)?;
-    let env = CcdEnv::new(d, FlowRecipe::default(), RlConfig::default().fanout_cap);
+    let trace = trace_from(args);
+    let mut builder = Session::builder().design(d);
+    if let Some(t) = &trace {
+        builder = builder.recorder(t.recorder.clone());
+    }
+    let session = builder.build()?;
+    // The baseline evaluations go through the env directly, outside the
+    // Session entry points — attach the recorder for the whole scan.
+    let _obs = trace.as_ref().map(|t| rl_ccd_obs::attach(&t.recorder));
+    let env = session.env();
     let default = env.default_flow();
     println!(
         "default flow TNS {:.2} ns over {} violating endpoints",
@@ -267,7 +337,7 @@ fn cmd_baseline(args: &[String]) -> Result<(), String> {
         if b == Baseline::Native {
             continue;
         }
-        let sel = b.select(&env, RlConfig::default().rho, 7);
+        let sel = b.select(env, RlConfig::default().rho, 7);
         let r = env.evaluate(&sel);
         println!(
             "{:<16} {:>4} selected  TNS {:>9.2} ns ({:>+6.1}%)",
@@ -277,19 +347,22 @@ fn cmd_baseline(args: &[String]) -> Result<(), String> {
             r.tns_gain_over(&default)
         );
     }
+    if let Some(t) = &trace {
+        t.finish()?;
+    }
     Ok(())
 }
 
-fn cmd_verilog(args: &[String]) -> Result<(), String> {
+fn cmd_verilog(args: &[String]) -> Result<(), Error> {
     let d = load_design(args)?;
     let out: String = arg(args, "--out").unwrap_or_else(|| "design.v".into());
-    let file = File::create(&out).map_err(|e| format!("{out}: {e}"))?;
-    rl_ccd_netlist::write_verilog(&d.netlist, BufWriter::new(file)).map_err(|e| e.to_string())?;
+    let file = File::create(&out)?;
+    rl_ccd_netlist::write_verilog(&d.netlist, BufWriter::new(file))?;
     println!("wrote {out}");
     Ok(())
 }
 
-fn cmd_suite(args: &[String]) -> Result<(), String> {
+fn cmd_suite(args: &[String]) -> Result<(), Error> {
     let scale: f32 = arg(args, "--scale").unwrap_or(0.5);
     println!(
         "{:<10} {:>8} {:>6} {:>9} {:>6}",
@@ -309,6 +382,20 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_trace_validate(args: &[String]) -> Result<(), Error> {
+    let path: String =
+        arg(args, "--in").ok_or_else(|| Error::Config("missing --in FILE".into()))?;
+    let file = File::open(&path)?;
+    let summary = rl_ccd_obs::validate_jsonl(BufReader::new(file))?;
+    println!(
+        "{path}: valid rl-ccd-trace v{} — {} spans, {} metrics",
+        summary.version, summary.spans, summary.metrics
+    );
+    println!("span names:   {}", summary.span_names.join(", "));
+    println!("metric names: {}", summary.metric_names.join(", "));
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -324,6 +411,7 @@ fn main() -> ExitCode {
         "baseline" => cmd_baseline(rest),
         "verilog" => cmd_verilog(rest),
         "suite" => cmd_suite(rest),
+        "trace-validate" => cmd_trace_validate(rest),
         _ => return usage(),
     };
     match result {

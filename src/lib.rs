@@ -25,16 +25,21 @@
 //! use rl_ccd_repro::prelude::*;
 //!
 //! let design = generate(&DesignSpec::new("demo", 1200, TechNode::N7, 42));
-//! let env = CcdEnv::new(design, FlowRecipe::default(), 24);
-//! let default = env.default_flow();
-//! let outcome = train(&env, &RlConfig::default(), None);
+//! let session = Session::builder().design(design).build()?;
+//! let default = session.run_flow()?;
+//! let outcome = session.train()?;
 //! println!(
 //!     "TNS {:.2} → {:.2} ns ({:+.1}%)",
 //!     default.final_qor.tns_ns(),
 //!     outcome.best_result.final_qor.tns_ns(),
 //!     outcome.best_result.tns_gain_over(&default),
 //! );
+//! # Ok::<(), rl_ccd::Error>(())
 //! ```
+//!
+//! Pass an observability [`obs::Recorder`] to the builder (or `--trace-out`
+//! to any binary) to capture hierarchical spans and metrics from every
+//! layer as a versioned JSONL trace.
 
 #![warn(missing_docs)]
 
@@ -53,13 +58,24 @@ pub use rl_ccd_nn as nn;
 /// The RL-CCD agent and trainer (re-export of [`rl_ccd`]).
 pub use rl_ccd as agent;
 
+/// Observability layer: spans, metrics, JSONL traces (re-export of
+/// [`rl_ccd_obs`]).
+pub use rl_ccd_obs as obs;
+
 /// The most common imports for working with the reproduction end to end.
 pub mod prelude {
-    pub use rl_ccd::{train, with_pretrained_gnn, Baseline, CcdEnv, EncoderKind, RlCcd, RlConfig};
-    pub use rl_ccd_flow::{run_flow, run_flow_traced, FlowRecipe, MarginMode};
+    #[allow(deprecated)]
+    pub use rl_ccd::train;
+    pub use rl_ccd::{
+        with_pretrained_gnn, Baseline, CcdEnv, EncoderKind, Error, RlCcd, RlConfig, Session,
+    };
+    #[allow(deprecated)]
+    pub use rl_ccd_flow::{run_flow, run_flow_traced};
+    pub use rl_ccd_flow::{FlowRecipe, MarginMode};
     pub use rl_ccd_netlist::{
         block_suite, generate, DesignSpec, DesignStats, GeneratedDesign, TechNode,
     };
+    pub use rl_ccd_obs::Recorder;
     pub use rl_ccd_sta::{analyze, ClockSchedule, Constraints, EndpointMargins, TimingGraph};
 }
 

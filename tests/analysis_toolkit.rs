@@ -2,7 +2,7 @@
 //! histograms, K-worst paths, hold fixing, and serialization working
 //! together on the same design.
 
-use rl_ccd_flow::{endpoint_sensitivities, fix_hold, run_flow_traced, FlowRecipe, HoldFixOpts};
+use rl_ccd_flow::{endpoint_sensitivities, fix_hold, FlowRecipe, HoldFixOpts};
 use rl_ccd_netlist::{generate, read_netlist, write_netlist, DesignSpec, TechNode};
 use rl_ccd_sta::{
     analyze, qor_delta, worst_paths, Constraints, EndpointMargins, SlackHistogram, TimingGraph,
@@ -50,7 +50,7 @@ fn toolkit_agrees_on_one_design() {
 fn flow_then_holdfix_then_delta() {
     let d = generate(&DesignSpec::new("tk2", 700, TechNode::N12, 65));
     let recipe = FlowRecipe::default();
-    let (result, trace) = run_flow_traced(&d, &recipe, &[]);
+    let (result, trace) = recipe.run_traced(&d, &[]);
     assert_eq!(trace.len(), 5);
 
     // Rebuild the post-begin state and run hold fixing on the raw design.
@@ -99,8 +99,8 @@ fn serialized_design_flows_identically() {
     let mut d2 = d.clone();
     d2.netlist = loaded;
     let recipe = FlowRecipe::default();
-    let a = rl_ccd_flow::run_flow(&d, &recipe, &[]);
-    let b = rl_ccd_flow::run_flow(&d2, &recipe, &[]);
+    let a = recipe.run(&d, &[]);
+    let b = recipe.run(&d2, &[]);
     assert_eq!(a.final_qor.tns_ps, b.final_qor.tns_ps);
     assert_eq!(a.final_qor.nve, b.final_qor.nve);
     assert_eq!(a.skews, b.skews);

@@ -6,16 +6,31 @@
 //! hook, so the suite is reproducible — no real crashes, no timing races.
 
 use rl_ccd::{
-    load_training_state, resume_train, train_or_resume, training_state_exists, try_train, CcdEnv,
-    FaultKind, FaultPlan, RlConfig, TrainOutcome, TrainSession,
+    load_training_state, training_state_exists, try_train, CcdEnv, FaultKind, FaultPlan, RlConfig,
+    Session, TrainOutcome, TrainSession,
 };
 use rl_ccd_flow::FlowRecipe;
-use rl_ccd_netlist::{generate, DesignSpec, TechNode};
-use std::path::PathBuf;
+use rl_ccd_netlist::{generate, DesignSpec, GeneratedDesign, TechNode};
+use std::path::{Path, PathBuf};
+
+fn design() -> GeneratedDesign {
+    generate(&DesignSpec::new("fault-tol", 500, TechNode::N7, 91))
+}
 
 fn env() -> CcdEnv {
-    let design = generate(&DesignSpec::new("fault-tol", 500, TechNode::N7, 91));
-    CcdEnv::new(design, FlowRecipe::default(), 24)
+    CcdEnv::new(design(), FlowRecipe::default(), 24)
+}
+
+/// A checkpointed [`Session`] on the same design — the facade's resume
+/// path (`Session::train` picks up any committed state in `dir`).
+fn resume_session(cfg: &RlConfig, dir: &Path, every: usize, plan: FaultPlan) -> Session {
+    Session::builder()
+        .design(design())
+        .rl_config(cfg.clone())
+        .checkpoint(dir, every)
+        .fault_plan(plan)
+        .build()
+        .expect("session builds")
 }
 
 /// Four workers, four iterations, no early stop: every run visits the same
@@ -118,8 +133,9 @@ fn quorum_loss_aborts_with_resumable_checkpoint() {
     // the fault plan completes the run.
     let state = load_training_state(&dir).expect("abort checkpoint");
     assert_eq!(state.next_iteration, 2);
-    let resumed =
-        resume_train(&env, &cfg, &dir, TrainSession::default()).expect("resume after quorum loss");
+    let resumed = resume_session(&cfg, &dir, 0, FaultPlan::none())
+        .train()
+        .expect("resume after quorum loss");
     assert_eq!(resumed.history.len(), cfg.max_iterations);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -139,8 +155,9 @@ fn kill_at_checkpoint_boundary_then_resume_is_bit_for_bit() {
     try_train(&env, &truncated_cfg, TrainSession::checkpointed(&dir, 2)).expect("truncated run");
     assert!(training_state_exists(&dir));
 
-    let resumed =
-        resume_train(&env, &cfg, &dir, TrainSession::checkpointed(&dir, 2)).expect("resumed run");
+    let resumed = resume_session(&cfg, &dir, 2, FaultPlan::none())
+        .train()
+        .expect("resumed run");
     assert_same_outcome(&uninterrupted, &resumed);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -166,8 +183,9 @@ fn torn_checkpoint_write_preserves_the_previous_boundary() {
 
     // And it is a working resume point.
     let uninterrupted = try_train(&env, &cfg, session(FaultPlan::none())).expect("reference");
-    let resumed =
-        resume_train(&env, &cfg, &dir, TrainSession::default()).expect("resume from boundary");
+    let resumed = resume_session(&cfg, &dir, 0, FaultPlan::none())
+        .train()
+        .expect("resume from boundary");
     assert_same_outcome(&uninterrupted, &resumed);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -180,7 +198,8 @@ fn seed_mismatch_on_resume_is_rejected() {
     try_train(&env, &cfg, TrainSession::checkpointed(&dir, 2)).expect("checkpointed run");
     let mut other = cfg.clone();
     other.seed ^= 1;
-    let err = resume_train(&env, &other, &dir, TrainSession::default())
+    let err = resume_session(&other, &dir, 0, FaultPlan::none())
+        .train()
         .expect_err("different seed would diverge the rollout stream");
     assert!(err.to_string().contains("seed"), "got: {err}");
     let _ = std::fs::remove_dir_all(&dir);
@@ -221,13 +240,11 @@ fn faulty_killed_and_resumed_run_matches_the_clean_run() {
     };
     try_train(&env, &truncated, phase1).expect("phase 1");
 
-    // Phase 2: resume (train_or_resume picks up the committed state) and
+    // Phase 2: resume (Session::train picks up the committed state) and
     // run to completion with the same fault plan still active.
-    let phase2 = TrainSession {
-        fault_plan: plan,
-        ..TrainSession::checkpointed(&dir, 2)
-    };
-    let faulty = train_or_resume(&env, &cfg, &dir, phase2).expect("phase 2");
+    let faulty = resume_session(&cfg, &dir, 2, plan)
+        .train()
+        .expect("phase 2");
 
     // Both injected faults were recorded at the last iteration.
     assert_eq!(faulty.faults.len(), 2);

@@ -2,7 +2,7 @@
 //! intelligent endpoint selection a real edge, and the over-fix mechanism
 //! behaves as the paper describes.
 
-use rl_ccd_flow::{prioritization_margins, run_flow, FlowRecipe, MarginMode};
+use rl_ccd_flow::{prioritization_margins, FlowRecipe, MarginMode};
 use rl_ccd_netlist::{generate, ClusterClass, DesignSpec, EndpointId, TechNode};
 use rl_ccd_sta::{analyze, Constraints, EndpointMargins, TimingGraph};
 
@@ -45,9 +45,9 @@ fn selection_quality_ordering_holds() {
         if deep.is_empty() || chain.is_empty() {
             continue;
         }
-        let base = run_flow(&d, &recipe, &[]);
-        let g_deep = run_flow(&d, &recipe, &deep).tns_gain_over(&base);
-        let g_chain = run_flow(&d, &recipe, &chain).tns_gain_over(&base);
+        let base = recipe.run(&d, &[]);
+        let g_deep = recipe.run(&d, &deep).tns_gain_over(&base);
+        let g_chain = recipe.run(&d, &chain).tns_gain_over(&base);
         deep_minus_chain.push(g_deep - g_chain);
         deep_gains.push(g_deep);
     }

@@ -1,7 +1,7 @@
 //! End-to-end integration: generator → STA → flow → RL training, asserting
 //! the cross-crate contracts the paper's method depends on.
 
-use rl_ccd::{train, CcdEnv, RlConfig};
+use rl_ccd::{try_train, CcdEnv, RlConfig, TrainSession};
 use rl_ccd_flow::{FlowRecipe, MarginMode};
 use rl_ccd_netlist::{generate, DesignSpec, TechNode};
 
@@ -22,7 +22,7 @@ fn full_pipeline_runs_and_improves_begin_state() {
         default.final_qor.tns_ps > default.begin.tns_ps,
         "flow must improve the begin state"
     );
-    let outcome = train(&env, &fast_cfg(), None);
+    let outcome = try_train(&env, &fast_cfg(), TrainSession::default()).expect("training");
     // The champion selection's replayed reward matches the stored result.
     let replay = env.evaluate(&outcome.best_selection);
     assert_eq!(
@@ -40,7 +40,7 @@ fn same_seed_same_everything() {
     let build = || {
         let design = generate(&DesignSpec::new("det", 600, TechNode::N12, 5));
         let env = CcdEnv::new(design, FlowRecipe::default(), 24);
-        train(&env, &fast_cfg(), None)
+        try_train(&env, &fast_cfg(), TrainSession::default()).expect("training")
     };
     let a = build();
     let b = build();

@@ -1,0 +1,92 @@
+//! The [`Session`] facade against the deprecated free functions it
+//! replaces: same seeds, bit-identical results — plus the unified error
+//! type's contracts.
+
+use rl_ccd::{CcdEnv, Error, RlConfig, Session};
+use rl_ccd_flow::FlowRecipe;
+use rl_ccd_netlist::{generate, DesignSpec, GeneratedDesign, TechNode};
+
+fn tiny_design() -> GeneratedDesign {
+    generate(&DesignSpec::new("session-api", 500, TechNode::N7, 37))
+}
+
+fn fast_cfg() -> RlConfig {
+    let mut cfg = RlConfig::fast();
+    cfg.workers = 3;
+    cfg.max_iterations = 2;
+    cfg.patience = 2;
+    cfg
+}
+
+/// `Session::run_flow` and the deprecated `run_flow` free function are the
+/// same computation.
+#[test]
+fn session_flow_is_bit_identical_to_deprecated_run_flow() {
+    let design = tiny_design();
+    let recipe = FlowRecipe::default();
+    #[allow(deprecated)]
+    let legacy = rl_ccd_flow::run_flow(&design, &recipe, &[]);
+    let session = Session::builder()
+        .design(design)
+        .recipe(recipe)
+        .build()
+        .expect("session");
+    let modern = session.run_flow().expect("flow");
+
+    assert_eq!(legacy.final_qor.wns_ps, modern.final_qor.wns_ps);
+    assert_eq!(legacy.final_qor.tns_ps, modern.final_qor.tns_ps);
+    assert_eq!(legacy.final_qor.nve, modern.final_qor.nve);
+    assert_eq!(legacy.final_qor.power_mw, modern.final_qor.power_mw);
+    assert_eq!(legacy.skews, modern.skews);
+}
+
+/// `Session::train` and the deprecated `train` free function are the same
+/// computation on the same seed.
+#[test]
+fn session_train_is_bit_identical_to_deprecated_train() {
+    let design = tiny_design();
+    let cfg = fast_cfg();
+    let env = CcdEnv::new(design.clone(), FlowRecipe::default(), cfg.fanout_cap);
+    #[allow(deprecated)]
+    let legacy = rl_ccd::train(&env, &cfg, None);
+    let modern = Session::builder()
+        .design(design)
+        .rl_config(cfg)
+        .build()
+        .expect("session")
+        .train()
+        .expect("train");
+
+    assert_eq!(legacy.best_selection, modern.best_selection);
+    assert_eq!(
+        legacy.best_result.final_qor.tns_ps,
+        modern.best_result.final_qor.tns_ps
+    );
+    assert_eq!(legacy.history, modern.history);
+    assert_eq!(legacy.params, modern.params);
+}
+
+#[test]
+fn builder_without_a_design_is_a_config_error() {
+    let err = Session::builder().build().unwrap_err();
+    assert!(matches!(err, Error::Config(_)));
+    assert!(err.to_string().contains("design"));
+}
+
+#[test]
+fn error_is_send_sync_and_sources_chain() {
+    fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+    assert_bounds::<Error>();
+
+    let err: Error = rl_ccd::TrainError::SeedMismatch {
+        expected: 1,
+        found: 2,
+    }
+    .into();
+    assert!(err.to_string().contains("training failed"));
+    let source = std::error::Error::source(&err).expect("wrapped source");
+    assert!(source.to_string().contains("seed mismatch"));
+
+    let io: Error = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+    assert!(matches!(io, Error::Io(_)));
+}

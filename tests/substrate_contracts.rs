@@ -1,6 +1,6 @@
 //! Cross-crate contracts between the netlist, STA, and flow substrates.
 
-use rl_ccd_flow::{optimize_datapath, recover_power, run_flow, DatapathOpts, FlowRecipe};
+use rl_ccd_flow::{optimize_datapath, recover_power, DatapathOpts, FlowRecipe};
 use rl_ccd_netlist::{analyze_power, generate, ClusterClass, DesignSpec, TechNode};
 use rl_ccd_sta::{analyze, Constraints, EndpointMargins, TimingGraph};
 
@@ -42,7 +42,7 @@ fn datapath_mutations_keep_netlist_and_sta_consistent() {
 fn flow_improves_all_three_cluster_classes_or_leaves_them() {
     let d = generate(&DesignSpec::new("classes", 1000, TechNode::N7, 19));
     let recipe = FlowRecipe::default();
-    let res = run_flow(&d, &recipe, &[]);
+    let res = recipe.run(&d, &[]);
     // Flow improves TNS overall.
     assert!(res.final_qor.tns_ps >= res.begin.tns_ps);
     // All three classes exist in a default-spec design.
@@ -65,7 +65,7 @@ fn power_report_tracks_flow_mutations() {
     let recipe = FlowRecipe::default();
     // The flow seeds the power model's PI activities with the recipe seed.
     let before = analyze_power(&d.netlist, d.period_ps, recipe.seed).total();
-    let res = run_flow(&d, &recipe, &[]);
+    let res = recipe.run(&d, &[]);
     // The flow's begin power matches an independent analysis.
     assert!((res.begin.power_mw - before).abs() < 1e-9);
     // Final power differs (sizing happened) but stays in a sane band.
@@ -77,7 +77,7 @@ fn power_report_tracks_flow_mutations() {
 fn skew_schedules_are_bounded_after_the_full_flow() {
     let d = generate(&DesignSpec::new("bounds", 700, TechNode::N12, 29));
     let recipe = FlowRecipe::default();
-    let res = run_flow(&d, &recipe, &[]);
+    let res = recipe.run(&d, &[]);
     let bound = recipe.skew_bound_frac * d.period_ps;
     for &s in &res.skews {
         assert!(s.abs() <= bound + 1e-3, "skew {s} exceeds bound {bound}");
@@ -104,8 +104,8 @@ fn begin_state_immune_to_selection() {
         .take(3)
         .map(rl_ccd_netlist::EndpointId::new)
         .collect();
-    let a = run_flow(&d, &recipe, &[]);
-    let b = run_flow(&d, &recipe, &sel);
+    let a = recipe.run(&d, &[]);
+    let b = recipe.run(&d, &sel);
     assert_eq!(a.begin.tns_ps, b.begin.tns_ps);
     assert_eq!(a.begin.nve, b.begin.nve);
     assert_eq!(a.begin.power_mw, b.begin.power_mw);

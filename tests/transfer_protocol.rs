@@ -1,6 +1,6 @@
 //! The §IV-B transfer-learning protocol end to end at test scale.
 
-use rl_ccd::{train, with_pretrained_gnn, CcdEnv, RlConfig};
+use rl_ccd::{try_train, with_pretrained_gnn, CcdEnv, RlConfig, TrainSession};
 use rl_ccd_flow::FlowRecipe;
 use rl_ccd_netlist::{generate, DesignSpec, TechNode};
 
@@ -18,7 +18,7 @@ fn gnn_transfers_and_trains_on_an_unseen_design() {
     let donor_design = generate(&DesignSpec::new("donor", 500, TechNode::N7, 81));
     let donor_env = CcdEnv::new(donor_design, FlowRecipe::default(), 24);
     let cfg = fast();
-    let donor = train(&donor_env, &cfg, None);
+    let donor = try_train(&donor_env, &cfg, TrainSession::default()).expect("donor training");
 
     // Target: unseen design, same technology, adopted EP-GNN. (Whether the
     // short donor run updated the weights depends on batch variance; the
@@ -33,7 +33,15 @@ fn gnn_transfers_and_trains_on_an_unseen_design() {
             assert_eq!(params.get(name), Some(t), "{name} not adopted");
         }
     }
-    let transferred = train(&target_env, &cfg, Some(params));
+    let transferred = try_train(
+        &target_env,
+        &cfg,
+        TrainSession {
+            initial: Some(params),
+            ..TrainSession::default()
+        },
+    )
+    .expect("transfer training");
     assert!(!transferred.history.is_empty());
     assert!(transferred.best_result.final_qor.tns_ps <= 0.0);
     // The champion never falls below the native flow (fallback guarantee).
@@ -46,12 +54,20 @@ fn transfer_is_deterministic() {
     let donor_design = generate(&DesignSpec::new("dd", 450, TechNode::N12, 83));
     let donor_env = CcdEnv::new(donor_design, FlowRecipe::default(), 24);
     let cfg = fast();
-    let donor = train(&donor_env, &cfg, None);
+    let donor = try_train(&donor_env, &cfg, TrainSession::default()).expect("donor training");
     let run = || {
         let target = generate(&DesignSpec::new("tt", 500, TechNode::N12, 84));
         let env = CcdEnv::new(target, FlowRecipe::default(), 24);
         let (_, params, _) = with_pretrained_gnn(cfg.clone(), &donor.params);
-        train(&env, &cfg, Some(params))
+        try_train(
+            &env,
+            &cfg,
+            TrainSession {
+                initial: Some(params),
+                ..TrainSession::default()
+            },
+        )
+        .expect("transfer training")
     };
     let a = run();
     let b = run();
