@@ -1,0 +1,169 @@
+//! **Serve load generator**: throughput and tail latency of the
+//! endpoint-selection inference service under concurrent load.
+//!
+//! Spins up an in-process [`Server`], hammers it from `--workers` client
+//! threads alternating greedy and seeded-sample requests across
+//! `--designs` distinct designs, and reports throughput plus p50/p99
+//! client-observed latency as CSV, along with the server's batch-size
+//! census (the dynamic-batching proof: under load the median dispatched
+//! batch should exceed one request).
+//!
+//! Usage:
+//! ```text
+//! serve_load [--workers 8] [--requests 40] [--designs 2] [--cells 300]
+//!            [--max-batch 8] [--window-ms 2] [--csv serve_load.csv]
+//!            [--assert-batching] [--trace-out run.jsonl]
+//! ```
+//!
+//! With `--assert-batching` the process exits nonzero unless the batch
+//! size p50 is at least 2 and the drain left zero in-flight requests
+//! behind — the acceptance gate CI can hold the server to.
+
+use rl_ccd::{RlCcd, RlConfig};
+use rl_ccd_bench::{write_csv, Cli};
+use rl_ccd_serve::{DesignKey, Mode, ModelRegistry, QueryRequest, Response, ServeConfig, Server};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx]
+}
+
+fn main() -> ExitCode {
+    let cli = Cli::from_env();
+    let _obs = cli.attach();
+    let workers = cli.workers(8);
+    let requests: usize = cli.value("--requests", 40);
+    let designs: usize = cli.value("--designs", 2usize).max(1);
+    let cells: usize = cli.value("--cells", 300);
+    let csv = cli.csv("serve_load.csv");
+    let assert_batching = std::env::args().any(|a| a == "--assert-batching");
+
+    let config = RlConfig::fast();
+    let rho = config.rho;
+    let (_, params) = RlCcd::init(config);
+    let mut registry = ModelRegistry::new();
+    registry
+        .insert_params("default", params, rho)
+        .expect("register model");
+
+    let serve_config = ServeConfig {
+        max_batch: cli.value("--max-batch", 8),
+        window: Duration::from_millis(cli.value("--window-ms", 2u64)),
+        queue_capacity: workers * requests + 1,
+        workers: cli.value("--serve-workers", 2usize),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(registry, serve_config);
+
+    let keys: Vec<DesignKey> = (0..designs)
+        .map(|d| DesignKey {
+            name: format!("load{d}"),
+            cells,
+            tech: "7nm".into(),
+            seed: d as u64 + 1,
+        })
+        .collect();
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            let handle = server.handle();
+            let keys = keys.clone();
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(requests);
+                let mut failures = 0usize;
+                for r in 0..requests {
+                    let k = (w + r) % keys.len();
+                    let mode = if r % 2 == 0 {
+                        Mode::Greedy
+                    } else {
+                        Mode::Sample((w * requests + r) as u64)
+                    };
+                    let t = Instant::now();
+                    let resp = handle.query(QueryRequest {
+                        model: "default".into(),
+                        design: keys[k].clone(),
+                        mode,
+                        deadline_ms: None,
+                    });
+                    latencies.push(t.elapsed().as_secs_f64() * 1e3);
+                    if matches!(resp, Response::Err { .. }) {
+                        failures += 1;
+                    }
+                }
+                (latencies, failures)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut failures = 0usize;
+    for h in handles {
+        let (l, f) = h.join().expect("client thread panicked");
+        latencies.extend(l);
+        failures += f;
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    let report = server.shutdown();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let total = latencies.len();
+    let throughput = total as f64 / wall_s;
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let batch_p50 = report.stats.batch_p50();
+
+    println!(
+        "{total} requests from {workers} threads over {designs} designs in {wall_s:.2}s \
+         ({throughput:.1} req/s), {failures} failed"
+    );
+    println!("latency p50 {p50:.2} ms, p99 {p99:.2} ms");
+    print!("batch census (size:count):");
+    for (size, count) in &report.stats.batches {
+        print!(" {size}:{count}");
+    }
+    println!(" — p50 {batch_p50}");
+    println!(
+        "drain: {} accepted, {} completed, {} dropped",
+        report.stats.accepted,
+        report.stats.completed,
+        report.dropped()
+    );
+
+    let rows = vec![format!(
+        "{workers},{requests},{designs},{cells},{total},{throughput:.2},{p50:.3},{p99:.3},{batch_p50},{}",
+        report.dropped()
+    )];
+    write_csv(
+        &csv,
+        "workers,requests_per_worker,designs,cells,total,throughput_rps,p50_ms,p99_ms,batch_p50,dropped",
+        &rows,
+    )
+    .expect("write csv");
+    println!("wrote {csv}");
+    if let Err(e) = cli.finish() {
+        eprintln!("trace: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} request(s) failed");
+        return ExitCode::FAILURE;
+    }
+    if assert_batching {
+        if batch_p50 < 2 {
+            eprintln!("batch p50 {batch_p50} < 2: dynamic batching did not engage");
+            return ExitCode::FAILURE;
+        }
+        if report.dropped() > 0 {
+            eprintln!("drain dropped {} in-flight request(s)", report.dropped());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -3,14 +3,14 @@
 
 use crate::config::RlConfig;
 use crate::decoder::AttentionDecoder;
-use crate::encoder::ActionEncoder;
+use crate::encoder::{ActionEncoder, EncoderState};
 use crate::env::CcdEnv;
 use crate::epgnn::EpGnn;
 use crate::masking::SelectionMask;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rl_ccd_netlist::{CellId, EndpointId};
-use rl_ccd_nn::{ParamBinding, ParamSet, Tape, Var};
+use rl_ccd_nn::{LstmState, NoGradTape, ParamBinding, ParamSet, Tape, TapeOps, Tensor, Var};
 use std::sync::Arc;
 
 /// The assembled RL-CCD model: EP-GNN + LSTM encoder + attention decoder.
@@ -125,6 +125,85 @@ impl RlCcd {
             total_log_prob,
         }
     }
+
+    /// Inference-only trajectory: op-for-op the same forward pass as
+    /// [`RlCcd::rollout`] / [`RlCcd::rollout_greedy`], but on a
+    /// [`NoGradTape`] — no gradient bookkeeping — and with the tape
+    /// truncated back to the parameter leaves after every step, so memory
+    /// stays bounded by one step's intermediates instead of growing with
+    /// the whole trajectory. With `Some(rng)` it samples (consuming
+    /// exactly one draw per step, identical to `rollout`); with `None` it
+    /// is greedy. Unlike the training rollout, an empty endpoint pool
+    /// yields an empty selection instead of panicking, so a server can
+    /// answer queries on already-clean designs.
+    pub(crate) fn infer_trajectory(
+        &self,
+        params: &ParamSet,
+        env: &CcdEnv,
+        mut rng: Option<&mut StdRng>,
+    ) -> Vec<EndpointId> {
+        let mut tape = NoGradTape::new();
+        let binding = params.bind(&mut tape);
+        let base = tape.len();
+        let pool = env.pool();
+        let mut mask = SelectionMask::new(pool.len(), self.config.rho);
+        let (mut state, mut prev_embed) = self.encoder.start(&mut tape);
+        let mut selected = Vec::new();
+        while mask.any_valid() {
+            let flag_cells: Vec<CellId> = mask
+                .flagged()
+                .iter()
+                .map(|&i| env.pool_cells()[i])
+                .collect();
+            let x = tape.leaf(env.features().with_flags(&flag_cells));
+            let embeddings =
+                self.gnn
+                    .forward(&mut tape, &binding, x, env.adjacency(), env.readout());
+            state = self.encoder.step(&mut tape, &binding, prev_embed, state);
+            let query = state.query();
+            let valid = mask.valid_mask();
+            let step = match rng.as_deref_mut() {
+                Some(rng) => self
+                    .decoder
+                    .decode(&mut tape, &binding, embeddings, query, &valid, rng),
+                None => self
+                    .decoder
+                    .decode_greedy(&mut tape, &binding, embeddings, query, &valid),
+            };
+            mask.select(step.action, env.cones());
+            selected.push(pool[step.action]);
+            let embed_row = tape.gather_rows(embeddings, Arc::new(vec![step.action as u32]));
+            // Only the previous-action embedding and the encoder state
+            // survive into the next step: clone their values out, drop the
+            // step's intermediates, and re-record them as fresh leaves.
+            let carry_embed = tape.value(embed_row).clone();
+            let carry_state = match state {
+                EncoderState::Lstm(s) => {
+                    CarriedState::Lstm(tape.value(s.h).clone(), tape.value(s.c).clone())
+                }
+                EncoderState::Gru(h) => CarriedState::Gru(tape.value(h).clone()),
+                EncoderState::None(z) => CarriedState::None(tape.value(z).clone()),
+            };
+            tape.truncate(base);
+            prev_embed = tape.leaf(carry_embed);
+            state = match carry_state {
+                CarriedState::Lstm(h, c) => EncoderState::Lstm(LstmState {
+                    h: tape.leaf(h),
+                    c: tape.leaf(c),
+                }),
+                CarriedState::Gru(h) => EncoderState::Gru(tape.leaf(h)),
+                CarriedState::None(z) => EncoderState::None(tape.leaf(z)),
+            };
+        }
+        selected
+    }
+}
+
+/// Encoder-state tensors carried across a [`NoGradTape::truncate`].
+enum CarriedState {
+    Lstm(Tensor, Tensor),
+    Gru(Tensor),
+    None(Tensor),
 }
 
 /// One finished selection trajectory, with its tape kept alive so the

@@ -103,7 +103,10 @@ const MANIFEST_FILE: &str = "manifest.txt";
 const MANIFEST_TMP: &str = "manifest.txt.tmp";
 
 /// FNV-1a 64-bit checksum (dependency-free, stable across platforms).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// FNV-1a 64-bit hash — the checksum the manifest protocol pins the state
+/// file with. Public so other consumers of verified checkpoints (e.g. the
+/// serve registry) can fingerprint the exact bytes they loaded.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -408,6 +411,20 @@ pub fn training_state_exists(dir: impl AsRef<Path>) -> bool {
 /// [`CheckpointError::Io`] on filesystem failure, [`CheckpointError::Corrupt`]
 /// on any validation or parse failure.
 pub fn load_training_state(dir: impl AsRef<Path>) -> Result<TrainingState, CheckpointError> {
+    let bytes = verify_manifest(dir)?;
+    TrainingState::from_reader(BufReader::new(&bytes[..]))
+}
+
+/// Reads the committed `manifest.txt` / `state.txt` pair in `dir`,
+/// validates the manifest header, entry name, byte length, and FNV-1a 64
+/// checksum, and returns the verified state bytes. Both the training
+/// resume path ([`load_training_state`]) and the serve model registry use
+/// this as the single integrity gate before parsing.
+///
+/// # Errors
+/// [`CheckpointError::Io`] when either file is unreadable,
+/// [`CheckpointError::Corrupt`] on any header/length/checksum mismatch.
+pub fn verify_manifest(dir: impl AsRef<Path>) -> Result<Vec<u8>, CheckpointError> {
     let dir = dir.as_ref();
     let manifest = fs::read_to_string(dir.join(MANIFEST_FILE))?;
     let mut lines = manifest.lines();
@@ -441,7 +458,7 @@ pub fn load_training_state(dir: impl AsRef<Path>) -> Result<TrainingState, Check
             "state checksum {actual:016x} does not match manifest {sum:016x}"
         )));
     }
-    TrainingState::from_reader(BufReader::new(&bytes[..]))
+    Ok(bytes)
 }
 
 /// Writes a checkpoint directory:

@@ -10,7 +10,7 @@
 use crate::config::RlConfig;
 use rand::rngs::StdRng;
 use rand::Rng;
-use rl_ccd_nn::{xavier, Linear, ParamBinding, ParamSet, Tape, Var};
+use rl_ccd_nn::{xavier, Linear, ParamBinding, ParamSet, TapeOps, Var};
 use std::sync::Arc;
 
 /// Parameter name prefix of the decoder.
@@ -63,9 +63,9 @@ impl AttentionDecoder {
     ///
     /// # Panics
     /// Panics if `valid` has no `true` entry.
-    pub fn decode_greedy(
+    pub fn decode_greedy<T: TapeOps>(
         &self,
-        tape: &mut Tape,
+        tape: &mut T,
         binding: &ParamBinding,
         embeddings: Var,
         query: Var,
@@ -90,9 +90,9 @@ impl AttentionDecoder {
     }
 
     /// Eqs. 5–6: attention scores → masked log-softmax.
-    fn scores(
+    fn scores<T: TapeOps>(
         &self,
-        tape: &mut Tape,
+        tape: &mut T,
         binding: &ParamBinding,
         embeddings: Var,
         query: Var,
@@ -115,9 +115,9 @@ impl AttentionDecoder {
     /// # Panics
     /// Panics if `valid` has no `true` entry or its length differs from the
     /// number of embeddings.
-    pub fn decode(
+    pub fn decode<T: TapeOps>(
         &self,
-        tape: &mut Tape,
+        tape: &mut T,
         binding: &ParamBinding,
         embeddings: Var,
         query: Var,
@@ -166,7 +166,7 @@ impl AttentionDecoder {
 mod tests {
     use super::*;
     use rand::SeedableRng;
-    use rl_ccd_nn::Tensor;
+    use rl_ccd_nn::{Tape, Tensor};
 
     fn build() -> (ParamSet, AttentionDecoder, RlConfig) {
         let cfg = RlConfig::fast();

@@ -8,7 +8,7 @@
 
 use crate::config::{EncoderKind, RlConfig};
 use rand::rngs::StdRng;
-use rl_ccd_nn::{GruCell, LstmCell, LstmState, ParamBinding, ParamSet, Tape, Tensor, Var};
+use rl_ccd_nn::{GruCell, LstmCell, LstmState, ParamBinding, ParamSet, TapeOps, Tensor, Var};
 
 /// Parameter name prefix of the encoder (distinct from [`crate::epgnn::GNN_PREFIX`]
 /// so transfer learning can leave it behind).
@@ -85,7 +85,7 @@ impl ActionEncoder {
 
     /// Zero state and zero previous-action embedding for t = 0
     /// (Algorithm 1 line 3).
-    pub fn start(&self, tape: &mut Tape) -> (EncoderState, Var) {
+    pub fn start<T: TapeOps>(&self, tape: &mut T) -> (EncoderState, Var) {
         let zero_embed = tape.leaf(Tensor::zeros(1, self.embed_dim));
         let state = match &self.backend {
             Backend::Lstm(cell) => EncoderState::Lstm(cell.zero_state(tape)),
@@ -97,9 +97,9 @@ impl ActionEncoder {
 
     /// Encodes one more selected-endpoint embedding, producing the next
     /// state; `state.query()` is the attention query q_t.
-    pub fn step(
+    pub fn step<T: TapeOps>(
         &self,
-        tape: &mut Tape,
+        tape: &mut T,
         binding: &ParamBinding,
         prev_action_embed: Var,
         state: EncoderState,
@@ -121,6 +121,7 @@ impl ActionEncoder {
 mod tests {
     use super::*;
     use rand::SeedableRng;
+    use rl_ccd_nn::Tape;
 
     fn config_with(kind: EncoderKind) -> RlConfig {
         let mut cfg = RlConfig::fast();

@@ -9,7 +9,7 @@
 use crate::config::RlConfig;
 use crate::features::FEATURE_DIM;
 use rand::rngs::StdRng;
-use rl_ccd_nn::{Linear, ParamBinding, ParamSet, SharedCsr, Tape, Tensor, Var};
+use rl_ccd_nn::{Linear, ParamBinding, ParamSet, SharedCsr, TapeOps, Tensor, Var};
 
 /// Parameter name prefix shared by all EP-GNN tensors; transfer learning
 /// copies exactly the parameters under this prefix.
@@ -81,9 +81,9 @@ impl EpGnn {
 
     /// Forward pass: node features `x` (V×13), mean-normalized adjacency
     /// (V×V), cone readout matrix (E×V) → endpoint embeddings (E×embed).
-    pub fn forward(
+    pub fn forward<T: TapeOps>(
         &self,
-        tape: &mut Tape,
+        tape: &mut T,
         binding: &ParamBinding,
         x: Var,
         adjacency: &SharedCsr,
@@ -112,6 +112,7 @@ impl EpGnn {
 mod tests {
     use super::*;
     use rand::SeedableRng;
+    use rl_ccd_nn::Tape;
     use rl_ccd_nn::{Csr, GradSet};
     use std::sync::Arc;
 

@@ -3,6 +3,7 @@
 
 use crate::agent::RlCcd;
 use crate::env::CcdEnv;
+use crate::infer::{sample_endpoints, select_endpoints};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rl_ccd_flow::FlowResult;
@@ -36,20 +37,20 @@ pub fn evaluate_policy(
     samples: usize,
     seed: u64,
 ) -> PolicyEval {
-    let greedy_rollout = model.rollout_greedy(params, env);
-    let greedy = env.evaluate(&greedy_rollout.selected);
+    let greedy_selection = select_endpoints(model, params, env);
+    let greedy = env.evaluate(&greedy_selection);
     let mut rewards = Vec::with_capacity(samples);
     let mut steps = 0usize;
     for s in 0..samples {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(s as u64));
-        let ro = model.rollout(params, env, &mut rng);
-        steps += ro.steps();
-        rewards.push(env.reward(&ro.selected));
+        let selected = sample_endpoints(model, params, env, &mut rng);
+        steps += selected.len();
+        rewards.push(env.reward(&selected));
     }
     let n = samples.max(1) as f64;
     PolicyEval {
         greedy,
-        greedy_selection: greedy_rollout.selected,
+        greedy_selection,
         sample_mean: rewards.iter().sum::<f64>() / n,
         sample_best: rewards.iter().copied().fold(f64::NEG_INFINITY, f64::max),
         sample_worst: rewards.iter().copied().fold(f64::INFINITY, f64::min),

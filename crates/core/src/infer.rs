@@ -1,0 +1,101 @@
+//! Inference-only endpoint selection — the serving fast path.
+//!
+//! Training records every forward op on a [`Tape`](rl_ccd_nn::Tape) so
+//! REINFORCE can backpropagate; a server answering "which endpoints should
+//! the clock path over-fix?" needs none of that. [`select_endpoints`] and
+//! [`sample_endpoints`] run the identical EP-GNN + encoder + attention
+//! forward pass on a [`NoGradTape`](rl_ccd_nn::NoGradTape): no gradient
+//! bookkeeping, no Adam state, and per-step memory reclamation (the tape is
+//! truncated back to the parameter leaves after every selection, carrying
+//! only the previous-action embedding and the encoder state forward).
+//!
+//! Because both tapes share the same per-op forward kernels, the selections
+//! are **bit-identical** to [`RlCcd::rollout_greedy`] / [`RlCcd::rollout`]
+//! on the same parameters and seeds — pinned by the tests in this module
+//! and by `tests/serve_parity.rs`.
+
+use crate::agent::RlCcd;
+use crate::env::CcdEnv;
+use rand::rngs::StdRng;
+use rl_ccd_netlist::EndpointId;
+use rl_ccd_nn::ParamSet;
+
+/// Deterministic greedy selection (argmax at every step) without any
+/// gradient bookkeeping. Bit-identical to
+/// `model.rollout_greedy(params, env).selected`, but with bounded memory
+/// and no tape allocation; an empty endpoint pool yields an empty
+/// selection instead of panicking.
+pub fn select_endpoints(model: &RlCcd, params: &ParamSet, env: &CcdEnv) -> Vec<EndpointId> {
+    model.infer_trajectory(params, env, None)
+}
+
+/// Stochastic selection sampled from the policy distribution, consuming
+/// exactly one RNG draw per step — bit-identical to
+/// `model.rollout(params, env, rng).selected` for the same `rng` state.
+pub fn sample_endpoints(
+    model: &RlCcd,
+    params: &ParamSet,
+    env: &CcdEnv,
+    rng: &mut StdRng,
+) -> Vec<EndpointId> {
+    model.infer_trajectory(params, env, Some(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EncoderKind, RlConfig};
+    use rand::SeedableRng;
+    use rl_ccd_flow::FlowRecipe;
+    use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+
+    fn env() -> CcdEnv {
+        let d = generate(&DesignSpec::new("infer", 600, TechNode::N7, 33));
+        CcdEnv::new(d, FlowRecipe::default(), 24)
+    }
+
+    #[test]
+    fn greedy_inference_matches_training_forward_bit_for_bit() {
+        let env = env();
+        for kind in [EncoderKind::Lstm, EncoderKind::Gru, EncoderKind::None] {
+            let mut cfg = RlConfig::fast();
+            cfg.encoder = kind;
+            let (model, params) = RlCcd::init(cfg);
+            let trained = model.rollout_greedy(&params, &env).selected;
+            let inferred = select_endpoints(&model, &params, &env);
+            assert_eq!(trained, inferred, "encoder {kind:?}");
+        }
+    }
+
+    #[test]
+    fn sampled_inference_matches_training_forward_on_fixed_seeds() {
+        let env = env();
+        let (model, params) = RlCcd::init(RlConfig::fast());
+        for seed in [0u64, 7, 1234] {
+            let trained = model
+                .rollout(&params, &env, &mut StdRng::seed_from_u64(seed))
+                .selected;
+            let inferred =
+                sample_endpoints(&model, &params, &env, &mut StdRng::seed_from_u64(seed));
+            assert_eq!(trained, inferred, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sampled_inference_consumes_the_same_rng_stream() {
+        // After a trajectory, both paths must leave the RNG in the same
+        // state (one draw per step) — a server interleaving sampled
+        // requests on one seeded stream relies on this.
+        let env = env();
+        let (model, params) = RlCcd::init(RlConfig::fast());
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        let a = model.rollout(&params, &env, &mut rng_a).selected;
+        let b = sample_endpoints(&model, &params, &env, &mut rng_b);
+        assert_eq!(a, b);
+        use rand::Rng;
+        let next_a: f64 = rng_a.gen_range(0.0..1.0);
+        let next_b: f64 = rng_b.gen_range(0.0..1.0);
+        assert_eq!(next_a, next_b, "RNG streams diverged");
+    }
+}

@@ -54,6 +54,7 @@ pub mod error;
 pub mod eval;
 pub mod fault;
 pub mod features;
+pub mod infer;
 pub mod masking;
 pub mod parallel;
 pub mod reinforce;
@@ -63,8 +64,9 @@ pub mod transfer;
 pub use agent::{RlCcd, Rollout};
 pub use baselines::Baseline;
 pub use checkpoint::{
-    load_checkpoint_params, load_checkpoint_selection, load_training_state, save_checkpoint,
-    save_training_state, training_state_exists, CheckpointError, TrainingState,
+    fnv1a64, load_checkpoint_params, load_checkpoint_selection, load_training_state,
+    save_checkpoint, save_training_state, training_state_exists, verify_manifest, CheckpointError,
+    TrainingState,
 };
 pub use config::{EncoderKind, RlConfig};
 pub use decoder::AttentionDecoder;
@@ -75,6 +77,7 @@ pub use error::Error;
 pub use eval::{evaluate_policy, PolicyEval};
 pub use fault::{FaultKind, FaultPlan, InjectedFault, RolloutFault};
 pub use features::{NodeFeatures, FEATURE_DIM, MASKED_COL};
+pub use infer::{sample_endpoints, select_endpoints};
 pub use masking::{EndpointStatus, SelectionMask};
 pub use parallel::{
     max_concurrent_tapes, run_rollouts, run_rollouts_supervised, RolloutBatch, ScoredRollout,
@@ -84,4 +87,4 @@ pub use parallel::{
 pub use reinforce::{resume_train, train, train_or_resume};
 pub use reinforce::{try_train, IterationStats, TrainError, TrainOutcome, TrainSession};
 pub use session::{Session, SessionBuilder};
-pub use transfer::{load_params, save_params, with_pretrained_gnn};
+pub use transfer::{load_params, save_params, with_pretrained_gnn, zero_shot_selection};

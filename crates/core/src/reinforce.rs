@@ -513,15 +513,15 @@ fn run_training(
         // Greedy policy evaluation after the update (the learning curve).
         let (greedy, greedy_result) = {
             let _span = rl_ccd_obs::span!("train.greedy_eval", iteration = iteration);
-            let greedy = model.rollout_greedy(&s.params, env);
-            let greedy_result = env.evaluate(&greedy.selected);
+            let greedy = crate::infer::select_endpoints(model, &s.params, env);
+            let greedy_result = env.evaluate(&greedy);
             (greedy, greedy_result)
         };
         let greedy_reward = greedy_result.final_qor.tns_ps;
         if greedy_reward > s.best_reward {
             s.best_reward = greedy_reward;
             s.best_result = greedy_result;
-            s.best_selection = greedy.selected.clone();
+            s.best_selection = greedy.clone();
             improved = true;
         }
 

@@ -8,7 +8,9 @@
 
 use crate::agent::RlCcd;
 use crate::config::RlConfig;
+use crate::env::CcdEnv;
 use crate::epgnn::GNN_PREFIX;
+use rl_ccd_netlist::EndpointId;
 use rl_ccd_nn::{LoadParamsError, ParamSet};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -42,6 +44,23 @@ pub fn with_pretrained_gnn(config: RlConfig, pretrained: &ParamSet) -> (RlCcd, P
     let (model, mut params) = RlCcd::init(config);
     let adopted = params.adopt_prefixed(pretrained, GNN_PREFIX);
     (model, params, adopted)
+}
+
+/// Zero-shot transfer: builds a model whose EP-GNN comes from
+/// `pretrained` and immediately greedy-selects on `env` through the
+/// inference-only fast path ([`crate::infer::select_endpoints`]) — no
+/// tape, no Adam state, no training. Returns the selection and the number
+/// of adopted tensors.
+pub fn zero_shot_selection(
+    config: RlConfig,
+    pretrained: &ParamSet,
+    env: &CcdEnv,
+) -> (Vec<EndpointId>, usize) {
+    let (model, params, adopted) = with_pretrained_gnn(config, pretrained);
+    (
+        crate::infer::select_endpoints(&model, &params, env),
+        adopted,
+    )
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 
 use crate::init::xavier;
 use crate::module::{ParamBinding, ParamSet};
-use crate::tape::{Tape, Var};
+use crate::tape::{TapeOps, Var};
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 
@@ -53,11 +53,18 @@ impl GruCell {
     }
 
     /// Zero initial hidden state.
-    pub fn zero_state(&self, tape: &mut Tape) -> Var {
+    pub fn zero_state<T: TapeOps>(&self, tape: &mut T) -> Var {
         tape.leaf(Tensor::zeros(1, self.hidden))
     }
 
-    fn gate_pre(&self, tape: &mut Tape, binding: &ParamBinding, g: &str, x: Var, h: Var) -> Var {
+    fn gate_pre<T: TapeOps>(
+        &self,
+        tape: &mut T,
+        binding: &ParamBinding,
+        g: &str,
+        x: Var,
+        h: Var,
+    ) -> Var {
         let wx = binding.var(&format!("{}.wx_{g}", self.name));
         let wh = binding.var(&format!("{}.wh_{g}", self.name));
         let b = binding.var(&format!("{}.b_{g}", self.name));
@@ -68,7 +75,7 @@ impl GruCell {
     }
 
     /// One recurrence step: `h' = (1−z)⊙n + z⊙h`.
-    pub fn step(&self, tape: &mut Tape, binding: &ParamBinding, x: Var, h: Var) -> Var {
+    pub fn step<T: TapeOps>(&self, tape: &mut T, binding: &ParamBinding, x: Var, h: Var) -> Var {
         let r_pre = self.gate_pre(tape, binding, "r", x, h);
         let r = tape.sigmoid(r_pre);
         let z_pre = self.gate_pre(tape, binding, "z", x, h);
@@ -96,6 +103,7 @@ impl GruCell {
 mod tests {
     use super::*;
     use crate::module::GradSet;
+    use crate::tape::Tape;
     use rand::SeedableRng;
 
     fn build() -> (ParamSet, GruCell) {

@@ -55,5 +55,5 @@ pub use lstm::{LstmCell, LstmState};
 pub use module::{GradSet, LoadParamsError, ParamBinding, ParamSet};
 pub use optim::{Adam, Sgd};
 pub use sparse::{Csr, SharedCsr};
-pub use tape::{Gradients, Tape, Var};
+pub use tape::{Gradients, NoGradTape, Tape, TapeOps, Var};
 pub use tensor::Tensor;

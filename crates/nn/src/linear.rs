@@ -2,7 +2,7 @@
 
 use crate::init::xavier;
 use crate::module::{ParamBinding, ParamSet};
-use crate::tape::{Tape, Var};
+use crate::tape::{TapeOps, Var};
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 
@@ -66,7 +66,7 @@ impl Linear {
     }
 
     /// Applies the layer to `x` (n×in) on the tape, yielding n×out.
-    pub fn forward(&self, tape: &mut Tape, binding: &ParamBinding, x: Var) -> Var {
+    pub fn forward<T: TapeOps>(&self, tape: &mut T, binding: &ParamBinding, x: Var) -> Var {
         let w = binding.var(&format!("{}.w", self.name));
         let b = binding.var(&format!("{}.b", self.name));
         let h = tape.matmul(x, w);
@@ -77,6 +77,7 @@ impl Linear {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tape::Tape;
     use rand::SeedableRng;
 
     #[test]

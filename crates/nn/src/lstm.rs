@@ -2,7 +2,7 @@
 
 use crate::init::xavier;
 use crate::module::{ParamBinding, ParamSet};
-use crate::tape::{Tape, Var};
+use crate::tape::{TapeOps, Var};
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 
@@ -86,14 +86,21 @@ impl LstmCell {
     }
 
     /// Zero initial state recorded on `tape` (Algorithm 1 line 3).
-    pub fn zero_state(&self, tape: &mut Tape) -> LstmState {
+    pub fn zero_state<T: TapeOps>(&self, tape: &mut T) -> LstmState {
         LstmState {
             h: tape.leaf(Tensor::zeros(1, self.hidden)),
             c: tape.leaf(Tensor::zeros(1, self.hidden)),
         }
     }
 
-    fn gate(&self, tape: &mut Tape, binding: &ParamBinding, g: &str, x: Var, h: Var) -> Var {
+    fn gate<T: TapeOps>(
+        &self,
+        tape: &mut T,
+        binding: &ParamBinding,
+        g: &str,
+        x: Var,
+        h: Var,
+    ) -> Var {
         let wx = binding.var(&format!("{}.wx_{g}", self.name));
         let wh = binding.var(&format!("{}.wh_{g}", self.name));
         let b = binding.var(&format!("{}.b_{g}", self.name));
@@ -105,9 +112,9 @@ impl LstmCell {
 
     /// One recurrence step: consumes input `x` (1×in) and the previous
     /// state, returns the next state (Eq. 4).
-    pub fn step(
+    pub fn step<T: TapeOps>(
         &self,
-        tape: &mut Tape,
+        tape: &mut T,
         binding: &ParamBinding,
         x: Var,
         state: LstmState,
@@ -133,6 +140,7 @@ impl LstmCell {
 mod tests {
     use super::*;
     use crate::module::GradSet;
+    use crate::tape::Tape;
     use rand::SeedableRng;
 
     fn build() -> (ParamSet, LstmCell) {

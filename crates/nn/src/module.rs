@@ -2,7 +2,7 @@
 //! rollouts/workers, and text serialization (transfer learning reloads
 //! pre-trained EP-GNN weights from these files).
 
-use crate::tape::{Gradients, Tape, Var};
+use crate::tape::{Gradients, TapeOps, Var};
 use crate::tensor::Tensor;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -106,9 +106,11 @@ impl ParamSet {
         self.params.values().all(Tensor::all_finite)
     }
 
-    /// Records every parameter as a leaf on `tape`, returning the handle map
-    /// used by the forward pass and by [`GradSet::accumulate`].
-    pub fn bind(&self, tape: &mut Tape) -> ParamBinding {
+    /// Records every parameter as a leaf on `tape` (the training [`Tape`](crate::Tape)
+    /// or the inference [`crate::NoGradTape`] — anything implementing
+    /// [`TapeOps`]), returning the handle map used by the forward pass and
+    /// by [`GradSet::accumulate`].
+    pub fn bind<T: TapeOps>(&self, tape: &mut T) -> ParamBinding {
         let mut vars = BTreeMap::new();
         for (name, tensor) in &self.params {
             vars.insert(name.clone(), tape.leaf(tensor.clone()));
@@ -318,6 +320,7 @@ impl GradSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tape::Tape;
 
     fn demo_params() -> ParamSet {
         let mut p = ParamSet::new();

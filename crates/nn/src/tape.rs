@@ -6,10 +6,146 @@
 //! products, broadcasting adds, elementwise nonlinearities, gather/pick, a
 //! trainable-scalar gate, and a masked log-softmax for the pointer-attention
 //! decoder.
+//!
+//! Inference does not need gradients: [`NoGradTape`] executes the same op
+//! set while storing only the computed values (no op records, so nothing to
+//! replay and nothing for [`Tape::backward`] to walk), and supports
+//! [`NoGradTape::truncate`] so a selection loop can reclaim each step's
+//! intermediates. Both executors implement [`TapeOps`] and share one
+//! forward kernel per op, which is what makes training-mode and
+//! inference-mode forwards bit-identical.
 
 use crate::sparse::SharedCsr;
 use crate::tensor::Tensor;
 use std::sync::Arc;
+
+/// Forward kernels shared by [`Tape`] and [`NoGradTape`]. One
+/// implementation per op is the bit-identity guarantee between the
+/// training and inference forward paths: both executors compute every
+/// value through exactly this code.
+mod kernel {
+    use super::{SharedCsr, Tensor};
+
+    pub(super) fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        a.matmul(b)
+    }
+
+    pub(super) fn spmm(csr: &SharedCsr, a: &Tensor) -> Tensor {
+        csr.matmul(a)
+    }
+
+    pub(super) fn add(a: &Tensor, b: &Tensor) -> Tensor {
+        assert_eq!(a.shape(), b.shape(), "add shapes");
+        let mut v = a.clone();
+        v.add_assign(b);
+        v
+    }
+
+    pub(super) fn add_row(a: &Tensor, row: &Tensor) -> Tensor {
+        let (n, m) = a.shape();
+        assert_eq!(row.shape(), (1, m), "add_row shapes");
+        let mut v = a.clone();
+        {
+            let r = row.data().to_vec();
+            let d = v.data_mut();
+            for i in 0..n {
+                for j in 0..m {
+                    d[i * m + j] += r[j];
+                }
+            }
+        }
+        v
+    }
+
+    pub(super) fn mul(a: &Tensor, b: &Tensor) -> Tensor {
+        assert_eq!(a.shape(), b.shape(), "mul shapes");
+        let bv = b.data().to_vec();
+        let mut v = a.clone();
+        for (x, y) in v.data_mut().iter_mut().zip(bv) {
+            *x *= y;
+        }
+        v
+    }
+
+    pub(super) fn scale(a: &Tensor, k: f32) -> Tensor {
+        a.map(|x| k * x)
+    }
+
+    pub(super) fn scalar_mul(s: &Tensor, a: &Tensor) -> Tensor {
+        assert_eq!(s.shape(), (1, 1), "scalar_mul gate shape");
+        let k = s.data()[0];
+        a.map(|x| k * x)
+    }
+
+    pub(super) fn mix(s: &Tensor, a: &Tensor, b: &Tensor) -> Tensor {
+        assert_eq!(s.shape(), (1, 1), "mix gate shape");
+        assert_eq!(a.shape(), b.shape(), "mix shapes");
+        let k = s.data()[0];
+        let bv = b.data().to_vec();
+        let mut v = a.clone();
+        for (x, y) in v.data_mut().iter_mut().zip(bv) {
+            *x = k * *x + (1.0 - k) * y;
+        }
+        v
+    }
+
+    pub(super) fn affine(a: &Tensor, k: f32, c: f32) -> Tensor {
+        a.map(|x| k * x + c)
+    }
+
+    pub(super) fn sigmoid(a: &Tensor) -> Tensor {
+        a.map(|x| 1.0 / (1.0 + (-x).exp()))
+    }
+
+    pub(super) fn tanh(a: &Tensor) -> Tensor {
+        a.map(f32::tanh)
+    }
+
+    pub(super) fn relu(a: &Tensor) -> Tensor {
+        a.map(|x| x.max(0.0))
+    }
+
+    pub(super) fn gather_rows(a: &Tensor, rows: &[u32]) -> Tensor {
+        let (n, m) = a.shape();
+        let mut v = Tensor::zeros(rows.len(), m);
+        for (i, &r) in rows.iter().enumerate() {
+            assert!((r as usize) < n, "gather row out of bounds");
+            let src = a.row(r as usize).to_vec();
+            v.data_mut()[i * m..(i + 1) * m].copy_from_slice(&src);
+        }
+        v
+    }
+
+    pub(super) fn pick(a: &Tensor, r: usize, c: usize) -> Tensor {
+        Tensor::from_vec(1, 1, vec![a.at(r, c)])
+    }
+
+    pub(super) fn masked_log_softmax(value: &Tensor, mask: &[bool]) -> Tensor {
+        assert_eq!(mask.len(), value.len(), "mask length");
+        assert!(mask.iter().any(|&m| m), "all entries masked");
+        let mut max = f32::NEG_INFINITY;
+        for (i, &x) in value.data().iter().enumerate() {
+            if mask[i] && x > max {
+                max = x;
+            }
+        }
+        let mut lse = 0.0f32;
+        for (i, &x) in value.data().iter().enumerate() {
+            if mask[i] {
+                lse += (x - max).exp();
+            }
+        }
+        let lse = lse.ln() + max;
+        let (r, c) = value.shape();
+        let data: Vec<f32> = value
+            .data()
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| if mask[i] { x - lse } else { f32::NEG_INFINITY })
+            .collect();
+        Tensor::from_vec(r, c, data)
+    }
+}
 
 /// Handle to a tensor recorded on a [`Tape`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -106,13 +242,13 @@ impl Tape {
 
     /// Dense matrix product `a · b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.value(a).matmul(self.value(b));
+        let v = kernel::matmul(self.value(a), self.value(b));
         self.push(v, Op::Matmul(a, b))
     }
 
     /// Sparse × dense product `csr · a` (no gradient flows to the CSR).
     pub fn spmm(&mut self, csr: &SharedCsr, a: Var) -> Var {
-        let v = csr.matmul(self.value(a));
+        let v = kernel::spmm(csr, self.value(a));
         self.push(v, Op::Spmm(Arc::clone(csr), a))
     }
 
@@ -121,9 +257,7 @@ impl Tape {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        assert_eq!(self.value(a).shape(), self.value(b).shape(), "add shapes");
-        let mut v = self.value(a).clone();
-        v.add_assign(self.value(b));
+        let v = kernel::add(self.value(a), self.value(b));
         self.push(v, Op::Add(a, b))
     }
 
@@ -132,18 +266,7 @@ impl Tape {
     /// # Panics
     /// Panics if `row` is not 1×m.
     pub fn add_row(&mut self, a: Var, row: Var) -> Var {
-        let (n, m) = self.value(a).shape();
-        assert_eq!(self.value(row).shape(), (1, m), "add_row shapes");
-        let mut v = self.value(a).clone();
-        {
-            let r = self.value(row).data().to_vec();
-            let d = v.data_mut();
-            for i in 0..n {
-                for j in 0..m {
-                    d[i * m + j] += r[j];
-                }
-            }
-        }
+        let v = kernel::add_row(self.value(a), self.value(row));
         self.push(v, Op::AddRow(a, row))
     }
 
@@ -152,18 +275,13 @@ impl Tape {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        assert_eq!(self.value(a).shape(), self.value(b).shape(), "mul shapes");
-        let bv = self.value(b).data().to_vec();
-        let mut v = self.value(a).clone();
-        for (x, y) in v.data_mut().iter_mut().zip(bv) {
-            *x *= y;
-        }
+        let v = kernel::mul(self.value(a), self.value(b));
         self.push(v, Op::Mul(a, b))
     }
 
     /// Multiplies by a compile-time constant.
     pub fn scale(&mut self, a: Var, k: f32) -> Var {
-        let v = self.value(a).map(|x| k * x);
+        let v = kernel::scale(self.value(a), k);
         self.push(v, Op::ScaleConst(a, k))
     }
 
@@ -172,9 +290,7 @@ impl Tape {
     /// # Panics
     /// Panics if `s` is not 1×1.
     pub fn scalar_mul(&mut self, s: Var, a: Var) -> Var {
-        assert_eq!(self.value(s).shape(), (1, 1), "scalar_mul gate shape");
-        let k = self.value(s).data()[0];
-        let v = self.value(a).map(|x| k * x);
+        let v = kernel::scalar_mul(self.value(s), self.value(a));
         self.push(v, Op::ScalarMul(s, a))
     }
 
@@ -184,38 +300,31 @@ impl Tape {
     /// # Panics
     /// Panics if `s` is not 1×1 or `a`/`b` shapes differ.
     pub fn mix(&mut self, s: Var, a: Var, b: Var) -> Var {
-        assert_eq!(self.value(s).shape(), (1, 1), "mix gate shape");
-        assert_eq!(self.value(a).shape(), self.value(b).shape(), "mix shapes");
-        let k = self.value(s).data()[0];
-        let bv = self.value(b).data().to_vec();
-        let mut v = self.value(a).clone();
-        for (x, y) in v.data_mut().iter_mut().zip(bv) {
-            *x = k * *x + (1.0 - k) * y;
-        }
+        let v = kernel::mix(self.value(s), self.value(a), self.value(b));
         self.push(v, Op::Mix(s, a, b))
     }
 
     /// Elementwise affine map `k·x + c`.
     pub fn affine(&mut self, a: Var, k: f32, c: f32) -> Var {
-        let v = self.value(a).map(|x| k * x + c);
+        let v = kernel::affine(self.value(a), k, c);
         self.push(v, Op::AffineScalar(a, k, c))
     }
 
     /// Elementwise logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let v = kernel::sigmoid(self.value(a));
         self.push(v, Op::Sigmoid(a))
     }
 
     /// Elementwise tanh.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(f32::tanh);
+        let v = kernel::tanh(self.value(a));
         self.push(v, Op::Tanh(a))
     }
 
     /// Elementwise ReLU.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| x.max(0.0));
+        let v = kernel::relu(self.value(a));
         self.push(v, Op::Relu(a))
     }
 
@@ -224,13 +333,7 @@ impl Tape {
     /// # Panics
     /// Panics if any index is out of bounds.
     pub fn gather_rows(&mut self, a: Var, rows: Arc<Vec<u32>>) -> Var {
-        let (n, m) = self.value(a).shape();
-        let mut v = Tensor::zeros(rows.len(), m);
-        for (i, &r) in rows.iter().enumerate() {
-            assert!((r as usize) < n, "gather row out of bounds");
-            let src = self.value(a).row(r as usize).to_vec();
-            v.data_mut()[i * m..(i + 1) * m].copy_from_slice(&src);
-        }
+        let v = kernel::gather_rows(self.value(a), &rows);
         self.push(v, Op::GatherRows(a, rows))
     }
 
@@ -239,7 +342,7 @@ impl Tape {
     /// # Panics
     /// Panics if out of bounds.
     pub fn pick(&mut self, a: Var, r: usize, c: usize) -> Var {
-        let v = Tensor::from_vec(1, 1, vec![self.value(a).at(r, c)]);
+        let v = kernel::pick(self.value(a), r, c);
         self.push(v, Op::Pick(a, r, c))
     }
 
@@ -251,30 +354,8 @@ impl Tape {
     /// Panics if the mask length differs from the element count or no entry
     /// is valid.
     pub fn masked_log_softmax(&mut self, a: Var, mask: Arc<Vec<bool>>) -> Var {
-        let value = self.value(a);
-        assert_eq!(mask.len(), value.len(), "mask length");
-        assert!(mask.iter().any(|&m| m), "all entries masked");
-        let mut max = f32::NEG_INFINITY;
-        for (i, &x) in value.data().iter().enumerate() {
-            if mask[i] && x > max {
-                max = x;
-            }
-        }
-        let mut lse = 0.0f32;
-        for (i, &x) in value.data().iter().enumerate() {
-            if mask[i] {
-                lse += (x - max).exp();
-            }
-        }
-        let lse = lse.ln() + max;
-        let (r, c) = value.shape();
-        let data: Vec<f32> = value
-            .data()
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| if mask[i] { x - lse } else { f32::NEG_INFINITY })
-            .collect();
-        self.push(Tensor::from_vec(r, c, data), Op::MaskedLogSoftmax(a, mask))
+        let v = kernel::masked_log_softmax(self.value(a), &mask);
+        self.push(v, Op::MaskedLogSoftmax(a, mask))
     }
 
     /// Runs reverse-mode differentiation from `loss` (which must be 1×1)
@@ -448,6 +529,209 @@ fn accumulate(grads: &mut [Option<Tensor>], v: Var, g: Tensor) {
     match &mut grads[v.index()] {
         Some(existing) => existing.add_assign(&g),
         slot @ None => *slot = Some(g),
+    }
+}
+
+/// The forward op set shared by the training [`Tape`] and the inference
+/// [`NoGradTape`]. Model code written against `T: TapeOps` runs unchanged
+/// on either executor; because both route every op through the same
+/// kernel, the computed values are bit-identical.
+pub trait TapeOps {
+    /// Records an input/parameter tensor.
+    fn leaf(&mut self, value: Tensor) -> Var;
+    /// The value of a recorded variable.
+    fn value(&self, v: Var) -> &Tensor;
+    /// Dense matrix product `a · b`.
+    fn matmul(&mut self, a: Var, b: Var) -> Var;
+    /// Sparse × dense product `csr · a`.
+    fn spmm(&mut self, csr: &SharedCsr, a: Var) -> Var;
+    /// Elementwise sum of two same-shape tensors.
+    fn add(&mut self, a: Var, b: Var) -> Var;
+    /// Adds a 1×m row vector to every row of an n×m matrix.
+    fn add_row(&mut self, a: Var, row: Var) -> Var;
+    /// Elementwise (Hadamard) product.
+    fn mul(&mut self, a: Var, b: Var) -> Var;
+    /// Multiplies by a compile-time constant.
+    fn scale(&mut self, a: Var, k: f32) -> Var;
+    /// Multiplies a tensor by a trainable 1×1 scalar.
+    fn scalar_mul(&mut self, s: Var, a: Var) -> Var;
+    /// Fused gated interpolation `s·a + (1−s)·b`.
+    fn mix(&mut self, s: Var, a: Var, b: Var) -> Var;
+    /// Elementwise affine map `k·x + c`.
+    fn affine(&mut self, a: Var, k: f32, c: f32) -> Var;
+    /// Elementwise logistic sigmoid.
+    fn sigmoid(&mut self, a: Var) -> Var;
+    /// Elementwise tanh.
+    fn tanh(&mut self, a: Var) -> Var;
+    /// Elementwise ReLU.
+    fn relu(&mut self, a: Var) -> Var;
+    /// Gathers the given rows of `a` into a new (k×m) tensor.
+    fn gather_rows(&mut self, a: Var, rows: Arc<Vec<u32>>) -> Var;
+    /// Extracts element `(r, c)` as a 1×1 tensor.
+    fn pick(&mut self, a: Var, r: usize, c: usize) -> Var;
+    /// Masked log-softmax over all elements of `a` (treated flat).
+    fn masked_log_softmax(&mut self, a: Var, mask: Arc<Vec<bool>>) -> Var;
+}
+
+impl TapeOps for Tape {
+    fn leaf(&mut self, value: Tensor) -> Var {
+        Tape::leaf(self, value)
+    }
+    fn value(&self, v: Var) -> &Tensor {
+        Tape::value(self, v)
+    }
+    fn matmul(&mut self, a: Var, b: Var) -> Var {
+        Tape::matmul(self, a, b)
+    }
+    fn spmm(&mut self, csr: &SharedCsr, a: Var) -> Var {
+        Tape::spmm(self, csr, a)
+    }
+    fn add(&mut self, a: Var, b: Var) -> Var {
+        Tape::add(self, a, b)
+    }
+    fn add_row(&mut self, a: Var, row: Var) -> Var {
+        Tape::add_row(self, a, row)
+    }
+    fn mul(&mut self, a: Var, b: Var) -> Var {
+        Tape::mul(self, a, b)
+    }
+    fn scale(&mut self, a: Var, k: f32) -> Var {
+        Tape::scale(self, a, k)
+    }
+    fn scalar_mul(&mut self, s: Var, a: Var) -> Var {
+        Tape::scalar_mul(self, s, a)
+    }
+    fn mix(&mut self, s: Var, a: Var, b: Var) -> Var {
+        Tape::mix(self, s, a, b)
+    }
+    fn affine(&mut self, a: Var, k: f32, c: f32) -> Var {
+        Tape::affine(self, a, k, c)
+    }
+    fn sigmoid(&mut self, a: Var) -> Var {
+        Tape::sigmoid(self, a)
+    }
+    fn tanh(&mut self, a: Var) -> Var {
+        Tape::tanh(self, a)
+    }
+    fn relu(&mut self, a: Var) -> Var {
+        Tape::relu(self, a)
+    }
+    fn gather_rows(&mut self, a: Var, rows: Arc<Vec<u32>>) -> Var {
+        Tape::gather_rows(self, a, rows)
+    }
+    fn pick(&mut self, a: Var, r: usize, c: usize) -> Var {
+        Tape::pick(self, a, r, c)
+    }
+    fn masked_log_softmax(&mut self, a: Var, mask: Arc<Vec<bool>>) -> Var {
+        Tape::masked_log_softmax(self, a, mask)
+    }
+}
+
+/// Inference-only executor: runs the forward op set while storing nothing
+/// but the computed values — no op records, no gradient machinery, and an
+/// explicit [`NoGradTape::truncate`] so a selection loop can drop each
+/// step's intermediates instead of growing without bound.
+#[derive(Debug, Default)]
+pub struct NoGradTape {
+    values: Vec<Tensor>,
+}
+
+impl NoGradTape {
+    /// An empty executor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether nothing has been computed.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Drops every value recorded after position `len`, invalidating their
+    /// [`Var`] handles. The caller must re-[`leaf`](TapeOps::leaf) any
+    /// tensor it still needs (the selection loop carries the previous
+    /// action embedding and recurrent state across a truncation this way).
+    pub fn truncate(&mut self, len: usize) {
+        self.values.truncate(len);
+    }
+
+    fn push(&mut self, value: Tensor) -> Var {
+        self.values.push(value);
+        Var(self.values.len() - 1)
+    }
+}
+
+impl TapeOps for NoGradTape {
+    fn leaf(&mut self, value: Tensor) -> Var {
+        self.push(value)
+    }
+    fn value(&self, v: Var) -> &Tensor {
+        &self.values[v.index()]
+    }
+    fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = kernel::matmul(self.value(a), self.value(b));
+        self.push(v)
+    }
+    fn spmm(&mut self, csr: &SharedCsr, a: Var) -> Var {
+        let v = kernel::spmm(csr, self.value(a));
+        self.push(v)
+    }
+    fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = kernel::add(self.value(a), self.value(b));
+        self.push(v)
+    }
+    fn add_row(&mut self, a: Var, row: Var) -> Var {
+        let v = kernel::add_row(self.value(a), self.value(row));
+        self.push(v)
+    }
+    fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = kernel::mul(self.value(a), self.value(b));
+        self.push(v)
+    }
+    fn scale(&mut self, a: Var, k: f32) -> Var {
+        let v = kernel::scale(self.value(a), k);
+        self.push(v)
+    }
+    fn scalar_mul(&mut self, s: Var, a: Var) -> Var {
+        let v = kernel::scalar_mul(self.value(s), self.value(a));
+        self.push(v)
+    }
+    fn mix(&mut self, s: Var, a: Var, b: Var) -> Var {
+        let v = kernel::mix(self.value(s), self.value(a), self.value(b));
+        self.push(v)
+    }
+    fn affine(&mut self, a: Var, k: f32, c: f32) -> Var {
+        let v = kernel::affine(self.value(a), k, c);
+        self.push(v)
+    }
+    fn sigmoid(&mut self, a: Var) -> Var {
+        let v = kernel::sigmoid(self.value(a));
+        self.push(v)
+    }
+    fn tanh(&mut self, a: Var) -> Var {
+        let v = kernel::tanh(self.value(a));
+        self.push(v)
+    }
+    fn relu(&mut self, a: Var) -> Var {
+        let v = kernel::relu(self.value(a));
+        self.push(v)
+    }
+    fn gather_rows(&mut self, a: Var, rows: Arc<Vec<u32>>) -> Var {
+        let v = kernel::gather_rows(self.value(a), &rows);
+        self.push(v)
+    }
+    fn pick(&mut self, a: Var, r: usize, c: usize) -> Var {
+        let v = kernel::pick(self.value(a), r, c);
+        self.push(v)
+    }
+    fn masked_log_softmax(&mut self, a: Var, mask: Arc<Vec<bool>>) -> Var {
+        let v = kernel::masked_log_softmax(self.value(a), &mask);
+        self.push(v)
     }
 }
 
@@ -656,6 +940,65 @@ mod tests {
         for i in 0..4 {
             assert!((tape.value(fused).data()[i] - tape.value(slow).data()[i]).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn no_grad_matches_tape_bit_for_bit() {
+        fn chain<T: TapeOps>(t: &mut T) -> Var {
+            let x = t.leaf(Tensor::from_vec(2, 3, vec![0.3, -1.2, 2.0, 0.7, -0.1, 0.9]));
+            let w = t.leaf(Tensor::from_vec(
+                3,
+                2,
+                vec![0.5, -0.25, 1.5, 0.75, -0.5, 0.1],
+            ));
+            let h = t.matmul(x, w);
+            let b = t.leaf(Tensor::from_vec(1, 2, vec![0.05, -0.1]));
+            let h = t.add_row(h, b);
+            let s = t.sigmoid(h);
+            let th = t.tanh(h);
+            let m = t.mul(s, th);
+            let g = t.leaf(Tensor::from_vec(1, 1, vec![0.37]));
+            let mixed = t.mix(g, m, h);
+            let scaled = t.affine(mixed, 1.3, -0.2);
+            let r = t.relu(scaled);
+            let rows = Arc::new(vec![1u32]);
+            let picked_row = t.gather_rows(r, rows);
+            let mask = Arc::new(vec![true, false]);
+            let col = t.leaf(Tensor::from_vec(2, 1, vec![1.0, -1.0]));
+            let scores = t.matmul(picked_row, col);
+            // scores is 1×1; build a 2×1 vector for the softmax instead.
+            let two = t.leaf(Tensor::from_vec(2, 1, vec![0.2, 5.0]));
+            let sm = t.masked_log_softmax(two, mask);
+            let p = t.pick(sm, 0, 0);
+            let sum = t.add(p, scores);
+            t.scale(sum, 2.0)
+        }
+        let mut tape = Tape::new();
+        let a = chain(&mut tape);
+        let mut ng = NoGradTape::new();
+        let b = chain(&mut ng);
+        assert_eq!(
+            tape.value(a).data(),
+            ng.value(b).data(),
+            "no-grad forward diverged from the training tape"
+        );
+    }
+
+    #[test]
+    fn no_grad_truncate_reclaims_and_releafs() {
+        let mut t = NoGradTape::new();
+        let w = t.leaf(Tensor::from_vec(1, 1, vec![2.0]));
+        let base = t.len();
+        let mut carry = t.leaf(Tensor::from_vec(1, 1, vec![1.0]));
+        for _ in 0..5 {
+            let next = t.mul(carry, w);
+            let v = t.value(next).clone();
+            t.truncate(base);
+            assert_eq!(t.len(), base);
+            carry = t.leaf(v);
+        }
+        assert_eq!(t.value(carry).data()[0], 32.0);
+        assert!(!t.is_empty());
     }
 
     #[test]

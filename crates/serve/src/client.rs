@@ -1,0 +1,58 @@
+//! Blocking TCP client for the framed serve protocol (`rlccd query`
+//! speaks through this).
+
+use crate::protocol::{read_frame, write_frame, QueryRequest, Request, Response};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One connection to a serve endpoint. Requests are pipelined one at a
+/// time: send a frame, read a frame.
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7878"`).
+    ///
+    /// # Errors
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self { stream })
+    }
+
+    /// Caps how long a single response read may block.
+    ///
+    /// # Errors
+    /// Propagates socket-option failures.
+    pub fn set_timeout(&self, timeout: Duration) -> io::Result<()> {
+        self.stream.set_read_timeout(Some(timeout))
+    }
+
+    /// Sends one query and blocks for the response.
+    ///
+    /// # Errors
+    /// I/O failures, or `InvalidData` when the server's payload does not
+    /// parse.
+    pub fn query(&mut self, request: QueryRequest) -> io::Result<Response> {
+        self.roundtrip(&Request::Query(request))
+    }
+
+    /// Sends the admin shutdown request; the server acknowledges and
+    /// begins draining.
+    ///
+    /// # Errors
+    /// Same as [`ServeClient::query`].
+    pub fn shutdown(&mut self) -> io::Result<Response> {
+        self.roundtrip(&Request::Shutdown)
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &request.encode())?;
+        let payload = read_frame(&mut self.stream)?;
+        Response::decode(&payload).map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))
+    }
+}

@@ -1,0 +1,547 @@
+//! Wire protocol: length-prefixed frames carrying versioned text payloads.
+//!
+//! # Framing
+//!
+//! Every message — request or response — is one frame: a 4-byte big-endian
+//! payload length followed by that many payload bytes. Frames are capped at
+//! [`MAX_FRAME_LEN`] so a corrupt or hostile length prefix cannot force a
+//! huge allocation. Length-prefix framing keeps the stream self-delimiting:
+//! a reader never has to scan for terminators, and pipelined messages on
+//! one connection cannot bleed into each other.
+//!
+//! # Payload
+//!
+//! The payload is UTF-8 text. Line 1 is always the protocol version token
+//! [`PROTOCOL_VERSION`]; mismatched versions are rejected before any field
+//! is parsed, so the format can evolve by bumping the token. Line 2 is the
+//! message head (`query …` / `shutdown` / `ok …` / `err …`) with
+//! `key=value` fields; `ok` responses carry the selection on line 3.
+//! Unknown keys are ignored by readers, so fields can be added without a
+//! version bump.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::str::FromStr;
+
+/// Version token on the first line of every payload.
+pub const PROTOCOL_VERSION: &str = "rl-ccd-serve v1";
+
+/// Hard cap on a frame's payload length (1 MiB).
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+/// `InvalidInput` when the payload exceeds [`MAX_FRAME_LEN`]; otherwise
+/// propagates I/O errors.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME_LEN", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame.
+///
+/// # Errors
+/// `InvalidData` when the length prefix exceeds [`MAX_FRAME_LEN`];
+/// otherwise propagates I/O errors (including `UnexpectedEof` on a torn
+/// frame).
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
+    let mut header = [0u8; 4];
+    r.read_exact(&mut header)?;
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME_LEN"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Identity of a design the server can synthesize an environment for:
+/// the generator is deterministic, so `name:cells:tech:seed` fully pins
+/// the netlist, its timing report, features, and cone-overlap masks —
+/// which is exactly what the design cache keys on.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DesignKey {
+    /// Design name (no `:` allowed).
+    pub name: String,
+    /// Target cell count.
+    pub cells: usize,
+    /// Technology node display name (e.g. "7nm").
+    pub tech: String,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl fmt::Display for DesignKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}:{}",
+            self.name, self.cells, self.tech, self.seed
+        )
+    }
+}
+
+impl FromStr for DesignKey {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() != 4 {
+            return Err(format!("design {s:?} is not name:cells:tech:seed"));
+        }
+        let cells = parts[1]
+            .parse()
+            .map_err(|_| format!("bad cell count {:?}", parts[1]))?;
+        let seed = parts[3]
+            .parse()
+            .map_err(|_| format!("bad seed {:?}", parts[3]))?;
+        if parts[0].is_empty() {
+            return Err("empty design name".into());
+        }
+        Ok(Self {
+            name: parts[0].to_string(),
+            cells,
+            tech: parts[2].to_string(),
+            seed,
+        })
+    }
+}
+
+/// How the policy turns embeddings into a selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Deterministic argmax trajectory.
+    Greedy,
+    /// Stochastic trajectory from this RNG seed.
+    Sample(u64),
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::Greedy => write!(f, "greedy"),
+            Mode::Sample(seed) => write!(f, "sample:{seed}"),
+        }
+    }
+}
+
+impl FromStr for Mode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "greedy" {
+            return Ok(Mode::Greedy);
+        }
+        if let Some(seed) = s.strip_prefix("sample:") {
+            return seed
+                .parse()
+                .map(Mode::Sample)
+                .map_err(|_| format!("bad sample seed {seed:?}"));
+        }
+        Err(format!("mode {s:?} is neither greedy nor sample:<seed>"))
+    }
+}
+
+/// One endpoint-selection query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryRequest {
+    /// Registry name of the model to answer with.
+    pub model: String,
+    /// The design to select endpoints on.
+    pub design: DesignKey,
+    /// Greedy or seeded-sample decoding.
+    pub mode: Mode,
+    /// Give up (typed `deadline` error) if not dispatched within this many
+    /// milliseconds of submission.
+    pub deadline_ms: Option<u64>,
+}
+
+/// A decoded client message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Endpoint-selection query.
+    Query(QueryRequest),
+    /// Admin: drain and stop the server.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes to a protocol payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let body = match self {
+            Request::Query(q) => {
+                let mut line = format!(
+                    "query model={} design={} mode={}",
+                    q.model, q.design, q.mode
+                );
+                if let Some(ms) = q.deadline_ms {
+                    line.push_str(&format!(" deadline_ms={ms}"));
+                }
+                line
+            }
+            Request::Shutdown => "shutdown".to_string(),
+        };
+        format!("{PROTOCOL_VERSION}\n{body}\n").into_bytes()
+    }
+
+    /// Parses a protocol payload.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violation (bad version,
+    /// unknown head, missing or malformed field).
+    pub fn decode(payload: &[u8]) -> Result<Self, String> {
+        let (head, _rest) = split_versioned(payload)?;
+        if head == "shutdown" {
+            return Ok(Request::Shutdown);
+        }
+        let fields = head
+            .strip_prefix("query ")
+            .ok_or_else(|| format!("unknown request {head:?}"))?;
+        let mut model = None;
+        let mut design = None;
+        let mut mode = None;
+        let mut deadline_ms = None;
+        for field in fields.split_whitespace() {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("field {field:?} is not key=value"))?;
+            match key {
+                "model" => model = Some(value.to_string()),
+                "design" => design = Some(value.parse()?),
+                "mode" => mode = Some(value.parse()?),
+                "deadline_ms" => {
+                    deadline_ms = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("bad deadline_ms {value:?}"))?,
+                    );
+                }
+                _ => {} // forward compatibility: ignore unknown keys
+            }
+        }
+        Ok(Request::Query(QueryRequest {
+            model: model.ok_or("query missing model=")?,
+            design: design.ok_or("query missing design=")?,
+            mode: mode.ok_or("query missing mode=")?,
+            deadline_ms,
+        }))
+    }
+}
+
+/// Typed rejection categories — every error a client can receive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectKind {
+    /// The bounded request queue is full (backpressure); retry later.
+    Busy,
+    /// The request's deadline passed before a worker dispatched it.
+    Deadline,
+    /// The server is draining; no new requests are accepted.
+    ShuttingDown,
+    /// The request was malformed.
+    BadRequest,
+    /// No model with that name in the registry.
+    UnknownModel,
+    /// Unexpected server-side failure.
+    Internal,
+}
+
+impl RejectKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            RejectKind::Busy => "busy",
+            RejectKind::Deadline => "deadline",
+            RejectKind::ShuttingDown => "shutting_down",
+            RejectKind::BadRequest => "bad_request",
+            RejectKind::UnknownModel => "unknown_model",
+            RejectKind::Internal => "internal",
+        }
+    }
+}
+
+impl fmt::Display for RejectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for RejectKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "busy" => Ok(RejectKind::Busy),
+            "deadline" => Ok(RejectKind::Deadline),
+            "shutting_down" => Ok(RejectKind::ShuttingDown),
+            "bad_request" => Ok(RejectKind::BadRequest),
+            "unknown_model" => Ok(RejectKind::UnknownModel),
+            "internal" => Ok(RejectKind::Internal),
+            _ => Err(format!("unknown reject kind {s:?}")),
+        }
+    }
+}
+
+/// A successful selection answer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryReply {
+    /// Model that answered.
+    pub model: String,
+    /// Model version (the checkpoint's next training iteration).
+    pub version: usize,
+    /// Trajectory length (`selection.len()`).
+    pub steps: usize,
+    /// Number of requests in the batch this one was dispatched with.
+    pub batch: usize,
+    /// Whether the selection came from the memoized-selection cache.
+    pub cached: bool,
+    /// Selected endpoint indices, in selection order.
+    pub selection: Vec<usize>,
+}
+
+/// A decoded server message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// The selection.
+    Ok(QueryReply),
+    /// A typed rejection.
+    Err {
+        /// Rejection category.
+        kind: RejectKind,
+        /// Human-readable detail.
+        msg: String,
+    },
+}
+
+impl Response {
+    /// Convenience constructor for error responses.
+    pub fn reject(kind: RejectKind, msg: impl Into<String>) -> Self {
+        Response::Err {
+            kind,
+            msg: msg.into(),
+        }
+    }
+
+    /// Serializes to a protocol payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Ok(r) => {
+                let selection: Vec<String> = r.selection.iter().map(|e| e.to_string()).collect();
+                format!(
+                    "{PROTOCOL_VERSION}\nok model={} version={} steps={} batch={} cached={}\nselection={}\n",
+                    r.model,
+                    r.version,
+                    r.steps,
+                    r.batch,
+                    u8::from(r.cached),
+                    selection.join(",")
+                )
+                .into_bytes()
+            }
+            Response::Err { kind, msg } => {
+                // msg is the whole remainder of the line; newlines stripped
+                // so it cannot forge extra lines.
+                let msg = msg.replace('\n', " ");
+                format!("{PROTOCOL_VERSION}\nerr kind={kind} msg={msg}\n").into_bytes()
+            }
+        }
+    }
+
+    /// Parses a protocol payload.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violation.
+    pub fn decode(payload: &[u8]) -> Result<Self, String> {
+        let (head, rest) = split_versioned(payload)?;
+        if let Some(fields) = head.strip_prefix("err ") {
+            let kind = fields
+                .strip_prefix("kind=")
+                .and_then(|s| s.split_whitespace().next())
+                .ok_or("err missing kind=")?
+                .parse()?;
+            let msg = fields
+                .split_once("msg=")
+                .map(|(_, m)| m.to_string())
+                .unwrap_or_default();
+            return Ok(Response::Err { kind, msg });
+        }
+        let fields = head
+            .strip_prefix("ok ")
+            .ok_or_else(|| format!("unknown response {head:?}"))?;
+        let mut model = None;
+        let mut version = None;
+        let mut steps = None;
+        let mut batch = None;
+        let mut cached = None;
+        for field in fields.split_whitespace() {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("field {field:?} is not key=value"))?;
+            let parsed = || {
+                value
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad {key}={value}"))
+            };
+            match key {
+                "model" => model = Some(value.to_string()),
+                "version" => version = Some(parsed()?),
+                "steps" => steps = Some(parsed()?),
+                "batch" => batch = Some(parsed()?),
+                "cached" => cached = Some(value == "1"),
+                _ => {}
+            }
+        }
+        let sel_line = rest
+            .lines()
+            .next()
+            .and_then(|l| l.strip_prefix("selection="))
+            .ok_or("ok response missing selection= line")?;
+        let selection = if sel_line.is_empty() {
+            Vec::new()
+        } else {
+            sel_line
+                .split(',')
+                .map(|s| s.parse().map_err(|_| format!("bad selection entry {s:?}")))
+                .collect::<Result<_, String>>()?
+        };
+        Ok(Response::Ok(QueryReply {
+            model: model.ok_or("ok missing model=")?,
+            version: version.ok_or("ok missing version=")?,
+            steps: steps.ok_or("ok missing steps=")?,
+            batch: batch.ok_or("ok missing batch=")?,
+            cached: cached.ok_or("ok missing cached=")?,
+            selection,
+        }))
+    }
+}
+
+/// Checks the version line and returns (second line, remaining lines).
+fn split_versioned(payload: &[u8]) -> Result<(&str, &str), String> {
+    let text = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
+    let (version, rest) = text
+        .split_once('\n')
+        .ok_or_else(|| "payload has no version line".to_string())?;
+    if version != PROTOCOL_VERSION {
+        return Err(format!(
+            "protocol version {version:?}, this server speaks {PROTOCOL_VERSION:?}"
+        ));
+    }
+    let (head, rest) = rest.split_once('\n').unwrap_or((rest, ""));
+    Ok((head, rest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> DesignKey {
+        DesignKey {
+            name: "demo".into(),
+            cells: 400,
+            tech: "7nm".into(),
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert!(read_frame(&mut r).is_err(), "stream exhausted");
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_both_ways() {
+        let mut buf = Vec::new();
+        let too_big = vec![0u8; MAX_FRAME_LEN + 1];
+        assert!(write_frame(&mut buf, &too_big).is_err());
+        let forged = (MAX_FRAME_LEN as u32 + 1).to_be_bytes();
+        assert!(read_frame(&mut &forged[..]).is_err());
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in [
+            Request::Query(QueryRequest {
+                model: "default".into(),
+                design: key(),
+                mode: Mode::Greedy,
+                deadline_ms: None,
+            }),
+            Request::Query(QueryRequest {
+                model: "m2".into(),
+                design: key(),
+                mode: Mode::Sample(99),
+                deadline_ms: Some(250),
+            }),
+            Request::Shutdown,
+        ] {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in [
+            Response::Ok(QueryReply {
+                model: "default".into(),
+                version: 12,
+                steps: 3,
+                batch: 4,
+                cached: true,
+                selection: vec![5, 0, 17],
+            }),
+            Response::Ok(QueryReply {
+                model: "default".into(),
+                version: 0,
+                steps: 0,
+                batch: 1,
+                cached: false,
+                selection: vec![],
+            }),
+            Response::reject(RejectKind::Busy, "queue full (64)"),
+            Response::reject(RejectKind::Deadline, ""),
+        ] {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_before_parsing() {
+        let err = Request::decode(b"rl-ccd-serve v2\nshutdown\n").unwrap_err();
+        assert!(err.contains("version"), "{err}");
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored_for_forward_compatibility() {
+        let payload =
+            format!("{PROTOCOL_VERSION}\nquery model=m design=d:10:7nm:1 mode=greedy future=x\n");
+        assert!(matches!(
+            Request::decode(payload.as_bytes()).unwrap(),
+            Request::Query(_)
+        ));
+    }
+
+    #[test]
+    fn design_key_rejects_malformed_strings() {
+        assert!("a:b:c".parse::<DesignKey>().is_err());
+        assert!("a:ten:7nm:1".parse::<DesignKey>().is_err());
+        assert!(":10:7nm:1".parse::<DesignKey>().is_err());
+        let k: DesignKey = "demo:400:7nm:7".parse().unwrap();
+        assert_eq!(k, key());
+    }
+}

@@ -1,0 +1,730 @@
+//! The server: worker pool, batch execution, TCP front-end, graceful drain.
+//!
+//! Life of a request: a client (in-process [`ServeHandle`] or TCP
+//! connection) submits a [`QueryRequest`] with a reply channel; the
+//! scheduler queues it (or rejects with typed backpressure); a worker
+//! collects a dynamic batch, groups it by (model, design) so each group
+//! resolves its environment **once** through the LRU cache, computes each
+//! selection on the inference-only no-grad fast path, and sends every
+//! reply. Greedy results are memoized per (model fingerprint, design).
+//!
+//! Shutdown is a drain, never a drop: [`Server::shutdown`] flips the queue
+//! to draining (new submissions get `shutting_down`), wakes everything,
+//! joins the workers after they empty the backlog, and returns a
+//! [`DrainReport`] whose `dropped()` is zero exactly when every accepted
+//! request was answered.
+
+use crate::cache::{EnvCache, SelectionCache};
+use crate::protocol::{Mode, QueryReply, QueryRequest, RejectKind, Request, Response};
+use crate::registry::ModelRegistry;
+use crate::scheduler::{Job, Scheduler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl_ccd::{sample_endpoints, select_endpoints};
+use rl_ccd_netlist::EndpointId;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Largest batch a worker dispatches at once.
+    pub max_batch: usize,
+    /// How long a worker holds an open batch for more requests to arrive.
+    pub window: Duration,
+    /// Bounded queue capacity; submissions beyond it get `busy`.
+    pub queue_capacity: usize,
+    /// Worker threads executing batches.
+    pub workers: usize,
+    /// LRU capacity of the design-environment cache.
+    pub env_cache: usize,
+    /// LRU capacity of the memoized greedy-selection cache.
+    pub selection_cache: usize,
+    /// Message-passing fanout cap for environment construction.
+    pub fanout_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            window: Duration::from_millis(2),
+            queue_capacity: 64,
+            workers: 2,
+            env_cache: 4,
+            selection_cache: 64,
+            fanout_cap: 24,
+        }
+    }
+}
+
+/// Atomic lifetime counters plus the per-batch-size census.
+#[derive(Debug, Default)]
+struct Stats {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    rejected_busy: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    deadline_expired: AtomicU64,
+    batches: Mutex<BTreeMap<usize, u64>>,
+}
+
+/// A point-in-time copy of the server's counters.
+#[derive(Clone, Debug)]
+pub struct ServeStats {
+    /// Requests admitted into the queue.
+    pub accepted: u64,
+    /// Requests answered (selections, deadline errors, internal errors —
+    /// every delivered reply).
+    pub completed: u64,
+    /// Submissions rejected because the queue was full.
+    pub rejected_busy: u64,
+    /// Submissions rejected because the server was draining.
+    pub rejected_shutdown: u64,
+    /// Accepted requests whose deadline passed before dispatch.
+    pub deadline_expired: u64,
+    /// batch size → number of batches dispatched at that size.
+    pub batches: BTreeMap<usize, u64>,
+}
+
+impl ServeStats {
+    /// Weighted median batch size (0 when no batch was dispatched) — the
+    /// acceptance metric for "dynamic batching actually batches".
+    pub fn batch_p50(&self) -> usize {
+        let total: u64 = self.batches.values().sum();
+        if total == 0 {
+            return 0;
+        }
+        let mut seen = 0;
+        for (&size, &count) in &self.batches {
+            seen += count;
+            if seen * 2 >= total {
+                return size;
+            }
+        }
+        0
+    }
+}
+
+/// Drain outcome returned by [`Server::shutdown`].
+#[derive(Clone, Debug)]
+pub struct DrainReport {
+    /// Final counters.
+    pub stats: ServeStats,
+    /// Jobs still queued after the workers exited (must be 0).
+    pub abandoned_queue: usize,
+}
+
+impl DrainReport {
+    /// Accepted requests that never got a reply — 0 on a clean drain.
+    pub fn dropped(&self) -> u64 {
+        (self.stats.accepted - self.stats.completed) + self.abandoned_queue as u64
+    }
+}
+
+struct Shared {
+    registry: ModelRegistry,
+    scheduler: Scheduler,
+    envs: EnvCache,
+    selections: SelectionCache,
+    stats: Stats,
+    draining: AtomicBool,
+    recorder: Option<rl_ccd_obs::Recorder>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("models", &self.registry.names())
+            .field("queue_depth", &self.scheduler.depth())
+            .finish()
+    }
+}
+
+/// A running inference server.
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    listener: Option<ListenerState>,
+}
+
+#[derive(Debug)]
+struct ListenerState {
+    addr: SocketAddr,
+    accept_thread: JoinHandle<()>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+/// Cheap in-process client — the same queue and typed rejections as TCP,
+/// minus the socket. Clone freely across threads.
+#[derive(Clone, Debug)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Starts the worker pool over `registry` and returns the running
+    /// server. The current observability recorder (if one is attached on
+    /// the calling thread) is captured and re-attached inside every
+    /// worker and connection thread.
+    pub fn start(registry: ModelRegistry, config: ServeConfig) -> Self {
+        let shared = Arc::new(Shared {
+            registry,
+            scheduler: Scheduler::new(config.queue_capacity),
+            envs: EnvCache::new(config.env_cache, config.fanout_cap),
+            selections: SelectionCache::new(config.selection_cache),
+            stats: Stats::default(),
+            draining: AtomicBool::new(false),
+            recorder: rl_ccd_obs::current(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|w| {
+                let shared = shared.clone();
+                let max_batch = config.max_batch;
+                let window = config.window;
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, max_batch, window))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            listener: None,
+        }
+    }
+
+    /// An in-process client handle.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.snapshot()
+    }
+
+    /// Binds the TCP front-end (e.g. `"127.0.0.1:0"` for an ephemeral
+    /// port) and starts accepting framed connections. Returns the bound
+    /// address.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn bind(&mut self, addr: &str) -> std::io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let shared = self.shared.clone();
+        let conns_in_accept = conns.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || {
+                let _obs = shared.recorder.as_ref().map(rl_ccd_obs::attach);
+                for stream in listener.incoming() {
+                    if shared.draining.load(Ordering::SeqCst) {
+                        break; // the drain's wake-up connection lands here
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let shared = shared.clone();
+                    let conn = std::thread::Builder::new()
+                        .name("serve-conn".into())
+                        .spawn(move || connection_loop(&shared, stream))
+                        .expect("spawn serve connection");
+                    conns_in_accept.lock().expect("conn list lock").push(conn);
+                }
+            })
+            .expect("spawn serve accept loop");
+        self.listener = Some(ListenerState {
+            addr: local,
+            accept_thread,
+            conns,
+        });
+        Ok(local)
+    }
+
+    /// The bound TCP address, when [`Server::bind`] was called.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.listener.as_ref().map(|l| l.addr)
+    }
+
+    /// Whether a client has sent the admin `shutdown` request (the CLI
+    /// polls this and then calls [`Server::shutdown`]).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Graceful drain: stop accepting, answer everything already queued,
+    /// join all threads, report the final accounting.
+    pub fn shutdown(self) -> DrainReport {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.scheduler.drain();
+        if let Some(listener) = self.listener {
+            // Unblock the accept loop with one throwaway connection.
+            let _ = TcpStream::connect(listener.addr);
+            let _ = listener.accept_thread.join();
+            let conns = std::mem::take(&mut *listener.conns.lock().expect("conn list lock"));
+            for conn in conns {
+                let _ = conn.join();
+            }
+        }
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        let abandoned_queue = self.shared.scheduler.depth();
+        DrainReport {
+            stats: self.shared.snapshot(),
+            abandoned_queue,
+        }
+    }
+}
+
+impl ServeHandle {
+    /// Submits a query and blocks for its response. Typed rejections
+    /// (busy, shutting down, deadline) come back as [`Response::Err`],
+    /// never as a panic or a hang.
+    pub fn query(&self, request: QueryRequest) -> Response {
+        let (tx, rx) = mpsc::channel();
+        match self.shared.submit(request, tx) {
+            Err(kind) => Response::reject(kind, rejection_message(kind)),
+            Ok(()) => rx.recv().unwrap_or_else(|_| {
+                Response::reject(RejectKind::Internal, "worker dropped the reply channel")
+            }),
+        }
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.snapshot()
+    }
+}
+
+fn rejection_message(kind: RejectKind) -> &'static str {
+    match kind {
+        RejectKind::Busy => "request queue is full, retry later",
+        RejectKind::ShuttingDown => "server is draining",
+        _ => "rejected",
+    }
+}
+
+impl Shared {
+    fn submit(
+        &self,
+        request: QueryRequest,
+        reply: mpsc::Sender<Response>,
+    ) -> Result<(), RejectKind> {
+        let now = Instant::now();
+        let deadline = request
+            .deadline_ms
+            .map(|ms| now + Duration::from_millis(ms));
+        let job = Job {
+            request,
+            reply,
+            enqueued: now,
+            deadline,
+        };
+        match self.scheduler.submit(job) {
+            Ok(()) => {
+                self.stats.accepted.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
+            Err(kind) => {
+                let counter = match kind {
+                    RejectKind::Busy => &self.stats.rejected_busy,
+                    _ => &self.stats.rejected_shutdown,
+                };
+                counter.fetch_add(1, Ordering::SeqCst);
+                rl_ccd_obs::counter!("serve.rejected", 1);
+                Err(kind)
+            }
+        }
+    }
+
+    fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            accepted: self.stats.accepted.load(Ordering::SeqCst),
+            completed: self.stats.completed.load(Ordering::SeqCst),
+            rejected_busy: self.stats.rejected_busy.load(Ordering::SeqCst),
+            rejected_shutdown: self.stats.rejected_shutdown.load(Ordering::SeqCst),
+            deadline_expired: self.stats.deadline_expired.load(Ordering::SeqCst),
+            batches: self
+                .stats
+                .batches
+                .lock()
+                .expect("batch census lock")
+                .clone(),
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, max_batch: usize, window: Duration) {
+    let _obs = shared.recorder.as_ref().map(rl_ccd_obs::attach);
+    while let Some(batch) = shared.scheduler.next_batch(max_batch, window) {
+        let _span = rl_ccd_obs::span!("serve.batch", size = batch.len() as u64);
+        rl_ccd_obs::observe!("serve.batch.size", batch.len() as f64);
+        *shared
+            .stats
+            .batches
+            .lock()
+            .expect("batch census lock")
+            .entry(batch.len())
+            .or_insert(0) += 1;
+        execute_batch(shared, batch);
+    }
+}
+
+/// Answers every job in the batch. Jobs are grouped by (model, design) so
+/// each group resolves its environment once; within a group the greedy
+/// selection is computed at most once and memoized across batches.
+fn execute_batch(shared: &Shared, batch: Vec<Job>) {
+    let batch_size = batch.len();
+    let now = Instant::now();
+    let mut groups: BTreeMap<(String, String), Vec<Job>> = BTreeMap::new();
+    let mut live: Vec<Job> = Vec::with_capacity(batch.len());
+    for job in batch {
+        if job.deadline.is_some_and(|d| now > d) {
+            shared.stats.deadline_expired.fetch_add(1, Ordering::SeqCst);
+            rl_ccd_obs::counter!("serve.deadline_expired", 1);
+            finish(
+                shared,
+                &job,
+                Response::reject(RejectKind::Deadline, "deadline passed in queue"),
+            );
+            continue;
+        }
+        live.push(job);
+    }
+    for job in live {
+        let key = (job.request.model.clone(), job.request.design.to_string());
+        groups.entry(key).or_default().push(job);
+    }
+    for ((model_name, _), jobs) in groups {
+        let Some(model) = shared.registry.get(&model_name) else {
+            for job in jobs {
+                let msg = format!("no model {model_name:?} in the registry");
+                finish(
+                    shared,
+                    &job,
+                    Response::reject(RejectKind::UnknownModel, msg),
+                );
+            }
+            continue;
+        };
+        // One environment resolution for the whole group.
+        let env = match shared.envs.get_or_build(&jobs[0].request.design) {
+            Ok(env) => env,
+            Err(msg) => {
+                for job in jobs {
+                    finish(
+                        shared,
+                        &job,
+                        Response::reject(RejectKind::BadRequest, msg.clone()),
+                    );
+                }
+                continue;
+            }
+        };
+        let mut greedy: Option<Arc<Vec<EndpointId>>> = None;
+        let mut greedy_was_cached = false;
+        for job in jobs {
+            let (selection, cached) = match job.request.mode {
+                Mode::Greedy => {
+                    if greedy.is_none() {
+                        let key = &job.request.design;
+                        if let Some(hit) = shared.selections.get(model.fingerprint, key) {
+                            greedy = Some(hit);
+                            greedy_was_cached = true;
+                        } else {
+                            let fresh =
+                                Arc::new(select_endpoints(&model.model, &model.params, &env));
+                            shared
+                                .selections
+                                .insert(model.fingerprint, key, fresh.clone());
+                            greedy = Some(fresh);
+                        }
+                    }
+                    (
+                        greedy.clone().expect("greedy computed above"),
+                        greedy_was_cached,
+                    )
+                }
+                Mode::Sample(seed) => {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    (
+                        Arc::new(sample_endpoints(
+                            &model.model,
+                            &model.params,
+                            &env,
+                            &mut rng,
+                        )),
+                        false,
+                    )
+                }
+            };
+            let reply = QueryReply {
+                model: model.name.clone(),
+                version: model.version,
+                steps: selection.len(),
+                batch: batch_size,
+                cached,
+                selection: selection.iter().map(|e| e.index()).collect(),
+            };
+            finish(shared, &job, Response::Ok(reply));
+        }
+    }
+}
+
+/// Delivers a reply and records completion + latency. A client that hung
+/// up is still a completed request — the server held up its side.
+fn finish(shared: &Shared, job: &Job, response: Response) {
+    let latency_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+    rl_ccd_obs::observe!("serve.request.latency_ms", latency_ms);
+    rl_ccd_obs::counter!("serve.completed", 1);
+    shared.stats.completed.fetch_add(1, Ordering::SeqCst);
+    let _ = job.reply.send(response);
+}
+
+/// One TCP connection: framed requests in, framed responses out, until
+/// EOF, a fatal stream error, or the server drains.
+fn connection_loop(shared: &Shared, stream: TcpStream) {
+    let _obs = shared.recorder.as_ref().map(rl_ccd_obs::attach);
+    // Short read timeout so an idle connection re-checks the drain flag.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut reader = stream.try_clone().expect("clone stream");
+    let mut writer = stream;
+    loop {
+        match crate::protocol::read_frame(&mut reader) {
+            Ok(payload) => {
+                let response = match Request::decode(&payload) {
+                    Err(msg) => Response::reject(RejectKind::BadRequest, msg),
+                    Ok(Request::Shutdown) => {
+                        // Acknowledge, then let the controlling process
+                        // call Server::shutdown; the connection ends here.
+                        let ack = Response::Ok(QueryReply {
+                            model: String::new(),
+                            version: 0,
+                            steps: 0,
+                            batch: 0,
+                            cached: false,
+                            selection: vec![],
+                        });
+                        let _ = crate::protocol::write_frame(&mut writer, &ack.encode());
+                        shared.draining.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                    Ok(Request::Query(q)) => {
+                        let (tx, rx) = mpsc::channel();
+                        match shared.submit(q, tx) {
+                            Err(kind) => Response::reject(kind, rejection_message(kind)),
+                            Ok(()) => rx.recv().unwrap_or_else(|_| {
+                                Response::reject(
+                                    RejectKind::Internal,
+                                    "worker dropped the reply channel",
+                                )
+                            }),
+                        }
+                    }
+                };
+                if crate::protocol::write_frame(&mut writer, &response.encode()).is_err() {
+                    return;
+                }
+                let _ = writer.flush();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return, // EOF or fatal stream error
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::DesignKey;
+    use rl_ccd::{RlCcd, RlConfig};
+
+    fn design(name: &str, seed: u64) -> DesignKey {
+        DesignKey {
+            name: name.into(),
+            cells: 360,
+            tech: "7nm".into(),
+            seed,
+        }
+    }
+
+    fn registry() -> ModelRegistry {
+        let (_, params) = RlCcd::init(RlConfig::fast());
+        let mut reg = ModelRegistry::new();
+        reg.insert_params("default", params, 0.3).expect("insert");
+        reg
+    }
+
+    fn query(model: &str, design_key: DesignKey, mode: Mode) -> QueryRequest {
+        QueryRequest {
+            model: model.into(),
+            design: design_key,
+            mode,
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn serves_greedy_and_sampled_selections_in_process() {
+        let server = Server::start(registry(), ServeConfig::default());
+        let handle = server.handle();
+        let greedy = handle.query(query("default", design("srv", 5), Mode::Greedy));
+        let Response::Ok(g) = greedy else {
+            panic!("greedy failed: {greedy:?}")
+        };
+        assert_eq!(g.steps, g.selection.len());
+        assert!(!g.selection.is_empty());
+        let sampled = handle.query(query("default", design("srv", 5), Mode::Sample(3)));
+        let Response::Ok(s) = sampled else {
+            panic!("sample failed: {sampled:?}")
+        };
+        assert!(!s.selection.is_empty());
+        // Second greedy on the same design: memoized.
+        let again = handle.query(query("default", design("srv", 5), Mode::Greedy));
+        let Response::Ok(a) = again else {
+            panic!("repeat failed: {again:?}")
+        };
+        assert!(a.cached, "repeat greedy query must hit the selection cache");
+        assert_eq!(a.selection, g.selection);
+        let report = server.shutdown();
+        assert_eq!(report.dropped(), 0);
+        assert_eq!(report.stats.completed, 3);
+    }
+
+    #[test]
+    fn unknown_model_and_bad_tech_are_typed_errors() {
+        let server = Server::start(registry(), ServeConfig::default());
+        let handle = server.handle();
+        let r = handle.query(query("missing", design("srv", 5), Mode::Greedy));
+        assert!(matches!(
+            r,
+            Response::Err {
+                kind: RejectKind::UnknownModel,
+                ..
+            }
+        ));
+        let mut bad = design("srv", 5);
+        bad.tech = "3nm".into();
+        let r = handle.query(query("default", bad, Mode::Greedy));
+        assert!(matches!(
+            r,
+            Response::Err {
+                kind: RejectKind::BadRequest,
+                ..
+            }
+        ));
+        assert_eq!(server.shutdown().dropped(), 0);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_queries_and_reports_clean_drain() {
+        let server = Server::start(registry(), ServeConfig::default());
+        let handle = server.handle();
+        let ok = handle.query(query("default", design("drain", 8), Mode::Greedy));
+        assert!(matches!(ok, Response::Ok(_)));
+        let report = server.shutdown();
+        assert_eq!(report.dropped(), 0);
+        let after = handle.query(query("default", design("drain", 8), Mode::Greedy));
+        assert!(matches!(
+            after,
+            Response::Err {
+                kind: RejectKind::ShuttingDown,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_is_answered_not_dropped() {
+        // Window long enough that the job sits in the queue past its
+        // deadline before the worker dispatches it.
+        let config = ServeConfig {
+            workers: 1,
+            window: Duration::from_millis(50),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(registry(), config);
+        let handle = server.handle();
+        // Occupy the worker with a cold-cache query, then submit one with
+        // an already-motionless deadline behind it.
+        let h2 = handle.clone();
+        let warm = std::thread::spawn(move || {
+            h2.query(query("default", design("busy", 11), Mode::Greedy))
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        // Deadline of 0 ms: already expired by the time a worker gets it.
+        let mut req = query("default", design("busy", 12), Mode::Greedy);
+        req.deadline_ms = Some(0);
+        let late = handle.query(req);
+        assert!(matches!(
+            late,
+            Response::Err {
+                kind: RejectKind::Deadline,
+                ..
+            }
+        ));
+        assert!(matches!(warm.join().unwrap(), Response::Ok(_)));
+        let report = server.shutdown();
+        assert_eq!(
+            report.dropped(),
+            0,
+            "deadline errors still count as answered"
+        );
+        assert!(report.stats.deadline_expired >= 1);
+    }
+
+    #[test]
+    fn batch_census_tracks_dispatch_sizes() {
+        let config = ServeConfig {
+            workers: 1,
+            window: Duration::from_millis(30),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(registry(), config);
+        let handle = server.handle();
+        // Warm the env cache so follow-up queries are fast and queue up.
+        let _ = handle.query(query("default", design("census", 2), Mode::Greedy));
+        let mut threads = Vec::new();
+        for seed in 0..6 {
+            let h = handle.clone();
+            threads.push(std::thread::spawn(move || {
+                h.query(query("default", design("census", 2), Mode::Sample(seed)))
+            }));
+        }
+        for t in threads {
+            assert!(matches!(t.join().unwrap(), Response::Ok(_)));
+        }
+        let report = server.shutdown();
+        assert_eq!(report.dropped(), 0);
+        let total: u64 = report.stats.batches.values().sum();
+        assert!(total >= 1);
+        let sized: u64 = report
+            .stats
+            .batches
+            .iter()
+            .map(|(size, count)| *size as u64 * count)
+            .sum();
+        assert_eq!(
+            sized, report.stats.completed,
+            "every reply came out of a batch"
+        );
+    }
+}

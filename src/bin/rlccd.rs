@@ -12,6 +12,11 @@
 //! rlccd verilog  --in design.nl --out design.v
 //! rlccd suite    [--scale 0.5]
 //! rlccd trace-validate --in run.jsonl
+//! rlccd serve    --checkpoint DIR [--model NAME] [--port P] [--max-batch N]
+//!                [--window-ms MS] [--queue N] [--serve-workers N] [--rho R]
+//! rlccd query    --design name:cells:tech:seed [--addr HOST:PORT] [--model NAME]
+//!                [--mode greedy|sample] [--seed S] [--count N] [--threads T]
+//!                [--deadline-ms MS] | --shutdown
 //! ```
 //!
 //! `generate` writes the plain-text netlist format of
@@ -31,6 +36,9 @@ use rl_ccd_netlist::{
     Library, Netlist, TechNode,
 };
 use rl_ccd_obs::Recorder;
+use rl_ccd_serve::{
+    DesignKey, Mode, ModelRegistry, QueryRequest, Response, ServeClient, ServeConfig, Server,
+};
 use rl_ccd_sta::{analyze, full_report, Constraints, EndpointMargins, TimingGraph};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -44,23 +52,64 @@ fn arg<T: std::str::FromStr>(args: &[String], key: &str) -> Option<T> {
         .and_then(|v| v.parse().ok())
 }
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: rlccd <generate|report|flow|train|transfer|suite|trace-validate> [options]\n\
-         \n\
-         generate --cells N --tech <5nm|7nm|12nm> --seed S [--out FILE]\n\
-         report   --in FILE [--period PS] [--paths K]\n\
-         flow     --in FILE [--period PS] [--trace-out FILE]\n\
-         train    --in FILE [--period PS] [--iters N] [--workers N] [--params FILE]\n\
+/// (subcommand, usage line) table — one source of truth for both the
+/// global usage screen and the per-subcommand usage printed when that
+/// subcommand's arguments fail to parse.
+const USAGE_TABLE: &[(&str, &str)] = &[
+    (
+        "generate",
+        "generate --cells N --tech <5nm|7nm|12nm> --seed S [--out FILE]",
+    ),
+    ("report", "report   --in FILE [--period PS] [--paths K]"),
+    (
+        "flow",
+        "flow     --in FILE [--period PS] [--trace-out FILE]",
+    ),
+    (
+        "train",
+        "train    --in FILE [--period PS] [--iters N] [--workers N] [--params FILE]\n\
          \u{20}         [--checkpoint DIR] [--checkpoint-every K] [--resume DIR]\n\
-         \u{20}         [--tape-budget-gib G] [--trace-out FILE]\n\
-         transfer --in FILE --params FILE [--period PS] [--iters N] [--trace-out FILE]\n\
-         baseline --in FILE [--period PS] [--trace-out FILE]\n\
-         verilog  --in FILE --out FILE\n\
-         suite    [--scale F]\n\
-         trace-validate --in FILE"
-    );
+         \u{20}         [--tape-budget-gib G] [--trace-out FILE]",
+    ),
+    (
+        "transfer",
+        "transfer --in FILE --params FILE [--period PS] [--iters N] [--trace-out FILE]",
+    ),
+    (
+        "baseline",
+        "baseline --in FILE [--period PS] [--trace-out FILE]",
+    ),
+    ("verilog", "verilog  --in FILE --out FILE"),
+    ("suite", "suite    [--scale F]"),
+    ("trace-validate", "trace-validate --in FILE"),
+    (
+        "serve",
+        "serve    --checkpoint DIR [--model NAME] [--port P] [--max-batch N]\n\
+         \u{20}         [--window-ms MS] [--queue N] [--serve-workers N] [--env-cache N]\n\
+         \u{20}         [--rho R] [--fanout-cap N] [--trace-out FILE]",
+    ),
+    (
+        "query",
+        "query    --design name:cells:tech:seed [--addr HOST:PORT] [--model NAME]\n\
+         \u{20}         [--mode greedy|sample] [--seed S] [--count N] [--threads T]\n\
+         \u{20}         [--deadline-ms MS] | query --shutdown [--addr HOST:PORT]",
+    ),
+];
+
+fn usage() -> ExitCode {
+    eprintln!("usage: rlccd <generate|report|flow|train|transfer|baseline|verilog|suite|trace-validate|serve|query> [options]\n");
+    for (_, line) in USAGE_TABLE {
+        eprintln!("{line}");
+    }
     ExitCode::FAILURE
+}
+
+/// Prints the usage line of one subcommand (the arg-error path: a bad
+/// `rlccd train --iters x` shows how to call `train`, not a bare error).
+fn usage_for(cmd: &str) {
+    if let Some((_, line)) = USAGE_TABLE.iter().find(|(name, _)| *name == cmd) {
+        eprintln!("usage: rlccd {line}");
+    }
 }
 
 /// The recorder requested by `--trace-out`, plus where to write it.
@@ -396,6 +445,163 @@ fn cmd_trace_validate(args: &[String]) -> Result<(), Error> {
     Ok(())
 }
 
+fn cmd_serve(args: &[String]) -> Result<(), Error> {
+    let dir: String = arg(args, "--checkpoint")
+        .ok_or_else(|| Error::Config("missing --checkpoint DIR".into()))?;
+    let model: String = arg(args, "--model").unwrap_or_else(|| "default".into());
+    let port: u16 = arg(args, "--port").unwrap_or(7878);
+    let rho: f32 = arg(args, "--rho").unwrap_or_else(|| RlConfig::default().rho);
+    let config = ServeConfig {
+        max_batch: arg(args, "--max-batch").unwrap_or(8),
+        window: std::time::Duration::from_millis(arg(args, "--window-ms").unwrap_or(2)),
+        queue_capacity: arg(args, "--queue").unwrap_or(64),
+        workers: arg(args, "--serve-workers").unwrap_or(2),
+        env_cache: arg(args, "--env-cache").unwrap_or(4),
+        fanout_cap: arg(args, "--fanout-cap").unwrap_or_else(|| RlConfig::default().fanout_cap),
+        ..ServeConfig::default()
+    };
+    let trace = trace_from(args);
+    let _obs = trace.as_ref().map(|t| rl_ccd_obs::attach(&t.recorder));
+    let mut registry = ModelRegistry::new();
+    let entry = registry
+        .load(&model, &dir, rho)
+        .map_err(|e| Error::Config(format!("{dir}: {e}")))?;
+    println!(
+        "loaded model {:?} v{} (fingerprint {:016x}) from {dir}",
+        entry.name, entry.version, entry.fingerprint
+    );
+    let mut server = Server::start(registry, config);
+    let addr = server.bind(&format!("127.0.0.1:{port}"))?;
+    println!("serving on {addr} — stop with `rlccd query --shutdown --addr {addr}`");
+    while !server.shutdown_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let report = server.shutdown();
+    println!(
+        "drained: {} accepted, {} completed, {} busy-rejected, {} deadline-expired, batch p50 {}",
+        report.stats.accepted,
+        report.stats.completed,
+        report.stats.rejected_busy,
+        report.stats.deadline_expired,
+        report.stats.batch_p50()
+    );
+    if let Some(t) = &trace {
+        t.finish()?;
+    }
+    if report.dropped() > 0 {
+        return Err(Error::Config(format!(
+            "drain dropped {} in-flight request(s)",
+            report.dropped()
+        )));
+    }
+    Ok(())
+}
+
+fn serve_connect(addr: &str) -> Result<ServeClient, Error> {
+    ServeClient::connect(addr)
+        .map_err(|e| Error::Config(format!("cannot reach server at {addr}: {e}")))
+}
+
+fn run_queries(addr: &str, requests: Vec<QueryRequest>) -> Result<Vec<Response>, Error> {
+    let mut client = serve_connect(addr)?;
+    requests
+        .into_iter()
+        .map(|r| {
+            client
+                .query(r)
+                .map_err(|e| Error::Config(format!("query failed: {e}")))
+        })
+        .collect()
+}
+
+fn cmd_query(args: &[String]) -> Result<(), Error> {
+    let addr: String = arg(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
+    if args.iter().any(|a| a == "--shutdown") {
+        let mut client = serve_connect(&addr)?;
+        client
+            .shutdown()
+            .map_err(|e| Error::Config(format!("shutdown failed: {e}")))?;
+        println!("server at {addr} is draining");
+        return Ok(());
+    }
+    let design: DesignKey = arg::<String>(args, "--design")
+        .ok_or_else(|| Error::Config("missing --design name:cells:tech:seed".into()))?
+        .parse()
+        .map_err(Error::Config)?;
+    let model: String = arg(args, "--model").unwrap_or_else(|| "default".into());
+    let mode_name: String = arg(args, "--mode").unwrap_or_else(|| "greedy".into());
+    let seed: u64 = arg(args, "--seed").unwrap_or(0);
+    let mode = match mode_name.as_str() {
+        "greedy" => Mode::Greedy,
+        "sample" => Mode::Sample(seed),
+        other => {
+            return Err(Error::Config(format!(
+                "--mode must be greedy or sample, got {other}"
+            )))
+        }
+    };
+    let count: usize = arg(args, "--count").unwrap_or(1);
+    let threads: usize = arg(args, "--threads").unwrap_or(1).max(1);
+    let deadline_ms: Option<u64> = arg(args, "--deadline-ms");
+    let request = |k: u64| QueryRequest {
+        model: model.clone(),
+        design: design.clone(),
+        mode: match mode {
+            Mode::Greedy => Mode::Greedy,
+            Mode::Sample(s) => Mode::Sample(s.wrapping_add(k)),
+        },
+        deadline_ms,
+    };
+    let mut responses = Vec::new();
+    if threads == 1 {
+        responses = run_queries(&addr, (0..count as u64).map(request).collect())?;
+    } else {
+        // Round-robin the requests over `threads` connections.
+        let mut shards: Vec<Vec<QueryRequest>> = vec![Vec::new(); threads];
+        for k in 0..count as u64 {
+            shards[k as usize % threads].push(request(k));
+        }
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|shard| {
+                let addr = addr.clone();
+                std::thread::spawn(move || run_queries(&addr, shard))
+            })
+            .collect();
+        for h in handles {
+            responses.extend(h.join().expect("query thread panicked")?);
+        }
+    }
+    let mut failed = 0usize;
+    for resp in &responses {
+        match resp {
+            Response::Ok(r) => {
+                let sel: Vec<String> = r.selection.iter().map(|e| e.to_string()).collect();
+                println!(
+                    "{} v{} [batch {} cached {}] {} endpoints: {}",
+                    r.model,
+                    r.version,
+                    r.batch,
+                    u8::from(r.cached),
+                    r.steps,
+                    sel.join(",")
+                );
+            }
+            Response::Err { kind, msg } => {
+                failed += 1;
+                eprintln!("rejected ({kind}): {msg}");
+            }
+        }
+    }
+    if failed > 0 {
+        return Err(Error::Config(format!(
+            "{failed}/{} request(s) rejected",
+            responses.len()
+        )));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -412,12 +618,19 @@ fn main() -> ExitCode {
         "verilog" => cmd_verilog(rest),
         "suite" => cmd_suite(rest),
         "trace-validate" => cmd_trace_validate(rest),
+        "serve" => cmd_serve(rest),
+        "query" => cmd_query(rest),
         _ => return usage(),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
+            // Argument errors additionally show how to call the failing
+            // subcommand (I/O and training failures do not).
+            if matches!(e, Error::Config(_)) {
+                usage_for(cmd);
+            }
             ExitCode::FAILURE
         }
     }

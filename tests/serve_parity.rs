@@ -1,0 +1,219 @@
+//! Serving parity: concurrent batched inference answers are bit-identical
+//! to the sequential offline path.
+//!
+//! The contract under test: for any batching window (including zero), any
+//! thread interleaving, and any cache state (including active eviction),
+//! a greedy query equals `evaluate_policy`'s `greedy_selection` and a
+//! seeded sample query equals `sample_endpoints` with the same seed — the
+//! server may batch and cache, but never change an answer. The suite also
+//! pins graceful drain: every accepted request is answered, zero dropped.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl_ccd::{evaluate_policy, sample_endpoints, CcdEnv, RlCcd, RlConfig};
+use rl_ccd_flow::FlowRecipe;
+use rl_ccd_netlist::{generate, DesignSpec, EndpointId, Library};
+use rl_ccd_serve::{DesignKey, Mode, ModelRegistry, QueryRequest, Response, ServeConfig, Server};
+use std::collections::HashMap;
+use std::time::Duration;
+
+const MODEL: &str = "default";
+const SAMPLE_SEEDS: [u64; 3] = [0, 7, 1234];
+
+fn design_keys() -> Vec<DesignKey> {
+    vec![
+        DesignKey {
+            name: "parity_a".into(),
+            cells: 220,
+            tech: "7nm".into(),
+            seed: 3,
+        },
+        DesignKey {
+            name: "parity_b".into(),
+            cells: 260,
+            tech: "12nm".into(),
+            seed: 9,
+        },
+    ]
+}
+
+/// Builds the env for a key exactly the way the server's cache does.
+fn build_env(key: &DesignKey, fanout_cap: usize) -> CcdEnv {
+    let tech = Library::parse_tech(&key.tech).expect("known tech");
+    let design = generate(&DesignSpec::new(
+        key.name.clone(),
+        key.cells,
+        tech,
+        key.seed,
+    ));
+    CcdEnv::new(design, FlowRecipe::default(), fanout_cap)
+}
+
+/// The sequential reference: greedy plus per-seed sampled selections for
+/// every design, computed without any server in the picture.
+fn indices(selection: &[EndpointId]) -> Vec<usize> {
+    selection.iter().map(|e| e.index()).collect()
+}
+
+fn reference(
+    model: &RlCcd,
+    params: &rl_ccd_nn::ParamSet,
+    keys: &[DesignKey],
+    fanout_cap: usize,
+) -> HashMap<(String, Option<u64>), Vec<usize>> {
+    let mut expected = HashMap::new();
+    for key in keys {
+        let env = build_env(key, fanout_cap);
+        let eval = evaluate_policy(model, params, &env, 1, 0);
+        expected.insert((key.to_string(), None), indices(&eval.greedy_selection));
+        for seed in SAMPLE_SEEDS {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let selected = sample_endpoints(model, params, &env, &mut rng);
+            expected.insert((key.to_string(), Some(seed)), indices(&selected));
+        }
+    }
+    expected
+}
+
+#[test]
+fn concurrent_batched_answers_match_sequential_inference() {
+    let config = RlConfig::fast();
+    let rho = config.rho;
+    let (model, params) = RlCcd::init(config);
+    let keys = design_keys();
+
+    // env_cache capacity 1 with 2 designs in rotation: every cross-design
+    // batch forces an eviction and a rebuild, so parity is also checked
+    // against freshly rebuilt environments mid-run.
+    let serve_config = ServeConfig {
+        max_batch: 4,
+        queue_capacity: 256,
+        workers: 2,
+        env_cache: 1,
+        fanout_cap: RlConfig::fast().fanout_cap,
+        ..ServeConfig::default()
+    };
+    let expected = reference(&model, &params, &keys, serve_config.fanout_cap);
+
+    for window_ms in [0u64, 2, 10] {
+        let mut registry = ModelRegistry::new();
+        registry
+            .insert_params(MODEL, params.clone(), rho)
+            .expect("register");
+        let server = Server::start(
+            registry,
+            ServeConfig {
+                window: Duration::from_millis(window_ms),
+                ..serve_config.clone()
+            },
+        );
+
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let handle = server.handle();
+                let keys = keys.clone();
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    for r in 0..6 {
+                        let key = &keys[(t + r) % keys.len()];
+                        let (mode, seed) = if (t + r) % 2 == 0 {
+                            (Mode::Greedy, None)
+                        } else {
+                            let s = SAMPLE_SEEDS[(t * 7 + r) % SAMPLE_SEEDS.len()];
+                            (Mode::Sample(s), Some(s))
+                        };
+                        let resp = handle.query(QueryRequest {
+                            model: MODEL.into(),
+                            design: key.clone(),
+                            mode,
+                            deadline_ms: None,
+                        });
+                        let reply = match resp {
+                            Response::Ok(reply) => reply,
+                            Response::Err { kind, msg } => {
+                                panic!("window {window_ms}ms: rejected ({kind}): {msg}")
+                            }
+                        };
+                        let want = &expected[&(key.to_string(), seed)];
+                        assert_eq!(
+                            &reply.selection, want,
+                            "window {window_ms}ms thread {t} req {r}: served selection \
+                             diverged from sequential inference on {key}"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("client thread");
+        }
+
+        let report = server.shutdown();
+        assert_eq!(
+            report.dropped(),
+            0,
+            "window {window_ms}ms: drain left requests unanswered"
+        );
+        assert!(
+            report.stats.completed >= 48,
+            "window {window_ms}ms: expected all 48 requests answered"
+        );
+    }
+}
+
+#[test]
+fn cache_eviction_churn_preserves_greedy_answers() {
+    let config = RlConfig::fast();
+    let rho = config.rho;
+    let (model, params) = RlCcd::init(config);
+    let keys = design_keys();
+    let fanout_cap = RlConfig::fast().fanout_cap;
+
+    let mut registry = ModelRegistry::new();
+    registry
+        .insert_params(MODEL, params.clone(), rho)
+        .expect("register");
+    // Both caches capacity 1: every alternating query evicts the other
+    // design's env *and* memoized selection.
+    let server = Server::start(
+        registry,
+        ServeConfig {
+            max_batch: 1,
+            window: Duration::ZERO,
+            env_cache: 1,
+            selection_cache: 1,
+            workers: 1,
+            fanout_cap,
+            ..ServeConfig::default()
+        },
+    );
+    let handle = server.handle();
+
+    let expected: Vec<Vec<usize>> = keys
+        .iter()
+        .map(|k| {
+            let env = build_env(k, fanout_cap);
+            indices(&evaluate_policy(&model, &params, &env, 0, 0).greedy_selection)
+        })
+        .collect();
+
+    for round in 0..3 {
+        for (i, key) in keys.iter().enumerate() {
+            let resp = handle.query(QueryRequest {
+                model: MODEL.into(),
+                design: key.clone(),
+                mode: Mode::Greedy,
+                deadline_ms: None,
+            });
+            match resp {
+                Response::Ok(reply) => assert_eq!(
+                    reply.selection, expected[i],
+                    "round {round}: eviction churn changed the greedy answer for {key}"
+                ),
+                Response::Err { kind, msg } => panic!("round {round}: rejected ({kind}): {msg}"),
+            }
+        }
+    }
+    let report = server.shutdown();
+    assert_eq!(report.dropped(), 0);
+}
