@@ -1,0 +1,263 @@
+//! **Distributed rollout scaling**: throughput of the coordinator/worker
+//! executor as the fleet grows.
+//!
+//! Spawns in-process worker fleets (real TCP on ephemeral loopback ports)
+//! of 1, 2 and 4 workers, shards identical rollout batches over each via
+//! [`DistExecutor`], and reports rollouts/s plus p50/p99 batch latency per
+//! fleet size — the scaling evidence for the distributed subsystem. A
+//! [`LocalExecutor`] row anchors the comparison, and every fleet's rewards
+//! are asserted bit-identical to the local run's (the determinism
+//! contract, measured rather than assumed).
+//!
+//! Worker Init (netlist transfer, per-worker env rebuild) is amortized by
+//! an untimed warm-up batch, so the numbers are steady-state. When every
+//! worker shares one host the curve is bounded by that host's cores —
+//! flat near the local row on a single-core box (the residual gap is wire
+//! overhead); fleet sizes only separate when workers own their own cores.
+//!
+//! Usage:
+//! ```text
+//! dist_scale [--slots 8] [--batches 6] [--cells 400] [--seed 71]
+//!            [--json BENCH_dist.json] [--csv dist_scale.csv]
+//! ```
+
+use rl_ccd::{CcdEnv, FaultPlan, LocalExecutor, RlCcd, RlConfig, RolloutExecutor, RolloutRequest};
+use rl_ccd_bench::{percentile, write_csv, write_json, Cli, Json};
+use rl_ccd_dist::{serve_worker, DistExecutor};
+use rl_ccd_flow::FlowRecipe;
+use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// One fleet size's measurement.
+struct Row {
+    label: String,
+    workers: usize,
+    rollouts: usize,
+    wall_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+impl Row {
+    fn throughput(&self) -> f64 {
+        self.rollouts as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+/// Runs `batches` iterations of `slots` rollouts through `executor` and
+/// returns the measurement plus the reward trace (for the determinism
+/// assert).
+#[allow(clippy::too_many_arguments)]
+fn measure(
+    label: &str,
+    workers: usize,
+    executor: &mut dyn RolloutExecutor,
+    model: &RlCcd,
+    env: &CcdEnv,
+    config: &RlConfig,
+    slots: usize,
+    batches: usize,
+) -> (Row, Vec<f64>) {
+    let (_, params) = RlCcd::init(config.clone());
+    let plan = FaultPlan::none();
+    // Untimed warm-up: the distributed executor initializes workers lazily
+    // on the first batch (netlist transfer, per-worker env rebuild), which
+    // is a one-off cost — steady-state throughput is what scales.
+    let warmup_pairs: Vec<(usize, u64)> = (0..slots)
+        .map(|s| (s, (batches * slots + s) as u64 + 1))
+        .collect();
+    executor.run_batch(&RolloutRequest {
+        iteration: batches,
+        pairs: &warmup_pairs,
+        params: &params,
+        model,
+        env,
+        config,
+        plan: &plan,
+    });
+    let mut latencies = Vec::with_capacity(batches);
+    let mut rewards = Vec::with_capacity(batches * slots);
+    let mut rollouts = 0usize;
+    let started = Instant::now();
+    for iteration in 0..batches {
+        let pairs: Vec<(usize, u64)> = (0..slots)
+            .map(|s| (s, (iteration * slots + s) as u64 + 1))
+            .collect();
+        let req = RolloutRequest {
+            iteration,
+            pairs: &pairs,
+            params: &params,
+            model,
+            env,
+            config,
+            plan: &plan,
+        };
+        let t = Instant::now();
+        let batch = executor.run_batch(&req);
+        latencies.push(t.elapsed().as_secs_f64() * 1e3);
+        assert!(
+            batch.faults.is_empty(),
+            "{label}: clean bench run must not quarantine rollouts"
+        );
+        assert_eq!(batch.rollouts.len(), slots, "{label}: all slots survive");
+        rollouts += batch.rollouts.len();
+        rewards.extend(batch.rollouts.iter().map(|r| r.reward));
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let row = Row {
+        label: label.to_string(),
+        workers,
+        rollouts,
+        wall_s,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+    };
+    (row, rewards)
+}
+
+fn main() -> ExitCode {
+    let cli = Cli::from_env();
+    let _obs = cli.attach();
+    let slots: usize = cli.value("--slots", 8);
+    let batches: usize = cli.value("--batches", 6usize).max(1);
+    let cells = cli.cells(400);
+    let seed = cli.seed(71);
+    let json_path: String = cli.value("--json", "BENCH_dist.json".to_string());
+    let csv = cli.csv("dist_scale.csv");
+
+    let design = generate(&DesignSpec::new("dist-scale", cells, TechNode::N7, seed));
+    let config = RlConfig {
+        workers: slots,
+        ..RlConfig::fast()
+    };
+    let env = CcdEnv::new(design, FlowRecipe::default(), config.fanout_cap);
+    let (model, _) = RlCcd::init(config.clone());
+    println!(
+        "dist_scale: {slots} slots x {batches} batches on {} cells ({} violating endpoints)",
+        cells,
+        env.pool().len()
+    );
+
+    let (local_row, local_rewards) = measure(
+        "local",
+        0,
+        &mut LocalExecutor,
+        &model,
+        &env,
+        &config,
+        slots,
+        batches,
+    );
+    let mut rows = vec![local_row];
+
+    for n in [1usize, 2, 4] {
+        // Real workers on ephemeral loopback ports, one thread each.
+        let mut addrs = Vec::new();
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+            addrs.push(listener.local_addr().expect("local addr").to_string());
+            handles.push(std::thread::spawn(move || {
+                let _ = serve_worker(listener);
+            }));
+        }
+        let mut executor = DistExecutor::connect(&addrs).expect("connect fleet");
+        let (row, rewards) = measure(
+            &format!("dist-{n}"),
+            n,
+            &mut executor,
+            &model,
+            &env,
+            &config,
+            slots,
+            batches,
+        );
+        assert_eq!(
+            rewards, local_rewards,
+            "dist-{n}: distributed rewards must be bit-identical to local"
+        );
+        rows.push(row);
+        executor.shutdown();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    println!(
+        "{:<8} {:>7} {:>9} {:>12} {:>9} {:>9}",
+        "fleet", "workers", "rollouts", "rollouts/s", "p50 ms", "p99 ms"
+    );
+    let base = rows[0].throughput();
+    for r in &rows {
+        println!(
+            "{:<8} {:>7} {:>9} {:>12.2} {:>9.1} {:>9.1}  ({:.2}x local)",
+            r.label,
+            r.workers,
+            r.rollouts,
+            r.throughput(),
+            r.p50_ms,
+            r.p99_ms,
+            r.throughput() / base.max(1e-9),
+        );
+    }
+
+    let fleets = rows
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                Json::field("fleet", Json::Str(r.label.clone())),
+                Json::field("workers", Json::Num(r.workers as f64)),
+                Json::field("rollouts", Json::Num(r.rollouts as f64)),
+                Json::field("wall_s", Json::Num(r.wall_s)),
+                Json::field("throughput_rps", Json::Num(r.throughput())),
+                Json::field("p50_ms", Json::Num(r.p50_ms)),
+                Json::field("p99_ms", Json::Num(r.p99_ms)),
+            ])
+        })
+        .collect();
+    let report = Json::Obj(vec![
+        Json::field("bench", Json::Str("dist_scale".into())),
+        Json::field("slots", Json::Num(slots as f64)),
+        Json::field("batches", Json::Num(batches as f64)),
+        Json::field("cells", Json::Num(cells as f64)),
+        Json::field("fleets", Json::Arr(fleets)),
+    ]);
+    if let Err(e) = write_json(&json_path, &report) {
+        eprintln!("{json_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {json_path}");
+
+    let csv_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{},{},{},{:.4},{:.2},{:.3},{:.3}",
+                r.label,
+                r.workers,
+                r.rollouts,
+                r.wall_s,
+                r.throughput(),
+                r.p50_ms,
+                r.p99_ms
+            )
+        })
+        .collect();
+    if let Err(e) = write_csv(
+        &csv,
+        "fleet,workers,rollouts,wall_s,throughput_rps,p50_ms,p99_ms",
+        &csv_rows,
+    ) {
+        eprintln!("{csv}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {csv}");
+    if let Err(e) = cli.finish() {
+        eprintln!("trace: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

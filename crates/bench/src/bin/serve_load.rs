@@ -12,7 +12,8 @@
 //! ```text
 //! serve_load [--workers 8] [--requests 40] [--designs 2] [--cells 300]
 //!            [--max-batch 8] [--window-ms 2] [--csv serve_load.csv]
-//!            [--assert-batching] [--trace-out run.jsonl]
+//!            [--json BENCH_serve.json] [--assert-batching]
+//!            [--trace-out run.jsonl]
 //! ```
 //!
 //! With `--assert-batching` the process exits nonzero unless the batch
@@ -20,18 +21,10 @@
 //! behind — the acceptance gate CI can hold the server to.
 
 use rl_ccd::{RlCcd, RlConfig};
-use rl_ccd_bench::{write_csv, Cli};
+use rl_ccd_bench::{percentile, write_csv, write_json, Cli, Json};
 use rl_ccd_serve::{DesignKey, Mode, ModelRegistry, QueryRequest, Response, ServeConfig, Server};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
-
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
-    if sorted_ms.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
-    sorted_ms[idx]
-}
 
 fn main() -> ExitCode {
     let cli = Cli::from_env();
@@ -146,6 +139,25 @@ fn main() -> ExitCode {
     )
     .expect("write csv");
     println!("wrote {csv}");
+
+    let json_path: String = cli.value("--json", "BENCH_serve.json".to_string());
+    let report_json = Json::Obj(vec![
+        Json::field("bench", Json::Str("serve_load".into())),
+        Json::field("client_threads", Json::Num(workers as f64)),
+        Json::field("requests_per_thread", Json::Num(requests as f64)),
+        Json::field("designs", Json::Num(designs as f64)),
+        Json::field("cells", Json::Num(cells as f64)),
+        Json::field("total_requests", Json::Num(total as f64)),
+        Json::field("wall_s", Json::Num(wall_s)),
+        Json::field("throughput_rps", Json::Num(throughput)),
+        Json::field("p50_ms", Json::Num(p50)),
+        Json::field("p99_ms", Json::Num(p99)),
+        Json::field("batch_p50", Json::Num(batch_p50 as f64)),
+        Json::field("failures", Json::Num(failures as f64)),
+        Json::field("dropped", Json::Num(report.dropped() as f64)),
+    ]);
+    write_json(&json_path, &report_json).expect("write json");
+    println!("wrote {json_path}");
     if let Err(e) = cli.finish() {
         eprintln!("trace: {e}");
         return ExitCode::FAILURE;

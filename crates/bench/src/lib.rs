@@ -191,6 +191,109 @@ pub fn table2_summary(rows: &[BlockRow]) -> String {
     )
 }
 
+/// A minimal JSON value for the machine-readable `BENCH_*.json` artifacts
+/// the load benches emit alongside their CSV — enough structure for a
+/// dashboard to ingest without pulling a serializer into the workspace.
+/// Numbers render through Rust's shortest-roundtrip `Display`, so written
+/// values parse back bit-exact.
+#[derive(Clone, Debug)]
+pub enum Json {
+    /// A finite number (integers render without a fraction).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for object fields.
+    pub fn field(key: &str, value: Json) -> (String, Json) {
+        (key.to_string(), value)
+    }
+
+    /// Renders the value as compact JSON text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Num(n) => {
+                if n.is_finite() {
+                    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                        let _ = write!(out, "{}", *n as i64);
+                    } else {
+                        let _ = write!(out, "{n}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(key.clone()).render_into(out);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Writes a [`Json`] value to `path` with a trailing newline.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn write_json(path: &str, value: &Json) -> std::io::Result<()> {
+    std::fs::write(path, format!("{}\n", value.render()))
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice (`p` in `0..=1`).
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
 /// Writes rows as a CSV file.
 ///
 /// # Errors
@@ -262,6 +365,30 @@ mod tests {
         assert_eq!(row.prioritized, row2.prioritized);
         assert_eq!(outcome.history, outcome2.history);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_renders_escapes_and_number_forms() {
+        let v = Json::Obj(vec![
+            Json::field("bench", Json::Str("dist\"scale\"\n".into())),
+            Json::field("count", Json::Num(4.0)),
+            Json::field("p99_ms", Json::Num(1.25)),
+            Json::field("bad", Json::Num(f64::NAN)),
+            Json::field("rows", Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)])),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"bench":"dist\"scale\"\n","count":4,"p99_ms":1.25,"bad":null,"rows":[1,2.5]}"#
+        );
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 0.5), 3.0);
+        assert_eq!(percentile(&sorted, 1.0), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
     }
 
     #[test]

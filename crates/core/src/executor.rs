@@ -1,0 +1,219 @@
+//! The [`RolloutExecutor`] abstraction — where an iteration's rollouts run.
+//!
+//! The trainer ([`crate::reinforce`]) decides *what* to run each
+//! iteration: one `(slot, seed)` pair per configured worker, with seeds a
+//! pure function of the config seed and the iteration index. An executor
+//! decides *where* those rollouts run: [`LocalExecutor`] fans them out
+//! over in-process threads (the paper's single-machine setting), while
+//! `rl-ccd-dist` ships them to worker processes over TCP.
+//!
+//! # The determinism contract
+//!
+//! Every executor must return, for each surviving `(slot, seed)` pair,
+//! the *exact* rollout a single-process run would have produced: the
+//! trajectory, reward and `∇ Σ log π` gradient are pure functions of
+//! `(params, env, seed)`, so where and when the rollout ran — and whether
+//! it was retried after a worker failure — cannot change its value.
+//! Executors may return rollouts in any order; the trainer sorts by slot
+//! before reducing, so gradient aggregation is fixed by seed index, never
+//! by completion order. Together these make training bit-identical across
+//! executors, worker counts, timing, and retries.
+
+use crate::agent::RlCcd;
+use crate::config::RlConfig;
+use crate::env::CcdEnv;
+use crate::fault::{FaultPlan, RolloutFault};
+use crate::parallel::run_rollouts_assigned;
+use rl_ccd_netlist::EndpointId;
+use rl_ccd_nn::{GradSet, ParamSet};
+use std::fmt;
+
+/// One iteration's worth of rollout work, as handed to an executor.
+#[derive(Debug)]
+pub struct RolloutRequest<'a> {
+    /// Training iteration index (tags fault records and addresses the
+    /// fault plan).
+    pub iteration: usize,
+    /// `(slot, seed)` pairs to run — slot is the worker index within the
+    /// iteration, seed fully determines the rollout.
+    pub pairs: &'a [(usize, u64)],
+    /// Current policy parameters.
+    pub params: &'a ParamSet,
+    /// The model architecture (local executors share the trainer's
+    /// instance; remote workers hold their own copy built from the same
+    /// config).
+    pub model: &'a RlCcd,
+    /// The environment (remote workers hold their own copy built from the
+    /// same design and recipe).
+    pub env: &'a CcdEnv,
+    /// The RL configuration (tape memory budget, quorum, …).
+    pub config: &'a RlConfig,
+    /// Deterministic fault injection; [`FaultPlan::none`] outside tests.
+    pub plan: &'a FaultPlan,
+}
+
+/// One executed rollout, slim enough to cross a process boundary: the
+/// flow result is *not* carried — the trainer recomputes the champion's
+/// [`rl_ccd_flow::FlowResult`] from the selection (deterministically),
+/// so only the reward travels.
+#[derive(Clone, Debug)]
+pub struct ExecutedRollout {
+    /// The worker slot this rollout was assigned to.
+    pub slot: usize,
+    /// The rollout's sampling seed.
+    pub seed: u64,
+    /// Selected endpoints, in selection order.
+    pub selected: Vec<EndpointId>,
+    /// Trajectory length.
+    pub steps: usize,
+    /// Trajectory reward: final TNS in ps.
+    pub reward: f64,
+    /// Gradient of the trajectory's total log-probability (unscaled; the
+    /// trainer scales by −advantage and merges in slot order).
+    pub log_prob_grads: GradSet,
+}
+
+/// What an executor hands back for one iteration.
+#[derive(Debug, Default)]
+pub struct ExecutorBatch {
+    /// Surviving rollouts (any order; the trainer sorts by slot).
+    pub rollouts: Vec<ExecutedRollout>,
+    /// One record per quarantined rollout.
+    pub faults: Vec<RolloutFault>,
+}
+
+/// Where an iteration's rollouts run. See the module docs for the
+/// determinism contract implementations must uphold.
+pub trait RolloutExecutor: Send + fmt::Debug {
+    /// Runs every `(slot, seed)` pair of `req` and returns survivors and
+    /// fault records. Must not panic on worker failure — failures are
+    /// quarantined into [`RolloutFault`] records.
+    fn run_batch(&mut self, req: &RolloutRequest<'_>) -> ExecutorBatch;
+}
+
+/// The in-process executor: rollouts fan out over scoped threads, chunked
+/// by the tape memory model — exactly the paper's single-machine setting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LocalExecutor;
+
+impl RolloutExecutor for LocalExecutor {
+    fn run_batch(&mut self, req: &RolloutRequest<'_>) -> ExecutorBatch {
+        let batch = run_rollouts_assigned(
+            req.model,
+            req.params,
+            req.env,
+            req.pairs,
+            req.iteration,
+            req.config.tape_memory_budget,
+            req.plan,
+        );
+        let seed_of = |slot: usize| {
+            req.pairs
+                .iter()
+                .find(|(s, _)| *s == slot)
+                .map(|&(_, seed)| seed)
+                .unwrap_or_default()
+        };
+        ExecutorBatch {
+            rollouts: batch
+                .survivors
+                .into_iter()
+                .map(|(slot, r)| ExecutedRollout {
+                    slot,
+                    seed: seed_of(slot),
+                    reward: r.reward(),
+                    selected: r.selected,
+                    steps: r.steps,
+                    log_prob_grads: r.log_prob_grads,
+                })
+                .collect(),
+            faults: batch.faults,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rl_ccd_flow::FlowRecipe;
+    use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+
+    /// Returns rollouts in an adversarial order (reversed, then rotated by
+    /// one) — a stand-in for a distributed executor whose workers finish
+    /// in arbitrary order.
+    #[derive(Debug)]
+    struct ShufflingExecutor;
+
+    impl RolloutExecutor for ShufflingExecutor {
+        fn run_batch(&mut self, req: &RolloutRequest<'_>) -> ExecutorBatch {
+            let mut batch = LocalExecutor.run_batch(req);
+            batch.rollouts.reverse();
+            if batch.rollouts.len() > 1 {
+                batch.rollouts.rotate_left(1);
+            }
+            batch
+        }
+    }
+
+    /// The reduction-order pin: gradient aggregation is fixed by seed
+    /// index, never by completion order, so an executor that returns
+    /// rollouts in any order trains bit-identically.
+    #[test]
+    fn gradient_reduction_order_is_fixed_by_slot_not_completion() {
+        use crate::reinforce::{try_train_with, TrainSession};
+        let d = generate(&DesignSpec::new("exec-order", 450, TechNode::N7, 62));
+        let env = CcdEnv::new(d, FlowRecipe::default(), 24);
+        let config = RlConfig {
+            workers: 4,
+            ..RlConfig::fast()
+        };
+        let ordered =
+            try_train_with(&env, &config, TrainSession::default(), &mut LocalExecutor).unwrap();
+        let shuffled = try_train_with(
+            &env,
+            &config,
+            TrainSession::default(),
+            &mut ShufflingExecutor,
+        )
+        .unwrap();
+        assert_eq!(
+            ordered.params, shuffled.params,
+            "final parameters must be bit-identical regardless of rollout return order"
+        );
+        assert_eq!(ordered.best_selection, shuffled.best_selection);
+        assert_eq!(
+            ordered.best_result.final_qor.tns_ps,
+            shuffled.best_result.final_qor.tns_ps
+        );
+    }
+
+    #[test]
+    fn local_executor_matches_supervised_runner() {
+        let d = generate(&DesignSpec::new("exec", 450, TechNode::N7, 61));
+        let env = CcdEnv::new(d, FlowRecipe::default(), 24);
+        let config = RlConfig::fast();
+        let (model, params) = RlCcd::init(config.clone());
+        let pairs = [(0usize, 500u64), (1, 501)];
+        let plan = FaultPlan::none();
+        let req = RolloutRequest {
+            iteration: 0,
+            pairs: &pairs,
+            params: &params,
+            model: &model,
+            env: &env,
+            config: &config,
+            plan: &plan,
+        };
+        let batch = LocalExecutor.run_batch(&req);
+        assert_eq!(batch.rollouts.len(), 2);
+        assert!(batch.faults.is_empty());
+        let direct = crate::parallel::run_rollouts(&model, &params, &env, &[500, 501]);
+        for (got, want) in batch.rollouts.iter().zip(&direct) {
+            assert_eq!(got.selected, want.selected);
+            assert_eq!(got.reward, want.reward());
+            assert_eq!(got.steps, want.steps);
+        }
+        assert_eq!(batch.rollouts[0].seed, 500);
+        assert_eq!(batch.rollouts[1].seed, 501);
+    }
+}

@@ -28,6 +28,17 @@ pub enum InjectedFault {
     /// during the write; only the temp file is affected, never the
     /// previously committed state).
     TornCheckpoint,
+    /// A distributed worker *process* dies mid-batch: it closes its
+    /// connection without replying and stops serving. For this and the
+    /// other dist faults the plan's `worker` coordinate addresses the
+    /// worker process index, not a rollout slot.
+    WorkerDrop,
+    /// A distributed worker stalls past the coordinator's per-request
+    /// deadline before replying (straggler).
+    SlowWorker,
+    /// A distributed worker writes a torn frame (length prefix promising
+    /// more bytes than follow) and closes the connection.
+    TornFrame,
 }
 
 /// One planned injection at an exact training coordinate.
@@ -93,6 +104,24 @@ impl FaultPlan {
         self.with(iteration, 0, InjectedFault::TornCheckpoint)
     }
 
+    /// Plans a distributed worker-process death at `(iteration, process)`:
+    /// the worker drops its connection mid-batch and stops serving.
+    pub fn with_worker_drop(self, iteration: usize, process: usize) -> Self {
+        self.with(iteration, process, InjectedFault::WorkerDrop)
+    }
+
+    /// Plans a distributed straggler at `(iteration, process)`: the worker
+    /// stalls past the coordinator's deadline before replying.
+    pub fn with_slow_worker(self, iteration: usize, process: usize) -> Self {
+        self.with(iteration, process, InjectedFault::SlowWorker)
+    }
+
+    /// Plans a torn response frame at `(iteration, process)`: the worker
+    /// writes a truncated frame and closes the connection.
+    pub fn with_torn_frame(self, iteration: usize, process: usize) -> Self {
+        self.with(iteration, process, InjectedFault::TornFrame)
+    }
+
     /// A pseudorandom but fully reproducible plan: `count` rollout faults
     /// (panic / NaN reward / poisoned gradient) scattered over the
     /// `iterations × workers` grid. The same seed always yields the same
@@ -147,6 +176,10 @@ pub enum FaultKind {
     /// Every rollout of an iteration was quarantined (only reachable when
     /// the quorum is explicitly disabled); the iteration became a no-op.
     EmptyBatch,
+    /// A distributed rollout could not be served by any worker: every
+    /// worker process died or was quarantined before the seed's chunk
+    /// could be re-queued onto a survivor.
+    WorkerLost,
 }
 
 impl FaultKind {
@@ -158,6 +191,7 @@ impl FaultKind {
             FaultKind::NonFiniteGradient => "non-finite-gradient",
             FaultKind::NonFiniteUpdate => "non-finite-update",
             FaultKind::EmptyBatch => "empty-batch",
+            FaultKind::WorkerLost => "worker-lost",
         }
     }
 
@@ -169,6 +203,7 @@ impl FaultKind {
             "non-finite-gradient" => FaultKind::NonFiniteGradient,
             "non-finite-update" => FaultKind::NonFiniteUpdate,
             "empty-batch" => FaultKind::EmptyBatch,
+            "worker-lost" => FaultKind::WorkerLost,
             _ => return None,
         })
     }
@@ -245,6 +280,7 @@ mod tests {
             FaultKind::NonFiniteGradient,
             FaultKind::NonFiniteUpdate,
             FaultKind::EmptyBatch,
+            FaultKind::WorkerLost,
         ] {
             assert_eq!(FaultKind::parse(k.as_str()), Some(k));
         }

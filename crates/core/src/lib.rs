@@ -52,6 +52,7 @@ pub mod env;
 pub mod epgnn;
 pub mod error;
 pub mod eval;
+pub mod executor;
 pub mod fault;
 pub mod features;
 pub mod infer;
@@ -75,16 +76,23 @@ pub use env::CcdEnv;
 pub use epgnn::EpGnn;
 pub use error::Error;
 pub use eval::{evaluate_policy, PolicyEval};
+pub use executor::{
+    ExecutedRollout, ExecutorBatch, LocalExecutor, RolloutExecutor, RolloutRequest,
+};
 pub use fault::{FaultKind, FaultPlan, InjectedFault, RolloutFault};
 pub use features::{NodeFeatures, FEATURE_DIM, MASKED_COL};
 pub use infer::{sample_endpoints, select_endpoints};
 pub use masking::{EndpointStatus, SelectionMask};
 pub use parallel::{
-    max_concurrent_tapes, run_rollouts, run_rollouts_supervised, RolloutBatch, ScoredRollout,
-    DEFAULT_TAPE_MEMORY_BUDGET, MAX_TAPE_MEMORY_BUDGET, MIN_TAPE_MEMORY_BUDGET,
+    max_concurrent_tapes, run_rollouts, run_rollouts_assigned, run_rollouts_supervised,
+    RolloutBatch, ScoredRollout, DEFAULT_TAPE_MEMORY_BUDGET, MAX_TAPE_MEMORY_BUDGET,
+    MIN_TAPE_MEMORY_BUDGET,
 };
 #[allow(deprecated)]
 pub use reinforce::{resume_train, train, train_or_resume};
-pub use reinforce::{try_train, IterationStats, TrainError, TrainOutcome, TrainSession};
+pub use reinforce::{
+    resume_train_with, train_or_resume_with, try_train, try_train_with, IterationStats, TrainError,
+    TrainOutcome, TrainSession,
+};
 pub use session::{Session, SessionBuilder};
 pub use transfer::{load_params, save_params, with_pretrained_gnn, zero_shot_selection};

@@ -138,20 +138,44 @@ pub fn run_rollouts_supervised(
     tape_memory_budget: usize,
     plan: &FaultPlan,
 ) -> RolloutBatch {
+    let pairs: Vec<(usize, u64)> = seeds.iter().copied().enumerate().collect();
+    run_rollouts_assigned(
+        model,
+        params,
+        env,
+        &pairs,
+        iteration,
+        tape_memory_budget,
+        plan,
+    )
+}
+
+/// The slot-aware core of [`run_rollouts_supervised`]: runs one rollout
+/// per `(slot, seed)` pair, tagging results and fault records with the
+/// *given* slot instead of a positional index. Distributed workers use
+/// this so a rollout executed remotely carries the same worker slot —
+/// and therefore produces the same fault records and telemetry — as it
+/// would have in a single-process run.
+pub fn run_rollouts_assigned(
+    model: &RlCcd,
+    params: &ParamSet,
+    env: &CcdEnv,
+    pairs: &[(usize, u64)],
+    iteration: usize,
+    tape_memory_budget: usize,
+    plan: &FaultPlan,
+) -> RolloutBatch {
     let chunk = max_concurrent_tapes(env, tape_memory_budget);
     // Hand the driver's recorder (if any) to every worker thread: each
     // worker attaches its own clone, records into its thread-local span
     // buffer, and merges back when its rollout span closes.
     let recorder = rl_ccd_obs::current();
-    let mut results: Vec<(usize, WorkerResult)> = Vec::with_capacity(seeds.len());
-    for (gi, group) in seeds.chunks(chunk).enumerate() {
-        let group_start = gi * chunk;
+    let mut results: Vec<(usize, WorkerResult)> = Vec::with_capacity(pairs.len());
+    for group in pairs.chunks(chunk) {
         let scored: Vec<(usize, WorkerResult)> = std::thread::scope(|scope| {
             let handles: Vec<_> = group
                 .iter()
-                .enumerate()
-                .map(|(offset, &seed)| {
-                    let worker = group_start + offset;
+                .map(|&(worker, seed)| {
                     let recorder = recorder.clone();
                     scope.spawn(move || {
                         let _obs = recorder.as_ref().map(rl_ccd_obs::attach);

@@ -15,7 +15,8 @@
 //! worker failures. Three layers make that true here:
 //!
 //! 1. **Rollout supervision** — workers run under
-//!    [`run_rollouts_supervised`]; a panicked or non-finite rollout is
+//!    [`run_rollouts_supervised`](crate::parallel::run_rollouts_supervised);
+//!    a panicked or non-finite rollout is
 //!    quarantined with a [`RolloutFault`] record and the iteration
 //!    proceeds if at least [`RlConfig::effective_quorum`] workers survive,
 //!    aborting with [`TrainError::QuorumLost`] otherwise.
@@ -38,8 +39,8 @@ use crate::checkpoint::{
 };
 use crate::config::RlConfig;
 use crate::env::CcdEnv;
+use crate::executor::{LocalExecutor, RolloutExecutor, RolloutRequest};
 use crate::fault::{FaultKind, FaultPlan, RolloutFault};
-use crate::parallel::run_rollouts_supervised;
 use rl_ccd_flow::FlowResult;
 use rl_ccd_netlist::EndpointId;
 use rl_ccd_nn::{Adam, GradSet, ParamSet};
@@ -238,6 +239,23 @@ pub fn try_train(
     config: &RlConfig,
     session: TrainSession,
 ) -> Result<TrainOutcome, TrainError> {
+    try_train_with(env, config, session, &mut LocalExecutor)
+}
+
+/// [`try_train`] with an explicit [`RolloutExecutor`]: rollouts run
+/// wherever the executor puts them (in-process threads, worker processes
+/// over TCP, …) while the trainer stays bit-identical — rollouts are pure
+/// functions of `(params, env, seed)` and gradients are reduced in slot
+/// order regardless of completion order.
+///
+/// # Errors
+/// Same contract as [`try_train`].
+pub fn try_train_with(
+    env: &CcdEnv,
+    config: &RlConfig,
+    session: TrainSession,
+    executor: &mut dyn RolloutExecutor,
+) -> Result<TrainOutcome, TrainError> {
     let (model, fresh) = RlCcd::init(config.clone());
     let params = session.initial.clone().unwrap_or(fresh);
     // The native flow (empty selection) seeds the champion: the tool's own
@@ -255,7 +273,7 @@ pub fn try_train(
         history: Vec::new(),
         faults: Vec::new(),
     };
-    run_training(env, config, &model, state, &session)
+    run_training(env, config, &model, state, &session, executor)
 }
 
 /// Resumes a run from the [`TrainingState`] committed in `dir` and
@@ -289,7 +307,24 @@ pub(crate) fn resume_train_impl(
     env: &CcdEnv,
     config: &RlConfig,
     dir: &Path,
+    session: TrainSession,
+) -> Result<TrainOutcome, TrainError> {
+    resume_train_with(env, config, dir, session, &mut LocalExecutor)
+}
+
+/// Resume with an explicit [`RolloutExecutor`]. Because rollout seeds are
+/// pure functions of the config seed and the absolute iteration index, a
+/// killed *distributed* run resumed here — with any executor and any
+/// worker count — reproduces the uninterrupted run bit-for-bit.
+///
+/// # Errors
+/// Same contract as the deprecated `resume_train`.
+pub fn resume_train_with(
+    env: &CcdEnv,
+    config: &RlConfig,
+    dir: &Path,
     mut session: TrainSession,
+    executor: &mut dyn RolloutExecutor,
 ) -> Result<TrainOutcome, TrainError> {
     let state = load_training_state(dir)?;
     if state.seed_base != config.seed {
@@ -326,7 +361,7 @@ pub(crate) fn resume_train_impl(
         history: state.history,
         faults: state.faults,
     };
-    run_training(env, config, &model, state, &session)
+    run_training(env, config, &model, state, &session, executor)
 }
 
 /// Resumes from `dir` when it holds a committed state, otherwise starts a
@@ -356,23 +391,43 @@ pub(crate) fn train_or_resume_impl(
     env: &CcdEnv,
     config: &RlConfig,
     dir: &Path,
+    session: TrainSession,
+) -> Result<TrainOutcome, TrainError> {
+    train_or_resume_with(env, config, dir, session, &mut LocalExecutor)
+}
+
+/// Starts or resumes a checkpointed run with an explicit
+/// [`RolloutExecutor`] (what `Session::train` uses when a custom executor
+/// is configured).
+///
+/// # Errors
+/// Propagates [`TrainError`] from the underlying run.
+pub fn train_or_resume_with(
+    env: &CcdEnv,
+    config: &RlConfig,
+    dir: &Path,
     mut session: TrainSession,
+    executor: &mut dyn RolloutExecutor,
 ) -> Result<TrainOutcome, TrainError> {
     if training_state_exists(dir) {
-        resume_train_impl(env, config, dir, session)
+        resume_train_with(env, config, dir, session, executor)
     } else {
         session.checkpoint_dir = Some(dir.to_path_buf());
-        try_train(env, config, session)
+        try_train_with(env, config, session, executor)
     }
 }
 
-/// The supervised training loop shared by fresh and resumed runs.
+/// The supervised training loop shared by fresh and resumed runs, and by
+/// every executor. Gradient reduction iterates survivors sorted by slot,
+/// so the merged update is fixed by seed index — never by the order an
+/// executor happened to complete rollouts in.
 fn run_training(
     env: &CcdEnv,
     config: &RlConfig,
     model: &RlCcd,
     mut s: LoopState,
     session: &TrainSession,
+    executor: &mut dyn RolloutExecutor,
 ) -> Result<TrainOutcome, TrainError> {
     let quorum = config.effective_quorum();
     let mut train_span = rl_ccd_obs::span!(
@@ -389,25 +444,29 @@ fn run_training(
             break;
         }
         let mut iter_span = rl_ccd_obs::span!("train.iteration", iteration = iteration);
-        let seeds: Vec<u64> = (0..config.workers.max(1))
+        let pairs: Vec<(usize, u64)> = (0..config.workers.max(1))
             .map(|w| {
-                config
+                let seed = config
                     .seed
                     .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add((iteration * 1009 + w) as u64)
+                    .wrapping_add((iteration * 1009 + w) as u64);
+                (w, seed)
             })
             .collect();
-        let batch = run_rollouts_supervised(
-            model,
-            &s.params,
-            env,
-            &seeds,
+        let mut batch = executor.run_batch(&RolloutRequest {
             iteration,
-            config.tape_memory_budget,
-            &session.fault_plan,
-        );
+            pairs: &pairs,
+            params: &s.params,
+            model,
+            env,
+            config,
+            plan: &session.fault_plan,
+        });
+        // The reduction-order pin: whatever order the executor returned,
+        // gradients merge in slot (= seed) order.
+        batch.rollouts.sort_by_key(|r| r.slot);
         s.faults.extend(batch.faults.iter().cloned());
-        let survivors = batch.survivors;
+        let survivors = batch.rollouts;
         if survivors.len() < quorum {
             // Abort cleanly, leaving a resumable checkpoint of the state
             // *before* this iteration so a fixed environment can continue.
@@ -439,21 +498,29 @@ fn run_training(
             });
             (f64::NEG_INFINITY, f64::NEG_INFINITY, Vec::new(), Vec::new())
         } else {
-            let rewards: Vec<f64> = survivors.iter().map(|(_, r)| r.reward()).collect();
+            let rewards: Vec<f64> = survivors.iter().map(|r| r.reward).collect();
             let mean = rewards.iter().sum::<f64>() / rewards.len() as f64;
             let var =
                 rewards.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / rewards.len() as f64;
             let std = var.sqrt();
             let batch_best = rewards.iter().copied().fold(f64::NEG_INFINITY, f64::max);
 
-            // Track the champion selection.
-            for (_, r) in &survivors {
-                if r.reward() > s.best_reward {
-                    s.best_reward = r.reward();
-                    s.best_result = r.result.clone();
-                    s.best_selection = r.selected.clone();
+            // Track the champion selection. Executed rollouts carry only
+            // the reward (flow results do not cross process boundaries);
+            // the champion's FlowResult is recomputed once per improving
+            // iteration — evaluate is deterministic in the selection, so
+            // this is the exact result the rollout's worker saw.
+            let mut champion: Option<&crate::executor::ExecutedRollout> = None;
+            for r in &survivors {
+                if r.reward > s.best_reward {
+                    s.best_reward = r.reward;
+                    champion = Some(r);
                     improved = true;
                 }
+            }
+            if let Some(r) = champion {
+                s.best_selection = r.selected.clone();
+                s.best_result = env.evaluate(&s.best_selection);
             }
 
             // Policy-gradient update (skip degenerate batches). Workers
@@ -461,8 +528,8 @@ fn run_training(
             // scaled by −advantage (Eq. 7 with a standardized baseline).
             if std > 1e-9 {
                 let mut grads = GradSet::new();
-                for (_, r) in survivors.iter() {
-                    let advantage = ((r.reward() - mean) / std) as f32;
+                for r in survivors.iter() {
+                    let advantage = ((r.reward - mean) / std) as f32;
                     let mut local = GradSet::new();
                     local.merge(r.log_prob_grads.clone());
                     local.scale(-advantage);
@@ -506,7 +573,7 @@ fn run_training(
                     }
                 }
             }
-            let steps = survivors.iter().map(|(_, r)| r.steps).collect();
+            let steps = survivors.iter().map(|r| r.steps).collect();
             (mean, batch_best, steps, rewards)
         };
 

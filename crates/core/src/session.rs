@@ -23,14 +23,16 @@
 
 use crate::env::CcdEnv;
 use crate::error::Error;
+use crate::executor::{LocalExecutor, RolloutExecutor};
 use crate::fault::FaultPlan;
-use crate::reinforce::{train_or_resume_impl, try_train, TrainOutcome, TrainSession};
+use crate::reinforce::{train_or_resume_with, try_train_with, TrainOutcome, TrainSession};
 use crate::RlConfig;
 use rl_ccd_flow::{FlowRecipe, FlowResult, FlowTrace};
 use rl_ccd_netlist::{EndpointId, GeneratedDesign};
 use rl_ccd_nn::ParamSet;
 use rl_ccd_obs::Recorder;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// Builds a [`Session`]. Only [`design`](SessionBuilder::design) is
 /// required; everything else has the same defaults as the deprecated
@@ -44,6 +46,7 @@ pub struct SessionBuilder {
     initial: Option<ParamSet>,
     checkpoint: Option<(PathBuf, usize)>,
     fault_plan: FaultPlan,
+    executor: Option<Box<dyn RolloutExecutor>>,
 }
 
 impl SessionBuilder {
@@ -95,6 +98,14 @@ impl SessionBuilder {
         self
     }
 
+    /// Where rollouts run (default: in-process threads via
+    /// [`LocalExecutor`]). Pass a distributed executor to shard rollouts
+    /// over worker processes — training stays bit-identical either way.
+    pub fn executor(mut self, executor: Box<dyn RolloutExecutor>) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
     /// Builds the environment (begin STA, endpoint pool, GNN graphs,
     /// features) and returns the ready [`Session`].
     ///
@@ -115,6 +126,7 @@ impl SessionBuilder {
             initial: self.initial,
             checkpoint: self.checkpoint,
             fault_plan: self.fault_plan,
+            executor: Mutex::new(self.executor.unwrap_or_else(|| Box::new(LocalExecutor))),
         })
     }
 }
@@ -129,6 +141,7 @@ pub struct Session {
     initial: Option<ParamSet>,
     checkpoint: Option<(PathBuf, usize)>,
     fault_plan: FaultPlan,
+    executor: Mutex<Box<dyn RolloutExecutor>>,
 }
 
 impl Session {
@@ -206,9 +219,16 @@ impl Session {
             checkpoint_every: self.checkpoint.as_ref().map_or(0, |&(_, every)| every),
             fault_plan: self.fault_plan.clone(),
         };
+        let mut executor = self.executor.lock().expect("session executor lock");
         let outcome = match &self.checkpoint {
-            Some((dir, _)) => train_or_resume_impl(&self.env, &self.rl_config, dir, train_session)?,
-            None => try_train(&self.env, &self.rl_config, train_session)?,
+            Some((dir, _)) => train_or_resume_with(
+                &self.env,
+                &self.rl_config,
+                dir,
+                train_session,
+                executor.as_mut(),
+            )?,
+            None => try_train_with(&self.env, &self.rl_config, train_session, executor.as_mut())?,
         };
         Ok(outcome)
     }
@@ -270,7 +290,7 @@ mod tests {
             .unwrap();
         let via_session = session.train().unwrap();
         let env = CcdEnv::new(design, FlowRecipe::default(), config.fanout_cap);
-        let direct = try_train(&env, &config, TrainSession::default()).unwrap();
+        let direct = crate::try_train(&env, &config, TrainSession::default()).unwrap();
         assert_eq!(
             via_session.best_result.final_qor.tns_ps,
             direct.best_result.final_qor.tns_ps

@@ -1,0 +1,397 @@
+//! The coordinator side: [`DistExecutor`], a [`RolloutExecutor`] that
+//! shards each iteration's `(slot, seed)` pairs across worker processes.
+//!
+//! # Determinism
+//!
+//! Each rollout's value is a pure function of `(params, env, seed)`, and
+//! workers run the identical rollout code a single-process trainer runs.
+//! The coordinator therefore only has to guarantee *coverage*, not
+//! placement: every pair must be served by *some* live worker, and pairs
+//! whose worker fails — dies mid-batch, stalls past the deadline, or
+//! writes a torn frame — are re-queued onto the survivors. The trainer
+//! reduces gradients in slot order, so which worker served a pair, when it
+//! replied, and how often it was retried cannot change the training
+//! trajectory: distributed runs are bit-identical to single-process runs
+//! for any worker count.
+//!
+//! # Failure model
+//!
+//! A worker that fails a roundtrip is quarantined for the rest of the run
+//! (its connection is abandoned; a late reply lands on a dead socket).
+//! Transport failures that were recovered by re-queuing are *not* training
+//! faults — they leave no [`RolloutFault`] record, only observability
+//! counters — because a single-process run of the same seeds has no such
+//! record either, and fault records are part of the checkpointed state.
+//! Only a pair that no live worker can serve becomes a
+//! [`FaultKind::WorkerLost`] record; if that drops the batch below the
+//! quorum, the trainer fails with `TrainError::QuorumLost` exactly as it
+//! does when local rollouts are quarantined.
+
+use crate::protocol::{
+    decode_response, encode_request, read_message, write_message, InitRequest, Inject, Request,
+    Response, RunRequest,
+};
+use rl_ccd::{
+    ExecutedRollout, ExecutorBatch, FaultKind, FaultPlan, InjectedFault, RolloutExecutor,
+    RolloutFault, RolloutRequest,
+};
+use rl_ccd_netlist::{write_netlist, EndpointId};
+use rl_ccd_obs as obs;
+use std::fmt;
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One in-flight dispatch: the worker index, its assigned pairs (kept for
+/// re-queuing on failure), the taken connection, and the encoded request.
+type Dispatch = (usize, Vec<(usize, u64)>, TcpStream, Vec<u8>);
+
+/// One worker process as the coordinator sees it.
+#[derive(Debug)]
+struct Worker {
+    addr: String,
+    /// `None` once the worker is quarantined (dead or abandoned).
+    conn: Option<TcpStream>,
+}
+
+/// A [`RolloutExecutor`] that dispatches rollouts to worker processes over
+/// the `rl-ccd-dist v1` protocol.
+#[derive(Debug)]
+pub struct DistExecutor {
+    workers: Vec<Worker>,
+    deadline: Duration,
+    init_deadline: Duration,
+    initialized: bool,
+}
+
+impl DistExecutor {
+    /// Connects to every worker address (e.g. `"127.0.0.1:7401"`).
+    /// Workers are initialized lazily on the first batch, when the design
+    /// is known.
+    ///
+    /// # Errors
+    /// `InvalidInput` when `addrs` is empty; otherwise the first
+    /// connection failure.
+    pub fn connect<S: AsRef<str>>(addrs: &[S]) -> io::Result<Self> {
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "DistExecutor needs at least one worker address",
+            ));
+        }
+        let mut workers = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let conn = TcpStream::connect(addr.as_ref())?;
+            conn.set_nodelay(true).ok();
+            workers.push(Worker {
+                addr: addr.as_ref().to_string(),
+                conn: Some(conn),
+            });
+        }
+        Ok(Self {
+            workers,
+            deadline: Duration::from_secs(120),
+            init_deadline: Duration::from_secs(600),
+            initialized: false,
+        })
+    }
+
+    /// Per-request deadline: a worker that has not replied within it is
+    /// quarantined and its pairs re-queued (default 120 s).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Deadline for the one-time worker initialization, which rebuilds the
+    /// environment from the netlist (default 600 s).
+    pub fn with_init_deadline(mut self, deadline: Duration) -> Self {
+        self.init_deadline = deadline.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Workers still eligible for dispatch.
+    pub fn live_workers(&self) -> usize {
+        self.workers.iter().filter(|w| w.conn.is_some()).count()
+    }
+
+    /// Sends `Shutdown` to every live worker and drops the connections.
+    /// Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        let payload = encode_request(&Request::Shutdown);
+        for worker in &mut self.workers {
+            if let Some(mut conn) = worker.conn.take() {
+                let _ = write_message(&mut conn, &payload);
+            }
+        }
+    }
+
+    /// Sends `Init` to every live worker in parallel; quarantines any that
+    /// fail or disagree on the endpoint pool.
+    fn init_workers(&mut self, req: &RolloutRequest<'_>) {
+        let _span = obs::span!("dist.init", workers = self.live_workers() as u64);
+        let design = req.env.design();
+        let mut netlist_bytes = Vec::new();
+        write_netlist(&design.netlist, &mut netlist_bytes).expect("in-memory write");
+        let payload = encode_request(&Request::Init(InitRequest {
+            period_ps: design.period_ps,
+            recipe: req.env.recipe().clone(),
+            config: req.config.clone(),
+            netlist_text: String::from_utf8(netlist_bytes).expect("netlist text is UTF-8"),
+        }));
+        let expected_pool = req.env.pool().len();
+        let deadline = self.init_deadline;
+        let round: Vec<(usize, TcpStream)> = self
+            .workers
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, w)| w.conn.take().map(|c| (i, c)))
+            .collect();
+        let outcomes = std::thread::scope(|s| {
+            let handles: Vec<_> = round
+                .into_iter()
+                .map(|(widx, mut conn)| {
+                    let payload = &payload;
+                    s.spawn(move || {
+                        let result = roundtrip(&mut conn, payload, deadline);
+                        (widx, conn, result)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("init dispatch thread"))
+                .collect::<Vec<_>>()
+        });
+        for (widx, conn, result) in outcomes {
+            match result {
+                Ok(Response::InitAck { pool, .. }) if pool == expected_pool => {
+                    self.workers[widx].conn = Some(conn);
+                }
+                Ok(Response::InitAck { pool, .. }) => {
+                    obs::counter!("dist.workers_dead", 1);
+                    eprintln!(
+                        "dist: worker {} rebuilt a different design (pool {} vs {}), quarantined",
+                        self.workers[widx].addr, pool, expected_pool
+                    );
+                }
+                Ok(Response::Err { message }) => {
+                    obs::counter!("dist.workers_dead", 1);
+                    eprintln!(
+                        "dist: worker {} failed init: {message}, quarantined",
+                        self.workers[widx].addr
+                    );
+                }
+                Ok(_) => {
+                    obs::counter!("dist.workers_dead", 1);
+                    eprintln!(
+                        "dist: worker {} answered init with the wrong message, quarantined",
+                        self.workers[widx].addr
+                    );
+                }
+                Err(why) => {
+                    obs::counter!("dist.workers_dead", 1);
+                    eprintln!(
+                        "dist: worker {} unreachable during init: {why}, quarantined",
+                        self.workers[widx].addr
+                    );
+                }
+            }
+        }
+        self.initialized = true;
+    }
+
+    /// The injections a run request to worker-process `widx` must carry:
+    /// process-level faults addressed to that process, plus slot-level
+    /// faults for the slots in its chunk.
+    fn injects_for(
+        plan: &FaultPlan,
+        iteration: usize,
+        widx: usize,
+        chunk: &[(usize, u64)],
+        deadline: Duration,
+    ) -> Vec<Inject> {
+        let mut injects = Vec::new();
+        if plan.injects(iteration, widx, InjectedFault::WorkerDrop) {
+            injects.push(Inject::Drop);
+        }
+        if plan.injects(iteration, widx, InjectedFault::TornFrame) {
+            injects.push(Inject::Torn);
+        }
+        if plan.injects(iteration, widx, InjectedFault::SlowWorker) {
+            // Stall well past the deadline so the coordinator definitely
+            // abandons the connection first.
+            let ms = deadline.as_millis() as u64 * 3 + 50;
+            injects.push(Inject::SleepMs(ms));
+        }
+        for &(slot, _) in chunk {
+            if plan.injects(iteration, slot, InjectedFault::WorkerPanic) {
+                injects.push(Inject::Panic(slot));
+            }
+            if plan.injects(iteration, slot, InjectedFault::NanReward) {
+                injects.push(Inject::NanReward(slot));
+            }
+            if plan.injects(iteration, slot, InjectedFault::PoisonedGradient) {
+                injects.push(Inject::Poison(slot));
+            }
+        }
+        injects
+    }
+}
+
+impl RolloutExecutor for DistExecutor {
+    fn run_batch(&mut self, req: &RolloutRequest<'_>) -> ExecutorBatch {
+        if !self.initialized {
+            self.init_workers(req);
+        }
+        let _span = obs::span!(
+            "dist.run_batch",
+            iteration = req.iteration as u64,
+            pairs = req.pairs.len() as u64
+        );
+        let mut batch = ExecutorBatch::default();
+        let mut pending: Vec<(usize, u64)> = req.pairs.to_vec();
+        while !pending.is_empty() {
+            pending.sort_by_key(|&(slot, _)| slot);
+            let live: Vec<usize> = self
+                .workers
+                .iter()
+                .enumerate()
+                .filter_map(|(i, w)| w.conn.is_some().then_some(i))
+                .collect();
+            obs::gauge!("dist.live_workers", live.len() as f64);
+            if live.is_empty() {
+                obs::counter!("dist.worker_lost", pending.len() as u64);
+                for (slot, seed) in pending.drain(..) {
+                    batch.faults.push(RolloutFault {
+                        iteration: req.iteration,
+                        worker: slot,
+                        seed,
+                        kind: FaultKind::WorkerLost,
+                        detail: "no live worker left to serve the rollout".into(),
+                    });
+                }
+                break;
+            }
+            // Contiguous chunks over the live workers, sizes within one of
+            // each other — a pure function of (pending, live set).
+            let per = pending.len().div_ceil(live.len());
+            let round: Vec<Dispatch> = pending
+                .chunks(per)
+                .zip(&live)
+                .map(|(chunk, &widx)| {
+                    let injects =
+                        Self::injects_for(req.plan, req.iteration, widx, chunk, self.deadline);
+                    let payload = encode_request(&Request::Run(RunRequest {
+                        iteration: req.iteration,
+                        pairs: chunk.to_vec(),
+                        injects,
+                        params: req.params.clone(),
+                    }));
+                    let conn = self.workers[widx].conn.take().expect("live worker");
+                    (widx, chunk.to_vec(), conn, payload)
+                })
+                .collect();
+            pending.clear();
+            let deadline = self.deadline;
+            let outcomes = std::thread::scope(|s| {
+                let handles: Vec<_> = round
+                    .into_iter()
+                    .map(|(widx, chunk, mut conn, payload)| {
+                        s.spawn(move || {
+                            let result = roundtrip(&mut conn, &payload, deadline);
+                            (widx, chunk, conn, result)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("dispatch thread"))
+                    .collect::<Vec<_>>()
+            });
+            for (widx, chunk, conn, result) in outcomes {
+                match result {
+                    Ok(Response::Batch(b)) => {
+                        obs::counter!("dist.rollouts", b.items.len() as u64);
+                        self.workers[widx].conn = Some(conn);
+                        batch
+                            .rollouts
+                            .extend(b.items.into_iter().map(|item| ExecutedRollout {
+                                slot: item.slot,
+                                seed: item.seed,
+                                selected:
+                                    item.selection.iter().map(|&i| EndpointId::new(i)).collect(),
+                                steps: item.steps,
+                                reward: item.reward,
+                                log_prob_grads: item.grads,
+                            }));
+                        batch.faults.extend(b.faults);
+                    }
+                    Ok(Response::Err { message }) => {
+                        obs::counter!("dist.workers_dead", 1);
+                        obs::counter!("dist.requeued", chunk.len() as u64);
+                        eprintln!(
+                            "dist: worker {} rejected the batch: {message}; re-queuing {} rollouts",
+                            self.workers[widx].addr,
+                            chunk.len()
+                        );
+                        pending.extend(chunk);
+                    }
+                    Ok(_) => {
+                        obs::counter!("dist.workers_dead", 1);
+                        obs::counter!("dist.requeued", chunk.len() as u64);
+                        eprintln!(
+                            "dist: worker {} answered with the wrong message; re-queuing {} rollouts",
+                            self.workers[widx].addr,
+                            chunk.len()
+                        );
+                        pending.extend(chunk);
+                    }
+                    Err(why) => {
+                        obs::counter!("dist.workers_dead", 1);
+                        obs::counter!("dist.requeued", chunk.len() as u64);
+                        eprintln!(
+                            "dist: worker {} failed mid-batch ({why}); re-queuing {} rollouts",
+                            self.workers[widx].addr,
+                            chunk.len()
+                        );
+                        pending.extend(chunk);
+                    }
+                }
+            }
+        }
+        // Slot order, so fault records land in the checkpoint in the same
+        // order a single-process run writes them.
+        batch.rollouts.sort_by_key(|r| r.slot);
+        batch.faults.sort_by_key(|f| (f.worker, f.seed));
+        batch
+    }
+}
+
+impl Drop for DistExecutor {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One request/response exchange under a read deadline. Any failure —
+/// write error, timeout, torn frame, decode error — is returned as a
+/// description; the caller quarantines the worker.
+fn roundtrip(conn: &mut TcpStream, payload: &[u8], deadline: Duration) -> Result<Response, String> {
+    conn.set_read_timeout(Some(deadline))
+        .map_err(|e| format!("set deadline: {e}"))?;
+    write_message(conn, payload).map_err(|e| format!("send: {e}"))?;
+    let reply = read_message(conn).map_err(|e| format!("receive: {e}"))?;
+    decode_response(&reply).map_err(|e| format!("decode: {e}"))
+}
+
+impl fmt::Display for DistExecutor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DistExecutor({} workers, {} live)",
+            self.workers.len(),
+            self.live_workers()
+        )
+    }
+}

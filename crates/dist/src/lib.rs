@@ -1,0 +1,47 @@
+//! Distributed rollout execution for RL-CCD training.
+//!
+//! REINFORCE spends essentially all of its wall-clock inside rollout flow
+//! evaluations, and rollouts within an iteration are embarrassingly
+//! parallel — the paper runs 8 concurrent rollout processes. This crate
+//! scales that axis past one machine: a **coordinator** (the trainer,
+//! through [`DistExecutor`]) shards each iteration's `(slot, seed)` pairs
+//! across **worker** processes ([`serve_worker`]) over the framed TCP
+//! protocol in [`protocol`], and aggregates rewards and gradients back.
+//!
+//! The headline property is *bit-identical determinism*: a distributed
+//! run produces exactly the training trajectory of a single-process run —
+//! same parameters, same champion, same checkpoints — for any worker
+//! count, any timing, and any number of worker failures handled by
+//! re-queuing, because rollout values are pure functions of
+//! `(params, env, seed)` and the trainer reduces gradients in slot order.
+//! See [`coordinator`] for the argument and the failure model.
+//!
+//! ```no_run
+//! use rl_ccd::Session;
+//! use rl_ccd_dist::DistExecutor;
+//! use rl_ccd_netlist::{generate, DesignSpec, TechNode};
+//!
+//! let design = generate(&DesignSpec::new("demo", 800, TechNode::N7, 1));
+//! let executor = DistExecutor::connect(&["10.0.0.2:7401", "10.0.0.3:7401"])?;
+//! let session = Session::builder()
+//!     .design(design)
+//!     .executor(Box::new(executor))
+//!     .build()?;
+//! let outcome = session.train()?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod coordinator;
+pub mod protocol;
+pub mod worker;
+
+pub use coordinator::DistExecutor;
+pub use protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_message, write_message,
+    BatchResponse, InitRequest, Inject, Request, Response, RolloutItem, RunRequest,
+    DIST_MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+pub use worker::serve_worker;

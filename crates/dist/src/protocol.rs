@@ -1,0 +1,723 @@
+//! The `rl-ccd-dist v1` wire protocol: what the training coordinator and
+//! rollout workers exchange over TCP.
+//!
+//! The format is the shared [`rl_ccd_wire`] two-layer scheme — length-
+//! prefixed frames around a versioned text envelope — with a larger frame
+//! cap ([`DIST_MAX_FRAME_LEN`]) because init frames carry a serialized
+//! netlist and run frames carry the full parameter set. Everything is
+//! plain text: Rust's shortest-roundtrip float formatting makes every
+//! value bit-exact across the wire, which the determinism contract of
+//! [`rl_ccd::RolloutExecutor`] depends on.
+//!
+//! A session is: one [`Request::Init`] (design + recipe + config, so the
+//! worker can rebuild the environment and model the trainer holds), then
+//! one [`Request::Run`] per training iteration carrying the current
+//! parameters and this worker's `(slot, seed)` share of the batch, each
+//! answered by a [`Response::Batch`] of lean rollouts — selection, reward
+//! and `∇ Σ log π` only; the trainer recomputes the champion's flow result
+//! locally — plus quarantine records.
+
+use rl_ccd::{EncoderKind, FaultKind, RlConfig, RolloutFault};
+use rl_ccd_flow::{DatapathOpts, FlowRecipe, MarginMode, UsefulSkewOpts};
+use rl_ccd_nn::{GradSet, ParamSet};
+use rl_ccd_wire::{head_fields, read_frame_limited, split_versioned, write_frame_limited};
+use std::io::{self, Read, Write};
+
+/// Version token on line 1 of every dist payload.
+pub const PROTOCOL_VERSION: &str = "rl-ccd-dist v1";
+
+/// Frame cap for dist messages (256 MiB): init frames carry a full
+/// serialized netlist and run frames a full parameter set, far past the
+/// control-message default of [`rl_ccd_wire::MAX_FRAME_LEN`].
+pub const DIST_MAX_FRAME_LEN: usize = 256 << 20;
+
+/// Writes one dist-capped frame.
+///
+/// # Errors
+/// Propagates I/O errors; `InvalidInput` past [`DIST_MAX_FRAME_LEN`].
+pub fn write_message<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    write_frame_limited(w, payload, DIST_MAX_FRAME_LEN)
+}
+
+/// Reads one dist-capped frame.
+///
+/// # Errors
+/// Propagates I/O errors; `InvalidData` on an oversized length prefix and
+/// `UnexpectedEof` on a torn frame.
+pub fn read_message<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
+    read_frame_limited(r, DIST_MAX_FRAME_LEN)
+}
+
+/// A coordinator → worker message.
+// `Init` dwarfs the other variants, but exactly one is ever alive per
+// worker connection — boxing would buy nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Load a design and build the environment and model once, before any
+    /// rollouts.
+    Init(InitRequest),
+    /// Run one iteration's share of rollouts.
+    Run(RunRequest),
+    /// Stop serving and exit the accept loop.
+    Shutdown,
+}
+
+/// A worker → coordinator message.
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// The worker finished building its environment.
+    InitAck {
+        /// Total endpoints in the rebuilt design.
+        endpoints: usize,
+        /// Size of the violating-endpoint pool (must match the
+        /// coordinator's, or the designs diverged).
+        pool: usize,
+    },
+    /// One iteration's surviving rollouts plus quarantine records.
+    Batch(BatchResponse),
+    /// The worker could not serve the request.
+    Err {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// Body of [`Request::Init`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct InitRequest {
+    /// Clock period of the design, ps (carried beside the netlist text —
+    /// the netlist format does not store it).
+    pub period_ps: f32,
+    /// The flow recipe every rollout evaluation runs.
+    pub recipe: FlowRecipe,
+    /// The RL configuration (the worker rebuilds the model from its seed
+    /// and widths, and honors its tape memory budget).
+    pub config: RlConfig,
+    /// The design netlist in [`rl_ccd_netlist::write_netlist`] text form.
+    pub netlist_text: String,
+}
+
+/// Body of [`Request::Run`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunRequest {
+    /// Training iteration index.
+    pub iteration: usize,
+    /// This worker's `(slot, seed)` share of the iteration's batch.
+    pub pairs: Vec<(usize, u64)>,
+    /// Test-only fault injections the worker should apply.
+    pub injects: Vec<Inject>,
+    /// Current policy parameters.
+    pub params: ParamSet,
+}
+
+/// A fault injection carried to a worker (test harness and chaos drills
+/// only; the empty list is the production path).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Inject {
+    /// Die mid-batch: close the connection without replying and stop
+    /// serving.
+    Drop,
+    /// Write a torn frame (length prefix promising more bytes than
+    /// follow), then die.
+    Torn,
+    /// Stall this many milliseconds before replying — past the
+    /// coordinator's deadline, so the reply lands on an abandoned socket.
+    SleepMs(u64),
+    /// Panic the rollout at this slot (quarantined in-worker).
+    Panic(usize),
+    /// Replace the reward of the rollout at this slot with NaN.
+    NanReward(usize),
+    /// Poison one gradient element of the rollout at this slot.
+    Poison(usize),
+}
+
+impl Inject {
+    fn encode(self) -> String {
+        match self {
+            Inject::Drop => "drop".into(),
+            Inject::Torn => "torn".into(),
+            Inject::SleepMs(ms) => format!("sleep:{ms}"),
+            Inject::Panic(slot) => format!("panic:{slot}"),
+            Inject::NanReward(slot) => format!("nan:{slot}"),
+            Inject::Poison(slot) => format!("poison:{slot}"),
+        }
+    }
+
+    fn decode(tok: &str) -> Result<Self, String> {
+        let (kind, arg) = match tok.split_once(':') {
+            Some((k, a)) => (k, Some(a)),
+            None => (tok, None),
+        };
+        let num = |what: &str| -> Result<u64, String> {
+            arg.ok_or_else(|| format!("inject {what} needs an argument"))?
+                .parse::<u64>()
+                .map_err(|e| format!("bad inject argument in {tok:?}: {e}"))
+        };
+        Ok(match kind {
+            "drop" => Inject::Drop,
+            "torn" => Inject::Torn,
+            "sleep" => Inject::SleepMs(num("sleep")?),
+            "panic" => Inject::Panic(num("panic")? as usize),
+            "nan" => Inject::NanReward(num("nan")? as usize),
+            "poison" => Inject::Poison(num("poison")? as usize),
+            other => return Err(format!("unknown inject token {other:?}")),
+        })
+    }
+}
+
+/// One executed rollout as it crosses the wire — lean: no flow result.
+#[derive(Clone, Debug)]
+pub struct RolloutItem {
+    /// Worker slot within the iteration.
+    pub slot: usize,
+    /// The rollout's sampling seed.
+    pub seed: u64,
+    /// Trajectory length.
+    pub steps: usize,
+    /// Trajectory reward (final TNS, ps).
+    pub reward: f64,
+    /// Selected endpoint indices, in selection order.
+    pub selection: Vec<usize>,
+    /// `∇ Σ log π` for the trajectory (count preserved, so averaging on
+    /// the coordinator matches the single-process path).
+    pub grads: GradSet,
+}
+
+/// Body of [`Response::Batch`].
+#[derive(Clone, Debug, Default)]
+pub struct BatchResponse {
+    /// Surviving rollouts.
+    pub items: Vec<RolloutItem>,
+    /// Quarantine records for rollouts that faulted in-worker.
+    pub faults: Vec<RolloutFault>,
+}
+
+// ---------------------------------------------------------------------------
+// key=value field helpers
+
+fn kv_fields(line: &str) -> Vec<(&str, &str)> {
+    line.split_whitespace()
+        .filter_map(|tok| tok.split_once('='))
+        .collect()
+}
+
+struct Fields<'a> {
+    what: &'a str,
+    fields: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Fields<'a> {
+    fn get(&self, key: &str) -> Result<&'a str, String> {
+        self.fields
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|&(_, v)| v)
+            .ok_or_else(|| format!("{} is missing field {key:?}", self.what))
+    }
+
+    fn parse<T: std::str::FromStr>(&self, key: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.get(key)?
+            .parse::<T>()
+            .map_err(|e| format!("{}: bad {key}: {e}", self.what))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// recipe and config codecs
+
+fn push_kv(out: &mut String, key: &str, value: impl std::fmt::Display) {
+    out.push(' ');
+    out.push_str(key);
+    out.push('=');
+    out.push_str(&value.to_string());
+}
+
+fn encode_skew(out: &mut String, prefix: &str, o: &UsefulSkewOpts) {
+    push_kv(out, &format!("{prefix}.sweeps"), o.sweeps);
+    push_kv(out, &format!("{prefix}.rate"), o.rate);
+    push_kv(out, &format!("{prefix}.hold_floor"), o.hold_floor);
+    push_kv(out, &format!("{prefix}.launch_floor"), o.launch_floor);
+    push_kv(out, &format!("{prefix}.tolerance"), o.tolerance);
+    push_kv(out, &format!("{prefix}.move_budget"), o.move_budget_frac);
+    push_kv(out, &format!("{prefix}.serves"), o.serves_per_sweep_frac);
+}
+
+fn decode_skew(f: &Fields<'_>, prefix: &str) -> Result<UsefulSkewOpts, String> {
+    Ok(UsefulSkewOpts {
+        sweeps: f.parse(&format!("{prefix}.sweeps"))?,
+        rate: f.parse(&format!("{prefix}.rate"))?,
+        hold_floor: f.parse(&format!("{prefix}.hold_floor"))?,
+        launch_floor: f.parse(&format!("{prefix}.launch_floor"))?,
+        tolerance: f.parse(&format!("{prefix}.tolerance"))?,
+        move_budget_frac: f.parse(&format!("{prefix}.move_budget"))?,
+        serves_per_sweep_frac: f.parse(&format!("{prefix}.serves"))?,
+    })
+}
+
+fn encode_datapath(out: &mut String, prefix: &str, o: &DatapathOpts) {
+    push_kv(out, &format!("{prefix}.passes"), o.passes);
+    push_kv(out, &format!("{prefix}.ops_per_pass"), o.ops_per_pass);
+    push_kv(out, &format!("{prefix}.ops_per_kcell"), o.ops_per_kcell);
+    push_kv(out, &format!("{prefix}.ops_per_ep"), o.ops_per_endpoint);
+    push_kv(out, &format!("{prefix}.buffer_min_len"), o.buffer_min_len);
+    push_kv(out, &format!("{prefix}.min_gain"), o.min_gain);
+}
+
+fn decode_datapath(f: &Fields<'_>, prefix: &str) -> Result<DatapathOpts, String> {
+    Ok(DatapathOpts {
+        passes: f.parse(&format!("{prefix}.passes"))?,
+        ops_per_pass: f.parse(&format!("{prefix}.ops_per_pass"))?,
+        ops_per_kcell: f.parse(&format!("{prefix}.ops_per_kcell"))?,
+        ops_per_endpoint: f.parse(&format!("{prefix}.ops_per_ep"))?,
+        buffer_min_len: f.parse(&format!("{prefix}.buffer_min_len"))?,
+        min_gain: f.parse(&format!("{prefix}.min_gain"))?,
+    })
+}
+
+fn encode_recipe(out: &mut String, r: &FlowRecipe) {
+    encode_skew(out, "skew", &r.skew);
+    encode_skew(out, "touchup", &r.skew_touchup);
+    encode_datapath(out, "pre", &r.pre_datapath);
+    encode_datapath(out, "main", &r.main_datapath);
+    push_kv(out, "recovery_slack", r.recovery_slack);
+    let mode = match r.margin_mode {
+        MarginMode::OverFixToWns => "overfix",
+        MarginMode::UnderFix => "underfix",
+    };
+    push_kv(out, "margin_mode", mode);
+    push_kv(out, "clock_insertion", r.clock_insertion_frac);
+    push_kv(out, "clock_variation", r.clock_variation_frac);
+    push_kv(out, "skew_bound", r.skew_bound_frac);
+    push_kv(out, "legalize_disp", r.legalize_disp);
+    push_kv(out, "flow_seed", r.seed);
+}
+
+fn decode_recipe(f: &Fields<'_>) -> Result<FlowRecipe, String> {
+    Ok(FlowRecipe {
+        skew: decode_skew(f, "skew")?,
+        skew_touchup: decode_skew(f, "touchup")?,
+        pre_datapath: decode_datapath(f, "pre")?,
+        main_datapath: decode_datapath(f, "main")?,
+        recovery_slack: f.parse("recovery_slack")?,
+        margin_mode: match f.get("margin_mode")? {
+            "overfix" => MarginMode::OverFixToWns,
+            "underfix" => MarginMode::UnderFix,
+            other => return Err(format!("unknown margin_mode {other:?}")),
+        },
+        clock_insertion_frac: f.parse("clock_insertion")?,
+        clock_variation_frac: f.parse("clock_variation")?,
+        skew_bound_frac: f.parse("skew_bound")?,
+        legalize_disp: f.parse("legalize_disp")?,
+        seed: f.parse("flow_seed")?,
+    })
+}
+
+fn encode_config(out: &mut String, c: &RlConfig) {
+    push_kv(out, "cfg.gnn_hidden", c.gnn_hidden);
+    push_kv(out, "cfg.embed_dim", c.embed_dim);
+    push_kv(out, "cfg.lstm_hidden", c.lstm_hidden);
+    push_kv(out, "cfg.attn_dim", c.attn_dim);
+    push_kv(out, "cfg.rho", c.rho);
+    push_kv(out, "cfg.lr", c.learning_rate);
+    push_kv(out, "cfg.grad_clip", c.grad_clip);
+    push_kv(out, "cfg.workers", c.workers);
+    push_kv(out, "cfg.max_iterations", c.max_iterations);
+    push_kv(out, "cfg.patience", c.patience);
+    push_kv(out, "cfg.fanout_cap", c.fanout_cap);
+    push_kv(out, "cfg.seed", c.seed);
+    let enc = match c.encoder {
+        EncoderKind::Lstm => "lstm",
+        EncoderKind::Gru => "gru",
+        EncoderKind::None => "none",
+    };
+    push_kv(out, "cfg.encoder", enc);
+    push_kv(out, "cfg.tape_budget", c.tape_memory_budget);
+    match c.quorum {
+        Some(q) => push_kv(out, "cfg.quorum", q),
+        None => push_kv(out, "cfg.quorum", "none"),
+    }
+    push_kv(out, "cfg.div_lr_decay", c.divergence_lr_decay);
+}
+
+fn decode_config(f: &Fields<'_>) -> Result<RlConfig, String> {
+    Ok(RlConfig {
+        gnn_hidden: f.parse("cfg.gnn_hidden")?,
+        embed_dim: f.parse("cfg.embed_dim")?,
+        lstm_hidden: f.parse("cfg.lstm_hidden")?,
+        attn_dim: f.parse("cfg.attn_dim")?,
+        rho: f.parse("cfg.rho")?,
+        learning_rate: f.parse("cfg.lr")?,
+        grad_clip: f.parse("cfg.grad_clip")?,
+        workers: f.parse("cfg.workers")?,
+        max_iterations: f.parse("cfg.max_iterations")?,
+        patience: f.parse("cfg.patience")?,
+        fanout_cap: f.parse("cfg.fanout_cap")?,
+        seed: f.parse("cfg.seed")?,
+        encoder: match f.get("cfg.encoder")? {
+            "lstm" => EncoderKind::Lstm,
+            "gru" => EncoderKind::Gru,
+            "none" => EncoderKind::None,
+            other => return Err(format!("unknown encoder {other:?}")),
+        },
+        tape_memory_budget: f.parse("cfg.tape_budget")?,
+        quorum: match f.get("cfg.quorum")? {
+            "none" => None,
+            n => Some(
+                n.parse::<usize>()
+                    .map_err(|e| format!("bad cfg.quorum: {e}"))?,
+            ),
+        },
+        divergence_lr_decay: f.parse("cfg.div_lr_decay")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// request codec
+
+/// Encodes a request into a framed-payload byte string.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut head = String::new();
+    let mut body = String::new();
+    match req {
+        Request::Init(init) => {
+            head.push_str("init");
+            push_kv(&mut head, "period_ps", init.period_ps);
+            encode_recipe(&mut head, &init.recipe);
+            encode_config(&mut head, &init.config);
+            body.push_str(&init.netlist_text);
+        }
+        Request::Run(run) => {
+            head.push_str("run");
+            push_kv(&mut head, "iteration", run.iteration);
+            let pairs = run
+                .pairs
+                .iter()
+                .map(|(slot, seed)| format!("{slot}:{seed}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            push_kv(&mut head, "pairs", pairs);
+            if !run.injects.is_empty() {
+                let injects = run
+                    .injects
+                    .iter()
+                    .map(|i| i.encode())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                push_kv(&mut head, "inject", injects);
+            }
+            let mut params = Vec::new();
+            run.params.save(&mut params).expect("in-memory write");
+            body.push_str(&String::from_utf8(params).expect("params text is UTF-8"));
+        }
+        Request::Shutdown => head.push_str("shutdown"),
+    }
+    format!("{PROTOCOL_VERSION}\n{head}\n{body}").into_bytes()
+}
+
+/// Decodes a request payload.
+///
+/// # Errors
+/// A human-readable reason on a version mismatch or malformed message.
+pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
+    let (head, body) = split_versioned(payload, PROTOCOL_VERSION)?;
+    let (verb, rest) = head.split_once(' ').unwrap_or((head, ""));
+    let fields = Fields {
+        what: "request",
+        fields: head_fields(rest)?,
+    };
+    match verb {
+        "init" => Ok(Request::Init(InitRequest {
+            period_ps: fields.parse("period_ps")?,
+            recipe: decode_recipe(&fields)?,
+            config: decode_config(&fields)?,
+            netlist_text: body.to_string(),
+        })),
+        "run" => {
+            let mut pairs = Vec::new();
+            for tok in fields.get("pairs")?.split(',').filter(|t| !t.is_empty()) {
+                let (slot, seed) = tok
+                    .split_once(':')
+                    .ok_or_else(|| format!("bad pair token {tok:?}"))?;
+                pairs.push((
+                    slot.parse::<usize>()
+                        .map_err(|e| format!("bad pair slot {tok:?}: {e}"))?,
+                    seed.parse::<u64>()
+                        .map_err(|e| format!("bad pair seed {tok:?}: {e}"))?,
+                ));
+            }
+            let mut injects = Vec::new();
+            if let Ok(toks) = fields.get("inject") {
+                for tok in toks.split(',').filter(|t| !t.is_empty()) {
+                    injects.push(Inject::decode(tok)?);
+                }
+            }
+            let params =
+                ParamSet::load(body.as_bytes()).map_err(|e| format!("bad params body: {e}"))?;
+            Ok(Request::Run(RunRequest {
+                iteration: fields.parse("iteration")?,
+                pairs,
+                injects,
+                params,
+            }))
+        }
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown request verb {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// response codec
+
+/// Encodes a response into a framed-payload byte string.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut head = String::new();
+    let mut body = String::new();
+    match resp {
+        Response::InitAck { endpoints, pool } => {
+            head.push_str("init-ack");
+            push_kv(&mut head, "endpoints", endpoints);
+            push_kv(&mut head, "pool", pool);
+        }
+        Response::Batch(batch) => {
+            head.push_str("batch");
+            push_kv(&mut head, "items", batch.items.len());
+            push_kv(&mut head, "faults", batch.faults.len());
+            for item in &batch.items {
+                body.push_str("item");
+                push_kv(&mut body, "slot", item.slot);
+                push_kv(&mut body, "seed", item.seed);
+                push_kv(&mut body, "steps", item.steps);
+                push_kv(&mut body, "reward", item.reward);
+                let sel = item
+                    .selection
+                    .iter()
+                    .map(usize::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",");
+                push_kv(&mut body, "selection", sel);
+                body.push('\n');
+                let mut grads = Vec::new();
+                item.grads.save(&mut grads).expect("in-memory write");
+                body.push_str(&String::from_utf8(grads).expect("grads text is UTF-8"));
+            }
+            for fault in &batch.faults {
+                body.push_str("fault");
+                push_kv(&mut body, "iteration", fault.iteration);
+                push_kv(&mut body, "worker", fault.worker);
+                push_kv(&mut body, "seed", fault.seed);
+                push_kv(&mut body, "kind", fault.kind.as_str());
+                // detail is free-form text and must stay the last field:
+                // everything after "detail=" to end of line is the value.
+                push_kv(&mut body, "detail", fault.detail.replace('\n', " "));
+                body.push('\n');
+            }
+        }
+        Response::Err { message } => {
+            head.push_str("err");
+            push_kv(&mut head, "message", message.replace(['\n', ' '], "_"));
+        }
+    }
+    format!("{PROTOCOL_VERSION}\n{head}\n{body}").into_bytes()
+}
+
+/// Decodes a response payload.
+///
+/// # Errors
+/// A human-readable reason on a version mismatch or malformed message.
+pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
+    let (head, body) = split_versioned(payload, PROTOCOL_VERSION)?;
+    let (verb, rest) = head.split_once(' ').unwrap_or((head, ""));
+    let fields = Fields {
+        what: "response",
+        fields: head_fields(rest)?,
+    };
+    match verb {
+        "init-ack" => Ok(Response::InitAck {
+            endpoints: fields.parse("endpoints")?,
+            pool: fields.parse("pool")?,
+        }),
+        "batch" => {
+            let n_items: usize = fields.parse("items")?;
+            let n_faults: usize = fields.parse("faults")?;
+            let mut lines = body.lines();
+            let mut items = Vec::with_capacity(n_items);
+            for _ in 0..n_items {
+                let line = lines.next().ok_or("batch body truncated (item line)")?;
+                let f = Fields {
+                    what: "batch item",
+                    fields: kv_fields(line),
+                };
+                let selection = f
+                    .get("selection")?
+                    .split(',')
+                    .filter(|t| !t.is_empty())
+                    .map(|t| t.parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| format!("bad selection: {e}"))?;
+                // The gradient block is self-delimiting: its header names
+                // the tensor count, so that many lines follow.
+                let header = lines.next().ok_or("batch body truncated (grads header)")?;
+                let tensors: usize = header
+                    .split_whitespace()
+                    .nth(2)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| format!("bad gradient header {header:?}"))?;
+                let mut grads_text = String::from(header);
+                grads_text.push('\n');
+                for _ in 0..tensors {
+                    let l = lines.next().ok_or("batch body truncated (grads line)")?;
+                    grads_text.push_str(l);
+                    grads_text.push('\n');
+                }
+                let grads = GradSet::load(grads_text.as_bytes())
+                    .map_err(|e| format!("bad gradient block: {e}"))?;
+                items.push(RolloutItem {
+                    slot: f.parse("slot")?,
+                    seed: f.parse("seed")?,
+                    steps: f.parse("steps")?,
+                    reward: f.parse("reward")?,
+                    selection,
+                    grads,
+                });
+            }
+            let mut faults = Vec::with_capacity(n_faults);
+            for _ in 0..n_faults {
+                let line = lines.next().ok_or("batch body truncated (fault line)")?;
+                let detail = line
+                    .split_once("detail=")
+                    .map(|(_, d)| d.to_string())
+                    .ok_or_else(|| format!("fault line missing detail: {line:?}"))?;
+                let f = Fields {
+                    what: "batch fault",
+                    fields: kv_fields(line),
+                };
+                let kind_tok = f.get("kind")?;
+                faults.push(RolloutFault {
+                    iteration: f.parse("iteration")?,
+                    worker: f.parse("worker")?,
+                    seed: f.parse("seed")?,
+                    kind: FaultKind::parse(kind_tok)
+                        .ok_or_else(|| format!("unknown fault kind {kind_tok:?}"))?,
+                    detail,
+                });
+            }
+            Ok(Response::Batch(BatchResponse { items, faults }))
+        }
+        "err" => Ok(Response::Err {
+            message: fields.get("message")?.to_string(),
+        }),
+        other => Err(format!("unknown response verb {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_roundtrip_preserves_recipe_and_config() {
+        let req = Request::Init(InitRequest {
+            period_ps: 812.25,
+            recipe: FlowRecipe::default(),
+            config: RlConfig::fast(),
+            netlist_text: "netlist body line 1\nline 2\n".into(),
+        });
+        let back = decode_request(&encode_request(&req)).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn run_roundtrip_preserves_pairs_injects_and_params() {
+        let mut params = ParamSet::new();
+        params.insert(
+            "w",
+            rl_ccd_nn::Tensor::from_vec(1, 3, vec![0.5, -1.25, 3.0]),
+        );
+        let req = Request::Run(RunRequest {
+            iteration: 7,
+            pairs: vec![(0, 9001), (3, 42)],
+            injects: vec![
+                Inject::Drop,
+                Inject::Torn,
+                Inject::SleepMs(1500),
+                Inject::Panic(2),
+                Inject::NanReward(0),
+                Inject::Poison(1),
+            ],
+            params,
+        });
+        let back = decode_request(&encode_request(&req)).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn shutdown_and_empty_run_roundtrip() {
+        let back = decode_request(&encode_request(&Request::Shutdown)).unwrap();
+        assert_eq!(back, Request::Shutdown);
+        let req = Request::Run(RunRequest {
+            iteration: 0,
+            pairs: vec![],
+            injects: vec![],
+            params: ParamSet::new(),
+        });
+        let back = decode_request(&encode_request(&req)).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn batch_roundtrip_preserves_items_and_faults() {
+        let mut grads = GradSet::new();
+        grads.set(
+            "g",
+            rl_ccd_nn::Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]),
+        );
+        let resp = Response::Batch(BatchResponse {
+            items: vec![RolloutItem {
+                slot: 1,
+                seed: 77,
+                steps: 9,
+                reward: -1234.5678901,
+                selection: vec![3, 1, 4],
+                grads,
+            }],
+            faults: vec![RolloutFault {
+                iteration: 2,
+                worker: 1,
+                seed: 55,
+                kind: FaultKind::WorkerPanic,
+                detail: "panic with spaces and = signs".into(),
+            }],
+        });
+        let back = decode_response(&encode_response(&resp)).unwrap();
+        match back {
+            Response::Batch(b) => {
+                assert_eq!(b.items.len(), 1);
+                let item = &b.items[0];
+                assert_eq!(item.slot, 1);
+                assert_eq!(item.seed, 77);
+                assert_eq!(item.steps, 9);
+                assert_eq!(item.reward, -1234.5678901);
+                assert_eq!(item.selection, vec![3, 1, 4]);
+                assert_eq!(item.grads.count(), 0);
+                assert_eq!(
+                    item.grads.get("g").unwrap().data(),
+                    &[1.0, 2.0, 3.0, 4.0][..]
+                );
+                assert_eq!(b.faults.len(), 1);
+                assert_eq!(b.faults[0].kind, FaultKind::WorkerPanic);
+                assert_eq!(b.faults[0].detail, "panic with spaces and = signs");
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let payload = b"rl-ccd-serve v1\nshutdown\n";
+        assert!(decode_request(payload).is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! The rollout worker: one process serving `RunRollouts` requests.
+//!
+//! A worker is stateless until the coordinator's [`Request::Init`]
+//! arrives; it then rebuilds the *same* environment and model the trainer
+//! holds — the design from the netlist text, the model from the config's
+//! seed and widths — and keeps them across requests, so the expensive
+//! setup (STA, endpoint pool, GNN graphs, features) is paid exactly once
+//! per training run, not per iteration.
+//!
+//! Each [`Request::Run`] then fans its `(slot, seed)` pairs over the
+//! shared in-process rollout runner
+//! ([`rl_ccd::run_rollouts_assigned`]) — the *identical* code path a
+//! single-process run takes, which is what makes distributed training
+//! bit-identical to local training.
+
+use crate::protocol::{
+    decode_request, encode_response, read_message, write_message, BatchResponse, Inject, Request,
+    Response, RolloutItem,
+};
+use rl_ccd::{run_rollouts_assigned, CcdEnv, FaultPlan, RlCcd, RlConfig};
+use rl_ccd_netlist::{read_netlist, ClusterClass, DesignSpec, GeneratedDesign};
+use rl_ccd_obs as obs;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+/// The design, environment and model a worker builds on `Init` and reuses
+/// for every subsequent request.
+struct WorkerState {
+    env: CcdEnv,
+    model: RlCcd,
+    config: RlConfig,
+}
+
+/// What a connection handler tells the accept loop to do next.
+enum Next {
+    /// The peer hung up; accept the next connection.
+    Accept,
+    /// A `Shutdown` request (or an injected death): stop serving.
+    Exit,
+}
+
+/// Serves rollout requests on `listener` until a `Shutdown` request or an
+/// injected worker death. Blocks the calling thread; run it in a process
+/// of its own (`rlccd worker`) or a test thread.
+///
+/// # Errors
+/// Propagates fatal accept-loop I/O errors. Per-connection errors are
+/// answered with [`Response::Err`] or end that connection only.
+pub fn serve_worker(listener: TcpListener) -> io::Result<()> {
+    let mut state: Option<WorkerState> = None;
+    loop {
+        let (stream, peer) = listener.accept()?;
+        obs::counter!("dist.worker.connections", 1);
+        let _span = obs::span!("dist.worker.serve", peer = peer.to_string());
+        match handle_connection(stream, &mut state) {
+            Next::Accept => continue,
+            Next::Exit => return Ok(()),
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &mut Option<WorkerState>) -> Next {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return Next::Accept,
+    });
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let payload = match read_message(&mut reader) {
+            Ok(p) => p,
+            // EOF or a broken pipe: the coordinator hung up (normal when
+            // it abandoned this connection past a deadline).
+            Err(_) => return Next::Accept,
+        };
+        let request = match decode_request(&payload) {
+            Ok(r) => r,
+            Err(why) => {
+                send(&mut writer, &Response::Err { message: why });
+                continue;
+            }
+        };
+        match request {
+            Request::Shutdown => return Next::Exit,
+            Request::Init(init) => {
+                let response =
+                    match build_state(init.period_ps, &init.netlist_text, init.recipe, init.config)
+                    {
+                        Ok(built) => {
+                            let ack = Response::InitAck {
+                                endpoints: built.env.design().netlist.endpoints().len(),
+                                pool: built.env.pool().len(),
+                            };
+                            *state = Some(built);
+                            ack
+                        }
+                        Err(why) => Response::Err { message: why },
+                    };
+                send(&mut writer, &response);
+            }
+            Request::Run(run) => {
+                let Some(st) = state.as_ref() else {
+                    send(
+                        &mut writer,
+                        &Response::Err {
+                            message: "run before init".into(),
+                        },
+                    );
+                    continue;
+                };
+                // Process-level injections (test harness): die, tear the
+                // reply frame, or stall past the coordinator's deadline.
+                if run.injects.contains(&Inject::Drop) {
+                    obs::counter!("dist.worker.injected_drops", 1);
+                    return Next::Exit;
+                }
+                if run.injects.contains(&Inject::Torn) {
+                    obs::counter!("dist.worker.injected_torn", 1);
+                    // A length prefix promising 64 bytes, backed by 8.
+                    let _ = writer.write_all(&64u32.to_be_bytes());
+                    let _ = writer.write_all(b"truncate");
+                    let _ = writer.flush();
+                    return Next::Exit;
+                }
+                let batch = run_batch(st, &run.params, &run.pairs, run.iteration, &run.injects);
+                if let Some(ms) = run.injects.iter().find_map(|i| match i {
+                    Inject::SleepMs(ms) => Some(*ms),
+                    _ => None,
+                }) {
+                    obs::counter!("dist.worker.injected_stalls", 1);
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                send(&mut writer, &Response::Batch(batch));
+            }
+        }
+    }
+}
+
+fn send(writer: &mut BufWriter<TcpStream>, response: &Response) {
+    let payload = encode_response(response);
+    let _ = write_message(writer, &payload);
+}
+
+fn build_state(
+    period_ps: f32,
+    netlist_text: &str,
+    recipe: rl_ccd_flow::FlowRecipe,
+    config: RlConfig,
+) -> Result<WorkerState, String> {
+    let _span = obs::span!("dist.worker.init");
+    let netlist =
+        read_netlist(netlist_text.as_bytes()).map_err(|e| format!("bad netlist text: {e}"))?;
+    // Spec and cluster classes are diagnostics only — nothing in the
+    // rollout path reads them — so a synthetic spec keeps the wire format
+    // down to what determinism actually needs: netlist + period.
+    let spec = DesignSpec::new(
+        netlist.name().to_string(),
+        netlist.cell_count(),
+        netlist.library().tech(),
+        0,
+    );
+    let endpoint_class = vec![ClusterClass::Normal; netlist.endpoints().len()];
+    let design = GeneratedDesign {
+        netlist,
+        period_ps,
+        spec,
+        endpoint_class,
+    };
+    let env = CcdEnv::new(design, recipe, config.fanout_cap);
+    let (model, _initial) = RlCcd::init(config.clone());
+    Ok(WorkerState { env, model, config })
+}
+
+fn run_batch(
+    st: &WorkerState,
+    params: &rl_ccd_nn::ParamSet,
+    pairs: &[(usize, u64)],
+    iteration: usize,
+    injects: &[Inject],
+) -> BatchResponse {
+    let _span = obs::span!(
+        "dist.worker.run_batch",
+        iteration = iteration as u64,
+        pairs = pairs.len() as u64
+    );
+    // Slot-level injections become a local fault plan, so quarantine runs
+    // through the same supervisor a single-process run uses.
+    let mut plan = FaultPlan::none();
+    for inject in injects {
+        plan = match *inject {
+            Inject::Panic(slot) => plan.with_worker_panic(iteration, slot),
+            Inject::NanReward(slot) => plan.with_nan_reward(iteration, slot),
+            Inject::Poison(slot) => plan.with_poisoned_gradient(iteration, slot),
+            _ => plan,
+        };
+    }
+    let batch = run_rollouts_assigned(
+        &st.model,
+        params,
+        &st.env,
+        pairs,
+        iteration,
+        st.config.tape_memory_budget,
+        &plan,
+    );
+    let seed_of = |slot: usize| {
+        pairs
+            .iter()
+            .find(|(s, _)| *s == slot)
+            .map(|&(_, seed)| seed)
+            .unwrap_or_default()
+    };
+    obs::counter!("dist.worker.rollouts", batch.survivors.len() as u64);
+    BatchResponse {
+        items: batch
+            .survivors
+            .into_iter()
+            .map(|(slot, r)| RolloutItem {
+                slot,
+                seed: seed_of(slot),
+                steps: r.steps,
+                reward: r.reward(),
+                selection: r.selected.iter().map(|e| e.index()).collect(),
+                grads: r.log_prob_grads,
+            })
+            .collect(),
+        faults: batch.faults,
+    }
+}

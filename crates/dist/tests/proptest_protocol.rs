@@ -1,0 +1,291 @@
+//! Property tests: every `rl-ccd-dist v1` message round-trips the codec
+//! exactly — recipes and configs with floats far from 1.0, arbitrary
+//! pair/inject lists, gradient payloads with preserved rollout counts, and
+//! fault records with free-form detail text — and the framing layer
+//! rejects truncated and oversized frames instead of misparsing them.
+//!
+//! Cases are generated from a seeded RNG rather than nested strategies:
+//! one `u64` pins the whole case, which keeps failures reproducible under
+//! the vendored proptest (no shrinking).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rl_ccd::{EncoderKind, FaultKind, RlConfig, RolloutFault};
+use rl_ccd_dist::{
+    decode_request, decode_response, encode_request, encode_response, read_message, write_message,
+    BatchResponse, InitRequest, Inject, Request, Response, RolloutItem, RunRequest,
+    DIST_MAX_FRAME_LEN,
+};
+use rl_ccd_flow::{DatapathOpts, FlowRecipe, MarginMode, UsefulSkewOpts};
+use rl_ccd_nn::{GradSet, ParamSet, Tensor};
+
+fn wild_f32(rng: &mut StdRng) -> f32 {
+    let mantissa = rng.gen_range(-1.0f32..1.0);
+    let exp = rng.gen_range(0u32..12) as i32 - 6;
+    mantissa * 10f32.powi(exp)
+}
+
+fn wild_f64(rng: &mut StdRng) -> f64 {
+    let mantissa = rng.gen_range(-1.0f64..1.0);
+    let exp = rng.gen_range(0u32..16) as i32 - 8;
+    mantissa * 10f64.powi(exp)
+}
+
+fn random_skew(rng: &mut StdRng) -> UsefulSkewOpts {
+    UsefulSkewOpts {
+        sweeps: rng.gen_range(0usize..40),
+        rate: wild_f32(rng),
+        hold_floor: wild_f32(rng),
+        launch_floor: wild_f32(rng),
+        tolerance: wild_f32(rng),
+        move_budget_frac: wild_f32(rng),
+        serves_per_sweep_frac: wild_f32(rng),
+    }
+}
+
+fn random_datapath(rng: &mut StdRng) -> DatapathOpts {
+    DatapathOpts {
+        passes: rng.gen_range(0usize..10),
+        ops_per_pass: rng.gen_range(0usize..1000),
+        ops_per_kcell: wild_f32(rng),
+        ops_per_endpoint: rng.gen_range(0usize..20),
+        buffer_min_len: wild_f32(rng),
+        min_gain: wild_f32(rng),
+    }
+}
+
+fn random_recipe(rng: &mut StdRng) -> FlowRecipe {
+    FlowRecipe {
+        skew: random_skew(rng),
+        skew_touchup: random_skew(rng),
+        pre_datapath: random_datapath(rng),
+        main_datapath: random_datapath(rng),
+        recovery_slack: wild_f32(rng),
+        margin_mode: if rng.gen_bool(0.5) {
+            MarginMode::OverFixToWns
+        } else {
+            MarginMode::UnderFix
+        },
+        clock_insertion_frac: wild_f32(rng),
+        clock_variation_frac: wild_f32(rng),
+        skew_bound_frac: wild_f32(rng),
+        legalize_disp: wild_f32(rng),
+        seed: rng.gen_range(0u64..u64::MAX),
+    }
+}
+
+fn random_config(rng: &mut StdRng) -> RlConfig {
+    RlConfig {
+        gnn_hidden: rng.gen_range(1usize..64),
+        embed_dim: rng.gen_range(1usize..32),
+        lstm_hidden: rng.gen_range(1usize..64),
+        attn_dim: rng.gen_range(1usize..64),
+        rho: wild_f32(rng),
+        learning_rate: wild_f32(rng),
+        grad_clip: wild_f32(rng),
+        workers: rng.gen_range(1usize..16),
+        max_iterations: rng.gen_range(1usize..100),
+        patience: rng.gen_range(1usize..10),
+        fanout_cap: rng.gen_range(1usize..64),
+        seed: rng.gen_range(0u64..u64::MAX),
+        encoder: match rng.gen_range(0u32..3) {
+            0 => EncoderKind::Lstm,
+            1 => EncoderKind::Gru,
+            _ => EncoderKind::None,
+        },
+        tape_memory_budget: rng.gen_range(1usize..1 << 40),
+        quorum: if rng.gen_bool(0.5) {
+            None
+        } else {
+            Some(rng.gen_range(0usize..16))
+        },
+        divergence_lr_decay: wild_f32(rng),
+    }
+}
+
+fn random_params(rng: &mut StdRng) -> ParamSet {
+    let mut params = ParamSet::new();
+    for i in 0..rng.gen_range(0usize..4) {
+        let rows = rng.gen_range(1usize..4);
+        let cols = rng.gen_range(1usize..5);
+        let data = (0..rows * cols).map(|_| wild_f32(rng)).collect();
+        params.insert(format!("layer{i}.w"), Tensor::from_vec(rows, cols, data));
+    }
+    params
+}
+
+fn random_grads(rng: &mut StdRng) -> GradSet {
+    let mut grads = GradSet::new();
+    for i in 0..rng.gen_range(1usize..4) {
+        let rows = rng.gen_range(1usize..3);
+        let cols = rng.gen_range(1usize..4);
+        let data = (0..rows * cols).map(|_| wild_f32(rng)).collect();
+        grads.set(format!("g{i}"), Tensor::from_vec(rows, cols, data));
+    }
+    grads
+}
+
+fn random_fault(rng: &mut StdRng) -> RolloutFault {
+    let kinds = [
+        FaultKind::WorkerPanic,
+        FaultKind::NonFiniteReward,
+        FaultKind::NonFiniteGradient,
+        FaultKind::NonFiniteUpdate,
+        FaultKind::EmptyBatch,
+        FaultKind::WorkerLost,
+    ];
+    let details = [
+        "plain detail",
+        "detail with = signs and key=value lookalikes",
+        "unicode détail — ∇Σ",
+        "",
+    ];
+    RolloutFault {
+        iteration: rng.gen_range(0usize..100),
+        worker: rng.gen_range(0usize..16),
+        seed: rng.gen_range(0u64..u64::MAX),
+        kind: kinds[rng.gen_range(0..kinds.len())],
+        detail: details[rng.gen_range(0..details.len())].to_string(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn init_requests_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lines = rng.gen_range(0usize..6);
+        let netlist_text = (0..lines)
+            .map(|i| format!("line {i} with tokens {}\n", rng.gen_range(0u32..u32::MAX)))
+            .collect::<String>();
+        let req = Request::Init(InitRequest {
+            period_ps: wild_f32(&mut rng),
+            recipe: random_recipe(&mut rng),
+            config: random_config(&mut rng),
+            netlist_text,
+        });
+        let back = decode_request(&encode_request(&req)).unwrap();
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn run_requests_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pairs = (0..rng.gen_range(0usize..10))
+            .map(|_| (rng.gen_range(0usize..32), rng.gen_range(0u64..u64::MAX)))
+            .collect();
+        let injects = (0..rng.gen_range(0usize..5))
+            .map(|_| match rng.gen_range(0u32..6) {
+                0 => Inject::Drop,
+                1 => Inject::Torn,
+                2 => Inject::SleepMs(rng.gen_range(0u64..100_000)),
+                3 => Inject::Panic(rng.gen_range(0usize..32)),
+                4 => Inject::NanReward(rng.gen_range(0usize..32)),
+                _ => Inject::Poison(rng.gen_range(0usize..32)),
+            })
+            .collect();
+        let req = Request::Run(RunRequest {
+            iteration: rng.gen_range(0usize..1000),
+            pairs,
+            injects,
+            params: random_params(&mut rng),
+        });
+        let back = decode_request(&encode_request(&req)).unwrap();
+        prop_assert_eq!(back, req);
+    }
+
+    #[test]
+    fn batch_responses_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let items = (0..rng.gen_range(0usize..4))
+            .map(|slot| RolloutItem {
+                slot,
+                seed: rng.gen_range(0u64..u64::MAX),
+                steps: rng.gen_range(0usize..40),
+                reward: wild_f64(&mut rng),
+                selection: (0..rng.gen_range(0usize..8))
+                    .map(|_| rng.gen_range(0usize..500))
+                    .collect(),
+                grads: random_grads(&mut rng),
+            })
+            .collect();
+        let faults = (0..rng.gen_range(0usize..4))
+            .map(|_| random_fault(&mut rng))
+            .collect();
+        let resp = Response::Batch(BatchResponse { items, faults });
+        let encoded = encode_response(&resp);
+        let back = decode_response(&encoded).unwrap();
+        // GradSet has no PartialEq; bit-exactness holds iff the canonical
+        // re-encoding is byte-identical.
+        prop_assert_eq!(encode_response(&back), encoded);
+        let (Response::Batch(orig), Response::Batch(round)) = (&resp, &back) else {
+            panic!("decode changed the message kind");
+        };
+        prop_assert_eq!(orig.items.len(), round.items.len());
+        prop_assert_eq!(orig.faults.len(), round.faults.len());
+        for (a, b) in orig.faults.iter().zip(&round.faults) {
+            prop_assert_eq!(a, b);
+        }
+        for (a, b) in orig.items.iter().zip(&round.items) {
+            prop_assert_eq!(a.slot, b.slot);
+            prop_assert_eq!(a.seed, b.seed);
+            prop_assert_eq!(a.steps, b.steps);
+            prop_assert_eq!(a.reward, b.reward);
+            prop_assert_eq!(&a.selection, &b.selection);
+            prop_assert_eq!(a.grads.count(), b.grads.count());
+        }
+    }
+
+    #[test]
+    fn ack_and_err_responses_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ack = Response::InitAck {
+            endpoints: rng.gen_range(0usize..10_000),
+            pool: rng.gen_range(0usize..10_000),
+        };
+        match decode_response(&encode_response(&ack)).unwrap() {
+            Response::InitAck { endpoints, pool } => {
+                if let Response::InitAck { endpoints: e0, pool: p0 } = ack {
+                    prop_assert_eq!(endpoints, e0);
+                    prop_assert_eq!(pool, p0);
+                }
+            }
+            other => panic!("expected init-ack, got {other:?}"),
+        }
+        let message = format!("failure_{}", rng.gen_range(0u32..u32::MAX));
+        let err = Response::Err { message: message.clone() };
+        match decode_response(&encode_response(&err)).unwrap() {
+            Response::Err { message: back } => prop_assert_eq!(back, message),
+            other => panic!("expected err, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let payload = encode_request(&Request::Run(RunRequest {
+            iteration: 1,
+            pairs: vec![(0, rng.gen_range(0u64..u64::MAX))],
+            injects: vec![],
+            params: random_params(&mut rng),
+        }));
+        let mut framed = Vec::new();
+        write_message(&mut framed, &payload).unwrap();
+        // Cut anywhere strictly inside the frame: header or payload.
+        let cut = rng.gen_range(0..framed.len());
+        framed.truncate(cut);
+        let err = read_message(&mut &framed[..]).unwrap_err();
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = rng.gen_range(DIST_MAX_FRAME_LEN as u64 + 1..u32::MAX as u64 + 1) as u32;
+        let forged = len.to_be_bytes();
+        let err = read_message(&mut &forged[..]).unwrap_err();
+        prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

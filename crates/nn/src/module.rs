@@ -315,6 +315,84 @@ impl GradSet {
     pub fn set(&mut self, name: impl Into<String>, g: Tensor) {
         self.grads.insert(name.into(), g);
     }
+
+    /// Writes the accumulator to a plain-text stream — the [`ParamSet::save`]
+    /// line format, with the rollout count in the header so a transported
+    /// gradient behaves identically under [`GradSet::average`]. Rust's
+    /// shortest-roundtrip float formatting makes the text round-trip
+    /// bit-exact, which the distributed trainer relies on.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn save<W: Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "rl-ccd-grads v1 {} {}", self.grads.len(), self.count)?;
+        for (name, t) in &self.grads {
+            write!(w, "{} {} {}", name, t.rows(), t.cols())?;
+            for v in t.data() {
+                write!(w, " {v}")?;
+            }
+            writeln!(w)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a set previously written by [`GradSet::save`].
+    ///
+    /// # Errors
+    /// Returns [`LoadParamsError`] on malformed content.
+    pub fn load<R: BufRead>(r: R) -> Result<Self, LoadParamsError> {
+        let mut lines = r.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| LoadParamsError::new("empty gradient text"))?
+            .map_err(|e| LoadParamsError::new(e.to_string()))?;
+        let mut hp = header.split_whitespace();
+        if hp.next() != Some("rl-ccd-grads") || hp.next() != Some("v1") {
+            return Err(LoadParamsError::new("bad gradient header"));
+        }
+        let count: usize = hp
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| LoadParamsError::new("bad gradient tensor count"))?;
+        let rollouts: usize = hp
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| LoadParamsError::new("bad gradient rollout count"))?;
+        let mut set = GradSet::new();
+        for _ in 0..count {
+            let line = lines
+                .next()
+                .ok_or_else(|| LoadParamsError::new("truncated gradient text"))?
+                .map_err(|e| LoadParamsError::new(e.to_string()))?;
+            let mut parts = line.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or_else(|| LoadParamsError::new("missing gradient name"))?;
+            let rows: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| LoadParamsError::new("missing gradient rows"))?;
+            let cols: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| LoadParamsError::new("missing gradient cols"))?;
+            let data: Vec<f32> = parts
+                .map(|s| s.parse::<f32>())
+                .collect::<Result<_, _>>()
+                .map_err(|e| LoadParamsError::new(e.to_string()))?;
+            if data.len() != rows * cols {
+                return Err(LoadParamsError::new(format!(
+                    "gradient {name}: expected {} values, got {}",
+                    rows * cols,
+                    data.len()
+                )));
+            }
+            set.grads
+                .insert(name.to_string(), Tensor::from_vec(rows, cols, data));
+        }
+        set.count = rollouts;
+        Ok(set)
+    }
 }
 
 #[cfg(test)]
@@ -337,6 +415,32 @@ mod tests {
         let loaded = ParamSet::load(&buf[..]).expect("parse");
         assert_eq!(p, loaded);
         assert_eq!(loaded.scalar_count(), 6);
+    }
+
+    #[test]
+    fn gradset_save_load_roundtrip_preserves_count() {
+        let p = demo_params();
+        let mut tape = Tape::new();
+        let binding = p.bind(&mut tape);
+        let picks: Vec<Var> = binding.iter().map(|(_, v)| v).collect();
+        let mut sum = tape.pick(picks[0], 0, 0);
+        for &v in &picks[1..] {
+            let p = tape.pick(v, 0, 0);
+            sum = tape.add(sum, p);
+        }
+        let mut grads = tape.backward(sum);
+        let mut gs = GradSet::new();
+        gs.accumulate(&binding, &mut grads);
+        assert_eq!(gs.count(), 1);
+        let mut buf = Vec::new();
+        gs.save(&mut buf).expect("write to memory");
+        let loaded = GradSet::load(&buf[..]).expect("parse");
+        assert_eq!(loaded.count(), gs.count());
+        for (name, g) in gs.iter() {
+            assert_eq!(loaded.get(name).map(|t| t.data()), Some(g.data()));
+        }
+        assert!(GradSet::load(&b"rl-ccd-grads v1 1\nw 1 1 0.5\n"[..]).is_err());
+        assert!(GradSet::load(&b"nope"[..]).is_err());
     }
 
     #[test]

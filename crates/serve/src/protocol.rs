@@ -1,71 +1,22 @@
-//! Wire protocol: length-prefixed frames carrying versioned text payloads.
+//! The inference-service protocol: versioned text payloads over the
+//! shared [`rl_ccd_wire`] frame format.
 //!
-//! # Framing
-//!
-//! Every message — request or response — is one frame: a 4-byte big-endian
-//! payload length followed by that many payload bytes. Frames are capped at
-//! [`MAX_FRAME_LEN`] so a corrupt or hostile length prefix cannot force a
-//! huge allocation. Length-prefix framing keeps the stream self-delimiting:
-//! a reader never has to scan for terminators, and pipelined messages on
-//! one connection cannot bleed into each other.
-//!
-//! # Payload
-//!
-//! The payload is UTF-8 text. Line 1 is always the protocol version token
-//! [`PROTOCOL_VERSION`]; mismatched versions are rejected before any field
-//! is parsed, so the format can evolve by bumping the token. Line 2 is the
-//! message head (`query …` / `shutdown` / `ok …` / `err …`) with
-//! `key=value` fields; `ok` responses carry the selection on line 3.
-//! Unknown keys are ignored by readers, so fields can be added without a
-//! version bump.
+//! Framing and the versioned-envelope rules live in [`rl_ccd_wire`]
+//! (shared with the distributed-training protocol); [`write_frame`],
+//! [`read_frame`] and [`MAX_FRAME_LEN`] are re-exported here so existing
+//! callers keep working. Line 1 of every payload is the version token
+//! [`PROTOCOL_VERSION`]; line 2 is the message head (`query …` /
+//! `shutdown` / `ok …` / `err …`) with `key=value` fields; `ok` responses
+//! carry the selection on line 3. Unknown keys are ignored by readers, so
+//! fields can be added without a version bump.
 
 use std::fmt;
-use std::io::{self, Read, Write};
 use std::str::FromStr;
+
+pub use rl_ccd_wire::{read_frame, write_frame, MAX_FRAME_LEN};
 
 /// Version token on the first line of every payload.
 pub const PROTOCOL_VERSION: &str = "rl-ccd-serve v1";
-
-/// Hard cap on a frame's payload length (1 MiB).
-pub const MAX_FRAME_LEN: usize = 1 << 20;
-
-/// Writes one length-prefixed frame.
-///
-/// # Errors
-/// `InvalidInput` when the payload exceeds [`MAX_FRAME_LEN`]; otherwise
-/// propagates I/O errors.
-pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
-    if payload.len() > MAX_FRAME_LEN {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidInput,
-            format!("frame of {} bytes exceeds MAX_FRAME_LEN", payload.len()),
-        ));
-    }
-    w.write_all(&(payload.len() as u32).to_be_bytes())?;
-    w.write_all(payload)?;
-    w.flush()
-}
-
-/// Reads one length-prefixed frame.
-///
-/// # Errors
-/// `InvalidData` when the length prefix exceeds [`MAX_FRAME_LEN`];
-/// otherwise propagates I/O errors (including `UnexpectedEof` on a torn
-/// frame).
-pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
-    let mut header = [0u8; 4];
-    r.read_exact(&mut header)?;
-    let len = u32::from_be_bytes(header) as usize;
-    if len > MAX_FRAME_LEN {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds MAX_FRAME_LEN"),
-        ));
-    }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok(payload)
-}
 
 /// Identity of a design the server can synthesize an environment for:
 /// the generator is deterministic, so `name:cells:tech:seed` fully pins
@@ -427,17 +378,7 @@ impl Response {
 
 /// Checks the version line and returns (second line, remaining lines).
 fn split_versioned(payload: &[u8]) -> Result<(&str, &str), String> {
-    let text = std::str::from_utf8(payload).map_err(|_| "payload is not UTF-8".to_string())?;
-    let (version, rest) = text
-        .split_once('\n')
-        .ok_or_else(|| "payload has no version line".to_string())?;
-    if version != PROTOCOL_VERSION {
-        return Err(format!(
-            "protocol version {version:?}, this server speaks {PROTOCOL_VERSION:?}"
-        ));
-    }
-    let (head, rest) = rest.split_once('\n').unwrap_or((rest, ""));
-    Ok((head, rest))
+    rl_ccd_wire::split_versioned(payload, PROTOCOL_VERSION)
 }
 
 #[cfg(test)]

@@ -7,6 +7,9 @@
 //! rlccd train    --in design.nl [--iters 12] [--workers 8] [--params out.txt]
 //!                [--checkpoint DIR] [--checkpoint-every K] [--resume DIR]
 //!                [--tape-budget-gib G] [--trace-out run.jsonl]
+//! rlccd train    --in design.nl --workers host:port,host:port [--slots 8]
+//!                [--deadline-s S] [--inject-worker-drop IT:PROC] …
+//! rlccd worker   [--port 7401]
 //! rlccd transfer --in design.nl --params donor.txt [--iters 12] [--trace-out run.jsonl]
 //! rlccd baseline --in design.nl [--period <ps>]
 //! rlccd verilog  --in design.nl --out design.v
@@ -69,8 +72,11 @@ const USAGE_TABLE: &[(&str, &str)] = &[
         "train",
         "train    --in FILE [--period PS] [--iters N] [--workers N] [--params FILE]\n\
          \u{20}         [--checkpoint DIR] [--checkpoint-every K] [--resume DIR]\n\
-         \u{20}         [--tape-budget-gib G] [--trace-out FILE]",
+         \u{20}         [--tape-budget-gib G] [--trace-out FILE]\n\
+         \u{20}         [--workers HOST:PORT,HOST:PORT [--slots N] [--deadline-s S]\n\
+         \u{20}         [--inject-worker-drop IT:PROC]]",
     ),
+    ("worker", "worker   [--port 7401]"),
     (
         "transfer",
         "transfer --in FILE --params FILE [--period PS] [--iters N] [--trace-out FILE]",
@@ -263,9 +269,34 @@ fn cmd_flow(args: &[String]) -> Result<(), Error> {
 
 fn cmd_train(args: &[String]) -> Result<(), Error> {
     let d = load_design(args)?;
+    // `--workers` is overloaded: a bare number is the rollout slot count
+    // (the paper's parallel workers); a `host:port,…` list shards the
+    // rollouts over those worker processes (slot count then comes from
+    // `--slots`). Parsed as a raw string first — `arg::<usize>` would
+    // silently drop an address list.
+    let workers_raw = arg::<String>(args, "--workers");
+    let (slots, dist_addrs) = match workers_raw {
+        Some(w) if w.contains(':') => {
+            let addrs: Vec<String> = w
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+            (arg(args, "--slots").unwrap_or(8), Some(addrs))
+        }
+        Some(w) => (
+            w.parse::<usize>().map_err(|_| {
+                Error::Config(format!(
+                    "--workers takes a count or a HOST:PORT list, got {w:?}"
+                ))
+            })?,
+            None,
+        ),
+        None => (8, None),
+    };
     let mut config = RlConfig {
         max_iterations: arg(args, "--iters").unwrap_or(12),
-        workers: arg(args, "--workers").unwrap_or(8),
+        workers: slots,
         ..RlConfig::default()
     };
     if let Some(gib) = arg::<f64>(args, "--tape-budget-gib") {
@@ -292,6 +323,31 @@ fn cmd_train(args: &[String]) -> Result<(), Error> {
         if resume_dir.is_some() && rl_ccd::training_state_exists(dir) {
             println!("resuming from checkpoint in {dir}");
         }
+    }
+    if let Some(addrs) = &dist_addrs {
+        let mut executor = rl_ccd_dist::DistExecutor::connect(addrs)
+            .map_err(|e| Error::Config(format!("--workers {}: {e}", addrs.join(","))))?;
+        if let Some(secs) = arg::<u64>(args, "--deadline-s") {
+            executor = executor.with_deadline(std::time::Duration::from_secs(secs.max(1)));
+        }
+        println!(
+            "sharding rollouts over {} worker(s): {}",
+            addrs.len(),
+            addrs.join(", ")
+        );
+        builder = builder.executor(Box::new(executor));
+    }
+    // CI smoke hook: kill worker process PROC mid-batch at iteration IT and
+    // assert the run still completes (re-queued onto the survivors).
+    if let Some(spec) = arg::<String>(args, "--inject-worker-drop") {
+        let (it, proc) = spec
+            .split_once(':')
+            .and_then(|(a, b)| Some((a.parse().ok()?, b.parse().ok()?)))
+            .ok_or_else(|| {
+                Error::Config(format!("--inject-worker-drop takes IT:PROC, got {spec:?}"))
+            })?;
+        builder = builder.fault_plan(rl_ccd::FaultPlan::none().with_worker_drop(it, proc));
+        println!("injecting worker-drop at iteration {it}, worker process {proc}");
     }
     let session = builder.build()?;
     let default = session.env().default_flow();
@@ -602,6 +658,18 @@ fn cmd_query(args: &[String]) -> Result<(), Error> {
     Ok(())
 }
 
+/// Serves rollout requests for distributed training: loads the design and
+/// parameters a coordinator sends over `rl-ccd-dist v1`, then answers
+/// `run` requests until told to shut down.
+fn cmd_worker(args: &[String]) -> Result<(), Error> {
+    let port: u16 = arg(args, "--port").unwrap_or(7401);
+    let listener = std::net::TcpListener::bind(("0.0.0.0", port))?;
+    println!("rl-ccd worker serving on {}", listener.local_addr()?);
+    rl_ccd_dist::serve_worker(listener)?;
+    println!("worker shut down");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -620,6 +688,7 @@ fn main() -> ExitCode {
         "trace-validate" => cmd_trace_validate(rest),
         "serve" => cmd_serve(rest),
         "query" => cmd_query(rest),
+        "worker" => cmd_worker(rest),
         _ => return usage(),
     };
     match result {
