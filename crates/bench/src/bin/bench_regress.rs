@@ -1,0 +1,98 @@
+//! **Bench regression gate**: compares a fresh benchmark JSON against a
+//! committed baseline and fails on throughput regressions.
+//!
+//! Every metric named in `--metrics` is read from both files via
+//! dotted-path lookup (`kernels.speedup`, `fleets.0.throughput_rps`) and
+//! treated as **higher-is-better** (throughputs, speedups, batch sizes —
+//! don't gate latencies with this): the gate fails when
+//! `current < baseline × (1 − tolerance)`. Improvements never fail — the
+//! point is to catch the kernel rewrite that quietly loses its speedup,
+//! not to freeze the numbers. When a run beats its baseline, refresh the
+//! committed JSON in the same PR (see DESIGN.md §14).
+//!
+//! Usage:
+//! ```text
+//! bench_regress --baseline BENCH_nn.json --current fresh.json \
+//!               --metrics kernels.speedup,train.speedup [--tolerance 0.15]
+//! ```
+
+use rl_ccd_bench::{Cli, Json};
+use std::process::ExitCode;
+
+fn metric(doc: &Json, path: &str, file: &str) -> Result<f64, String> {
+    let node = doc
+        .get_path(path)
+        .ok_or_else(|| format!("{file}: no metric at path `{path}`"))?;
+    let v = node
+        .as_num()
+        .ok_or_else(|| format!("{file}: metric `{path}` is not a number"))?;
+    if !v.is_finite() {
+        return Err(format!("{file}: metric `{path}` is {v}"));
+    }
+    Ok(v)
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let cli = Cli::from_env();
+    let baseline_path: String = cli.value("--baseline", String::new());
+    let current_path: String = cli.value("--current", String::new());
+    let metrics: String = cli.value("--metrics", String::new());
+    let tolerance: f64 = cli.value("--tolerance", 0.15f64);
+    if baseline_path.is_empty() || current_path.is_empty() || metrics.is_empty() {
+        eprintln!("usage: bench_regress --baseline <json> --current <json> --metrics a.b,c.d");
+        return ExitCode::FAILURE;
+    }
+
+    let (baseline, current) = match (load(&baseline_path), load(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for r in [b, c] {
+                if let Err(e) = r {
+                    eprintln!("bench_regress: {e}");
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed = false;
+    for path in metrics.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let pair = metric(&baseline, path, &baseline_path)
+            .and_then(|b| metric(&current, path, &current_path).map(|c| (b, c)));
+        let (base, cur) = match pair {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("bench_regress: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let floor = base * (1.0 - tolerance);
+        let ratio = if base.abs() > f64::EPSILON {
+            cur / base
+        } else {
+            1.0
+        };
+        let verdict = if cur < floor { "REGRESSED" } else { "ok" };
+        println!(
+            "{path}: baseline {base:.3}, current {cur:.3} ({:+.1}%) — {verdict}",
+            (ratio - 1.0) * 100.0
+        );
+        if cur < floor {
+            failed = true;
+        }
+    }
+    if failed {
+        eprintln!(
+            "bench_regress: regression beyond {:.0}% against {baseline_path}",
+            tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

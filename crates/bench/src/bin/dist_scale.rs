@@ -22,7 +22,7 @@
 //! ```
 
 use rl_ccd::{CcdEnv, FaultPlan, LocalExecutor, RlCcd, RlConfig, RolloutExecutor, RolloutRequest};
-use rl_ccd_bench::{percentile, write_csv, write_json, Cli, Json};
+use rl_ccd_bench::{percentile, sort_metrics, write_csv, write_json, Cli, Json};
 use rl_ccd_dist::{serve_worker, DistExecutor};
 use rl_ccd_flow::FlowRecipe;
 use rl_ccd_netlist::{generate, DesignSpec, TechNode};
@@ -106,7 +106,7 @@ fn measure(
         rewards.extend(batch.rollouts.iter().map(|r| r.reward));
     }
     let wall_s = started.elapsed().as_secs_f64();
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    sort_metrics(&mut latencies);
     let row = Row {
         label: label.to_string(),
         workers,

@@ -1,0 +1,396 @@
+//! **NN kernel throughput**: fast batched kernels vs the pinned scalar
+//! reference at policy-sized shapes.
+//!
+//! Three measurements, all fast-vs-[`KernelMode::Scalar`]:
+//!
+//! 1. **kernels** — the dense-layer forward+backward op sets the policy
+//!    executes (attention projection, attention scores, LSTM input and
+//!    recurrent products: `x·w`, `g·wᵀ`, `xᵀ·g`, column-sum) at its exact
+//!    shapes. This is the gated headline number: `--min-speedup 3.0`
+//!    makes the process exit nonzero unless the fast kernels deliver 3×.
+//! 2. **train** — a full policy-shaped trajectory (LSTM encoder step,
+//!    additive-attention decoder, masked log-softmax, greedy pick) plus
+//!    backprop of the summed action log-probability. The fast lane reuses
+//!    one arena-backed [`Tape`] across repetitions (what training does);
+//!    the scalar lane builds a fresh [`Tape::scalar_reference`] per
+//!    repetition, reproducing the pre-rewrite per-op allocation behavior
+//!    op for op. End-to-end this is bounded by `tanh`/`exp` (parity-pinned
+//!    to libm, not vectorizable), so expect a smaller ratio than (1).
+//! 3. **infer** — the same trajectory without gradients: bind-once
+//!    no-grad session vs per-request rebind.
+//!
+//! Both trajectory lanes run the same graph, and the bench asserts their
+//! losses agree **bitwise** before timing — the speedup is real, not a
+//! different computation. All three measurements alternate the two lanes
+//! in blocks and score each lane by its *best* block, so VM steal time
+//! and frequency drift (which only ever inflate a block) cancel out of
+//! the ratio.
+//!
+//! Usage:
+//! ```text
+//! nn_kernels [--endpoints 96] [--steps 48] [--iters 30] [--infer-iters 60]
+//!            [--kernel-iters 2000] [--csv nn_kernels.csv]
+//!            [--json BENCH_nn.json] [--min-speedup 0.0]
+//!            [--min-train-speedup 0.0] [--min-infer-speedup 0.0]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl_ccd::RlConfig;
+use rl_ccd_bench::{write_csv, write_json, Cli, Json};
+use rl_ccd_nn::kernels::{self, BufferPool, KernelMode};
+use rl_ccd_nn::{
+    xavier, Linear, LstmCell, NoGradTape, ParamBinding, ParamSet, Tape, TapeOps, Tensor,
+};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Deterministic dense test tensor (no zeros, so the kernels' zero-skip
+/// takes its common path).
+fn filled(r: usize, c: usize, seed: u64) -> Tensor {
+    let mut t = Tensor::zeros(r, c);
+    for (i, x) in t.data_mut().iter_mut().enumerate() {
+        *x = (((i as u64).wrapping_mul(2_654_435_761).wrapping_add(seed) % 997) as f32 - 498.0)
+            * 0.002
+            + 0.001;
+    }
+    t
+}
+
+/// One dense layer's forward+backward op set at a given shape: the
+/// product `x·w`, then the three backward products `g·wᵀ`, `xᵀ·g`, and
+/// the bias column-sum. This is exactly what [`Tape::backward`] executes
+/// per `Linear`, so timing it *is* timing the layer's kernel work.
+struct LayerShape {
+    x: Tensor,
+    w: Tensor,
+    g: Tensor,
+}
+
+impl LayerShape {
+    fn new(m: usize, k: usize, n: usize, seed: u64) -> Self {
+        Self {
+            x: filled(m, k, seed),
+            w: filled(k, n, seed + 1),
+            g: filled(m, n, seed + 2),
+        }
+    }
+
+    /// Runs the four ops once in `mode`. Fast outputs recycle through
+    /// `pool`; scalar outputs drop, matching the scalar lane's no-pool
+    /// allocation story (and keeping the pool from growing without bound).
+    fn pass(&self, mode: KernelMode, pool: &mut BufferPool) {
+        let y = kernels::matmul(mode, pool, &self.x, &self.w);
+        let gx = kernels::matmul_t(mode, pool, &self.g, &self.w);
+        let gw = kernels::t_matmul(mode, pool, &self.x, &self.g);
+        let gb = kernels::col_sum(mode, pool, &self.g);
+        for t in [y, gx, gw, gb] {
+            let t = std::hint::black_box(t);
+            if mode == KernelMode::Fast {
+                pool.give_tensor(t);
+            }
+        }
+    }
+}
+
+/// The policy-shaped workload: dims from the paper config, endpoint count
+/// and trajectory length from the CLI.
+struct Workload {
+    endpoints: usize,
+    steps: usize,
+    embeddings: Tensor,
+    lstm: LstmCell,
+    w1: Linear,
+    w2: Linear,
+    params: ParamSet,
+}
+
+impl Workload {
+    fn build(endpoints: usize, steps: usize) -> Self {
+        let cfg = RlConfig::default();
+        let mut rng = StdRng::seed_from_u64(0xBE2C);
+        let mut params = ParamSet::new();
+        let lstm = LstmCell::init("enc", cfg.embed_dim, cfg.lstm_hidden, &mut params, &mut rng);
+        let w1 = Linear::init("dec.w1", cfg.embed_dim, cfg.attn_dim, &mut params, &mut rng);
+        let w2 = Linear::init(
+            "dec.w2",
+            cfg.lstm_hidden,
+            cfg.attn_dim,
+            &mut params,
+            &mut rng,
+        );
+        params.insert("dec.v", xavier(cfg.attn_dim, 1, &mut rng));
+        let mut embeddings = Tensor::zeros(endpoints, cfg.embed_dim);
+        for (i, x) in embeddings.data_mut().iter_mut().enumerate() {
+            *x = ((i * 37 % 113) as f32 - 56.0) * 0.02;
+        }
+        Self {
+            endpoints,
+            steps: steps.min(endpoints),
+            embeddings,
+            lstm,
+            w1,
+            w2,
+            params,
+        }
+    }
+
+    /// One full trajectory on `tape`: encoder + decoder per step, greedy
+    /// action, running sum of the picked log-probs. Returns the loss var.
+    fn trajectory<T: TapeOps>(&self, tape: &mut T, binding: &ParamBinding) -> rl_ccd_nn::Var {
+        let emb = tape.leaf(self.embeddings.clone());
+        let mut state = self.lstm.zero_state(tape);
+        let mut valid = vec![true; self.endpoints];
+        let mut last = 0u32;
+        let mut loss: Option<rl_ccd_nn::Var> = None;
+        for _ in 0..self.steps {
+            let x = tape.gather_rows(emb, Arc::new(vec![last]));
+            state = self.lstm.step(tape, binding, x, state);
+            let f_proj = self.w1.forward(tape, binding, emb);
+            let q_proj = self.w2.forward(tape, binding, state.h);
+            let pre = tape.add_row(f_proj, q_proj);
+            let act = tape.tanh(pre);
+            let v = binding.var("dec.v");
+            let scores = tape.matmul(act, v);
+            let log_probs = tape.masked_log_softmax(scores, Arc::new(valid.clone()));
+            let lp = tape.value(log_probs);
+            let action = (0..self.endpoints)
+                .filter(|&i| valid[i])
+                .max_by(|&a, &b| lp.at(a, 0).total_cmp(&lp.at(b, 0)))
+                .expect("valid endpoint");
+            valid[action] = false;
+            last = action as u32;
+            let picked = tape.pick(log_probs, action, 0);
+            loss = Some(match loss {
+                Some(acc) => tape.add(acc, picked),
+                None => picked,
+            });
+        }
+        loss.expect("at least one step")
+    }
+
+    /// Forward + backward once on `tape`; returns the scalar loss.
+    fn train_pass(&self, tape: &mut Tape) -> f32 {
+        let binding = self.params.bind(tape);
+        let loss = self.trajectory(tape, &binding);
+        let grads = tape.backward(loss);
+        std::hint::black_box(&grads);
+        tape.value(loss).data()[0]
+    }
+
+    /// Forward only on `tape` (inference lane); returns the scalar loss.
+    fn infer_pass(&self, tape: &mut NoGradTape, binding: &ParamBinding) -> f32 {
+        let loss = self.trajectory(tape, binding);
+        tape.value(loss).data()[0]
+    }
+}
+
+fn main() -> ExitCode {
+    let cli = Cli::from_env();
+    let _obs = cli.attach();
+    let endpoints: usize = cli.value("--endpoints", 96usize).max(1);
+    let steps: usize = cli.value("--steps", 48usize).max(1);
+    let iters: usize = cli.value("--iters", 30usize).max(1);
+    let infer_iters: usize = cli.value("--infer-iters", 60usize).max(1);
+    let kernel_iters: usize = cli.value("--kernel-iters", 2000usize).max(1);
+    let min_speedup: f64 = cli.value("--min-speedup", 0.0f64);
+    let min_train_speedup: f64 = cli.value("--min-train-speedup", 0.0f64);
+    let min_infer_speedup: f64 = cli.value("--min-infer-speedup", 0.0f64);
+    let csv = cli.csv("nn_kernels.csv");
+
+    let w = Workload::build(endpoints, steps);
+    println!(
+        "policy shapes: {} endpoints × {} steps, dims embed=16 lstm=32 attn=32",
+        w.endpoints, w.steps
+    );
+
+    // Kernel suite: the dense-layer forward+backward op sets the policy
+    // executes, at its exact shapes — attention projection, attention
+    // scores, and the two LSTM gate products.
+    let suite = [
+        LayerShape::new(endpoints, 16, 32, 11), // W1·F: embeddings → attention space
+        LayerShape::new(endpoints, 32, 1, 22),  // tanh(…)·v: attention scores
+        LayerShape::new(1, 16, 32, 33),         // x·Wx: LSTM input product
+        LayerShape::new(1, 32, 32, 44),         // h·Wh: LSTM recurrent product
+    ];
+    // Timing discipline for noisy single-core boxes (VM steal time,
+    // frequency drift): the two lanes alternate in blocks, and each
+    // lane's rate comes from its *best* block — transient stalls inflate
+    // a block's time, never deflate it, so min-of-blocks converges on
+    // the machine's true steady-state rate for both lanes.
+    const BLOCKS: usize = 10;
+    let mut pool = BufferPool::new();
+    for s in &suite {
+        s.pass(KernelMode::Fast, &mut pool);
+        s.pass(KernelMode::Scalar, &mut pool);
+    }
+    let reps = (kernel_iters / BLOCKS).max(1);
+    let mut fast_kernel_s = f64::INFINITY;
+    let mut scalar_kernel_s = f64::INFINITY;
+    for _ in 0..BLOCKS {
+        let t = Instant::now();
+        for _ in 0..reps {
+            for s in &suite {
+                s.pass(KernelMode::Fast, &mut pool);
+            }
+        }
+        fast_kernel_s = fast_kernel_s.min(t.elapsed().as_secs_f64() / reps as f64);
+        let t = Instant::now();
+        for _ in 0..reps {
+            for s in &suite {
+                s.pass(KernelMode::Scalar, &mut pool);
+            }
+        }
+        scalar_kernel_s = scalar_kernel_s.min(t.elapsed().as_secs_f64() / reps as f64);
+    }
+    let fast_kernel = 1.0 / fast_kernel_s;
+    let scalar_kernel = 1.0 / scalar_kernel_s;
+    let kernel_speedup = fast_kernel / scalar_kernel;
+    println!(
+        "kernels (fwd+bwd op sets): fast {fast_kernel:.0} passes/s, \
+         scalar {scalar_kernel:.0} passes/s — {kernel_speedup:.2}×"
+    );
+
+    // Parity pin before timing: both lanes must produce the same bits.
+    let fast_loss = w.train_pass(&mut Tape::new());
+    let scalar_loss = w.train_pass(&mut Tape::scalar_reference());
+    assert_eq!(
+        fast_loss.to_bits(),
+        scalar_loss.to_bits(),
+        "fast and scalar lanes diverged — bench would be meaningless"
+    );
+
+    // Training lane: fast reuses one tape (reset between reps), scalar
+    // rebuilds per rep — exactly the before/after allocation stories.
+    // Same alternating best-of-blocks discipline as the kernel suite.
+    let mut tape = Tape::new();
+    w.train_pass(&mut tape); // warm the buffer pool
+    tape.reset();
+    let train_reps = (iters / BLOCKS).max(1);
+    let mut fast_train_s = f64::INFINITY;
+    let mut scalar_train_s = f64::INFINITY;
+    for _ in 0..BLOCKS {
+        let t = Instant::now();
+        for _ in 0..train_reps {
+            std::hint::black_box(w.train_pass(&mut tape));
+            tape.reset();
+        }
+        fast_train_s = fast_train_s.min(t.elapsed().as_secs_f64() / train_reps as f64);
+        let t = Instant::now();
+        for _ in 0..train_reps {
+            let mut scalar_tape = Tape::scalar_reference();
+            std::hint::black_box(w.train_pass(&mut scalar_tape));
+        }
+        scalar_train_s = scalar_train_s.min(t.elapsed().as_secs_f64() / train_reps as f64);
+    }
+
+    // Inference lane: fast binds once and truncates back to the bound
+    // params between requests (the serve path); scalar rebinds per request.
+    let mut ng = NoGradTape::new();
+    let binding = w.params.bind(&mut ng);
+    let base = ng.len();
+    w.infer_pass(&mut ng, &binding); // warm the pool
+    ng.truncate(base);
+    let infer_reps = (infer_iters / BLOCKS).max(1);
+    let mut fast_infer_s = f64::INFINITY;
+    let mut scalar_infer_s = f64::INFINITY;
+    for _ in 0..BLOCKS {
+        let t = Instant::now();
+        for _ in 0..infer_reps {
+            std::hint::black_box(w.infer_pass(&mut ng, &binding));
+            ng.truncate(base);
+        }
+        fast_infer_s = fast_infer_s.min(t.elapsed().as_secs_f64() / infer_reps as f64);
+        let t = Instant::now();
+        for _ in 0..infer_reps {
+            let mut scalar_ng = NoGradTape::scalar_reference();
+            let scalar_binding = w.params.bind(&mut scalar_ng);
+            std::hint::black_box(w.infer_pass(&mut scalar_ng, &scalar_binding));
+        }
+        scalar_infer_s = scalar_infer_s.min(t.elapsed().as_secs_f64() / infer_reps as f64);
+    }
+
+    let per_sec = |secs_per_rep: f64| w.steps as f64 / secs_per_rep;
+    let fast_train = per_sec(fast_train_s);
+    let scalar_train = per_sec(scalar_train_s);
+    let train_speedup = fast_train / scalar_train;
+    let fast_infer = per_sec(fast_infer_s);
+    let scalar_infer = per_sec(scalar_infer_s);
+    let infer_speedup = fast_infer / scalar_infer;
+
+    println!(
+        "train (fwd+bwd): fast {fast_train:.0} steps/s, scalar {scalar_train:.0} steps/s \
+         — {train_speedup:.2}×"
+    );
+    println!(
+        "infer (no-grad): fast {fast_infer:.0} steps/s, scalar {scalar_infer:.0} steps/s \
+         — {infer_speedup:.2}×"
+    );
+
+    let rows = vec![format!(
+        "{endpoints},{steps},{kernel_speedup:.3},{fast_train:.1},{scalar_train:.1},\
+         {train_speedup:.3},{fast_infer:.1},{scalar_infer:.1},{infer_speedup:.3}"
+    )];
+    write_csv(
+        &csv,
+        "endpoints,steps,kernel_speedup,train_fast_sps,train_scalar_sps,train_speedup,\
+         infer_fast_sps,infer_scalar_sps,infer_speedup",
+        &rows,
+    )
+    .expect("write csv");
+    println!("wrote {csv}");
+
+    let json_path: String = cli.value("--json", "BENCH_nn.json".to_string());
+    let report = Json::Obj(vec![
+        Json::field("bench", Json::Str("nn_kernels".into())),
+        Json::field("endpoints", Json::Num(endpoints as f64)),
+        Json::field("steps", Json::Num(w.steps as f64)),
+        Json::field("iters", Json::Num(iters as f64)),
+        Json::field("infer_iters", Json::Num(infer_iters as f64)),
+        Json::field(
+            "kernels",
+            Json::Obj(vec![
+                Json::field("fast_passes_per_s", Json::Num(fast_kernel)),
+                Json::field("scalar_passes_per_s", Json::Num(scalar_kernel)),
+                Json::field("speedup", Json::Num(kernel_speedup)),
+            ]),
+        ),
+        Json::field(
+            "train",
+            Json::Obj(vec![
+                Json::field("fast_steps_per_s", Json::Num(fast_train)),
+                Json::field("scalar_steps_per_s", Json::Num(scalar_train)),
+                Json::field("speedup", Json::Num(train_speedup)),
+            ]),
+        ),
+        Json::field(
+            "infer",
+            Json::Obj(vec![
+                Json::field("fast_steps_per_s", Json::Num(fast_infer)),
+                Json::field("scalar_steps_per_s", Json::Num(scalar_infer)),
+                Json::field("speedup", Json::Num(infer_speedup)),
+            ]),
+        ),
+    ]);
+    write_json(&json_path, &report).expect("write json");
+    println!("wrote {json_path}");
+    if let Err(e) = cli.finish() {
+        eprintln!("trace: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if kernel_speedup < min_speedup {
+        eprintln!("kernel speedup {kernel_speedup:.2}× below required {min_speedup:.2}×");
+        return ExitCode::FAILURE;
+    }
+    if train_speedup < min_train_speedup {
+        eprintln!("train speedup {train_speedup:.2}× below required {min_train_speedup:.2}×");
+        return ExitCode::FAILURE;
+    }
+    if infer_speedup < min_infer_speedup {
+        eprintln!("infer speedup {infer_speedup:.2}× below required {min_infer_speedup:.2}×");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

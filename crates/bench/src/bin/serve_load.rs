@@ -21,7 +21,7 @@
 //! behind — the acceptance gate CI can hold the server to.
 
 use rl_ccd::{RlCcd, RlConfig};
-use rl_ccd_bench::{percentile, write_csv, write_json, Cli, Json};
+use rl_ccd_bench::{percentile, sort_metrics, write_csv, write_json, Cli, Json};
 use rl_ccd_serve::{DesignKey, Mode, ModelRegistry, QueryRequest, Response, ServeConfig, Server};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -104,7 +104,7 @@ fn main() -> ExitCode {
     let wall_s = started.elapsed().as_secs_f64();
     let report = server.shutdown();
 
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    sort_metrics(&mut latencies);
     let total = latencies.len();
     let throughput = total as f64 / wall_s;
     let p50 = percentile(&latencies, 0.50);

@@ -277,12 +277,213 @@ impl Json {
     }
 }
 
-/// Writes a [`Json`] value to `path` with a trailing newline.
+/// Writes a [`Json`] value to `path` with a trailing newline,
+/// **atomically**: the text lands in a `.tmp` sibling first and is renamed
+/// into place, so a bench killed mid-write can never leave a torn
+/// `BENCH_*.json` for the CI regression gate to choke on.
 ///
 /// # Errors
 /// Propagates I/O errors.
 pub fn write_json(path: &str, value: &Json) -> std::io::Result<()> {
-    std::fs::write(path, format!("{}\n", value.render()))
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, format!("{}\n", value.render()))?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Sorts latencies/metrics ascending with a total order — NaN sorts last
+/// instead of panicking a finished bench run at the report step.
+pub fn sort_metrics(values: &mut [f64]) {
+    values.sort_by(f64::total_cmp);
+}
+
+impl Json {
+    /// Parses compact or whitespace-separated JSON text (the subset
+    /// [`Json::render`] emits: objects, arrays, strings with the standard
+    /// escapes, numbers, `null` → NaN, plus `true`/`false` rendered as 1/0
+    /// for completeness). Used by the `bench_regress` gate to compare a
+    /// fresh run against the committed `BENCH_*.json` baselines.
+    ///
+    /// # Errors
+    /// Returns a message describing the first malformed construct.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Looks up a dotted path (`"fleets.0.throughput_rps"`): object steps
+    /// match keys, array steps parse as indices. Returns `None` on any
+    /// missing step.
+    pub fn get_path(&self, path: &str) -> Option<&Json> {
+        let mut cur = self;
+        for step in path.split('.') {
+            cur = match cur {
+                Json::Obj(fields) => fields.iter().find(|(k, _)| k == step).map(|(_, v)| v)?,
+                Json::Arr(items) => items.get(step.parse::<usize>().ok()?)?,
+                _ => return None,
+            };
+        }
+        Some(cur)
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(&b) = bytes.get(*pos) {
+        if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(bytes, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}", pos = *pos));
+                }
+                *pos += 1;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match bytes.get(*pos) {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match bytes.get(*pos) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'u') => {
+                                let hex = bytes
+                                    .get(*pos + 1..*pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                *pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (multibyte sequences pass
+                        // through untouched).
+                        let start = *pos;
+                        let mut end = start + 1;
+                        while end < bytes.len() && (bytes[end] & 0xC0) == 0x80 {
+                            end += 1;
+                        }
+                        s.push_str(
+                            std::str::from_utf8(&bytes[start..end]).map_err(|e| e.to_string())?,
+                        );
+                        *pos = end;
+                    }
+                }
+            }
+        }
+        Some(_) if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Num(f64::NAN))
+        }
+        Some(_) if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Num(1.0))
+        }
+        Some(_) if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Num(0.0))
+        }
+        Some(_) => {
+            let start = *pos;
+            while let Some(&b) = bytes.get(*pos) {
+                if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                    *pos += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number {text:?} at byte {start}"))
+        }
+    }
 }
 
 /// Nearest-rank percentile over an ascending-sorted slice (`p` in `0..=1`).
@@ -380,6 +581,67 @@ mod tests {
             v.render(),
             r#"{"bench":"dist\"scale\"\n","count":4,"p99_ms":1.25,"bad":null,"rows":[1,2.5]}"#
         );
+    }
+
+    #[test]
+    fn json_parse_roundtrips_render_and_walks_paths() {
+        let v = Json::Obj(vec![
+            Json::field("bench", Json::Str("serve \"load\"\n".into())),
+            Json::field("count", Json::Num(4.0)),
+            Json::field("bad", Json::Num(f64::NAN)),
+            Json::field(
+                "fleets",
+                Json::Arr(vec![Json::Obj(vec![Json::field(
+                    "throughput_rps",
+                    Json::Num(123.5),
+                )])]),
+            ),
+        ]);
+        let parsed = Json::parse(&v.render()).expect("roundtrip");
+        assert_eq!(parsed.render(), v.render());
+        assert_eq!(
+            parsed
+                .get_path("fleets.0.throughput_rps")
+                .and_then(Json::as_num),
+            Some(123.5)
+        );
+        assert_eq!(parsed.get_path("count").and_then(Json::as_num), Some(4.0));
+        // null renders from NaN and parses back to NaN.
+        assert!(parsed
+            .get_path("bad")
+            .and_then(Json::as_num)
+            .expect("num")
+            .is_nan());
+        assert!(parsed.get_path("fleets.1.x").is_none());
+        assert!(parsed.get_path("nope").is_none());
+        assert!(Json::parse("{\"a\":1,}").is_err());
+        assert!(Json::parse("[1 2]").is_err());
+        assert!(Json::parse("{\"a\":1} extra").is_err());
+    }
+
+    #[test]
+    fn write_json_is_atomic_and_leaves_no_tmp() {
+        let path = std::env::temp_dir().join(format!("rl-ccd-bench-json-{}", std::process::id()));
+        let path = path.to_str().expect("utf8 path").to_string();
+        let v = Json::Obj(vec![Json::field("x", Json::Num(1.0))]);
+        write_json(&path, &v).expect("write");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"x\":1}\n");
+        assert!(
+            !std::path::Path::new(&format!("{path}.tmp")).exists(),
+            "tmp file must be renamed away"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sort_metrics_tolerates_nan() {
+        // Regression: latency sorts used `partial_cmp(..).expect(..)` and
+        // panicked at the report step if a single sample went non-finite.
+        let mut v = vec![3.0, f64::NAN, 1.0, 2.0];
+        sort_metrics(&mut v);
+        assert_eq!(&v[..3], &[1.0, 2.0, 3.0]);
+        assert!(v[3].is_nan(), "NaN sorts last, run still reports");
+        assert_eq!(percentile(&v, 0.5), 3.0);
     }
 
     #[test]

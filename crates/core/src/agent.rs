@@ -62,14 +62,34 @@ impl RlCcd {
     /// samples the next endpoint, and cone-overlap masking prunes the pool
     /// until nothing is selectable.
     pub fn rollout(&self, params: &ParamSet, env: &CcdEnv, rng: &mut StdRng) -> Rollout {
-        self.run_trajectory(params, env, Some(rng))
+        self.run_trajectory(params, env, Some(rng), Tape::new())
     }
 
     /// Runs the deterministic greedy trajectory (argmax at every step).
     /// Used for policy evaluation: unlike sampled rollouts it reflects what
     /// the policy has actually learned.
     pub fn rollout_greedy(&self, params: &ParamSet, env: &CcdEnv) -> Rollout {
-        self.run_trajectory(params, env, None)
+        self.run_trajectory(params, env, None, Tape::new())
+    }
+
+    /// Like [`RlCcd::rollout`] but recording onto a caller-provided tape —
+    /// typically one recycled across trajectories via [`Tape::reset`], so
+    /// sequential rollouts reuse the same value buffers instead of
+    /// reallocating, or a [`Tape::scalar_reference`] tape to run the whole
+    /// trajectory through the pinned scalar kernels.
+    pub fn rollout_with_tape(
+        &self,
+        params: &ParamSet,
+        env: &CcdEnv,
+        rng: &mut StdRng,
+        tape: Tape,
+    ) -> Rollout {
+        self.run_trajectory(params, env, Some(rng), tape)
+    }
+
+    /// Greedy variant of [`RlCcd::rollout_with_tape`].
+    pub fn rollout_greedy_with_tape(&self, params: &ParamSet, env: &CcdEnv, tape: Tape) -> Rollout {
+        self.run_trajectory(params, env, None, tape)
     }
 
     fn run_trajectory(
@@ -77,8 +97,8 @@ impl RlCcd {
         params: &ParamSet,
         env: &CcdEnv,
         mut rng: Option<&mut StdRng>,
+        mut tape: Tape,
     ) -> Rollout {
-        let mut tape = Tape::new();
         let binding = params.bind(&mut tape);
         let pool = env.pool();
         let mut mask = SelectionMask::new(pool.len(), self.config.rho);
@@ -140,14 +160,31 @@ impl RlCcd {
         &self,
         params: &ParamSet,
         env: &CcdEnv,
-        mut rng: Option<&mut StdRng>,
+        rng: Option<&mut StdRng>,
     ) -> Vec<EndpointId> {
         let mut tape = NoGradTape::new();
         let binding = params.bind(&mut tape);
         let base = tape.len();
+        self.infer_trajectory_in(&mut tape, &binding, base, env, rng)
+    }
+
+    /// The body of [`RlCcd::infer_trajectory`] against a tape whose first
+    /// `base` entries are the bound parameter leaves. The tape is truncated
+    /// back to `base` after every step (and left at `base`-plus-carries on
+    /// return), so one bound tape can serve many requests — the per-request
+    /// parameter re-bind (one clone per tensor) disappears. Used by
+    /// [`crate::infer::InferSession`].
+    pub(crate) fn infer_trajectory_in(
+        &self,
+        tape: &mut NoGradTape,
+        binding: &ParamBinding,
+        base: usize,
+        env: &CcdEnv,
+        mut rng: Option<&mut StdRng>,
+    ) -> Vec<EndpointId> {
         let pool = env.pool();
         let mut mask = SelectionMask::new(pool.len(), self.config.rho);
-        let (mut state, mut prev_embed) = self.encoder.start(&mut tape);
+        let (mut state, mut prev_embed) = self.encoder.start(tape);
         let mut selected = Vec::new();
         while mask.any_valid() {
             let flag_cells: Vec<CellId> = mask
@@ -156,19 +193,19 @@ impl RlCcd {
                 .map(|&i| env.pool_cells()[i])
                 .collect();
             let x = tape.leaf(env.features().with_flags(&flag_cells));
-            let embeddings =
-                self.gnn
-                    .forward(&mut tape, &binding, x, env.adjacency(), env.readout());
-            state = self.encoder.step(&mut tape, &binding, prev_embed, state);
+            let embeddings = self
+                .gnn
+                .forward(tape, binding, x, env.adjacency(), env.readout());
+            state = self.encoder.step(tape, binding, prev_embed, state);
             let query = state.query();
             let valid = mask.valid_mask();
             let step = match rng.as_deref_mut() {
                 Some(rng) => self
                     .decoder
-                    .decode(&mut tape, &binding, embeddings, query, &valid, rng),
+                    .decode(tape, binding, embeddings, query, &valid, rng),
                 None => self
                     .decoder
-                    .decode_greedy(&mut tape, &binding, embeddings, query, &valid),
+                    .decode_greedy(tape, binding, embeddings, query, &valid),
             };
             mask.select(step.action, env.cones());
             selected.push(pool[step.action]);

@@ -94,11 +94,7 @@ impl Baseline {
                         f32::MAX
                     }
                 };
-                order.sort_by(|&a, &b| {
-                    headroom(b)
-                        .partial_cmp(&headroom(a))
-                        .expect("finite headroom")
-                });
+                order.sort_by(|&a, &b| headroom(b).total_cmp(&headroom(a)));
             }
         }
         let mut mask = SelectionMask::new(pool.len(), rho);

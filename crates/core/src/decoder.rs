@@ -75,11 +75,7 @@ impl AttentionDecoder {
         let lp = tape.value(log_probs);
         let action = (0..valid.len())
             .filter(|&i| valid[i])
-            .max_by(|&a, &b| {
-                lp.at(a, 0)
-                    .partial_cmp(&lp.at(b, 0))
-                    .expect("finite log probs on valid entries")
-            })
+            .max_by(|&a, &b| lp.at(a, 0).total_cmp(&lp.at(b, 0)))
             .expect("at least one valid endpoint");
         let action_log_prob = tape.pick(log_probs, action, 0);
         DecodeStep {
@@ -251,6 +247,24 @@ mod tests {
         let q2 = tape2.leaf(Tensor::zeros(1, cfg.lstm_hidden));
         let step2 = dec.decode_greedy(&mut tape2, &binding2, e2, q2, &valid);
         assert_eq!(step.action, step2.action);
+    }
+
+    #[test]
+    fn greedy_survives_nan_scores() {
+        // Regression: the argmax compared with `partial_cmp(..).expect(..)`
+        // and panicked mid-evaluation when a degenerate design drove the
+        // attention scores to NaN. `total_cmp` keeps the walk total and the
+        // decoder still returns a valid (if meaningless) endpoint.
+        let (params, dec, cfg) = build();
+        let mut tape = Tape::new();
+        let binding = params.bind(&mut tape);
+        let mut nan = Tensor::zeros(4, cfg.embed_dim);
+        nan.data_mut().fill(f32::NAN);
+        let e = tape.leaf(nan);
+        let q = tape.leaf(Tensor::zeros(1, cfg.lstm_hidden));
+        let valid = vec![true, false, true, true];
+        let step = dec.decode_greedy(&mut tape, &binding, e, q, &valid);
+        assert!(valid[step.action]);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! REINFORCE can backpropagate; a server answering "which endpoints should
 //! the clock path over-fix?" needs none of that. [`select_endpoints`] and
 //! [`sample_endpoints`] run the identical EP-GNN + encoder + attention
-//! forward pass on a [`NoGradTape`](rl_ccd_nn::NoGradTape): no gradient
+//! forward pass on a [`rl_ccd_nn::NoGradTape`]: no gradient
 //! bookkeeping, no Adam state, and per-step memory reclamation (the tape is
 //! truncated back to the parameter leaves after every selection, carrying
 //! only the previous-action embedding and the encoder state forward).
@@ -18,7 +18,7 @@ use crate::agent::RlCcd;
 use crate::env::CcdEnv;
 use rand::rngs::StdRng;
 use rl_ccd_netlist::EndpointId;
-use rl_ccd_nn::ParamSet;
+use rl_ccd_nn::{NoGradTape, ParamBinding, ParamSet};
 
 /// Deterministic greedy selection (argmax at every step) without any
 /// gradient bookkeeping. Bit-identical to
@@ -39,6 +39,67 @@ pub fn sample_endpoints(
     rng: &mut StdRng,
 ) -> Vec<EndpointId> {
     model.infer_trajectory(params, env, Some(rng))
+}
+
+/// A reusable inference context: parameters bound once onto one
+/// [`NoGradTape`], then many selections served through it.
+///
+/// [`select_endpoints`] / [`sample_endpoints`] construct a fresh tape and
+/// re-bind every parameter (one tensor clone each) per call; a server
+/// answering a batch of queries against the same model pays that cost once
+/// by building a session and calling [`InferSession::select`] /
+/// [`InferSession::sample`] per request. Between requests the tape is
+/// truncated back to the parameter leaves, returning every intermediate
+/// buffer to the tape's pool — steady-state serving allocates nothing per
+/// step. Selections are bit-identical to the free functions (same leaves,
+/// same kernels, same RNG discipline).
+#[derive(Debug)]
+pub struct InferSession<'a> {
+    model: &'a RlCcd,
+    tape: NoGradTape,
+    binding: ParamBinding,
+    base: usize,
+}
+
+impl<'a> InferSession<'a> {
+    /// Binds `params` once and returns a session ready to serve requests.
+    pub fn new(model: &'a RlCcd, params: &ParamSet) -> Self {
+        Self::with_tape(model, params, NoGradTape::new())
+    }
+
+    /// Like [`InferSession::new`] but executing through the pinned scalar
+    /// reference kernels — the baseline the `nn_kernels` bench compares
+    /// against.
+    pub fn scalar_reference(model: &'a RlCcd, params: &ParamSet) -> Self {
+        Self::with_tape(model, params, NoGradTape::scalar_reference())
+    }
+
+    fn with_tape(model: &'a RlCcd, params: &ParamSet, mut tape: NoGradTape) -> Self {
+        let binding = params.bind(&mut tape);
+        let base = tape.len();
+        Self {
+            model,
+            tape,
+            binding,
+            base,
+        }
+    }
+
+    /// Deterministic greedy selection; bit-identical to
+    /// [`select_endpoints`] on the same model/params/env.
+    pub fn select(&mut self, env: &CcdEnv) -> Vec<EndpointId> {
+        self.tape.truncate(self.base);
+        self.model
+            .infer_trajectory_in(&mut self.tape, &self.binding, self.base, env, None)
+    }
+
+    /// Stochastic selection consuming one RNG draw per step; bit-identical
+    /// to [`sample_endpoints`] for the same `rng` state.
+    pub fn sample(&mut self, env: &CcdEnv, rng: &mut StdRng) -> Vec<EndpointId> {
+        self.tape.truncate(self.base);
+        self.model
+            .infer_trajectory_in(&mut self.tape, &self.binding, self.base, env, Some(rng))
+    }
 }
 
 #[cfg(test)]
@@ -79,6 +140,32 @@ mod tests {
                 sample_endpoints(&model, &params, &env, &mut StdRng::seed_from_u64(seed));
             assert_eq!(trained, inferred, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn session_reuse_matches_free_functions_bit_for_bit() {
+        let env = env();
+        let (model, params) = RlCcd::init(RlConfig::fast());
+        let mut session = InferSession::new(&model, &params);
+        // Repeated greedy requests through one session match the one-shot
+        // path every time (truncation fully resets the request state).
+        for round in 0..3 {
+            assert_eq!(
+                session.select(&env),
+                select_endpoints(&model, &params, &env),
+                "greedy request {round} diverged"
+            );
+        }
+        // Sampled requests interleaved on one session stay stream-exact.
+        for seed in [0u64, 7, 1234] {
+            let via_session = session.sample(&env, &mut StdRng::seed_from_u64(seed));
+            let one_shot =
+                sample_endpoints(&model, &params, &env, &mut StdRng::seed_from_u64(seed));
+            assert_eq!(via_session, one_shot, "seed {seed}");
+        }
+        // The scalar-reference session agrees bit-for-bit too.
+        let mut scalar = InferSession::scalar_reference(&model, &params);
+        assert_eq!(scalar.select(&env), select_endpoints(&model, &params, &env));
     }
 
     #[test]

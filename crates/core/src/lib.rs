@@ -81,7 +81,7 @@ pub use executor::{
 };
 pub use fault::{FaultKind, FaultPlan, InjectedFault, RolloutFault};
 pub use features::{NodeFeatures, FEATURE_DIM, MASKED_COL};
-pub use infer::{sample_endpoints, select_endpoints};
+pub use infer::{sample_endpoints, select_endpoints, InferSession};
 pub use masking::{EndpointStatus, SelectionMask};
 pub use parallel::{
     max_concurrent_tapes, run_rollouts, run_rollouts_assigned, run_rollouts_supervised,

@@ -251,8 +251,7 @@ pub fn generate(spec: &DesignSpec) -> GeneratedDesign {
                 .enumerate()
                 .min_by(|(_, (_, a)), (_, (_, b))| {
                     a.manhattan(plan.center)
-                        .partial_cmp(&b.manhattan(plan.center))
-                        .expect("finite distance")
+                        .total_cmp(&b.manhattan(plan.center))
                 })
                 .map(|(i, (_, c))| (i, c.manhattan(plan.center)));
             match nearest {
@@ -800,7 +799,7 @@ fn calibrate_period(netlist: &Netlist, viol_frac: f32) -> f32 {
         .copied()
         .filter(|&a| a > 0.35 * max)
         .collect();
-    tail.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    tail.sort_by(f32::total_cmp);
     let q = (1.0 - viol_frac.clamp(0.01, 0.95)) as f64;
     let idx = ((tail.len() - 1) as f64 * q).round() as usize;
     // Slew effects (ignored by the estimate) add delay, so bias slightly up.

@@ -68,10 +68,7 @@ impl GruCell {
         let wx = binding.var(&format!("{}.wx_{g}", self.name));
         let wh = binding.var(&format!("{}.wh_{g}", self.name));
         let b = binding.var(&format!("{}.b_{g}", self.name));
-        let xs = tape.matmul(x, wx);
-        let hs = tape.matmul(h, wh);
-        let s = tape.add(xs, hs);
-        tape.add_row(s, b)
+        tape.linear2(x, wx, h, wh, b)
     }
 
     /// One recurrence step: `h' = (1−z)⊙n + z⊙h`.
@@ -85,10 +82,7 @@ impl GruCell {
         let wx = binding.var(&format!("{}.wx_n", self.name));
         let wh = binding.var(&format!("{}.wh_n", self.name));
         let b = binding.var(&format!("{}.b_n", self.name));
-        let xs = tape.matmul(x, wx);
-        let hs = tape.matmul(rh, wh);
-        let pre = tape.add(xs, hs);
-        let pre = tape.add_row(pre, b);
+        let pre = tape.linear2(x, wx, rh, wh, b);
         let n = tape.tanh(pre);
         // h' = n − z⊙n + z⊙h.
         let zn = tape.mul(z, n);

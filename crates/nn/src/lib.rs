@@ -40,6 +40,7 @@
 
 pub mod gru;
 pub mod init;
+pub mod kernels;
 pub mod linear;
 pub mod lstm;
 pub mod module;
@@ -50,6 +51,7 @@ pub mod tensor;
 
 pub use gru::GruCell;
 pub use init::{uniform, xavier};
+pub use kernels::{BufferPool, KernelMode};
 pub use linear::Linear;
 pub use lstm::{LstmCell, LstmState};
 pub use module::{GradSet, LoadParamsError, ParamBinding, ParamSet};

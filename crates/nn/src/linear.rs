@@ -69,8 +69,7 @@ impl Linear {
     pub fn forward<T: TapeOps>(&self, tape: &mut T, binding: &ParamBinding, x: Var) -> Var {
         let w = binding.var(&format!("{}.w", self.name));
         let b = binding.var(&format!("{}.b", self.name));
-        let h = tape.matmul(x, w);
-        tape.add_row(h, b)
+        tape.linear(x, w, b)
     }
 }
 

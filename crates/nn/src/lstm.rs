@@ -104,10 +104,7 @@ impl LstmCell {
         let wx = binding.var(&format!("{}.wx_{g}", self.name));
         let wh = binding.var(&format!("{}.wh_{g}", self.name));
         let b = binding.var(&format!("{}.b_{g}", self.name));
-        let xs = tape.matmul(x, wx);
-        let hs = tape.matmul(h, wh);
-        let s = tape.add(xs, hs);
-        tape.add_row(s, b)
+        tape.linear2(x, wx, h, wh, b)
     }
 
     /// One recurrence step: consumes input `x` (1×in) and the previous

@@ -89,6 +89,44 @@ impl Csr {
         out
     }
 
+    /// Like [`Csr::matmul`] but accumulates into a caller-provided zeroed
+    /// buffer of length `self.rows() * dense.cols()`. The inner row update
+    /// runs through the lane-unrolled axpy, which keeps the same
+    /// (r, k)-ascending per-element accumulation order as [`Csr::matmul`],
+    /// so the result is bit-identical while the loop vectorizes.
+    pub fn matmul_into(&self, out: &mut [f32], dense: &Tensor) {
+        assert_eq!(dense.rows(), self.cols, "spmm inner dimension");
+        let m = dense.cols();
+        assert_eq!(out.len(), self.rows * m, "spmm output length");
+        let dd = dense.data();
+        for r in 0..self.rows {
+            let (s, e) = (self.indptr[r] as usize, self.indptr[r + 1] as usize);
+            let orow = &mut out[r * m..(r + 1) * m];
+            for k in s..e {
+                let c = self.indices[k] as usize;
+                crate::kernels::axpy(orow, self.values[k], &dd[c * m..(c + 1) * m]);
+            }
+        }
+    }
+
+    /// Like [`Csr::t_matmul`] but accumulates into a caller-provided zeroed
+    /// buffer of length `self.cols() * dense.cols()`, bit-identical to the
+    /// allocating form (same accumulation order, unrolled inner loop).
+    pub fn t_matmul_into(&self, out: &mut [f32], dense: &Tensor) {
+        assert_eq!(dense.rows(), self.rows, "spmm-t inner dimension");
+        let m = dense.cols();
+        assert_eq!(out.len(), self.cols * m, "spmm-t output length");
+        let dd = dense.data();
+        for r in 0..self.rows {
+            let (s, e) = (self.indptr[r] as usize, self.indptr[r + 1] as usize);
+            let src = &dd[r * m..(r + 1) * m];
+            for k in s..e {
+                let c = self.indices[k] as usize;
+                crate::kernels::axpy(&mut out[c * m..(c + 1) * m], self.values[k], src);
+            }
+        }
+    }
+
     /// Transposed sparse × dense product: `selfᵀ (c×r) · dense (r×m) → (c×m)`.
     /// This is the backward pass of [`Csr::matmul`] with respect to the dense
     /// operand.

@@ -4,148 +4,32 @@
 //! replays it in reverse, producing gradients for every recorded variable.
 //! The op set is exactly what the RL-CCD networks need: dense/sparse matrix
 //! products, broadcasting adds, elementwise nonlinearities, gather/pick, a
-//! trainable-scalar gate, and a masked log-softmax for the pointer-attention
-//! decoder.
+//! trainable-scalar gate, a masked log-softmax for the pointer-attention
+//! decoder, and fused linear layers ([`TapeOps::linear`],
+//! [`TapeOps::linear2`]) for the dense/recurrent gate bodies.
 //!
 //! Inference does not need gradients: [`NoGradTape`] executes the same op
 //! set while storing only the computed values (no op records, so nothing to
 //! replay and nothing for [`Tape::backward`] to walk), and supports
 //! [`NoGradTape::truncate`] so a selection loop can reclaim each step's
-//! intermediates. Both executors implement [`TapeOps`] and share one
-//! forward kernel per op, which is what makes training-mode and
-//! inference-mode forwards bit-identical.
+//! intermediates. Both executors implement [`TapeOps`] and route every op
+//! through the shared kernels in [`crate::kernels`], which is what makes
+//! training-mode and inference-mode forwards bit-identical.
+//!
+//! Each executor runs in a [`KernelMode`]: `Fast` (the default) executes
+//! the blocked kernels over buffers recycled through an internal
+//! [`BufferPool`] — [`Tape::reset`] and [`NoGradTape::truncate`] return
+//! dropped values to the pool, so steady-state rollouts allocate nothing
+//! per step. [`Tape::scalar_reference`] / [`NoGradTape::scalar_reference`]
+//! select the original scalar loops (per-op allocation, fused ops recorded
+//! as their multi-op decompositions) as a pinned baseline; the two modes
+//! agree bit-for-bit on every value and gradient, which the kernel parity
+//! proptests assert.
 
+use crate::kernels::{self, BufferPool, KernelMode};
 use crate::sparse::SharedCsr;
 use crate::tensor::Tensor;
 use std::sync::Arc;
-
-/// Forward kernels shared by [`Tape`] and [`NoGradTape`]. One
-/// implementation per op is the bit-identity guarantee between the
-/// training and inference forward paths: both executors compute every
-/// value through exactly this code.
-mod kernel {
-    use super::{SharedCsr, Tensor};
-
-    pub(super) fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
-        a.matmul(b)
-    }
-
-    pub(super) fn spmm(csr: &SharedCsr, a: &Tensor) -> Tensor {
-        csr.matmul(a)
-    }
-
-    pub(super) fn add(a: &Tensor, b: &Tensor) -> Tensor {
-        assert_eq!(a.shape(), b.shape(), "add shapes");
-        let mut v = a.clone();
-        v.add_assign(b);
-        v
-    }
-
-    pub(super) fn add_row(a: &Tensor, row: &Tensor) -> Tensor {
-        let (n, m) = a.shape();
-        assert_eq!(row.shape(), (1, m), "add_row shapes");
-        let mut v = a.clone();
-        {
-            let r = row.data().to_vec();
-            let d = v.data_mut();
-            for i in 0..n {
-                for j in 0..m {
-                    d[i * m + j] += r[j];
-                }
-            }
-        }
-        v
-    }
-
-    pub(super) fn mul(a: &Tensor, b: &Tensor) -> Tensor {
-        assert_eq!(a.shape(), b.shape(), "mul shapes");
-        let bv = b.data().to_vec();
-        let mut v = a.clone();
-        for (x, y) in v.data_mut().iter_mut().zip(bv) {
-            *x *= y;
-        }
-        v
-    }
-
-    pub(super) fn scale(a: &Tensor, k: f32) -> Tensor {
-        a.map(|x| k * x)
-    }
-
-    pub(super) fn scalar_mul(s: &Tensor, a: &Tensor) -> Tensor {
-        assert_eq!(s.shape(), (1, 1), "scalar_mul gate shape");
-        let k = s.data()[0];
-        a.map(|x| k * x)
-    }
-
-    pub(super) fn mix(s: &Tensor, a: &Tensor, b: &Tensor) -> Tensor {
-        assert_eq!(s.shape(), (1, 1), "mix gate shape");
-        assert_eq!(a.shape(), b.shape(), "mix shapes");
-        let k = s.data()[0];
-        let bv = b.data().to_vec();
-        let mut v = a.clone();
-        for (x, y) in v.data_mut().iter_mut().zip(bv) {
-            *x = k * *x + (1.0 - k) * y;
-        }
-        v
-    }
-
-    pub(super) fn affine(a: &Tensor, k: f32, c: f32) -> Tensor {
-        a.map(|x| k * x + c)
-    }
-
-    pub(super) fn sigmoid(a: &Tensor) -> Tensor {
-        a.map(|x| 1.0 / (1.0 + (-x).exp()))
-    }
-
-    pub(super) fn tanh(a: &Tensor) -> Tensor {
-        a.map(f32::tanh)
-    }
-
-    pub(super) fn relu(a: &Tensor) -> Tensor {
-        a.map(|x| x.max(0.0))
-    }
-
-    pub(super) fn gather_rows(a: &Tensor, rows: &[u32]) -> Tensor {
-        let (n, m) = a.shape();
-        let mut v = Tensor::zeros(rows.len(), m);
-        for (i, &r) in rows.iter().enumerate() {
-            assert!((r as usize) < n, "gather row out of bounds");
-            let src = a.row(r as usize).to_vec();
-            v.data_mut()[i * m..(i + 1) * m].copy_from_slice(&src);
-        }
-        v
-    }
-
-    pub(super) fn pick(a: &Tensor, r: usize, c: usize) -> Tensor {
-        Tensor::from_vec(1, 1, vec![a.at(r, c)])
-    }
-
-    pub(super) fn masked_log_softmax(value: &Tensor, mask: &[bool]) -> Tensor {
-        assert_eq!(mask.len(), value.len(), "mask length");
-        assert!(mask.iter().any(|&m| m), "all entries masked");
-        let mut max = f32::NEG_INFINITY;
-        for (i, &x) in value.data().iter().enumerate() {
-            if mask[i] && x > max {
-                max = x;
-            }
-        }
-        let mut lse = 0.0f32;
-        for (i, &x) in value.data().iter().enumerate() {
-            if mask[i] {
-                lse += (x - max).exp();
-            }
-        }
-        let lse = lse.ln() + max;
-        let (r, c) = value.shape();
-        let data: Vec<f32> = value
-            .data()
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| if mask[i] { x - lse } else { f32::NEG_INFINITY })
-            .collect();
-        Tensor::from_vec(r, c, data)
-    }
-}
 
 /// Handle to a tensor recorded on a [`Tape`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -176,6 +60,8 @@ enum Op {
     Pick(Var, usize, usize),
     MaskedLogSoftmax(Var, Arc<Vec<bool>>),
     Mix(Var, Var, Var),
+    Linear(Var, Var, Var),
+    Linear2(Var, Var, Var, Var, Var),
 }
 
 #[derive(Debug)]
@@ -189,6 +75,8 @@ struct Node {
 #[derive(Debug, Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    mode: KernelMode,
+    pool: BufferPool,
 }
 
 /// Gradients produced by [`Tape::backward`], indexed by [`Var`].
@@ -209,10 +97,50 @@ impl Gradients {
     }
 }
 
+/// `clone()` that draws from the pool in fast mode.
+fn clone_grad(mode: KernelMode, pool: &mut BufferPool, g: &Tensor) -> Tensor {
+    match mode {
+        KernelMode::Fast => Tensor::from_vec(g.rows(), g.cols(), pool.take_copy(g.data())),
+        KernelMode::Scalar => g.clone(),
+    }
+}
+
+/// `Tensor::zeros()` that draws from the pool in fast mode.
+fn zeroed(mode: KernelMode, pool: &mut BufferPool, rows: usize, cols: usize) -> Tensor {
+    match mode {
+        KernelMode::Fast => Tensor::from_vec(rows, cols, pool.take_zeroed(rows * cols)),
+        KernelMode::Scalar => Tensor::zeros(rows, cols),
+    }
+}
+
+/// Parks a finished gradient buffer in fast mode; plain drop in scalar
+/// mode (the reference implementation never pools).
+fn recycle(mode: KernelMode, pool: &mut BufferPool, t: Tensor) {
+    if mode == KernelMode::Fast {
+        pool.give_tensor(t);
+    }
+}
+
 impl Tape {
-    /// An empty tape.
+    /// An empty tape running the fast kernels.
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self::default()
+    }
+
+    /// An empty tape running the original scalar loops — the pinned
+    /// reference implementation the fast kernels are parity-tested and
+    /// benchmarked against. Fused ops record their multi-op
+    /// decompositions, reproducing the pre-fusion tape exactly.
+    pub fn scalar_reference() -> Self {
+        Self {
+            mode: KernelMode::Scalar,
+            ..Self::default()
+        }
+    }
+
+    /// Which kernel implementation this tape executes.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.mode
     }
 
     /// Number of recorded nodes.
@@ -223,6 +151,18 @@ impl Tape {
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Clears the tape for reuse, recycling every node's storage through
+    /// the internal buffer pool (fast mode). A rollout loop that resets
+    /// one tape per trajectory reaches a steady state where forward ops
+    /// allocate nothing.
+    pub fn reset(&mut self) {
+        for node in self.nodes.drain(..) {
+            if self.mode == KernelMode::Fast {
+                self.pool.give_tensor(node.value);
+            }
+        }
     }
 
     /// Records an input/parameter tensor.
@@ -242,13 +182,18 @@ impl Tape {
 
     /// Dense matrix product `a · b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = kernel::matmul(self.value(a), self.value(b));
+        let v = kernels::matmul(
+            self.mode,
+            &mut self.pool,
+            &self.nodes[a.index()].value,
+            &self.nodes[b.index()].value,
+        );
         self.push(v, Op::Matmul(a, b))
     }
 
     /// Sparse × dense product `csr · a` (no gradient flows to the CSR).
     pub fn spmm(&mut self, csr: &SharedCsr, a: Var) -> Var {
-        let v = kernel::spmm(csr, self.value(a));
+        let v = kernels::spmm(self.mode, &mut self.pool, csr, &self.nodes[a.index()].value);
         self.push(v, Op::Spmm(Arc::clone(csr), a))
     }
 
@@ -257,7 +202,12 @@ impl Tape {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = kernel::add(self.value(a), self.value(b));
+        let v = kernels::add(
+            self.mode,
+            &mut self.pool,
+            &self.nodes[a.index()].value,
+            &self.nodes[b.index()].value,
+        );
         self.push(v, Op::Add(a, b))
     }
 
@@ -266,7 +216,12 @@ impl Tape {
     /// # Panics
     /// Panics if `row` is not 1×m.
     pub fn add_row(&mut self, a: Var, row: Var) -> Var {
-        let v = kernel::add_row(self.value(a), self.value(row));
+        let v = kernels::add_row(
+            self.mode,
+            &mut self.pool,
+            &self.nodes[a.index()].value,
+            &self.nodes[row.index()].value,
+        );
         self.push(v, Op::AddRow(a, row))
     }
 
@@ -275,13 +230,18 @@ impl Tape {
     /// # Panics
     /// Panics on shape mismatch.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = kernel::mul(self.value(a), self.value(b));
+        let v = kernels::mul(
+            self.mode,
+            &mut self.pool,
+            &self.nodes[a.index()].value,
+            &self.nodes[b.index()].value,
+        );
         self.push(v, Op::Mul(a, b))
     }
 
     /// Multiplies by a compile-time constant.
     pub fn scale(&mut self, a: Var, k: f32) -> Var {
-        let v = kernel::scale(self.value(a), k);
+        let v = kernels::scale(self.mode, &mut self.pool, &self.nodes[a.index()].value, k);
         self.push(v, Op::ScaleConst(a, k))
     }
 
@@ -290,7 +250,12 @@ impl Tape {
     /// # Panics
     /// Panics if `s` is not 1×1.
     pub fn scalar_mul(&mut self, s: Var, a: Var) -> Var {
-        let v = kernel::scalar_mul(self.value(s), self.value(a));
+        let v = kernels::scalar_mul(
+            self.mode,
+            &mut self.pool,
+            &self.nodes[s.index()].value,
+            &self.nodes[a.index()].value,
+        );
         self.push(v, Op::ScalarMul(s, a))
     }
 
@@ -300,31 +265,43 @@ impl Tape {
     /// # Panics
     /// Panics if `s` is not 1×1 or `a`/`b` shapes differ.
     pub fn mix(&mut self, s: Var, a: Var, b: Var) -> Var {
-        let v = kernel::mix(self.value(s), self.value(a), self.value(b));
+        let v = kernels::mix(
+            self.mode,
+            &mut self.pool,
+            &self.nodes[s.index()].value,
+            &self.nodes[a.index()].value,
+            &self.nodes[b.index()].value,
+        );
         self.push(v, Op::Mix(s, a, b))
     }
 
     /// Elementwise affine map `k·x + c`.
     pub fn affine(&mut self, a: Var, k: f32, c: f32) -> Var {
-        let v = kernel::affine(self.value(a), k, c);
+        let v = kernels::affine(
+            self.mode,
+            &mut self.pool,
+            &self.nodes[a.index()].value,
+            k,
+            c,
+        );
         self.push(v, Op::AffineScalar(a, k, c))
     }
 
     /// Elementwise logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let v = kernel::sigmoid(self.value(a));
+        let v = kernels::sigmoid(self.mode, &mut self.pool, &self.nodes[a.index()].value);
         self.push(v, Op::Sigmoid(a))
     }
 
     /// Elementwise tanh.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let v = kernel::tanh(self.value(a));
+        let v = kernels::tanh(self.mode, &mut self.pool, &self.nodes[a.index()].value);
         self.push(v, Op::Tanh(a))
     }
 
     /// Elementwise ReLU.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = kernel::relu(self.value(a));
+        let v = kernels::relu(self.mode, &mut self.pool, &self.nodes[a.index()].value);
         self.push(v, Op::Relu(a))
     }
 
@@ -333,7 +310,12 @@ impl Tape {
     /// # Panics
     /// Panics if any index is out of bounds.
     pub fn gather_rows(&mut self, a: Var, rows: Arc<Vec<u32>>) -> Var {
-        let v = kernel::gather_rows(self.value(a), &rows);
+        let v = kernels::gather_rows(
+            self.mode,
+            &mut self.pool,
+            &self.nodes[a.index()].value,
+            &rows,
+        );
         self.push(v, Op::GatherRows(a, rows))
     }
 
@@ -342,7 +324,13 @@ impl Tape {
     /// # Panics
     /// Panics if out of bounds.
     pub fn pick(&mut self, a: Var, r: usize, c: usize) -> Var {
-        let v = kernel::pick(self.value(a), r, c);
+        let v = kernels::pick(
+            self.mode,
+            &mut self.pool,
+            &self.nodes[a.index()].value,
+            r,
+            c,
+        );
         self.push(v, Op::Pick(a, r, c))
     }
 
@@ -354,12 +342,69 @@ impl Tape {
     /// Panics if the mask length differs from the element count or no entry
     /// is valid.
     pub fn masked_log_softmax(&mut self, a: Var, mask: Arc<Vec<bool>>) -> Var {
-        let v = kernel::masked_log_softmax(self.value(a), &mask);
+        let v = kernels::masked_log_softmax(
+            self.mode,
+            &mut self.pool,
+            &self.nodes[a.index()].value,
+            &mask,
+        );
         self.push(v, Op::MaskedLogSoftmax(a, mask))
+    }
+
+    /// Fused dense layer `x·w + b`: one tape node instead of the
+    /// matmul + add_row pair, bit-identical to that pair. In scalar
+    /// reference mode the decomposed pair is recorded instead, so the
+    /// baseline tape matches the pre-fusion implementation op for op.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn linear(&mut self, x: Var, w: Var, b: Var) -> Var {
+        if self.mode == KernelMode::Scalar {
+            let h = self.matmul(x, w);
+            return self.add_row(h, b);
+        }
+        let v = kernels::linear(
+            self.mode,
+            &mut self.pool,
+            &self.nodes[x.index()].value,
+            &self.nodes[w.index()].value,
+            &self.nodes[b.index()].value,
+        );
+        self.push(v, Op::Linear(x, w, b))
+    }
+
+    /// Fused gate pre-activation `x·wx + h·wh + b` — the LSTM/GRU gate
+    /// body as one tape node instead of four (two matmuls, add, add_row),
+    /// bit-identical to the decomposition (which scalar reference mode
+    /// records instead).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn linear2(&mut self, x: Var, wx: Var, h: Var, wh: Var, b: Var) -> Var {
+        if self.mode == KernelMode::Scalar {
+            let xs = self.matmul(x, wx);
+            let hs = self.matmul(h, wh);
+            let s = self.add(xs, hs);
+            return self.add_row(s, b);
+        }
+        let v = kernels::linear2(
+            self.mode,
+            &mut self.pool,
+            &self.nodes[x.index()].value,
+            &self.nodes[wx.index()].value,
+            &self.nodes[h.index()].value,
+            &self.nodes[wh.index()].value,
+            &self.nodes[b.index()].value,
+        );
+        self.push(v, Op::Linear2(x, wx, h, wh, b))
     }
 
     /// Runs reverse-mode differentiation from `loss` (which must be 1×1)
     /// and returns the gradient of every variable that participates.
+    ///
+    /// Gradient temporaries cycle through a per-call buffer pool in fast
+    /// mode, so a backward pass performs O(live gradients) allocations
+    /// rather than O(ops).
     ///
     /// # Panics
     /// Panics if `loss` is not a scalar.
@@ -367,6 +412,9 @@ impl Tape {
         assert_eq!(self.value(loss).shape(), (1, 1), "loss must be scalar");
         rl_ccd_obs::counter!("nn.tape.backward_passes", 1);
         rl_ccd_obs::counter!("nn.tape.backward_nodes", self.nodes.len());
+        let mode = self.mode;
+        let mut pool = BufferPool::new();
+        let pool = &mut pool;
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         grads[loss.index()] = Some(Tensor::from_vec(1, 1, vec![1.0]));
         for idx in (0..self.nodes.len()).rev() {
@@ -381,31 +429,29 @@ impl Tape {
                     continue;
                 }
                 Op::Matmul(a, b) => {
-                    let ga = g.matmul_t(&self.nodes[b.index()].value);
-                    let gb = self.nodes[a.index()].value.t_matmul(&g);
-                    accumulate(&mut grads, *a, ga);
-                    accumulate(&mut grads, *b, gb);
+                    let ga = kernels::matmul_t(mode, pool, &g, &self.nodes[b.index()].value);
+                    let gb = kernels::t_matmul(mode, pool, &self.nodes[a.index()].value, &g);
+                    accumulate(&mut grads, mode, pool, *a, ga);
+                    accumulate(&mut grads, mode, pool, *b, gb);
+                    recycle(mode, pool, g);
                 }
                 Op::Spmm(csr, a) => {
-                    accumulate(&mut grads, *a, csr.t_matmul(&g));
+                    let ga = kernels::spmm_t(mode, pool, csr, &g);
+                    accumulate(&mut grads, mode, pool, *a, ga);
+                    recycle(mode, pool, g);
                 }
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, *a, g.clone());
-                    accumulate(&mut grads, *b, g);
+                    let ga = clone_grad(mode, pool, &g);
+                    accumulate(&mut grads, mode, pool, *a, ga);
+                    accumulate(&mut grads, mode, pool, *b, g);
                 }
                 Op::AddRow(a, row) => {
-                    let (n, m) = g.shape();
-                    let mut gr = Tensor::zeros(1, m);
-                    for i in 0..n {
-                        for j in 0..m {
-                            gr.data_mut()[j] += g.at(i, j);
-                        }
-                    }
-                    accumulate(&mut grads, *a, g);
-                    accumulate(&mut grads, *row, gr);
+                    let gr = kernels::col_sum(mode, pool, &g);
+                    accumulate(&mut grads, mode, pool, *a, g);
+                    accumulate(&mut grads, mode, pool, *row, gr);
                 }
                 Op::Mul(a, b) => {
-                    let mut ga = g.clone();
+                    let mut ga = clone_grad(mode, pool, &g);
                     for (x, y) in ga
                         .data_mut()
                         .iter_mut()
@@ -421,13 +467,13 @@ impl Tape {
                     {
                         *x *= y;
                     }
-                    accumulate(&mut grads, *a, ga);
-                    accumulate(&mut grads, *b, gb);
+                    accumulate(&mut grads, mode, pool, *a, ga);
+                    accumulate(&mut grads, mode, pool, *b, gb);
                 }
                 Op::ScaleConst(a, k) => {
                     let mut ga = g;
                     ga.scale_assign(*k);
-                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, mode, pool, *a, ga);
                 }
                 Op::ScalarMul(s, a) => {
                     let k = self.nodes[s.index()].value.data()[0];
@@ -437,27 +483,27 @@ impl Tape {
                     }
                     let mut ga = g;
                     ga.scale_assign(k);
-                    accumulate(&mut grads, *a, ga);
-                    accumulate(&mut grads, *s, Tensor::from_vec(1, 1, vec![gs]));
+                    accumulate(&mut grads, mode, pool, *a, ga);
+                    accumulate(&mut grads, mode, pool, *s, Tensor::from_vec(1, 1, vec![gs]));
                 }
                 Op::AffineScalar(a, k, _c) => {
                     let mut ga = g;
                     ga.scale_assign(*k);
-                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, mode, pool, *a, ga);
                 }
                 Op::Sigmoid(a) => {
                     let mut ga = g;
                     for (x, y) in ga.data_mut().iter_mut().zip(node.value.data()) {
                         *x *= y * (1.0 - y);
                     }
-                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, mode, pool, *a, ga);
                 }
                 Op::Tanh(a) => {
                     let mut ga = g;
                     for (x, y) in ga.data_mut().iter_mut().zip(node.value.data()) {
                         *x *= 1.0 - y * y;
                     }
-                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, mode, pool, *a, ga);
                 }
                 Op::Relu(a) => {
                     let mut ga = g;
@@ -466,24 +512,26 @@ impl Tape {
                             *x = 0.0;
                         }
                     }
-                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, mode, pool, *a, ga);
                 }
                 Op::GatherRows(a, rows) => {
                     let (n, m) = self.nodes[a.index()].value.shape();
-                    let mut ga = Tensor::zeros(n, m);
+                    let mut ga = zeroed(mode, pool, n, m);
                     for (i, &r) in rows.iter().enumerate() {
                         let dst = r as usize * m;
                         for j in 0..m {
                             ga.data_mut()[dst + j] += g.at(i, j);
                         }
                     }
-                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, mode, pool, *a, ga);
+                    recycle(mode, pool, g);
                 }
                 Op::Pick(a, r, c) => {
                     let (n, m) = self.nodes[a.index()].value.shape();
-                    let mut ga = Tensor::zeros(n, m);
+                    let mut ga = zeroed(mode, pool, n, m);
                     ga.set(*r, *c, g.data()[0]);
-                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, mode, pool, *a, ga);
+                    recycle(mode, pool, g);
                 }
                 Op::Mix(s, a, b) => {
                     let k = self.nodes[s.index()].value.data()[0];
@@ -493,13 +541,13 @@ impl Tape {
                     for ((gi, ai), bi) in g.data().iter().zip(av.data()).zip(bv.data()) {
                         gs += gi * (ai - bi);
                     }
-                    let mut ga = g.clone();
+                    let mut ga = clone_grad(mode, pool, &g);
                     ga.scale_assign(k);
                     let mut gb = g;
                     gb.scale_assign(1.0 - k);
-                    accumulate(&mut grads, *a, ga);
-                    accumulate(&mut grads, *b, gb);
-                    accumulate(&mut grads, *s, Tensor::from_vec(1, 1, vec![gs]));
+                    accumulate(&mut grads, mode, pool, *a, ga);
+                    accumulate(&mut grads, mode, pool, *b, gb);
+                    accumulate(&mut grads, mode, pool, *s, Tensor::from_vec(1, 1, vec![gs]));
                 }
                 Op::MaskedLogSoftmax(a, mask) => {
                     // d logp_i / d x_j = δ_ij − p_j (valid j).
@@ -510,14 +558,40 @@ impl Tape {
                         }
                     }
                     let (n, m) = node.value.shape();
-                    let mut ga = Tensor::zeros(n, m);
+                    let mut ga = zeroed(mode, pool, n, m);
                     for i in 0..mask.len() {
                         if mask[i] {
                             let p = node.value.data()[i].exp();
                             ga.data_mut()[i] = g.data()[i] - p * gsum;
                         }
                     }
-                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, mode, pool, *a, ga);
+                    recycle(mode, pool, g);
+                }
+                Op::Linear(x, w, b) => {
+                    // Exactly the decomposed add_row + matmul backward flow:
+                    // gb = colsum(g), gx = g·wᵀ, gw = xᵀ·g.
+                    let gb = kernels::col_sum(mode, pool, &g);
+                    let gx = kernels::matmul_t(mode, pool, &g, &self.nodes[w.index()].value);
+                    let gw = kernels::t_matmul(mode, pool, &self.nodes[x.index()].value, &g);
+                    accumulate(&mut grads, mode, pool, *x, gx);
+                    accumulate(&mut grads, mode, pool, *w, gw);
+                    accumulate(&mut grads, mode, pool, *b, gb);
+                    recycle(mode, pool, g);
+                }
+                Op::Linear2(x, wx, h, wh, b) => {
+                    // The decomposed add_row + add + two-matmul backward flow.
+                    let gb = kernels::col_sum(mode, pool, &g);
+                    let gx = kernels::matmul_t(mode, pool, &g, &self.nodes[wx.index()].value);
+                    let gwx = kernels::t_matmul(mode, pool, &self.nodes[x.index()].value, &g);
+                    let gh = kernels::matmul_t(mode, pool, &g, &self.nodes[wh.index()].value);
+                    let gwh = kernels::t_matmul(mode, pool, &self.nodes[h.index()].value, &g);
+                    accumulate(&mut grads, mode, pool, *x, gx);
+                    accumulate(&mut grads, mode, pool, *wx, gwx);
+                    accumulate(&mut grads, mode, pool, *h, gh);
+                    accumulate(&mut grads, mode, pool, *wh, gwh);
+                    accumulate(&mut grads, mode, pool, *b, gb);
+                    recycle(mode, pool, g);
                 }
             }
         }
@@ -525,9 +599,18 @@ impl Tape {
     }
 }
 
-fn accumulate(grads: &mut [Option<Tensor>], v: Var, g: Tensor) {
+fn accumulate(
+    grads: &mut [Option<Tensor>],
+    mode: KernelMode,
+    pool: &mut BufferPool,
+    v: Var,
+    g: Tensor,
+) {
     match &mut grads[v.index()] {
-        Some(existing) => existing.add_assign(&g),
+        Some(existing) => {
+            existing.add_assign(&g);
+            recycle(mode, pool, g);
+        }
         slot @ None => *slot = Some(g),
     }
 }
@@ -571,6 +654,19 @@ pub trait TapeOps {
     fn pick(&mut self, a: Var, r: usize, c: usize) -> Var;
     /// Masked log-softmax over all elements of `a` (treated flat).
     fn masked_log_softmax(&mut self, a: Var, mask: Arc<Vec<bool>>) -> Var;
+    /// Fused dense layer `x·w + b` (bit-identical to matmul + add_row).
+    fn linear(&mut self, x: Var, w: Var, b: Var) -> Var {
+        let h = self.matmul(x, w);
+        self.add_row(h, b)
+    }
+    /// Fused gate pre-activation `x·wx + h·wh + b` (bit-identical to
+    /// matmul + matmul + add + add_row).
+    fn linear2(&mut self, x: Var, wx: Var, h: Var, wh: Var, b: Var) -> Var {
+        let xs = self.matmul(x, wx);
+        let hs = self.matmul(h, wh);
+        let s = self.add(xs, hs);
+        self.add_row(s, b)
+    }
 }
 
 impl TapeOps for Tape {
@@ -625,21 +721,45 @@ impl TapeOps for Tape {
     fn masked_log_softmax(&mut self, a: Var, mask: Arc<Vec<bool>>) -> Var {
         Tape::masked_log_softmax(self, a, mask)
     }
+    fn linear(&mut self, x: Var, w: Var, b: Var) -> Var {
+        Tape::linear(self, x, w, b)
+    }
+    fn linear2(&mut self, x: Var, wx: Var, h: Var, wh: Var, b: Var) -> Var {
+        Tape::linear2(self, x, wx, h, wh, b)
+    }
 }
 
 /// Inference-only executor: runs the forward op set while storing nothing
 /// but the computed values — no op records, no gradient machinery, and an
 /// explicit [`NoGradTape::truncate`] so a selection loop can drop each
-/// step's intermediates instead of growing without bound.
+/// step's intermediates instead of growing without bound. Truncated
+/// values return their storage to the internal buffer pool, so a
+/// steady-state selection loop allocates nothing per step.
 #[derive(Debug, Default)]
 pub struct NoGradTape {
     values: Vec<Tensor>,
+    mode: KernelMode,
+    pool: BufferPool,
 }
 
 impl NoGradTape {
-    /// An empty executor.
+    /// An empty executor running the fast kernels.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty executor running the original scalar loops (the pinned
+    /// reference implementation; see [`Tape::scalar_reference`]).
+    pub fn scalar_reference() -> Self {
+        Self {
+            mode: KernelMode::Scalar,
+            ..Self::default()
+        }
+    }
+
+    /// Which kernel implementation this executor runs.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.mode
     }
 
     /// Number of stored values.
@@ -653,11 +773,19 @@ impl NoGradTape {
     }
 
     /// Drops every value recorded after position `len`, invalidating their
-    /// [`Var`] handles. The caller must re-[`leaf`](TapeOps::leaf) any
-    /// tensor it still needs (the selection loop carries the previous
-    /// action embedding and recurrent state across a truncation this way).
+    /// [`Var`] handles and recycling their storage through the buffer pool
+    /// (fast mode). The caller must re-[`leaf`](TapeOps::leaf) any tensor
+    /// it still needs (the selection loop carries the previous action
+    /// embedding and recurrent state across a truncation this way).
     pub fn truncate(&mut self, len: usize) {
-        self.values.truncate(len);
+        if len >= self.values.len() {
+            return;
+        }
+        for value in self.values.drain(len..) {
+            if self.mode == KernelMode::Fast {
+                self.pool.give_tensor(value);
+            }
+        }
     }
 
     fn push(&mut self, value: Tensor) -> Var {
@@ -674,63 +802,127 @@ impl TapeOps for NoGradTape {
         &self.values[v.index()]
     }
     fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = kernel::matmul(self.value(a), self.value(b));
+        let v = kernels::matmul(
+            self.mode,
+            &mut self.pool,
+            &self.values[a.index()],
+            &self.values[b.index()],
+        );
         self.push(v)
     }
     fn spmm(&mut self, csr: &SharedCsr, a: Var) -> Var {
-        let v = kernel::spmm(csr, self.value(a));
+        let v = kernels::spmm(self.mode, &mut self.pool, csr, &self.values[a.index()]);
         self.push(v)
     }
     fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = kernel::add(self.value(a), self.value(b));
+        let v = kernels::add(
+            self.mode,
+            &mut self.pool,
+            &self.values[a.index()],
+            &self.values[b.index()],
+        );
         self.push(v)
     }
     fn add_row(&mut self, a: Var, row: Var) -> Var {
-        let v = kernel::add_row(self.value(a), self.value(row));
+        let v = kernels::add_row(
+            self.mode,
+            &mut self.pool,
+            &self.values[a.index()],
+            &self.values[row.index()],
+        );
         self.push(v)
     }
     fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = kernel::mul(self.value(a), self.value(b));
+        let v = kernels::mul(
+            self.mode,
+            &mut self.pool,
+            &self.values[a.index()],
+            &self.values[b.index()],
+        );
         self.push(v)
     }
     fn scale(&mut self, a: Var, k: f32) -> Var {
-        let v = kernel::scale(self.value(a), k);
+        let v = kernels::scale(self.mode, &mut self.pool, &self.values[a.index()], k);
         self.push(v)
     }
     fn scalar_mul(&mut self, s: Var, a: Var) -> Var {
-        let v = kernel::scalar_mul(self.value(s), self.value(a));
+        let v = kernels::scalar_mul(
+            self.mode,
+            &mut self.pool,
+            &self.values[s.index()],
+            &self.values[a.index()],
+        );
         self.push(v)
     }
     fn mix(&mut self, s: Var, a: Var, b: Var) -> Var {
-        let v = kernel::mix(self.value(s), self.value(a), self.value(b));
+        let v = kernels::mix(
+            self.mode,
+            &mut self.pool,
+            &self.values[s.index()],
+            &self.values[a.index()],
+            &self.values[b.index()],
+        );
         self.push(v)
     }
     fn affine(&mut self, a: Var, k: f32, c: f32) -> Var {
-        let v = kernel::affine(self.value(a), k, c);
+        let v = kernels::affine(self.mode, &mut self.pool, &self.values[a.index()], k, c);
         self.push(v)
     }
     fn sigmoid(&mut self, a: Var) -> Var {
-        let v = kernel::sigmoid(self.value(a));
+        let v = kernels::sigmoid(self.mode, &mut self.pool, &self.values[a.index()]);
         self.push(v)
     }
     fn tanh(&mut self, a: Var) -> Var {
-        let v = kernel::tanh(self.value(a));
+        let v = kernels::tanh(self.mode, &mut self.pool, &self.values[a.index()]);
         self.push(v)
     }
     fn relu(&mut self, a: Var) -> Var {
-        let v = kernel::relu(self.value(a));
+        let v = kernels::relu(self.mode, &mut self.pool, &self.values[a.index()]);
         self.push(v)
     }
     fn gather_rows(&mut self, a: Var, rows: Arc<Vec<u32>>) -> Var {
-        let v = kernel::gather_rows(self.value(a), &rows);
+        let v = kernels::gather_rows(self.mode, &mut self.pool, &self.values[a.index()], &rows);
         self.push(v)
     }
     fn pick(&mut self, a: Var, r: usize, c: usize) -> Var {
-        let v = kernel::pick(self.value(a), r, c);
+        let v = kernels::pick(self.mode, &mut self.pool, &self.values[a.index()], r, c);
         self.push(v)
     }
     fn masked_log_softmax(&mut self, a: Var, mask: Arc<Vec<bool>>) -> Var {
-        let v = kernel::masked_log_softmax(self.value(a), &mask);
+        let v =
+            kernels::masked_log_softmax(self.mode, &mut self.pool, &self.values[a.index()], &mask);
+        self.push(v)
+    }
+    fn linear(&mut self, x: Var, w: Var, b: Var) -> Var {
+        if self.mode == KernelMode::Scalar {
+            let h = TapeOps::matmul(self, x, w);
+            return TapeOps::add_row(self, h, b);
+        }
+        let v = kernels::linear(
+            self.mode,
+            &mut self.pool,
+            &self.values[x.index()],
+            &self.values[w.index()],
+            &self.values[b.index()],
+        );
+        self.push(v)
+    }
+    fn linear2(&mut self, x: Var, wx: Var, h: Var, wh: Var, b: Var) -> Var {
+        if self.mode == KernelMode::Scalar {
+            let xs = TapeOps::matmul(self, x, wx);
+            let hs = TapeOps::matmul(self, h, wh);
+            let s = TapeOps::add(self, xs, hs);
+            return TapeOps::add_row(self, s, b);
+        }
+        let v = kernels::linear2(
+            self.mode,
+            &mut self.pool,
+            &self.values[x.index()],
+            &self.values[wx.index()],
+            &self.values[h.index()],
+            &self.values[wh.index()],
+            &self.values[b.index()],
+        );
         self.push(v)
     }
 }
@@ -892,6 +1084,79 @@ mod tests {
     }
 
     #[test]
+    fn linear_ops_gradient() {
+        // Fused linear: loss = sum(linear(x, w, b)); check grad w.r.t. x.
+        let w = Tensor::from_vec(3, 2, vec![0.3, -0.2, 0.5, 0.7, -0.4, 0.1]);
+        let b = Tensor::from_vec(1, 2, vec![0.25, -0.5]);
+        grad_check(
+            Tensor::from_vec(2, 3, vec![0.5, -1.0, 2.0, 0.1, 0.3, -0.7]),
+            {
+                let (w, b) = (w.clone(), b.clone());
+                move |t, x| {
+                    let wv = t.leaf(w.clone());
+                    let bv = t.leaf(b.clone());
+                    let h = t.linear(x, wv, bv);
+                    let h = t.tanh(h);
+                    let ones = t.leaf(Tensor::from_vec(2, 1, vec![1.0; 2]));
+                    let col = t.matmul(h, ones);
+                    let onesr = t.leaf(Tensor::from_vec(1, 2, vec![1.0; 2]));
+                    t.matmul(onesr, col)
+                }
+            },
+            1e-2,
+        );
+        // Fused linear2: check grad w.r.t. the recurrent input h.
+        let wh = Tensor::from_vec(2, 2, vec![0.6, -0.3, 0.2, 0.9]);
+        let x = Tensor::from_vec(1, 3, vec![0.4, -0.8, 1.2]);
+        grad_check(
+            Tensor::from_vec(1, 2, vec![0.3, -0.6]),
+            move |t, h| {
+                let xv = t.leaf(x.clone());
+                let wxv = t.leaf(w.clone());
+                let whv = t.leaf(wh.clone());
+                let bv = t.leaf(b.clone());
+                let g = t.linear2(xv, wxv, h, whv, bv);
+                let g = t.sigmoid(g);
+                let ones = t.leaf(Tensor::from_vec(2, 1, vec![1.0; 2]));
+                t.matmul(g, ones)
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn fused_linear_matches_decomposition_bitwise() {
+        // Same graph through a fast tape (fused single nodes) and a scalar
+        // reference tape (decomposed ops): values AND gradients must agree
+        // bit-for-bit.
+        fn run(mut t: Tape) -> (Vec<f32>, Vec<f32>, Vec<f32>, usize) {
+            let x = t.leaf(Tensor::from_vec(2, 3, vec![0.5, -1.0, 2.0, 0.1, 0.3, -0.7]));
+            let w = t.leaf(Tensor::from_vec(3, 2, vec![0.3, -0.2, 0.5, 0.7, -0.4, 0.1]));
+            let b = t.leaf(Tensor::from_vec(1, 2, vec![0.25, -0.5]));
+            let wh = t.leaf(Tensor::from_vec(2, 2, vec![0.6, -0.3, 0.2, 0.9]));
+            let h0 = t.linear(x, w, b);
+            let h1 = t.tanh(h0);
+            let g = t.linear2(x, w, h1, wh, b);
+            let g = t.sigmoid(g);
+            let ones = t.leaf(Tensor::from_vec(2, 1, vec![1.0; 2]));
+            let col = t.matmul(g, ones);
+            let onesr = t.leaf(Tensor::from_vec(1, 2, vec![1.0; 2]));
+            let loss = t.matmul(onesr, col);
+            let out = t.value(g).data().to_vec();
+            let grads = t.backward(loss);
+            let gx = grads.get(x).expect("gx").data().to_vec();
+            let gw = grads.get(w).expect("gw").data().to_vec();
+            (out, gx, gw, t.len())
+        }
+        let (fo, fx, fw, flen) = run(Tape::new());
+        let (so, sx, sw, slen) = run(Tape::scalar_reference());
+        assert_eq!(fo, so, "fused forward diverged");
+        assert_eq!(fx, sx, "fused x-gradient diverged");
+        assert_eq!(fw, sw, "fused w-gradient diverged");
+        assert!(flen < slen, "fusion should record fewer nodes");
+    }
+
+    #[test]
     fn mix_gradient() {
         // loss = sum(mix(sigmoid(s), a, b)); check grads w.r.t. the gate.
         let a = Tensor::from_vec(1, 3, vec![1.0, -2.0, 0.5]);
@@ -954,6 +1219,8 @@ mod tests {
             let h = t.matmul(x, w);
             let b = t.leaf(Tensor::from_vec(1, 2, vec![0.05, -0.1]));
             let h = t.add_row(h, b);
+            let lin = t.linear(x, w, b);
+            let h = t.add(h, lin);
             let s = t.sigmoid(h);
             let th = t.tanh(h);
             let m = t.mul(s, th);
@@ -982,6 +1249,13 @@ mod tests {
             ng.value(b).data(),
             "no-grad forward diverged from the training tape"
         );
+        // And both fast executors agree with the scalar references.
+        let mut st = Tape::scalar_reference();
+        let c = chain(&mut st);
+        assert_eq!(tape.value(a).data(), st.value(c).data());
+        let mut sng = NoGradTape::scalar_reference();
+        let d = chain(&mut sng);
+        assert_eq!(ng.value(b).data(), sng.value(d).data());
     }
 
     #[test]
@@ -999,6 +1273,21 @@ mod tests {
         }
         assert_eq!(t.value(carry).data()[0], 32.0);
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn reset_reuses_buffers_across_rollouts() {
+        let mut tape = Tape::new();
+        for round in 0..3 {
+            let x = tape.leaf(Tensor::from_vec(4, 4, vec![0.1; 16]));
+            let w = tape.leaf(Tensor::from_vec(4, 4, vec![0.2; 16]));
+            let h = tape.matmul(x, w);
+            let h = tape.tanh(h);
+            let got = tape.value(h).data()[0];
+            assert!((got - f32::tanh(0.08)).abs() < 1e-6, "round {round}");
+            tape.reset();
+            assert!(tape.is_empty());
+        }
     }
 
     #[test]

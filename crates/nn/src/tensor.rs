@@ -204,6 +204,12 @@ impl Tensor {
     pub fn all_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())
     }
+
+    /// Consumes the tensor and returns its row-major storage, so the
+    /// allocation can be recycled through a [`crate::BufferPool`].
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
 }
 
 #[cfg(test)]

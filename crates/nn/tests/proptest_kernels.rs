@@ -1,0 +1,361 @@
+//! Property-based parity pinning of the fast kernels against the scalar
+//! reference: every fast kernel must produce **bit-identical** output to
+//! [`KernelMode::Scalar`] (the pre-rewrite code, kept verbatim) over
+//! random values and awkward shapes — empty matrices, 1×1, widths that
+//! are not a multiple of the SIMD lane count. The fast paths are built to
+//! preserve the scalar accumulation order exactly, so the assertion is
+//! `to_bits() == to_bits()`, not approximate closeness; any reassociation
+//! regression fails here before it can break the serve/dist bit-parity
+//! suites downstream.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rl_ccd_nn::kernels::{self, BufferPool, KernelMode};
+use rl_ccd_nn::{Csr, NoGradTape, Tape, TapeOps, Tensor, Var};
+use std::fmt::Debug;
+use std::sync::Arc;
+
+/// Shape-dependent sampling (the vendored proptest has no `prop_flat_map`):
+/// wraps a closure that draws a value straight from the RNG stream.
+struct SampleFn<T, F: Fn(&mut StdRng) -> T>(F);
+
+impl<T: Debug, F: Fn(&mut StdRng) -> T> Strategy for SampleFn<T, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Random tensor with some exact zeros mixed in, so the kernels'
+/// `a == 0.0` skip paths execute alongside the dense quad paths.
+fn arb_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(
+        (-1.5f32..1.5).prop_map(|x| if x.abs() < 0.2 { 0.0 } else { x }),
+        rows * cols,
+    )
+    .prop_map(move |v| Tensor::from_vec(rows, cols, v))
+}
+
+/// A dimension crossing the interesting kernel boundaries: 0 (empty),
+/// 1 (no row pairing), below a quad, below the lane width, exactly one
+/// lane, lane + tail, and a larger round size.
+fn dim(rng: &mut StdRng) -> usize {
+    [0usize, 1, 2, 3, 5, 8, 13, 32][(0..8usize).sample(rng)]
+}
+
+/// Nonzero variant for dimensions a shape can't legally collapse.
+fn dim_nz(rng: &mut StdRng) -> usize {
+    dim(rng).max(1)
+}
+
+fn tensor(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor {
+    arb_tensor(rows, cols).sample(rng)
+}
+
+/// `(a: m×k, b: k×n, g: m×n)` — one dense layer's operands (forward
+/// input/weight plus the upstream gradient) at boundary-crossing shapes.
+fn arb_layer_operands() -> impl Strategy<Value = (Tensor, Tensor, Tensor)> {
+    SampleFn(|rng: &mut StdRng| {
+        let (m, k, n) = (dim(rng), dim_nz(rng), dim_nz(rng));
+        (tensor(rng, m, k), tensor(rng, k, n), tensor(rng, m, n))
+    })
+}
+
+/// Two same-shape tensors at a random boundary-crossing shape.
+fn arb_same_shape_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    SampleFn(|rng: &mut StdRng| {
+        let (m, n) = (dim(rng), dim_nz(rng));
+        (tensor(rng, m, n), tensor(rng, m, n))
+    })
+}
+
+/// One nonempty tensor at a random boundary-crossing shape.
+fn arb_nonempty_tensor() -> impl Strategy<Value = Tensor> {
+    SampleFn(|rng: &mut StdRng| {
+        let (m, n) = (dim_nz(rng), dim_nz(rng));
+        tensor(rng, m, n)
+    })
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|x| x.to_bits()).collect()
+}
+
+/// Asserts the two tensors are bit-identical (shape and every element).
+macro_rules! assert_bit_eq {
+    ($fast:expr, $scalar:expr, $what:expr) => {{
+        let (f, s) = (&$fast, &$scalar);
+        prop_assert_eq!(f.shape(), s.shape(), "{}: shape mismatch", $what);
+        prop_assert_eq!(
+            bits(f),
+            bits(s),
+            "{}: bits diverge at shape {:?}",
+            $what,
+            f.shape()
+        );
+    }};
+}
+
+fn check_matmul_family(a: &Tensor, b: &Tensor, g: &Tensor) -> TestCaseResult {
+    let mut pool = BufferPool::new();
+    // Forward product and all three backward products of a dense layer.
+    assert_bit_eq!(
+        kernels::matmul(KernelMode::Fast, &mut pool, a, b),
+        kernels::matmul(KernelMode::Scalar, &mut pool, a, b),
+        "matmul"
+    );
+    assert_bit_eq!(
+        kernels::matmul_t(KernelMode::Fast, &mut pool, g, b),
+        kernels::matmul_t(KernelMode::Scalar, &mut pool, g, b),
+        "matmul_t"
+    );
+    assert_bit_eq!(
+        kernels::t_matmul(KernelMode::Fast, &mut pool, a, g),
+        kernels::t_matmul(KernelMode::Scalar, &mut pool, a, g),
+        "t_matmul"
+    );
+    assert_bit_eq!(
+        kernels::col_sum(KernelMode::Fast, &mut pool, g),
+        kernels::col_sum(KernelMode::Scalar, &mut pool, g),
+        "col_sum"
+    );
+    Ok(())
+}
+
+fn check_fused_layers(x: &Tensor, w: &Tensor, h: &Tensor, bias_seed: f32) -> TestCaseResult {
+    let n = w.cols();
+    let bias = Tensor::from_vec(1, n, (0..n).map(|j| bias_seed + j as f32 * 0.17).collect());
+    let wh = Tensor::from_vec(
+        n,
+        n,
+        (0..n * n).map(|j| (j as f32 * 0.23 - 1.0).sin()).collect(),
+    );
+    let mut pool = BufferPool::new();
+    assert_bit_eq!(
+        kernels::linear(KernelMode::Fast, &mut pool, x, w, &bias),
+        kernels::linear(KernelMode::Scalar, &mut pool, x, w, &bias),
+        "linear"
+    );
+    assert_bit_eq!(
+        kernels::linear2(KernelMode::Fast, &mut pool, x, w, h, &wh, &bias),
+        kernels::linear2(KernelMode::Scalar, &mut pool, x, w, h, &wh, &bias),
+        "linear2"
+    );
+    Ok(())
+}
+
+fn check_elementwise(a: &Tensor, b: &Tensor, k: f32, c: f32) -> TestCaseResult {
+    let s = Tensor::from_vec(1, 1, vec![k * 0.3]);
+    let n = a.cols();
+    let row = Tensor::from_vec(1, n, (0..n).map(|j| c + j as f32 * 0.11).collect());
+    let mut pool = BufferPool::new();
+    for (name, fast, scalar) in [
+        (
+            "add",
+            kernels::add(KernelMode::Fast, &mut pool, a, b),
+            kernels::add(KernelMode::Scalar, &mut pool, a, b),
+        ),
+        (
+            "mul",
+            kernels::mul(KernelMode::Fast, &mut pool, a, b),
+            kernels::mul(KernelMode::Scalar, &mut pool, a, b),
+        ),
+        (
+            "scale",
+            kernels::scale(KernelMode::Fast, &mut pool, a, k),
+            kernels::scale(KernelMode::Scalar, &mut pool, a, k),
+        ),
+        (
+            "affine",
+            kernels::affine(KernelMode::Fast, &mut pool, a, k, c),
+            kernels::affine(KernelMode::Scalar, &mut pool, a, k, c),
+        ),
+        (
+            "scalar_mul",
+            kernels::scalar_mul(KernelMode::Fast, &mut pool, &s, a),
+            kernels::scalar_mul(KernelMode::Scalar, &mut pool, &s, a),
+        ),
+        (
+            "mix",
+            kernels::mix(KernelMode::Fast, &mut pool, &s, a, b),
+            kernels::mix(KernelMode::Scalar, &mut pool, &s, a, b),
+        ),
+        (
+            "sigmoid",
+            kernels::sigmoid(KernelMode::Fast, &mut pool, a),
+            kernels::sigmoid(KernelMode::Scalar, &mut pool, a),
+        ),
+        (
+            "tanh",
+            kernels::tanh(KernelMode::Fast, &mut pool, a),
+            kernels::tanh(KernelMode::Scalar, &mut pool, a),
+        ),
+        (
+            "relu",
+            kernels::relu(KernelMode::Fast, &mut pool, a),
+            kernels::relu(KernelMode::Scalar, &mut pool, a),
+        ),
+    ] {
+        assert_bit_eq!(fast, scalar, name);
+    }
+    assert_bit_eq!(
+        kernels::add_row(KernelMode::Fast, &mut pool, a, &row),
+        kernels::add_row(KernelMode::Scalar, &mut pool, a, &row),
+        "add_row"
+    );
+    Ok(())
+}
+
+fn check_gather_softmax_sparse(a: &Tensor, mask_seed: u32) -> TestCaseResult {
+    let (m, n) = a.shape();
+    let mut pool = BufferPool::new();
+
+    // gather_rows: repeated and out-of-order indices.
+    let rows: Vec<u32> = (0..m.min(5)).map(|i| ((i * 7 + 3) % m) as u32).collect();
+    assert_bit_eq!(
+        kernels::gather_rows(KernelMode::Fast, &mut pool, a, &rows),
+        kernels::gather_rows(KernelMode::Scalar, &mut pool, a, &rows),
+        "gather_rows"
+    );
+
+    // masked_log_softmax: random mask with at least one survivor.
+    let mut mask: Vec<bool> = (0..m * n)
+        .map(|i| (mask_seed >> (i % 31)) & 1 == 1)
+        .collect();
+    mask[0] = true;
+    assert_bit_eq!(
+        kernels::masked_log_softmax(KernelMode::Fast, &mut pool, a, &mask),
+        kernels::masked_log_softmax(KernelMode::Scalar, &mut pool, a, &mask),
+        "masked_log_softmax"
+    );
+
+    // spmm / spmm_t against a small fixed sparse matrix over `a`.
+    let csr = Arc::new(Csr::new(
+        2,
+        m,
+        vec![0, 1, 2],
+        vec![0, m as u32 - 1],
+        vec![1.25, -0.75],
+    ));
+    assert_bit_eq!(
+        kernels::spmm(KernelMode::Fast, &mut pool, &csr, a),
+        kernels::spmm(KernelMode::Scalar, &mut pool, &csr, a),
+        "spmm"
+    );
+    let g = Tensor::from_vec(
+        2,
+        n,
+        (0..2 * n).map(|j| (j as f32 * 0.31 - 0.4).cos()).collect(),
+    );
+    assert_bit_eq!(
+        kernels::spmm_t(KernelMode::Fast, &mut pool, &csr, &g),
+        kernels::spmm_t(KernelMode::Scalar, &mut pool, &csr, &g),
+        "spmm_t"
+    );
+    Ok(())
+}
+
+/// Whole-graph parity: a random small network run forward+backward on a
+/// fast [`Tape`] and on [`Tape::scalar_reference`] must agree on the loss
+/// **and every gradient**, bit for bit. This is the contract the
+/// serve-parity and distributed bit-parity suites stand on.
+fn check_whole_graph(x: &Tensor, w: &Tensor, b: &Tensor, mask: &[bool]) -> TestCaseResult {
+    let run = |tape: &mut Tape| -> (f32, Vec<(Var, Vec<u32>)>) {
+        let xv = tape.leaf(x.clone());
+        let wv = tape.leaf(w.clone());
+        let bv = tape.leaf(b.clone());
+        let h = tape.linear(xv, wv, bv);
+        let h = tape.tanh(h);
+        let ones = tape.leaf(Tensor::from_vec(3, 1, vec![1.0; 3]));
+        let scores = tape.matmul(h, ones);
+        let lp = tape.masked_log_softmax(scores, Arc::new(mask.to_vec()));
+        let idx = mask.iter().position(|&v| v).expect("one valid");
+        let picked = tape.pick(lp, idx, 0);
+        let loss = tape.value(picked).data()[0];
+        let grads = tape.backward(picked);
+        let got: Vec<(Var, Vec<u32>)> = [xv, wv, bv]
+            .into_iter()
+            .filter_map(|v| grads.get(v).map(|g| (v, bits(g))))
+            .collect();
+        (loss, got)
+    };
+    let (fast_loss, fast_grads) = run(&mut Tape::new());
+    let (scalar_loss, scalar_grads) = run(&mut Tape::scalar_reference());
+    prop_assert_eq!(fast_loss.to_bits(), scalar_loss.to_bits(), "loss bits");
+    prop_assert_eq!(fast_grads, scalar_grads, "gradient bits diverge");
+    Ok(())
+}
+
+/// The no-grad (serve) tape must agree with the training tape's forward
+/// pass bit for bit — same kernels, same order.
+fn check_no_grad_forward(x: &Tensor, w: &Tensor) -> TestCaseResult {
+    fn graph<T: TapeOps>(tape: &mut T, x: &Tensor, w: &Tensor) -> Vec<u32> {
+        let xv = tape.leaf(x.clone());
+        let wv = tape.leaf(w.clone());
+        let h = tape.matmul(xv, wv);
+        let h = tape.sigmoid(h);
+        bits(tape.value(h))
+    }
+    let full = graph(&mut Tape::new(), x, w);
+    let no_grad = graph(&mut NoGradTape::new(), x, w);
+    let scalar = graph(&mut NoGradTape::scalar_reference(), x, w);
+    prop_assert_eq!(&full, &no_grad, "Tape vs NoGradTape diverge");
+    prop_assert_eq!(&full, &scalar, "fast vs scalar NoGradTape diverge");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_family_is_bit_identical(ops in arb_layer_operands()) {
+        let (a, b, g) = &ops;
+        check_matmul_family(a, b, g)?;
+    }
+
+    #[test]
+    fn fused_layers_match_their_decompositions(
+        ops in arb_layer_operands(),
+        bias_seed in -1.0f32..1.0,
+    ) {
+        let (x, w, h) = &ops;
+        check_fused_layers(x, w, h, bias_seed)?;
+    }
+
+    #[test]
+    fn elementwise_kernels_are_bit_identical(
+        pair in arb_same_shape_pair(),
+        k in -2.0f32..2.0,
+        c in -1.0f32..1.0,
+    ) {
+        let (a, b) = &pair;
+        check_elementwise(a, b, k, c)?;
+    }
+
+    #[test]
+    fn gather_softmax_and_sparse_are_bit_identical(
+        a in arb_nonempty_tensor(),
+        mask_seed in any::<u32>(),
+    ) {
+        check_gather_softmax_sparse(&a, mask_seed)?;
+    }
+
+    #[test]
+    fn whole_graph_forward_backward_parity(
+        x in arb_tensor(4, 6),
+        w in arb_tensor(6, 3),
+        b in arb_tensor(1, 3),
+        mask in proptest::collection::vec(any::<bool>(), 4)
+            .prop_filter("one valid", |m| m.iter().any(|&v| v)),
+    ) {
+        check_whole_graph(&x, &w, &b, &mask)?;
+    }
+
+    #[test]
+    fn no_grad_forward_matches_tape(
+        x in arb_tensor(3, 5),
+        w in arb_tensor(5, 2),
+    ) {
+        check_no_grad_forward(&x, &w)?;
+    }
+}

@@ -20,7 +20,7 @@ use crate::registry::ModelRegistry;
 use crate::scheduler::{Job, Scheduler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rl_ccd::{sample_endpoints, select_endpoints};
+use rl_ccd::InferSession;
 use rl_ccd_netlist::EndpointId;
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -432,6 +432,10 @@ fn execute_batch(shared: &Shared, batch: Vec<Job>) {
                 continue;
             }
         };
+        // Bind the model's parameters once for the whole group: every job
+        // in it executes through the same no-grad tape, whose buffers are
+        // recycled between requests (the batched no-grad path).
+        let mut session: Option<InferSession<'_>> = None;
         let mut greedy: Option<Arc<Vec<EndpointId>>> = None;
         let mut greedy_was_cached = false;
         for job in jobs {
@@ -443,8 +447,13 @@ fn execute_batch(shared: &Shared, batch: Vec<Job>) {
                             greedy = Some(hit);
                             greedy_was_cached = true;
                         } else {
-                            let fresh =
-                                Arc::new(select_endpoints(&model.model, &model.params, &env));
+                            let fresh = Arc::new(
+                                session
+                                    .get_or_insert_with(|| {
+                                        InferSession::new(&model.model, &model.params)
+                                    })
+                                    .select(&env),
+                            );
                             shared
                                 .selections
                                 .insert(model.fingerprint, key, fresh.clone());
@@ -459,12 +468,13 @@ fn execute_batch(shared: &Shared, batch: Vec<Job>) {
                 Mode::Sample(seed) => {
                     let mut rng = StdRng::seed_from_u64(seed);
                     (
-                        Arc::new(sample_endpoints(
-                            &model.model,
-                            &model.params,
-                            &env,
-                            &mut rng,
-                        )),
+                        Arc::new(
+                            session
+                                .get_or_insert_with(|| {
+                                    InferSession::new(&model.model, &model.params)
+                                })
+                                .sample(&env, &mut rng),
+                        ),
                         false,
                     )
                 }

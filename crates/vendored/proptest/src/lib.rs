@@ -249,14 +249,23 @@ macro_rules! impl_tuple_strategy {
         }
     };
 }
-impl_tuple_strategy!(S0/0);
-impl_tuple_strategy!(S0/0, S1/1);
-impl_tuple_strategy!(S0/0, S1/1, S2/2);
-impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3);
-impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3, S4/4);
-impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3, S4/4, S5/5);
-impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3, S4/4, S5/5, S6/6);
-impl_tuple_strategy!(S0/0, S1/1, S2/2, S3/3, S4/4, S5/5, S6/6, S7/7);
+impl_tuple_strategy!(S0 / 0);
+impl_tuple_strategy!(S0 / 0, S1 / 1);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
+impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5, S6 / 6);
+impl_tuple_strategy!(
+    S0 / 0,
+    S1 / 1,
+    S2 / 2,
+    S3 / 3,
+    S4 / 4,
+    S5 / 5,
+    S6 / 6,
+    S7 / 7
+);
 
 /// Types with a canonical "any value" strategy (subset of
 /// `proptest::arbitrary::Arbitrary`).
@@ -307,7 +316,7 @@ pub fn any<T: Arbitrary>() -> T::Strategy {
 
 /// Collection strategies (subset of `proptest::collection`).
 pub mod collection {
-    use super::{Strategy, StdRng};
+    use super::{StdRng, Strategy};
     use std::fmt::Debug;
 
     /// A `Vec` of exactly `len` samples from `element`.

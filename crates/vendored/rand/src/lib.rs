@@ -46,8 +46,12 @@ pub trait Rng {
 pub trait SampleUniform: PartialOrd + Copy {
     /// Uniform sample from `[low, high)` (or `[low, high]` when
     /// `inclusive`).
-    fn sample_interval<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool)
-        -> Self;
+    fn sample_interval<R: Rng + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 /// Ranges that can be sampled uniformly (subset of
