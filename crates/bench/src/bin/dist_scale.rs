@@ -23,7 +23,7 @@
 
 use rl_ccd::{CcdEnv, FaultPlan, LocalExecutor, RlCcd, RlConfig, RolloutExecutor, RolloutRequest};
 use rl_ccd_bench::{percentile, sort_metrics, write_csv, write_json, Cli, Json};
-use rl_ccd_dist::{serve_worker, DistExecutor};
+use rl_ccd_dist::{serve_worker, DistExecutor, NetStats};
 use rl_ccd_flow::FlowRecipe;
 use rl_ccd_netlist::{generate, DesignSpec, TechNode};
 use std::net::TcpListener;
@@ -38,6 +38,10 @@ struct Row {
     wall_s: f64,
     p50_ms: f64,
     p99_ms: f64,
+    /// Transport-recovery counters; all-zero for the local row, and for
+    /// any clean distributed run (the bench asserts no quarantines, but a
+    /// flaky host may still retry its way to success — worth surfacing).
+    net: NetStats,
 }
 
 impl Row {
@@ -114,6 +118,7 @@ fn measure(
         wall_s,
         p50_ms: percentile(&latencies, 0.50),
         p99_ms: percentile(&latencies, 0.99),
+        net: NetStats::default(),
     };
     (row, rewards)
 }
@@ -165,7 +170,7 @@ fn main() -> ExitCode {
             }));
         }
         let mut executor = DistExecutor::connect(&addrs).expect("connect fleet");
-        let (row, rewards) = measure(
+        let (mut row, rewards) = measure(
             &format!("dist-{n}"),
             n,
             &mut executor,
@@ -179,6 +184,7 @@ fn main() -> ExitCode {
             rewards, local_rewards,
             "dist-{n}: distributed rewards must be bit-identical to local"
         );
+        row.net = executor.net_stats();
         rows.push(row);
         executor.shutdown();
         for handle in handles {
@@ -215,6 +221,11 @@ fn main() -> ExitCode {
                 Json::field("throughput_rps", Json::Num(r.throughput())),
                 Json::field("p50_ms", Json::Num(r.p50_ms)),
                 Json::field("p99_ms", Json::Num(r.p99_ms)),
+                Json::field("net_retries", Json::Num(r.net.retries as f64)),
+                Json::field("net_reconnects", Json::Num(r.net.reconnects as f64)),
+                Json::field("net_requeued", Json::Num(r.net.requeued as f64)),
+                Json::field("net_quarantined", Json::Num(r.net.quarantined as f64)),
+                Json::field("net_probes_failed", Json::Num(r.net.probes_failed as f64)),
             ])
         })
         .collect();

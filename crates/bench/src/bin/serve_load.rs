@@ -11,14 +11,21 @@
 //! Usage:
 //! ```text
 //! serve_load [--workers 8] [--requests 40] [--designs 2] [--cells 300]
-//!            [--max-batch 8] [--window-ms 2] [--csv serve_load.csv]
-//!            [--json BENCH_serve.json] [--assert-batching]
+//!            [--max-batch 8] [--window-ms 2] [--queue N]
+//!            [--csv serve_load.csv] [--json BENCH_serve.json]
+//!            [--assert-batching] [--assert-shedding]
 //!            [--trace-out run.jsonl]
 //! ```
 //!
 //! With `--assert-batching` the process exits nonzero unless the batch
 //! size p50 is at least 2 and the drain left zero in-flight requests
 //! behind — the acceptance gate CI can hold the server to.
+//!
+//! With `--assert-shedding` (meant for an overload run, e.g. `--queue 1`)
+//! the process instead demands that the server answered the excess with
+//! typed `Overloaded` responses — at least one shed, no untyped failures,
+//! and nothing dropped at drain — proving overload degrades gracefully
+//! rather than hanging or erroring.
 
 use rl_ccd::{RlCcd, RlConfig};
 use rl_ccd_bench::{percentile, sort_metrics, write_csv, write_json, Cli, Json};
@@ -35,6 +42,7 @@ fn main() -> ExitCode {
     let cells: usize = cli.value("--cells", 300);
     let csv = cli.csv("serve_load.csv");
     let assert_batching = std::env::args().any(|a| a == "--assert-batching");
+    let assert_shedding = std::env::args().any(|a| a == "--assert-shedding");
 
     let config = RlConfig::fast();
     let rho = config.rho;
@@ -47,7 +55,9 @@ fn main() -> ExitCode {
     let serve_config = ServeConfig {
         max_batch: cli.value("--max-batch", 8),
         window: Duration::from_millis(cli.value("--window-ms", 2u64)),
-        queue_capacity: workers * requests + 1,
+        // Roomy by default (nothing sheds); pin it low with --queue to
+        // drive the server into overload on purpose.
+        queue_capacity: cli.value("--queue", workers * requests + 1),
         workers: cli.value("--serve-workers", 2usize),
         ..ServeConfig::default()
     };
@@ -70,6 +80,7 @@ fn main() -> ExitCode {
             std::thread::spawn(move || {
                 let mut latencies = Vec::with_capacity(requests);
                 let mut failures = 0usize;
+                let mut shed = 0usize;
                 for r in 0..requests {
                     let k = (w + r) % keys.len();
                     let mode = if r % 2 == 0 {
@@ -85,21 +96,25 @@ fn main() -> ExitCode {
                         deadline_ms: None,
                     });
                     latencies.push(t.elapsed().as_secs_f64() * 1e3);
-                    if matches!(resp, Response::Err { .. }) {
-                        failures += 1;
+                    match resp {
+                        Response::Err { .. } => failures += 1,
+                        Response::Overloaded { .. } => shed += 1,
+                        _ => {}
                     }
                 }
-                (latencies, failures)
+                (latencies, failures, shed)
             })
         })
         .collect();
 
     let mut latencies = Vec::new();
     let mut failures = 0usize;
+    let mut shed = 0usize;
     for h in handles {
-        let (l, f) = h.join().expect("client thread panicked");
+        let (l, f, s) = h.join().expect("client thread panicked");
         latencies.extend(l);
         failures += f;
+        shed += s;
     }
     let wall_s = started.elapsed().as_secs_f64();
     let report = server.shutdown();
@@ -113,7 +128,7 @@ fn main() -> ExitCode {
 
     println!(
         "{total} requests from {workers} threads over {designs} designs in {wall_s:.2}s \
-         ({throughput:.1} req/s), {failures} failed"
+         ({throughput:.1} req/s), {failures} failed, {shed} shed"
     );
     println!("latency p50 {p50:.2} ms, p99 {p99:.2} ms");
     print!("batch census (size:count):");
@@ -122,19 +137,23 @@ fn main() -> ExitCode {
     }
     println!(" — p50 {batch_p50}");
     println!(
-        "drain: {} accepted, {} completed, {} dropped",
+        "drain: {} accepted, {} completed, {} shed, {} evicted, {} deadline-expired, {} dropped",
         report.stats.accepted,
         report.stats.completed,
+        report.stats.shed,
+        report.stats.evicted,
+        report.stats.deadline_expired,
         report.dropped()
     );
 
     let rows = vec![format!(
-        "{workers},{requests},{designs},{cells},{total},{throughput:.2},{p50:.3},{p99:.3},{batch_p50},{}",
+        "{workers},{requests},{designs},{cells},{total},{throughput:.2},{p50:.3},{p99:.3},{batch_p50},{shed},{},{}",
+        report.stats.evicted,
         report.dropped()
     )];
     write_csv(
         &csv,
-        "workers,requests_per_worker,designs,cells,total,throughput_rps,p50_ms,p99_ms,batch_p50,dropped",
+        "workers,requests_per_worker,designs,cells,total,throughput_rps,p50_ms,p99_ms,batch_p50,shed,evicted,dropped",
         &rows,
     )
     .expect("write csv");
@@ -154,6 +173,17 @@ fn main() -> ExitCode {
         Json::field("p99_ms", Json::Num(p99)),
         Json::field("batch_p50", Json::Num(batch_p50 as f64)),
         Json::field("failures", Json::Num(failures as f64)),
+        Json::field("shed", Json::Num(shed as f64)),
+        Json::field("server_shed", Json::Num(report.stats.shed as f64)),
+        Json::field("evicted", Json::Num(report.stats.evicted as f64)),
+        Json::field(
+            "deadline_expired",
+            Json::Num(report.stats.deadline_expired as f64),
+        ),
+        Json::field(
+            "health_probes",
+            Json::Num(report.stats.health_probes as f64),
+        ),
         Json::field("dropped", Json::Num(report.dropped() as f64)),
     ]);
     write_json(&json_path, &report_json).expect("write json");
@@ -166,6 +196,16 @@ fn main() -> ExitCode {
     if failures > 0 {
         eprintln!("{failures} request(s) failed");
         return ExitCode::FAILURE;
+    }
+    if assert_shedding {
+        if shed == 0 {
+            eprintln!("overload run shed nothing: queue never filled, raise load or lower --queue");
+            return ExitCode::FAILURE;
+        }
+        if report.dropped() > 0 {
+            eprintln!("drain dropped {} in-flight request(s)", report.dropped());
+            return ExitCode::FAILURE;
+        }
     }
     if assert_batching {
         if batch_p50 < 2 {

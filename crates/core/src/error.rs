@@ -31,6 +31,14 @@ pub enum Error {
     TraceSchema(rl_ccd_obs::SchemaError),
     /// The caller misconfigured a builder or CLI invocation.
     Config(String),
+    /// A network operation against a serve or dist peer failed after
+    /// retries (connect refused, deadline exhausted, peer misbehavior).
+    Net {
+        /// What was being attempted ("probe 127.0.0.1:7411", "query").
+        context: String,
+        /// The underlying socket or protocol error.
+        source: std::io::Error,
+    },
 }
 
 impl fmt::Display for Error {
@@ -44,6 +52,9 @@ impl fmt::Display for Error {
             Error::Io(e) => write!(f, "I/O failure: {e}"),
             Error::TraceSchema(e) => write!(f, "trace schema violation: {e}"),
             Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::Net { context, source } => {
+                write!(f, "network failure during {context}: {source}")
+            }
         }
     }
 }
@@ -55,6 +66,7 @@ impl std::error::Error for Error {
             Error::Checkpoint(e) => Some(e),
             Error::Io(e) => Some(e),
             Error::TraceSchema(e) => Some(e),
+            Error::Net { source, .. } => Some(source),
             Error::NonFiniteQor { .. } | Error::Config(_) => None,
         }
     }
@@ -120,5 +132,12 @@ mod tests {
             stage: "signoff".into(),
         };
         assert!(e.to_string().contains("signoff"));
+
+        let e = Error::Net {
+            context: "probe 127.0.0.1:7411".into(),
+            source: std::io::Error::new(std::io::ErrorKind::TimedOut, "silent peer"),
+        };
+        assert!(e.to_string().contains("probe 127.0.0.1:7411"), "{e}");
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

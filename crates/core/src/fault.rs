@@ -39,14 +39,46 @@ pub enum InjectedFault {
     /// A distributed worker writes a torn frame (length prefix promising
     /// more bytes than follow) and closes the connection.
     TornFrame,
+    /// Transport chaos: the coordinator's connection to the worker gains
+    /// `arg` milliseconds of latency on its next frame. Unlike the worker
+    /// faults above, the net faults model the *wire* misbehaving — the
+    /// worker process stays healthy, and a retrying coordinator recovers
+    /// without a fault record.
+    NetDelay,
+    /// Transport chaos: the coordinator's connection to the worker is
+    /// reset at its next frame.
+    NetReset,
+    /// Transport chaos: the coordinator's connection goes silent for `arg`
+    /// milliseconds at its next frame, then times out.
+    NetStall,
+    /// Transport chaos: the coordinator's next frame on the connection is
+    /// torn mid-payload.
+    NetTorn,
 }
 
-/// One planned injection at an exact training coordinate.
+impl InjectedFault {
+    /// Whether this fault targets the transport (recoverable by
+    /// reconnect + re-issue) rather than the worker or the rollout itself.
+    pub fn is_net(self) -> bool {
+        matches!(
+            self,
+            InjectedFault::NetDelay
+                | InjectedFault::NetReset
+                | InjectedFault::NetStall
+                | InjectedFault::NetTorn
+        )
+    }
+}
+
+/// One planned injection at an exact training coordinate. `arg` carries a
+/// fault-specific magnitude (milliseconds for delays and stalls) and is 0
+/// for faults without one.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct Injection {
     iteration: usize,
     worker: usize,
     fault: InjectedFault,
+    arg: u64,
 }
 
 /// A deterministic schedule of injected faults, threaded through the
@@ -74,11 +106,16 @@ impl FaultPlan {
         self.injections.len()
     }
 
-    fn with(mut self, iteration: usize, worker: usize, fault: InjectedFault) -> Self {
+    fn with(self, iteration: usize, worker: usize, fault: InjectedFault) -> Self {
+        self.with_arg(iteration, worker, fault, 0)
+    }
+
+    fn with_arg(mut self, iteration: usize, worker: usize, fault: InjectedFault, arg: u64) -> Self {
         self.injections.push(Injection {
             iteration,
             worker,
             fault,
+            arg,
         });
         self
     }
@@ -122,6 +159,31 @@ impl FaultPlan {
         self.with(iteration, process, InjectedFault::TornFrame)
     }
 
+    /// Plans `ms` milliseconds of injected latency on the coordinator's
+    /// connection to `process` at `iteration`.
+    pub fn with_net_delay(self, iteration: usize, process: usize, ms: u64) -> Self {
+        self.with_arg(iteration, process, InjectedFault::NetDelay, ms)
+    }
+
+    /// Plans a connection reset on the coordinator's connection to
+    /// `process` at `iteration`.
+    pub fn with_net_reset(self, iteration: usize, process: usize) -> Self {
+        self.with(iteration, process, InjectedFault::NetReset)
+    }
+
+    /// Plans a `ms`-millisecond silent stall (then timeout) on the
+    /// coordinator's connection to `process` at `iteration`.
+    pub fn with_net_stall(self, iteration: usize, process: usize, ms: u64) -> Self {
+        self.with_arg(iteration, process, InjectedFault::NetStall, ms)
+    }
+
+    /// Plans a torn frame on the coordinator's connection to `process` at
+    /// `iteration` (the coordinator's own write tears, unlike
+    /// [`FaultPlan::with_torn_frame`] where the worker's reply tears).
+    pub fn with_net_torn(self, iteration: usize, process: usize) -> Self {
+        self.with(iteration, process, InjectedFault::NetTorn)
+    }
+
     /// A pseudorandom but fully reproducible plan: `count` rollout faults
     /// (panic / NaN reward / poisoned gradient) scattered over the
     /// `iterations × workers` grid. The same seed always yields the same
@@ -149,6 +211,17 @@ impl FaultPlan {
         self.injections
             .iter()
             .any(|i| i.iteration == iteration && i.worker == worker && i.fault == fault)
+    }
+
+    /// The transport faults scheduled at `(iteration, worker)` with their
+    /// magnitudes, in plan order — the coordinator translates these into
+    /// wire-level injections on the matching connection.
+    pub fn net_injects(&self, iteration: usize, worker: usize) -> Vec<(InjectedFault, u64)> {
+        self.injections
+            .iter()
+            .filter(|i| i.iteration == iteration && i.worker == worker && i.fault.is_net())
+            .map(|i| (i.fault, i.arg))
+            .collect()
     }
 
     /// Whether the checkpoint written after `iteration` should be torn.
@@ -260,6 +333,26 @@ mod tests {
         assert!(plan.tears_checkpoint_after(1));
         assert!(!plan.tears_checkpoint_after(2));
         assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn net_faults_carry_magnitudes_and_stay_separate() {
+        let plan = FaultPlan::none()
+            .with_net_delay(1, 0, 50)
+            .with_net_reset(1, 0)
+            .with_net_stall(2, 1, 200)
+            .with_net_torn(2, 0)
+            .with_worker_drop(1, 0);
+        assert_eq!(
+            plan.net_injects(1, 0),
+            vec![(InjectedFault::NetDelay, 50), (InjectedFault::NetReset, 0)],
+            "net faults only, in plan order, with magnitudes"
+        );
+        assert_eq!(plan.net_injects(2, 1), vec![(InjectedFault::NetStall, 200)]);
+        assert!(plan.net_injects(0, 0).is_empty());
+        assert!(plan.injects(1, 0, InjectedFault::WorkerDrop));
+        assert!(InjectedFault::NetReset.is_net());
+        assert!(!InjectedFault::WorkerDrop.is_net());
     }
 
     #[test]

@@ -16,20 +16,32 @@
 //!
 //! # Failure model
 //!
-//! A worker that fails a roundtrip is quarantined for the rest of the run
-//! (its connection is abandoned; a late reply lands on a dead socket).
-//! Transport failures that were recovered by re-queuing are *not* training
+//! A failed roundtrip is first *retried*: the coordinator backs off
+//! (seeded exponential backoff, [`RetryPolicy`]), reconnects to the same
+//! worker, and re-issues the identical request. Re-issue is safe because
+//! requests carry a coordinator-unique `req_id` and workers replay the
+//! cached reply for a repeated id — and because rollouts are pure, even a
+//! recomputed reply is bit-identical. Only when retries are exhausted (or
+//! the reconnect itself fails) is the worker quarantined for the rest of
+//! the run and its pairs re-queued onto the survivors.
+//!
+//! Transport failures recovered by retry or re-queuing are *not* training
 //! faults — they leave no [`RolloutFault`] record, only observability
-//! counters — because a single-process run of the same seeds has no such
-//! record either, and fault records are part of the checkpointed state.
-//! Only a pair that no live worker can serve becomes a
-//! [`FaultKind::WorkerLost`] record; if that drops the batch below the
+//! counters ([`NetStats`]) — because a single-process run of the same
+//! seeds has no such record either, and fault records are part of the
+//! checkpointed state. Only a pair that no live worker can serve becomes
+//! a [`FaultKind::WorkerLost`] record; if that drops the batch below the
 //! quorum, the trainer fails with `TrainError::QuorumLost` exactly as it
 //! does when local rollouts are quarantined.
+//!
+//! Every socket operation runs under a read *and* write timeout derived
+//! from the configured deadline, so a silent or stalled peer can never
+//! hang the trainer, and health probes ([`DistExecutor::probe`]) exclude
+//! unreachable workers before the expensive init broadcast.
 
 use crate::protocol::{
-    decode_response, encode_request, read_message, write_message, InitRequest, Inject, Request,
-    Response, RunRequest,
+    decode_response, encode_request, InitRequest, Inject, Request, Response, RunRequest,
+    DIST_MAX_FRAME_LEN,
 };
 use rl_ccd::{
     ExecutedRollout, ExecutorBatch, FaultKind, FaultPlan, InjectedFault, RolloutExecutor,
@@ -37,21 +49,38 @@ use rl_ccd::{
 };
 use rl_ccd_netlist::{write_netlist, EndpointId};
 use rl_ccd_obs as obs;
+use rl_ccd_wire::{ChaosTransport, NetFault, NetFaultPlan, RetryPolicy};
 use std::fmt;
 use std::io;
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::Duration;
 
-/// One in-flight dispatch: the worker index, its assigned pairs (kept for
-/// re-queuing on failure), the taken connection, and the encoded request.
-type Dispatch = (usize, Vec<(usize, u64)>, TcpStream, Vec<u8>);
+type Transport = ChaosTransport<TcpStream>;
 
 /// One worker process as the coordinator sees it.
 #[derive(Debug)]
 struct Worker {
     addr: String,
     /// `None` once the worker is quarantined (dead or abandoned).
-    conn: Option<TcpStream>,
+    conn: Option<Transport>,
+}
+
+/// Transport-layer failure counters for one executor: what the network
+/// did to the run, independent of training faults. Exposed for bench and
+/// CLI reporting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetStats {
+    /// Roundtrips re-issued after a transport failure.
+    pub retries: u64,
+    /// Fresh connections dialed to replace a suspect one.
+    pub reconnects: u64,
+    /// Pairs re-queued onto surviving workers after retries ran out.
+    pub requeued: u64,
+    /// Workers quarantined for the rest of the run.
+    pub quarantined: u64,
+    /// Health probes that went unanswered.
+    pub probes_failed: u64,
 }
 
 /// A [`RolloutExecutor`] that dispatches rollouts to worker processes over
@@ -62,6 +91,34 @@ pub struct DistExecutor {
     deadline: Duration,
     init_deadline: Duration,
     initialized: bool,
+    retry: RetryPolicy,
+    chaos: Option<Arc<NetFaultPlan>>,
+    next_req_id: u64,
+    stats: NetStats,
+}
+
+/// What one dispatch thread hands back: the worker index, its chunk (for
+/// re-queuing), the surviving connection (`None` = unusable), the
+/// decoded result, and the retry counters the exchange burned.
+struct Exchange {
+    widx: usize,
+    chunk: Vec<(usize, u64)>,
+    conn: Option<Transport>,
+    result: Result<Response, String>,
+    retries: u64,
+    reconnects: u64,
+}
+
+/// One worker's slice of a dispatch round, ready to hand to its thread:
+/// the encoded request, the connection to send it on, and any one-shot
+/// wire faults the training plan addressed to this connection.
+struct Dispatch {
+    widx: usize,
+    addr: String,
+    chunk: Vec<(usize, u64)>,
+    conn: Transport,
+    payload: Vec<u8>,
+    wire: Vec<NetFault>,
 }
 
 impl DistExecutor {
@@ -85,7 +142,7 @@ impl DistExecutor {
             conn.set_nodelay(true).ok();
             workers.push(Worker {
                 addr: addr.as_ref().to_string(),
-                conn: Some(conn),
+                conn: Some(ChaosTransport::new(conn)),
             });
         }
         Ok(Self {
@@ -93,11 +150,15 @@ impl DistExecutor {
             deadline: Duration::from_secs(120),
             init_deadline: Duration::from_secs(600),
             initialized: false,
+            retry: RetryPolicy::seeded(0),
+            chaos: None,
+            next_req_id: 0,
+            stats: NetStats::default(),
         })
     }
 
     /// Per-request deadline: a worker that has not replied within it is
-    /// quarantined and its pairs re-queued (default 120 s).
+    /// retried, then quarantined and its pairs re-queued (default 120 s).
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = deadline.max(Duration::from_millis(1));
         self
@@ -110,9 +171,69 @@ impl DistExecutor {
         self
     }
 
+    /// Replaces the retry policy (default: [`RetryPolicy::seeded`] with
+    /// seed 0). [`RetryPolicy::none`] restores quarantine-on-first-failure.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Attaches a chaos plan to every worker connection; worker index is
+    /// the plan's connection id. Reconnects keep frame numbering, so plan
+    /// coordinates stay stable across retries.
+    #[must_use]
+    pub fn with_chaos(mut self, plan: Arc<NetFaultPlan>) -> Self {
+        for (widx, worker) in self.workers.iter_mut().enumerate() {
+            if let Some(conn) = worker.conn.take() {
+                worker.conn = Some(
+                    ChaosTransport::new(conn.into_inner())
+                        .with_plan(Arc::clone(&plan), widx as u64),
+                );
+            }
+        }
+        self.chaos = Some(plan);
+        self
+    }
+
     /// Workers still eligible for dispatch.
     pub fn live_workers(&self) -> usize {
         self.workers.iter().filter(|w| w.conn.is_some()).count()
+    }
+
+    /// Transport-layer failure counters accumulated so far.
+    pub fn net_stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Probes every live worker with [`Request::Health`] and quarantines
+    /// the ones that do not answer, so the expensive init broadcast (and
+    /// everything after it) only targets reachable workers. Returns the
+    /// live count after the probe. A `ready=false` answer is still alive:
+    /// workers are not initialized until the first batch.
+    pub fn probe(&mut self) -> usize {
+        let payload = encode_request(&Request::Health);
+        // Probes answer inline from the accept loop; a worker that needs
+        // more than a few seconds for that is not healthy.
+        let deadline = self.deadline.min(Duration::from_secs(5));
+        for worker in &mut self.workers {
+            let Some(mut conn) = worker.conn.take() else {
+                continue;
+            };
+            match roundtrip(&mut conn, &payload, deadline) {
+                Ok(Response::HealthAck { .. }) => worker.conn = Some(conn),
+                Ok(_) | Err(_) => {
+                    self.stats.probes_failed += 1;
+                    self.stats.quarantined += 1;
+                    obs::counter!("dist.probe_failed", 1);
+                    obs::counter!("dist.workers_dead", 1);
+                    eprintln!(
+                        "dist: worker {} failed its health probe, quarantined",
+                        worker.addr
+                    );
+                }
+            }
+        }
+        self.live_workers()
     }
 
     /// Sends `Shutdown` to every live worker and drops the connections.
@@ -120,8 +241,10 @@ impl DistExecutor {
     pub fn shutdown(&mut self) {
         let payload = encode_request(&Request::Shutdown);
         for worker in &mut self.workers {
-            if let Some(mut conn) = worker.conn.take() {
-                let _ = write_message(&mut conn, &payload);
+            if let Some(conn) = worker.conn.take() {
+                // Bypass any chaos plan: shutdown is best-effort cleanup.
+                let mut stream = conn.into_inner();
+                let _ = crate::protocol::write_message(&mut stream, &payload);
             }
         }
     }
@@ -130,6 +253,8 @@ impl DistExecutor {
     /// fail or disagree on the endpoint pool.
     fn init_workers(&mut self, req: &RolloutRequest<'_>) {
         let _span = obs::span!("dist.init", workers = self.live_workers() as u64);
+        // Cull unreachable workers before shipping them a full netlist.
+        self.probe();
         let design = req.env.design();
         let mut netlist_bytes = Vec::new();
         write_netlist(&design.netlist, &mut netlist_bytes).expect("in-memory write");
@@ -141,21 +266,21 @@ impl DistExecutor {
         }));
         let expected_pool = req.env.pool().len();
         let deadline = self.init_deadline;
-        let round: Vec<(usize, TcpStream)> = self
+        let retry = self.retry;
+        let chaos = self.chaos.clone();
+        let round: Vec<(usize, String, Transport)> = self
             .workers
             .iter_mut()
             .enumerate()
-            .filter_map(|(i, w)| w.conn.take().map(|c| (i, c)))
+            .filter_map(|(i, w)| w.conn.take().map(|c| (i, w.addr.clone(), c)))
             .collect();
         let outcomes = std::thread::scope(|s| {
             let handles: Vec<_> = round
                 .into_iter()
-                .map(|(widx, mut conn)| {
+                .map(|(widx, addr, conn)| {
                     let payload = &payload;
-                    s.spawn(move || {
-                        let result = roundtrip(&mut conn, payload, deadline);
-                        (widx, conn, result)
-                    })
+                    let chaos = chaos.clone();
+                    s.spawn(move || exchange(widx, &addr, conn, chaos, payload, deadline, &retry))
                 })
                 .collect();
             handles
@@ -163,42 +288,53 @@ impl DistExecutor {
                 .map(|h| h.join().expect("init dispatch thread"))
                 .collect::<Vec<_>>()
         });
-        for (widx, conn, result) in outcomes {
-            match result {
+        for out in outcomes {
+            self.note_recovery(&out);
+            match out.result {
                 Ok(Response::InitAck { pool, .. }) if pool == expected_pool => {
-                    self.workers[widx].conn = Some(conn);
+                    self.workers[out.widx].conn = out.conn;
                 }
                 Ok(Response::InitAck { pool, .. }) => {
-                    obs::counter!("dist.workers_dead", 1);
-                    eprintln!(
-                        "dist: worker {} rebuilt a different design (pool {} vs {}), quarantined",
-                        self.workers[widx].addr, pool, expected_pool
+                    self.quarantine_note(
+                        out.widx,
+                        &format!("rebuilt a different design (pool {pool} vs {expected_pool})"),
                     );
                 }
                 Ok(Response::Err { message }) => {
-                    obs::counter!("dist.workers_dead", 1);
-                    eprintln!(
-                        "dist: worker {} failed init: {message}, quarantined",
-                        self.workers[widx].addr
-                    );
+                    self.quarantine_note(out.widx, &format!("failed init: {message}"));
                 }
                 Ok(_) => {
-                    obs::counter!("dist.workers_dead", 1);
-                    eprintln!(
-                        "dist: worker {} answered init with the wrong message, quarantined",
-                        self.workers[widx].addr
-                    );
+                    self.quarantine_note(out.widx, "answered init with the wrong message");
                 }
                 Err(why) => {
-                    obs::counter!("dist.workers_dead", 1);
-                    eprintln!(
-                        "dist: worker {} unreachable during init: {why}, quarantined",
-                        self.workers[widx].addr
-                    );
+                    self.quarantine_note(out.widx, &format!("unreachable during init: {why}"));
                 }
             }
         }
         self.initialized = true;
+    }
+
+    /// Folds one exchange's retry/reconnect tallies into the stats and the
+    /// observability registry — here, on the coordinator thread, because
+    /// the dispatch threads the exchange ran on carry no recorder.
+    fn note_recovery(&mut self, out: &Exchange) {
+        self.stats.retries += out.retries;
+        self.stats.reconnects += out.reconnects;
+        if out.retries > 0 {
+            obs::counter!("dist.retries", out.retries);
+        }
+        if out.reconnects > 0 {
+            obs::counter!("dist.reconnects", out.reconnects);
+        }
+    }
+
+    fn quarantine_note(&mut self, widx: usize, why: &str) {
+        self.stats.quarantined += 1;
+        obs::counter!("dist.workers_dead", 1);
+        eprintln!(
+            "dist: worker {} {why}, quarantined",
+            self.workers[widx].addr
+        );
     }
 
     /// The injections a run request to worker-process `widx` must carry:
@@ -236,6 +372,21 @@ impl DistExecutor {
             }
         }
         injects
+    }
+
+    /// Wire-level faults the training [`FaultPlan`] addresses to this
+    /// worker's connection, translated into one-shot transport injections.
+    fn wire_injects_for(plan: &FaultPlan, iteration: usize, widx: usize) -> Vec<NetFault> {
+        plan.net_injects(iteration, widx)
+            .into_iter()
+            .map(|(fault, arg)| match fault {
+                InjectedFault::NetDelay => NetFault::Delay(arg),
+                InjectedFault::NetReset => NetFault::Reset,
+                InjectedFault::NetStall => NetFault::Stall(arg),
+                InjectedFault::NetTorn => NetFault::Torn,
+                other => unreachable!("net_injects returned non-net fault {other:?}"),
+            })
+            .collect()
     }
 }
 
@@ -276,31 +427,50 @@ impl RolloutExecutor for DistExecutor {
             // Contiguous chunks over the live workers, sizes within one of
             // each other — a pure function of (pending, live set).
             let per = pending.len().div_ceil(live.len());
-            let round: Vec<Dispatch> = pending
-                .chunks(per)
-                .zip(&live)
-                .map(|(chunk, &widx)| {
-                    let injects =
-                        Self::injects_for(req.plan, req.iteration, widx, chunk, self.deadline);
-                    let payload = encode_request(&Request::Run(RunRequest {
-                        iteration: req.iteration,
-                        pairs: chunk.to_vec(),
-                        injects,
-                        params: req.params.clone(),
-                    }));
-                    let conn = self.workers[widx].conn.take().expect("live worker");
-                    (widx, chunk.to_vec(), conn, payload)
-                })
-                .collect();
+            let mut round: Vec<Dispatch> = Vec::new();
+            for (chunk, &widx) in pending.chunks(per).zip(&live) {
+                let injects =
+                    Self::injects_for(req.plan, req.iteration, widx, chunk, self.deadline);
+                self.next_req_id += 1;
+                let payload = encode_request(&Request::Run(RunRequest {
+                    iteration: req.iteration,
+                    req_id: self.next_req_id,
+                    budget_ms: Some(self.deadline.as_millis().max(1) as u64),
+                    pairs: chunk.to_vec(),
+                    injects,
+                    params: req.params.clone(),
+                }));
+                let wire = Self::wire_injects_for(req.plan, req.iteration, widx);
+                let Some(conn) = self.workers[widx].conn.take() else {
+                    continue;
+                };
+                round.push(Dispatch {
+                    widx,
+                    addr: self.workers[widx].addr.clone(),
+                    chunk: chunk.to_vec(),
+                    conn,
+                    payload,
+                    wire,
+                });
+            }
             pending.clear();
             let deadline = self.deadline;
+            let retry = self.retry;
+            let chaos = self.chaos.clone();
             let outcomes = std::thread::scope(|s| {
                 let handles: Vec<_> = round
                     .into_iter()
-                    .map(|(widx, chunk, mut conn, payload)| {
+                    .map(|mut d| {
+                        let chaos = chaos.clone();
                         s.spawn(move || {
-                            let result = roundtrip(&mut conn, &payload, deadline);
-                            (widx, chunk, conn, result)
+                            for fault in d.wire {
+                                d.conn.inject_once(fault);
+                            }
+                            let mut out = exchange(
+                                d.widx, &d.addr, d.conn, chaos, &d.payload, deadline, &retry,
+                            );
+                            out.chunk = d.chunk;
+                            out
                         })
                     })
                     .collect();
@@ -309,11 +479,12 @@ impl RolloutExecutor for DistExecutor {
                     .map(|h| h.join().expect("dispatch thread"))
                     .collect::<Vec<_>>()
             });
-            for (widx, chunk, conn, result) in outcomes {
-                match result {
+            for out in outcomes {
+                self.note_recovery(&out);
+                match out.result {
                     Ok(Response::Batch(b)) => {
                         obs::counter!("dist.rollouts", b.items.len() as u64);
-                        self.workers[widx].conn = Some(conn);
+                        self.workers[out.widx].conn = out.conn;
                         batch
                             .rollouts
                             .extend(b.items.into_iter().map(|item| ExecutedRollout {
@@ -328,34 +499,24 @@ impl RolloutExecutor for DistExecutor {
                         batch.faults.extend(b.faults);
                     }
                     Ok(Response::Err { message }) => {
-                        obs::counter!("dist.workers_dead", 1);
-                        obs::counter!("dist.requeued", chunk.len() as u64);
-                        eprintln!(
-                            "dist: worker {} rejected the batch: {message}; re-queuing {} rollouts",
-                            self.workers[widx].addr,
-                            chunk.len()
+                        self.requeue_note(
+                            out.widx,
+                            &out.chunk,
+                            &format!("rejected the batch: {message}"),
                         );
-                        pending.extend(chunk);
+                        pending.extend(out.chunk);
                     }
                     Ok(_) => {
-                        obs::counter!("dist.workers_dead", 1);
-                        obs::counter!("dist.requeued", chunk.len() as u64);
-                        eprintln!(
-                            "dist: worker {} answered with the wrong message; re-queuing {} rollouts",
-                            self.workers[widx].addr,
-                            chunk.len()
-                        );
-                        pending.extend(chunk);
+                        self.requeue_note(out.widx, &out.chunk, "answered with the wrong message");
+                        pending.extend(out.chunk);
                     }
                     Err(why) => {
-                        obs::counter!("dist.workers_dead", 1);
-                        obs::counter!("dist.requeued", chunk.len() as u64);
-                        eprintln!(
-                            "dist: worker {} failed mid-batch ({why}); re-queuing {} rollouts",
-                            self.workers[widx].addr,
-                            chunk.len()
+                        self.requeue_note(
+                            out.widx,
+                            &out.chunk,
+                            &format!("failed mid-batch ({why})"),
                         );
-                        pending.extend(chunk);
+                        pending.extend(out.chunk);
                     }
                 }
             }
@@ -368,20 +529,105 @@ impl RolloutExecutor for DistExecutor {
     }
 }
 
+impl DistExecutor {
+    fn requeue_note(&mut self, widx: usize, chunk: &[(usize, u64)], why: &str) {
+        self.stats.quarantined += 1;
+        self.stats.requeued += chunk.len() as u64;
+        obs::counter!("dist.workers_dead", 1);
+        obs::counter!("dist.requeued", chunk.len() as u64);
+        eprintln!(
+            "dist: worker {} {why}; re-queuing {} rollouts",
+            self.workers[widx].addr,
+            chunk.len()
+        );
+    }
+}
+
 impl Drop for DistExecutor {
     fn drop(&mut self) {
         self.shutdown();
     }
 }
 
-/// One request/response exchange under a read deadline. Any failure —
-/// write error, timeout, torn frame, decode error — is returned as a
-/// description; the caller quarantines the worker.
-fn roundtrip(conn: &mut TcpStream, payload: &[u8], deadline: Duration) -> Result<Response, String> {
-    conn.set_read_timeout(Some(deadline))
-        .map_err(|e| format!("set deadline: {e}"))?;
-    write_message(conn, payload).map_err(|e| format!("send: {e}"))?;
-    let reply = read_message(conn).map_err(|e| format!("receive: {e}"))?;
+/// One request with retry-and-reconnect: roundtrip, and on a transport
+/// failure back off, dial a fresh connection to the same worker (frame
+/// numbering resumes, so chaos-plan coordinates stay stable), and re-issue
+/// the identical payload. Gives up — connection dropped, caller
+/// quarantines — when attempts run out or the reconnect itself fails.
+fn exchange(
+    widx: usize,
+    addr: &str,
+    mut conn: Transport,
+    chaos: Option<Arc<NetFaultPlan>>,
+    payload: &[u8],
+    deadline: Duration,
+    retry: &RetryPolicy,
+) -> Exchange {
+    let mut out = Exchange {
+        widx,
+        chunk: Vec::new(),
+        conn: None,
+        result: Err("unreachable".into()),
+        retries: 0,
+        reconnects: 0,
+    };
+    let mut attempt: u32 = 0;
+    loop {
+        attempt += 1;
+        match roundtrip(&mut conn, payload, deadline) {
+            Ok(resp) => {
+                out.conn = Some(conn);
+                out.result = Ok(resp);
+                return out;
+            }
+            Err(why) => {
+                if attempt >= retry.max_attempts {
+                    out.result = Err(why);
+                    return out;
+                }
+                std::thread::sleep(retry.backoff(widx as u64, attempt));
+                // The old connection is suspect; re-issue on a fresh one.
+                let frame = conn.frame_index();
+                match TcpStream::connect(addr) {
+                    Ok(stream) => {
+                        stream.set_nodelay(true).ok();
+                        let mut fresh = ChaosTransport::new(stream);
+                        if let Some(plan) = &chaos {
+                            fresh = fresh.with_plan(Arc::clone(plan), widx as u64);
+                        }
+                        conn = fresh.resume_at(frame);
+                        out.reconnects += 1;
+                        out.retries += 1;
+                        // No obs counters here: exchange runs on dispatch
+                        // threads with no recorder attached. The caller
+                        // emits them from `out` on the recording thread.
+                    }
+                    Err(e) => {
+                        out.result = Err(format!("{why}; reconnect: {e}"));
+                        return out;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One request/response exchange under read *and* write deadlines. Any
+/// failure — write error, timeout, torn frame, decode error — is returned
+/// as a description; the caller retries or quarantines the worker.
+fn roundtrip(conn: &mut Transport, payload: &[u8], deadline: Duration) -> Result<Response, String> {
+    let stream = conn.get_ref();
+    stream
+        .set_read_timeout(Some(deadline))
+        .map_err(|e| format!("set read deadline: {e}"))?;
+    stream
+        .set_write_timeout(Some(deadline))
+        .map_err(|e| format!("set write deadline: {e}"))?;
+    conn.write_frame_limited(payload, DIST_MAX_FRAME_LEN)
+        .map_err(|e| format!("send: {e}"))?;
+    let reply = conn
+        .read_frame_limited(DIST_MAX_FRAME_LEN)
+        .map_err(|e| format!("receive: {e}"))?;
     decode_response(&reply).map_err(|e| format!("decode: {e}"))
 }
 

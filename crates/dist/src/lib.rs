@@ -38,7 +38,7 @@ pub mod coordinator;
 pub mod protocol;
 pub mod worker;
 
-pub use coordinator::DistExecutor;
+pub use coordinator::{DistExecutor, NetStats};
 pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, read_message, write_message,
     BatchResponse, InitRequest, Inject, Request, Response, RolloutItem, RunRequest,

@@ -59,6 +59,9 @@ pub enum Request {
     Init(InitRequest),
     /// Run one iteration's share of rollouts.
     Run(RunRequest),
+    /// Liveness/readiness probe: answered inline, never touches the
+    /// rollout path, legal before `Init`.
+    Health,
     /// Stop serving and exit the accept loop.
     Shutdown,
 }
@@ -76,6 +79,12 @@ pub enum Response {
     },
     /// One iteration's surviving rollouts plus quarantine records.
     Batch(BatchResponse),
+    /// Answer to a [`Request::Health`] probe.
+    HealthAck {
+        /// Whether the worker has an initialized environment and can
+        /// serve `Run` requests (`false` before `Init` — still alive).
+        ready: bool,
+    },
     /// The worker could not serve the request.
     Err {
         /// Human-readable reason.
@@ -103,6 +112,14 @@ pub struct InitRequest {
 pub struct RunRequest {
     /// Training iteration index.
     pub iteration: usize,
+    /// Coordinator-unique request id. Retried dispatches re-use the id,
+    /// so a worker that already served it can replay its cached reply
+    /// instead of recomputing (idempotent re-issue). 0 means "no id".
+    pub req_id: u64,
+    /// Remaining deadline budget at send time, ms. The worker uses it to
+    /// bound its reply write — a coordinator that has already given up is
+    /// not worth blocking on. Absent means unbounded.
+    pub budget_ms: Option<u64>,
     /// This worker's `(slot, seed)` share of the iteration's batch.
     pub pairs: Vec<(usize, u64)>,
     /// Test-only fault injections the worker should apply.
@@ -393,6 +410,12 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Run(run) => {
             head.push_str("run");
             push_kv(&mut head, "iteration", run.iteration);
+            if run.req_id != 0 {
+                push_kv(&mut head, "req_id", run.req_id);
+            }
+            if let Some(ms) = run.budget_ms {
+                push_kv(&mut head, "budget_ms", ms);
+            }
             let pairs = run
                 .pairs
                 .iter()
@@ -413,6 +436,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             run.params.save(&mut params).expect("in-memory write");
             body.push_str(&String::from_utf8(params).expect("params text is UTF-8"));
         }
+        Request::Health => head.push_str("health"),
         Request::Shutdown => head.push_str("shutdown"),
     }
     format!("{PROTOCOL_VERSION}\n{head}\n{body}").into_bytes()
@@ -457,13 +481,26 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, String> {
             }
             let params =
                 ParamSet::load(body.as_bytes()).map_err(|e| format!("bad params body: {e}"))?;
+            // req_id and budget_ms are optional: older coordinators omit
+            // them and get the pre-idempotency behavior.
+            let req_id = match fields.get("req_id") {
+                Ok(_) => fields.parse("req_id")?,
+                Err(_) => 0,
+            };
+            let budget_ms = match fields.get("budget_ms") {
+                Ok(_) => Some(fields.parse("budget_ms")?),
+                Err(_) => None,
+            };
             Ok(Request::Run(RunRequest {
                 iteration: fields.parse("iteration")?,
+                req_id,
+                budget_ms,
                 pairs,
                 injects,
                 params,
             }))
         }
+        "health" => Ok(Request::Health),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown request verb {other:?}")),
     }
@@ -515,6 +552,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 push_kv(&mut body, "detail", fault.detail.replace('\n', " "));
                 body.push('\n');
             }
+        }
+        Response::HealthAck { ready } => {
+            head.push_str("health-ack");
+            push_kv(&mut head, "ready", u8::from(*ready));
         }
         Response::Err { message } => {
             head.push_str("err");
@@ -607,6 +648,9 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, String> {
             }
             Ok(Response::Batch(BatchResponse { items, faults }))
         }
+        "health-ack" => Ok(Response::HealthAck {
+            ready: fields.parse::<u8>("ready")? != 0,
+        }),
         "err" => Ok(Response::Err {
             message: fields.get("message")?.to_string(),
         }),
@@ -639,6 +683,8 @@ mod tests {
         );
         let req = Request::Run(RunRequest {
             iteration: 7,
+            req_id: 99,
+            budget_ms: Some(1_500),
             pairs: vec![(0, 9001), (3, 42)],
             injects: vec![
                 Inject::Drop,
@@ -660,12 +706,39 @@ mod tests {
         assert_eq!(back, Request::Shutdown);
         let req = Request::Run(RunRequest {
             iteration: 0,
+            req_id: 0,
+            budget_ms: None,
             pairs: vec![],
             injects: vec![],
             params: ParamSet::new(),
         });
         let back = decode_request(&encode_request(&req)).unwrap();
         assert_eq!(back, req);
+    }
+
+    #[test]
+    fn health_roundtrips_and_run_defaults_cover_old_coordinators() {
+        let back = decode_request(&encode_request(&Request::Health)).unwrap();
+        assert_eq!(back, Request::Health);
+        for ready in [true, false] {
+            let resp = Response::HealthAck { ready };
+            match decode_response(&encode_response(&resp)).unwrap() {
+                Response::HealthAck { ready: r } => assert_eq!(r, ready),
+                other => panic!("expected health-ack, got {other:?}"),
+            }
+        }
+        // A run head without req_id/budget_ms (the pre-idempotency wire
+        // shape) decodes with the no-id defaults.
+        let payload =
+            format!("{PROTOCOL_VERSION}\nrun iteration=3 pairs=0:11\nrl-ccd-params v1 0\n");
+        match decode_request(payload.as_bytes()).unwrap() {
+            Request::Run(run) => {
+                assert_eq!(run.req_id, 0);
+                assert_eq!(run.budget_ms, None);
+                assert_eq!(run.pairs, vec![(0, 11)]);
+            }
+            other => panic!("expected run, got {other:?}"),
+        }
     }
 
     #[test]

@@ -32,6 +32,19 @@ struct WorkerState {
     config: RlConfig,
 }
 
+/// Everything a worker keeps across connections: the built environment
+/// plus the reply cache that makes retried dispatches idempotent.
+#[derive(Default)]
+struct WorkerSession {
+    state: Option<WorkerState>,
+    /// The last identified run's `(req_id, encoded reply)`. A retried
+    /// dispatch (same non-zero `req_id`, typically on a fresh connection
+    /// after a transport failure) replays the cached bytes instead of
+    /// recomputing the batch. One slot is enough: the coordinator issues
+    /// at most one in-flight request per worker.
+    last_reply: Option<(u64, Vec<u8>)>,
+}
+
 /// What a connection handler tells the accept loop to do next.
 enum Next {
     /// The peer hung up; accept the next connection.
@@ -48,19 +61,19 @@ enum Next {
 /// Propagates fatal accept-loop I/O errors. Per-connection errors are
 /// answered with [`Response::Err`] or end that connection only.
 pub fn serve_worker(listener: TcpListener) -> io::Result<()> {
-    let mut state: Option<WorkerState> = None;
+    let mut session = WorkerSession::default();
     loop {
         let (stream, peer) = listener.accept()?;
         obs::counter!("dist.worker.connections", 1);
         let _span = obs::span!("dist.worker.serve", peer = peer.to_string());
-        match handle_connection(stream, &mut state) {
+        match handle_connection(stream, &mut session) {
             Next::Accept => continue,
             Next::Exit => return Ok(()),
         }
     }
 }
 
-fn handle_connection(stream: TcpStream, state: &mut Option<WorkerState>) -> Next {
+fn handle_connection(stream: TcpStream, session: &mut WorkerSession) -> Next {
     stream.set_nodelay(true).ok();
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
@@ -83,6 +96,15 @@ fn handle_connection(stream: TcpStream, state: &mut Option<WorkerState>) -> Next
         };
         match request {
             Request::Shutdown => return Next::Exit,
+            Request::Health => {
+                obs::counter!("dist.worker.health_probes", 1);
+                send(
+                    &mut writer,
+                    &Response::HealthAck {
+                        ready: session.state.is_some(),
+                    },
+                );
+            }
             Request::Init(init) => {
                 let response =
                     match build_state(init.period_ps, &init.netlist_text, init.recipe, init.config)
@@ -92,7 +114,7 @@ fn handle_connection(stream: TcpStream, state: &mut Option<WorkerState>) -> Next
                                 endpoints: built.env.design().netlist.endpoints().len(),
                                 pool: built.env.pool().len(),
                             };
-                            *state = Some(built);
+                            session.state = Some(built);
                             ack
                         }
                         Err(why) => Response::Err { message: why },
@@ -100,7 +122,7 @@ fn handle_connection(stream: TcpStream, state: &mut Option<WorkerState>) -> Next
                 send(&mut writer, &response);
             }
             Request::Run(run) => {
-                let Some(st) = state.as_ref() else {
+                let Some(st) = session.state.as_ref() else {
                     send(
                         &mut writer,
                         &Response::Err {
@@ -109,6 +131,24 @@ fn handle_connection(stream: TcpStream, state: &mut Option<WorkerState>) -> Next
                     );
                     continue;
                 };
+                // A coordinator that has already given up is not worth
+                // blocking on: bound the reply write by its budget.
+                if let Some(ms) = run.budget_ms {
+                    let _ = writer
+                        .get_ref()
+                        .set_write_timeout(Some(Duration::from_millis(ms.max(1))));
+                }
+                // Idempotent re-issue: a retried dispatch replays the
+                // cached reply bit-for-bit instead of recomputing.
+                if run.req_id != 0 {
+                    if let Some((id, reply)) = &session.last_reply {
+                        if *id == run.req_id {
+                            obs::counter!("dist.worker.replayed_replies", 1);
+                            let _ = write_message(&mut writer, reply);
+                            continue;
+                        }
+                    }
+                }
                 // Process-level injections (test harness): die, tear the
                 // reply frame, or stall past the coordinator's deadline.
                 if run.injects.contains(&Inject::Drop) {
@@ -131,7 +171,11 @@ fn handle_connection(stream: TcpStream, state: &mut Option<WorkerState>) -> Next
                     obs::counter!("dist.worker.injected_stalls", 1);
                     std::thread::sleep(Duration::from_millis(ms));
                 }
-                send(&mut writer, &Response::Batch(batch));
+                let payload = encode_response(&Response::Batch(batch));
+                if run.req_id != 0 {
+                    session.last_reply = Some((run.req_id, payload.clone()));
+                }
+                let _ = write_message(&mut writer, &payload);
             }
         }
     }

@@ -188,6 +188,12 @@ proptest! {
             .collect();
         let req = Request::Run(RunRequest {
             iteration: rng.gen_range(0usize..1000),
+            req_id: rng.gen_range(0u64..u64::MAX),
+            budget_ms: if rng.gen_bool(0.5) {
+                Some(rng.gen_range(0u64..1_000_000))
+            } else {
+                None
+            },
             pairs,
             injects,
             params: random_params(&mut rng),
@@ -267,6 +273,8 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let payload = encode_request(&Request::Run(RunRequest {
             iteration: 1,
+            req_id: 0,
+            budget_ms: None,
             pairs: vec![(0, rng.gen_range(0u64..u64::MAX))],
             injects: vec![],
             params: random_params(&mut rng),

@@ -1,58 +1,255 @@
 //! Blocking TCP client for the framed serve protocol (`rlccd query`
 //! speaks through this).
+//!
+//! The client is hardened against a hostile network:
+//!
+//! * **No read can hang forever.** Every socket operation runs under a
+//!   timeout: the request's deadline budget when one is set, else
+//!   [`ServeClient::DEFAULT_TIMEOUT`].
+//! * **Deadline budgets propagate.** A request's `deadline_ms` is treated
+//!   as a total budget for the roundtrip including retries; the value
+//!   sent on the wire is the budget *remaining* at send time, so the
+//!   server's queue-deadline check and the client's socket timeouts agree.
+//! * **Retries are idempotent.** Selections are pure functions of
+//!   (model, design, mode), so a failed roundtrip is safely re-issued on
+//!   a fresh connection after a seeded exponential backoff. A typed
+//!   [`Response::Overloaded`] is retried after the server's
+//!   `retry_after_ms` hint (or the backoff, whichever is longer).
 
-use crate::protocol::{read_frame, write_frame, QueryRequest, Request, Response};
+use crate::protocol::{HealthReply, QueryRequest, Request, Response};
+use rl_ccd_wire::{ChaosTransport, DeadlineBudget, NetFaultPlan, RetryPolicy};
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One connection to a serve endpoint. Requests are pipelined one at a
 /// time: send a frame, read a frame.
 #[derive(Debug)]
 pub struct ServeClient {
-    stream: TcpStream,
+    transport: ChaosTransport<TcpStream>,
+    addrs: Vec<SocketAddr>,
+    retry: RetryPolicy,
+    timeout: Option<Duration>,
+    chaos: Option<(Arc<NetFaultPlan>, u64)>,
+    retries: u64,
+    reconnects: u64,
 }
 
 impl ServeClient {
-    /// Connects to `addr` (e.g. `"127.0.0.1:7878"`).
+    /// Fallback cap on any single socket operation when the request
+    /// carries no deadline — a silent peer costs this much, not forever.
+    pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+    /// Connects to `addr` (e.g. `"127.0.0.1:7878"`). The connection
+    /// starts with no retries ([`RetryPolicy::none`]) and the
+    /// [`ServeClient::DEFAULT_TIMEOUT`] socket-operation cap.
     ///
     /// # Errors
-    /// Propagates connection failures.
+    /// Propagates resolution and connection failures.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        Ok(Self { stream })
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = connect_any(&addrs, None)?;
+        Ok(Self {
+            transport: ChaosTransport::new(stream),
+            addrs,
+            retry: RetryPolicy::none(),
+            timeout: Some(Self::DEFAULT_TIMEOUT),
+            chaos: None,
+            retries: 0,
+            reconnects: 0,
+        })
     }
 
-    /// Caps how long a single response read may block.
-    ///
-    /// # Errors
-    /// Propagates socket-option failures.
-    pub fn set_timeout(&self, timeout: Duration) -> io::Result<()> {
-        self.stream.set_read_timeout(Some(timeout))
+    /// Enables retry-with-backoff (and reconnect) for queries.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
-    /// Sends one query and blocks for the response.
+    /// Attaches a chaos plan, addressing this client's connection as
+    /// `conn`. Reconnects resume the old connection's frame numbering.
+    #[must_use]
+    pub fn with_chaos(mut self, plan: Arc<NetFaultPlan>, conn: u64) -> Self {
+        self.transport =
+            ChaosTransport::new(self.transport.into_inner()).with_plan(Arc::clone(&plan), conn);
+        self.chaos = Some((plan, conn));
+        self
+    }
+
+    /// Caps how long a single socket operation may block when the request
+    /// carries no deadline budget. `None` removes the cap (the socket can
+    /// block indefinitely again — test use only).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) {
+        self.timeout = timeout;
+    }
+
+    /// Transport retries performed so far (failed roundtrips re-issued
+    /// plus overload backoffs honored).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Reconnections performed so far.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Sends one query and blocks for the response, retrying per the
+    /// retry policy. The request's `deadline_ms` is the total budget for
+    /// all attempts.
     ///
     /// # Errors
-    /// I/O failures, or `InvalidData` when the server's payload does not
-    /// parse.
+    /// I/O failures after retries are exhausted, `TimedOut` when the
+    /// deadline budget runs out, or `InvalidData` when the server's
+    /// payload does not parse.
     pub fn query(&mut self, request: QueryRequest) -> io::Result<Response> {
-        self.roundtrip(&Request::Query(request))
+        let budget = match request.deadline_ms {
+            Some(ms) => DeadlineBudget::from_ms(ms),
+            None => DeadlineBudget::unbounded(),
+        };
+        let key = self.chaos.as_ref().map_or(0, |(_, conn)| *conn);
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            let result = self.attempt_query(&request, &budget);
+            match result {
+                Ok(Response::Overloaded { retry_after_ms })
+                    if attempt < self.retry.max_attempts =>
+                {
+                    // The server shed us; honor its backoff hint (or our
+                    // own schedule, whichever is longer) within budget.
+                    let backoff = self
+                        .retry
+                        .backoff(key, attempt)
+                        .max(Duration::from_millis(retry_after_ms));
+                    self.sleep_within(&budget, backoff)?;
+                    self.retries += 1;
+                    rl_ccd_obs::counter!("serve.client.retries", 1);
+                }
+                Ok(response) => return Ok(response),
+                Err(e) if attempt < self.retry.max_attempts && retriable(&e) => {
+                    self.sleep_within(&budget, self.retry.backoff(key, attempt))?;
+                    self.reconnect(&budget)?;
+                    self.retries += 1;
+                    rl_ccd_obs::counter!("serve.client.retries", 1);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Probes the server's health (never queued server-side; retried like
+    /// a query).
+    ///
+    /// # Errors
+    /// Same as [`ServeClient::query`], plus `InvalidData` when the server
+    /// answers a probe with anything but a health reply.
+    pub fn health(&mut self) -> io::Result<HealthReply> {
+        let budget = DeadlineBudget::unbounded();
+        match self.roundtrip(&Request::Health, &budget)? {
+            Response::Health(h) => Ok(h),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("health probe answered with {other:?}"),
+            )),
+        }
     }
 
     /// Sends the admin shutdown request; the server acknowledges and
-    /// begins draining.
+    /// begins draining. Never retried.
     ///
     /// # Errors
     /// Same as [`ServeClient::query`].
     pub fn shutdown(&mut self) -> io::Result<Response> {
-        self.roundtrip(&Request::Shutdown)
+        self.roundtrip(&Request::Shutdown, &DeadlineBudget::unbounded())
     }
 
-    fn roundtrip(&mut self, request: &Request) -> io::Result<Response> {
-        write_frame(&mut self.stream, &request.encode())?;
-        let payload = read_frame(&mut self.stream)?;
+    /// One send/receive under the budget, with the remaining budget
+    /// re-encoded onto the wire.
+    fn attempt_query(
+        &mut self,
+        request: &QueryRequest,
+        budget: &DeadlineBudget,
+    ) -> io::Result<Response> {
+        let mut send = request.clone();
+        if request.deadline_ms.is_some() {
+            send.deadline_ms = budget.remaining_ms()?;
+        }
+        self.roundtrip(&Request::Query(send), budget)
+    }
+
+    fn roundtrip(&mut self, request: &Request, budget: &DeadlineBudget) -> io::Result<Response> {
+        budget.arm(self.transport.get_ref(), self.timeout)?;
+        self.transport.write_frame(&request.encode())?;
+        let payload = self.transport.read_frame()?;
         Response::decode(&payload).map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))
     }
+
+    /// Sleeps `backoff`, but never past the deadline budget.
+    fn sleep_within(&self, budget: &DeadlineBudget, backoff: Duration) -> io::Result<()> {
+        let sleep = match budget.remaining()? {
+            // Leave a sliver of budget for the retry itself.
+            Some(left) if left <= backoff => {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "deadline budget too low to cover the retry backoff",
+                ));
+            }
+            _ => backoff,
+        };
+        std::thread::sleep(sleep);
+        Ok(())
+    }
+
+    /// Replaces the transport with a fresh connection, carrying the chaos
+    /// plan and frame numbering over.
+    fn reconnect(&mut self, budget: &DeadlineBudget) -> io::Result<()> {
+        let connect_timeout = budget.remaining()?.or(self.timeout);
+        let stream = connect_any(&self.addrs, connect_timeout)?;
+        let frame = self.transport.frame_index();
+        let mut fresh = ChaosTransport::new(stream);
+        if let Some((plan, conn)) = &self.chaos {
+            fresh = fresh.with_plan(Arc::clone(plan), *conn).resume_at(frame);
+        }
+        self.transport = fresh;
+        self.reconnects += 1;
+        rl_ccd_obs::counter!("serve.client.reconnects", 1);
+        Ok(())
+    }
+}
+
+/// Whether a roundtrip failure is worth a reconnect + re-issue: transport
+/// deaths and timeouts are; protocol violations (`InvalidData`) are not.
+fn retriable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+    )
+}
+
+/// Connects to the first reachable address, with nodelay set.
+fn connect_any(addrs: &[SocketAddr], timeout: Option<Duration>) -> io::Result<TcpStream> {
+    let mut last_err = None;
+    for addr in addrs {
+        let attempt = match timeout {
+            Some(t) => TcpStream::connect_timeout(addr, t),
+            None => TcpStream::connect(addr),
+        };
+        match attempt {
+            Ok(stream) => {
+                stream.set_nodelay(true).ok();
+                return Ok(stream);
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err
+        .unwrap_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address to connect to")))
 }

@@ -51,7 +51,8 @@ pub mod server;
 pub use cache::{EnvCache, LruCache, SelectionCache};
 pub use client::ServeClient;
 pub use protocol::{
-    DesignKey, Mode, QueryReply, QueryRequest, RejectKind, Request, Response, PROTOCOL_VERSION,
+    DesignKey, HealthReply, Mode, QueryReply, QueryRequest, RejectKind, Request, Response,
+    PROTOCOL_VERSION,
 };
 pub use registry::{ModelRegistry, ServeModel};
 pub use server::{DrainReport, ServeConfig, ServeHandle, ServeStats, Server};

@@ -124,6 +124,10 @@ pub struct QueryRequest {
 pub enum Request {
     /// Endpoint-selection query.
     Query(QueryRequest),
+    /// Health/readiness probe: answered inline by the connection handler
+    /// (never queued), so it reflects liveness even when the scheduler is
+    /// saturated.
+    Health,
     /// Admin: drain and stop the server.
     Shutdown,
 }
@@ -142,6 +146,7 @@ impl Request {
                 }
                 line
             }
+            Request::Health => "health".to_string(),
             Request::Shutdown => "shutdown".to_string(),
         };
         format!("{PROTOCOL_VERSION}\n{body}\n").into_bytes()
@@ -156,6 +161,9 @@ impl Request {
         let (head, _rest) = split_versioned(payload)?;
         if head == "shutdown" {
             return Ok(Request::Shutdown);
+        }
+        if head == "health" {
+            return Ok(Request::Health);
         }
         let fields = head
             .strip_prefix("query ")
@@ -260,11 +268,35 @@ pub struct QueryReply {
     pub selection: Vec<usize>,
 }
 
+/// A health-probe answer: a point-in-time view of the server's capacity
+/// to accept work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthReply {
+    /// Whether the server is accepting queries (false while draining).
+    pub ready: bool,
+    /// Requests currently queued for dispatch.
+    pub queue_depth: usize,
+    /// The bounded queue's capacity.
+    pub queue_capacity: usize,
+    /// Number of models in the registry.
+    pub models: usize,
+}
+
 /// A decoded server message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Response {
     /// The selection.
     Ok(QueryReply),
+    /// Load shed: the scheduler queue is full. Distinct from
+    /// [`Response::Err`] so clients can machine-read the backoff hint
+    /// instead of pattern-matching a `busy` message.
+    Overloaded {
+        /// Server's estimate of when capacity will free up; clients
+        /// should back off at least this long before retrying.
+        retry_after_ms: u64,
+    },
+    /// Answer to a [`Request::Health`] probe.
+    Health(HealthReply),
     /// A typed rejection.
     Err {
         /// Rejection category.
@@ -299,6 +331,18 @@ impl Response {
                 )
                 .into_bytes()
             }
+            Response::Overloaded { retry_after_ms } => {
+                format!("{PROTOCOL_VERSION}\noverloaded retry_after_ms={retry_after_ms}\n")
+                    .into_bytes()
+            }
+            Response::Health(h) => format!(
+                "{PROTOCOL_VERSION}\nhealth ready={} queue={} capacity={} models={}\n",
+                u8::from(h.ready),
+                h.queue_depth,
+                h.queue_capacity,
+                h.models
+            )
+            .into_bytes(),
             Response::Err { kind, msg } => {
                 // msg is the whole remainder of the line; newlines stripped
                 // so it cannot forge extra lines.
@@ -314,6 +358,44 @@ impl Response {
     /// A human-readable description of the first violation.
     pub fn decode(payload: &[u8]) -> Result<Self, String> {
         let (head, rest) = split_versioned(payload)?;
+        if let Some(fields) = head.strip_prefix("overloaded ") {
+            let retry_after_ms = fields
+                .split_whitespace()
+                .find_map(|f| f.strip_prefix("retry_after_ms="))
+                .ok_or("overloaded missing retry_after_ms=")?
+                .parse()
+                .map_err(|_| "bad retry_after_ms".to_string())?;
+            return Ok(Response::Overloaded { retry_after_ms });
+        }
+        if let Some(fields) = head.strip_prefix("health ") {
+            let mut ready = None;
+            let mut queue_depth = None;
+            let mut queue_capacity = None;
+            let mut models = None;
+            for field in fields.split_whitespace() {
+                let (key, value) = field
+                    .split_once('=')
+                    .ok_or_else(|| format!("field {field:?} is not key=value"))?;
+                let parsed = || {
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad {key}={value}"))
+                };
+                match key {
+                    "ready" => ready = Some(value == "1"),
+                    "queue" => queue_depth = Some(parsed()?),
+                    "capacity" => queue_capacity = Some(parsed()?),
+                    "models" => models = Some(parsed()?),
+                    _ => {}
+                }
+            }
+            return Ok(Response::Health(HealthReply {
+                ready: ready.ok_or("health missing ready=")?,
+                queue_depth: queue_depth.ok_or("health missing queue=")?,
+                queue_capacity: queue_capacity.ok_or("health missing capacity=")?,
+                models: models.ok_or("health missing models=")?,
+            }));
+        }
         if let Some(fields) = head.strip_prefix("err ") {
             let kind = fields
                 .strip_prefix("kind=")
@@ -429,6 +511,7 @@ mod tests {
                 mode: Mode::Sample(99),
                 deadline_ms: Some(250),
             }),
+            Request::Health,
             Request::Shutdown,
         ] {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
@@ -456,9 +539,34 @@ mod tests {
             }),
             Response::reject(RejectKind::Busy, "queue full (64)"),
             Response::reject(RejectKind::Deadline, ""),
+            Response::Overloaded { retry_after_ms: 12 },
+            Response::Health(HealthReply {
+                ready: true,
+                queue_depth: 3,
+                queue_capacity: 64,
+                models: 2,
+            }),
+            Response::Health(HealthReply {
+                ready: false,
+                queue_depth: 0,
+                queue_capacity: 64,
+                models: 0,
+            }),
         ] {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn overloaded_and_health_reject_malformed_heads() {
+        let payload = format!("{PROTOCOL_VERSION}\noverloaded after=5\n");
+        assert!(Response::decode(payload.as_bytes())
+            .unwrap_err()
+            .contains("retry_after_ms"));
+        let payload = format!("{PROTOCOL_VERSION}\nhealth ready=1 queue=2\n");
+        assert!(Response::decode(payload.as_bytes())
+            .unwrap_err()
+            .contains("capacity"));
     }
 
     #[test]

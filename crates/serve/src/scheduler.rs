@@ -45,11 +45,14 @@ pub(crate) struct Scheduler {
 }
 
 impl Scheduler {
+    /// A queue admitting at most `capacity` undispatched jobs. Capacity 0
+    /// is legal and sheds every submission — the deterministic way to
+    /// exercise (and test) the overload path.
     pub(crate) fn new(capacity: usize) -> Self {
         Self {
             state: Mutex::new(QueueState::default()),
             available: Condvar::new(),
-            capacity: capacity.max(1),
+            capacity,
         }
     }
 

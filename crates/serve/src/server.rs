@@ -15,7 +15,7 @@
 //! request was answered.
 
 use crate::cache::{EnvCache, SelectionCache};
-use crate::protocol::{Mode, QueryReply, QueryRequest, RejectKind, Request, Response};
+use crate::protocol::{HealthReply, Mode, QueryReply, QueryRequest, RejectKind, Request, Response};
 use crate::registry::ModelRegistry;
 use crate::scheduler::{Job, Scheduler};
 use rand::rngs::StdRng;
@@ -47,6 +47,10 @@ pub struct ServeConfig {
     pub selection_cache: usize,
     /// Message-passing fanout cap for environment construction.
     pub fanout_cap: usize,
+    /// How long a response write may block before the connection is
+    /// evicted as a slow client (its response buffer is the bound on
+    /// per-connection memory: one frame, never an unbounded backlog).
+    pub write_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -59,7 +63,19 @@ impl Default for ServeConfig {
             env_cache: 4,
             selection_cache: 64,
             fanout_cap: 24,
+            write_timeout: Duration::from_secs(5),
         }
+    }
+}
+
+impl ServeConfig {
+    /// The backoff hint attached to `Overloaded` sheds: the estimated
+    /// time to drain a full queue through the worker pool, floored at
+    /// 1 ms. Deterministic in the config, so tests can pin it.
+    pub fn shed_retry_after_ms(&self) -> u64 {
+        let per_sweep = (self.workers.max(1) * self.max_batch.max(1)) as u64;
+        let sweeps = (self.queue_capacity as u64).div_ceil(per_sweep).max(1);
+        (sweeps * self.window.as_millis() as u64).max(1)
     }
 }
 
@@ -71,6 +87,9 @@ struct Stats {
     rejected_busy: AtomicU64,
     rejected_shutdown: AtomicU64,
     deadline_expired: AtomicU64,
+    shed: AtomicU64,
+    evicted: AtomicU64,
+    health_probes: AtomicU64,
     batches: Mutex<BTreeMap<usize, u64>>,
 }
 
@@ -88,6 +107,15 @@ pub struct ServeStats {
     pub rejected_shutdown: u64,
     /// Accepted requests whose deadline passed before dispatch.
     pub deadline_expired: u64,
+    /// Submissions shed with a typed `Overloaded` response (a subset of
+    /// `rejected_busy`: every shed is a busy rejection answered with the
+    /// machine-readable backoff hint).
+    pub shed: u64,
+    /// Connections evicted because a response write outlived
+    /// [`ServeConfig::write_timeout`] (slow clients).
+    pub evicted: u64,
+    /// Health probes answered.
+    pub health_probes: u64,
     /// batch size → number of batches dispatched at that size.
     pub batches: BTreeMap<usize, u64>,
 }
@@ -135,6 +163,9 @@ struct Shared {
     stats: Stats,
     draining: AtomicBool,
     recorder: Option<rl_ccd_obs::Recorder>,
+    queue_capacity: usize,
+    shed_retry_after_ms: u64,
+    write_timeout: Duration,
 }
 
 impl std::fmt::Debug for Shared {
@@ -182,6 +213,9 @@ impl Server {
             stats: Stats::default(),
             draining: AtomicBool::new(false),
             recorder: rl_ccd_obs::current(),
+            queue_capacity: config.queue_capacity,
+            shed_retry_after_ms: config.shed_retry_after_ms(),
+            write_timeout: config.write_timeout,
         });
         let workers = (0..config.workers.max(1))
             .map(|w| {
@@ -289,16 +323,21 @@ impl Server {
 
 impl ServeHandle {
     /// Submits a query and blocks for its response. Typed rejections
-    /// (busy, shutting down, deadline) come back as [`Response::Err`],
-    /// never as a panic or a hang.
+    /// (shutting down, deadline) come back as [`Response::Err`] and a
+    /// full queue as [`Response::Overloaded`] — never a panic or a hang.
     pub fn query(&self, request: QueryRequest) -> Response {
         let (tx, rx) = mpsc::channel();
         match self.shared.submit(request, tx) {
-            Err(kind) => Response::reject(kind, rejection_message(kind)),
+            Err(kind) => self.shared.reject_response(kind),
             Ok(()) => rx.recv().unwrap_or_else(|_| {
                 Response::reject(RejectKind::Internal, "worker dropped the reply channel")
             }),
         }
+    }
+
+    /// Answers a health probe from the live server state (never queued).
+    pub fn health(&self) -> HealthReply {
+        self.shared.health_reply()
     }
 
     /// Point-in-time counters.
@@ -348,6 +387,32 @@ impl Shared {
         }
     }
 
+    /// The response for a rejected submission: a full queue becomes the
+    /// typed load-shedding answer with its backoff hint, everything else
+    /// a [`Response::Err`].
+    fn reject_response(&self, kind: RejectKind) -> Response {
+        if kind == RejectKind::Busy {
+            self.stats.shed.fetch_add(1, Ordering::SeqCst);
+            rl_ccd_obs::counter!("serve.shed", 1);
+            return Response::Overloaded {
+                retry_after_ms: self.shed_retry_after_ms,
+            };
+        }
+        Response::reject(kind, rejection_message(kind))
+    }
+
+    /// A point-in-time health reply.
+    fn health_reply(&self) -> HealthReply {
+        self.stats.health_probes.fetch_add(1, Ordering::SeqCst);
+        rl_ccd_obs::counter!("serve.health_probes", 1);
+        HealthReply {
+            ready: !self.draining.load(Ordering::SeqCst),
+            queue_depth: self.scheduler.depth(),
+            queue_capacity: self.queue_capacity,
+            models: self.registry.names().len(),
+        }
+    }
+
     fn snapshot(&self) -> ServeStats {
         ServeStats {
             accepted: self.stats.accepted.load(Ordering::SeqCst),
@@ -355,6 +420,9 @@ impl Shared {
             rejected_busy: self.stats.rejected_busy.load(Ordering::SeqCst),
             rejected_shutdown: self.stats.rejected_shutdown.load(Ordering::SeqCst),
             deadline_expired: self.stats.deadline_expired.load(Ordering::SeqCst),
+            shed: self.stats.shed.load(Ordering::SeqCst),
+            evicted: self.stats.evicted.load(Ordering::SeqCst),
+            health_probes: self.stats.health_probes.load(Ordering::SeqCst),
             batches: self
                 .stats
                 .batches
@@ -503,12 +571,20 @@ fn finish(shared: &Shared, job: &Job, response: Response) {
 }
 
 /// One TCP connection: framed requests in, framed responses out, until
-/// EOF, a fatal stream error, or the server drains.
+/// EOF, a fatal stream error, a slow-client eviction, or the server
+/// drains. Per-connection memory is bounded by construction: one request
+/// frame in flight (capped by the frame limit) and one encoded response
+/// (written before the next request is read).
 fn connection_loop(shared: &Shared, stream: TcpStream) {
     let _obs = shared.recorder.as_ref().map(rl_ccd_obs::attach);
-    // Short read timeout so an idle connection re-checks the drain flag.
+    // Short read timeout so an idle connection re-checks the drain flag;
+    // write timeout so a client that stops draining its socket is
+    // evicted instead of pinning a connection thread forever.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-    let mut reader = stream.try_clone().expect("clone stream");
+    let _ = stream.set_write_timeout(Some(shared.write_timeout));
+    let Ok(mut reader) = stream.try_clone() else {
+        return; // no usable socket pair; nothing was accepted yet
+    };
     let mut writer = stream;
     loop {
         match crate::protocol::read_frame(&mut reader) {
@@ -530,10 +606,11 @@ fn connection_loop(shared: &Shared, stream: TcpStream) {
                         shared.draining.store(true, Ordering::SeqCst);
                         return;
                     }
+                    Ok(Request::Health) => Response::Health(shared.health_reply()),
                     Ok(Request::Query(q)) => {
                         let (tx, rx) = mpsc::channel();
                         match shared.submit(q, tx) {
-                            Err(kind) => Response::reject(kind, rejection_message(kind)),
+                            Err(kind) => shared.reject_response(kind),
                             Ok(()) => rx.recv().unwrap_or_else(|_| {
                                 Response::reject(
                                     RejectKind::Internal,
@@ -543,7 +620,14 @@ fn connection_loop(shared: &Shared, stream: TcpStream) {
                         }
                     }
                 };
-                if crate::protocol::write_frame(&mut writer, &response.encode()).is_err() {
+                if let Err(e) = crate::protocol::write_frame(&mut writer, &response.encode()) {
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) {
+                        shared.stats.evicted.fetch_add(1, Ordering::SeqCst);
+                        rl_ccd_obs::counter!("serve.evicted", 1);
+                    }
                     return;
                 }
                 let _ = writer.flush();
@@ -699,6 +783,45 @@ mod tests {
             "deadline errors still count as answered"
         );
         assert!(report.stats.deadline_expired >= 1);
+    }
+
+    #[test]
+    fn full_queue_sheds_with_typed_overloaded_and_backoff_hint() {
+        // Zero queue capacity: every submission is a shed — the
+        // deterministic way to pin the typed response.
+        let config = ServeConfig {
+            queue_capacity: 0,
+            ..ServeConfig::default()
+        };
+        let hint = config.shed_retry_after_ms();
+        assert!(hint >= 1);
+        let server = Server::start(registry(), config);
+        let handle = server.handle();
+        let r = handle.query(query("default", design("shed", 1), Mode::Greedy));
+        let Response::Overloaded { retry_after_ms } = r else {
+            panic!("expected typed Overloaded, got {r:?}");
+        };
+        assert_eq!(retry_after_ms, hint);
+        let stats = handle.stats();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.rejected_busy, 1, "sheds are busy rejections");
+        let report = server.shutdown();
+        assert_eq!(report.dropped(), 0, "nothing was accepted, nothing owed");
+    }
+
+    #[test]
+    fn health_probe_reflects_readiness_and_drain() {
+        let server = Server::start(registry(), ServeConfig::default());
+        let handle = server.handle();
+        let h = handle.health();
+        assert!(h.ready);
+        assert_eq!(h.queue_capacity, ServeConfig::default().queue_capacity);
+        assert_eq!(h.models, 1);
+        let report = server.shutdown();
+        assert_eq!(report.dropped(), 0);
+        let h = handle.health();
+        assert!(!h.ready, "a draining server is not ready");
+        assert_eq!(handle.stats().health_probes, 2);
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! End-to-end resilience tests for the TCP client against a live server:
+//! silent peers time out instead of hanging, connection resets are
+//! retried transparently, overload sheds with a typed backoff hint, and
+//! health probes answer even while the scheduler is saturated.
+
+use rl_ccd::{RlCcd, RlConfig};
+use rl_ccd_serve::protocol::{DesignKey, Mode, QueryRequest};
+use rl_ccd_serve::{ModelRegistry, Response, ServeClient, ServeConfig, Server};
+use rl_ccd_wire::{NetFaultPlan, RetryPolicy};
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn registry() -> ModelRegistry {
+    let (_, params) = RlCcd::init(RlConfig::fast());
+    let mut reg = ModelRegistry::new();
+    reg.insert_params("default", params, 0.3).expect("insert");
+    reg
+}
+
+fn query(deadline_ms: Option<u64>) -> QueryRequest {
+    QueryRequest {
+        model: "default".into(),
+        design: DesignKey {
+            name: "resil".into(),
+            cells: 360,
+            tech: "7nm".into(),
+            seed: 5,
+        },
+        mode: Mode::Greedy,
+        deadline_ms,
+    }
+}
+
+fn bound_server(config: ServeConfig) -> (Server, std::net::SocketAddr) {
+    let mut server = Server::start(registry(), config);
+    let addr = server.bind("127.0.0.1:0").expect("bind");
+    (server, addr)
+}
+
+#[test]
+fn silent_peer_times_out_instead_of_hanging() {
+    // A listener that accepts and then never speaks: the failure mode
+    // that used to hang the client forever.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let started = Instant::now();
+    let err = client.query(query(Some(300))).expect_err("must time out");
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+        ),
+        "unexpected error: {err:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "deadline budget was not enforced: took {:?}",
+        started.elapsed()
+    );
+    drop(client);
+    let _ = hold.join();
+}
+
+#[test]
+fn connection_reset_is_retried_to_success() {
+    let (server, addr) = bound_server(ServeConfig::default());
+    let plan = Arc::new(NetFaultPlan::none().with_reset(7, 0));
+    let mut client = ServeClient::connect(addr)
+        .expect("connect")
+        .with_retry(RetryPolicy::seeded(1).with_attempts(3))
+        .with_chaos(Arc::clone(&plan), 7);
+    let response = client.query(query(Some(30_000))).expect("query");
+    assert!(matches!(response, Response::Ok(_)), "got {response:?}");
+    assert_eq!(client.retries(), 1, "exactly one re-issue after the reset");
+    assert_eq!(client.reconnects(), 1);
+    assert_eq!(plan.fired(), 1, "the planned reset fired exactly once");
+    let report = server.shutdown();
+    assert_eq!(report.dropped(), 0);
+}
+
+#[test]
+fn overload_shed_is_typed_and_carries_the_configured_hint() {
+    // Capacity 0 sheds every submission deterministically.
+    let config = ServeConfig {
+        queue_capacity: 0,
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let hint = config.shed_retry_after_ms();
+    let (server, addr) = bound_server(config);
+    let mut client = ServeClient::connect(addr)
+        .expect("connect")
+        .with_retry(RetryPolicy::seeded(2).with_attempts(2));
+    let response = client.query(query(Some(30_000))).expect("query");
+    let Response::Overloaded { retry_after_ms } = response else {
+        panic!("expected typed shed, got {response:?}");
+    };
+    assert_eq!(retry_after_ms, hint);
+    assert_eq!(client.retries(), 1, "one overload retry before giving up");
+    assert_eq!(client.reconnects(), 0, "overload never tears the socket");
+    let stats = server.stats();
+    assert_eq!(stats.shed, 2, "both attempts were shed");
+    server.shutdown();
+}
+
+#[test]
+fn health_probe_answers_over_tcp() {
+    let (server, addr) = bound_server(ServeConfig::default());
+    let mut client = ServeClient::connect(addr).expect("connect");
+    let health = client.health().expect("probe");
+    assert!(health.ready);
+    assert_eq!(health.models, 1);
+    assert_eq!(health.queue_depth, 0);
+    server.shutdown();
+}

@@ -1,0 +1,628 @@
+//! Seeded, deterministic network chaos: a [`ChaosTransport`] wrapper over
+//! the framed stream that injects latency, short writes, torn frames,
+//! connection resets, and stalls according to a [`NetFaultPlan`].
+//!
+//! The plan addresses injections by **(connection id, frame index)**: the
+//! connection id is assigned by whoever owns the transport (the dist
+//! coordinator uses the worker index; the serve client uses a caller-chosen
+//! id), and the frame index counts every frame operation — read or write —
+//! performed on that transport since it was created. Each injection fires
+//! **exactly once** (consumption is tracked in the shared plan), so a
+//! retried operation after a reconnect observes a healthy wire and the
+//! overall run stays deterministic.
+//!
+//! When no plan is attached and no one-shot injection is queued, every
+//! frame operation is a single `Option` branch away from the raw framing
+//! call — the same zero-cost-when-detached discipline as `crates/obs`,
+//! except the guard is a per-transport `Option<Arc<..>>` rather than a
+//! global relaxed atomic: chaos must stay scoped to the transport under
+//! test, or plans would leak across connections in a parallel `cargo test`
+//! process.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::{read_frame_limited, write_frame_limited, MAX_FRAME_LEN};
+
+/// One injectable transport fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Sleep this many milliseconds, then perform the frame op normally
+    /// (added latency; the bytes are unharmed).
+    Delay(u64),
+    /// Perform the frame op in flushed segments of at most this many bytes
+    /// (adversarial segmentation; the bytes are unharmed).
+    Segmented(usize),
+    /// Tear the frame: on write, emit the length prefix plus only half the
+    /// payload, then fail with `BrokenPipe`; on read, consume and discard
+    /// the incoming frame, then fail with `UnexpectedEof`. The transport is
+    /// poisoned afterwards.
+    Torn,
+    /// Fail immediately with `ConnectionReset` and poison the transport.
+    Reset,
+    /// Go silent for this many milliseconds, then fail with `TimedOut` and
+    /// poison the transport — the bounded stand-in for an indefinite stall
+    /// (a peer's deadline always fires first; the cap only keeps tests
+    /// finite).
+    Stall(u64),
+}
+
+impl fmt::Display for NetFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetFault::Delay(ms) => write!(f, "delay {ms}ms"),
+            NetFault::Segmented(n) => write!(f, "segmented {n}B"),
+            NetFault::Torn => write!(f, "torn frame"),
+            NetFault::Reset => write!(f, "connection reset"),
+            NetFault::Stall(ms) => write!(f, "stall {ms}ms"),
+        }
+    }
+}
+
+/// One planned injection at a (connection, frame) coordinate.
+#[derive(Debug)]
+struct Injection {
+    conn: u64,
+    frame: u64,
+    fault: NetFault,
+    fired: AtomicBool,
+}
+
+/// A deterministic schedule of transport faults keyed by
+/// (connection id, frame index). Build one with the `with_*` combinators
+/// or parse the CLI spec format with [`NetFaultPlan::parse`]; attach it to
+/// transports via [`ChaosTransport::with_plan`] (shared through an `Arc`
+/// so one-shot consumption is visible across connections).
+#[derive(Debug, Default)]
+pub struct NetFaultPlan {
+    injections: Vec<Injection>,
+}
+
+impl NetFaultPlan {
+    /// An empty plan: attaches cleanly, injects nothing.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    fn push(mut self, conn: u64, frame: u64, fault: NetFault) -> Self {
+        self.injections.push(Injection {
+            conn,
+            frame,
+            fault,
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Delays frame `frame` on connection `conn` by `ms` milliseconds.
+    #[must_use]
+    pub fn with_delay(self, conn: u64, frame: u64, ms: u64) -> Self {
+        self.push(conn, frame, NetFault::Delay(ms))
+    }
+
+    /// Performs frame `frame` on connection `conn` in flushed segments of
+    /// at most `max_seg` bytes.
+    #[must_use]
+    pub fn with_segmented(self, conn: u64, frame: u64, max_seg: usize) -> Self {
+        self.push(conn, frame, NetFault::Segmented(max_seg.max(1)))
+    }
+
+    /// Tears frame `frame` on connection `conn`.
+    #[must_use]
+    pub fn with_torn(self, conn: u64, frame: u64) -> Self {
+        self.push(conn, frame, NetFault::Torn)
+    }
+
+    /// Resets connection `conn` at frame `frame`.
+    #[must_use]
+    pub fn with_reset(self, conn: u64, frame: u64) -> Self {
+        self.push(conn, frame, NetFault::Reset)
+    }
+
+    /// Stalls connection `conn` at frame `frame` for `ms` milliseconds
+    /// before failing with `TimedOut`.
+    #[must_use]
+    pub fn with_stall(self, conn: u64, frame: u64, ms: u64) -> Self {
+        self.push(conn, frame, NetFault::Stall(ms))
+    }
+
+    /// True when the plan schedules no injections.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.injections.is_empty()
+    }
+
+    /// Number of scheduled injections (fired or not).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.injections.len()
+    }
+
+    /// Number of injections that have fired so far.
+    #[must_use]
+    pub fn fired(&self) -> usize {
+        self.injections
+            .iter()
+            .filter(|i| i.fired.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Consumes (at most once) the injection scheduled at `(conn, frame)`.
+    fn take(&self, conn: u64, frame: u64) -> Option<NetFault> {
+        for inj in &self.injections {
+            if inj.conn == conn
+                && inj.frame == frame
+                && inj
+                    .fired
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                return Some(inj.fault);
+            }
+        }
+        None
+    }
+
+    /// Parses the CLI plan spec: comma-separated tokens of
+    /// `delay:CONN:FRAME:MS`, `seg:CONN:FRAME:BYTES`, `torn:CONN:FRAME`,
+    /// `reset:CONN:FRAME`, `stall:CONN:FRAME:MS`. An empty spec is an
+    /// empty plan.
+    ///
+    /// # Errors
+    /// A human-readable description of the first malformed token.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = Self::none();
+        for token in spec.split(',').filter(|t| !t.trim().is_empty()) {
+            let parts: Vec<&str> = token.trim().split(':').collect();
+            let num = |i: usize| -> Result<u64, String> {
+                parts
+                    .get(i)
+                    .ok_or_else(|| format!("chaos token {token:?} is missing field {i}"))?
+                    .parse::<u64>()
+                    .map_err(|_| format!("chaos token {token:?}: field {i} is not a number"))
+            };
+            let arity = |n: usize| -> Result<(), String> {
+                if parts.len() == n {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "chaos token {token:?} has {} fields, expected {n}",
+                        parts.len()
+                    ))
+                }
+            };
+            plan = match parts[0] {
+                "delay" => {
+                    arity(4)?;
+                    plan.with_delay(num(1)?, num(2)?, num(3)?)
+                }
+                "seg" => {
+                    arity(4)?;
+                    plan.with_segmented(num(1)?, num(2)?, num(3)? as usize)
+                }
+                "torn" => {
+                    arity(3)?;
+                    plan.with_torn(num(1)?, num(2)?)
+                }
+                "reset" => {
+                    arity(3)?;
+                    plan.with_reset(num(1)?, num(2)?)
+                }
+                "stall" => {
+                    arity(4)?;
+                    plan.with_stall(num(1)?, num(2)?, num(3)?)
+                }
+                other => {
+                    return Err(format!(
+                        "unknown chaos fault {other:?} (want delay/seg/torn/reset/stall)"
+                    ))
+                }
+            };
+        }
+        Ok(plan)
+    }
+}
+
+/// A framed-stream wrapper that injects the faults a [`NetFaultPlan`]
+/// schedules for its connection id, plus any one-shot faults queued with
+/// [`ChaosTransport::inject_once`]. With no plan attached and no pending
+/// injection, frame operations delegate straight to the raw framing
+/// functions.
+#[derive(Debug)]
+pub struct ChaosTransport<S> {
+    inner: S,
+    plan: Option<Arc<NetFaultPlan>>,
+    pending: VecDeque<NetFault>,
+    conn: u64,
+    frame: u64,
+    poisoned: bool,
+}
+
+impl<S> ChaosTransport<S> {
+    /// Wraps a stream with no chaos attached (zero-cost passthrough).
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            plan: None,
+            pending: VecDeque::new(),
+            conn: 0,
+            frame: 0,
+            poisoned: false,
+        }
+    }
+
+    /// Attaches a shared fault plan, addressing this transport as
+    /// connection `conn`.
+    #[must_use]
+    pub fn with_plan(mut self, plan: Arc<NetFaultPlan>, conn: u64) -> Self {
+        self.plan = Some(plan);
+        self.conn = conn;
+        self
+    }
+
+    /// Starts the frame counter at `frame` instead of 0 — a reconnected
+    /// transport resumes the old connection's frame numbering so plan
+    /// coordinates stay stable across reconnects.
+    #[must_use]
+    pub fn resume_at(mut self, frame: u64) -> Self {
+        self.frame = frame;
+        self
+    }
+
+    /// Queues a fault to fire on the next frame operation, ahead of any
+    /// plan schedule. Used by the coordinator to translate training-level
+    /// `FaultPlan` net faults (keyed by iteration and worker) into
+    /// transport injections.
+    pub fn inject_once(&mut self, fault: NetFault) {
+        self.pending.push_back(fault);
+    }
+
+    /// The frame index the next frame operation will carry.
+    #[must_use]
+    pub fn frame_index(&self) -> u64 {
+        self.frame
+    }
+
+    /// A shared reference to the wrapped stream (e.g. to set socket
+    /// timeouts on a `TcpStream`).
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    /// A mutable reference to the wrapped stream.
+    pub fn get_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
+    /// Unwraps the transport, discarding chaos state.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Consumes the fault (if any) scheduled for the current frame op and
+    /// advances the frame counter.
+    fn next_fault(&mut self) -> Option<NetFault> {
+        let frame = self.frame;
+        self.frame += 1;
+        if let Some(fault) = self.pending.pop_front() {
+            return Some(fault);
+        }
+        self.plan.as_ref().and_then(|p| p.take(self.conn, frame))
+    }
+
+    fn poisoned_err(&self) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            "chaos: connection poisoned by an earlier injected fault",
+        )
+    }
+}
+
+impl<S: Read + Write> ChaosTransport<S> {
+    /// Writes one frame under `max_len`, applying any scheduled fault.
+    ///
+    /// # Errors
+    /// The injected fault's error (`BrokenPipe` for a torn frame,
+    /// `ConnectionReset` for a reset, `TimedOut` for a stall), or whatever
+    /// the underlying framed write reports.
+    pub fn write_frame_limited(&mut self, payload: &[u8], max_len: usize) -> io::Result<()> {
+        if self.poisoned {
+            return Err(self.poisoned_err());
+        }
+        let Some(fault) = self.next_fault() else {
+            return write_frame_limited(&mut self.inner, payload, max_len);
+        };
+        match fault {
+            NetFault::Delay(ms) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                write_frame_limited(&mut self.inner, payload, max_len)
+            }
+            NetFault::Segmented(max_seg) => {
+                if payload.len() > max_len {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!(
+                            "frame of {} bytes exceeds the {max_len}-byte cap",
+                            payload.len()
+                        ),
+                    ));
+                }
+                let mut framed = Vec::with_capacity(4 + payload.len());
+                framed.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+                framed.extend_from_slice(payload);
+                for seg in framed.chunks(max_seg) {
+                    self.inner.write_all(seg)?;
+                    self.inner.flush()?;
+                }
+                Ok(())
+            }
+            NetFault::Torn => {
+                self.poisoned = true;
+                let torn = payload.len() / 2;
+                let _ = self
+                    .inner
+                    .write_all(&(payload.len() as u32).to_be_bytes())
+                    .and_then(|()| self.inner.write_all(&payload[..torn]))
+                    .and_then(|()| self.inner.flush());
+                Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    format!(
+                        "chaos: frame torn after {torn} of {} payload bytes",
+                        payload.len()
+                    ),
+                ))
+            }
+            NetFault::Reset => {
+                self.poisoned = true;
+                Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "chaos: connection reset",
+                ))
+            }
+            NetFault::Stall(ms) => {
+                self.poisoned = true;
+                std::thread::sleep(Duration::from_millis(ms));
+                Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("chaos: peer stalled for {ms}ms"),
+                ))
+            }
+        }
+    }
+
+    /// Reads one frame under `max_len`, applying any scheduled fault.
+    ///
+    /// # Errors
+    /// The injected fault's error (`UnexpectedEof` for a torn frame,
+    /// `ConnectionReset` for a reset, `TimedOut` for a stall), or whatever
+    /// the underlying framed read reports.
+    pub fn read_frame_limited(&mut self, max_len: usize) -> io::Result<Vec<u8>> {
+        if self.poisoned {
+            return Err(self.poisoned_err());
+        }
+        let Some(fault) = self.next_fault() else {
+            return read_frame_limited(&mut self.inner, max_len);
+        };
+        match fault {
+            NetFault::Delay(ms) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                read_frame_limited(&mut self.inner, max_len)
+            }
+            NetFault::Segmented(max_seg) => {
+                let mut segmented = SegmentedReader {
+                    inner: &mut self.inner,
+                    max_seg,
+                };
+                read_frame_limited(&mut segmented, max_len)
+            }
+            NetFault::Torn => {
+                self.poisoned = true;
+                // Consume the real frame so the tear loses it, as a tear
+                // mid-flight would.
+                let _ = read_frame_limited(&mut self.inner, max_len);
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "chaos: incoming frame torn",
+                ))
+            }
+            NetFault::Reset => {
+                self.poisoned = true;
+                Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "chaos: connection reset",
+                ))
+            }
+            NetFault::Stall(ms) => {
+                self.poisoned = true;
+                std::thread::sleep(Duration::from_millis(ms));
+                Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("chaos: peer stalled for {ms}ms"),
+                ))
+            }
+        }
+    }
+
+    /// Writes one frame under the default [`MAX_FRAME_LEN`] cap.
+    ///
+    /// # Errors
+    /// See [`ChaosTransport::write_frame_limited`].
+    pub fn write_frame(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.write_frame_limited(payload, MAX_FRAME_LEN)
+    }
+
+    /// Reads one frame under the default [`MAX_FRAME_LEN`] cap.
+    ///
+    /// # Errors
+    /// See [`ChaosTransport::read_frame_limited`].
+    pub fn read_frame(&mut self) -> io::Result<Vec<u8>> {
+        self.read_frame_limited(MAX_FRAME_LEN)
+    }
+}
+
+/// A reader that hands back at most `max_seg` bytes per call — the read
+/// half of adversarial segmentation.
+struct SegmentedReader<'a, R> {
+    inner: &'a mut R,
+    max_seg: usize,
+}
+
+impl<R: Read> Read for SegmentedReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = buf.len().min(self.max_seg.max(1));
+        self.inner.read(&mut buf[..n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An in-memory stream: reads from `input`, writes to `output`.
+    struct Duplex {
+        input: io::Cursor<Vec<u8>>,
+        output: Vec<u8>,
+    }
+
+    impl Duplex {
+        fn with_frames(frames: &[&[u8]]) -> Self {
+            let mut input = Vec::new();
+            for f in frames {
+                crate::write_frame(&mut input, f).unwrap();
+            }
+            Duplex {
+                input: io::Cursor::new(input),
+                output: Vec::new(),
+            }
+        }
+    }
+
+    impl Read for Duplex {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.input.read(buf)
+        }
+    }
+
+    impl Write for Duplex {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.output.write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn passthrough_without_plan_is_bit_identical() {
+        let mut t = ChaosTransport::new(Duplex::with_frames(&[b"reply"]));
+        t.write_frame(b"request").unwrap();
+        assert_eq!(t.read_frame().unwrap(), b"reply");
+        let mut expect = Vec::new();
+        crate::write_frame(&mut expect, b"request").unwrap();
+        assert_eq!(t.get_ref().output, expect);
+        assert_eq!(t.frame_index(), 2);
+    }
+
+    #[test]
+    fn delay_and_segmented_leave_bytes_unharmed() {
+        let plan = Arc::new(
+            NetFaultPlan::none()
+                .with_delay(3, 0, 1)
+                .with_segmented(3, 1, 3),
+        );
+        let mut t = ChaosTransport::new(Duplex::with_frames(&[])).with_plan(Arc::clone(&plan), 3);
+        t.write_frame(b"abc").unwrap();
+        t.write_frame(b"defghij").unwrap();
+        let mut expect = Vec::new();
+        crate::write_frame(&mut expect, b"abc").unwrap();
+        crate::write_frame(&mut expect, b"defghij").unwrap();
+        assert_eq!(t.get_ref().output, expect);
+        assert_eq!(plan.fired(), 2);
+    }
+
+    #[test]
+    fn segmented_read_decodes_identically() {
+        let plan = Arc::new(NetFaultPlan::none().with_segmented(0, 0, 2));
+        let mut t =
+            ChaosTransport::new(Duplex::with_frames(&[b"chunked payload"])).with_plan(plan, 0);
+        assert_eq!(t.read_frame().unwrap(), b"chunked payload");
+    }
+
+    #[test]
+    fn reset_fires_once_and_poisons() {
+        let plan = Arc::new(NetFaultPlan::none().with_reset(0, 1));
+        let mut t = ChaosTransport::new(Duplex::with_frames(&[b"ok"])).with_plan(plan, 0);
+        assert_eq!(t.read_frame().unwrap(), b"ok");
+        let err = t.write_frame(b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        // Poisoned: every later op fails too.
+        let err = t.write_frame(b"y").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        assert!(err.to_string().contains("poisoned"), "{err}");
+    }
+
+    #[test]
+    fn torn_write_emits_a_genuinely_torn_frame() {
+        let plan = Arc::new(NetFaultPlan::none().with_torn(7, 0));
+        let mut t = ChaosTransport::new(Duplex::with_frames(&[])).with_plan(plan, 7);
+        let err = t.write_frame(b"eightfold").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        // A peer decoding the emitted bytes sees a torn frame.
+        let out = t.into_inner().output;
+        let err = crate::read_frame(&mut &out[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn stall_times_out_after_its_bound() {
+        let plan = Arc::new(NetFaultPlan::none().with_stall(0, 0, 5));
+        let mut t = ChaosTransport::new(Duplex::with_frames(&[b"never seen"])).with_plan(plan, 0);
+        let err = t.read_frame().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn inject_once_preempts_the_plan_and_fires_once() {
+        let mut t = ChaosTransport::new(Duplex::with_frames(&[b"a", b"b"]));
+        t.inject_once(NetFault::Delay(1));
+        assert_eq!(t.read_frame().unwrap(), b"a");
+        assert_eq!(t.read_frame().unwrap(), b"b");
+    }
+
+    #[test]
+    fn resume_at_keeps_plan_coordinates_stable_across_reconnects() {
+        let plan = Arc::new(NetFaultPlan::none().with_reset(0, 1).with_delay(0, 2, 1));
+        let mut t = ChaosTransport::new(Duplex::with_frames(&[])).with_plan(Arc::clone(&plan), 0);
+        t.write_frame(b"first").unwrap();
+        assert!(t.write_frame(b"second").is_err(), "reset at frame 1");
+        // Reconnect: resume numbering at the next frame; the delay at
+        // frame 2 still fires, the consumed reset does not re-fire.
+        let mut t2 = ChaosTransport::new(Duplex::with_frames(&[]))
+            .with_plan(Arc::clone(&plan), 0)
+            .resume_at(t.frame_index());
+        t2.write_frame(b"second, again").unwrap();
+        assert_eq!(plan.fired(), 2);
+    }
+
+    #[test]
+    fn plan_spec_parses_and_rejects() {
+        let plan = NetFaultPlan::parse("delay:0:2:50, reset:1:3,stall:0:4:200,torn:1:5,seg:0:6:3")
+            .unwrap();
+        assert_eq!(plan.injections.len(), 5);
+        assert!(NetFaultPlan::parse("").unwrap().is_empty());
+        assert!(NetFaultPlan::parse("delay:0:2")
+            .unwrap_err()
+            .contains("fields"));
+        assert!(NetFaultPlan::parse("melt:0:1")
+            .unwrap_err()
+            .contains("unknown"));
+        assert!(NetFaultPlan::parse("delay:x:2:3")
+            .unwrap_err()
+            .contains("number"));
+    }
+}

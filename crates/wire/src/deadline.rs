@@ -1,0 +1,166 @@
+//! Deadline budgets: a remaining-time budget that a request carries across
+//! hops and that converts into socket read/write timeouts at each blocking
+//! boundary.
+//!
+//! A [`DeadlineBudget`] is created once at the edge (CLI flag, request
+//! field) and consulted before every blocking operation: [`arm`] clamps
+//! the socket's read **and** write timeouts to the time left, and
+//! [`remaining_ms`] re-encodes the shrunken budget for the next hop. An
+//! exhausted budget fails fast with `TimedOut` instead of issuing a
+//! blocking call that can no longer finish in time.
+//!
+//! [`arm`]: DeadlineBudget::arm
+//! [`remaining_ms`]: DeadlineBudget::remaining_ms
+
+use std::io;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Floor for armed socket timeouts: `set_read_timeout(Some(0))` is an
+/// error, and sub-millisecond timeouts are scheduler noise.
+const MIN_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// A remaining-time budget, or unbounded when the caller set no deadline.
+#[derive(Debug, Clone, Copy)]
+pub struct DeadlineBudget {
+    deadline: Option<Instant>,
+}
+
+impl DeadlineBudget {
+    /// No deadline: every blocking call may take as long as it takes.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        DeadlineBudget { deadline: None }
+    }
+
+    /// A budget of `timeout` from now; `None` is unbounded.
+    #[must_use]
+    pub fn new(timeout: Option<Duration>) -> Self {
+        DeadlineBudget {
+            deadline: timeout.map(|t| Instant::now() + t),
+        }
+    }
+
+    /// A budget of `ms` milliseconds from now.
+    #[must_use]
+    pub fn from_ms(ms: u64) -> Self {
+        Self::new(Some(Duration::from_millis(ms)))
+    }
+
+    /// True when the budget exists and is spent.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        matches!(self.deadline, Some(d) if Instant::now() >= d)
+    }
+
+    /// Time left: `Ok(None)` when unbounded, `Err(TimedOut)` when spent.
+    ///
+    /// # Errors
+    /// `TimedOut` when the budget is exhausted.
+    pub fn remaining(&self) -> io::Result<Option<Duration>> {
+        match self.deadline {
+            None => Ok(None),
+            Some(d) => {
+                let now = Instant::now();
+                if now >= d {
+                    Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "deadline budget exhausted",
+                    ))
+                } else {
+                    Ok(Some((d - now).max(MIN_TIMEOUT)))
+                }
+            }
+        }
+    }
+
+    /// Milliseconds left (rounded up, at least 1) for re-encoding the
+    /// budget onto the next hop; `Ok(None)` when unbounded.
+    ///
+    /// # Errors
+    /// `TimedOut` when the budget is exhausted.
+    pub fn remaining_ms(&self) -> io::Result<Option<u64>> {
+        Ok(self.remaining()?.map(|d| {
+            (d.as_millis() as u64)
+                .saturating_add(u64::from(d.subsec_nanos() % 1_000_000 != 0))
+                .max(1)
+        }))
+    }
+
+    /// Clamps the socket's read and write timeouts to the time left, so no
+    /// blocking call on `stream` can outlive the budget. Unbounded budgets
+    /// apply `fallback` instead (pass `None` to leave the socket blocking).
+    ///
+    /// # Errors
+    /// `TimedOut` when the budget is exhausted; otherwise any socket
+    /// error from setting the timeouts.
+    pub fn arm(&self, stream: &TcpStream, fallback: Option<Duration>) -> io::Result<()> {
+        let timeout = match self.remaining()? {
+            Some(left) => Some(match fallback {
+                Some(f) => left.min(f).max(MIN_TIMEOUT),
+                None => left,
+            }),
+            None => fallback,
+        };
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_budget_never_expires() {
+        let b = DeadlineBudget::unbounded();
+        assert!(!b.expired());
+        assert_eq!(b.remaining().unwrap(), None);
+        assert_eq!(b.remaining_ms().unwrap(), None);
+    }
+
+    #[test]
+    fn budget_counts_down_and_expires() {
+        let b = DeadlineBudget::from_ms(50);
+        let left = b.remaining().unwrap().expect("bounded");
+        assert!(left <= Duration::from_millis(50));
+        let ms = b.remaining_ms().unwrap().expect("bounded");
+        assert!((1..=50).contains(&ms), "{ms}");
+        let spent = DeadlineBudget::new(Some(Duration::ZERO));
+        assert!(spent.expired());
+        assert_eq!(
+            spent.remaining().unwrap_err().kind(),
+            io::ErrorKind::TimedOut
+        );
+        assert_eq!(
+            spent.remaining_ms().unwrap_err().kind(),
+            io::ErrorKind::TimedOut
+        );
+    }
+
+    #[test]
+    fn arm_clamps_socket_timeouts_to_the_budget() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        DeadlineBudget::from_ms(40)
+            .arm(&stream, Some(Duration::from_secs(10)))
+            .unwrap();
+        let rt = stream.read_timeout().unwrap().expect("read timeout set");
+        assert!(rt <= Duration::from_millis(40) && rt >= MIN_TIMEOUT);
+        let wt = stream.write_timeout().unwrap().expect("write timeout set");
+        assert!(wt <= Duration::from_millis(40));
+        // Unbounded budget falls back to the caller's default (the kernel
+        // may round the stored timeout to its own clock granularity).
+        DeadlineBudget::unbounded()
+            .arm(&stream, Some(Duration::from_millis(7)))
+            .unwrap();
+        let rt = stream.read_timeout().unwrap().expect("fallback set");
+        assert!(
+            rt >= Duration::from_millis(7) && rt <= Duration::from_millis(10),
+            "{rt:?}"
+        );
+        // Spent budget refuses to arm at all.
+        assert!(DeadlineBudget::from_ms(0).arm(&stream, None).is_err());
+    }
+}

@@ -23,9 +23,26 @@
 //! is the message head with `key=value` fields; the remaining lines are
 //! the message body. Readers ignore unknown keys, so fields can be added
 //! without a version bump.
+//!
+//! # Failure machinery
+//!
+//! Three companion modules pin the transport's behavior under a hostile
+//! network: [`chaos`] (a deterministic fault-injecting stream wrapper
+//! driven by a [`NetFaultPlan`]), [`retry`] (seeded
+//! exponential-backoff-with-jitter policies), and [`deadline`]
+//! (remaining-budget deadlines that convert into socket timeouts at every
+//! blocking boundary).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+pub mod chaos;
+pub mod deadline;
+pub mod retry;
+
+pub use chaos::{ChaosTransport, NetFault, NetFaultPlan};
+pub use deadline::DeadlineBudget;
+pub use retry::RetryPolicy;
 
 use std::io::{self, Read, Write};
 

@@ -1,0 +1,153 @@
+//! Retry policy with seeded, deterministic exponential backoff + jitter.
+//!
+//! Backoff grows geometrically from [`RetryPolicy::base`] and is capped at
+//! [`RetryPolicy::max_backoff`]. Jitter is **deterministic**: instead of
+//! sampling a thread-local RNG, the jitter factor is derived by hashing
+//! `(seed, key, attempt)` with FNV-1a, so a given policy produces the same
+//! backoff schedule on every run — tests can pin wall-clock behavior, and
+//! distinct callers (distinct `key`s) still decorrelate their retries.
+
+use std::time::Duration;
+
+/// How a client retries a failed network operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Geometric growth factor between retries.
+    pub factor: f64,
+    /// Upper bound on any single backoff.
+    pub max_backoff: Duration,
+    /// Fraction of the backoff randomized by jitter, in `[0, 1]`: the
+    /// sleep is scaled into `[1 - jitter, 1]` of the nominal value.
+    pub jitter: f64,
+    /// Seed for the deterministic jitter hash.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(25),
+            factor: 2.0,
+            max_backoff: Duration::from_secs(1),
+            jitter: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: fail on the first error.
+    #[must_use]
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The default policy re-seeded — same shape, decorrelated jitter.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        RetryPolicy {
+            seed,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The default policy with a different attempt budget.
+    #[must_use]
+    pub fn with_attempts(self, max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..self
+        }
+    }
+
+    /// Number of retries after the first attempt.
+    #[must_use]
+    pub fn retries(&self) -> u32 {
+        self.max_attempts.saturating_sub(1)
+    }
+
+    /// The backoff to sleep before retry `attempt` (1-based: attempt 1 is
+    /// the first retry) of the operation identified by `key`. Pure
+    /// function of `(policy, key, attempt)`.
+    #[must_use]
+    pub fn backoff(&self, key: u64, attempt: u32) -> Duration {
+        let nominal = self.base.as_secs_f64() * self.factor.powi(attempt.saturating_sub(1) as i32);
+        let nominal = nominal.min(self.max_backoff.as_secs_f64());
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        // Hash (seed, key, attempt) to a unit float in [0, 1).
+        let h = fnv1a(&[self.seed, key, u64::from(attempt)]);
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let scale = 1.0 - jitter * unit;
+        Duration::from_secs_f64(nominal * scale)
+    }
+}
+
+/// FNV-1a over a word sequence, mixing each u64 byte-wise.
+fn fnv1a(words: &[u64]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_grows() {
+        let p = RetryPolicy::seeded(42);
+        let a = p.backoff(7, 1);
+        assert_eq!(a, p.backoff(7, 1), "same inputs, same backoff");
+        // Nominal values double; jitter only shrinks within [1-j, 1], so
+        // attempt 3's floor exceeds attempt 1's ceiling for jitter <= 0.5.
+        assert!(p.backoff(7, 3) > p.backoff(7, 1));
+        // Distinct keys decorrelate.
+        assert_ne!(p.backoff(7, 1), p.backoff(8, 1));
+        // Distinct seeds decorrelate.
+        assert_ne!(
+            RetryPolicy::seeded(1).backoff(7, 1),
+            RetryPolicy::seeded(2).backoff(7, 1)
+        );
+    }
+
+    #[test]
+    fn backoff_respects_cap_and_jitter_band() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base: Duration::from_millis(100),
+            factor: 10.0,
+            max_backoff: Duration::from_millis(250),
+            jitter: 0.5,
+            seed: 3,
+        };
+        for attempt in 1..10 {
+            let b = p.backoff(0, attempt);
+            assert!(b <= p.max_backoff, "attempt {attempt}: {b:?} over cap");
+            let nominal = (0.1 * 10f64.powi(attempt as i32 - 1)).min(0.25);
+            assert!(
+                b.as_secs_f64() >= nominal * 0.5 - 1e-9,
+                "attempt {attempt}: {b:?} under the jitter floor"
+            );
+        }
+    }
+
+    #[test]
+    fn none_never_retries() {
+        assert_eq!(RetryPolicy::none().retries(), 0);
+        assert_eq!(RetryPolicy::default().with_attempts(0).max_attempts, 1);
+        assert_eq!(RetryPolicy::default().retries(), 2);
+    }
+}

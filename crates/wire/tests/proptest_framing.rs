@@ -1,0 +1,181 @@
+//! Property tests: the framing layer under adversarial segmentation.
+//!
+//! A hostile (or merely congested) network may deliver a frame stream in
+//! arbitrarily small pieces and accept writes in arbitrarily small
+//! pieces. These properties pin that:
+//!
+//! 1. any short-read split of a valid frame stream decodes to exactly the
+//!    frames that were written, in order;
+//! 2. any short-write split produces exactly the bytes a straight write
+//!    produces;
+//! 3. truncating a stream at any interior byte yields `UnexpectedEof`,
+//!    never a misparse;
+//! 4. oversized frames are rejected with the offending size in the error
+//!    message, on both the write and read side.
+//!
+//! Cases are generated from a seeded RNG rather than nested strategies:
+//! one `u64` pins the whole case, which keeps failures reproducible under
+//! the vendored proptest (no shrinking).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rl_ccd_wire::{read_frame_limited, write_frame_limited, MAX_FRAME_LEN};
+use std::io::{self, Read, Write};
+
+/// A reader that yields at most a pseudorandom, seeded number of bytes per
+/// call — every call a differently-sized short read.
+struct ShreddingReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    rng: StdRng,
+    max_chunk: usize,
+}
+
+impl Read for ShreddingReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let chunk = self.rng.gen_range(1usize..=self.max_chunk);
+        let n = chunk.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// A writer that accepts at most a pseudorandom, seeded number of bytes
+/// per call — every call a differently-sized short write.
+struct ShreddingWriter {
+    data: Vec<u8>,
+    rng: StdRng,
+    max_chunk: usize,
+    flushes: usize,
+}
+
+impl Write for ShreddingWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let chunk = self.rng.gen_range(1usize..=self.max_chunk);
+        let n = chunk.min(buf.len());
+        self.data.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.flushes += 1;
+        Ok(())
+    }
+}
+
+fn random_frames(rng: &mut StdRng) -> Vec<Vec<u8>> {
+    let count = rng.gen_range(1usize..8);
+    (0..count)
+        .map(|_| {
+            let len = match rng.gen_range(0u32..4) {
+                0 => 0,
+                1 => rng.gen_range(1usize..8),
+                2 => rng.gen_range(8usize..300),
+                _ => rng.gen_range(300usize..5000),
+            };
+            (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect()
+        })
+        .collect()
+}
+
+proptest! {
+    /// Short reads of any segmentation decode the stream identically.
+    #[test]
+    fn short_read_splits_decode_identically(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frames = random_frames(&mut rng);
+        let mut stream = Vec::new();
+        for f in &frames {
+            write_frame_limited(&mut stream, f, MAX_FRAME_LEN).unwrap();
+        }
+        let mut reader = ShreddingReader {
+            data: &stream,
+            pos: 0,
+            rng: StdRng::seed_from_u64(seed ^ 0x5eed),
+            max_chunk: rng.gen_range(1usize..17),
+        };
+        for (i, expect) in frames.iter().enumerate() {
+            let got = read_frame_limited(&mut reader, MAX_FRAME_LEN)
+                .unwrap_or_else(|e| panic!("frame {i} under segmentation: {e}"));
+            prop_assert_eq!(&got, expect, "frame {} differs", i);
+        }
+        // Stream exhausted exactly at the last frame boundary.
+        prop_assert!(read_frame_limited(&mut reader, MAX_FRAME_LEN).is_err());
+    }
+
+    /// Short writes of any segmentation produce byte-identical streams.
+    #[test]
+    fn short_write_splits_encode_identically(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frames = random_frames(&mut rng);
+        let mut straight = Vec::new();
+        let mut shredded = ShreddingWriter {
+            data: Vec::new(),
+            rng: StdRng::seed_from_u64(seed ^ 0xdead_beef),
+            max_chunk: rng.gen_range(1usize..17),
+            flushes: 0,
+        };
+        for f in &frames {
+            write_frame_limited(&mut straight, f, MAX_FRAME_LEN).unwrap();
+            write_frame_limited(&mut shredded, f, MAX_FRAME_LEN).unwrap();
+        }
+        prop_assert_eq!(&shredded.data, &straight);
+        prop_assert_eq!(shredded.flushes, frames.len(), "one flush per frame");
+    }
+
+    /// Truncating a valid stream at any interior byte is an
+    /// `UnexpectedEof`, never a misparse into a different frame.
+    #[test]
+    fn truncation_is_always_unexpected_eof(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frames = random_frames(&mut rng);
+        let mut stream = Vec::new();
+        for f in &frames {
+            write_frame_limited(&mut stream, f, MAX_FRAME_LEN).unwrap();
+        }
+        let cut = rng.gen_range(0..stream.len());
+        let truncated = &stream[..cut];
+        let mut r = truncated;
+        let mut decoded = 0usize;
+        let err = loop {
+            match read_frame_limited(&mut r, MAX_FRAME_LEN) {
+                Ok(frame) => {
+                    prop_assert_eq!(&frame, &frames[decoded], "prefix frames intact");
+                    decoded += 1;
+                }
+                Err(e) => break e,
+            }
+        };
+        prop_assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        prop_assert!(decoded < frames.len(), "a cut stream cannot decode fully");
+    }
+
+    /// Oversized frames are rejected with the offending size in the error
+    /// message, on both sides, under any cap.
+    #[test]
+    fn oversized_frames_report_their_size(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cap = rng.gen_range(1usize..4096);
+        let over = cap + rng.gen_range(1usize..1000);
+        // Write side: payload over the cap.
+        let payload = vec![0xA5u8; over];
+        let mut sink = Vec::new();
+        let err = write_frame_limited(&mut sink, &payload, cap).unwrap_err();
+        prop_assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let msg = err.to_string();
+        prop_assert!(msg.contains(&over.to_string()), "write error names the size: {}", msg);
+        prop_assert!(msg.contains(&cap.to_string()), "write error names the cap: {}", msg);
+        prop_assert!(sink.is_empty(), "nothing emitted for a rejected frame");
+        // Read side: forged length prefix over the cap.
+        let forged = (over as u32).to_be_bytes();
+        let err = read_frame_limited(&mut &forged[..], cap).unwrap_err();
+        prop_assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        prop_assert!(msg.contains(&over.to_string()), "read error names the size: {}", msg);
+        prop_assert!(msg.contains(&cap.to_string()), "read error names the cap: {}", msg);
+    }
+}

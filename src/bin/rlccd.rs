@@ -8,7 +8,8 @@
 //!                [--checkpoint DIR] [--checkpoint-every K] [--resume DIR]
 //!                [--tape-budget-gib G] [--trace-out run.jsonl]
 //! rlccd train    --in design.nl --workers host:port,host:port [--slots 8]
-//!                [--deadline-s S] [--inject-worker-drop IT:PROC] …
+//!                [--deadline-s S] [--retries N] [--chaos-plan SPEC]
+//!                [--inject-worker-drop IT:PROC] …
 //! rlccd worker   [--port 7401]
 //! rlccd transfer --in design.nl --params donor.txt [--iters 12] [--trace-out run.jsonl]
 //! rlccd baseline --in design.nl [--period <ps>]
@@ -19,7 +20,8 @@
 //!                [--window-ms MS] [--queue N] [--serve-workers N] [--rho R]
 //! rlccd query    --design name:cells:tech:seed [--addr HOST:PORT] [--model NAME]
 //!                [--mode greedy|sample] [--seed S] [--count N] [--threads T]
-//!                [--deadline-ms MS] | --shutdown
+//!                [--deadline-ms MS] [--retries N] [--chaos-plan SPEC] | --shutdown
+//! rlccd probe    --addr HOST:PORT | --workers host:port,host:port [--timeout-ms MS]
 //! ```
 //!
 //! `generate` writes the plain-text netlist format of
@@ -31,6 +33,14 @@
 //! flow, and the training loop into a versioned JSONL trace;
 //! `trace-validate` checks one against the schema. Every subcommand exits
 //! through the unified [`rl_ccd::Error`] instead of ad-hoc panics.
+//!
+//! `--chaos-plan SPEC` arms deterministic wire-fault injection for `train`
+//! (dist mode) and `query`: a comma-separated list of
+//! `delay:CONN:FRAME:MS`, `seg:CONN:FRAME:BYTES`, `torn:CONN:FRAME`,
+//! `reset:CONN:FRAME`, and `stall:CONN:FRAME:MS` entries, where `CONN` is
+//! the worker/shard index and `FRAME` the per-connection frame counter.
+//! Paired with `--retries N` it exercises the retry/reconnect paths
+//! end-to-end; `probe` health-checks a serve endpoint or worker fleet.
 
 use rl_ccd::{save_params, with_pretrained_gnn, Baseline, Error, RlConfig, Session, TrainOutcome};
 use rl_ccd_flow::FlowRecipe;
@@ -74,7 +84,7 @@ const USAGE_TABLE: &[(&str, &str)] = &[
          \u{20}         [--checkpoint DIR] [--checkpoint-every K] [--resume DIR]\n\
          \u{20}         [--tape-budget-gib G] [--trace-out FILE]\n\
          \u{20}         [--workers HOST:PORT,HOST:PORT [--slots N] [--deadline-s S]\n\
-         \u{20}         [--inject-worker-drop IT:PROC]]",
+         \u{20}         [--retries N] [--chaos-plan SPEC] [--inject-worker-drop IT:PROC]]",
     ),
     ("worker", "worker   [--port 7401]"),
     (
@@ -98,12 +108,18 @@ const USAGE_TABLE: &[(&str, &str)] = &[
         "query",
         "query    --design name:cells:tech:seed [--addr HOST:PORT] [--model NAME]\n\
          \u{20}         [--mode greedy|sample] [--seed S] [--count N] [--threads T]\n\
-         \u{20}         [--deadline-ms MS] | query --shutdown [--addr HOST:PORT]",
+         \u{20}         [--deadline-ms MS] [--retries N] [--chaos-plan SPEC]\n\
+         \u{20}         | query --shutdown [--addr HOST:PORT]",
+    ),
+    (
+        "probe",
+        "probe    --addr HOST:PORT | probe --workers HOST:PORT,HOST:PORT\n\
+         \u{20}         [--timeout-ms MS]",
     ),
 ];
 
 fn usage() -> ExitCode {
-    eprintln!("usage: rlccd <generate|report|flow|train|transfer|baseline|verilog|suite|trace-validate|serve|query> [options]\n");
+    eprintln!("usage: rlccd <generate|report|flow|train|transfer|baseline|verilog|suite|trace-validate|serve|query|probe> [options]\n");
     for (_, line) in USAGE_TABLE {
         eprintln!("{line}");
     }
@@ -330,6 +346,17 @@ fn cmd_train(args: &[String]) -> Result<(), Error> {
         if let Some(secs) = arg::<u64>(args, "--deadline-s") {
             executor = executor.with_deadline(std::time::Duration::from_secs(secs.max(1)));
         }
+        if let Some(n) = arg::<u32>(args, "--retries") {
+            executor =
+                executor.with_retry(rl_ccd_wire::RetryPolicy::seeded(0).with_attempts(n.max(1)));
+        }
+        // Wire-level chaos drill: inject deterministic transport faults
+        // into the coordinator↔worker connections (connection id =
+        // worker index) and let retry/re-queue recover.
+        if let Some(plan) = parse_chaos_plan(args)? {
+            println!("chaos plan armed: {} wire fault(s)", plan.len());
+            executor = executor.with_chaos(plan);
+        }
         println!(
             "sharding rollouts over {} worker(s): {}",
             addrs.len(),
@@ -534,11 +561,15 @@ fn cmd_serve(args: &[String]) -> Result<(), Error> {
     }
     let report = server.shutdown();
     println!(
-        "drained: {} accepted, {} completed, {} busy-rejected, {} deadline-expired, batch p50 {}",
+        "drained: {} accepted, {} completed, {} busy-rejected, {} shed, {} evicted, \
+         {} deadline-expired, {} health-probed, batch p50 {}",
         report.stats.accepted,
         report.stats.completed,
         report.stats.rejected_busy,
+        report.stats.shed,
+        report.stats.evicted,
         report.stats.deadline_expired,
+        report.stats.health_probes,
         report.stats.batch_p50()
     );
     if let Some(t) = &trace {
@@ -553,13 +584,37 @@ fn cmd_serve(args: &[String]) -> Result<(), Error> {
     Ok(())
 }
 
+/// `--chaos-plan SPEC`: a deterministic wire-fault plan in the
+/// [`rl_ccd_wire::NetFaultPlan::parse`] format, e.g.
+/// `delay:0:1:50,reset:1:0,stall:0:3:2000,torn:1:2,seg:0:0:3`.
+fn parse_chaos_plan(
+    args: &[String],
+) -> Result<Option<std::sync::Arc<rl_ccd_wire::NetFaultPlan>>, Error> {
+    arg::<String>(args, "--chaos-plan")
+        .map(|spec| {
+            rl_ccd_wire::NetFaultPlan::parse(&spec)
+                .map(std::sync::Arc::new)
+                .map_err(|e| Error::Config(format!("--chaos-plan: {e}")))
+        })
+        .transpose()
+}
+
 fn serve_connect(addr: &str) -> Result<ServeClient, Error> {
     ServeClient::connect(addr)
         .map_err(|e| Error::Config(format!("cannot reach server at {addr}: {e}")))
 }
 
-fn run_queries(addr: &str, requests: Vec<QueryRequest>) -> Result<Vec<Response>, Error> {
-    let mut client = serve_connect(addr)?;
+fn run_queries(
+    addr: &str,
+    requests: Vec<QueryRequest>,
+    retries: u32,
+    chaos: Option<(std::sync::Arc<rl_ccd_wire::NetFaultPlan>, u64)>,
+) -> Result<Vec<Response>, Error> {
+    let mut client = serve_connect(addr)?
+        .with_retry(rl_ccd_wire::RetryPolicy::seeded(0).with_attempts(retries.max(1)));
+    if let Some((plan, conn)) = chaos {
+        client = client.with_chaos(plan, conn);
+    }
     requests
         .into_iter()
         .map(|r| {
@@ -599,6 +654,8 @@ fn cmd_query(args: &[String]) -> Result<(), Error> {
     let count: usize = arg(args, "--count").unwrap_or(1);
     let threads: usize = arg(args, "--threads").unwrap_or(1).max(1);
     let deadline_ms: Option<u64> = arg(args, "--deadline-ms");
+    let retries: u32 = arg(args, "--retries").unwrap_or(3);
+    let chaos_plan = parse_chaos_plan(args)?;
     let request = |k: u64| QueryRequest {
         model: model.clone(),
         design: design.clone(),
@@ -610,18 +667,27 @@ fn cmd_query(args: &[String]) -> Result<(), Error> {
     };
     let mut responses = Vec::new();
     if threads == 1 {
-        responses = run_queries(&addr, (0..count as u64).map(request).collect())?;
+        let chaos = chaos_plan.clone().map(|p| (p, 0));
+        responses = run_queries(
+            &addr,
+            (0..count as u64).map(request).collect(),
+            retries,
+            chaos,
+        )?;
     } else {
-        // Round-robin the requests over `threads` connections.
+        // Round-robin the requests over `threads` connections; each
+        // connection is its own chaos-plan connection id.
         let mut shards: Vec<Vec<QueryRequest>> = vec![Vec::new(); threads];
         for k in 0..count as u64 {
             shards[k as usize % threads].push(request(k));
         }
         let handles: Vec<_> = shards
             .into_iter()
-            .map(|shard| {
+            .enumerate()
+            .map(|(conn, shard)| {
                 let addr = addr.clone();
-                std::thread::spawn(move || run_queries(&addr, shard))
+                let chaos = chaos_plan.clone().map(|p| (p, conn as u64));
+                std::thread::spawn(move || run_queries(&addr, shard, retries, chaos))
             })
             .collect();
         for h in handles {
@@ -647,6 +713,16 @@ fn cmd_query(args: &[String]) -> Result<(), Error> {
                 failed += 1;
                 eprintln!("rejected ({kind}): {msg}");
             }
+            Response::Overloaded { retry_after_ms } => {
+                failed += 1;
+                eprintln!("shed by the server (overloaded, retry after {retry_after_ms} ms)");
+            }
+            Response::Health(h) => {
+                // Queries never produce health replies; a server that
+                // answers one here is misbehaving.
+                failed += 1;
+                eprintln!("unexpected health reply: ready={}", h.ready);
+            }
         }
     }
     if failed > 0 {
@@ -656,6 +732,88 @@ fn cmd_query(args: &[String]) -> Result<(), Error> {
         )));
     }
     Ok(())
+}
+
+/// Health-checks a serve endpoint (`--addr`) or a fleet of dist workers
+/// (`--workers`). Exits non-zero when anything is unreachable or not
+/// ready, so scripts can gate on it.
+fn cmd_probe(args: &[String]) -> Result<(), Error> {
+    let timeout =
+        std::time::Duration::from_millis(arg::<u64>(args, "--timeout-ms").unwrap_or(5_000).max(1));
+    if let Some(w) = arg::<String>(args, "--workers") {
+        let addrs: Vec<String> = w
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        if addrs.is_empty() {
+            return Err(Error::Config("--workers takes a HOST:PORT list".into()));
+        }
+        let mut unhealthy = 0usize;
+        for addr in &addrs {
+            match probe_dist_worker(addr, timeout) {
+                Ok(ready) => println!(
+                    "worker {addr}: alive, {}",
+                    if ready {
+                        "initialized"
+                    } else {
+                        "awaiting init"
+                    }
+                ),
+                Err(why) => {
+                    unhealthy += 1;
+                    println!("worker {addr}: UNHEALTHY ({why})");
+                }
+            }
+        }
+        if unhealthy > 0 {
+            return Err(Error::Config(format!(
+                "{unhealthy}/{} worker(s) unhealthy",
+                addrs.len()
+            )));
+        }
+        return Ok(());
+    }
+    let addr: String = arg(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
+    let mut client = serve_connect(&addr)?;
+    client.set_timeout(Some(timeout));
+    let h = client
+        .health()
+        .map_err(|e| Error::Config(format!("probe of {addr} failed: {e}")))?;
+    println!(
+        "serve {addr}: ready={} queue={}/{} models={}",
+        u8::from(h.ready),
+        h.queue_depth,
+        h.queue_capacity,
+        h.models
+    );
+    if !h.ready {
+        return Err(Error::Config(format!("server at {addr} is not ready")));
+    }
+    Ok(())
+}
+
+/// One dist health probe over a dedicated connection. Deliberately not
+/// [`rl_ccd_dist::DistExecutor`]: its drop sends `Shutdown`, and a probe
+/// must never stop the worker it checks.
+fn probe_dist_worker(addr: &str, timeout: std::time::Duration) -> Result<bool, String> {
+    use std::net::ToSocketAddrs;
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve: {e}"))?
+        .next()
+        .ok_or_else(|| "resolved to no address".to_string())?;
+    let mut conn = std::net::TcpStream::connect_timeout(&sock, timeout)
+        .map_err(|e| format!("connect: {e}"))?;
+    conn.set_read_timeout(Some(timeout)).ok();
+    conn.set_write_timeout(Some(timeout)).ok();
+    let payload = rl_ccd_dist::encode_request(&rl_ccd_dist::Request::Health);
+    rl_ccd_dist::write_message(&mut conn, &payload).map_err(|e| format!("send: {e}"))?;
+    let reply = rl_ccd_dist::read_message(&mut conn).map_err(|e| format!("receive: {e}"))?;
+    match rl_ccd_dist::decode_response(&reply).map_err(|e| format!("decode: {e}"))? {
+        rl_ccd_dist::Response::HealthAck { ready } => Ok(ready),
+        other => Err(format!("wrong answer to a health probe: {other:?}")),
+    }
 }
 
 /// Serves rollout requests for distributed training: loads the design and
@@ -688,6 +846,7 @@ fn main() -> ExitCode {
         "trace-validate" => cmd_trace_validate(rest),
         "serve" => cmd_serve(rest),
         "query" => cmd_query(rest),
+        "probe" => cmd_probe(rest),
         "worker" => cmd_worker(rest),
         _ => return usage(),
     };

@@ -133,6 +133,7 @@ fn concurrent_batched_answers_match_sequential_inference() {
                             Response::Err { kind, msg } => {
                                 panic!("window {window_ms}ms: rejected ({kind}): {msg}")
                             }
+                            other => panic!("window {window_ms}ms: unexpected {other:?}"),
                         };
                         let want = &expected[&(key.to_string(), seed)];
                         assert_eq!(
@@ -211,6 +212,7 @@ fn cache_eviction_churn_preserves_greedy_answers() {
                     "round {round}: eviction churn changed the greedy answer for {key}"
                 ),
                 Response::Err { kind, msg } => panic!("round {round}: rejected ({kind}): {msg}"),
+                other => panic!("round {round}: unexpected {other:?}"),
             }
         }
     }
