@@ -12,6 +12,7 @@
 //! ```text
 //! serve_load [--workers 8] [--requests 40] [--designs 2] [--cells 300]
 //!            [--max-batch 8] [--window-ms 2] [--queue N]
+//!            [--connections N]
 //!            [--csv serve_load.csv] [--json BENCH_serve.json]
 //!            [--assert-batching] [--assert-shedding]
 //!            [--trace-out run.jsonl]
@@ -26,10 +27,24 @@
 //! typed `Overloaded` responses — at least one shed, no untyped failures,
 //! and nothing dropped at drain — proving overload degrades gracefully
 //! rather than hanging or erroring.
+//!
+//! With `--connections N` the bench switches to **connection scaling**
+//! over real TCP against the epoll reactor front-end: it opens N
+//! concurrent connections, fires one pipelined query down every one of
+//! them at once, and collects every reply — measuring how one replica
+//! behaves holding thousands of sockets. Results merge into the same
+//! `--json` artifact as `conn_*` metrics (`connections`, `conn_rps`,
+//! `conn_p50_ms`, `conn_p99_ms`, `conn_shed`, …). `--assert-shedding`
+//! composes: run with a small `--queue` and the burst must shed typed,
+//! drop nothing, and still answer someone.
 
 use rl_ccd::{RlCcd, RlConfig};
 use rl_ccd_bench::{percentile, sort_metrics, write_csv, write_json, Cli, Json};
-use rl_ccd_serve::{DesignKey, Mode, ModelRegistry, QueryRequest, Response, ServeConfig, Server};
+use rl_ccd_serve::protocol::{read_frame, write_frame};
+use rl_ccd_serve::{
+    DesignKey, Mode, ModelRegistry, QueryRequest, Request, Response, ServeConfig, Server,
+};
+use std::net::TcpStream;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
@@ -43,6 +58,10 @@ fn main() -> ExitCode {
     let csv = cli.csv("serve_load.csv");
     let assert_batching = std::env::args().any(|a| a == "--assert-batching");
     let assert_shedding = std::env::args().any(|a| a == "--assert-shedding");
+    let connections: usize = cli.value("--connections", 0usize);
+    if connections > 0 {
+        return run_connection_scaling(&cli, connections, designs, cells, assert_shedding);
+    }
 
     let config = RlConfig::fast();
     let rho = config.rho;
@@ -210,6 +229,223 @@ fn main() -> ExitCode {
     if assert_batching {
         if batch_p50 < 2 {
             eprintln!("batch p50 {batch_p50} < 2: dynamic batching did not engage");
+            return ExitCode::FAILURE;
+        }
+        if report.dropped() > 0 {
+            eprintln!("drain dropped {} in-flight request(s)", report.dropped());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Connection-scaling mode: N concurrent TCP connections into the reactor
+/// front-end, one pipelined query each — all writes first, then all reads
+/// — so the server really holds N sockets with up to N requests in flight
+/// at the moment the burst lands.
+fn run_connection_scaling(
+    cli: &Cli,
+    connections: usize,
+    designs: usize,
+    cells: usize,
+    assert_shedding: bool,
+) -> ExitCode {
+    let config = RlConfig::fast();
+    let rho = config.rho;
+    let (_, params) = RlCcd::init(config);
+    let mut registry = ModelRegistry::new();
+    registry
+        .insert_params("default", params, rho)
+        .expect("register model");
+    let serve_config = ServeConfig {
+        max_batch: cli.value("--max-batch", 8),
+        window: Duration::from_millis(cli.value("--window-ms", 2u64)),
+        // Roomy by default: every query queues. Pin it low with --queue
+        // to make the burst overflow into typed shedding.
+        queue_capacity: cli.value("--queue", connections + 1),
+        workers: cli.value("--serve-workers", 2usize),
+        ..ServeConfig::default()
+    };
+    let mut server = Server::start(registry, serve_config);
+    let addr = match server.bind_reactor("127.0.0.1:0") {
+        Ok(a) => a,
+        Err(e) => {
+            // No epoll on this platform: the blocking front-end still
+            // speaks the same protocol, one thread per socket.
+            eprintln!("reactor front-end unavailable ({e}); falling back to thread-per-connection");
+            server.bind("127.0.0.1:0").expect("bind server")
+        }
+    };
+
+    let keys: Vec<DesignKey> = (0..designs)
+        .map(|d| DesignKey {
+            name: format!("conn{d}"),
+            cells,
+            tech: "7nm".into(),
+            seed: d as u64 + 1,
+        })
+        .collect();
+
+    // Warm the env cache through the front door, so burst latencies
+    // measure inference + transport, not N redundant design builds.
+    {
+        let mut warm = TcpStream::connect(addr).expect("warmup connect");
+        warm.set_read_timeout(Some(Duration::from_secs(120))).ok();
+        for key in &keys {
+            let req = Request::Query(QueryRequest {
+                model: "default".into(),
+                design: key.clone(),
+                mode: Mode::Greedy,
+                deadline_ms: None,
+            });
+            write_frame(&mut warm, &req.encode()).expect("warmup send");
+            let reply = read_frame(&mut warm).expect("warmup receive");
+            let resp = Response::decode(&reply).expect("warmup decode");
+            assert!(matches!(resp, Response::Ok(_)), "warmup query: {resp:?}");
+        }
+    }
+
+    // Phase 1: open every connection and keep it open.
+    let opened = Instant::now();
+    let mut conns: Vec<TcpStream> = Vec::with_capacity(connections);
+    for i in 0..connections {
+        let conn = TcpStream::connect(addr)
+            .unwrap_or_else(|e| panic!("connection {i}/{connections} refused: {e}"));
+        conn.set_nodelay(true).ok();
+        conn.set_read_timeout(Some(Duration::from_secs(300))).ok();
+        conn.set_write_timeout(Some(Duration::from_secs(300))).ok();
+        conns.push(conn);
+    }
+    let open_s = opened.elapsed().as_secs_f64();
+
+    // Phase 2: the burst — one query written down every connection before
+    // any reply is read.
+    let started = Instant::now();
+    for (i, conn) in conns.iter_mut().enumerate() {
+        let req = Request::Query(QueryRequest {
+            model: "default".into(),
+            design: keys[i % keys.len()].clone(),
+            mode: if i % 2 == 0 {
+                Mode::Greedy
+            } else {
+                Mode::Sample(i as u64)
+            },
+            // Generous: shedding should come from queue capacity, not
+            // from queued work aging out mid-burst.
+            deadline_ms: Some(300_000),
+        });
+        write_frame(conn, &req.encode()).unwrap_or_else(|e| panic!("send on connection {i}: {e}"));
+    }
+
+    // Phase 3: collect every reply. Completion time is measured from the
+    // burst start — the client-observed wait under full contention.
+    let mut latencies = Vec::with_capacity(connections);
+    let mut ok = 0usize;
+    let mut shed = 0usize;
+    let mut failures = 0usize;
+    for (i, conn) in conns.iter_mut().enumerate() {
+        let outcome = read_frame(conn)
+            .map_err(|e| format!("receive on connection {i}: {e}"))
+            .and_then(|reply| Response::decode(&reply));
+        latencies.push(started.elapsed().as_secs_f64() * 1e3);
+        match outcome {
+            Ok(Response::Ok(_)) => ok += 1,
+            Ok(Response::Overloaded { retry_after_ms }) => {
+                assert!(retry_after_ms > 0, "backoff hint is a real number");
+                shed += 1;
+            }
+            Ok(other) => {
+                eprintln!("connection {i}: unexpected answer {other:?}");
+                failures += 1;
+            }
+            Err(e) => {
+                eprintln!("connection {i}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    drop(conns);
+    let report = server.shutdown();
+
+    sort_metrics(&mut latencies);
+    let conn_rps = connections as f64 / wall_s;
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    println!(
+        "{connections} connections opened in {open_s:.2}s; burst answered in {wall_s:.2}s \
+         ({conn_rps:.1} conn/s): {ok} ok, {shed} shed, {failures} failed"
+    );
+    println!("completion p50 {p50:.2} ms, p99 {p99:.2} ms");
+    println!(
+        "drain: {} accepted, {} completed, {} shed, {} evicted, {} deadline-expired, {} dropped",
+        report.stats.accepted,
+        report.stats.completed,
+        report.stats.shed,
+        report.stats.evicted,
+        report.stats.deadline_expired,
+        report.dropped()
+    );
+
+    let csv: String = cli.value("--csv", "serve_conns.csv".to_string());
+    let rows = vec![format!(
+        "{connections},{designs},{cells},{conn_rps:.2},{p50:.3},{p99:.3},{ok},{shed},{failures},{},{}",
+        report.stats.evicted,
+        report.dropped()
+    )];
+    write_csv(
+        &csv,
+        "connections,designs,cells,conn_rps,conn_p50_ms,conn_p99_ms,ok,shed,failures,evicted,dropped",
+        &rows,
+    )
+    .expect("write csv");
+    println!("wrote {csv}");
+
+    // Merge the connection metrics into the (possibly existing) bench
+    // artifact instead of clobbering the in-process serve_load fields.
+    let json_path: String = cli.value("--json", "BENCH_serve.json".to_string());
+    let conn_fields = vec![
+        Json::field("connections", Json::Num(connections as f64)),
+        Json::field("conn_open_s", Json::Num(open_s)),
+        Json::field("conn_wall_s", Json::Num(wall_s)),
+        Json::field("conn_rps", Json::Num(conn_rps)),
+        Json::field("conn_p50_ms", Json::Num(p50)),
+        Json::field("conn_p99_ms", Json::Num(p99)),
+        Json::field("conn_ok", Json::Num(ok as f64)),
+        Json::field("conn_shed", Json::Num(shed as f64)),
+        Json::field("conn_failures", Json::Num(failures as f64)),
+        Json::field("conn_evicted", Json::Num(report.stats.evicted as f64)),
+        Json::field("conn_dropped", Json::Num(report.dropped() as f64)),
+    ];
+    let mut fields = match std::fs::read_to_string(&json_path)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+    {
+        Some(Json::Obj(existing)) => existing
+            .into_iter()
+            .filter(|(k, _)| !conn_fields.iter().any(|(nk, _)| nk == k))
+            .collect(),
+        _ => vec![Json::field("bench", Json::Str("serve_load".into()))],
+    };
+    fields.extend(conn_fields);
+    write_json(&json_path, &Json::Obj(fields)).expect("write json");
+    println!("wrote {json_path}");
+    if let Err(e) = cli.finish() {
+        eprintln!("trace: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} connection(s) failed");
+        return ExitCode::FAILURE;
+    }
+    if assert_shedding {
+        if shed == 0 {
+            eprintln!("overload burst shed nothing: queue never filled, lower --queue");
+            return ExitCode::FAILURE;
+        }
+        if ok == 0 {
+            eprintln!("burst was shed entirely: capacity gated to zero");
             return ExitCode::FAILURE;
         }
         if report.dropped() > 0 {

@@ -88,8 +88,6 @@ pub use parallel::{
     RolloutBatch, ScoredRollout, DEFAULT_TAPE_MEMORY_BUDGET, MAX_TAPE_MEMORY_BUDGET,
     MIN_TAPE_MEMORY_BUDGET,
 };
-#[allow(deprecated)]
-pub use reinforce::{resume_train, train, train_or_resume};
 pub use reinforce::{
     resume_train_with, train_or_resume_with, try_train, try_train_with, IterationStats, TrainError,
     TrainOutcome, TrainSession,

@@ -27,7 +27,7 @@
 //!    bad batch can never destroy a run.
 //! 3. **Atomic resumable checkpoints** — every `checkpoint_every`
 //!    iterations the full [`TrainingState`] is committed via temp file +
-//!    fsync + rename with a checksum manifest; [`resume_train`] continues
+//!    fsync + rename with a checksum manifest; [`resume_train_with`] continues
 //!    a killed run bit-for-bit (rollout seeds are a pure function of the
 //!    config seed and the iteration index, so nothing is lost with the
 //!    process).
@@ -202,32 +202,6 @@ impl LoopState {
     }
 }
 
-/// Trains RL-CCD on one environment.
-///
-/// `initial` lets callers inject pre-trained parameters (transfer
-/// learning); pass `None` to train from scratch (Table II setting).
-///
-/// This is the infallible convenience wrapper: no fault injection, no
-/// checkpointing. Without injected faults a quorum loss means every
-/// worker genuinely failed, which is unrecoverable — it panics with the
-/// fault records.
-#[deprecated(
-    since = "0.2.0",
-    note = "use rl_ccd::Session::builder().…().build()?.train(), or try_train for the \
-            low-level fallible entry point"
-)]
-pub fn train(env: &CcdEnv, config: &RlConfig, initial: Option<ParamSet>) -> TrainOutcome {
-    try_train(
-        env,
-        config,
-        TrainSession {
-            initial,
-            ..TrainSession::default()
-        },
-    )
-    .expect("fault-free training must not fail")
-}
-
 /// Trains RL-CCD with full runtime control: warm start, periodic atomic
 /// checkpoints, quorum supervision, and (in tests) fault injection.
 ///
@@ -277,48 +251,17 @@ pub fn try_train_with(
 }
 
 /// Resumes a run from the [`TrainingState`] committed in `dir` and
-/// continues training (checkpointing back into the same directory).
-/// Because per-worker rollout seeds are derived from the config seed and
-/// the absolute iteration index, a kill at any iteration followed by
-/// resume reproduces the uninterrupted run bit-for-bit.
+/// continues training (checkpointing back into the same directory), with
+/// an explicit [`RolloutExecutor`]. Because per-worker rollout seeds are
+/// pure functions of the config seed and the absolute iteration index, a
+/// kill at any iteration followed by resume — with any executor and any
+/// worker count — reproduces the uninterrupted run bit-for-bit.
 ///
 /// # Errors
 /// [`TrainError::Checkpoint`] when the state fails to load or validate
 /// (including champion endpoints out of range for this design), and
 /// [`TrainError::SeedMismatch`] when `config.seed` differs from the seed
 /// the checkpoint was produced under.
-#[deprecated(
-    since = "0.2.0",
-    note = "use rl_ccd::Session with a checkpoint directory; Session::train resumes \
-            automatically from a committed state"
-)]
-pub fn resume_train(
-    env: &CcdEnv,
-    config: &RlConfig,
-    dir: impl AsRef<Path>,
-    session: TrainSession,
-) -> Result<TrainOutcome, TrainError> {
-    resume_train_impl(env, config, dir.as_ref(), session)
-}
-
-/// Non-deprecated body of [`resume_train`], shared with
-/// [`crate::Session::train`].
-pub(crate) fn resume_train_impl(
-    env: &CcdEnv,
-    config: &RlConfig,
-    dir: &Path,
-    session: TrainSession,
-) -> Result<TrainOutcome, TrainError> {
-    resume_train_with(env, config, dir, session, &mut LocalExecutor)
-}
-
-/// Resume with an explicit [`RolloutExecutor`]. Because rollout seeds are
-/// pure functions of the config seed and the absolute iteration index, a
-/// killed *distributed* run resumed here — with any executor and any
-/// worker count — reproduces the uninterrupted run bit-for-bit.
-///
-/// # Errors
-/// Same contract as the deprecated `resume_train`.
 pub fn resume_train_with(
     env: &CcdEnv,
     config: &RlConfig,
@@ -365,40 +308,9 @@ pub fn resume_train_with(
 }
 
 /// Resumes from `dir` when it holds a committed state, otherwise starts a
-/// fresh run checkpointing into `dir`. This is what the CLI and the bench
-/// binaries use: re-running an interrupted job just picks up where it
-/// stopped.
-///
-/// # Errors
-/// Propagates [`TrainError`] from the underlying run.
-#[deprecated(
-    since = "0.2.0",
-    note = "use rl_ccd::Session with a checkpoint directory; Session::train starts or \
-            resumes as appropriate"
-)]
-pub fn train_or_resume(
-    env: &CcdEnv,
-    config: &RlConfig,
-    dir: impl AsRef<Path>,
-    session: TrainSession,
-) -> Result<TrainOutcome, TrainError> {
-    train_or_resume_impl(env, config, dir.as_ref(), session)
-}
-
-/// Non-deprecated body of [`train_or_resume`], shared with
-/// [`crate::Session::train`].
-pub(crate) fn train_or_resume_impl(
-    env: &CcdEnv,
-    config: &RlConfig,
-    dir: &Path,
-    session: TrainSession,
-) -> Result<TrainOutcome, TrainError> {
-    train_or_resume_with(env, config, dir, session, &mut LocalExecutor)
-}
-
-/// Starts or resumes a checkpointed run with an explicit
-/// [`RolloutExecutor`] (what `Session::train` uses when a custom executor
-/// is configured).
+/// fresh run checkpointing into `dir`, with an explicit
+/// [`RolloutExecutor`] (this is what `Session::train` uses): re-running
+/// an interrupted job just picks up where it stopped.
 ///
 /// # Errors
 /// Propagates [`TrainError`] from the underlying run.

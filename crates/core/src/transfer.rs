@@ -36,7 +36,7 @@ pub fn load_params(path: impl AsRef<Path>) -> Result<ParamSet, Box<dyn std::erro
 
 /// Builds a fresh model whose EP-GNN weights come from `pretrained` while
 /// the encoder/decoder start from scratch. Returns the model and its
-/// parameter set; pass the set as `initial` to [`crate::reinforce::train`].
+/// parameter set; pass the set as `initial` to [`crate::reinforce::try_train`].
 ///
 /// The returned count is the number of adopted tensors (useful to verify the
 /// donor really contained a trained EP-GNN).

@@ -38,6 +38,17 @@
 //! from the configured deadline, so a silent or stalled peer can never
 //! hang the trainer, and health probes ([`DistExecutor::probe`]) exclude
 //! unreachable workers before the expensive init broadcast.
+//!
+//! # Transport
+//!
+//! Worker connections are [`FramedTcp`] — the unified
+//! [`rl_ccd_wire::Transport`] stack shared with `serve::client` and the
+//! worker's accept path — so chaos wrapping and reconnect frame-numbering
+//! live in one place. Scatter-gather runs on the [`Poller`] reactor where
+//! available: one thread multiplexes every in-flight worker's readiness
+//! plus its deadline and retry-backoff timers (a [`TimerWheel`]), while
+//! frame operations stay blocking for bit-exact chaos behavior. Platforms
+//! without epoll fall back to the thread-per-dispatch scatter.
 
 use crate::protocol::{
     decode_response, encode_request, InitRequest, Inject, Request, Response, RunRequest,
@@ -49,21 +60,22 @@ use rl_ccd::{
 };
 use rl_ccd_netlist::{write_netlist, EndpointId};
 use rl_ccd_obs as obs;
-use rl_ccd_wire::{ChaosTransport, NetFault, NetFaultPlan, RetryPolicy};
+use rl_ccd_wire::reactor::Interest;
+use rl_ccd_wire::{
+    Endpoint, FramedTcp, NetFault, NetFaultPlan, Poller, RetryPolicy, TimerId, TimerWheel,
+    Transport,
+};
 use std::fmt;
 use std::io;
-use std::net::TcpStream;
 use std::sync::Arc;
-use std::time::Duration;
-
-type Transport = ChaosTransport<TcpStream>;
+use std::time::{Duration, Instant};
 
 /// One worker process as the coordinator sees it.
 #[derive(Debug)]
 struct Worker {
     addr: String,
     /// `None` once the worker is quarantined (dead or abandoned).
-    conn: Option<Transport>,
+    conn: Option<FramedTcp>,
 }
 
 /// Transport-layer failure counters for one executor: what the network
@@ -92,32 +104,31 @@ pub struct DistExecutor {
     init_deadline: Duration,
     initialized: bool,
     retry: RetryPolicy,
-    chaos: Option<Arc<NetFaultPlan>>,
     next_req_id: u64,
     stats: NetStats,
 }
 
-/// What one dispatch thread hands back: the worker index, its chunk (for
+/// What one dispatch hands back: the worker index, its chunk (for
 /// re-queuing), the surviving connection (`None` = unusable), the
 /// decoded result, and the retry counters the exchange burned.
 struct Exchange {
     widx: usize,
     chunk: Vec<(usize, u64)>,
-    conn: Option<Transport>,
+    conn: Option<FramedTcp>,
     result: Result<Response, String>,
     retries: u64,
     reconnects: u64,
 }
 
-/// One worker's slice of a dispatch round, ready to hand to its thread:
-/// the encoded request, the connection to send it on, and any one-shot
-/// wire faults the training plan addressed to this connection.
+/// One worker's slice of a dispatch round, ready to scatter: the encoded
+/// request (shared, not cloned per worker), the connection to send it on,
+/// and any one-shot wire faults the training plan addressed to this
+/// connection.
 struct Dispatch {
     widx: usize,
-    addr: String,
     chunk: Vec<(usize, u64)>,
-    conn: Transport,
-    payload: Vec<u8>,
+    conn: FramedTcp,
+    payload: Arc<Vec<u8>>,
     wire: Vec<NetFault>,
 }
 
@@ -138,11 +149,10 @@ impl DistExecutor {
         }
         let mut workers = Vec::with_capacity(addrs.len());
         for addr in addrs {
-            let conn = TcpStream::connect(addr.as_ref())?;
-            conn.set_nodelay(true).ok();
+            let conn = Endpoint::resolve(addr.as_ref())?.connect(None)?;
             workers.push(Worker {
                 addr: addr.as_ref().to_string(),
-                conn: Some(ChaosTransport::new(conn)),
+                conn: Some(conn),
             });
         }
         Ok(Self {
@@ -151,7 +161,6 @@ impl DistExecutor {
             init_deadline: Duration::from_secs(600),
             initialized: false,
             retry: RetryPolicy::seeded(0),
-            chaos: None,
             next_req_id: 0,
             stats: NetStats::default(),
         })
@@ -184,14 +193,10 @@ impl DistExecutor {
     #[must_use]
     pub fn with_chaos(mut self, plan: Arc<NetFaultPlan>) -> Self {
         for (widx, worker) in self.workers.iter_mut().enumerate() {
-            if let Some(conn) = worker.conn.take() {
-                worker.conn = Some(
-                    ChaosTransport::new(conn.into_inner())
-                        .with_plan(Arc::clone(&plan), widx as u64),
-                );
+            if let Some(conn) = worker.conn.as_mut() {
+                conn.rewire_chaos(Arc::clone(&plan), widx as u64);
             }
         }
-        self.chaos = Some(plan);
         self
     }
 
@@ -242,8 +247,9 @@ impl DistExecutor {
         let payload = encode_request(&Request::Shutdown);
         for worker in &mut self.workers {
             if let Some(conn) = worker.conn.take() {
-                // Bypass any chaos plan: shutdown is best-effort cleanup.
-                let mut stream = conn.into_inner();
+                // Bypass any chaos plan: shutdown is best-effort cleanup,
+                // written raw past the framed transport.
+                let mut stream = conn.stream();
                 let _ = crate::protocol::write_message(&mut stream, &payload);
             }
         }
@@ -258,36 +264,28 @@ impl DistExecutor {
         let design = req.env.design();
         let mut netlist_bytes = Vec::new();
         write_netlist(&design.netlist, &mut netlist_bytes).expect("in-memory write");
-        let payload = encode_request(&Request::Init(InitRequest {
+        let payload = Arc::new(encode_request(&Request::Init(InitRequest {
             period_ps: design.period_ps,
             recipe: req.env.recipe().clone(),
             config: req.config.clone(),
             netlist_text: String::from_utf8(netlist_bytes).expect("netlist text is UTF-8"),
-        }));
+        })));
         let expected_pool = req.env.pool().len();
-        let deadline = self.init_deadline;
-        let retry = self.retry;
-        let chaos = self.chaos.clone();
-        let round: Vec<(usize, String, Transport)> = self
+        let round: Vec<Dispatch> = self
             .workers
             .iter_mut()
             .enumerate()
-            .filter_map(|(i, w)| w.conn.take().map(|c| (i, w.addr.clone(), c)))
-            .collect();
-        let outcomes = std::thread::scope(|s| {
-            let handles: Vec<_> = round
-                .into_iter()
-                .map(|(widx, addr, conn)| {
-                    let payload = &payload;
-                    let chaos = chaos.clone();
-                    s.spawn(move || exchange(widx, &addr, conn, chaos, payload, deadline, &retry))
+            .filter_map(|(i, w)| {
+                w.conn.take().map(|conn| Dispatch {
+                    widx: i,
+                    chunk: Vec::new(),
+                    conn,
+                    payload: Arc::clone(&payload),
+                    wire: Vec::new(),
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("init dispatch thread"))
-                .collect::<Vec<_>>()
-        });
+            })
+            .collect();
+        let outcomes = scatter(round, self.init_deadline, &self.retry);
         for out in outcomes {
             self.note_recovery(&out);
             match out.result {
@@ -432,21 +430,20 @@ impl RolloutExecutor for DistExecutor {
                 let injects =
                     Self::injects_for(req.plan, req.iteration, widx, chunk, self.deadline);
                 self.next_req_id += 1;
-                let payload = encode_request(&Request::Run(RunRequest {
+                let payload = Arc::new(encode_request(&Request::Run(RunRequest {
                     iteration: req.iteration,
                     req_id: self.next_req_id,
                     budget_ms: Some(self.deadline.as_millis().max(1) as u64),
                     pairs: chunk.to_vec(),
                     injects,
                     params: req.params.clone(),
-                }));
+                })));
                 let wire = Self::wire_injects_for(req.plan, req.iteration, widx);
                 let Some(conn) = self.workers[widx].conn.take() else {
                     continue;
                 };
                 round.push(Dispatch {
                     widx,
-                    addr: self.workers[widx].addr.clone(),
                     chunk: chunk.to_vec(),
                     conn,
                     payload,
@@ -454,31 +451,7 @@ impl RolloutExecutor for DistExecutor {
                 });
             }
             pending.clear();
-            let deadline = self.deadline;
-            let retry = self.retry;
-            let chaos = self.chaos.clone();
-            let outcomes = std::thread::scope(|s| {
-                let handles: Vec<_> = round
-                    .into_iter()
-                    .map(|mut d| {
-                        let chaos = chaos.clone();
-                        s.spawn(move || {
-                            for fault in d.wire {
-                                d.conn.inject_once(fault);
-                            }
-                            let mut out = exchange(
-                                d.widx, &d.addr, d.conn, chaos, &d.payload, deadline, &retry,
-                            );
-                            out.chunk = d.chunk;
-                            out
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("dispatch thread"))
-                    .collect::<Vec<_>>()
-            });
+            let outcomes = scatter(round, self.deadline, &self.retry);
             for out in outcomes {
                 self.note_recovery(&out);
                 match out.result {
@@ -549,6 +522,307 @@ impl Drop for DistExecutor {
     }
 }
 
+/// Scatters one dispatch round and gathers its outcomes. On Linux the
+/// round runs on the reactor: one thread multiplexes every worker's
+/// readiness and timers, so a stalled worker costs nothing while the
+/// others proceed. Where epoll is unavailable (or fails to come up) the
+/// round falls back to one thread per dispatch running the blocking
+/// [`exchange`] loop — the two paths are bit-identical in outcome because
+/// the frame operations themselves stay blocking in both.
+fn scatter(round: Vec<Dispatch>, deadline: Duration, retry: &RetryPolicy) -> Vec<Exchange> {
+    if round.is_empty() {
+        return Vec::new();
+    }
+    match Poller::new() {
+        Ok(poller) => scatter_reactor(&poller, round, deadline, retry),
+        Err(_) => scatter_threads(round, deadline, retry),
+    }
+}
+
+/// Pre-reactor scatter: one thread per dispatch, each running the
+/// blocking retry loop to completion.
+fn scatter_threads(round: Vec<Dispatch>, deadline: Duration, retry: &RetryPolicy) -> Vec<Exchange> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = round
+            .into_iter()
+            .map(|mut d| {
+                s.spawn(move || {
+                    for fault in d.wire.drain(..) {
+                        d.conn.inject_once(fault);
+                    }
+                    let mut out = exchange(d.widx, d.conn, &d.payload, deadline, retry);
+                    out.chunk = d.chunk;
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("dispatch thread"))
+            .collect()
+    })
+}
+
+/// Per-dispatch state machine for the reactor scatter. The flight is
+/// always in exactly one of three states: *awaiting* a reply
+/// (`registered`, deadline timer pending), *backing off* before a retry
+/// (`why` set, backoff timer pending), or finished (`done`).
+struct Flight {
+    /// `None` once moved into the outcome or dropped for quarantine.
+    conn: Option<FramedTcp>,
+    payload: Arc<Vec<u8>>,
+    attempt: u32,
+    /// Pending wheel timer: the response deadline while `registered`,
+    /// otherwise the retry backoff.
+    timer: Option<TimerId>,
+    /// Readability interest currently registered with the poller.
+    registered: bool,
+    /// The failure that scheduled the pending backoff.
+    why: Option<String>,
+    out: Exchange,
+    done: bool,
+}
+
+/// Reactor scatter: sends every dispatch, then multiplexes readiness and
+/// timers until every flight lands. Frame operations stay blocking —
+/// identical chaos behavior to the threaded path — the reactor only
+/// decides *when* to issue them, and serves retry backoffs from the
+/// timer wheel instead of parking a sleeping thread per worker.
+fn scatter_reactor(
+    poller: &Poller,
+    round: Vec<Dispatch>,
+    deadline: Duration,
+    retry: &RetryPolicy,
+) -> Vec<Exchange> {
+    let mut wheel = TimerWheel::with_ms_ticks();
+    let mut flights: Vec<Flight> = round
+        .into_iter()
+        .map(|mut d| {
+            for fault in d.wire.drain(..) {
+                d.conn.inject_once(fault);
+            }
+            Flight {
+                conn: Some(d.conn),
+                payload: d.payload,
+                attempt: 0,
+                timer: None,
+                registered: false,
+                why: None,
+                out: Exchange {
+                    widx: d.widx,
+                    chunk: d.chunk,
+                    conn: None,
+                    result: Err("unreachable".into()),
+                    retries: 0,
+                    reconnects: 0,
+                },
+                done: false,
+            }
+        })
+        .collect();
+    for (i, f) in flights.iter_mut().enumerate() {
+        send_flight(poller, &mut wheel, f, i, deadline, retry);
+    }
+    let mut events = Vec::new();
+    let mut fired = Vec::new();
+    while flights.iter().any(|f| !f.done) {
+        let timeout = wheel.next_timeout(Instant::now());
+        if poller.poll(&mut events, timeout).is_err() {
+            // The reactor broke mid-round; land every remaining flight on
+            // the blocking path rather than losing the round. Terminates
+            // because every read honors the socket deadline and attempts
+            // are bounded.
+            for (i, f) in flights.iter_mut().enumerate() {
+                finish_blocking(poller, &mut wheel, f, i, deadline, retry);
+            }
+            break;
+        }
+        for ev in &events {
+            let i = ev.token as usize;
+            let Some(f) = flights.get_mut(i) else {
+                continue;
+            };
+            if f.done || !f.registered || !(ev.readable || ev.hangup) {
+                continue;
+            }
+            finish_read(poller, &mut wheel, f, i, retry, None);
+        }
+        fired.clear();
+        wheel.poll_expired(Instant::now(), &mut fired);
+        for &key in &fired {
+            let i = key as usize;
+            let Some(f) = flights.get_mut(i) else {
+                continue;
+            };
+            if f.done {
+                continue;
+            }
+            f.timer = None;
+            if f.registered {
+                // Deadline passed with no readiness. Force the read with a
+                // sliver of a timeout so the failure carries the same
+                // timed-out receive error the blocking path reports.
+                finish_read(
+                    poller,
+                    &mut wheel,
+                    f,
+                    i,
+                    retry,
+                    Some(Duration::from_millis(1)),
+                );
+            } else if f.why.is_some() {
+                reconnect_flight(poller, &mut wheel, f, i, deadline, retry);
+            }
+        }
+    }
+    flights.into_iter().map(|f| f.out).collect()
+}
+
+/// One attempt's blocking send; on success the flight parks awaiting
+/// readability with its response deadline on the wheel.
+fn send_flight(
+    poller: &Poller,
+    wheel: &mut TimerWheel,
+    f: &mut Flight,
+    i: usize,
+    deadline: Duration,
+    retry: &RetryPolicy,
+) {
+    f.attempt += 1;
+    let mut why = None;
+    {
+        let conn = f.conn.as_mut().expect("flight holds a connection");
+        let stream = conn.stream();
+        if let Err(e) = stream.set_read_timeout(Some(deadline)) {
+            why = Some(format!("set read deadline: {e}"));
+        } else if let Err(e) = stream.set_write_timeout(Some(deadline)) {
+            why = Some(format!("set write deadline: {e}"));
+        } else {
+            let payload = Arc::clone(&f.payload);
+            if let Err(e) = conn.write_frame_limited(&payload, DIST_MAX_FRAME_LEN) {
+                why = Some(format!("send: {e}"));
+            }
+        }
+    }
+    if let Some(why) = why {
+        fail_flight(wheel, f, i, why, retry);
+        return;
+    }
+    let conn = f.conn.as_ref().expect("flight holds a connection");
+    match poller.register(conn.stream(), i as u64, Interest::READABLE) {
+        Ok(()) => {
+            f.registered = true;
+            f.timer = Some(wheel.schedule_after(deadline, i as u64));
+        }
+        // Can't multiplex this socket; complete the read right here — it
+        // honors the read deadline set above.
+        Err(_) => finish_read(poller, wheel, f, i, retry, None),
+    }
+}
+
+/// Completes an awaiting flight: cancel the deadline, drop the
+/// registration, and run the blocking read + decode. `nudge` overrides
+/// the read timeout for the deadline-expiry path.
+fn finish_read(
+    poller: &Poller,
+    wheel: &mut TimerWheel,
+    f: &mut Flight,
+    i: usize,
+    retry: &RetryPolicy,
+    nudge: Option<Duration>,
+) {
+    if let Some(id) = f.timer.take() {
+        wheel.cancel(id);
+    }
+    let conn = f.conn.as_mut().expect("flight holds a connection");
+    if f.registered {
+        let _ = poller.deregister(conn.stream());
+        f.registered = false;
+    }
+    if let Some(t) = nudge {
+        let _ = conn.stream().set_read_timeout(Some(t));
+    }
+    let res = conn
+        .read_frame_limited(DIST_MAX_FRAME_LEN)
+        .map_err(|e| format!("receive: {e}"))
+        .and_then(|reply| decode_response(&reply).map_err(|e| format!("decode: {e}")));
+    match res {
+        Ok(resp) => {
+            f.out.conn = f.conn.take();
+            f.out.result = Ok(resp);
+            f.done = true;
+        }
+        Err(why) => fail_flight(wheel, f, i, why, retry),
+    }
+}
+
+/// Books one failed attempt: exhausted → the flight lands in error and
+/// the connection is dropped (the caller quarantines); otherwise the
+/// retry backoff goes on the wheel and the reconnect waits for it.
+fn fail_flight(wheel: &mut TimerWheel, f: &mut Flight, i: usize, why: String, retry: &RetryPolicy) {
+    if f.attempt >= retry.max_attempts {
+        f.out.result = Err(why);
+        f.conn = None;
+        f.done = true;
+        return;
+    }
+    f.why = Some(why);
+    f.timer = Some(wheel.schedule_after(retry.backoff(f.out.widx as u64, f.attempt), i as u64));
+}
+
+/// The backoff fired: re-dial the endpoint (frame numbering and chaos
+/// wiring resume, so plan coordinates stay stable) and re-issue the
+/// identical payload — exactly the blocking [`exchange`] loop's recovery.
+fn reconnect_flight(
+    poller: &Poller,
+    wheel: &mut TimerWheel,
+    f: &mut Flight,
+    i: usize,
+    deadline: Duration,
+    retry: &RetryPolicy,
+) {
+    let why = f.why.take().unwrap_or_default();
+    let conn = f.conn.as_mut().expect("flight holds a connection");
+    match conn.reconnect(None) {
+        Ok(()) => {
+            f.out.reconnects += 1;
+            f.out.retries += 1;
+            send_flight(poller, wheel, f, i, deadline, retry);
+        }
+        Err(e) => {
+            f.out.result = Err(format!("{why}; reconnect: {e}"));
+            f.conn = None;
+            f.done = true;
+        }
+    }
+}
+
+/// Drives one flight to completion without the reactor, for the
+/// poll-failure path: awaiting reads block under the socket deadline,
+/// pending backoffs become thread sleeps.
+fn finish_blocking(
+    poller: &Poller,
+    wheel: &mut TimerWheel,
+    f: &mut Flight,
+    i: usize,
+    deadline: Duration,
+    retry: &RetryPolicy,
+) {
+    while !f.done {
+        if f.registered {
+            finish_read(poller, wheel, f, i, retry, None);
+        } else if f.why.is_some() {
+            if let Some(id) = f.timer.take() {
+                wheel.cancel(id);
+            }
+            std::thread::sleep(retry.backoff(f.out.widx as u64, f.attempt));
+            reconnect_flight(poller, wheel, f, i, deadline, retry);
+        } else {
+            send_flight(poller, wheel, f, i, deadline, retry);
+        }
+    }
+}
+
 /// One request with retry-and-reconnect: roundtrip, and on a transport
 /// failure back off, dial a fresh connection to the same worker (frame
 /// numbering resumes, so chaos-plan coordinates stay stable), and re-issue
@@ -556,9 +830,7 @@ impl Drop for DistExecutor {
 /// quarantines — when attempts run out or the reconnect itself fails.
 fn exchange(
     widx: usize,
-    addr: &str,
-    mut conn: Transport,
-    chaos: Option<Arc<NetFaultPlan>>,
+    mut conn: FramedTcp,
     payload: &[u8],
     deadline: Duration,
     retry: &RetryPolicy,
@@ -587,15 +859,8 @@ fn exchange(
                 }
                 std::thread::sleep(retry.backoff(widx as u64, attempt));
                 // The old connection is suspect; re-issue on a fresh one.
-                let frame = conn.frame_index();
-                match TcpStream::connect(addr) {
-                    Ok(stream) => {
-                        stream.set_nodelay(true).ok();
-                        let mut fresh = ChaosTransport::new(stream);
-                        if let Some(plan) = &chaos {
-                            fresh = fresh.with_plan(Arc::clone(plan), widx as u64);
-                        }
-                        conn = fresh.resume_at(frame);
+                match conn.reconnect(None) {
+                    Ok(()) => {
                         out.reconnects += 1;
                         out.retries += 1;
                         // No obs counters here: exchange runs on dispatch
@@ -615,8 +880,8 @@ fn exchange(
 /// One request/response exchange under read *and* write deadlines. Any
 /// failure — write error, timeout, torn frame, decode error — is returned
 /// as a description; the caller retries or quarantines the worker.
-fn roundtrip(conn: &mut Transport, payload: &[u8], deadline: Duration) -> Result<Response, String> {
-    let stream = conn.get_ref();
+fn roundtrip(conn: &mut FramedTcp, payload: &[u8], deadline: Duration) -> Result<Response, String> {
+    let stream = conn.stream();
     stream
         .set_read_timeout(Some(deadline))
         .map_err(|e| format!("set read deadline: {e}"))?;

@@ -44,4 +44,4 @@ pub use protocol::{
     BatchResponse, InitRequest, Inject, Request, Response, RolloutItem, RunRequest,
     DIST_MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
-pub use worker::serve_worker;
+pub use worker::{serve_worker, serve_worker_with, WorkerNet};

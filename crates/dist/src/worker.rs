@@ -12,16 +12,30 @@
 //! ([`rl_ccd::run_rollouts_assigned`]) — the *identical* code path a
 //! single-process run takes, which is what makes distributed training
 //! bit-identical to local training.
+//!
+//! Connections ride the unified [`rl_ccd_wire`] transport stack: accepted
+//! sockets come back as [`FramedTcp`] through a [`FramedListener`], so a
+//! [`NetFaultPlan`] can cover the worker's *accept* path ([`WorkerNet`]) —
+//! previously worker sockets were raw `TcpStream`s that chaos could never
+//! touch. On Linux the accept loop is readiness-multiplexed over the
+//! [`Poller`]: health probes answer while another connection is mid-batch,
+//! and a parked coordinator connection costs no wakeups. Frame operations
+//! themselves stay blocking, so chaos injection and framing are
+//! bit-identical to the sequential loop (the non-epoll fallback).
 
 use crate::protocol::{
-    decode_request, encode_response, read_message, write_message, BatchResponse, Inject, Request,
-    Response, RolloutItem,
+    decode_request, encode_response, BatchResponse, Inject, Request, Response, RolloutItem,
+    DIST_MAX_FRAME_LEN,
 };
 use rl_ccd::{run_rollouts_assigned, CcdEnv, FaultPlan, RlCcd, RlConfig};
 use rl_ccd_netlist::{read_netlist, ClusterClass, DesignSpec, GeneratedDesign};
 use rl_ccd_obs as obs;
-use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{TcpListener, TcpStream};
+use rl_ccd_wire::reactor::Interest;
+use rl_ccd_wire::{FramedListener, FramedTcp, NetFaultPlan, Poller, Transport};
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::TcpListener;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The design, environment and model a worker builds on `Init` and reuses
@@ -45,12 +59,28 @@ struct WorkerSession {
     last_reply: Option<(u64, Vec<u8>)>,
 }
 
-/// What a connection handler tells the accept loop to do next.
-enum Next {
-    /// The peer hung up; accept the next connection.
-    Accept,
+/// What handling one message tells the serving loop to do next.
+enum Step {
+    /// Message answered (or ignored); keep serving this connection.
+    Served,
+    /// The peer hung up (or the transport died); close this connection.
+    Close,
     /// A `Shutdown` request (or an injected death): stop serving.
     Exit,
+}
+
+/// Network-side configuration for a worker: how accepted connections are
+/// wrapped. The default is a plain wire; attaching a [`NetFaultPlan`]
+/// routes every *accepted* connection through chaos — the same fault
+/// vocabulary the coordinator side injects — numbered sequentially from
+/// `conn_base` in accept order.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerNet {
+    /// Fault plan applied to every accepted connection (`None` = plain).
+    pub chaos: Option<Arc<NetFaultPlan>>,
+    /// Connection id of the first accepted connection in the plan's
+    /// addressing; subsequent accepts count up from here.
+    pub conn_base: u64,
 }
 
 /// Serves rollout requests on `listener` until a `Shutdown` request or an
@@ -61,129 +91,232 @@ enum Next {
 /// Propagates fatal accept-loop I/O errors. Per-connection errors are
 /// answered with [`Response::Err`] or end that connection only.
 pub fn serve_worker(listener: TcpListener) -> io::Result<()> {
+    serve_worker_with(listener, WorkerNet::default())
+}
+
+/// [`serve_worker`] with explicit network wrapping: accepted connections
+/// come through a [`FramedListener`], so `net.chaos` covers the worker's
+/// accept path. Multiplexes connections over the [`Poller`] where the
+/// platform supports it (health probes answer while a batch is in flight)
+/// and falls back to the sequential accept loop elsewhere.
+///
+/// # Errors
+/// Same contract as [`serve_worker`].
+pub fn serve_worker_with(listener: TcpListener, net: WorkerNet) -> io::Result<()> {
+    let mut flistener = FramedListener::new(listener);
+    if let Some(plan) = net.chaos {
+        flistener = flistener.with_chaos(plan, net.conn_base);
+    }
     let mut session = WorkerSession::default();
+    match Poller::new() {
+        Ok(poller) => serve_multiplexed(&poller, flistener, &mut session),
+        Err(_) => serve_sequential(flistener, &mut session),
+    }
+}
+
+/// The sequential accept loop: one connection served at a time, exactly
+/// the pre-reactor behavior (and the non-epoll fallback).
+fn serve_sequential(mut listener: FramedListener, session: &mut WorkerSession) -> io::Result<()> {
     loop {
-        let (stream, peer) = listener.accept()?;
+        let (mut conn, peer) = listener.accept()?;
         obs::counter!("dist.worker.connections", 1);
         let _span = obs::span!("dist.worker.serve", peer = peer.to_string());
-        match handle_connection(stream, &mut session) {
-            Next::Accept => continue,
-            Next::Exit => return Ok(()),
+        loop {
+            match handle_message(&mut conn, session) {
+                Step::Served => continue,
+                Step::Close => break,
+                Step::Exit => return Ok(()),
+            }
         }
     }
 }
 
-fn handle_connection(stream: TcpStream, session: &mut WorkerSession) -> Next {
-    stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return Next::Accept,
-    });
-    let mut writer = BufWriter::new(stream);
+const LISTENER_TOKEN: u64 = 0;
+const FIRST_CONN_TOKEN: u64 = 1;
+
+/// The readiness-multiplexed loop: the listener and every accepted
+/// connection share one epoll set. A readable connection gets one
+/// blocking frame read + dispatch per event (level-triggered readiness
+/// re-reports buffered pipelined requests), so frame operations — and
+/// chaos injection — run the identical blocking code path as
+/// [`serve_sequential`].
+fn serve_multiplexed(
+    poller: &Poller,
+    mut listener: FramedListener,
+    session: &mut WorkerSession,
+) -> io::Result<()> {
+    listener.get_ref().set_nonblocking(true)?;
+    poller.register(listener.get_ref(), LISTENER_TOKEN, Interest::READABLE)?;
+    let mut conns: HashMap<u64, (FramedTcp, String)> = HashMap::new();
+    let mut next_token = FIRST_CONN_TOKEN;
+    let mut events = Vec::new();
     loop {
-        let payload = match read_message(&mut reader) {
-            Ok(p) => p,
-            // EOF or a broken pipe: the coordinator hung up (normal when
-            // it abandoned this connection past a deadline).
-            Err(_) => return Next::Accept,
-        };
-        let request = match decode_request(&payload) {
-            Ok(r) => r,
-            Err(why) => {
-                send(&mut writer, &Response::Err { message: why });
-                continue;
-            }
-        };
-        match request {
-            Request::Shutdown => return Next::Exit,
-            Request::Health => {
-                obs::counter!("dist.worker.health_probes", 1);
-                send(
-                    &mut writer,
-                    &Response::HealthAck {
-                        ready: session.state.is_some(),
-                    },
-                );
-            }
-            Request::Init(init) => {
-                let response =
-                    match build_state(init.period_ps, &init.netlist_text, init.recipe, init.config)
-                    {
-                        Ok(built) => {
-                            let ack = Response::InitAck {
-                                endpoints: built.env.design().netlist.endpoints().len(),
-                                pool: built.env.pool().len(),
-                            };
-                            session.state = Some(built);
-                            ack
+        poller.poll(&mut events, None)?;
+        for ev in &events {
+            match ev.token {
+                LISTENER_TOKEN => loop {
+                    match listener.accept() {
+                        Ok((conn, peer)) => {
+                            obs::counter!("dist.worker.connections", 1);
+                            // Accepted sockets must block: frame reads and
+                            // writes run to completion once readiness fires.
+                            if conn.stream().set_nonblocking(false).is_err() {
+                                continue;
+                            }
+                            let token = next_token;
+                            next_token += 1;
+                            if poller
+                                .register(conn.stream(), token, Interest::READABLE)
+                                .is_ok()
+                            {
+                                conns.insert(token, (conn, peer.to_string()));
+                            }
                         }
-                        Err(why) => Response::Err { message: why },
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        // Per-connection accept failures must not kill the
+                        // worker.
+                        Err(_) => break,
+                    }
+                },
+                token => {
+                    let Some((conn, peer)) = conns.get_mut(&token) else {
+                        continue;
                     };
-                send(&mut writer, &response);
-            }
-            Request::Run(run) => {
-                let Some(st) = session.state.as_ref() else {
-                    send(
-                        &mut writer,
-                        &Response::Err {
-                            message: "run before init".into(),
-                        },
-                    );
-                    continue;
-                };
-                // A coordinator that has already given up is not worth
-                // blocking on: bound the reply write by its budget.
-                if let Some(ms) = run.budget_ms {
-                    let _ = writer
-                        .get_ref()
-                        .set_write_timeout(Some(Duration::from_millis(ms.max(1))));
-                }
-                // Idempotent re-issue: a retried dispatch replays the
-                // cached reply bit-for-bit instead of recomputing.
-                if run.req_id != 0 {
-                    if let Some((id, reply)) = &session.last_reply {
-                        if *id == run.req_id {
-                            obs::counter!("dist.worker.replayed_replies", 1);
-                            let _ = write_message(&mut writer, reply);
-                            continue;
+                    let step = if ev.readable {
+                        let _span = obs::span!("dist.worker.serve", peer = peer.clone());
+                        handle_message(conn, session)
+                    } else if ev.hangup {
+                        Step::Close
+                    } else {
+                        Step::Served
+                    };
+                    match step {
+                        Step::Served => {}
+                        Step::Close => {
+                            if let Some((conn, _)) = conns.remove(&token) {
+                                let _ = poller.deregister(conn.stream());
+                            }
                         }
+                        Step::Exit => return Ok(()),
                     }
                 }
-                // Process-level injections (test harness): die, tear the
-                // reply frame, or stall past the coordinator's deadline.
-                if run.injects.contains(&Inject::Drop) {
-                    obs::counter!("dist.worker.injected_drops", 1);
-                    return Next::Exit;
-                }
-                if run.injects.contains(&Inject::Torn) {
-                    obs::counter!("dist.worker.injected_torn", 1);
-                    // A length prefix promising 64 bytes, backed by 8.
-                    let _ = writer.write_all(&64u32.to_be_bytes());
-                    let _ = writer.write_all(b"truncate");
-                    let _ = writer.flush();
-                    return Next::Exit;
-                }
-                let batch = run_batch(st, &run.params, &run.pairs, run.iteration, &run.injects);
-                if let Some(ms) = run.injects.iter().find_map(|i| match i {
-                    Inject::SleepMs(ms) => Some(*ms),
-                    _ => None,
-                }) {
-                    obs::counter!("dist.worker.injected_stalls", 1);
-                    std::thread::sleep(Duration::from_millis(ms));
-                }
-                let payload = encode_response(&Response::Batch(batch));
-                if run.req_id != 0 {
-                    session.last_reply = Some((run.req_id, payload.clone()));
-                }
-                let _ = write_message(&mut writer, &payload);
             }
         }
     }
 }
 
-fn send(writer: &mut BufWriter<TcpStream>, response: &Response) {
+/// Reads and answers one message on `conn`. Blocking: once the socket is
+/// readable (or the caller is the sequential loop), the frame is read to
+/// completion.
+fn handle_message(conn: &mut FramedTcp, session: &mut WorkerSession) -> Step {
+    let payload = match conn.read_frame_limited(DIST_MAX_FRAME_LEN) {
+        Ok(p) => p,
+        // EOF or a broken pipe: the coordinator hung up (normal when
+        // it abandoned this connection past a deadline).
+        Err(_) => return Step::Close,
+    };
+    let request = match decode_request(&payload) {
+        Ok(r) => r,
+        Err(why) => {
+            send(conn, &Response::Err { message: why });
+            return Step::Served;
+        }
+    };
+    match request {
+        Request::Shutdown => Step::Exit,
+        Request::Health => {
+            obs::counter!("dist.worker.health_probes", 1);
+            send(
+                conn,
+                &Response::HealthAck {
+                    ready: session.state.is_some(),
+                },
+            );
+            Step::Served
+        }
+        Request::Init(init) => {
+            let response =
+                match build_state(init.period_ps, &init.netlist_text, init.recipe, init.config) {
+                    Ok(built) => {
+                        let ack = Response::InitAck {
+                            endpoints: built.env.design().netlist.endpoints().len(),
+                            pool: built.env.pool().len(),
+                        };
+                        session.state = Some(built);
+                        ack
+                    }
+                    Err(why) => Response::Err { message: why },
+                };
+            send(conn, &response);
+            Step::Served
+        }
+        Request::Run(run) => {
+            let Some(st) = session.state.as_ref() else {
+                send(
+                    conn,
+                    &Response::Err {
+                        message: "run before init".into(),
+                    },
+                );
+                return Step::Served;
+            };
+            // A coordinator that has already given up is not worth
+            // blocking on: bound the reply write by its budget.
+            if let Some(ms) = run.budget_ms {
+                let _ = conn
+                    .stream()
+                    .set_write_timeout(Some(Duration::from_millis(ms.max(1))));
+            }
+            // Idempotent re-issue: a retried dispatch replays the
+            // cached reply bit-for-bit instead of recomputing.
+            if run.req_id != 0 {
+                if let Some((id, reply)) = &session.last_reply {
+                    if *id == run.req_id {
+                        obs::counter!("dist.worker.replayed_replies", 1);
+                        let reply = reply.clone();
+                        let _ = conn.write_frame_limited(&reply, DIST_MAX_FRAME_LEN);
+                        return Step::Served;
+                    }
+                }
+            }
+            // Process-level injections (test harness): die, tear the
+            // reply frame, or stall past the coordinator's deadline.
+            if run.injects.contains(&Inject::Drop) {
+                obs::counter!("dist.worker.injected_drops", 1);
+                return Step::Exit;
+            }
+            if run.injects.contains(&Inject::Torn) {
+                obs::counter!("dist.worker.injected_torn", 1);
+                // A length prefix promising 64 bytes, backed by 8 — raw
+                // bytes on the socket, past any chaos wrapping.
+                let mut stream = conn.stream();
+                let _ = stream.write_all(&64u32.to_be_bytes());
+                let _ = stream.write_all(b"truncate");
+                let _ = stream.flush();
+                return Step::Exit;
+            }
+            let batch = run_batch(st, &run.params, &run.pairs, run.iteration, &run.injects);
+            if let Some(ms) = run.injects.iter().find_map(|i| match i {
+                Inject::SleepMs(ms) => Some(*ms),
+                _ => None,
+            }) {
+                obs::counter!("dist.worker.injected_stalls", 1);
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+            let payload = encode_response(&Response::Batch(batch));
+            if run.req_id != 0 {
+                session.last_reply = Some((run.req_id, payload.clone()));
+            }
+            let _ = conn.write_frame_limited(&payload, DIST_MAX_FRAME_LEN);
+            Step::Served
+        }
+    }
+}
+
+fn send(conn: &mut FramedTcp, response: &Response) {
     let payload = encode_response(response);
-    let _ = write_message(writer, &payload);
+    let _ = conn.write_frame_limited(&payload, DIST_MAX_FRAME_LEN);
 }
 
 fn build_state(

@@ -2,8 +2,8 @@
 //!
 //! Both columns of Fig. 1 — the default tool flow and the RL-enhanced flow —
 //! run the *same* sequence of optimization steps; the only difference is the
-//! endpoint-prioritization hook before useful skew. [`run_flow`] implements
-//! that shared sequence:
+//! endpoint-prioritization hook before useful skew. [`FlowRecipe::run`]
+//! implements that shared sequence:
 //!
 //! 1. snapshot begin QoR (post global placement),
 //! 2. a light pre-CCD data-path pass,
@@ -146,32 +146,6 @@ pub struct StageSnapshot {
 
 /// Per-stage QoR trace of one flow run, in execution order.
 pub type FlowTrace = Vec<StageSnapshot>;
-
-/// Free-function alias of [`FlowRecipe::run`], kept for migration.
-#[deprecated(
-    since = "0.2.0",
-    note = "use FlowRecipe::run (or rl_ccd::Session::run_flow)"
-)]
-pub fn run_flow(
-    design: &GeneratedDesign,
-    recipe: &FlowRecipe,
-    prioritized: &[EndpointId],
-) -> FlowResult {
-    recipe.run(design, prioritized)
-}
-
-/// Free-function alias of [`FlowRecipe::run_traced`], kept for migration.
-#[deprecated(
-    since = "0.2.0",
-    note = "use FlowRecipe::run_traced (or rl_ccd::Session::run_flow_traced)"
-)]
-pub fn run_flow_traced(
-    design: &GeneratedDesign,
-    recipe: &FlowRecipe,
-    prioritized: &[EndpointId],
-) -> (FlowResult, FlowTrace) {
-    recipe.run_traced(design, prioritized)
-}
 
 /// Records a stage boundary: pushes the trace snapshot and annotates the
 /// stage's span with post-stage QoR and the TNS delta the stage produced.

@@ -31,8 +31,6 @@ pub mod sensitivity;
 pub mod useful_skew;
 
 pub use datapath::{optimize_datapath, recover_power, DatapathOpts, OpStats};
-#[allow(deprecated)]
-pub use flow::{run_flow, run_flow_traced};
 pub use flow::{FlowRecipe, FlowTrace, StageSnapshot};
 pub use holdfix::{fix_hold, HoldFixOpts};
 pub use margin::{prioritization_margins, MarginMode};

@@ -1,6 +1,12 @@
 //! Blocking TCP client for the framed serve protocol (`rlccd query`
 //! speaks through this).
 //!
+//! Connections are configured through [`ClientBuilder`] (address, retry
+//! policy, deadline cap, chaos plan) and ride on the unified
+//! [`rl_ccd_wire::Transport`] stack — the same [`FramedTcp`] the dist
+//! coordinator and workers use — so chaos wrapping, reconnect frame
+//! numbering, and deadline arming behave identically everywhere.
+//!
 //! The client is hardened against a hostile network:
 //!
 //! * **No read can hang forever.** Every socket operation runs under a
@@ -16,22 +22,112 @@
 //!   [`Response::Overloaded`] is retried after the server's
 //!   `retry_after_ms` hint (or the backoff, whichever is longer).
 
-use crate::protocol::{HealthReply, QueryRequest, Request, Response};
-use rl_ccd_wire::{ChaosTransport, DeadlineBudget, NetFaultPlan, RetryPolicy};
+use crate::protocol::{HealthReply, QueryRequest, Request, Response, MAX_FRAME_LEN};
+use rl_ccd_wire::{roundtrip, DeadlineBudget, Endpoint, FramedTcp, NetFaultPlan, RetryPolicy};
 use std::io;
-use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::net::ToSocketAddrs;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Configures and dials a [`ServeClient`], collapsing the old
+/// constructor sprawl (`connect` + `with_retry` + `with_chaos` +
+/// `set_timeout`) into one place, mirroring the core `Session` builder.
+///
+/// ```no_run
+/// use rl_ccd_serve::ServeClient;
+/// use rl_ccd_wire::RetryPolicy;
+///
+/// let client = ServeClient::builder()
+///     .addr("127.0.0.1:7878")
+///     .retry(RetryPolicy::seeded(1).with_attempts(3))
+///     .connect()?;
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct ClientBuilder {
+    endpoint: Option<io::Result<Endpoint>>,
+    retry: RetryPolicy,
+    timeout: Option<Duration>,
+    chaos: Option<(Arc<NetFaultPlan>, u64)>,
+}
+
+impl Default for ClientBuilder {
+    fn default() -> Self {
+        ClientBuilder {
+            endpoint: None,
+            retry: RetryPolicy::none(),
+            timeout: Some(ServeClient::DEFAULT_TIMEOUT),
+            chaos: None,
+        }
+    }
+}
+
+impl ClientBuilder {
+    /// The server address to dial (e.g. `"127.0.0.1:7878"`). Required.
+    /// Resolution happens here; a resolution failure surfaces from
+    /// [`ClientBuilder::connect`].
+    #[must_use]
+    pub fn addr(mut self, addr: impl ToSocketAddrs) -> Self {
+        self.endpoint = Some(Endpoint::resolve(addr));
+        self
+    }
+
+    /// Retry-with-backoff (and reconnect) policy for queries. Defaults to
+    /// [`RetryPolicy::none`]: fail on the first error.
+    #[must_use]
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Caps how long a single socket operation may block when the request
+    /// carries no deadline budget. Defaults to
+    /// [`ServeClient::DEFAULT_TIMEOUT`]; `None` removes the cap (the
+    /// socket can block indefinitely — test use only).
+    #[must_use]
+    pub fn timeout(mut self, timeout: impl Into<Option<Duration>>) -> Self {
+        self.timeout = timeout.into();
+        self
+    }
+
+    /// Attaches a chaos plan, addressing this client's connection as
+    /// `conn`. Reconnects resume the old connection's frame numbering, so
+    /// plan coordinates stay stable across retries.
+    #[must_use]
+    pub fn chaos(mut self, plan: Arc<NetFaultPlan>, conn: u64) -> Self {
+        self.chaos = Some((plan, conn));
+        self
+    }
+
+    /// Dials the configured endpoint.
+    ///
+    /// # Errors
+    /// `InvalidInput` when no address was set, plus resolution and
+    /// connection failures.
+    pub fn connect(self) -> io::Result<ServeClient> {
+        let mut endpoint = self.endpoint.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "ClientBuilder needs an addr")
+        })??;
+        if let Some((plan, conn)) = self.chaos {
+            endpoint = endpoint.with_chaos(plan, conn);
+        }
+        Ok(ServeClient {
+            transport: endpoint.connect(None)?,
+            retry: self.retry,
+            timeout: self.timeout,
+            retries: 0,
+            reconnects: 0,
+        })
+    }
+}
 
 /// One connection to a serve endpoint. Requests are pipelined one at a
 /// time: send a frame, read a frame.
 #[derive(Debug)]
 pub struct ServeClient {
-    transport: ChaosTransport<TcpStream>,
-    addrs: Vec<SocketAddr>,
+    transport: FramedTcp,
     retry: RetryPolicy,
     timeout: Option<Duration>,
-    chaos: Option<(Arc<NetFaultPlan>, u64)>,
     retries: u64,
     reconnects: u64,
 }
@@ -41,27 +137,25 @@ impl ServeClient {
     /// carries no deadline — a silent peer costs this much, not forever.
     pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
 
-    /// Connects to `addr` (e.g. `"127.0.0.1:7878"`). The connection
-    /// starts with no retries ([`RetryPolicy::none`]) and the
+    /// Starts configuring a client: address, retry policy, deadline cap,
+    /// chaos plan.
+    #[must_use]
+    pub fn builder() -> ClientBuilder {
+        ClientBuilder::default()
+    }
+
+    /// Connects to `addr` (e.g. `"127.0.0.1:7878"`) with the builder's
+    /// defaults: no retries ([`RetryPolicy::none`]) and the
     /// [`ServeClient::DEFAULT_TIMEOUT`] socket-operation cap.
     ///
     /// # Errors
     /// Propagates resolution and connection failures.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
-        let stream = connect_any(&addrs, None)?;
-        Ok(Self {
-            transport: ChaosTransport::new(stream),
-            addrs,
-            retry: RetryPolicy::none(),
-            timeout: Some(Self::DEFAULT_TIMEOUT),
-            chaos: None,
-            retries: 0,
-            reconnects: 0,
-        })
+        Self::builder().addr(addr).connect()
     }
 
     /// Enables retry-with-backoff (and reconnect) for queries.
+    #[deprecated(note = "use ServeClient::builder().retry(..) instead")]
     #[must_use]
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
@@ -70,11 +164,10 @@ impl ServeClient {
 
     /// Attaches a chaos plan, addressing this client's connection as
     /// `conn`. Reconnects resume the old connection's frame numbering.
+    #[deprecated(note = "use ServeClient::builder().chaos(..) instead")]
     #[must_use]
     pub fn with_chaos(mut self, plan: Arc<NetFaultPlan>, conn: u64) -> Self {
-        self.transport =
-            ChaosTransport::new(self.transport.into_inner()).with_plan(Arc::clone(&plan), conn);
-        self.chaos = Some((plan, conn));
+        self.transport.rewire_chaos(plan, conn);
         self
     }
 
@@ -109,7 +202,11 @@ impl ServeClient {
             Some(ms) => DeadlineBudget::from_ms(ms),
             None => DeadlineBudget::unbounded(),
         };
-        let key = self.chaos.as_ref().map_or(0, |(_, conn)| *conn);
+        let key = self
+            .transport
+            .endpoint()
+            .chaos()
+            .map_or(0, |(_, conn)| conn);
         let mut attempt: u32 = 0;
         loop {
             attempt += 1;
@@ -181,9 +278,13 @@ impl ServeClient {
     }
 
     fn roundtrip(&mut self, request: &Request, budget: &DeadlineBudget) -> io::Result<Response> {
-        budget.arm(self.transport.get_ref(), self.timeout)?;
-        self.transport.write_frame(&request.encode())?;
-        let payload = self.transport.read_frame()?;
+        let payload = roundtrip(
+            &mut self.transport,
+            &request.encode(),
+            MAX_FRAME_LEN,
+            budget,
+            self.timeout,
+        )?;
         Response::decode(&payload).map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))
     }
 
@@ -207,13 +308,7 @@ impl ServeClient {
     /// plan and frame numbering over.
     fn reconnect(&mut self, budget: &DeadlineBudget) -> io::Result<()> {
         let connect_timeout = budget.remaining()?.or(self.timeout);
-        let stream = connect_any(&self.addrs, connect_timeout)?;
-        let frame = self.transport.frame_index();
-        let mut fresh = ChaosTransport::new(stream);
-        if let Some((plan, conn)) = &self.chaos {
-            fresh = fresh.with_plan(Arc::clone(plan), *conn).resume_at(frame);
-        }
-        self.transport = fresh;
+        self.transport.reconnect(connect_timeout)?;
         self.reconnects += 1;
         rl_ccd_obs::counter!("serve.client.reconnects", 1);
         Ok(())
@@ -232,24 +327,4 @@ fn retriable(e: &io::Error) -> bool {
             | io::ErrorKind::TimedOut
             | io::ErrorKind::WouldBlock
     )
-}
-
-/// Connects to the first reachable address, with nodelay set.
-fn connect_any(addrs: &[SocketAddr], timeout: Option<Duration>) -> io::Result<TcpStream> {
-    let mut last_err = None;
-    for addr in addrs {
-        let attempt = match timeout {
-            Some(t) => TcpStream::connect_timeout(addr, t),
-            None => TcpStream::connect(addr),
-        };
-        match attempt {
-            Ok(stream) => {
-                stream.set_nodelay(true).ok();
-                return Ok(stream);
-            }
-            Err(e) => last_err = Some(e),
-        }
-    }
-    Err(last_err
-        .unwrap_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address to connect to")))
 }

@@ -44,12 +44,13 @@
 pub mod cache;
 pub mod client;
 pub mod protocol;
+mod reactor;
 pub mod registry;
 mod scheduler;
 pub mod server;
 
 pub use cache::{EnvCache, LruCache, SelectionCache};
-pub use client::ServeClient;
+pub use client::{ClientBuilder, ServeClient};
 pub use protocol::{
     DesignKey, HealthReply, Mode, QueryReply, QueryRequest, RejectKind, Request, Response,
     PROTOCOL_VERSION,

@@ -1,0 +1,349 @@
+//! The reactor TCP front-end: one thread multiplexing every client
+//! connection with epoll, in place of [`Server::bind`]'s
+//! thread-per-connection accept loop.
+//!
+//! The loop owns the listener and every accepted socket as a
+//! [`FramedConn`] (non-blocking incremental frame decode, buffered
+//! writes). Requests decode exactly as on the blocking path; queries are
+//! submitted to the same scheduler with a [`ReplySink::Completion`] that
+//! routes the worker's answer back through the [`CompletionQueue`], whose
+//! waker interrupts the poll. Health probes and rejections are answered
+//! inline. Per-connection deadlines live in a [`TimerWheel`]: a send
+//! buffer that stays non-empty for [`write_timeout`] evicts the
+//! connection as a slow client, mirroring the blocking path's write
+//! timeout.
+//!
+//! Idle connections cost nothing per request: a socket with no traffic
+//! produces no events, so the work per poll is proportional to *active*
+//! connections (pinned by the soak test and the `serve_load
+//! --connections` bench).
+//!
+//! [`Server::bind`]: crate::server::Server::bind
+//! [`write_timeout`]: crate::server::ServeConfig::write_timeout
+
+use crate::protocol::{QueryReply, RejectKind, Request, Response};
+use crate::scheduler::{CompletionQueue, ReplySink};
+use crate::server::Shared;
+use rl_ccd_wire::frames::FramedConn;
+use rl_ccd_wire::reactor::{Interest, Poller, Waker};
+use rl_ccd_wire::timer::{TimerId, TimerWheel};
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+const LISTENER: u64 = 0;
+const WAKER: u64 = 1;
+const FIRST_CONN: u64 = 2;
+
+/// Idle heartbeat: an otherwise-quiet loop re-checks the drain flag at
+/// this cadence, mirroring the blocking connection loop's 200 ms read
+/// timeout.
+const HEARTBEAT: std::time::Duration = std::time::Duration::from_millis(200);
+
+/// Verifies the platform supports the reactor (epoll) before spawning
+/// the loop thread, so `bind_reactor` fails on the caller.
+pub(crate) fn check_supported() -> std::io::Result<()> {
+    Poller::new().map(drop)
+}
+
+struct Conn {
+    io: FramedConn,
+    /// Queries handed to the scheduler whose responses have not yet come
+    /// back through the completion queue.
+    inflight: usize,
+    /// Armed while the send buffer is non-empty; fires an eviction.
+    stall: Option<TimerId>,
+    /// Close once the send buffer drains (set by the shutdown ack).
+    closing: bool,
+    /// Whether the current epoll registration includes write interest.
+    writable_armed: bool,
+}
+
+/// The reactor event loop. Runs until shutdown: `draining` set, every
+/// owed response delivered (or its connection evicted), every socket
+/// closed.
+pub(crate) fn run(shared: &Arc<Shared>, listener: TcpListener, waker: Waker) {
+    let _obs = shared.recorder.as_ref().map(rl_ccd_obs::attach);
+    let Ok(poller) = Poller::new() else { return };
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    if poller
+        .register(&listener, LISTENER, Interest::READABLE)
+        .is_err()
+        || poller.register(&waker, WAKER, Interest::READABLE).is_err()
+    {
+        return;
+    }
+    let completions = Arc::new(CompletionQueue::new(waker.clone()));
+    let mut wheel = TimerWheel::with_ms_ticks();
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = FIRST_CONN;
+    let mut inflight_total = 0usize;
+    let mut events = Vec::new();
+    let mut expired = Vec::new();
+    let mut accepting = true;
+
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            if accepting {
+                let _ = poller.deregister(&listener);
+                accepting = false;
+            }
+            // Close idle connections — clients see EOF, exactly like the
+            // blocking loop returning on drain. Connections still owed a
+            // response (or still flushing one) stay until delivered.
+            let idle: Vec<u64> = conns
+                .iter()
+                .filter(|(_, c)| c.inflight == 0 && !c.io.wants_write())
+                .map(|(t, _)| *t)
+                .collect();
+            for token in idle {
+                drop_conn(&poller, &mut wheel, &mut conns, token);
+            }
+            if conns.is_empty() && inflight_total == 0 {
+                return;
+            }
+        }
+        let now = Instant::now();
+        let timeout = wheel
+            .next_timeout(now)
+            .map_or(HEARTBEAT, |t| t.min(HEARTBEAT));
+        if poller.poll(&mut events, Some(timeout)).is_err() {
+            return;
+        }
+        shared.stats.reactor_polls.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .reactor_events
+            .fetch_add(events.len() as u64, Ordering::Relaxed);
+
+        for ev in &events {
+            match ev.token {
+                LISTENER => {
+                    if accepting {
+                        accept_burst(shared, &poller, &listener, &mut conns, &mut next_token);
+                    }
+                }
+                WAKER => {
+                    waker.drain();
+                    for (token, response) in completions.take() {
+                        inflight_total = inflight_total.saturating_sub(1);
+                        // An evicted/hung-up connection's reply has nowhere
+                        // to go; `finish` already counted it as completed.
+                        if let Some(conn) = conns.get_mut(&token) {
+                            conn.inflight = conn.inflight.saturating_sub(1);
+                            let dead = conn.queue_response(&response);
+                            conn.settle(shared, &poller, &mut wheel, token, dead);
+                            if dead || conn.done() {
+                                drop_conn(&poller, &mut wheel, &mut conns, token);
+                            }
+                        }
+                    }
+                }
+                token => {
+                    let Some(conn) = conns.get_mut(&token) else {
+                        continue;
+                    };
+                    let mut dead = false;
+                    if ev.readable {
+                        dead = conn.on_readable(shared, token, &completions, &mut inflight_total);
+                    }
+                    if !dead && ev.writable {
+                        dead = conn.io.flush().is_err();
+                    }
+                    if !dead && ev.hangup && !conn.io.wants_write() && conn.inflight == 0 {
+                        // Peer is gone and nothing is owed either way.
+                        dead = true;
+                    }
+                    conn.settle(shared, &poller, &mut wheel, token, dead);
+                    if dead || conn.done() {
+                        drop_conn(&poller, &mut wheel, &mut conns, token);
+                    }
+                }
+            }
+        }
+
+        expired.clear();
+        wheel.poll_expired(Instant::now(), &mut expired);
+        for &token in &expired {
+            if let Some(conn) = conns.get_mut(&token) {
+                conn.stall = None;
+                if conn.io.wants_write() {
+                    // The client has not drained its socket for a full
+                    // write_timeout: evict it rather than buffer forever.
+                    shared.note_evicted();
+                    drop_conn(&poller, &mut wheel, &mut conns, token);
+                }
+            }
+        }
+    }
+}
+
+fn accept_burst(
+    shared: &Arc<Shared>,
+    poller: &Poller,
+    listener: &TcpListener,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if let Some(bytes) = shared.sock_send_buffer {
+                    let _ = rl_ccd_wire::reactor::set_send_buffer(&stream, bytes);
+                }
+                let Ok(io) = FramedConn::new(stream, crate::protocol::MAX_FRAME_LEN) else {
+                    continue;
+                };
+                let token = *next_token;
+                *next_token += 1;
+                if poller
+                    .register(io.stream(), token, Interest::READABLE)
+                    .is_err()
+                {
+                    continue;
+                }
+                conns.insert(
+                    token,
+                    Conn {
+                        io,
+                        inflight: 0,
+                        stall: None,
+                        closing: false,
+                        writable_armed: false,
+                    },
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            // Per-connection accept failures (e.g. the peer already
+            // reset) must not kill the loop.
+            Err(_) => break,
+        }
+    }
+}
+
+fn drop_conn(poller: &Poller, wheel: &mut TimerWheel, conns: &mut HashMap<u64, Conn>, token: u64) {
+    if let Some(conn) = conns.remove(&token) {
+        if let Some(id) = conn.stall {
+            wheel.cancel(id);
+        }
+        let _ = poller.deregister(conn.io.stream());
+    }
+}
+
+impl Conn {
+    /// Pulls bytes, decodes every complete request, answers or enqueues
+    /// each. Returns true when the connection is dead.
+    fn on_readable(
+        &mut self,
+        shared: &Arc<Shared>,
+        token: u64,
+        completions: &Arc<CompletionQueue>,
+        inflight_total: &mut usize,
+    ) -> bool {
+        if self.io.on_readable().is_err() {
+            return true;
+        }
+        loop {
+            match self.io.next_frame() {
+                Ok(Some(payload)) => {
+                    let response = match Request::decode(&payload) {
+                        Err(msg) => Response::reject(RejectKind::BadRequest, msg),
+                        Ok(Request::Shutdown) => {
+                            // Ack, then close after the flush; the
+                            // controlling process calls Server::shutdown.
+                            shared.draining.store(true, Ordering::SeqCst);
+                            self.closing = true;
+                            Response::Ok(QueryReply {
+                                model: String::new(),
+                                version: 0,
+                                steps: 0,
+                                batch: 0,
+                                cached: false,
+                                selection: vec![],
+                            })
+                        }
+                        Ok(Request::Health) => Response::Health(shared.health_reply()),
+                        Ok(Request::Query(q)) => {
+                            let sink = ReplySink::Completion {
+                                token,
+                                queue: completions.clone(),
+                            };
+                            match shared.submit(q, sink) {
+                                Err(kind) => shared.reject_response(kind),
+                                Ok(()) => {
+                                    self.inflight += 1;
+                                    *inflight_total += 1;
+                                    continue;
+                                }
+                            }
+                        }
+                    };
+                    if self.queue_response(&response) {
+                        return true;
+                    }
+                    if self.closing {
+                        break; // drop anything pipelined after a shutdown
+                    }
+                }
+                Ok(None) => break,
+                // Framing is lost (oversized prefix) or the peer tore a
+                // frame: unrecoverable either way.
+                Err(_) => return true,
+            }
+        }
+        self.io.is_eof() && self.inflight == 0 && !self.io.wants_write()
+    }
+
+    /// Encodes and queues a response, flushing what fits. Returns true on
+    /// a fatal transport error.
+    fn queue_response(&mut self, response: &Response) -> bool {
+        self.io.send_frame(&response.encode()).is_err()
+    }
+
+    /// Reconciles epoll interest and the stall timer with the send
+    /// buffer's state after any activity on the connection.
+    fn settle(
+        &mut self,
+        shared: &Arc<Shared>,
+        poller: &Poller,
+        wheel: &mut TimerWheel,
+        token: u64,
+        dead: bool,
+    ) {
+        if dead {
+            return;
+        }
+        let wants = self.io.wants_write();
+        if wants != self.writable_armed {
+            let interest = if wants {
+                Interest::BOTH
+            } else {
+                Interest::READABLE
+            };
+            if poller.reregister(self.io.stream(), token, interest).is_ok() {
+                self.writable_armed = wants;
+            }
+        }
+        if wants {
+            if self.stall.is_none() {
+                self.stall = Some(wheel.schedule_after(shared.write_timeout, token));
+            }
+        } else if let Some(id) = self.stall.take() {
+            wheel.cancel(id);
+        }
+    }
+
+    /// True when the connection has nothing left to do and should close:
+    /// the shutdown ack flushed, or the peer closed and nothing is owed.
+    fn done(&self) -> bool {
+        if self.io.wants_write() {
+            return false;
+        }
+        self.closing || (self.io.is_eof() && self.inflight == 0)
+    }
+}

@@ -16,16 +16,75 @@
 //! completed, never dropped).
 
 use crate::protocol::{QueryRequest, RejectKind, Response};
+use rl_ccd_wire::Waker;
 use std::collections::VecDeque;
 use std::sync::mpsc;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Completed responses bound for reactor-driven connections, plus the
+/// waker that interrupts the reactor's poll to deliver them. Batch
+/// workers push here and never block: the reactor owns the sockets.
+#[derive(Debug)]
+pub(crate) struct CompletionQueue {
+    done: Mutex<Vec<(u64, Response)>>,
+    waker: Waker,
+}
+
+impl CompletionQueue {
+    pub(crate) fn new(waker: Waker) -> Self {
+        Self {
+            done: Mutex::new(Vec::new()),
+            waker,
+        }
+    }
+
+    /// Queues a finished response for the connection registered under
+    /// `token` and wakes the reactor.
+    pub(crate) fn push(&self, token: u64, response: Response) {
+        self.done
+            .lock()
+            .expect("completion queue lock")
+            .push((token, response));
+        self.waker.wake();
+    }
+
+    /// Takes everything queued (called by the reactor after a wake).
+    pub(crate) fn take(&self) -> Vec<(u64, Response)> {
+        std::mem::take(&mut *self.done.lock().expect("completion queue lock"))
+    }
+}
+
+/// Where a finished job's response goes: a blocking caller's channel
+/// (in-process handle, thread-per-connection loop), or the reactor's
+/// completion queue with the token of the connection that asked.
+#[derive(Clone, Debug)]
+pub(crate) enum ReplySink {
+    Channel(mpsc::Sender<Response>),
+    Completion {
+        token: u64,
+        queue: Arc<CompletionQueue>,
+    },
+}
+
+impl ReplySink {
+    /// Delivers the response. A receiver that hung up is not an error the
+    /// worker can act on, so delivery is best-effort by design.
+    pub(crate) fn send(&self, response: Response) {
+        match self {
+            ReplySink::Channel(tx) => {
+                let _ = tx.send(response);
+            }
+            ReplySink::Completion { token, queue } => queue.push(*token, response),
+        }
+    }
+}
 
 /// One queued request plus everything needed to answer it.
 #[derive(Debug)]
 pub(crate) struct Job {
     pub(crate) request: QueryRequest,
-    pub(crate) reply: mpsc::Sender<Response>,
+    pub(crate) reply: ReplySink,
     pub(crate) enqueued: Instant,
     pub(crate) deadline: Option<Instant>,
 }
@@ -131,7 +190,6 @@ impl Scheduler {
 mod tests {
     use super::*;
     use crate::protocol::{DesignKey, Mode};
-    use std::sync::Arc;
 
     fn job() -> (Job, mpsc::Receiver<Response>) {
         let (tx, rx) = mpsc::channel();
@@ -148,7 +206,7 @@ mod tests {
                     mode: Mode::Greedy,
                     deadline_ms: None,
                 },
-                reply: tx,
+                reply: ReplySink::Channel(tx),
                 enqueued: Instant::now(),
                 deadline: None,
             },

@@ -17,7 +17,7 @@
 use crate::cache::{EnvCache, SelectionCache};
 use crate::protocol::{HealthReply, Mode, QueryReply, QueryRequest, RejectKind, Request, Response};
 use crate::registry::ModelRegistry;
-use crate::scheduler::{Job, Scheduler};
+use crate::scheduler::{Job, ReplySink, Scheduler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rl_ccd::InferSession;
@@ -51,6 +51,12 @@ pub struct ServeConfig {
     /// evicted as a slow client (its response buffer is the bound on
     /// per-connection memory: one frame, never an unbounded backlog).
     pub write_timeout: Duration,
+    /// Kernel send-buffer cap (`SO_SNDBUF`) applied to each reactor
+    /// connection; `None` keeps the kernel's autotuned default. Bounding
+    /// it keeps per-connection kernel memory predictable with thousands
+    /// of sockets, and makes a client that stops reading hit the
+    /// write-stall eviction instead of hiding in autotuned buffers.
+    pub sock_send_buffer: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +70,7 @@ impl Default for ServeConfig {
             selection_cache: 64,
             fanout_cap: 24,
             write_timeout: Duration::from_secs(5),
+            sock_send_buffer: None,
         }
     }
 }
@@ -81,7 +88,7 @@ impl ServeConfig {
 
 /// Atomic lifetime counters plus the per-batch-size census.
 #[derive(Debug, Default)]
-struct Stats {
+pub(crate) struct Stats {
     accepted: AtomicU64,
     completed: AtomicU64,
     rejected_busy: AtomicU64,
@@ -90,6 +97,11 @@ struct Stats {
     shed: AtomicU64,
     evicted: AtomicU64,
     health_probes: AtomicU64,
+    /// Reactor front-end: poll returns (wakeups of the event loop).
+    pub(crate) reactor_polls: AtomicU64,
+    /// Reactor front-end: readiness events processed. Idle connections
+    /// contribute nothing here — the O(active) scaling claim in numbers.
+    pub(crate) reactor_events: AtomicU64,
     batches: Mutex<BTreeMap<usize, u64>>,
 }
 
@@ -116,6 +128,11 @@ pub struct ServeStats {
     pub evicted: u64,
     /// Health probes answered.
     pub health_probes: u64,
+    /// Reactor front-end poll returns (0 when serving via [`Server::bind`]).
+    pub reactor_polls: u64,
+    /// Reactor front-end readiness events processed. Stays proportional
+    /// to *active* connections: idle sockets never produce an event.
+    pub reactor_events: u64,
     /// batch size → number of batches dispatched at that size.
     pub batches: BTreeMap<usize, u64>,
 }
@@ -155,17 +172,18 @@ impl DrainReport {
     }
 }
 
-struct Shared {
+pub(crate) struct Shared {
     registry: ModelRegistry,
     scheduler: Scheduler,
     envs: EnvCache,
     selections: SelectionCache,
-    stats: Stats,
-    draining: AtomicBool,
-    recorder: Option<rl_ccd_obs::Recorder>,
+    pub(crate) stats: Stats,
+    pub(crate) draining: AtomicBool,
+    pub(crate) recorder: Option<rl_ccd_obs::Recorder>,
     queue_capacity: usize,
     shed_retry_after_ms: u64,
-    write_timeout: Duration,
+    pub(crate) write_timeout: Duration,
+    pub(crate) sock_send_buffer: Option<usize>,
 }
 
 impl std::fmt::Debug for Shared {
@@ -182,7 +200,29 @@ impl std::fmt::Debug for Shared {
 pub struct Server {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
-    listener: Option<ListenerState>,
+    listener: Option<FrontEnd>,
+}
+
+/// Which TCP front-end is serving: the thread-per-connection accept loop
+/// ([`Server::bind`]) or the single-threaded readiness reactor
+/// ([`Server::bind_reactor`]).
+#[derive(Debug)]
+enum FrontEnd {
+    Blocking(ListenerState),
+    Reactor {
+        addr: SocketAddr,
+        thread: JoinHandle<()>,
+        waker: rl_ccd_wire::Waker,
+    },
+}
+
+impl FrontEnd {
+    fn addr(&self) -> SocketAddr {
+        match self {
+            FrontEnd::Blocking(l) => l.addr,
+            FrontEnd::Reactor { addr, .. } => *addr,
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -216,6 +256,7 @@ impl Server {
             queue_capacity: config.queue_capacity,
             shed_retry_after_ms: config.shed_retry_after_ms(),
             write_timeout: config.write_timeout,
+            sock_send_buffer: config.sock_send_buffer,
         });
         let workers = (0..config.workers.max(1))
             .map(|w| {
@@ -277,17 +318,52 @@ impl Server {
                 }
             })
             .expect("spawn serve accept loop");
-        self.listener = Some(ListenerState {
+        self.listener = Some(FrontEnd::Blocking(ListenerState {
             addr: local,
             accept_thread,
             conns,
+        }));
+        Ok(local)
+    }
+
+    /// Binds the TCP front-end on the readiness reactor: one thread
+    /// multiplexes every connection with epoll instead of spawning a
+    /// thread per socket, which is what lets one replica hold thousands
+    /// of concurrent connections. Same protocol, same typed backpressure,
+    /// same slow-client eviction (a write stalled past
+    /// [`ServeConfig::write_timeout`] evicts); batch execution stays on
+    /// the worker pool, bridged by the completion queue.
+    ///
+    /// # Errors
+    /// Propagates bind/epoll setup failures (`Unsupported` off Linux —
+    /// use [`Server::bind`] there).
+    pub fn bind_reactor(&mut self, addr: &str) -> std::io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        // A connection burst beyond std's hardcoded backlog of 128 would
+        // see connection resets; re-arm to a depth matching the front-end.
+        let _ = rl_ccd_wire::reactor::set_backlog(&listener, 4096);
+        let waker = rl_ccd_wire::Waker::new()?;
+        let shared = self.shared.clone();
+        let reactor_waker = waker.clone();
+        // Fail setup errors here, on the caller, not inside the thread.
+        crate::reactor::check_supported()?;
+        let thread = std::thread::Builder::new()
+            .name("serve-reactor".into())
+            .spawn(move || crate::reactor::run(&shared, listener, reactor_waker))
+            .expect("spawn serve reactor");
+        self.listener = Some(FrontEnd::Reactor {
+            addr: local,
+            thread,
+            waker,
         });
         Ok(local)
     }
 
-    /// The bound TCP address, when [`Server::bind`] was called.
+    /// The bound TCP address, when [`Server::bind`] or
+    /// [`Server::bind_reactor`] was called.
     pub fn local_addr(&self) -> Option<SocketAddr> {
-        self.listener.as_ref().map(|l| l.addr)
+        self.listener.as_ref().map(FrontEnd::addr)
     }
 
     /// Whether a client has sent the admin `shutdown` request (the CLI
@@ -301,14 +377,24 @@ impl Server {
     pub fn shutdown(self) -> DrainReport {
         self.shared.draining.store(true, Ordering::SeqCst);
         self.shared.scheduler.drain();
-        if let Some(listener) = self.listener {
-            // Unblock the accept loop with one throwaway connection.
-            let _ = TcpStream::connect(listener.addr);
-            let _ = listener.accept_thread.join();
-            let conns = std::mem::take(&mut *listener.conns.lock().expect("conn list lock"));
-            for conn in conns {
-                let _ = conn.join();
+        match self.listener {
+            Some(FrontEnd::Blocking(listener)) => {
+                // Unblock the accept loop with one throwaway connection.
+                let _ = TcpStream::connect(listener.addr);
+                let _ = listener.accept_thread.join();
+                let conns = std::mem::take(&mut *listener.conns.lock().expect("conn list lock"));
+                for conn in conns {
+                    let _ = conn.join();
+                }
             }
+            Some(FrontEnd::Reactor { thread, waker, .. }) => {
+                // Interrupt the poll; the reactor notices draining, stops
+                // accepting, flushes every owed response (workers are
+                // still running and will finish the backlog), then exits.
+                waker.wake();
+                let _ = thread.join();
+            }
+            None => {}
         }
         for worker in self.workers {
             let _ = worker.join();
@@ -327,7 +413,7 @@ impl ServeHandle {
     /// full queue as [`Response::Overloaded`] — never a panic or a hang.
     pub fn query(&self, request: QueryRequest) -> Response {
         let (tx, rx) = mpsc::channel();
-        match self.shared.submit(request, tx) {
+        match self.shared.submit(request, ReplySink::Channel(tx)) {
             Err(kind) => self.shared.reject_response(kind),
             Ok(()) => rx.recv().unwrap_or_else(|_| {
                 Response::reject(RejectKind::Internal, "worker dropped the reply channel")
@@ -355,11 +441,7 @@ fn rejection_message(kind: RejectKind) -> &'static str {
 }
 
 impl Shared {
-    fn submit(
-        &self,
-        request: QueryRequest,
-        reply: mpsc::Sender<Response>,
-    ) -> Result<(), RejectKind> {
+    pub(crate) fn submit(&self, request: QueryRequest, reply: ReplySink) -> Result<(), RejectKind> {
         let now = Instant::now();
         let deadline = request
             .deadline_ms
@@ -390,7 +472,7 @@ impl Shared {
     /// The response for a rejected submission: a full queue becomes the
     /// typed load-shedding answer with its backoff hint, everything else
     /// a [`Response::Err`].
-    fn reject_response(&self, kind: RejectKind) -> Response {
+    pub(crate) fn reject_response(&self, kind: RejectKind) -> Response {
         if kind == RejectKind::Busy {
             self.stats.shed.fetch_add(1, Ordering::SeqCst);
             rl_ccd_obs::counter!("serve.shed", 1);
@@ -401,8 +483,14 @@ impl Shared {
         Response::reject(kind, rejection_message(kind))
     }
 
+    /// Records a slow-client eviction (shared by both front-ends).
+    pub(crate) fn note_evicted(&self) {
+        self.stats.evicted.fetch_add(1, Ordering::SeqCst);
+        rl_ccd_obs::counter!("serve.evicted", 1);
+    }
+
     /// A point-in-time health reply.
-    fn health_reply(&self) -> HealthReply {
+    pub(crate) fn health_reply(&self) -> HealthReply {
         self.stats.health_probes.fetch_add(1, Ordering::SeqCst);
         rl_ccd_obs::counter!("serve.health_probes", 1);
         HealthReply {
@@ -423,6 +511,8 @@ impl Shared {
             shed: self.stats.shed.load(Ordering::SeqCst),
             evicted: self.stats.evicted.load(Ordering::SeqCst),
             health_probes: self.stats.health_probes.load(Ordering::SeqCst),
+            reactor_polls: self.stats.reactor_polls.load(Ordering::SeqCst),
+            reactor_events: self.stats.reactor_events.load(Ordering::SeqCst),
             batches: self
                 .stats
                 .batches
@@ -567,7 +657,7 @@ fn finish(shared: &Shared, job: &Job, response: Response) {
     rl_ccd_obs::observe!("serve.request.latency_ms", latency_ms);
     rl_ccd_obs::counter!("serve.completed", 1);
     shared.stats.completed.fetch_add(1, Ordering::SeqCst);
-    let _ = job.reply.send(response);
+    job.reply.send(response);
 }
 
 /// One TCP connection: framed requests in, framed responses out, until
@@ -609,7 +699,7 @@ fn connection_loop(shared: &Shared, stream: TcpStream) {
                     Ok(Request::Health) => Response::Health(shared.health_reply()),
                     Ok(Request::Query(q)) => {
                         let (tx, rx) = mpsc::channel();
-                        match shared.submit(q, tx) {
+                        match shared.submit(q, ReplySink::Channel(tx)) {
                             Err(kind) => shared.reject_response(kind),
                             Ok(()) => rx.recv().unwrap_or_else(|_| {
                                 Response::reject(
@@ -625,8 +715,7 @@ fn connection_loop(shared: &Shared, stream: TcpStream) {
                         e.kind(),
                         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                     ) {
-                        shared.stats.evicted.fetch_add(1, Ordering::SeqCst);
-                        rl_ccd_obs::counter!("serve.evicted", 1);
+                        shared.note_evicted();
                     }
                     return;
                 }

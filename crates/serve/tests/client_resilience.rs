@@ -69,10 +69,12 @@ fn silent_peer_times_out_instead_of_hanging() {
 fn connection_reset_is_retried_to_success() {
     let (server, addr) = bound_server(ServeConfig::default());
     let plan = Arc::new(NetFaultPlan::none().with_reset(7, 0));
-    let mut client = ServeClient::connect(addr)
-        .expect("connect")
-        .with_retry(RetryPolicy::seeded(1).with_attempts(3))
-        .with_chaos(Arc::clone(&plan), 7);
+    let mut client = ServeClient::builder()
+        .addr(addr)
+        .retry(RetryPolicy::seeded(1).with_attempts(3))
+        .chaos(Arc::clone(&plan), 7)
+        .connect()
+        .expect("connect");
     let response = client.query(query(Some(30_000))).expect("query");
     assert!(matches!(response, Response::Ok(_)), "got {response:?}");
     assert_eq!(client.retries(), 1, "exactly one re-issue after the reset");
@@ -92,9 +94,11 @@ fn overload_shed_is_typed_and_carries_the_configured_hint() {
     };
     let hint = config.shed_retry_after_ms();
     let (server, addr) = bound_server(config);
-    let mut client = ServeClient::connect(addr)
-        .expect("connect")
-        .with_retry(RetryPolicy::seeded(2).with_attempts(2));
+    let mut client = ServeClient::builder()
+        .addr(addr)
+        .retry(RetryPolicy::seeded(2).with_attempts(2))
+        .connect()
+        .expect("connect");
     let response = client.query(query(Some(30_000))).expect("query");
     let Response::Overloaded { retry_after_ms } = response else {
         panic!("expected typed shed, got {response:?}");
@@ -105,6 +109,41 @@ fn overload_shed_is_typed_and_carries_the_configured_hint() {
     let stats = server.stats();
     assert_eq!(stats.shed, 2, "both attempts were shed");
     server.shutdown();
+}
+
+#[test]
+fn deprecated_constructors_are_parity_wrappers_over_the_builder() {
+    // The legacy connect + with_retry + with_chaos chain must behave
+    // exactly like the builder: same chaos firings, same retry and
+    // reconnect counts, same selection.
+    let (server, addr) = bound_server(ServeConfig::default());
+    let plan_built = Arc::new(NetFaultPlan::none().with_reset(7, 0));
+    let plan_legacy = Arc::new(NetFaultPlan::none().with_reset(7, 0));
+    let mut built = ServeClient::builder()
+        .addr(addr)
+        .retry(RetryPolicy::seeded(1).with_attempts(3))
+        .chaos(Arc::clone(&plan_built), 7)
+        .connect()
+        .expect("builder connect");
+    #[allow(deprecated)]
+    let mut legacy = ServeClient::connect(addr)
+        .expect("connect")
+        .with_retry(RetryPolicy::seeded(1).with_attempts(3))
+        .with_chaos(Arc::clone(&plan_legacy), 7);
+
+    let a = built.query(query(Some(30_000))).expect("built query");
+    let b = legacy.query(query(Some(30_000))).expect("legacy query");
+    let (Response::Ok(a), Response::Ok(b)) = (a, b) else {
+        panic!("both clients must succeed after the planned reset");
+    };
+    assert_eq!(a.selection, b.selection, "identical selections");
+    assert_eq!(a.steps, b.steps);
+    assert_eq!(built.retries(), legacy.retries(), "same retry count");
+    assert_eq!(built.reconnects(), legacy.reconnects(), "same reconnects");
+    assert_eq!(plan_built.fired(), 1);
+    assert_eq!(plan_legacy.fired(), 1);
+    let report = server.shutdown();
+    assert_eq!(report.dropped(), 0);
 }
 
 #[test]

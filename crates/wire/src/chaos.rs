@@ -265,6 +265,13 @@ impl<S> ChaosTransport<S> {
         self
     }
 
+    /// Re-addresses the live transport: attaches `plan` as connection
+    /// `conn` without touching the stream or the frame counter.
+    pub fn set_plan(&mut self, plan: Arc<NetFaultPlan>, conn: u64) {
+        self.plan = Some(plan);
+        self.conn = conn;
+    }
+
     /// Starts the frame counter at `frame` instead of 0 — a reconnected
     /// transport resumes the old connection's frame numbering so plan
     /// coordinates stay stable across reconnects.

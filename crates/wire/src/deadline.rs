@@ -87,6 +87,23 @@ impl DeadlineBudget {
         }))
     }
 
+    /// The socket timeout this budget implies: the time left clamped by
+    /// `fallback`, or `fallback` alone when unbounded (`None` = leave the
+    /// socket blocking). This is the single clamping rule every
+    /// transport's deadline arming shares.
+    ///
+    /// # Errors
+    /// `TimedOut` when the budget is exhausted.
+    pub fn timeout_with(&self, fallback: Option<Duration>) -> io::Result<Option<Duration>> {
+        Ok(match self.remaining()? {
+            Some(left) => Some(match fallback {
+                Some(f) => left.min(f).max(MIN_TIMEOUT),
+                None => left,
+            }),
+            None => fallback,
+        })
+    }
+
     /// Clamps the socket's read and write timeouts to the time left, so no
     /// blocking call on `stream` can outlive the budget. Unbounded budgets
     /// apply `fallback` instead (pass `None` to leave the socket blocking).
@@ -95,13 +112,7 @@ impl DeadlineBudget {
     /// `TimedOut` when the budget is exhausted; otherwise any socket
     /// error from setting the timeouts.
     pub fn arm(&self, stream: &TcpStream, fallback: Option<Duration>) -> io::Result<()> {
-        let timeout = match self.remaining()? {
-            Some(left) => Some(match fallback {
-                Some(f) => left.min(f).max(MIN_TIMEOUT),
-                None => left,
-            }),
-            None => fallback,
-        };
+        let timeout = self.timeout_with(fallback)?;
         stream.set_read_timeout(timeout)?;
         stream.set_write_timeout(timeout)?;
         Ok(())

@@ -32,17 +32,38 @@
 //! exponential-backoff-with-jitter policies), and [`deadline`]
 //! (remaining-budget deadlines that convert into socket timeouts at every
 //! blocking boundary).
+//!
+//! # Transports and the reactor
+//!
+//! The [`transport`] module unifies how services hold a connection: the
+//! [`Transport`] trait (frame ops + deadline arming), the blocking
+//! [`FramedTcp`] implementation dialed from an [`Endpoint`], and the
+//! [`FramedListener`] that chaos-wraps accepted (server-side) sockets.
+//! For services that multiplex many connections on one thread, the
+//! [`reactor`] module provides an epoll readiness loop ([`Poller`] +
+//! [`Waker`]), [`timer`] a hashed timer wheel for per-connection
+//! deadlines and backoff timers, and [`frames`] the non-blocking framed
+//! state machine ([`FramedConn`]) that incrementally decodes the same
+//! frames the blocking calls speak.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod chaos;
 pub mod deadline;
+pub mod frames;
+pub mod reactor;
 pub mod retry;
+pub mod timer;
+pub mod transport;
 
 pub use chaos::{ChaosTransport, NetFault, NetFaultPlan};
 pub use deadline::DeadlineBudget;
+pub use frames::{FramedConn, RecvBuf, SendBuf};
+pub use reactor::{Poller, Waker};
 pub use retry::RetryPolicy;
+pub use timer::{TimerId, TimerWheel};
+pub use transport::{connect_any, roundtrip, Endpoint, FramedListener, FramedTcp, Transport};
 
 use std::io::{self, Read, Write};
 

@@ -1,0 +1,249 @@
+//! A hashed timer wheel for reactor loops: per-connection deadlines,
+//! write-stall eviction timers, and [`RetryPolicy`] backoff timers, all
+//! under one `O(1)`-schedule / `O(slots)`-scan structure that converts
+//! into a single `epoll_wait` timeout.
+//!
+//! Timers hash into `SLOTS` buckets by deadline tick (tick granularity is
+//! chosen at construction; 1 ms suits socket timeouts). Cancellation is
+//! lazy — a cancelled id is dropped from the live set and skipped at
+//! expiry — so [`TimerWheel::cancel`] never searches a bucket. Expiry
+//! order is deterministic: fired timers come out sorted by (deadline
+//! tick, schedule order), so two timers on the same tick fire in the
+//! order they were scheduled.
+//!
+//! [`RetryPolicy`]: crate::RetryPolicy
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+const SLOTS: usize = 256;
+
+/// Handle to one scheduled timer, for cancellation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    id: u64,
+    tick: u64,
+    key: u64,
+}
+
+/// The wheel. Single-threaded by design: it lives inside a reactor loop.
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    tick: Duration,
+    base: Instant,
+    /// First tick not yet swept by [`TimerWheel::poll_expired`].
+    cursor: u64,
+    /// Ids scheduled and neither fired nor cancelled.
+    live: HashSet<u64>,
+    next_id: u64,
+}
+
+impl TimerWheel {
+    /// A wheel with `tick` granularity (timers fire no finer than this;
+    /// sub-tick deadlines round up so they never fire early).
+    #[must_use]
+    pub fn new(tick: Duration) -> Self {
+        TimerWheel {
+            slots: vec![Vec::new(); SLOTS],
+            tick: tick.max(Duration::from_micros(100)),
+            base: Instant::now(),
+            cursor: 0,
+            live: HashSet::new(),
+            next_id: 0,
+        }
+    }
+
+    /// A wheel with 1 ms ticks — the right scale for socket deadlines.
+    #[must_use]
+    pub fn with_ms_ticks() -> Self {
+        Self::new(Duration::from_millis(1))
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let elapsed = at.saturating_duration_since(self.base);
+        // Round up: a timer never fires before its deadline.
+        let ticks = elapsed.as_nanos().div_ceil(self.tick.as_nanos().max(1));
+        (ticks as u64).max(self.cursor)
+    }
+
+    /// Schedules `key` to fire at `deadline` and returns the handle.
+    /// `key` is caller vocabulary (a connection token, an encoded
+    /// (worker, kind) pair) and is handed back verbatim on expiry.
+    pub fn schedule(&mut self, deadline: Instant, key: u64) -> TimerId {
+        let tick = self.tick_of(deadline);
+        self.next_id += 1;
+        let id = self.next_id;
+        self.live.insert(id);
+        self.slots[(tick % SLOTS as u64) as usize].push(Entry { id, tick, key });
+        TimerId(id)
+    }
+
+    /// Schedules `key` to fire `after` from now.
+    pub fn schedule_after(&mut self, after: Duration, key: u64) -> TimerId {
+        self.schedule(Instant::now() + after, key)
+    }
+
+    /// Cancels a timer. Returns false when it already fired or was
+    /// already cancelled.
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        self.live.remove(&id.0)
+    }
+
+    /// Timers scheduled and not yet fired or cancelled.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when nothing is scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// The earliest live deadline, for the poll timeout. `None` when the
+    /// wheel is empty (poll may block indefinitely).
+    #[must_use]
+    pub fn next_deadline(&self) -> Option<Instant> {
+        if self.live.is_empty() {
+            return None;
+        }
+        let earliest = self
+            .slots
+            .iter()
+            .flatten()
+            .filter(|e| self.live.contains(&e.id))
+            .map(|e| e.tick)
+            .min()?;
+        let nanos = (self.tick.as_nanos() as u64).saturating_mul(earliest);
+        Some(self.base + Duration::from_nanos(nanos))
+    }
+
+    /// How long until the earliest live deadline (zero when overdue);
+    /// `None` when the wheel is empty.
+    #[must_use]
+    pub fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        self.next_deadline()
+            .map(|d| d.saturating_duration_since(now))
+    }
+
+    /// Appends the keys of every timer due at `now` to `fired`, in
+    /// deterministic (deadline tick, schedule order) order, and retires
+    /// them. Cancelled entries are purged silently.
+    pub fn poll_expired(&mut self, now: Instant, fired: &mut Vec<u64>) {
+        let now_tick = {
+            let elapsed = now.saturating_duration_since(self.base);
+            (elapsed.as_nanos() / self.tick.as_nanos().max(1)) as u64
+        };
+        if now_tick < self.cursor {
+            return;
+        }
+        let mut due: Vec<Entry> = Vec::new();
+        // Sweep each slot between the cursor and now once (a full lap
+        // caps the work when the loop slept a long time).
+        let sweep = (now_tick - self.cursor + 1).min(SLOTS as u64);
+        for slot_tick in self.cursor..self.cursor + sweep {
+            let slot = &mut self.slots[(slot_tick % SLOTS as u64) as usize];
+            let mut keep = Vec::new();
+            for entry in slot.drain(..) {
+                if !self.live.contains(&entry.id) {
+                    continue; // lazily-cancelled
+                }
+                if entry.tick <= now_tick {
+                    due.push(entry);
+                } else {
+                    keep.push(entry); // a later lap of the wheel
+                }
+            }
+            *slot = keep;
+        }
+        self.cursor = now_tick + 1;
+        due.sort_by_key(|e| (e.tick, e.id));
+        for entry in due {
+            self.live.remove(&entry.id);
+            fired.push(entry.key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_deadline_order_across_slots_and_laps() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(1));
+        let start = Instant::now();
+        // Deliberately schedule out of order, including two ticks that
+        // hash to the same slot one lap apart (1 and 1+256 ms).
+        wheel.schedule(start + Duration::from_millis(257), 40);
+        wheel.schedule(start + Duration::from_millis(1), 10);
+        wheel.schedule(start + Duration::from_millis(90), 30);
+        wheel.schedule(start + Duration::from_millis(5), 20);
+        let mut fired = Vec::new();
+        wheel.poll_expired(start + Duration::from_millis(400), &mut fired);
+        assert_eq!(fired, vec![10, 20, 30, 40]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn same_tick_fires_in_schedule_order() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(1));
+        let at = Instant::now() + Duration::from_millis(3);
+        wheel.schedule(at, 1);
+        wheel.schedule(at, 2);
+        wheel.schedule(at, 3);
+        let mut fired = Vec::new();
+        wheel.poll_expired(at + Duration::from_millis(1), &mut fired);
+        assert_eq!(fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cancellation_is_honored_and_idempotent() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(1));
+        let start = Instant::now();
+        let keep = wheel.schedule(start + Duration::from_millis(2), 1);
+        let gone = wheel.schedule(start + Duration::from_millis(2), 2);
+        assert_eq!(wheel.len(), 2);
+        assert!(wheel.cancel(gone));
+        assert!(!wheel.cancel(gone), "second cancel is a no-op");
+        assert_eq!(wheel.len(), 1);
+        let mut fired = Vec::new();
+        wheel.poll_expired(start + Duration::from_millis(10), &mut fired);
+        assert_eq!(fired, vec![1]);
+        assert!(!wheel.cancel(keep), "fired timers cannot be cancelled");
+    }
+
+    #[test]
+    fn never_fires_early_and_reports_next_deadline() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(1));
+        let start = Instant::now();
+        wheel.schedule(start + Duration::from_millis(50), 9);
+        let mut fired = Vec::new();
+        wheel.poll_expired(start + Duration::from_millis(10), &mut fired);
+        assert!(fired.is_empty(), "48ms early must not fire");
+        let next = wheel.next_deadline().expect("one timer live");
+        assert!(next >= start + Duration::from_millis(50));
+        let timeout = wheel.next_timeout(start).expect("one timer live");
+        assert!(timeout >= Duration::from_millis(49));
+        wheel.poll_expired(start + Duration::from_millis(51), &mut fired);
+        assert_eq!(fired, vec![9]);
+        assert_eq!(wheel.next_deadline(), None);
+    }
+
+    #[test]
+    fn overdue_deadlines_fire_immediately_with_zero_timeout() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(1));
+        let past = Instant::now() - Duration::from_millis(20);
+        wheel.schedule(past, 5);
+        let now = Instant::now();
+        assert_eq!(wheel.next_timeout(now), Some(Duration::ZERO));
+        let mut fired = Vec::new();
+        wheel.poll_expired(now, &mut fired);
+        assert_eq!(fired, vec![5]);
+    }
+}

@@ -10,13 +10,13 @@
 //! rlccd train    --in design.nl --workers host:port,host:port [--slots 8]
 //!                [--deadline-s S] [--retries N] [--chaos-plan SPEC]
 //!                [--inject-worker-drop IT:PROC] …
-//! rlccd worker   [--port 7401]
+//! rlccd worker   [--port 7401] [--chaos-plan SPEC] [--conn-base N]
 //! rlccd transfer --in design.nl --params donor.txt [--iters 12] [--trace-out run.jsonl]
 //! rlccd baseline --in design.nl [--period <ps>]
 //! rlccd verilog  --in design.nl --out design.v
 //! rlccd suite    [--scale 0.5]
 //! rlccd trace-validate --in run.jsonl
-//! rlccd serve    --checkpoint DIR [--model NAME] [--port P] [--max-batch N]
+//! rlccd serve    --checkpoint DIR [--model NAME] [--port P] [--reactor] [--max-batch N]
 //!                [--window-ms MS] [--queue N] [--serve-workers N] [--rho R]
 //! rlccd query    --design name:cells:tech:seed [--addr HOST:PORT] [--model NAME]
 //!                [--mode greedy|sample] [--seed S] [--count N] [--threads T]
@@ -86,7 +86,10 @@ const USAGE_TABLE: &[(&str, &str)] = &[
          \u{20}         [--workers HOST:PORT,HOST:PORT [--slots N] [--deadline-s S]\n\
          \u{20}         [--retries N] [--chaos-plan SPEC] [--inject-worker-drop IT:PROC]]",
     ),
-    ("worker", "worker   [--port 7401]"),
+    (
+        "worker",
+        "worker   [--port 7401] [--chaos-plan SPEC] [--conn-base N]",
+    ),
     (
         "transfer",
         "transfer --in FILE --params FILE [--period PS] [--iters N] [--trace-out FILE]",
@@ -100,7 +103,7 @@ const USAGE_TABLE: &[(&str, &str)] = &[
     ("trace-validate", "trace-validate --in FILE"),
     (
         "serve",
-        "serve    --checkpoint DIR [--model NAME] [--port P] [--max-batch N]\n\
+        "serve    --checkpoint DIR [--model NAME] [--port P] [--reactor] [--max-batch N]\n\
          \u{20}         [--window-ms MS] [--queue N] [--serve-workers N] [--env-cache N]\n\
          \u{20}         [--rho R] [--fanout-cap N] [--trace-out FILE]",
     ),
@@ -554,7 +557,14 @@ fn cmd_serve(args: &[String]) -> Result<(), Error> {
         entry.name, entry.version, entry.fingerprint
     );
     let mut server = Server::start(registry, config);
-    let addr = server.bind(&format!("127.0.0.1:{port}"))?;
+    let bind_addr = format!("127.0.0.1:{port}");
+    // --reactor: one epoll thread multiplexes every connection instead of
+    // a thread per socket — what lets one replica hold thousands of them.
+    let addr = if args.iter().any(|a| a == "--reactor") {
+        server.bind_reactor(&bind_addr)?
+    } else {
+        server.bind(&bind_addr)?
+    };
     println!("serving on {addr} — stop with `rlccd query --shutdown --addr {addr}`");
     while !server.shutdown_requested() {
         std::thread::sleep(std::time::Duration::from_millis(100));
@@ -610,11 +620,15 @@ fn run_queries(
     retries: u32,
     chaos: Option<(std::sync::Arc<rl_ccd_wire::NetFaultPlan>, u64)>,
 ) -> Result<Vec<Response>, Error> {
-    let mut client = serve_connect(addr)?
-        .with_retry(rl_ccd_wire::RetryPolicy::seeded(0).with_attempts(retries.max(1)));
+    let mut builder = ServeClient::builder()
+        .addr(addr)
+        .retry(rl_ccd_wire::RetryPolicy::seeded(0).with_attempts(retries.max(1)));
     if let Some((plan, conn)) = chaos {
-        client = client.with_chaos(plan, conn);
+        builder = builder.chaos(plan, conn);
     }
+    let mut client = builder
+        .connect()
+        .map_err(|e| Error::Config(format!("cannot reach server at {addr}: {e}")))?;
     requests
         .into_iter()
         .map(|r| {
@@ -823,7 +837,15 @@ fn cmd_worker(args: &[String]) -> Result<(), Error> {
     let port: u16 = arg(args, "--port").unwrap_or(7401);
     let listener = std::net::TcpListener::bind(("0.0.0.0", port))?;
     println!("rl-ccd worker serving on {}", listener.local_addr()?);
-    rl_ccd_dist::serve_worker(listener)?;
+    // Chaos on the *accept* path: every accepted connection is wrapped,
+    // numbered from --conn-base in accept order.
+    let mut net = rl_ccd_dist::WorkerNet::default();
+    if let Some(plan) = parse_chaos_plan(args)? {
+        println!("chaos plan armed: {} wire fault(s)", plan.len());
+        net.chaos = Some(plan);
+        net.conn_base = arg(args, "--conn-base").unwrap_or(0);
+    }
+    rl_ccd_dist::serve_worker_with(listener, net)?;
     println!("worker shut down");
     Ok(())
 }

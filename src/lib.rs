@@ -64,13 +64,10 @@ pub use rl_ccd_obs as obs;
 
 /// The most common imports for working with the reproduction end to end.
 pub mod prelude {
-    #[allow(deprecated)]
-    pub use rl_ccd::train;
     pub use rl_ccd::{
-        with_pretrained_gnn, Baseline, CcdEnv, EncoderKind, Error, RlCcd, RlConfig, Session,
+        try_train, with_pretrained_gnn, Baseline, CcdEnv, EncoderKind, Error, RlCcd, RlConfig,
+        Session, TrainSession,
     };
-    #[allow(deprecated)]
-    pub use rl_ccd_flow::{run_flow, run_flow_traced};
     pub use rl_ccd_flow::{FlowRecipe, MarginMode};
     pub use rl_ccd_netlist::{
         block_suite, generate, DesignSpec, DesignStats, GeneratedDesign, TechNode,

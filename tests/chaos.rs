@@ -17,7 +17,7 @@
 //!   answers normally again once the burst passes.
 
 use rl_ccd::{FaultPlan, RlCcd, RlConfig, Session, TrainOutcome};
-use rl_ccd_dist::{serve_worker, DistExecutor};
+use rl_ccd_dist::{serve_worker, serve_worker_with, DistExecutor, WorkerNet};
 use rl_ccd_netlist::{generate, DesignSpec, GeneratedDesign, TechNode};
 use rl_ccd_serve::{
     DesignKey, Mode, ModelRegistry, QueryRequest, Response, ServeClient, ServeConfig, Server,
@@ -58,6 +58,22 @@ impl WorkerFleet {
             addrs.push(listener.local_addr().unwrap().to_string());
             handles.push(std::thread::spawn(move || {
                 let _ = serve_worker(listener);
+            }));
+        }
+        Self { addrs, handles }
+    }
+
+    /// Like [`WorkerFleet::spawn`], with every worker's accept path wired
+    /// through the same [`WorkerNet`] (chaos on accepted connections).
+    fn spawn_with(n: usize, net: WorkerNet) -> Self {
+        let mut addrs = Vec::new();
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+            addrs.push(listener.local_addr().unwrap().to_string());
+            let net = net.clone();
+            handles.push(std::thread::spawn(move || {
+                let _ = serve_worker_with(listener, net);
             }));
         }
         Self { addrs, handles }
@@ -157,6 +173,42 @@ fn wire_plan_latency_and_segmentation_are_harmless() {
     assert_same_outcome(&local, &out);
     assert!(out.faults.is_empty());
     assert!(plan.fired() >= 1, "plan coordinates were actually hit");
+}
+
+/// Chaos on the worker's *accept* path: the plan wraps the connections the
+/// worker accepts — previously raw sockets no fault plan could touch —
+/// delaying its first probe read and resetting the connection around the
+/// first batch reply. The coordinator retries onto a fresh connection (a
+/// new worker-side conn id, so the plan does not re-fire), the worker
+/// replays the cached reply, and training still lands on the clean run's
+/// exact bits.
+#[test]
+fn worker_side_chaos_on_the_accept_path_is_retried_to_identical_bits() {
+    let cfg = config();
+    let local = local_outcome(&cfg);
+    // Worker-side connection 0 is its first accept; frames count every
+    // read and write on it: 0 = probe read (delayed), 5 = first batch
+    // reply (connection reset).
+    let plan = Arc::new(NetFaultPlan::none().with_delay(0, 0, 30).with_reset(0, 5));
+    let fleet = WorkerFleet::spawn_with(
+        1,
+        WorkerNet {
+            chaos: Some(Arc::clone(&plan)),
+            conn_base: 0,
+        },
+    );
+    let executor = DistExecutor::connect(&fleet.addrs)
+        .expect("connect fleet")
+        .with_deadline(Duration::from_secs(30))
+        .with_retry(RetryPolicy::seeded(7));
+    let out = train_with(executor, &cfg, FaultPlan::none());
+    fleet.stop();
+    assert_same_outcome(&local, &out);
+    assert!(
+        out.faults.is_empty(),
+        "worker-side transport chaos recovered by retry leaves no fault records"
+    );
+    assert_eq!(plan.fired(), 2, "both worker-side injections were hit");
 }
 
 /// A worker that accepts the TCP connection but never answers anything

@@ -1,6 +1,6 @@
-//! The [`Session`] facade against the deprecated free functions it
-//! replaces: same seeds, bit-identical results — plus the unified error
-//! type's contracts.
+//! The [`Session`] facade against the low-level entry points it wraps
+//! ([`FlowRecipe::run`], [`rl_ccd::try_train`]): same seeds,
+//! bit-identical results — plus the unified error type's contracts.
 
 use rl_ccd::{CcdEnv, Error, RlConfig, Session};
 use rl_ccd_flow::FlowRecipe;
@@ -18,14 +18,12 @@ fn fast_cfg() -> RlConfig {
     cfg
 }
 
-/// `Session::run_flow` and the deprecated `run_flow` free function are the
-/// same computation.
+/// `Session::run_flow` and `FlowRecipe::run` are the same computation.
 #[test]
-fn session_flow_is_bit_identical_to_deprecated_run_flow() {
+fn session_flow_is_bit_identical_to_recipe_run() {
     let design = tiny_design();
     let recipe = FlowRecipe::default();
-    #[allow(deprecated)]
-    let legacy = rl_ccd_flow::run_flow(&design, &recipe, &[]);
+    let legacy = recipe.run(&design, &[]);
     let session = Session::builder()
         .design(design)
         .recipe(recipe)
@@ -40,15 +38,14 @@ fn session_flow_is_bit_identical_to_deprecated_run_flow() {
     assert_eq!(legacy.skews, modern.skews);
 }
 
-/// `Session::train` and the deprecated `train` free function are the same
-/// computation on the same seed.
+/// `Session::train` and the low-level `try_train` entry point are the
+/// same computation on the same seed.
 #[test]
-fn session_train_is_bit_identical_to_deprecated_train() {
+fn session_train_is_bit_identical_to_try_train() {
     let design = tiny_design();
     let cfg = fast_cfg();
     let env = CcdEnv::new(design.clone(), FlowRecipe::default(), cfg.fanout_cap);
-    #[allow(deprecated)]
-    let legacy = rl_ccd::train(&env, &cfg, None);
+    let legacy = rl_ccd::try_train(&env, &cfg, rl_ccd::TrainSession::default()).expect("try_train");
     let modern = Session::builder()
         .design(design)
         .rl_config(cfg)
