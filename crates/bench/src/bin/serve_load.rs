@@ -12,7 +12,7 @@
 //! ```text
 //! serve_load [--workers 8] [--requests 40] [--designs 2] [--cells 300]
 //!            [--max-batch 8] [--window-ms 2] [--queue N]
-//!            [--connections N]
+//!            [--connections N] [--tenants N]
 //!            [--csv serve_load.csv] [--json BENCH_serve.json]
 //!            [--assert-batching] [--assert-shedding]
 //!            [--trace-out run.jsonl]
@@ -37,15 +37,28 @@
 //! `conn_p50_ms`, `conn_p99_ms`, `conn_shed`, …). `--assert-shedding`
 //! composes: run with a small `--queue` and the burst must shed typed,
 //! drop nothing, and still answer someone.
+//!
+//! With `--tenants N` the bench instead exercises the **multi-tenant
+//! daemon path**: a [`rl_ccd_daemon::Daemon`] fronts the same serving
+//! core, N authenticated tenants hammer the tenant port over TCP
+//! (credentials checked, token buckets and quotas charged, per-tenant
+//! metrics recorded on every request), and the run reports `tenant_rps`
+//! plus latency percentiles — the cost of the full admission path,
+//! comparable against `throughput_rps` (in-process, no tenancy). Results
+//! merge into the same `--json` artifact as `tenant_*` metrics and land
+//! in `--csv` (default `serve_tenants.csv`).
 
 use rl_ccd::{RlCcd, RlConfig};
 use rl_ccd_bench::{percentile, sort_metrics, write_csv, write_json, Cli, Json};
+use rl_ccd_daemon::{Daemon, DaemonConfig, SystemClock, CHAMPION};
 use rl_ccd_serve::protocol::{read_frame, write_frame};
 use rl_ccd_serve::{
-    DesignKey, Mode, ModelRegistry, QueryRequest, Request, Response, ServeConfig, Server,
+    Credentials, DesignKey, Mode, ModelRegistry, QueryRequest, Request, Response, ServeClient,
+    ServeConfig, Server,
 };
 use std::net::TcpStream;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
@@ -55,18 +68,22 @@ fn main() -> ExitCode {
     let requests: usize = cli.value("--requests", 40);
     let designs: usize = cli.value("--designs", 2usize).max(1);
     let cells: usize = cli.value("--cells", 300);
-    let csv = cli.csv("serve_load.csv");
     let assert_batching = std::env::args().any(|a| a == "--assert-batching");
     let assert_shedding = std::env::args().any(|a| a == "--assert-shedding");
     let connections: usize = cli.value("--connections", 0usize);
     if connections > 0 {
         return run_connection_scaling(&cli, connections, designs, cells, assert_shedding);
     }
+    let tenants: usize = cli.value("--tenants", 0usize);
+    if tenants > 0 {
+        return run_tenant_load(&cli, tenants, requests, designs, cells);
+    }
+    let csv = cli.csv("serve_load.csv");
 
     let config = RlConfig::fast();
     let rho = config.rho;
     let (_, params) = RlCcd::init(config);
-    let mut registry = ModelRegistry::new();
+    let registry = ModelRegistry::new();
     registry
         .insert_params("default", params, rho)
         .expect("register model");
@@ -113,6 +130,7 @@ fn main() -> ExitCode {
                         design: keys[k].clone(),
                         mode,
                         deadline_ms: None,
+                        auth: None,
                     });
                     latencies.push(t.elapsed().as_secs_f64() * 1e3);
                     match resp {
@@ -253,7 +271,7 @@ fn run_connection_scaling(
     let config = RlConfig::fast();
     let rho = config.rho;
     let (_, params) = RlCcd::init(config);
-    let mut registry = ModelRegistry::new();
+    let registry = ModelRegistry::new();
     registry
         .insert_params("default", params, rho)
         .expect("register model");
@@ -297,6 +315,7 @@ fn run_connection_scaling(
                 design: key.clone(),
                 mode: Mode::Greedy,
                 deadline_ms: None,
+                auth: None,
             });
             write_frame(&mut warm, &req.encode()).expect("warmup send");
             let reply = read_frame(&mut warm).expect("warmup receive");
@@ -333,6 +352,7 @@ fn run_connection_scaling(
             // Generous: shedding should come from queue capacity, not
             // from queued work aging out mid-burst.
             deadline_ms: Some(300_000),
+            auth: None,
         });
         write_frame(conn, &req.encode()).unwrap_or_else(|e| panic!("send on connection {i}: {e}"));
     }
@@ -452,6 +472,201 @@ fn run_connection_scaling(
             eprintln!("drain dropped {} in-flight request(s)", report.dropped());
             return ExitCode::FAILURE;
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Multi-tenant daemon mode: N authenticated tenants over real TCP into
+/// a [`Daemon`]'s tenant port, `--requests` queries each. Every request
+/// pays for the full admission path — credential check (constant-time),
+/// token bucket, quota window, per-tenant metrics — before it reaches the
+/// same serving core the other modes measure, so `tenant_rps` vs
+/// `throughput_rps` is the price of tenancy.
+fn run_tenant_load(
+    cli: &Cli,
+    tenants: usize,
+    requests: usize,
+    designs: usize,
+    cells: usize,
+) -> ExitCode {
+    let config = RlConfig::fast();
+    let rho = config.rho;
+    let (_, params) = RlCcd::init(config);
+    let registry = ModelRegistry::new();
+    registry
+        .insert_params(CHAMPION, params, rho)
+        .expect("register model");
+    let serve_config = ServeConfig {
+        max_batch: cli.value("--max-batch", 8),
+        window: Duration::from_millis(cli.value("--window-ms", 2u64)),
+        queue_capacity: cli.value("--queue", tenants * requests + 1),
+        workers: cli.value("--serve-workers", 2usize),
+        ..ServeConfig::default()
+    };
+    let mut daemon = Daemon::start(
+        registry,
+        DaemonConfig {
+            serve: serve_config,
+            rho,
+            ..DaemonConfig::default()
+        },
+        Arc::new(SystemClock),
+    );
+    // Generous limits: the bench measures the admission path's cost, not
+    // its throttling (the tenancy tests pin that behavior).
+    for t in 0..tenants {
+        daemon.tenants().add(
+            format!("bench{t}:tok{t}:1000000:1000000:1000000000")
+                .parse()
+                .expect("tenant spec"),
+        );
+    }
+    let addr = daemon.bind_query("127.0.0.1:0").expect("bind tenant port");
+
+    let keys: Vec<DesignKey> = (0..designs)
+        .map(|d| DesignKey {
+            name: format!("tenant{d}"),
+            cells,
+            tech: "7nm".into(),
+            seed: d as u64 + 1,
+        })
+        .collect();
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..tenants)
+        .map(|t| {
+            let keys = keys.clone();
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect tenant");
+                let mut latencies = Vec::with_capacity(requests);
+                let mut ok = 0usize;
+                let mut throttled = 0usize;
+                let mut failures = 0usize;
+                for r in 0..requests {
+                    let req = QueryRequest {
+                        model: CHAMPION.into(),
+                        design: keys[(t + r) % keys.len()].clone(),
+                        mode: if r % 2 == 0 {
+                            Mode::Greedy
+                        } else {
+                            Mode::Sample((t * requests + r) as u64)
+                        },
+                        deadline_ms: Some(300_000),
+                        auth: Some(Credentials {
+                            tenant: format!("bench{t}"),
+                            token: format!("tok{t}"),
+                        }),
+                    };
+                    let at = Instant::now();
+                    match client.query(req) {
+                        Ok(Response::Ok(_)) => ok += 1,
+                        Ok(Response::QuotaExceeded { .. } | Response::Overloaded { .. }) => {
+                            throttled += 1
+                        }
+                        Ok(other) => {
+                            eprintln!("tenant bench{t}: unexpected answer {other:?}");
+                            failures += 1;
+                        }
+                        Err(e) => {
+                            eprintln!("tenant bench{t}: {e}");
+                            failures += 1;
+                        }
+                    }
+                    latencies.push(at.elapsed().as_secs_f64() * 1e3);
+                }
+                (latencies, ok, throttled, failures)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut ok = 0usize;
+    let mut throttled = 0usize;
+    let mut failures = 0usize;
+    for h in handles {
+        let (l, o, t, f) = h.join().expect("tenant thread panicked");
+        latencies.extend(l);
+        ok += o;
+        throttled += t;
+        failures += f;
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    let report = daemon.shutdown();
+
+    sort_metrics(&mut latencies);
+    let total = latencies.len();
+    let tenant_rps = total as f64 / wall_s;
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    println!(
+        "{total} authenticated requests from {tenants} tenants over {designs} designs \
+         in {wall_s:.2}s ({tenant_rps:.1} req/s): {ok} ok, {throttled} throttled, \
+         {failures} failed"
+    );
+    println!("latency p50 {p50:.2} ms, p99 {p99:.2} ms");
+    let accepted: u64 = report.tenants.iter().map(|t| t.usage.accepted).sum();
+    println!(
+        "drain: {} tenants, {} accepted by the book, {} dropped",
+        report.tenants.len(),
+        accepted,
+        report.drain.dropped()
+    );
+
+    let csv: String = cli.value("--csv", "serve_tenants.csv".to_string());
+    let rows = vec![format!(
+        "{tenants},{requests},{designs},{cells},{total},{tenant_rps:.2},{p50:.3},{p99:.3},{ok},{throttled},{failures},{}",
+        report.drain.dropped()
+    )];
+    write_csv(
+        &csv,
+        "tenants,requests_per_tenant,designs,cells,total,tenant_rps,tenant_p50_ms,tenant_p99_ms,ok,throttled,failures,dropped",
+        &rows,
+    )
+    .expect("write csv");
+    println!("wrote {csv}");
+
+    // Merge into the shared artifact alongside throughput_rps/conn_rps.
+    let json_path: String = cli.value("--json", "BENCH_serve.json".to_string());
+    let tenant_fields = vec![
+        Json::field("tenants", Json::Num(tenants as f64)),
+        Json::field("tenant_requests", Json::Num(total as f64)),
+        Json::field("tenant_wall_s", Json::Num(wall_s)),
+        Json::field("tenant_rps", Json::Num(tenant_rps)),
+        Json::field("tenant_p50_ms", Json::Num(p50)),
+        Json::field("tenant_p99_ms", Json::Num(p99)),
+        Json::field("tenant_ok", Json::Num(ok as f64)),
+        Json::field("tenant_throttled", Json::Num(throttled as f64)),
+        Json::field("tenant_failures", Json::Num(failures as f64)),
+        Json::field("tenant_dropped", Json::Num(report.drain.dropped() as f64)),
+    ];
+    let mut fields = match std::fs::read_to_string(&json_path)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+    {
+        Some(Json::Obj(existing)) => existing
+            .into_iter()
+            .filter(|(k, _)| !tenant_fields.iter().any(|(nk, _)| nk == k))
+            .collect(),
+        _ => vec![Json::field("bench", Json::Str("serve_load".into()))],
+    };
+    fields.extend(tenant_fields);
+    write_json(&json_path, &Json::Obj(fields)).expect("write json");
+    println!("wrote {json_path}");
+    if let Err(e) = cli.finish() {
+        eprintln!("trace: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} request(s) failed");
+        return ExitCode::FAILURE;
+    }
+    if report.drain.dropped() > 0 {
+        eprintln!(
+            "drain dropped {} in-flight request(s)",
+            report.drain.dropped()
+        );
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -55,6 +55,7 @@ pub mod eval;
 pub mod executor;
 pub mod fault;
 pub mod features;
+pub mod gate;
 pub mod infer;
 pub mod masking;
 pub mod parallel;
@@ -81,6 +82,7 @@ pub use executor::{
 };
 pub use fault::{FaultKind, FaultPlan, InjectedFault, RolloutFault};
 pub use features::{NodeFeatures, FEATURE_DIM, MASKED_COL};
+pub use gate::{run_eval_gate, DesignScore, GateSpec, GateVerdict};
 pub use infer::{sample_endpoints, select_endpoints, InferSession};
 pub use masking::{EndpointStatus, SelectionMask};
 pub use parallel::{

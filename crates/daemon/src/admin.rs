@@ -1,0 +1,501 @@
+//! The admin control protocol: `rl-ccd-admin v1` framed text over TCP.
+//!
+//! Same envelope discipline as the serve protocol — 4-byte BE length
+//! frames ([`rl_ccd_wire`]), line 1 the version token, line 2 a head with
+//! `key=value` fields, unknown keys ignored for forward compatibility.
+//! The admin port is separate from the tenant port: operators load
+//! checkpoints, run the gate, promote/roll back, manage tenants, and
+//! drain — none of which a tenant credential can reach.
+
+use crate::tenant::{TenantSummary, TenantUsage};
+use rl_ccd_serve::ModelVersion;
+use rl_ccd_wire::{read_frame, write_frame};
+use std::fmt::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Version token on the first line of every admin payload.
+pub const ADMIN_PROTOCOL_VERSION: &str = "rl-ccd-admin v1";
+
+/// One admin command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AdminRequest {
+    /// Point-in-time daemon status.
+    Status,
+    /// Verify + warm the checkpoint in `dir` into a registry slot
+    /// (`champion` or `challenger`), off the request path.
+    Load {
+        /// Target slot name.
+        slot: String,
+        /// Checkpoint directory (no whitespace).
+        dir: String,
+        /// Cone-overlap threshold the checkpoint does not store.
+        rho: f32,
+    },
+    /// Run the eval gate without promoting (a dry run).
+    Gate,
+    /// Gate (unless forced) and atomically promote the challenger.
+    Promote {
+        /// Promote even if the gate fails or there is no champion.
+        force: bool,
+    },
+    /// Restore the champion evicted by the last promote.
+    Rollback,
+    /// Set the tenant-stable canary fraction.
+    Canary {
+        /// Fraction of tenants routed to the challenger, `0.0..=1.0`.
+        fraction: f64,
+    },
+    /// Add or replace a tenant from its `id:token:rate:burst:quota` spec.
+    TenantAdd {
+        /// The spec string.
+        spec: String,
+    },
+    /// Remove a tenant.
+    TenantDel {
+        /// Tenant id.
+        id: String,
+    },
+    /// List tenants and their usage (tokens never travel back).
+    TenantList,
+    /// Ask the daemon to drain and exit.
+    Drain,
+}
+
+impl AdminRequest {
+    /// Serializes with an optional admin token on the head line.
+    pub fn encode(&self, token: Option<&str>) -> Vec<u8> {
+        let mut head = match self {
+            AdminRequest::Status => "status".to_string(),
+            AdminRequest::Load { slot, dir, rho } => {
+                format!("load slot={slot} dir={dir} rho={rho}")
+            }
+            AdminRequest::Gate => "gate".to_string(),
+            AdminRequest::Promote { force } => format!("promote force={}", u8::from(*force)),
+            AdminRequest::Rollback => "rollback".to_string(),
+            AdminRequest::Canary { fraction } => format!("canary fraction={fraction}"),
+            AdminRequest::TenantAdd { spec } => format!("tenant_add spec={spec}"),
+            AdminRequest::TenantDel { id } => format!("tenant_del id={id}"),
+            AdminRequest::TenantList => "tenant_list".to_string(),
+            AdminRequest::Drain => "drain".to_string(),
+        };
+        if let Some(token) = token {
+            let _ = write!(head, " token={token}");
+        }
+        format!("{ADMIN_PROTOCOL_VERSION}\n{head}\n").into_bytes()
+    }
+
+    /// Parses a payload into the command and the token it carried.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violation.
+    pub fn decode(payload: &[u8]) -> Result<(Self, Option<String>), String> {
+        let (head, _rest) = rl_ccd_wire::split_versioned(payload, ADMIN_PROTOCOL_VERSION)?;
+        let (verb, fields) = head.split_once(' ').unwrap_or((head, ""));
+        let mut token = None;
+        let mut slot = None;
+        let mut dir = None;
+        let mut rho = None;
+        let mut force = None;
+        let mut fraction = None;
+        let mut spec = None;
+        let mut id = None;
+        for field in fields.split_whitespace() {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("field {field:?} is not key=value"))?;
+            match key {
+                "token" => token = Some(value.to_string()),
+                "slot" => slot = Some(value.to_string()),
+                "dir" => dir = Some(value.to_string()),
+                "rho" => {
+                    rho = Some(value.parse().map_err(|_| format!("bad rho {value:?}"))?);
+                }
+                "force" => force = Some(value == "1"),
+                "fraction" => {
+                    fraction = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("bad fraction {value:?}"))?,
+                    );
+                }
+                "spec" => spec = Some(value.to_string()),
+                "id" => id = Some(value.to_string()),
+                _ => {} // forward compatibility
+            }
+        }
+        let request = match verb {
+            "status" => AdminRequest::Status,
+            "load" => AdminRequest::Load {
+                slot: slot.ok_or("load missing slot=")?,
+                dir: dir.ok_or("load missing dir=")?,
+                rho: rho.ok_or("load missing rho=")?,
+            },
+            "gate" => AdminRequest::Gate,
+            "promote" => AdminRequest::Promote {
+                force: force.unwrap_or(false),
+            },
+            "rollback" => AdminRequest::Rollback,
+            "canary" => AdminRequest::Canary {
+                fraction: fraction.ok_or("canary missing fraction=")?,
+            },
+            "tenant_add" => AdminRequest::TenantAdd {
+                spec: spec.ok_or("tenant_add missing spec=")?,
+            },
+            "tenant_del" => AdminRequest::TenantDel {
+                id: id.ok_or("tenant_del missing id=")?,
+            },
+            "tenant_list" => AdminRequest::TenantList,
+            "drain" => AdminRequest::Drain,
+            other => return Err(format!("unknown admin request {other:?}")),
+        };
+        Ok((request, token))
+    }
+}
+
+/// A point-in-time view of the daemon, answered to `status`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DaemonStatus {
+    /// Whether the daemon is accepting tenant queries.
+    pub ready: bool,
+    /// Requests queued in the serving scheduler.
+    pub queue_depth: usize,
+    /// The champion slot's identity, if loaded.
+    pub champion: Option<ModelVersion>,
+    /// The challenger slot's identity, if loaded.
+    pub challenger: Option<ModelVersion>,
+    /// Canary fraction in `0.0..=1.0`.
+    pub canary: f64,
+    /// Registered tenants.
+    pub tenants: usize,
+}
+
+/// A decoded admin answer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AdminReply {
+    /// The command succeeded; `info` is a one-line human summary.
+    Ok {
+        /// What happened.
+        info: String,
+    },
+    /// Status snapshot.
+    Status(DaemonStatus),
+    /// Tenant listing.
+    Tenants(Vec<TenantSummary>),
+    /// The command failed.
+    Err {
+        /// Why.
+        msg: String,
+    },
+}
+
+fn slot_field(v: &Option<ModelVersion>) -> String {
+    v.as_ref().map_or("-".to_string(), ModelVersion::to_string)
+}
+
+fn parse_slot(value: &str) -> Result<Option<ModelVersion>, String> {
+    if value == "-" {
+        Ok(None)
+    } else {
+        value.parse().map(Some)
+    }
+}
+
+impl AdminReply {
+    /// Serializes to an admin payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let body = match self {
+            AdminReply::Ok { info } => format!("ok info={}", info.replace(['\n', '\r'], " ")),
+            AdminReply::Status(s) => format!(
+                "status ready={} queue={} champion={} challenger={} canary={} tenants={}",
+                u8::from(s.ready),
+                s.queue_depth,
+                slot_field(&s.champion),
+                slot_field(&s.challenger),
+                s.canary,
+                s.tenants
+            ),
+            AdminReply::Tenants(list) => {
+                let mut body = format!("tenants count={}", list.len());
+                for t in list {
+                    let _ = write!(
+                        body,
+                        "\ntenant id={} rate={} burst={} quota={} used={} accepted={} denied={} throttled={}",
+                        t.id,
+                        t.rate_per_sec,
+                        t.burst,
+                        t.monthly_quota,
+                        t.usage.used_in_window,
+                        t.usage.accepted,
+                        t.usage.denied,
+                        t.usage.throttled
+                    );
+                }
+                body
+            }
+            AdminReply::Err { msg } => format!("err msg={}", msg.replace(['\n', '\r'], " ")),
+        };
+        format!("{ADMIN_PROTOCOL_VERSION}\n{body}\n").into_bytes()
+    }
+
+    /// Parses an admin payload.
+    ///
+    /// # Errors
+    /// A human-readable description of the first violation.
+    pub fn decode(payload: &[u8]) -> Result<Self, String> {
+        let (head, rest) = rl_ccd_wire::split_versioned(payload, ADMIN_PROTOCOL_VERSION)?;
+        if let Some(info) = head.strip_prefix("ok") {
+            let info = info
+                .trim_start()
+                .strip_prefix("info=")
+                .unwrap_or("")
+                .to_string();
+            return Ok(AdminReply::Ok { info });
+        }
+        if let Some(msg) = head.strip_prefix("err") {
+            let msg = msg
+                .trim_start()
+                .strip_prefix("msg=")
+                .unwrap_or("")
+                .to_string();
+            return Ok(AdminReply::Err { msg });
+        }
+        if let Some(fields) = head.strip_prefix("status ") {
+            let mut ready = None;
+            let mut queue = None;
+            let mut champion = None;
+            let mut challenger = None;
+            let mut canary = None;
+            let mut tenants = None;
+            for field in fields.split_whitespace() {
+                let (key, value) = field
+                    .split_once('=')
+                    .ok_or_else(|| format!("field {field:?} is not key=value"))?;
+                match key {
+                    "ready" => ready = Some(value == "1"),
+                    "queue" => {
+                        queue = Some(value.parse().map_err(|_| format!("bad queue {value:?}"))?);
+                    }
+                    "champion" => champion = Some(parse_slot(value)?),
+                    "challenger" => challenger = Some(parse_slot(value)?),
+                    "canary" => {
+                        canary = Some(value.parse().map_err(|_| format!("bad canary {value:?}"))?);
+                    }
+                    "tenants" => {
+                        tenants = Some(
+                            value
+                                .parse()
+                                .map_err(|_| format!("bad tenants {value:?}"))?,
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            return Ok(AdminReply::Status(DaemonStatus {
+                ready: ready.ok_or("status missing ready=")?,
+                queue_depth: queue.ok_or("status missing queue=")?,
+                champion: champion.ok_or("status missing champion=")?,
+                challenger: challenger.ok_or("status missing challenger=")?,
+                canary: canary.ok_or("status missing canary=")?,
+                tenants: tenants.ok_or("status missing tenants=")?,
+            }));
+        }
+        if head.starts_with("tenants") {
+            let mut list = Vec::new();
+            for line in rest.lines().filter(|l| !l.is_empty()) {
+                let fields = line
+                    .strip_prefix("tenant ")
+                    .ok_or_else(|| format!("bad tenant line {line:?}"))?;
+                let mut summary = TenantSummary {
+                    id: String::new(),
+                    rate_per_sec: 0.0,
+                    burst: 0.0,
+                    monthly_quota: 0,
+                    usage: TenantUsage::default(),
+                };
+                for field in fields.split_whitespace() {
+                    let (key, value) = field
+                        .split_once('=')
+                        .ok_or_else(|| format!("field {field:?} is not key=value"))?;
+                    let bad = |k: &str| format!("bad {k} {value:?}");
+                    match key {
+                        "id" => summary.id = value.to_string(),
+                        "rate" => summary.rate_per_sec = value.parse().map_err(|_| bad(key))?,
+                        "burst" => summary.burst = value.parse().map_err(|_| bad(key))?,
+                        "quota" => summary.monthly_quota = value.parse().map_err(|_| bad(key))?,
+                        "used" => {
+                            summary.usage.used_in_window = value.parse().map_err(|_| bad(key))?;
+                        }
+                        "accepted" => {
+                            summary.usage.accepted = value.parse().map_err(|_| bad(key))?;
+                        }
+                        "denied" => summary.usage.denied = value.parse().map_err(|_| bad(key))?,
+                        "throttled" => {
+                            summary.usage.throttled = value.parse().map_err(|_| bad(key))?;
+                        }
+                        _ => {}
+                    }
+                }
+                if summary.id.is_empty() {
+                    return Err(format!("tenant line missing id=: {line:?}"));
+                }
+                list.push(summary);
+            }
+            return Ok(AdminReply::Tenants(list));
+        }
+        Err(format!("unknown admin reply {head:?}"))
+    }
+}
+
+/// A blocking TCP client for the admin port. Each call opens a fresh
+/// connection — admin traffic is rare and tiny, and a connection per
+/// command keeps the client free of session state.
+#[derive(Clone, Debug)]
+pub struct AdminClient {
+    addr: SocketAddr,
+    token: Option<String>,
+    timeout: Duration,
+}
+
+impl AdminClient {
+    /// A client for the daemon's admin port.
+    pub fn new(addr: SocketAddr, token: Option<String>) -> Self {
+        Self {
+            addr,
+            token,
+            timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Overrides the per-command I/O timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sends one command and decodes the answer.
+    ///
+    /// # Errors
+    /// Transport failures and protocol violations, as strings; an
+    /// [`AdminReply::Err`] is a *successful* call.
+    pub fn call(&self, request: &AdminRequest) -> Result<AdminReply, String> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)
+            .map_err(|e| format!("connect {}: {e}", self.addr))?;
+        stream.set_read_timeout(Some(self.timeout)).ok();
+        stream.set_write_timeout(Some(self.timeout)).ok();
+        let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+        let mut reader = stream;
+        write_frame(&mut writer, &request.encode(self.token.as_deref()))
+            .map_err(|e| format!("send: {e}"))?;
+        let payload = read_frame(&mut reader).map_err(|e| format!("recv: {e}"))?;
+        AdminReply::decode(&payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip_with_and_without_tokens() {
+        let requests = [
+            AdminRequest::Status,
+            AdminRequest::Load {
+                slot: "challenger".into(),
+                dir: "ckpt/run7".into(),
+                rho: 0.3,
+            },
+            AdminRequest::Gate,
+            AdminRequest::Promote { force: false },
+            AdminRequest::Promote { force: true },
+            AdminRequest::Rollback,
+            AdminRequest::Canary { fraction: 0.25 },
+            AdminRequest::TenantAdd {
+                spec: "acme:tok:2:5:1000".into(),
+            },
+            AdminRequest::TenantDel { id: "acme".into() },
+            AdminRequest::TenantList,
+            AdminRequest::Drain,
+        ];
+        for req in requests {
+            let (decoded, token) = AdminRequest::decode(&req.encode(None)).unwrap();
+            assert_eq!(decoded, req);
+            assert_eq!(token, None);
+            let (decoded, token) = AdminRequest::decode(&req.encode(Some("hunter2"))).unwrap();
+            assert_eq!(decoded, req);
+            assert_eq!(token.as_deref(), Some("hunter2"));
+        }
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        let replies = [
+            AdminReply::Ok {
+                info: "promoted champion@12@00000000deadbeef".into(),
+            },
+            AdminReply::Err {
+                msg: "gate failed: fail: challenger -120 vs champion -80".into(),
+            },
+            AdminReply::Status(DaemonStatus {
+                ready: true,
+                queue_depth: 3,
+                champion: Some(ModelVersion {
+                    name: "champion".into(),
+                    version: 12,
+                    fingerprint: 0xdead_beef,
+                }),
+                challenger: None,
+                canary: 0.25,
+                tenants: 2,
+            }),
+            AdminReply::Tenants(vec![
+                TenantSummary {
+                    id: "acme".into(),
+                    rate_per_sec: 2.5,
+                    burst: 10.0,
+                    monthly_quota: 1000,
+                    usage: TenantUsage {
+                        accepted: 7,
+                        denied: 1,
+                        throttled: 2,
+                        used_in_window: 7,
+                    },
+                },
+                TenantSummary {
+                    id: "globex".into(),
+                    rate_per_sec: 1.0,
+                    burst: 1.0,
+                    monthly_quota: 0,
+                    usage: TenantUsage::default(),
+                },
+            ]),
+            AdminReply::Tenants(vec![]),
+        ];
+        for reply in replies {
+            assert_eq!(AdminReply::decode(&reply.encode()).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn version_and_verb_violations_are_rejected() {
+        assert!(AdminRequest::decode(b"rl-ccd-admin v2\nstatus\n")
+            .unwrap_err()
+            .contains("version"));
+        let payload = format!("{ADMIN_PROTOCOL_VERSION}\nreboot now=1\n");
+        assert!(AdminRequest::decode(payload.as_bytes())
+            .unwrap_err()
+            .contains("unknown admin request"));
+        let payload = format!("{ADMIN_PROTOCOL_VERSION}\nload slot=champion\n");
+        assert!(AdminRequest::decode(payload.as_bytes())
+            .unwrap_err()
+            .contains("dir="));
+    }
+
+    #[test]
+    fn unknown_fields_are_ignored_for_forward_compatibility() {
+        let payload = format!("{ADMIN_PROTOCOL_VERSION}\npromote force=1 future=x\n");
+        let (req, _) = AdminRequest::decode(payload.as_bytes()).unwrap();
+        assert_eq!(req, AdminRequest::Promote { force: true });
+    }
+}

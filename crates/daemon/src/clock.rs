@@ -1,0 +1,83 @@
+//! Injectable time source for the tenancy layer.
+//!
+//! Token-bucket refill and monthly-quota windows are pure functions of
+//! "milliseconds since the epoch", so tests drive them with a
+//! [`ManualClock`] stepped explicitly — no wall-clock sleeps, no flaky
+//! timing — while production uses [`SystemClock`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotone-enough millisecond clock.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Milliseconds since the Unix epoch.
+    fn now_ms(&self) -> u64;
+}
+
+/// Wall-clock time from [`std::time::SystemTime`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0)
+    }
+}
+
+/// A hand-stepped clock for deterministic tests. Clones share the same
+/// underlying instant.
+#[derive(Clone, Debug, Default)]
+pub struct ManualClock {
+    ms: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// A manual clock starting at `ms` milliseconds since the epoch.
+    pub fn at(ms: u64) -> Self {
+        let clock = Self::default();
+        clock.set(ms);
+        clock
+    }
+
+    /// Moves time forward by `ms` milliseconds.
+    pub fn advance(&self, ms: u64) {
+        self.ms.fetch_add(ms, Ordering::SeqCst);
+    }
+
+    /// Jumps to an absolute instant.
+    pub fn set(&self, ms: u64) {
+        self.ms.store(ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.ms.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_steps_and_shares_state_across_clones() {
+        let clock = ManualClock::at(1_000);
+        let other = clock.clone();
+        assert_eq!(clock.now_ms(), 1_000);
+        other.advance(250);
+        assert_eq!(clock.now_ms(), 1_250);
+        clock.set(5);
+        assert_eq!(other.now_ms(), 5);
+    }
+
+    #[test]
+    fn system_clock_is_past_2020() {
+        // 2020-01-01 in epoch ms; a sanity floor, not an exact pin.
+        assert!(SystemClock.now_ms() > 1_577_836_800_000);
+    }
+}

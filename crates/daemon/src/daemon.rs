@@ -1,0 +1,741 @@
+//! The daemon proper: a multi-tenant front-end wrapped around the serve
+//! core, plus the admin port that drives hot reload and promotion.
+//!
+//! Two listeners, two protocols:
+//!
+//! * the **tenant port** speaks `rl-ccd-serve v1` — every query must
+//!   carry [`Credentials`](rl_ccd_serve::Credentials); the
+//!   [`TenantBook`] authenticates and
+//!   throttles it, canary routing may rewrite the champion slot to the
+//!   challenger, and only then does the request enter the serving queue;
+//! * the **admin port** speaks `rl-ccd-admin v1` — checkpoint loads,
+//!   gate runs, promote/rollback, tenant CRUD, drain.
+//!
+//! Promotion is zero-downtime by construction: `load` verifies and warms
+//! the challenger off the request path, `promote` is one atomic registry
+//! swap, and in-flight batches finish on the model version they resolved.
+
+use crate::admin::{AdminReply, AdminRequest, DaemonStatus};
+use crate::clock::Clock;
+use crate::promotion::{escape_json, Promoter, CHALLENGER, CHAMPION};
+use crate::tenant::{constant_time_eq, Admission, TenantBook, TenantConfig, TenantSummary};
+use rl_ccd::gate::GateSpec;
+use rl_ccd_serve::protocol::{read_frame, write_frame};
+use rl_ccd_serve::{
+    DrainReport, ModelRegistry, ModelVersion, RejectKind, Request, Response, ServeConfig,
+    ServeHandle, Server,
+};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon tuning: the serving core's knobs plus tenancy and promotion.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Serving-core configuration (batching, queue, workers, caches).
+    pub serve: ServeConfig,
+    /// Cone-overlap threshold applied to admin-loaded checkpoints when
+    /// the `load` command does not override it.
+    pub rho: f32,
+    /// The held-out eval gate promotion is scored with.
+    pub gate: GateSpec,
+    /// Admin-port auth token; `None` trusts the (loopback) peer.
+    pub admin_token: Option<String>,
+    /// Where promote/rollback/canary audit records are appended (JSONL).
+    pub audit_path: Option<PathBuf>,
+    /// Where per-tenant usage is flushed at shutdown (JSONL).
+    pub usage_path: Option<PathBuf>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            serve: ServeConfig::default(),
+            rho: 0.3,
+            gate: GateSpec::quick(0xCCD),
+            admin_token: None,
+            audit_path: None,
+            usage_path: None,
+        }
+    }
+}
+
+/// Final accounting returned by [`Daemon::shutdown`].
+#[derive(Clone, Debug)]
+pub struct DaemonReport {
+    /// The serving core's drain report (`dropped()` must be 0).
+    pub drain: DrainReport,
+    /// Every tenant's final usage counters.
+    pub tenants: Vec<TenantSummary>,
+}
+
+struct DaemonShared {
+    handle: ServeHandle,
+    tenants: TenantBook,
+    promoter: Promoter,
+    rho: f32,
+    admin_token: Option<String>,
+    /// The daemon is shutting down (set by [`Daemon::shutdown`]).
+    draining: AtomicBool,
+    /// An admin asked for a drain (the daemon's owner polls this).
+    drain_requested: AtomicBool,
+    recorder: Option<rl_ccd_obs::Recorder>,
+    write_timeout: Duration,
+}
+
+impl std::fmt::Debug for DaemonShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DaemonShared")
+            .field("tenants", &self.tenants.len())
+            .field("draining", &self.draining.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+#[derive(Debug)]
+struct Front {
+    addr: SocketAddr,
+    accept_thread: JoinHandle<()>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+/// A running multi-tenant daemon.
+#[derive(Debug)]
+pub struct Daemon {
+    server: Server,
+    shared: Arc<DaemonShared>,
+    usage_path: Option<PathBuf>,
+    query_front: Option<Front>,
+    admin_front: Option<Front>,
+}
+
+impl Daemon {
+    /// Starts the daemon over `registry` (typically with the champion
+    /// slot already loaded). `clock` drives rate limits and quotas —
+    /// [`crate::SystemClock`] in production, [`crate::ManualClock`] in
+    /// tests.
+    pub fn start(registry: ModelRegistry, config: DaemonConfig, clock: Arc<dyn Clock>) -> Self {
+        let write_timeout = config.serve.write_timeout;
+        let server = Server::start(registry, config.serve.clone());
+        let shared = Arc::new(DaemonShared {
+            handle: server.handle(),
+            tenants: TenantBook::new(clock.clone()),
+            promoter: Promoter::new(config.gate, clock, config.audit_path),
+            rho: config.rho,
+            admin_token: config.admin_token,
+            draining: AtomicBool::new(false),
+            drain_requested: AtomicBool::new(false),
+            recorder: rl_ccd_obs::current(),
+            write_timeout,
+        });
+        Self {
+            server,
+            shared,
+            usage_path: config.usage_path,
+            query_front: None,
+            admin_front: None,
+        }
+    }
+
+    /// The tenant table (admin port and CLI mutate it through here).
+    pub fn tenants(&self) -> &TenantBook {
+        &self.shared.tenants
+    }
+
+    /// The promotion state machine.
+    pub fn promoter(&self) -> &Promoter {
+        &self.shared.promoter
+    }
+
+    /// The live model registry (shared with the serving core).
+    pub fn registry(&self) -> &ModelRegistry {
+        self.server.registry()
+    }
+
+    /// An in-process serving handle that bypasses tenancy — for the
+    /// owning process only; network tenants always pass the book.
+    pub fn handle(&self) -> ServeHandle {
+        self.server.handle()
+    }
+
+    /// Whether an admin `drain` command has been received; the owner
+    /// polls this and then calls [`Daemon::shutdown`].
+    pub fn drain_requested(&self) -> bool {
+        self.shared.drain_requested.load(Ordering::SeqCst)
+    }
+
+    /// Binds the tenant query port. Returns the bound address.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn bind_query(&mut self, addr: &str) -> std::io::Result<SocketAddr> {
+        let front = bind_front(addr, self.shared.clone(), "daemon-query", query_conn)?;
+        let local = front.addr;
+        self.query_front = Some(front);
+        Ok(local)
+    }
+
+    /// Binds the admin control port. Returns the bound address.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn bind_admin(&mut self, addr: &str) -> std::io::Result<SocketAddr> {
+        let front = bind_front(addr, self.shared.clone(), "daemon-admin", admin_conn)?;
+        let local = front.addr;
+        self.admin_front = Some(front);
+        Ok(local)
+    }
+
+    /// The bound tenant-port address, if [`Daemon::bind_query`] ran.
+    pub fn query_addr(&self) -> Option<SocketAddr> {
+        self.query_front.as_ref().map(|f| f.addr)
+    }
+
+    /// The bound admin-port address, if [`Daemon::bind_admin`] ran.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin_front.as_ref().map(|f| f.addr)
+    }
+
+    /// Graceful shutdown: stop accepting, join every connection, flush
+    /// per-tenant usage to the configured JSONL file, drain the serving
+    /// core, and report the final accounting.
+    pub fn shutdown(self) -> DaemonReport {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        for front in [self.query_front, self.admin_front].into_iter().flatten() {
+            // Unblock the accept loop with one throwaway connection.
+            let _ = TcpStream::connect(front.addr);
+            let _ = front.accept_thread.join();
+            let conns = std::mem::take(&mut *front.conns.lock().expect("conn list lock"));
+            for conn in conns {
+                let _ = conn.join();
+            }
+        }
+        let tenants = self.shared.tenants.summaries();
+        if let Some(path) = &self.usage_path {
+            let _ = write_usage_jsonl(path, &tenants);
+        }
+        DaemonReport {
+            drain: self.server.shutdown(),
+            tenants,
+        }
+    }
+}
+
+/// Flushes per-tenant usage counters as versioned JSONL.
+fn write_usage_jsonl(path: &PathBuf, tenants: &[TenantSummary]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    for t in tenants {
+        writeln!(
+            f,
+            "{{\"v\":\"rl-ccd-usage v1\",\"tenant\":\"{}\",\"accepted\":{},\"denied\":{},\"throttled\":{},\"used_in_window\":{},\"monthly_quota\":{}}}",
+            escape_json(&t.id),
+            t.usage.accepted,
+            t.usage.denied,
+            t.usage.throttled,
+            t.usage.used_in_window,
+            t.monthly_quota
+        )?;
+    }
+    Ok(())
+}
+
+/// Spawns an accept loop whose connections run `conn_fn`.
+fn bind_front(
+    addr: &str,
+    shared: Arc<DaemonShared>,
+    name: &'static str,
+    conn_fn: fn(&DaemonShared, TcpStream),
+) -> std::io::Result<Front> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let conns_in_accept = conns.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name(format!("{name}-accept"))
+        .spawn(move || {
+            let _obs = shared.recorder.as_ref().map(rl_ccd_obs::attach);
+            for stream in listener.incoming() {
+                if shared.draining.load(Ordering::SeqCst) {
+                    break; // the shutdown wake-up connection lands here
+                }
+                let Ok(stream) = stream else { continue };
+                let shared = shared.clone();
+                let conn = std::thread::Builder::new()
+                    .name(format!("{name}-conn"))
+                    .spawn(move || conn_fn(&shared, stream))
+                    .expect("spawn daemon connection");
+                conns_in_accept.lock().expect("conn list lock").push(conn);
+            }
+        })
+        .expect("spawn daemon accept loop");
+    Ok(Front {
+        addr: local,
+        accept_thread,
+        conns,
+    })
+}
+
+/// Prepares one connection's socket: short read timeout so idle
+/// connections re-check the drain flag, bounded write stall.
+fn framed_pair(stream: TcpStream, write_timeout: Duration) -> Option<(TcpStream, TcpStream)> {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_write_timeout(Some(write_timeout));
+    let reader = stream.try_clone().ok()?;
+    Some((reader, stream))
+}
+
+/// One tenant connection: authenticated, throttled, canaried queries.
+fn query_conn(shared: &DaemonShared, stream: TcpStream) {
+    let _obs = shared.recorder.as_ref().map(rl_ccd_obs::attach);
+    let Some((mut reader, mut writer)) = framed_pair(stream, shared.write_timeout) else {
+        return;
+    };
+    loop {
+        match read_frame(&mut reader) {
+            Ok(payload) => {
+                let response = answer_query_frame(shared, &payload);
+                if write_frame(&mut writer, &response.encode()).is_err() {
+                    return;
+                }
+                let _ = writer.flush();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return, // EOF or fatal stream error
+        }
+    }
+}
+
+/// Decodes, admits, canaries, and executes one tenant-port frame.
+fn answer_query_frame(shared: &DaemonShared, payload: &[u8]) -> Response {
+    let request = match Request::decode(payload) {
+        Ok(request) => request,
+        Err(msg) => return Response::reject(RejectKind::BadRequest, msg),
+    };
+    match request {
+        Request::Health => Response::Health(shared.handle.health()),
+        Request::Shutdown => Response::reject(
+            RejectKind::Denied,
+            "admin operations are not available on the tenant port",
+        ),
+        Request::Query(mut q) => {
+            let Some(creds) = q.auth.take() else {
+                return Response::reject(RejectKind::Denied, "credentials required");
+            };
+            match shared.tenants.admit(&creds) {
+                Admission::Denied(msg) => {
+                    tenant_counter("daemon.tenant.denied", &creds.tenant);
+                    Response::reject(RejectKind::Denied, msg)
+                }
+                Admission::Throttled { retry_after_ms } => {
+                    tenant_counter("daemon.tenant.throttled", &creds.tenant);
+                    Response::QuotaExceeded { retry_after_ms }
+                }
+                Admission::Granted => {
+                    // Canary: a tenant-stable fraction of champion traffic
+                    // is answered by the challenger, when one is staged.
+                    if q.model == CHAMPION
+                        && shared.promoter.routes_to_challenger(&creds.tenant)
+                        && shared.handle.registry().get(CHALLENGER).is_some()
+                    {
+                        q.model = CHALLENGER.to_string();
+                    }
+                    let started = Instant::now();
+                    let response = shared.handle.query(q);
+                    tenant_counter("daemon.tenant.accepted", &creds.tenant);
+                    rl_ccd_obs::with_recorder(|r| {
+                        r.metrics()
+                            .labeled_histogram("daemon.tenant.latency_ms", &creds.tenant)
+                            .observe(started.elapsed().as_secs_f64() * 1e3);
+                    });
+                    response
+                }
+            }
+        }
+    }
+}
+
+fn tenant_counter(name: &'static str, tenant: &str) {
+    rl_ccd_obs::with_recorder(|r| {
+        r.metrics().labeled_counter(name, tenant).add(1);
+    });
+}
+
+/// One admin connection: framed `rl-ccd-admin v1` commands.
+fn admin_conn(shared: &DaemonShared, stream: TcpStream) {
+    let _obs = shared.recorder.as_ref().map(rl_ccd_obs::attach);
+    let Some((mut reader, mut writer)) = framed_pair(stream, shared.write_timeout) else {
+        return;
+    };
+    loop {
+        match read_frame(&mut reader) {
+            Ok(payload) => {
+                let reply = answer_admin_frame(shared, &payload);
+                if write_frame(&mut writer, &reply.encode()).is_err() {
+                    return;
+                }
+                let _ = writer.flush();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn slot_identity(registry: &ModelRegistry, slot: &str) -> Option<ModelVersion> {
+    registry.get(slot).map(|m| ModelVersion {
+        name: m.name.clone(),
+        version: m.version,
+        fingerprint: m.fingerprint,
+    })
+}
+
+/// Decodes, authenticates, and executes one admin-port frame.
+fn answer_admin_frame(shared: &DaemonShared, payload: &[u8]) -> AdminReply {
+    let (request, token) = match AdminRequest::decode(payload) {
+        Ok(decoded) => decoded,
+        Err(msg) => return AdminReply::Err { msg },
+    };
+    if let Some(expected) = &shared.admin_token {
+        let provided = token.unwrap_or_default();
+        if !constant_time_eq(provided.as_bytes(), expected.as_bytes()) {
+            return AdminReply::Err {
+                msg: "unauthorized".into(),
+            };
+        }
+    }
+    let registry = shared.handle.registry();
+    match request {
+        AdminRequest::Status => {
+            let health = shared.handle.health();
+            AdminReply::Status(DaemonStatus {
+                ready: health.ready && !shared.draining.load(Ordering::SeqCst),
+                queue_depth: health.queue_depth,
+                champion: slot_identity(registry, CHAMPION),
+                challenger: slot_identity(registry, CHALLENGER),
+                canary: shared.promoter.canary_fraction(),
+                tenants: shared.tenants.len(),
+            })
+        }
+        AdminRequest::Load { slot, dir, rho } => {
+            if slot != CHAMPION && slot != CHALLENGER {
+                return AdminReply::Err {
+                    msg: format!("slot must be {CHAMPION:?} or {CHALLENGER:?}, got {slot:?}"),
+                };
+            }
+            let rho = if rho.is_finite() && rho > 0.0 {
+                rho
+            } else {
+                shared.rho
+            };
+            // Verify + assemble on this thread, off the request path;
+            // install is the atomic pointer swap.
+            match ModelRegistry::prepare(&slot, &dir, rho) {
+                Ok(entry) => {
+                    let identity = ModelVersion {
+                        name: entry.name.clone(),
+                        version: entry.version,
+                        fingerprint: entry.fingerprint,
+                    };
+                    registry.install(entry);
+                    shared
+                        .promoter
+                        .note("load", format!("{slot} <- {dir}: {identity}"));
+                    AdminReply::Ok {
+                        info: format!("loaded {identity}"),
+                    }
+                }
+                Err(e) => AdminReply::Err {
+                    msg: format!("load {dir}: {e}"),
+                },
+            }
+        }
+        AdminRequest::Gate => match shared.promoter.run_gate(registry) {
+            Ok(verdict) => AdminReply::Ok {
+                info: verdict.summary(),
+            },
+            Err(msg) => AdminReply::Err { msg },
+        },
+        AdminRequest::Promote { force } => match shared.promoter.promote(registry, force) {
+            Ok((verdict, identity)) => AdminReply::Ok {
+                info: format!(
+                    "promoted {identity}; gate: {}",
+                    verdict.map_or("skipped (no champion)".to_string(), |v| v.summary())
+                ),
+            },
+            Err(msg) => AdminReply::Err { msg },
+        },
+        AdminRequest::Rollback => match shared.promoter.rollback(registry) {
+            Ok(identity) => AdminReply::Ok {
+                info: format!("rolled back to {identity}"),
+            },
+            Err(msg) => AdminReply::Err { msg },
+        },
+        AdminRequest::Canary { fraction } => match shared.promoter.set_canary(fraction) {
+            Ok(()) => AdminReply::Ok {
+                info: format!("canary fraction {fraction}"),
+            },
+            Err(msg) => AdminReply::Err { msg },
+        },
+        AdminRequest::TenantAdd { spec } => match spec.parse::<TenantConfig>() {
+            Ok(config) => {
+                let id = config.id.clone();
+                let replaced = shared.tenants.add(config);
+                AdminReply::Ok {
+                    info: format!(
+                        "{} tenant {id}",
+                        if replaced { "replaced" } else { "added" }
+                    ),
+                }
+            }
+            Err(msg) => AdminReply::Err { msg },
+        },
+        AdminRequest::TenantDel { id } => {
+            if shared.tenants.remove(&id) {
+                AdminReply::Ok {
+                    info: format!("removed tenant {id}"),
+                }
+            } else {
+                AdminReply::Err {
+                    msg: format!("no tenant {id:?}"),
+                }
+            }
+        }
+        AdminRequest::TenantList => AdminReply::Tenants(shared.tenants.summaries()),
+        AdminRequest::Drain => {
+            shared.drain_requested.store(true, Ordering::SeqCst);
+            AdminReply::Ok {
+                info: "draining".into(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admin::AdminClient;
+    use crate::clock::ManualClock;
+    use rl_ccd::{RlCcd, RlConfig};
+    use rl_ccd_serve::protocol::{Credentials, DesignKey, Mode, QueryRequest};
+    use rl_ccd_serve::ServeClient;
+
+    fn registry() -> ModelRegistry {
+        let (_, params) = RlCcd::init(RlConfig::fast());
+        let reg = ModelRegistry::new();
+        reg.insert_params(CHAMPION, params, 0.3).expect("insert");
+        reg
+    }
+
+    fn query(auth: Option<Credentials>) -> QueryRequest {
+        QueryRequest {
+            model: CHAMPION.into(),
+            design: DesignKey {
+                name: "dmn".into(),
+                cells: 360,
+                tech: "7nm".into(),
+                seed: 5,
+            },
+            mode: Mode::Greedy,
+            deadline_ms: Some(30_000),
+            auth,
+        }
+    }
+
+    fn creds(tenant: &str, token: &str) -> Option<Credentials> {
+        Some(Credentials {
+            tenant: tenant.into(),
+            token: token.into(),
+        })
+    }
+
+    fn started_daemon(clock: &ManualClock) -> Daemon {
+        let mut daemon =
+            Daemon::start(registry(), DaemonConfig::default(), Arc::new(clock.clone()));
+        daemon
+            .tenants()
+            .add("acme:s3cret:1000:1000:1000000".parse().unwrap());
+        daemon.bind_query("127.0.0.1:0").expect("bind query");
+        daemon.bind_admin("127.0.0.1:0").expect("bind admin");
+        daemon
+    }
+
+    #[test]
+    fn tenant_port_requires_valid_credentials() {
+        let clock = ManualClock::at(0);
+        let daemon = started_daemon(&clock);
+        let addr = daemon.query_addr().unwrap();
+        let mut client = ServeClient::connect(addr).expect("connect");
+        // No credentials.
+        let r = client.query(query(None)).unwrap();
+        assert!(
+            matches!(&r, Response::Err { kind: RejectKind::Denied, msg } if msg.contains("credentials")),
+            "{r:?}"
+        );
+        // Bad token.
+        let r = client.query(query(creds("acme", "wrong"))).unwrap();
+        assert!(matches!(
+            r,
+            Response::Err {
+                kind: RejectKind::Denied,
+                ..
+            }
+        ));
+        // Valid credentials reach the model.
+        let r = client.query(query(creds("acme", "s3cret"))).unwrap();
+        let Response::Ok(reply) = r else {
+            panic!("expected selection, got {r:?}")
+        };
+        assert_eq!(reply.model, CHAMPION);
+        assert!(!reply.selection.is_empty());
+        let report = daemon.shutdown();
+        assert_eq!(report.drain.dropped(), 0);
+        let acme = &report.tenants[0];
+        assert_eq!(acme.usage.accepted, 1);
+        assert_eq!(acme.usage.denied, 1);
+    }
+
+    #[test]
+    fn throttled_tenant_gets_quota_exceeded_with_the_refill_hint() {
+        let clock = ManualClock::at(0);
+        let mut daemon =
+            Daemon::start(registry(), DaemonConfig::default(), Arc::new(clock.clone()));
+        // 1 req/s, burst 1: the second immediate request throttles.
+        daemon.tenants().add("slow:tok:1:1:100".parse().unwrap());
+        let addr = daemon.bind_query("127.0.0.1:0").expect("bind");
+        let mut client = ServeClient::connect(addr).expect("connect");
+        assert!(matches!(
+            client.query(query(creds("slow", "tok"))).unwrap(),
+            Response::Ok(_)
+        ));
+        let r = client.query(query(creds("slow", "tok"))).unwrap();
+        let Response::QuotaExceeded { retry_after_ms } = r else {
+            panic!("expected QuotaExceeded, got {r:?}")
+        };
+        assert_eq!(retry_after_ms, 1_000, "one token at 1/s is a second away");
+        assert_eq!(daemon.shutdown().drain.dropped(), 0);
+    }
+
+    #[test]
+    fn admin_port_drives_status_tenants_and_drain() {
+        let clock = ManualClock::at(0);
+        let daemon = started_daemon(&clock);
+        let admin = AdminClient::new(daemon.admin_addr().unwrap(), None);
+        let AdminReply::Status(status) = admin.call(&AdminRequest::Status).unwrap() else {
+            panic!("expected status")
+        };
+        assert!(status.ready);
+        assert_eq!(status.tenants, 1);
+        assert_eq!(status.champion.as_ref().unwrap().name, CHAMPION);
+        assert!(status.challenger.is_none());
+        assert_eq!(status.canary, 0.0);
+        // Tenant CRUD over the wire.
+        let r = admin
+            .call(&AdminRequest::TenantAdd {
+                spec: "globex:tok2:5:5:10".into(),
+            })
+            .unwrap();
+        assert!(matches!(r, AdminReply::Ok { .. }), "{r:?}");
+        let AdminReply::Tenants(list) = admin.call(&AdminRequest::TenantList).unwrap() else {
+            panic!("expected tenants")
+        };
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[1].id, "globex");
+        let r = admin
+            .call(&AdminRequest::TenantDel {
+                id: "globex".into(),
+            })
+            .unwrap();
+        assert!(matches!(r, AdminReply::Ok { .. }));
+        let r = admin
+            .call(&AdminRequest::TenantDel {
+                id: "globex".into(),
+            })
+            .unwrap();
+        assert!(matches!(r, AdminReply::Err { .. }), "double delete errors");
+        // Drain request is surfaced to the owner, not executed inline.
+        assert!(!daemon.drain_requested());
+        let r = admin.call(&AdminRequest::Drain).unwrap();
+        assert!(matches!(r, AdminReply::Ok { .. }));
+        assert!(daemon.drain_requested());
+        assert_eq!(daemon.shutdown().drain.dropped(), 0);
+    }
+
+    #[test]
+    fn admin_token_gates_every_command() {
+        let clock = ManualClock::at(0);
+        let mut daemon = Daemon::start(
+            registry(),
+            DaemonConfig {
+                admin_token: Some("hunter2".into()),
+                ..DaemonConfig::default()
+            },
+            Arc::new(clock.clone()),
+        );
+        let addr = daemon.bind_admin("127.0.0.1:0").expect("bind admin");
+        let anonymous = AdminClient::new(addr, None);
+        let r = anonymous.call(&AdminRequest::Status).unwrap();
+        assert!(
+            matches!(&r, AdminReply::Err { msg } if msg == "unauthorized"),
+            "{r:?}"
+        );
+        let wrong = AdminClient::new(addr, Some("guess".into()));
+        assert!(matches!(
+            wrong.call(&AdminRequest::Status).unwrap(),
+            AdminReply::Err { .. }
+        ));
+        let authed = AdminClient::new(addr, Some("hunter2".into()));
+        assert!(matches!(
+            authed.call(&AdminRequest::Status).unwrap(),
+            AdminReply::Status(_)
+        ));
+        assert_eq!(daemon.shutdown().drain.dropped(), 0);
+    }
+
+    #[test]
+    fn shutdown_flushes_usage_jsonl() {
+        let dir = std::env::temp_dir().join("rl_ccd_daemon_usage_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("usage.jsonl");
+        std::fs::remove_file(&path).ok();
+        let clock = ManualClock::at(0);
+        let mut daemon = Daemon::start(
+            registry(),
+            DaemonConfig {
+                usage_path: Some(path.clone()),
+                ..DaemonConfig::default()
+            },
+            Arc::new(clock.clone()),
+        );
+        daemon.tenants().add("acme:tok:10:10:100".parse().unwrap());
+        let addr = daemon.bind_query("127.0.0.1:0").expect("bind");
+        let mut client = ServeClient::connect(addr).expect("connect");
+        assert!(matches!(
+            client.query(query(creds("acme", "tok"))).unwrap(),
+            Response::Ok(_)
+        ));
+        daemon.shutdown();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"v\":\"rl-ccd-usage v1\""), "{text}");
+        assert!(text.contains("\"tenant\":\"acme\""), "{text}");
+        assert!(text.contains("\"accepted\":1"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -241,7 +241,9 @@ impl Recorder {
 
     /// True when nothing was recorded (no spans, no metrics).
     pub fn is_empty(&self) -> bool {
-        self.spans().is_empty() && self.metrics().snapshot().is_empty()
+        self.spans().is_empty()
+            && self.metrics().snapshot().is_empty()
+            && self.metrics().snapshot_labeled().is_empty()
     }
 
     /// Renders the human-readable end-of-run summary table.

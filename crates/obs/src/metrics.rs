@@ -164,9 +164,16 @@ impl Cell {
 /// Registry of named metrics. Names follow the `<crate>.<subsystem>.<what>`
 /// convention (see DESIGN.md §11); a name is permanently bound to the kind
 /// it is first registered as.
+///
+/// Besides plain named metrics, the registry holds *labeled* series — one
+/// cell per `(name, label)` pair (e.g. `daemon.tenant.requests` labeled by
+/// tenant id). Labels are runtime strings because the set of tenants is
+/// not known at compile time; the name side keeps the `&'static str`
+/// convention so labeled and unlabeled series sort together.
 #[derive(Default)]
 pub struct Registry {
     cells: Mutex<BTreeMap<&'static str, Cell>>,
+    labeled: Mutex<BTreeMap<(&'static str, String), Cell>>,
 }
 
 impl Registry {
@@ -235,6 +242,61 @@ impl Registry {
         }
     }
 
+    fn labeled_cell<F: FnOnce() -> Cell>(
+        &self,
+        name: &'static str,
+        label: &str,
+        kind: MetricKind,
+        make: F,
+    ) -> Cell {
+        let mut cells = self.labeled.lock().expect("obs labeled metrics lock");
+        let cell = cells.entry((name, label.to_string())).or_insert_with(make);
+        assert_eq!(
+            cell.kind(),
+            kind,
+            "labeled metric {name:?}{{{label}}} already registered as {:?}",
+            cell.kind()
+        );
+        match cell {
+            Cell::Counter(c) => Cell::Counter(c.clone()),
+            Cell::Gauge(g) => Cell::Gauge(g.clone()),
+            Cell::Histogram(h) => Cell::Histogram(h.clone()),
+        }
+    }
+
+    /// Returns (registering on first use) the counter for one labeled
+    /// series, e.g. `labeled_counter("daemon.tenant.requests", "acme")`.
+    ///
+    /// # Panics
+    /// Panics if `(name, label)` is already registered as a different kind.
+    pub fn labeled_counter(&self, name: &'static str, label: &str) -> Counter {
+        match self.labeled_cell(name, label, MetricKind::Counter, || {
+            Cell::Counter(Counter(Arc::new(AtomicU64::new(0))))
+        }) {
+            Cell::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Returns (registering on first use) the histogram for one labeled
+    /// series.
+    ///
+    /// # Panics
+    /// Panics if `(name, label)` is already registered as a different kind.
+    pub fn labeled_histogram(&self, name: &'static str, label: &str) -> Histogram {
+        match self.labeled_cell(name, label, MetricKind::Histogram, || {
+            Cell::Histogram(Histogram(Arc::new(HistogramCell {
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0.0_f64.to_bits()),
+                min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+                max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            })))
+        }) {
+            Cell::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
     /// Sorted snapshot of every registered metric: `(name, kind, value)`.
     pub fn snapshot(&self) -> Vec<(&'static str, MetricKind, MetricValue)> {
         let cells = self.cells.lock().expect("obs metrics lock");
@@ -247,6 +309,23 @@ impl Registry {
                     Cell::Histogram(h) => MetricValue::Histogram(h.get()),
                 };
                 (*name, cell.kind(), value)
+            })
+            .collect()
+    }
+
+    /// Sorted snapshot of every labeled series:
+    /// `(name, label, kind, value)`.
+    pub fn snapshot_labeled(&self) -> Vec<(&'static str, String, MetricKind, MetricValue)> {
+        let cells = self.labeled.lock().expect("obs labeled metrics lock");
+        cells
+            .iter()
+            .map(|((name, label), cell)| {
+                let value = match cell {
+                    Cell::Counter(c) => MetricValue::Counter(c.get()),
+                    Cell::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Cell::Histogram(h) => MetricValue::Histogram(h.get()),
+                };
+                (*name, label.clone(), cell.kind(), value)
             })
             .collect()
     }
@@ -288,6 +367,34 @@ mod tests {
         reg.histogram("m.mid").observe(1.0);
         let names: Vec<_> = reg.snapshot().iter().map(|m| m.0).collect();
         assert_eq!(names, vec!["a.first", "m.mid", "z.last"]);
+    }
+
+    #[test]
+    fn labeled_series_are_independent_per_label() {
+        let reg = Registry::new();
+        reg.labeled_counter("t.requests", "acme").add(2);
+        reg.labeled_counter("t.requests", "bbco").add(5);
+        reg.labeled_histogram("t.latency_ms", "acme").observe(1.5);
+        assert_eq!(reg.labeled_counter("t.requests", "acme").get(), 2);
+        assert_eq!(reg.labeled_counter("t.requests", "bbco").get(), 5);
+        let snap = reg.snapshot_labeled();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].0, "t.latency_ms");
+        assert_eq!(snap[0].1, "acme");
+        assert_eq!(snap[1].1, "acme");
+        assert_eq!(snap[2].1, "bbco");
+        assert_eq!(snap[1].3, MetricValue::Counter(2));
+        // Labeled series never collide with the unlabeled namespace.
+        reg.counter("t.requests").add(1);
+        assert_eq!(reg.snapshot().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn labeled_kind_conflict_panics() {
+        let reg = Registry::new();
+        reg.labeled_counter("dup", "a").add(1);
+        let _ = reg.labeled_histogram("dup", "a");
     }
 
     #[test]

@@ -120,11 +120,37 @@ pub(crate) fn write_jsonl<W: Write>(rec: &Recorder, mut w: W) -> std::io::Result
         )?;
     }
 
+    // Labeled series ride the same `metric` event with an extra `label`
+    // key (readers must ignore unknown keys, so this needs no version
+    // bump); they count toward the end marker like any other metric.
+    let labeled = rec.metrics().snapshot_labeled();
+    for (name, label, kind, value) in &labeled {
+        let body = match value {
+            MetricValue::Counter(c) => format!("\"value\":{c}"),
+            MetricValue::Gauge(g) => format!("\"value\":{}", json_f64(*g)),
+            MetricValue::Histogram(h) => format!(
+                "\"count\":{},\"sum\":{},\"min\":{},\"max\":{}",
+                h.count,
+                json_f64(h.sum),
+                json_f64(h.min),
+                json_f64(h.max)
+            ),
+        };
+        writeln!(
+            w,
+            "{{\"type\":\"metric\",\"name\":\"{}\",\"label\":\"{}\",\"kind\":\"{}\",{}}}",
+            escape_json(name),
+            escape_json(label),
+            kind.as_str(),
+            body
+        )?;
+    }
+
     writeln!(
         w,
         "{{\"type\":\"end\",\"spans\":{},\"metrics\":{}}}",
         spans.len(),
-        metrics.len()
+        metrics.len() + labeled.len()
     )
 }
 
@@ -164,24 +190,40 @@ pub(crate) fn summary(rec: &Recorder) -> String {
         }
     }
     let metrics = rec.metrics().snapshot();
-    if !metrics.is_empty() {
+    let labeled = rec.metrics().snapshot_labeled();
+    if !metrics.is_empty() || !labeled.is_empty() {
         let _ = writeln!(out, "{:<32} {:>10} {:>24}", "metric", "kind", "value");
+        let render = |value: &MetricValue| match value {
+            MetricValue::Counter(c) => format!("{c}"),
+            MetricValue::Gauge(g) => format!("{g:.4}"),
+            MetricValue::Histogram(h) => format!(
+                "n={} mean={:.3} [{:.3}, {:.3}]",
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            ),
+        };
         for (name, kind, value) in &metrics {
-            let rendered = match value {
-                MetricValue::Counter(c) => format!("{c}"),
-                MetricValue::Gauge(g) => format!("{g:.4}"),
-                MetricValue::Histogram(h) => format!(
-                    "n={} mean={:.3} [{:.3}, {:.3}]",
-                    h.count,
-                    h.mean(),
-                    h.min,
-                    h.max
-                ),
-            };
-            let _ = writeln!(out, "{:<32} {:>10} {:>24}", name, kind.as_str(), rendered);
+            let _ = writeln!(
+                out,
+                "{:<32} {:>10} {:>24}",
+                name,
+                kind.as_str(),
+                render(value)
+            );
+        }
+        for (name, label, kind, value) in &labeled {
+            let _ = writeln!(
+                out,
+                "{:<32} {:>10} {:>24}",
+                format!("{name}{{{label}}}"),
+                kind.as_str(),
+                render(value)
+            );
         }
     }
-    if spans.is_empty() && metrics.is_empty() {
+    if spans.is_empty() && metrics.is_empty() && labeled.is_empty() {
         let _ = writeln!(out, "(nothing recorded)");
     }
     out
@@ -222,5 +264,24 @@ mod tests {
     #[test]
     fn empty_recorder_summary_says_so() {
         assert!(Recorder::new().summary().contains("(nothing recorded)"));
+    }
+
+    #[test]
+    fn labeled_metrics_validate_and_show_in_summary() {
+        let rec = Recorder::new();
+        rec.metrics()
+            .labeled_counter("daemon.tenant.requests", "acme")
+            .add(7);
+        rec.metrics()
+            .labeled_histogram("daemon.tenant.latency_ms", "acme")
+            .observe(2.25);
+        let mut out = Vec::new();
+        rec.write_jsonl(&mut out).unwrap();
+        let sum = crate::validate_jsonl(&out[..]).expect("labeled trace validates");
+        assert_eq!(sum.metrics, 2);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"label\":\"acme\""));
+        assert!(rec.summary().contains("daemon.tenant.requests{acme}"));
+        assert!(!rec.is_empty());
     }
 }

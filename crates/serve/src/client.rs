@@ -137,6 +137,11 @@ impl ServeClient {
     /// carries no deadline — a silent peer costs this much, not forever.
     pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
 
+    /// Largest `retry_after_ms` hint the retry loop will sleep on. A
+    /// hint above this (a spent monthly quota's horizon) is returned to
+    /// the caller as the typed response instead.
+    pub const MAX_RETRYABLE_HINT_MS: u64 = 10_000;
+
     /// Starts configuring a client: address, retry policy, deadline cap,
     /// chaos plan.
     #[must_use]
@@ -212,8 +217,15 @@ impl ServeClient {
             attempt += 1;
             let result = self.attempt_query(&request, &budget);
             match result {
-                Ok(Response::Overloaded { retry_after_ms })
-                    if attempt < self.retry.max_attempts =>
+                // A shed or a *short* tenancy throttle (a token bucket
+                // refilling) is worth waiting out; a long QuotaExceeded
+                // hint (a spent monthly quota) is surfaced to the caller
+                // instead of sleeping until next month.
+                Ok(
+                    Response::Overloaded { retry_after_ms }
+                    | Response::QuotaExceeded { retry_after_ms },
+                ) if attempt < self.retry.max_attempts
+                    && retry_after_ms <= Self::MAX_RETRYABLE_HINT_MS =>
                 {
                     // The server shed us; honor its backoff hint (or our
                     // own schedule, whichever is longer) within budget.

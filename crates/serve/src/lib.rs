@@ -24,7 +24,7 @@
 //! use rl_ccd_serve::{ModelRegistry, ServeConfig, Server};
 //! use rl_ccd_serve::protocol::{DesignKey, Mode, QueryRequest};
 //!
-//! let mut registry = ModelRegistry::new();
+//! let registry = ModelRegistry::new();
 //! registry.load("default", "ckpt/", 0.3)?;
 //! let server = Server::start(registry, ServeConfig::default());
 //! let reply = server.handle().query(QueryRequest {
@@ -32,6 +32,7 @@
 //!     design: "demo:800:7nm:1".parse::<DesignKey>().unwrap(),
 //!     mode: Mode::Greedy,
 //!     deadline_ms: Some(5_000),
+//!     auth: None,
 //! });
 //! println!("{reply:?}");
 //! server.shutdown();
@@ -52,8 +53,8 @@ pub mod server;
 pub use cache::{EnvCache, LruCache, SelectionCache};
 pub use client::{ClientBuilder, ServeClient};
 pub use protocol::{
-    DesignKey, HealthReply, Mode, QueryReply, QueryRequest, RejectKind, Request, Response,
-    PROTOCOL_VERSION,
+    Credentials, DesignKey, HealthReply, Mode, ModelVersion, QueryReply, QueryRequest, RejectKind,
+    Request, Response, PROTOCOL_VERSION,
 };
 pub use registry::{ModelRegistry, ServeModel};
 pub use server::{DrainReport, ServeConfig, ServeHandle, ServeStats, Server};

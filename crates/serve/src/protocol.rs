@@ -105,6 +105,17 @@ impl FromStr for Mode {
     }
 }
 
+/// Tenant credentials carried on a query when the endpoint enforces
+/// tenancy (the daemon front-end). Both fields are opaque tokens without
+/// whitespace; the serve core ignores them entirely.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Credentials {
+    /// Tenant identity the request is billed to.
+    pub tenant: String,
+    /// The tenant's secret auth token.
+    pub token: String,
+}
+
 /// One endpoint-selection query.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QueryRequest {
@@ -117,6 +128,8 @@ pub struct QueryRequest {
     /// Give up (typed `deadline` error) if not dispatched within this many
     /// milliseconds of submission.
     pub deadline_ms: Option<u64>,
+    /// Tenant credentials; `None` against a bare serve endpoint.
+    pub auth: Option<Credentials>,
 }
 
 /// A decoded client message.
@@ -143,6 +156,9 @@ impl Request {
                 );
                 if let Some(ms) = q.deadline_ms {
                     line.push_str(&format!(" deadline_ms={ms}"));
+                }
+                if let Some(auth) = &q.auth {
+                    line.push_str(&format!(" tenant={} token={}", auth.tenant, auth.token));
                 }
                 line
             }
@@ -172,6 +188,8 @@ impl Request {
         let mut design = None;
         let mut mode = None;
         let mut deadline_ms = None;
+        let mut tenant = None;
+        let mut token = None;
         for field in fields.split_whitespace() {
             let (key, value) = field
                 .split_once('=')
@@ -187,14 +205,24 @@ impl Request {
                             .map_err(|_| format!("bad deadline_ms {value:?}"))?,
                     );
                 }
+                "tenant" => tenant = Some(value.to_string()),
+                "token" => token = Some(value.to_string()),
                 _ => {} // forward compatibility: ignore unknown keys
             }
         }
+        // Credentials travel as a pair; half a pair is a malformed request
+        // (a lone tenant= would silently bill nobody).
+        let auth = match (tenant, token) {
+            (Some(tenant), Some(token)) => Some(Credentials { tenant, token }),
+            (None, None) => None,
+            _ => return Err("tenant= and token= must be sent together".into()),
+        };
         Ok(Request::Query(QueryRequest {
             model: model.ok_or("query missing model=")?,
             design: design.ok_or("query missing design=")?,
             mode: mode.ok_or("query missing mode=")?,
             deadline_ms,
+            auth,
         }))
     }
 }
@@ -212,6 +240,9 @@ pub enum RejectKind {
     BadRequest,
     /// No model with that name in the registry.
     UnknownModel,
+    /// Tenancy rejection: unknown tenant, bad token, or an operation the
+    /// endpoint does not allow (e.g. shutdown on the tenant port).
+    Denied,
     /// Unexpected server-side failure.
     Internal,
 }
@@ -224,6 +255,7 @@ impl RejectKind {
             RejectKind::ShuttingDown => "shutting_down",
             RejectKind::BadRequest => "bad_request",
             RejectKind::UnknownModel => "unknown_model",
+            RejectKind::Denied => "denied",
             RejectKind::Internal => "internal",
         }
     }
@@ -245,6 +277,7 @@ impl FromStr for RejectKind {
             "shutting_down" => Ok(RejectKind::ShuttingDown),
             "bad_request" => Ok(RejectKind::BadRequest),
             "unknown_model" => Ok(RejectKind::UnknownModel),
+            "denied" => Ok(RejectKind::Denied),
             "internal" => Ok(RejectKind::Internal),
             _ => Err(format!("unknown reject kind {s:?}")),
         }
@@ -268,9 +301,50 @@ pub struct QueryReply {
     pub selection: Vec<usize>,
 }
 
+/// One registry entry's identity, as reported by a health probe: enough
+/// to know *what* is serving, not just that something is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelVersion {
+    /// Registry name clients address the model by.
+    pub name: String,
+    /// Checkpoint version (the training iteration it would resume at).
+    pub version: usize,
+    /// FNV-1a 64 checksum of the verified checkpoint bytes.
+    pub fingerprint: u64,
+}
+
+impl fmt::Display for ModelVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@{}@{:016x}",
+            self.name, self.version, self.fingerprint
+        )
+    }
+}
+
+impl FromStr for ModelVersion {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split('@').collect();
+        if parts.len() != 3 || parts[0].is_empty() {
+            return Err(format!("active entry {s:?} is not name@version@fp"));
+        }
+        Ok(Self {
+            name: parts[0].to_string(),
+            version: parts[1]
+                .parse()
+                .map_err(|_| format!("bad version {:?}", parts[1]))?,
+            fingerprint: u64::from_str_radix(parts[2], 16)
+                .map_err(|_| format!("bad fingerprint {:?}", parts[2]))?,
+        })
+    }
+}
+
 /// A health-probe answer: a point-in-time view of the server's capacity
 /// to accept work.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HealthReply {
     /// Whether the server is accepting queries (false while draining).
     pub ready: bool,
@@ -280,6 +354,10 @@ pub struct HealthReply {
     pub queue_capacity: usize,
     /// Number of models in the registry.
     pub models: usize,
+    /// The registry's live entries — name, version, fingerprint — sorted
+    /// by name. Empty when probing a pre-v9 server that does not report
+    /// the field.
+    pub active: Vec<ModelVersion>,
 }
 
 /// A decoded server message.
@@ -293,6 +371,15 @@ pub enum Response {
     Overloaded {
         /// Server's estimate of when capacity will free up; clients
         /// should back off at least this long before retrying.
+        retry_after_ms: u64,
+    },
+    /// Tenancy throttle: the tenant's token bucket is empty or its
+    /// monthly quota is spent. Machine-readable like
+    /// [`Response::Overloaded`] so the same client backoff path composes
+    /// — the hint is the bucket's refill horizon (small) or the quota
+    /// window's remainder (large).
+    QuotaExceeded {
+        /// How long until the tenant may retry.
         retry_after_ms: u64,
     },
     /// Answer to a [`Request::Health`] probe.
@@ -335,14 +422,25 @@ impl Response {
                 format!("{PROTOCOL_VERSION}\noverloaded retry_after_ms={retry_after_ms}\n")
                     .into_bytes()
             }
-            Response::Health(h) => format!(
-                "{PROTOCOL_VERSION}\nhealth ready={} queue={} capacity={} models={}\n",
-                u8::from(h.ready),
-                h.queue_depth,
-                h.queue_capacity,
-                h.models
-            )
-            .into_bytes(),
+            Response::QuotaExceeded { retry_after_ms } => {
+                format!("{PROTOCOL_VERSION}\nquota_exceeded retry_after_ms={retry_after_ms}\n")
+                    .into_bytes()
+            }
+            Response::Health(h) => {
+                let mut head = format!(
+                    "health ready={} queue={} capacity={} models={}",
+                    u8::from(h.ready),
+                    h.queue_depth,
+                    h.queue_capacity,
+                    h.models
+                );
+                if !h.active.is_empty() {
+                    let entries: Vec<String> =
+                        h.active.iter().map(ModelVersion::to_string).collect();
+                    head.push_str(&format!(" active={}", entries.join(",")));
+                }
+                format!("{PROTOCOL_VERSION}\n{head}\n").into_bytes()
+            }
             Response::Err { kind, msg } => {
                 // msg is the whole remainder of the line; newlines stripped
                 // so it cannot forge extra lines.
@@ -367,11 +465,21 @@ impl Response {
                 .map_err(|_| "bad retry_after_ms".to_string())?;
             return Ok(Response::Overloaded { retry_after_ms });
         }
+        if let Some(fields) = head.strip_prefix("quota_exceeded ") {
+            let retry_after_ms = fields
+                .split_whitespace()
+                .find_map(|f| f.strip_prefix("retry_after_ms="))
+                .ok_or("quota_exceeded missing retry_after_ms=")?
+                .parse()
+                .map_err(|_| "bad retry_after_ms".to_string())?;
+            return Ok(Response::QuotaExceeded { retry_after_ms });
+        }
         if let Some(fields) = head.strip_prefix("health ") {
             let mut ready = None;
             let mut queue_depth = None;
             let mut queue_capacity = None;
             let mut models = None;
+            let mut active = Vec::new();
             for field in fields.split_whitespace() {
                 let (key, value) = field
                     .split_once('=')
@@ -386,6 +494,12 @@ impl Response {
                     "queue" => queue_depth = Some(parsed()?),
                     "capacity" => queue_capacity = Some(parsed()?),
                     "models" => models = Some(parsed()?),
+                    "active" => {
+                        active = value
+                            .split(',')
+                            .map(str::parse)
+                            .collect::<Result<_, String>>()?;
+                    }
                     _ => {}
                 }
             }
@@ -394,6 +508,7 @@ impl Response {
                 queue_depth: queue_depth.ok_or("health missing queue=")?,
                 queue_capacity: queue_capacity.ok_or("health missing capacity=")?,
                 models: models.ok_or("health missing models=")?,
+                active,
             }));
         }
         if let Some(fields) = head.strip_prefix("err ") {
@@ -504,18 +619,38 @@ mod tests {
                 design: key(),
                 mode: Mode::Greedy,
                 deadline_ms: None,
+                auth: None,
             }),
             Request::Query(QueryRequest {
                 model: "m2".into(),
                 design: key(),
                 mode: Mode::Sample(99),
                 deadline_ms: Some(250),
+                auth: None,
+            }),
+            Request::Query(QueryRequest {
+                model: "default".into(),
+                design: key(),
+                mode: Mode::Greedy,
+                deadline_ms: Some(100),
+                auth: Some(Credentials {
+                    tenant: "acme".into(),
+                    token: "s3cret".into(),
+                }),
             }),
             Request::Health,
             Request::Shutdown,
         ] {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
+    }
+
+    #[test]
+    fn half_a_credential_pair_is_rejected() {
+        let payload =
+            format!("{PROTOCOL_VERSION}\nquery model=m design=d:10:7nm:1 mode=greedy tenant=a\n");
+        let err = Request::decode(payload.as_bytes()).unwrap_err();
+        assert!(err.contains("together"), "{err}");
     }
 
     #[test]
@@ -539,18 +674,35 @@ mod tests {
             }),
             Response::reject(RejectKind::Busy, "queue full (64)"),
             Response::reject(RejectKind::Deadline, ""),
+            Response::reject(RejectKind::Denied, "unknown tenant"),
             Response::Overloaded { retry_after_ms: 12 },
+            Response::QuotaExceeded {
+                retry_after_ms: 86_400_000,
+            },
             Response::Health(HealthReply {
                 ready: true,
                 queue_depth: 3,
                 queue_capacity: 64,
                 models: 2,
+                active: vec![
+                    ModelVersion {
+                        name: "challenger".into(),
+                        version: 41,
+                        fingerprint: 0xdead_beef,
+                    },
+                    ModelVersion {
+                        name: "champion".into(),
+                        version: 40,
+                        fingerprint: 0x1234_5678_9abc_def0,
+                    },
+                ],
             }),
             Response::Health(HealthReply {
                 ready: false,
                 queue_depth: 0,
                 queue_capacity: 64,
                 models: 0,
+                active: vec![],
             }),
         ] {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);

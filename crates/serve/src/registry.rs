@@ -16,12 +16,13 @@
 //! shape. Any mismatch is a typed [`ServeError`] at load time — never a
 //! panic at query time.
 
+use crate::protocol::ModelVersion;
 use crate::ServeError;
 use rl_ccd::{load_training_state, verify_manifest, EncoderKind, RlCcd, RlConfig};
 use rl_ccd_nn::ParamSet;
 use std::collections::BTreeMap;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// One loaded, validated model.
 #[derive(Debug)]
@@ -40,9 +41,16 @@ pub struct ServeModel {
 }
 
 /// Name → model map the server answers queries from.
+///
+/// The map lives behind a [`RwLock`] so entries can be *hot-swapped*
+/// while the server is running: [`ModelRegistry::install`] atomically
+/// replaces a name's entry, and because every query batch resolves its
+/// model to an `Arc<ServeModel>` once up front, in-flight work finishes
+/// on the version it started with while new batches see the new one —
+/// the zero-downtime reload the daemon's promotion path builds on.
 #[derive(Debug, Default)]
 pub struct ModelRegistry {
-    models: BTreeMap<String, Arc<ServeModel>>,
+    models: RwLock<BTreeMap<String, Arc<ServeModel>>>,
 }
 
 impl ModelRegistry {
@@ -51,17 +59,16 @@ impl ModelRegistry {
         Self::default()
     }
 
-    /// Loads the checkpoint in `dir` under `name`, replacing any previous
-    /// entry with that name. `rho` and `seed` are serving-side knobs the
-    /// checkpoint does not store (the cone-overlap threshold and the
-    /// weight-init seed; the latter never affects inference).
+    /// Verifies and assembles the checkpoint in `dir` as `name` *without*
+    /// installing it: the manifest/shape validation and model
+    /// construction happen on the caller's thread, off the request path,
+    /// so a follow-up [`ModelRegistry::install`] is a pointer swap.
     ///
     /// # Errors
     /// [`ServeError::Checkpoint`] when the manifest or state fails
     /// verification, [`ServeError::Registry`] when the parameter set does
     /// not describe a complete RL-CCD model.
-    pub fn load(
-        &mut self,
+    pub fn prepare(
         name: impl Into<String>,
         dir: impl AsRef<Path>,
         rho: f32,
@@ -70,14 +77,45 @@ impl ModelRegistry {
         let bytes = verify_manifest(&dir)?;
         let fingerprint = rl_ccd::fnv1a64(&bytes);
         let state = load_training_state(&dir)?;
-        let entry = Arc::new(Self::assemble(
-            name.clone(),
+        Ok(Arc::new(Self::assemble(
+            name,
             state.next_iteration,
             fingerprint,
             state.params,
             rho,
-        )?);
-        self.models.insert(name, entry.clone());
+        )?))
+    }
+
+    /// Atomically installs (or replaces) the entry under its own name,
+    /// returning the previous occupant. Queries already grouped on the
+    /// old `Arc` finish on it; the next batch resolves the new one.
+    pub fn install(&self, entry: Arc<ServeModel>) -> Option<Arc<ServeModel>> {
+        self.models
+            .write()
+            .expect("registry lock")
+            .insert(entry.name.clone(), entry)
+    }
+
+    /// Atomically removes a name, returning the evicted entry.
+    pub fn remove(&self, name: &str) -> Option<Arc<ServeModel>> {
+        self.models.write().expect("registry lock").remove(name)
+    }
+
+    /// Loads the checkpoint in `dir` under `name`, replacing any previous
+    /// entry with that name ([`ModelRegistry::prepare`] followed by
+    /// [`ModelRegistry::install`]). `rho` is a serving-side knob the
+    /// checkpoint does not store (the cone-overlap threshold).
+    ///
+    /// # Errors
+    /// Same as [`ModelRegistry::prepare`].
+    pub fn load(
+        &self,
+        name: impl Into<String>,
+        dir: impl AsRef<Path>,
+        rho: f32,
+    ) -> Result<Arc<ServeModel>, ServeError> {
+        let entry = Self::prepare(name, dir, rho)?;
+        self.install(entry.clone());
         Ok(entry)
     }
 
@@ -88,7 +126,7 @@ impl ModelRegistry {
     /// # Errors
     /// [`ServeError::Registry`] when the set is not a complete model.
     pub fn insert_params(
-        &mut self,
+        &self,
         name: impl Into<String>,
         params: ParamSet,
         rho: f32,
@@ -99,29 +137,53 @@ impl ModelRegistry {
             .save(&mut buf)
             .map_err(|e| ServeError::Registry(format!("serialize params: {e}")))?;
         let fingerprint = rl_ccd::fnv1a64(&buf);
-        let entry = Arc::new(Self::assemble(name.clone(), 0, fingerprint, params, rho)?);
-        self.models.insert(name, entry.clone());
+        let entry = Arc::new(Self::assemble(name, 0, fingerprint, params, rho)?);
+        self.install(entry.clone());
         Ok(entry)
     }
 
     /// Looks a model up by name.
     pub fn get(&self, name: &str) -> Option<Arc<ServeModel>> {
-        self.models.get(name).cloned()
+        self.models
+            .read()
+            .expect("registry lock")
+            .get(name)
+            .cloned()
     }
 
     /// Registered model names, sorted.
-    pub fn names(&self) -> Vec<&str> {
-        self.models.keys().map(String::as_str).collect()
+    pub fn names(&self) -> Vec<String> {
+        self.models
+            .read()
+            .expect("registry lock")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Identity of every live entry — name, version, fingerprint — sorted
+    /// by name (what health probes report as `active`).
+    pub fn versions(&self) -> Vec<ModelVersion> {
+        self.models
+            .read()
+            .expect("registry lock")
+            .values()
+            .map(|m| ModelVersion {
+                name: m.name.clone(),
+                version: m.version,
+                fingerprint: m.fingerprint,
+            })
+            .collect()
     }
 
     /// Number of registered models.
     pub fn len(&self) -> usize {
-        self.models.len()
+        self.models.read().expect("registry lock").len()
     }
 
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
-        self.models.is_empty()
+        self.models.read().expect("registry lock").is_empty()
     }
 
     /// Rebuilds the architecture from parameter shapes and cross-checks
@@ -236,7 +298,7 @@ mod tests {
         config.attn_dim = 9;
         let state = state_with(&config);
         save_training_state(&state, &dir).expect("save");
-        let mut reg = ModelRegistry::new();
+        let reg = ModelRegistry::new();
         let entry = reg.load("default", &dir, 0.3).expect("load");
         assert_eq!(entry.version, 3);
         assert_eq!(entry.model.config.gnn_hidden, 12);
@@ -245,7 +307,12 @@ mod tests {
         assert_eq!(entry.model.config.attn_dim, 9);
         assert_eq!(entry.model.config.encoder, EncoderKind::Lstm);
         assert_eq!(entry.params, state.params);
-        assert_eq!(reg.names(), vec!["default"]);
+        assert_eq!(reg.names(), ["default"]);
+        let versions = reg.versions();
+        assert_eq!(versions.len(), 1);
+        assert_eq!(versions[0].name, "default");
+        assert_eq!(versions[0].version, 3);
+        assert_eq!(versions[0].fingerprint, entry.fingerprint);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -294,9 +361,30 @@ mod tests {
     #[test]
     fn identical_weights_share_a_fingerprint() {
         let (_, params) = RlCcd::init(RlConfig::fast());
-        let mut reg = ModelRegistry::new();
+        let reg = ModelRegistry::new();
         let a = reg.insert_params("a", params.clone(), 0.3).unwrap();
         let b = reg.insert_params("b", params, 0.3).unwrap();
         assert_eq!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn install_swaps_atomically_and_returns_the_old_entry() {
+        let dir = tmp_dir("swap");
+        let state = state_with(&RlConfig::fast());
+        save_training_state(&state, &dir).expect("save");
+        let reg = ModelRegistry::new();
+        let old = reg.load("champion", &dir, 0.3).expect("load");
+        // A holder of the old Arc keeps serving it across the swap.
+        let held = reg.get("champion").expect("entry");
+        assert_eq!(held.fingerprint, old.fingerprint);
+        let fresh = ModelRegistry::prepare("champion", &dir, 0.3).expect("prepare");
+        let evicted = reg.install(fresh.clone()).expect("previous entry");
+        assert!(Arc::ptr_eq(&evicted, &old));
+        let now = reg.get("champion").expect("entry");
+        assert!(Arc::ptr_eq(&now, &fresh));
+        assert_eq!(held.fingerprint, now.fingerprint, "same checkpoint bytes");
+        assert!(reg.remove("champion").is_some());
+        assert!(reg.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -205,6 +205,7 @@ mod tests {
                     },
                     mode: Mode::Greedy,
                     deadline_ms: None,
+                    auth: None,
                 },
                 reply: ReplySink::Channel(tx),
                 enqueued: Instant::now(),

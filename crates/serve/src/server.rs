@@ -283,6 +283,13 @@ impl Server {
         }
     }
 
+    /// The live model registry. Entries can be hot-swapped
+    /// ([`ModelRegistry::install`]) while the server runs; in-flight
+    /// batches finish on the entry they resolved.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.shared.registry
+    }
+
     /// Point-in-time counters.
     pub fn stats(&self) -> ServeStats {
         self.shared.snapshot()
@@ -426,6 +433,12 @@ impl ServeHandle {
         self.shared.health_reply()
     }
 
+    /// The live model registry (shared with the server), for hot reloads
+    /// from a controlling process like the daemon.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.shared.registry
+    }
+
     /// Point-in-time counters.
     pub fn stats(&self) -> ServeStats {
         self.shared.snapshot()
@@ -497,7 +510,8 @@ impl Shared {
             ready: !self.draining.load(Ordering::SeqCst),
             queue_depth: self.scheduler.depth(),
             queue_capacity: self.queue_capacity,
-            models: self.registry.names().len(),
+            models: self.registry.len(),
+            active: self.registry.versions(),
         }
     }
 
@@ -751,7 +765,7 @@ mod tests {
 
     fn registry() -> ModelRegistry {
         let (_, params) = RlCcd::init(RlConfig::fast());
-        let mut reg = ModelRegistry::new();
+        let reg = ModelRegistry::new();
         reg.insert_params("default", params, 0.3).expect("insert");
         reg
     }
@@ -762,6 +776,7 @@ mod tests {
             design: design_key,
             mode,
             deadline_ms: None,
+            auth: None,
         }
     }
 
@@ -906,6 +921,8 @@ mod tests {
         assert!(h.ready);
         assert_eq!(h.queue_capacity, ServeConfig::default().queue_capacity);
         assert_eq!(h.models, 1);
+        assert_eq!(h.active.len(), 1);
+        assert_eq!(h.active[0].name, "default");
         let report = server.shutdown();
         assert_eq!(report.dropped(), 0);
         let h = handle.health();

@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 
 fn registry() -> ModelRegistry {
     let (_, params) = RlCcd::init(RlConfig::fast());
-    let mut reg = ModelRegistry::new();
+    let reg = ModelRegistry::new();
     reg.insert_params("default", params, 0.3).expect("insert");
     reg
 }
@@ -29,6 +29,7 @@ fn query(deadline_ms: Option<u64>) -> QueryRequest {
         },
         mode: Mode::Greedy,
         deadline_ms,
+        auth: None,
     }
 }
 

@@ -16,7 +16,7 @@ use std::time::{Duration, Instant};
 
 fn registry() -> ModelRegistry {
     let (_, params) = RlCcd::init(RlConfig::fast());
-    let mut reg = ModelRegistry::new();
+    let reg = ModelRegistry::new();
     reg.insert_params("default", params, 0.3).expect("insert");
     reg
 }
@@ -32,6 +32,7 @@ fn query(name: &str, seed: u64, mode: Mode) -> QueryRequest {
         },
         mode,
         deadline_ms: None,
+        auth: None,
     }
 }
 

@@ -20,9 +20,21 @@
 //!                [--window-ms MS] [--queue N] [--serve-workers N] [--rho R]
 //! rlccd query    --design name:cells:tech:seed [--addr HOST:PORT] [--model NAME]
 //!                [--mode greedy|sample] [--seed S] [--count N] [--threads T]
-//!                [--deadline-ms MS] [--retries N] [--chaos-plan SPEC] | --shutdown
+//!                [--deadline-ms MS] [--retries N] [--chaos-plan SPEC]
+//!                [--tenant ID --token SECRET] | --shutdown
 //! rlccd probe    --addr HOST:PORT | --workers host:port,host:port [--timeout-ms MS]
+//! rlccd daemon   --checkpoint DIR [--port P] [--admin-port P] [--tenants SPEC,SPEC]
+//!                [--rho R] [--admin-token T] [--audit-out FILE] [--usage-out FILE]
+//!                [--gate-samples N] [--gate-seed S] [--max-batch N] [--queue N]
+//! rlccd admin    <status|load|gate|promote|rollback|canary|tenant-add|tenant-del|
+//!                 tenant-list|drain> [--addr HOST:PORT] [--admin-token T] [options]
 //! ```
+//!
+//! `daemon` is the multi-tenant production front-end: queries must carry
+//! `--tenant`/`--token` credentials (a tenant spec is
+//! `id:token:rate:burst:quota`), checkpoints hot-reload through the admin
+//! port, and champion/challenger promotion is gated on a held-out eval
+//! set — see `rlccd admin promote`.
 //!
 //! `generate` writes the plain-text netlist format of
 //! [`rl_ccd_netlist::serialize`]; the clock period is embedded as a comment
@@ -43,6 +55,10 @@
 //! end-to-end; `probe` health-checks a serve endpoint or worker fleet.
 
 use rl_ccd::{save_params, with_pretrained_gnn, Baseline, Error, RlConfig, Session, TrainOutcome};
+use rl_ccd_daemon::{
+    AdminClient, AdminReply, AdminRequest, Daemon, DaemonConfig, SystemClock, TenantConfig,
+    CHAMPION,
+};
 use rl_ccd_flow::FlowRecipe;
 use rl_ccd_netlist::{
     block_suite, generate, read_netlist, write_netlist, DesignSpec, DesignStats, GeneratedDesign,
@@ -50,7 +66,8 @@ use rl_ccd_netlist::{
 };
 use rl_ccd_obs::Recorder;
 use rl_ccd_serve::{
-    DesignKey, Mode, ModelRegistry, QueryRequest, Response, ServeClient, ServeConfig, Server,
+    Credentials, DesignKey, Mode, ModelRegistry, QueryRequest, Response, ServeClient, ServeConfig,
+    Server,
 };
 use rl_ccd_sta::{analyze, full_report, Constraints, EndpointMargins, TimingGraph};
 use std::fs::File;
@@ -112,6 +129,7 @@ const USAGE_TABLE: &[(&str, &str)] = &[
         "query    --design name:cells:tech:seed [--addr HOST:PORT] [--model NAME]\n\
          \u{20}         [--mode greedy|sample] [--seed S] [--count N] [--threads T]\n\
          \u{20}         [--deadline-ms MS] [--retries N] [--chaos-plan SPEC]\n\
+         \u{20}         [--tenant ID --token SECRET]\n\
          \u{20}         | query --shutdown [--addr HOST:PORT]",
     ),
     (
@@ -119,10 +137,26 @@ const USAGE_TABLE: &[(&str, &str)] = &[
         "probe    --addr HOST:PORT | probe --workers HOST:PORT,HOST:PORT\n\
          \u{20}         [--timeout-ms MS]",
     ),
+    (
+        "daemon",
+        "daemon   --checkpoint DIR [--port P] [--admin-port P] [--tenants SPEC,SPEC]\n\
+         \u{20}         [--rho R] [--admin-token T] [--audit-out FILE] [--usage-out FILE]\n\
+         \u{20}         [--gate-samples N] [--gate-seed S] [--max-batch N] [--window-ms MS]\n\
+         \u{20}         [--queue N] [--serve-workers N] [--trace-out FILE]\n\
+         \u{20}         (a tenant SPEC is id:token:rate:burst:quota)",
+    ),
+    (
+        "admin",
+        "admin    <action> [--addr HOST:PORT] [--admin-token T]\n\
+         \u{20}         status | tenant-list | gate | rollback | drain\n\
+         \u{20}         | load --slot champion|challenger --dir DIR [--rho R]\n\
+         \u{20}         | promote [--force] | canary --fraction F\n\
+         \u{20}         | tenant-add --spec id:token:rate:burst:quota | tenant-del --id ID",
+    ),
 ];
 
 fn usage() -> ExitCode {
-    eprintln!("usage: rlccd <generate|report|flow|train|transfer|baseline|verilog|suite|trace-validate|serve|query|probe> [options]\n");
+    eprintln!("usage: rlccd <generate|report|flow|train|transfer|baseline|verilog|suite|trace-validate|serve|query|probe|daemon|admin> [options]\n");
     for (_, line) in USAGE_TABLE {
         eprintln!("{line}");
     }
@@ -548,7 +582,7 @@ fn cmd_serve(args: &[String]) -> Result<(), Error> {
     };
     let trace = trace_from(args);
     let _obs = trace.as_ref().map(|t| rl_ccd_obs::attach(&t.recorder));
-    let mut registry = ModelRegistry::new();
+    let registry = ModelRegistry::new();
     let entry = registry
         .load(&model, &dir, rho)
         .map_err(|e| Error::Config(format!("{dir}: {e}")))?;
@@ -670,6 +704,20 @@ fn cmd_query(args: &[String]) -> Result<(), Error> {
     let deadline_ms: Option<u64> = arg(args, "--deadline-ms");
     let retries: u32 = arg(args, "--retries").unwrap_or(3);
     let chaos_plan = parse_chaos_plan(args)?;
+    // Tenant credentials travel as a pair (the daemon port requires them;
+    // a bare serve endpoint ignores them).
+    let auth = match (
+        arg::<String>(args, "--tenant"),
+        arg::<String>(args, "--token"),
+    ) {
+        (Some(tenant), Some(token)) => Some(Credentials { tenant, token }),
+        (None, None) => None,
+        _ => {
+            return Err(Error::Config(
+                "--tenant and --token must be given together".into(),
+            ))
+        }
+    };
     let request = |k: u64| QueryRequest {
         model: model.clone(),
         design: design.clone(),
@@ -678,6 +726,7 @@ fn cmd_query(args: &[String]) -> Result<(), Error> {
             Mode::Sample(s) => Mode::Sample(s.wrapping_add(k)),
         },
         deadline_ms,
+        auth: auth.clone(),
     };
     let mut responses = Vec::new();
     if threads == 1 {
@@ -730,6 +779,10 @@ fn cmd_query(args: &[String]) -> Result<(), Error> {
             Response::Overloaded { retry_after_ms } => {
                 failed += 1;
                 eprintln!("shed by the server (overloaded, retry after {retry_after_ms} ms)");
+            }
+            Response::QuotaExceeded { retry_after_ms } => {
+                failed += 1;
+                eprintln!("tenant quota exceeded (retry after {retry_after_ms} ms)");
             }
             Response::Health(h) => {
                 // Queries never produce health replies; a server that
@@ -801,6 +854,9 @@ fn cmd_probe(args: &[String]) -> Result<(), Error> {
         h.queue_capacity,
         h.models
     );
+    for v in &h.active {
+        println!("  active: {v}");
+    }
     if !h.ready {
         return Err(Error::Config(format!("server at {addr} is not ready")));
     }
@@ -850,6 +906,176 @@ fn cmd_worker(args: &[String]) -> Result<(), Error> {
     Ok(())
 }
 
+/// Runs the multi-tenant daemon until an admin sends `drain`.
+fn cmd_daemon(args: &[String]) -> Result<(), Error> {
+    let dir: String = arg(args, "--checkpoint")
+        .ok_or_else(|| Error::Config("missing --checkpoint DIR".into()))?;
+    let port: u16 = arg(args, "--port").unwrap_or(7791);
+    let admin_port: u16 = arg(args, "--admin-port").unwrap_or(7792);
+    let rho: f32 = arg(args, "--rho").unwrap_or_else(|| RlConfig::default().rho);
+    let serve = ServeConfig {
+        max_batch: arg(args, "--max-batch").unwrap_or(8),
+        window: std::time::Duration::from_millis(arg(args, "--window-ms").unwrap_or(2)),
+        queue_capacity: arg(args, "--queue").unwrap_or(64),
+        workers: arg(args, "--serve-workers").unwrap_or(2),
+        env_cache: arg(args, "--env-cache").unwrap_or(4),
+        fanout_cap: arg(args, "--fanout-cap").unwrap_or_else(|| RlConfig::default().fanout_cap),
+        ..ServeConfig::default()
+    };
+    let mut gate = rl_ccd::GateSpec::quick(arg(args, "--gate-seed").unwrap_or(0xCCD));
+    if let Some(samples) = arg(args, "--gate-samples") {
+        gate.samples = samples;
+    }
+    let config = DaemonConfig {
+        serve,
+        rho,
+        gate,
+        admin_token: arg(args, "--admin-token"),
+        audit_path: arg::<String>(args, "--audit-out").map(PathBuf::from),
+        usage_path: arg::<String>(args, "--usage-out").map(PathBuf::from),
+    };
+    let trace = trace_from(args);
+    let _obs = trace.as_ref().map(|t| rl_ccd_obs::attach(&t.recorder));
+    let registry = ModelRegistry::new();
+    let entry = registry
+        .load(CHAMPION, &dir, rho)
+        .map_err(|e| Error::Config(format!("{dir}: {e}")))?;
+    println!(
+        "loaded champion v{} (fingerprint {:016x}) from {dir}",
+        entry.version, entry.fingerprint
+    );
+    let mut daemon = Daemon::start(registry, config, std::sync::Arc::new(SystemClock));
+    if let Some(specs) = arg::<String>(args, "--tenants") {
+        for spec in specs.split(',').filter(|s| !s.is_empty()) {
+            let tenant: TenantConfig = spec.parse().map_err(Error::Config)?;
+            println!(
+                "tenant {}: {}/s, burst {}, quota {}/30d",
+                tenant.id, tenant.rate_per_sec, tenant.burst, tenant.monthly_quota
+            );
+            daemon.tenants().add(tenant);
+        }
+    }
+    let query_addr = daemon.bind_query(&format!("127.0.0.1:{port}"))?;
+    let admin_addr = daemon.bind_admin(&format!("127.0.0.1:{admin_port}"))?;
+    println!(
+        "tenant port {query_addr}, admin port {admin_addr} — stop with \
+         `rlccd admin drain --addr {admin_addr}`"
+    );
+    while !daemon.drain_requested() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let report = daemon.shutdown();
+    println!(
+        "drained: {} accepted, {} completed, batch p50 {}",
+        report.drain.stats.accepted,
+        report.drain.stats.completed,
+        report.drain.stats.batch_p50()
+    );
+    for t in &report.tenants {
+        println!(
+            "tenant {}: {} accepted, {} denied, {} throttled, {}/{} of quota used",
+            t.id,
+            t.usage.accepted,
+            t.usage.denied,
+            t.usage.throttled,
+            t.usage.used_in_window,
+            t.monthly_quota
+        );
+    }
+    if let Some(t) = &trace {
+        t.finish()?;
+    }
+    if report.drain.dropped() > 0 {
+        return Err(Error::Config(format!(
+            "drain dropped {} in-flight request(s)",
+            report.drain.dropped()
+        )));
+    }
+    Ok(())
+}
+
+/// Sends one admin command to a running daemon and prints the answer.
+fn cmd_admin(args: &[String]) -> Result<(), Error> {
+    use std::net::ToSocketAddrs;
+    let action = args
+        .first()
+        .ok_or_else(|| Error::Config("missing admin action".into()))?
+        .clone();
+    let rest = &args[1..];
+    let addr: String = arg(rest, "--addr").unwrap_or_else(|| "127.0.0.1:7792".into());
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(|e| Error::Config(format!("--addr {addr}: {e}")))?
+        .next()
+        .ok_or_else(|| Error::Config(format!("--addr {addr} resolved to nothing")))?;
+    let request = match action.as_str() {
+        "status" => AdminRequest::Status,
+        "load" => AdminRequest::Load {
+            slot: arg(rest, "--slot").unwrap_or_else(|| "challenger".into()),
+            dir: arg(rest, "--dir").ok_or_else(|| Error::Config("load needs --dir DIR".into()))?,
+            rho: arg(rest, "--rho").unwrap_or(0.0), // 0 = daemon's default
+        },
+        "gate" => AdminRequest::Gate,
+        "promote" => AdminRequest::Promote {
+            force: rest.iter().any(|a| a == "--force"),
+        },
+        "rollback" => AdminRequest::Rollback,
+        "canary" => AdminRequest::Canary {
+            fraction: arg(rest, "--fraction")
+                .ok_or_else(|| Error::Config("canary needs --fraction F".into()))?,
+        },
+        "tenant-add" => AdminRequest::TenantAdd {
+            spec: arg(rest, "--spec")
+                .ok_or_else(|| Error::Config("tenant-add needs --spec".into()))?,
+        },
+        "tenant-del" => AdminRequest::TenantDel {
+            id: arg(rest, "--id").ok_or_else(|| Error::Config("tenant-del needs --id".into()))?,
+        },
+        "tenant-list" => AdminRequest::TenantList,
+        "drain" => AdminRequest::Drain,
+        other => return Err(Error::Config(format!("unknown admin action {other:?}"))),
+    };
+    let client = AdminClient::new(sock, arg(rest, "--admin-token"));
+    match client.call(&request).map_err(Error::Config)? {
+        AdminReply::Ok { info } => println!("{info}"),
+        AdminReply::Status(s) => {
+            println!(
+                "ready={} queue={} canary={} tenants={}",
+                u8::from(s.ready),
+                s.queue_depth,
+                s.canary,
+                s.tenants
+            );
+            let slot = |v: &Option<rl_ccd_serve::ModelVersion>| {
+                v.as_ref().map_or("(empty)".to_string(), |m| m.to_string())
+            };
+            println!("champion:   {}", slot(&s.champion));
+            println!("challenger: {}", slot(&s.challenger));
+        }
+        AdminReply::Tenants(list) => {
+            println!(
+                "{:<12} {:>8} {:>6} {:>10} {:>8} {:>8} {:>8} {:>9}",
+                "tenant", "rate/s", "burst", "quota/30d", "used", "accepted", "denied", "throttled"
+            );
+            for t in list {
+                println!(
+                    "{:<12} {:>8} {:>6} {:>10} {:>8} {:>8} {:>8} {:>9}",
+                    t.id,
+                    t.rate_per_sec,
+                    t.burst,
+                    t.monthly_quota,
+                    t.usage.used_in_window,
+                    t.usage.accepted,
+                    t.usage.denied,
+                    t.usage.throttled
+                );
+            }
+        }
+        AdminReply::Err { msg } => return Err(Error::Config(msg)),
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -870,6 +1096,8 @@ fn main() -> ExitCode {
         "query" => cmd_query(rest),
         "probe" => cmd_probe(rest),
         "worker" => cmd_worker(rest),
+        "daemon" => cmd_daemon(rest),
+        "admin" => cmd_admin(rest),
         _ => return usage(),
     };
     match result {

@@ -250,7 +250,7 @@ fn overloaded_server_sheds_typed_and_recovers() {
     let config = RlConfig::fast();
     let rho = config.rho;
     let (_, params) = RlCcd::init(config);
-    let mut registry = ModelRegistry::new();
+    let registry = ModelRegistry::new();
     registry
         .insert_params("default", params, rho)
         .expect("register model");
@@ -289,6 +289,7 @@ fn overloaded_server_sheds_typed_and_recovers() {
                         },
                         mode: Mode::Greedy,
                         deadline_ms: Some(30_000),
+                        auth: None,
                     })
                     .expect("transport survives overload");
                 match resp {
@@ -329,6 +330,7 @@ fn overloaded_server_sheds_typed_and_recovers() {
             },
             mode: Mode::Greedy,
             deadline_ms: Some(30_000),
+            auth: None,
         })
         .expect("post-burst query");
     assert!(

@@ -96,7 +96,7 @@ fn concurrent_batched_answers_match_sequential_inference() {
     let expected = reference(&model, &params, &keys, serve_config.fanout_cap);
 
     for window_ms in [0u64, 2, 10] {
-        let mut registry = ModelRegistry::new();
+        let registry = ModelRegistry::new();
         registry
             .insert_params(MODEL, params.clone(), rho)
             .expect("register");
@@ -127,6 +127,7 @@ fn concurrent_batched_answers_match_sequential_inference() {
                             design: key.clone(),
                             mode,
                             deadline_ms: None,
+                            auth: None,
                         });
                         let reply = match resp {
                             Response::Ok(reply) => reply,
@@ -170,7 +171,7 @@ fn cache_eviction_churn_preserves_greedy_answers() {
     let keys = design_keys();
     let fanout_cap = RlConfig::fast().fanout_cap;
 
-    let mut registry = ModelRegistry::new();
+    let registry = ModelRegistry::new();
     registry
         .insert_params(MODEL, params.clone(), rho)
         .expect("register");
@@ -205,6 +206,7 @@ fn cache_eviction_churn_preserves_greedy_answers() {
                 design: key.clone(),
                 mode: Mode::Greedy,
                 deadline_ms: None,
+                auth: None,
             });
             match resp {
                 Response::Ok(reply) => assert_eq!(
@@ -216,6 +218,47 @@ fn cache_eviction_churn_preserves_greedy_answers() {
             }
         }
     }
+    let report = server.shutdown();
+    assert_eq!(report.dropped(), 0);
+}
+
+/// Health probes expose the registry's live identities: name, checkpoint
+/// version, and fingerprint for every entry, updating as models are
+/// hot-loaded — what the daemon's status and zero-downtime checks key on.
+#[test]
+fn health_reports_every_active_model_version() {
+    let config = RlConfig::fast();
+    let rho = config.rho;
+    let (_, params) = RlCcd::init(config);
+    let registry = ModelRegistry::new();
+    let entry = registry
+        .insert_params(MODEL, params.clone(), rho)
+        .expect("register");
+    let fingerprint = entry.fingerprint;
+    let server = Server::start(registry, ServeConfig::default());
+
+    let health = server.handle().health();
+    assert!(health.ready);
+    assert_eq!(health.models, 1);
+    assert_eq!(health.active.len(), 1);
+    assert_eq!(health.active[0].name, MODEL);
+    assert_eq!(health.active[0].version, 0, "insert_params registers v0");
+    assert_eq!(health.active[0].fingerprint, fingerprint);
+
+    // A model hot-loaded while the server runs shows up in the next
+    // probe, sorted by name alongside the first.
+    server
+        .registry()
+        .insert_params("challenger", params, rho)
+        .expect("hot load");
+    let health = server.handle().health();
+    assert_eq!(health.models, 2);
+    let names: Vec<&str> = health.active.iter().map(|v| v.name.as_str()).collect();
+    assert_eq!(names, ["challenger", MODEL], "sorted registry identities");
+    assert!(
+        health.active.iter().all(|v| v.fingerprint == fingerprint),
+        "identical weights share a fingerprint in the probe"
+    );
     let report = server.shutdown();
     assert_eq!(report.dropped(), 0);
 }
