@@ -1,0 +1,231 @@
+//! **Experience-loop throughput**: the three costs of closing the
+//! learning loop, measured on one machine.
+//!
+//! 1. *Ingest* — events pushed through the [`ExpSink`] hook end to end:
+//!    bounded enqueue, environment rebuild (cached), reward realization
+//!    (one timing flow per record), content addressing, dedup, and the
+//!    JSONL append. This is the full off-request-path pipeline a serving
+//!    daemon pays per sampled query.
+//! 2. *Dedup* — [`ReplayBuffer::push`] over an already-parsed record set
+//!    with duplicates, the in-memory admission cost of retraining.
+//! 3. *Retrain step* — one offline importance-weighted REINFORCE step
+//!    over the log (teacher-forced replay, gradient step, guarded
+//!    commit), amortized over a short run.
+//!
+//! Absolute rates are machine-bound; the committed `BENCH_exp.json`
+//! documents the reference machine and CI gates fresh-vs-fresh for
+//! schema, like the serve and dist benches.
+//!
+//! Usage:
+//! ```text
+//! exp_replay [--events 48] [--dup 4] [--steps 4] [--cells 360] [--seed 5]
+//!            [--json BENCH_exp.json] [--csv exp_replay.csv]
+//! ```
+
+use rl_ccd::{save_training_state, InferSession, RlCcd, RlConfig, TrainingState};
+use rl_ccd_bench::{write_csv, write_json, Cli, Json};
+use rl_ccd_exp::{build_env, retrain, ExpRecord, ExpSink, ReplayBuffer, RetrainConfig};
+use rl_ccd_nn::Adam;
+use rl_ccd_serve::{DesignKey, ExperienceEvent, ExperienceHook};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let cli = Cli::from_env();
+    let _obs = cli.attach();
+    let events: usize = cli.value("--events", 48usize).max(1);
+    let dup: usize = cli.value("--dup", 4usize).max(1);
+    let steps: usize = cli.value("--steps", 4usize).max(1);
+    let cells = cli.cells(360);
+    let seed = cli.seed(5);
+    let json_path: String = cli.value("--json", "BENCH_exp.json".to_string());
+    let csv = cli.csv("exp_replay.csv");
+
+    let work = std::env::temp_dir().join(format!("rl-ccd-exp-replay-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&work);
+    if let Err(e) = std::fs::create_dir_all(&work) {
+        eprintln!("{}: {e}", work.display());
+        return ExitCode::FAILURE;
+    }
+
+    // A base policy checkpoint (version 3, as if trained) and the design
+    // every event runs against.
+    let config = RlConfig::fast();
+    let (model, params) = RlCcd::init(config.clone());
+    let base_dir = work.join("base");
+    let state = TrainingState {
+        next_iteration: 3,
+        seed_base: config.seed,
+        best_reward: -1.0e9,
+        best_mean: -1.0e9,
+        stale: 0,
+        best_selection: vec![],
+        params: params.clone(),
+        adam: Adam::new(config.learning_rate),
+        history: vec![],
+        faults: vec![],
+    };
+    if let Err(e) = save_training_state(&state, &base_dir) {
+        eprintln!("save base checkpoint: {e}");
+        return ExitCode::FAILURE;
+    }
+    let key: DesignKey = format!("exp-bench:{cells}:7nm:{seed}")
+        .parse()
+        .expect("design key");
+    let env = match build_env(&key, config.fanout_cap) {
+        Ok(env) => env,
+        Err(e) => {
+            eprintln!("build env: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "exp_replay: {events} events x{dup} dup, {steps} retrain steps on {cells} cells \
+         ({} violating endpoints)",
+        env.pool().len()
+    );
+
+    // Pre-sample the trajectories so ingest timing excludes the policy
+    // forward pass (the server already paid it when answering).
+    let mut session = InferSession::new(&model, &params);
+    let sampled: Vec<ExperienceEvent> = (0..events as u64)
+        .filter_map(|s| {
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(s);
+            let (selection, log_probs) = session.sample_logged(&env, &mut rng);
+            if selection.is_empty() {
+                return None;
+            }
+            Some(ExperienceEvent {
+                design: key.clone(),
+                model: "champion".into(),
+                version: 3,
+                fingerprint: 0xbeef,
+                rho: config.rho,
+                fanout_cap: config.fanout_cap,
+                seed: s,
+                selection,
+                log_probs,
+            })
+        })
+        .collect();
+
+    // Stage 1: sink ingest (realization + content addressing + append).
+    let log_path = work.join("exp.jsonl");
+    let sink = match ExpSink::create(&log_path) {
+        Ok(sink) => sink,
+        Err(e) => {
+            eprintln!("open sink: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let t = Instant::now();
+    for event in &sampled {
+        sink.on_sample(event.clone());
+    }
+    let report = sink.finish().expect("first finish returns the report");
+    let ingest_s = t.elapsed().as_secs_f64();
+    assert_eq!(report.dropped, 0, "bounded queue must not overflow here");
+    assert_eq!(report.failed, 0, "all realizations must succeed");
+    let ingest_rps = report.written as f64 / ingest_s.max(1e-9);
+
+    // Stage 2: in-memory dedup admission over a duplicated record set.
+    let text = std::fs::read_to_string(&log_path).expect("read log back");
+    let records: Vec<ExpRecord> = text
+        .lines()
+        .map(|l| ExpRecord::parse(l).expect("own log parses"))
+        .collect();
+    let mut buffer = ReplayBuffer::new(3, 16);
+    let t = Instant::now();
+    for _ in 0..dup {
+        for record in &records {
+            buffer.push(record.clone());
+        }
+    }
+    let dedup_s = t.elapsed().as_secs_f64();
+    let pushes = records.len() * dup;
+    let dedup_rps = pushes as f64 / dedup_s.max(1e-9);
+    assert_eq!(
+        buffer.len(),
+        records.len(),
+        "duplicates must not be admitted"
+    );
+
+    // Stage 3: offline retraining over the log.
+    let out_dir = work.join("retrained");
+    let cfg = RetrainConfig {
+        steps,
+        ..RetrainConfig::default()
+    };
+    let t = Instant::now();
+    let retrained = match retrain(&base_dir, &log_path, &out_dir, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("retrain: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let retrain_s = t.elapsed().as_secs_f64();
+    let step_ms = retrain_s / retrained.steps_taken.max(1) as f64 * 1e3;
+
+    println!(
+        "ingest  {:>10.1} records/s  ({} written, {} deduped at the sink)",
+        ingest_rps, report.written, report.deduped
+    );
+    println!(
+        "dedup   {:>10.1} pushes/s   ({} pushes, {} admitted)",
+        dedup_rps,
+        pushes,
+        buffer.len()
+    );
+    println!(
+        "retrain {:>10.1} ms/step    ({} steps, mean importance weight {:.3})",
+        step_ms, retrained.steps_taken, retrained.mean_importance_weight
+    );
+
+    let json = Json::Obj(vec![
+        Json::field("bench", Json::Str("exp_replay".into())),
+        Json::field("cells", Json::Num(cells as f64)),
+        Json::field("events", Json::Num(sampled.len() as f64)),
+        Json::field("written", Json::Num(report.written as f64)),
+        Json::field("ingest_rps", Json::Num(ingest_rps)),
+        Json::field("dedup_pushes", Json::Num(pushes as f64)),
+        Json::field("dedup_rps", Json::Num(dedup_rps)),
+        Json::field("retrain_steps", Json::Num(retrained.steps_taken as f64)),
+        Json::field("retrain_step_ms", Json::Num(step_ms)),
+        Json::field(
+            "mean_importance_weight",
+            Json::Num(retrained.mean_importance_weight),
+        ),
+    ]);
+    if let Err(e) = write_json(&json_path, &json) {
+        eprintln!("{json_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {json_path}");
+
+    let row = format!(
+        "{},{},{:.2},{},{:.2},{},{:.3}",
+        sampled.len(),
+        report.written,
+        ingest_rps,
+        pushes,
+        dedup_rps,
+        retrained.steps_taken,
+        step_ms
+    );
+    if let Err(e) = write_csv(
+        &csv,
+        "events,written,ingest_rps,dedup_pushes,dedup_rps,retrain_steps,retrain_step_ms",
+        &[row],
+    ) {
+        eprintln!("{csv}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {csv}");
+    let _ = std::fs::remove_dir_all(&work);
+    if let Err(e) = cli.finish() {
+        eprintln!("trace: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

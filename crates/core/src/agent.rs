@@ -180,12 +180,32 @@ impl RlCcd {
         binding: &ParamBinding,
         base: usize,
         env: &CcdEnv,
-        mut rng: Option<&mut StdRng>,
+        rng: Option<&mut StdRng>,
     ) -> Vec<EndpointId> {
+        self.infer_trajectory_logged_in(tape, binding, base, env, rng)
+            .0
+    }
+
+    /// Like [`RlCcd::infer_trajectory_in`] but also returns the
+    /// log-probability the policy assigned to each selected action, in
+    /// selection order. Reading a value off the tape records nothing, so
+    /// this is op-for-op identical to the unlogged path — the parity tests
+    /// in [`crate::infer`] pin that. The log-probs are the *behavior*
+    /// policy's: experience logging captures them at serve time so offline
+    /// retraining can importance-weight against a newer policy.
+    pub(crate) fn infer_trajectory_logged_in(
+        &self,
+        tape: &mut NoGradTape,
+        binding: &ParamBinding,
+        base: usize,
+        env: &CcdEnv,
+        mut rng: Option<&mut StdRng>,
+    ) -> (Vec<EndpointId>, Vec<f32>) {
         let pool = env.pool();
         let mut mask = SelectionMask::new(pool.len(), self.config.rho);
         let (mut state, mut prev_embed) = self.encoder.start(tape);
         let mut selected = Vec::new();
+        let mut log_probs = Vec::new();
         while mask.any_valid() {
             let flag_cells: Vec<CellId> = mask
                 .flagged()
@@ -209,6 +229,9 @@ impl RlCcd {
             };
             mask.select(step.action, env.cones());
             selected.push(pool[step.action]);
+            // Capture the behavior log-prob before the truncate below drops
+            // the step's intermediates.
+            log_probs.push(tape.value(step.action_log_prob).data()[0]);
             let embed_row = tape.gather_rows(embeddings, Arc::new(vec![step.action as u32]));
             // Only the previous-action embedding and the encoder state
             // survive into the next step: clone their values out, drop the
@@ -232,9 +255,109 @@ impl RlCcd {
                 CarriedState::None(z) => EncoderState::None(tape.leaf(z)),
             };
         }
-        selected
+        (selected, log_probs)
+    }
+
+    /// Teacher-forced replay of a logged action sequence on a gradient
+    /// tape: the same forward pass as [`RlCcd::rollout`], but at every step
+    /// the action is the next endpoint from `actions` instead of a sample.
+    /// Returns a [`Rollout`] whose `total_log_prob` is Σ_t log π_θ(a_t|s_t)
+    /// under the *current* parameters — the quantity offline retraining
+    /// differentiates and importance-weights against the logged behavior
+    /// log-probs.
+    ///
+    /// Actions are global [`EndpointId`]s (as emitted by serve replies and
+    /// experience records); they are mapped back to pool-local indices
+    /// through `env.pool()`. A record that disagrees with the rebuilt
+    /// environment — an endpoint not in the pool, or one the cone-overlap
+    /// mask had already pruned at that step — yields an error instead of a
+    /// bogus gradient.
+    pub fn replay_trajectory(
+        &self,
+        params: &ParamSet,
+        env: &CcdEnv,
+        actions: &[EndpointId],
+    ) -> Result<Rollout, ReplayError> {
+        if actions.is_empty() {
+            return Err(ReplayError::Empty);
+        }
+        let mut tape = Tape::new();
+        let binding = params.bind(&mut tape);
+        let pool = env.pool();
+        let mut mask = SelectionMask::new(pool.len(), self.config.rho);
+        let (mut state, mut prev_embed) = self.encoder.start(&mut tape);
+        let mut selected = Vec::new();
+        let mut total_log_prob: Option<Var> = None;
+        for &endpoint in actions {
+            let local = pool
+                .iter()
+                .position(|&e| e == endpoint)
+                .ok_or(ReplayError::UnknownEndpoint(endpoint))?;
+            if !mask.valid_mask()[local] {
+                return Err(ReplayError::MaskedAction(endpoint));
+            }
+            let flag_cells: Vec<CellId> = mask
+                .flagged()
+                .iter()
+                .map(|&i| env.pool_cells()[i])
+                .collect();
+            let x = tape.leaf(env.features().with_flags(&flag_cells));
+            let embeddings =
+                self.gnn
+                    .forward(&mut tape, &binding, x, env.adjacency(), env.readout());
+            state = self.encoder.step(&mut tape, &binding, prev_embed, state);
+            let query = state.query();
+            let valid = mask.valid_mask();
+            let step = self
+                .decoder
+                .decode_forced(&mut tape, &binding, embeddings, query, &valid, local);
+            mask.select(step.action, env.cones());
+            selected.push(pool[step.action]);
+            prev_embed = tape.gather_rows(embeddings, Arc::new(vec![step.action as u32]));
+            total_log_prob = Some(match total_log_prob {
+                Some(acc) => tape.add(acc, step.action_log_prob),
+                None => step.action_log_prob,
+            });
+        }
+        let total_log_prob = total_log_prob.expect("actions checked non-empty above");
+        Ok(Rollout {
+            selected,
+            tape,
+            binding,
+            total_log_prob,
+        })
     }
 }
+
+/// Why a logged trajectory could not be replayed against a rebuilt
+/// environment (see [`RlCcd::replay_trajectory`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The record carried no actions; there is nothing to learn from.
+    Empty,
+    /// A logged endpoint is not in the environment's violating-endpoint
+    /// pool — the record was produced against a different design.
+    UnknownEndpoint(EndpointId),
+    /// A logged endpoint was valid when served but is pruned by the
+    /// cone-overlap mask at this step — the selection order is corrupt.
+    MaskedAction(EndpointId),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Empty => write!(f, "empty action sequence"),
+            ReplayError::UnknownEndpoint(e) => {
+                write!(f, "endpoint {e:?} is not in the environment pool")
+            }
+            ReplayError::MaskedAction(e) => {
+                write!(f, "endpoint {e:?} is masked at its replay step")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
 
 /// Encoder-state tensors carried across a [`NoGradTape::truncate`].
 enum CarriedState {
@@ -310,6 +433,56 @@ mod tests {
         assert!(
             a.selected != c.selected || a.steps() <= 1,
             "different seeds gave identical trajectories"
+        );
+    }
+
+    #[test]
+    fn replay_reproduces_the_sampled_log_prob_bit_for_bit() {
+        let env = env();
+        let (model, params) = RlCcd::init(RlConfig::fast());
+        let mut rng = StdRng::seed_from_u64(5);
+        let ro = model.rollout(&params, &env, &mut rng);
+        let replayed = model
+            .replay_trajectory(&params, &env, &ro.selected)
+            .expect("a fresh rollout must replay");
+        assert_eq!(replayed.selected, ro.selected);
+        let lp = ro.tape.value(ro.total_log_prob).data()[0];
+        let lp_replay = replayed.tape.value(replayed.total_log_prob).data()[0];
+        assert_eq!(lp.to_bits(), lp_replay.to_bits());
+        // And the replay tape is differentiable all the way down.
+        let mut grads = replayed.tape.backward(replayed.total_log_prob);
+        let any = replayed
+            .binding
+            .iter()
+            .any(|(_, var)| grads.take(var).map(|g| g.norm() > 0.0).unwrap_or(false));
+        assert!(any, "no gradient flowed through the replay");
+    }
+
+    #[test]
+    fn replay_rejects_corrupt_action_sequences() {
+        let env = env();
+        let (model, params) = RlCcd::init(RlConfig::fast());
+        assert_eq!(
+            model.replay_trajectory(&params, &env, &[]).unwrap_err(),
+            ReplayError::Empty
+        );
+        let mut rng = StdRng::seed_from_u64(6);
+        let ro = model.rollout(&params, &env, &mut rng);
+        // An endpoint from outside the pool.
+        let bogus = EndpointId::new(u32::MAX as usize);
+        assert_eq!(
+            model
+                .replay_trajectory(&params, &env, &[bogus])
+                .unwrap_err(),
+            ReplayError::UnknownEndpoint(bogus)
+        );
+        // Selecting the same endpoint twice: masked at the second step.
+        let first = ro.selected[0];
+        assert_eq!(
+            model
+                .replay_trajectory(&params, &env, &[first, first])
+                .unwrap_err(),
+            ReplayError::MaskedAction(first)
         );
     }
 

@@ -85,6 +85,38 @@ impl AttentionDecoder {
         }
     }
 
+    /// Teacher-forced variant: computes the same attention distribution as
+    /// [`AttentionDecoder::decode`] but takes the action as given instead of
+    /// sampling, returning the differentiable log-probability the *current*
+    /// parameters assign to that logged action. Used by offline retraining to
+    /// replay experience records through a gradient tape.
+    ///
+    /// # Panics
+    /// Panics if `action` is out of range or masked invalid — an experience
+    /// record that disagrees with the rebuilt environment is corrupt and must
+    /// not silently contribute a bogus gradient.
+    pub fn decode_forced<T: TapeOps>(
+        &self,
+        tape: &mut T,
+        binding: &ParamBinding,
+        embeddings: Var,
+        query: Var,
+        valid: &[bool],
+        action: usize,
+    ) -> DecodeStep {
+        let log_probs = self.scores(tape, binding, embeddings, query, valid);
+        assert!(
+            action < valid.len() && valid[action],
+            "forced action {action} is not a valid endpoint"
+        );
+        let action_log_prob = tape.pick(log_probs, action, 0);
+        DecodeStep {
+            log_probs,
+            action,
+            action_log_prob,
+        }
+    }
+
     /// Eqs. 5–6: attention scores → masked log-softmax.
     fn scores<T: TapeOps>(
         &self,
@@ -265,6 +297,36 @@ mod tests {
         let valid = vec![true, false, true, true];
         let step = dec.decode_greedy(&mut tape, &binding, e, q, &valid);
         assert!(valid[step.action]);
+    }
+
+    #[test]
+    fn forced_action_log_prob_matches_distribution() {
+        let (params, dec, cfg) = build();
+        let mut tape = Tape::new();
+        let binding = params.bind(&mut tape);
+        let e = tape.leaf(embeddings(&cfg, 5));
+        let q = tape.leaf(Tensor::zeros(1, cfg.lstm_hidden));
+        let valid = vec![true, false, true, true, true];
+        let mut rng = StdRng::seed_from_u64(11);
+        let sampled = dec.decode(&mut tape, &binding, e, q, &valid, &mut rng);
+        let forced = dec.decode_forced(&mut tape, &binding, e, q, &valid, sampled.action);
+        assert_eq!(forced.action, sampled.action);
+        assert_eq!(
+            tape.value(forced.action_log_prob).data()[0],
+            tape.value(sampled.action_log_prob).data()[0]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a valid endpoint")]
+    fn forced_invalid_action_panics() {
+        let (params, dec, cfg) = build();
+        let mut tape = Tape::new();
+        let binding = params.bind(&mut tape);
+        let e = tape.leaf(embeddings(&cfg, 4));
+        let q = tape.leaf(Tensor::zeros(1, cfg.lstm_hidden));
+        let valid = vec![true, false, true, true];
+        let _ = dec.decode_forced(&mut tape, &binding, e, q, &valid, 1);
     }
 
     #[test]

@@ -100,6 +100,22 @@ impl<'a> InferSession<'a> {
         self.model
             .infer_trajectory_in(&mut self.tape, &self.binding, self.base, env, Some(rng))
     }
+
+    /// Like [`InferSession::sample`] but also returning the behavior
+    /// log-probability of each selected action, in selection order — the
+    /// raw material of an experience record. The selection (and the RNG
+    /// stream consumed) is bit-identical to [`InferSession::sample`]:
+    /// capturing a log-prob is a tape read, not a tape op.
+    pub fn sample_logged(&mut self, env: &CcdEnv, rng: &mut StdRng) -> (Vec<EndpointId>, Vec<f32>) {
+        self.tape.truncate(self.base);
+        self.model.infer_trajectory_logged_in(
+            &mut self.tape,
+            &self.binding,
+            self.base,
+            env,
+            Some(rng),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +182,30 @@ mod tests {
         // The scalar-reference session agrees bit-for-bit too.
         let mut scalar = InferSession::scalar_reference(&model, &params);
         assert_eq!(scalar.select(&env), select_endpoints(&model, &params, &env));
+    }
+
+    #[test]
+    fn logged_sampling_matches_unlogged_and_the_training_tape() {
+        let env = env();
+        let (model, params) = RlCcd::init(RlConfig::fast());
+        let mut session = InferSession::new(&model, &params);
+        for seed in [3u64, 99] {
+            let plain = session.sample(&env, &mut StdRng::seed_from_u64(seed));
+            let (logged, log_probs) = session.sample_logged(&env, &mut StdRng::seed_from_u64(seed));
+            assert_eq!(plain, logged, "seed {seed}: selections diverged");
+            assert_eq!(log_probs.len(), logged.len());
+            assert!(log_probs.iter().all(|lp| lp.is_finite() && *lp <= 0.0));
+            // The logged per-step values sum to the training rollout's
+            // total log-prob (same kernels, same order of additions).
+            let ro = model.rollout(&params, &env, &mut StdRng::seed_from_u64(seed));
+            let total = ro.tape.value(ro.total_log_prob).data()[0];
+            let fold = log_probs
+                .iter()
+                .copied()
+                .reduce(|a, b| a + b)
+                .expect("at least one step");
+            assert_eq!(total.to_bits(), fold.to_bits(), "seed {seed}");
+        }
     }
 
     #[test]

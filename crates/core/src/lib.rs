@@ -63,7 +63,7 @@ pub mod reinforce;
 pub mod session;
 pub mod transfer;
 
-pub use agent::{RlCcd, Rollout};
+pub use agent::{ReplayError, RlCcd, Rollout};
 pub use baselines::Baseline;
 pub use checkpoint::{
     fnv1a64, load_checkpoint_params, load_checkpoint_selection, load_training_state,

@@ -58,6 +58,21 @@ pub enum AdminRequest {
     },
     /// List tenants and their usage (tokens never travel back).
     TenantList,
+    /// Retrain offline from an experience log and stage the result in the
+    /// challenger slot: the closed learning loop's admin hook. The
+    /// retrained checkpoint reaches tenants only through `gate`/`promote`.
+    Retrain {
+        /// Base checkpoint directory (the policy the log was served by).
+        base: String,
+        /// `rl-ccd-exp v1` experience log path (no whitespace).
+        log: String,
+        /// Output checkpoint directory for the retrained state.
+        out: String,
+        /// Seed for the deterministic replay order.
+        seed: u64,
+        /// Offline update steps.
+        steps: usize,
+    },
     /// Ask the daemon to drain and exit.
     Drain,
 }
@@ -77,6 +92,13 @@ impl AdminRequest {
             AdminRequest::TenantAdd { spec } => format!("tenant_add spec={spec}"),
             AdminRequest::TenantDel { id } => format!("tenant_del id={id}"),
             AdminRequest::TenantList => "tenant_list".to_string(),
+            AdminRequest::Retrain {
+                base,
+                log,
+                out,
+                seed,
+                steps,
+            } => format!("retrain base={base} log={log} out={out} seed={seed} steps={steps}"),
             AdminRequest::Drain => "drain".to_string(),
         };
         if let Some(token) = token {
@@ -100,6 +122,11 @@ impl AdminRequest {
         let mut fraction = None;
         let mut spec = None;
         let mut id = None;
+        let mut base = None;
+        let mut log = None;
+        let mut out = None;
+        let mut seed = None;
+        let mut steps = None;
         for field in fields.split_whitespace() {
             let (key, value) = field
                 .split_once('=')
@@ -121,6 +148,15 @@ impl AdminRequest {
                 }
                 "spec" => spec = Some(value.to_string()),
                 "id" => id = Some(value.to_string()),
+                "base" => base = Some(value.to_string()),
+                "log" => log = Some(value.to_string()),
+                "out" => out = Some(value.to_string()),
+                "seed" => {
+                    seed = Some(value.parse().map_err(|_| format!("bad seed {value:?}"))?);
+                }
+                "steps" => {
+                    steps = Some(value.parse().map_err(|_| format!("bad steps {value:?}"))?);
+                }
                 _ => {} // forward compatibility
             }
         }
@@ -146,6 +182,16 @@ impl AdminRequest {
                 id: id.ok_or("tenant_del missing id=")?,
             },
             "tenant_list" => AdminRequest::TenantList,
+            "retrain" => {
+                let defaults = rl_ccd_exp::RetrainConfig::default();
+                AdminRequest::Retrain {
+                    base: base.ok_or("retrain missing base=")?,
+                    log: log.ok_or("retrain missing log=")?,
+                    out: out.ok_or("retrain missing out=")?,
+                    seed: seed.unwrap_or(defaults.seed),
+                    steps: steps.unwrap_or(defaults.steps),
+                }
+            }
             "drain" => AdminRequest::Drain,
             other => return Err(format!("unknown admin request {other:?}")),
         };
@@ -416,6 +462,13 @@ mod tests {
             },
             AdminRequest::TenantDel { id: "acme".into() },
             AdminRequest::TenantList,
+            AdminRequest::Retrain {
+                base: "ckpt/base".into(),
+                log: "exp.jsonl".into(),
+                out: "ckpt/retrained".into(),
+                seed: 0xE1,
+                steps: 4,
+            },
             AdminRequest::Drain,
         ];
         for req in requests {

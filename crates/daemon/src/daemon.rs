@@ -47,8 +47,18 @@ pub struct DaemonConfig {
     pub admin_token: Option<String>,
     /// Where promote/rollback/canary audit records are appended (JSONL).
     pub audit_path: Option<PathBuf>,
-    /// Where per-tenant usage is flushed at shutdown (JSONL).
+    /// Where per-tenant usage is flushed (JSONL) — at shutdown, and
+    /// periodically when [`DaemonConfig::usage_flush_ms`] is non-zero.
     pub usage_path: Option<PathBuf>,
+    /// Flush per-tenant usage every this many clock milliseconds (0
+    /// disables periodic flushing; shutdown always flushes). A crashed
+    /// daemon then loses at most one window of usage accounting.
+    pub usage_flush_ms: u64,
+    /// Where sampled-query experience records are appended
+    /// (`rl-ccd-exp v1` JSONL). When set, the daemon installs an
+    /// [`rl_ccd_exp::ExpSink`] on the serving core and drains it at
+    /// shutdown — the logging half of the closed learning loop.
+    pub experience_path: Option<PathBuf>,
 }
 
 impl Default for DaemonConfig {
@@ -60,6 +70,8 @@ impl Default for DaemonConfig {
             admin_token: None,
             audit_path: None,
             usage_path: None,
+            usage_flush_ms: 0,
+            experience_path: None,
         }
     }
 }
@@ -71,6 +83,8 @@ pub struct DaemonReport {
     pub drain: DrainReport,
     /// Every tenant's final usage counters.
     pub tenants: Vec<TenantSummary>,
+    /// The experience sink's accounting, when experience logging was on.
+    pub experience: Option<rl_ccd_exp::SinkReport>,
 }
 
 struct DaemonShared {
@@ -109,6 +123,8 @@ pub struct Daemon {
     server: Server,
     shared: Arc<DaemonShared>,
     usage_path: Option<PathBuf>,
+    experience: Option<Arc<rl_ccd_exp::ExpSink>>,
+    usage_flusher: Option<JoinHandle<()>>,
     query_front: Option<Front>,
     admin_front: Option<Front>,
 }
@@ -118,13 +134,26 @@ impl Daemon {
     /// slot already loaded). `clock` drives rate limits and quotas —
     /// [`crate::SystemClock`] in production, [`crate::ManualClock`] in
     /// tests.
+    ///
+    /// # Panics
+    /// When [`DaemonConfig::experience_path`] is set but the log file
+    /// cannot be opened — a daemon asked to log experience must not come
+    /// up silently lossy.
     pub fn start(registry: ModelRegistry, config: DaemonConfig, clock: Arc<dyn Clock>) -> Self {
         let write_timeout = config.serve.write_timeout;
-        let server = Server::start(registry, config.serve.clone());
+        let mut serve_config = config.serve.clone();
+        let experience = config
+            .experience_path
+            .as_ref()
+            .map(|path| rl_ccd_exp::ExpSink::create(path).expect("open experience log"));
+        if let Some(sink) = &experience {
+            serve_config.experience = Some(sink.clone() as Arc<dyn rl_ccd_serve::ExperienceHook>);
+        }
+        let server = Server::start(registry, serve_config);
         let shared = Arc::new(DaemonShared {
             handle: server.handle(),
             tenants: TenantBook::new(clock.clone()),
-            promoter: Promoter::new(config.gate, clock, config.audit_path),
+            promoter: Promoter::new(config.gate, clock.clone(), config.audit_path),
             rho: config.rho,
             admin_token: config.admin_token,
             draining: AtomicBool::new(false),
@@ -132,10 +161,21 @@ impl Daemon {
             recorder: rl_ccd_obs::current(),
             write_timeout,
         });
+        let usage_flusher = match (&config.usage_path, config.usage_flush_ms) {
+            (Some(path), interval_ms) if interval_ms > 0 => Some(spawn_usage_flusher(
+                shared.clone(),
+                path.clone(),
+                clock,
+                interval_ms,
+            )),
+            _ => None,
+        };
         Self {
             server,
             shared,
             usage_path: config.usage_path,
+            experience,
+            usage_flusher,
             query_front: None,
             admin_front: None,
         }
@@ -202,7 +242,7 @@ impl Daemon {
 
     /// Graceful shutdown: stop accepting, join every connection, flush
     /// per-tenant usage to the configured JSONL file, drain the serving
-    /// core, and report the final accounting.
+    /// core and the experience sink, and report the final accounting.
     pub fn shutdown(self) -> DaemonReport {
         self.shared.draining.store(true, Ordering::SeqCst);
         for front in [self.query_front, self.admin_front].into_iter().flatten() {
@@ -214,33 +254,76 @@ impl Daemon {
                 let _ = conn.join();
             }
         }
+        if let Some(flusher) = self.usage_flusher {
+            let _ = flusher.join();
+        }
         let tenants = self.shared.tenants.summaries();
         if let Some(path) = &self.usage_path {
             let _ = write_usage_jsonl(path, &tenants);
         }
+        let drain = self.server.shutdown();
+        // The serving core is drained, so every sampled query's event has
+        // been enqueued; finish() drains the sink's backlog in turn.
+        let experience = self.experience.and_then(|sink| sink.finish());
         DaemonReport {
-            drain: self.server.shutdown(),
+            drain,
             tenants,
+            experience,
         }
     }
 }
 
-/// Flushes per-tenant usage counters as versioned JSONL.
+/// Flushes per-tenant usage counters as versioned JSONL. The write is
+/// atomic (temp file + rename) so a crash mid-flush can only lose the
+/// window being written, never corrupt the previous snapshot.
 fn write_usage_jsonl(path: &PathBuf, tenants: &[TenantSummary]) -> std::io::Result<()> {
-    let mut f = std::fs::File::create(path)?;
-    for t in tenants {
-        writeln!(
-            f,
-            "{{\"v\":\"rl-ccd-usage v1\",\"tenant\":\"{}\",\"accepted\":{},\"denied\":{},\"throttled\":{},\"used_in_window\":{},\"monthly_quota\":{}}}",
-            escape_json(&t.id),
-            t.usage.accepted,
-            t.usage.denied,
-            t.usage.throttled,
-            t.usage.used_in_window,
-            t.monthly_quota
-        )?;
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        for t in tenants {
+            writeln!(
+                f,
+                "{{\"v\":\"rl-ccd-usage v1\",\"tenant\":\"{}\",\"accepted\":{},\"denied\":{},\"throttled\":{},\"used_in_window\":{},\"monthly_quota\":{}}}",
+                escape_json(&t.id),
+                t.usage.accepted,
+                t.usage.denied,
+                t.usage.throttled,
+                t.usage.used_in_window,
+                t.monthly_quota
+            )?;
+        }
+        f.sync_all()?;
     }
-    Ok(())
+    std::fs::rename(&tmp, path)
+}
+
+/// Spawns the periodic usage flusher: every `interval_ms` *clock*
+/// milliseconds it snapshots tenant usage to `path`. The thread polls
+/// the injected clock with short real sleeps, so tests drive it with a
+/// [`crate::ManualClock`] and production gets wall-clock cadence.
+fn spawn_usage_flusher(
+    shared: Arc<DaemonShared>,
+    path: PathBuf,
+    clock: Arc<dyn Clock>,
+    interval_ms: u64,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("daemon-usage-flush".into())
+        .spawn(move || {
+            let _obs = shared.recorder.as_ref().map(rl_ccd_obs::attach);
+            let mut last_flush = clock.now_ms();
+            while !shared.draining.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(10));
+                let now = clock.now_ms();
+                if now.saturating_sub(last_flush) >= interval_ms {
+                    last_flush = now;
+                    if write_usage_jsonl(&path, &shared.tenants.summaries()).is_ok() {
+                        rl_ccd_obs::counter!("daemon.usage.flushed", 1);
+                    }
+                }
+            }
+        })
+        .expect("spawn usage flusher")
 }
 
 /// Spawns an accept loop whose connections run `conn_fn`.
@@ -519,6 +602,54 @@ fn answer_admin_frame(shared: &DaemonShared, payload: &[u8]) -> AdminReply {
             }
         }
         AdminRequest::TenantList => AdminReply::Tenants(shared.tenants.summaries()),
+        AdminRequest::Retrain {
+            base,
+            log,
+            out,
+            seed,
+            steps,
+        } => {
+            let cfg = rl_ccd_exp::RetrainConfig {
+                seed,
+                steps,
+                ..rl_ccd_exp::RetrainConfig::default()
+            };
+            // Retraining happens on this admin thread, off the request
+            // path; tenants keep being served by the installed models.
+            match rl_ccd_exp::retrain(&base, &log, &out, &cfg) {
+                Ok(report) => match ModelRegistry::prepare(CHALLENGER, &out, shared.rho) {
+                    Ok(entry) => {
+                        let identity = ModelVersion {
+                            name: entry.name.clone(),
+                            version: entry.version,
+                            fingerprint: entry.fingerprint,
+                        };
+                        registry.install(entry);
+                        shared.promoter.note(
+                            "retrain",
+                            format!(
+                                "challenger <- {out}: {identity} ({} records, {} offline steps)",
+                                report.records_loaded, report.steps_taken
+                            ),
+                        );
+                        AdminReply::Ok {
+                            info: format!(
+                                "retrained and staged {identity}: {} records, {} offline steps, mean importance weight {:.3}",
+                                report.records_loaded,
+                                report.steps_taken,
+                                report.mean_importance_weight
+                            ),
+                        }
+                    }
+                    Err(e) => AdminReply::Err {
+                        msg: format!("retrained but could not stage {out}: {e}"),
+                    },
+                },
+                Err(e) => AdminReply::Err {
+                    msg: format!("retrain: {e}"),
+                },
+            }
+        }
         AdminRequest::Drain => {
             shared.drain_requested.store(true, Ordering::SeqCst);
             AdminReply::Ok {
@@ -707,6 +838,142 @@ mod tests {
             AdminReply::Status(_)
         ));
         assert_eq!(daemon.shutdown().drain.dropped(), 0);
+    }
+
+    #[test]
+    fn usage_flushes_periodically_on_the_injected_clock() {
+        let dir = std::env::temp_dir().join("rl_ccd_daemon_usage_periodic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("usage.jsonl");
+        std::fs::remove_file(&path).ok();
+        let clock = ManualClock::at(0);
+        let mut daemon = Daemon::start(
+            registry(),
+            DaemonConfig {
+                usage_path: Some(path.clone()),
+                usage_flush_ms: 1_000,
+                ..DaemonConfig::default()
+            },
+            Arc::new(clock.clone()),
+        );
+        daemon.tenants().add("acme:tok:10:10:100".parse().unwrap());
+        let addr = daemon.bind_query("127.0.0.1:0").expect("bind");
+        let mut client = ServeClient::connect(addr).expect("connect");
+        assert!(matches!(
+            client.query(query(creds("acme", "tok"))).unwrap(),
+            Response::Ok(_)
+        ));
+        assert!(!path.exists(), "no window elapsed, nothing flushed yet");
+        // One window elapses on the manual clock; the flusher (which
+        // polls with short real sleeps) must snapshot without a shutdown.
+        clock.advance(1_001);
+        let mut flushed = String::new();
+        for _ in 0..500 {
+            std::thread::sleep(Duration::from_millis(10));
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                if !text.is_empty() {
+                    flushed = text;
+                    break;
+                }
+            }
+        }
+        assert!(
+            flushed.contains("\"tenant\":\"acme\"") && flushed.contains("\"accepted\":1"),
+            "periodic flush missing or wrong: {flushed:?}"
+        );
+        daemon.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn experience_logging_feeds_retrain_which_stages_the_challenger() {
+        use rl_ccd::{save_training_state, TrainingState};
+        let dir = std::env::temp_dir().join("rl_ccd_daemon_closed_loop");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let base_dir = dir.join("base");
+        let out_dir = dir.join("retrained");
+        let exp_path = dir.join("exp.jsonl");
+        let config = RlConfig::fast();
+        let (_, params) = RlCcd::init(config.clone());
+        let state = TrainingState {
+            next_iteration: 0,
+            seed_base: config.seed,
+            best_reward: -1.0e9,
+            best_mean: -1.0e9,
+            stale: 0,
+            best_selection: vec![],
+            params,
+            adam: rl_ccd_nn::Adam::new(config.learning_rate),
+            history: vec![],
+            faults: vec![],
+        };
+        save_training_state(&state, &base_dir).expect("save base");
+        let serve_one = |exp_on: bool| {
+            let reg = ModelRegistry::new();
+            reg.load(CHAMPION, &base_dir, 0.3).expect("load champion");
+            let mut daemon = Daemon::start(
+                reg,
+                DaemonConfig {
+                    experience_path: exp_on.then(|| exp_path.clone()),
+                    ..DaemonConfig::default()
+                },
+                Arc::new(ManualClock::at(0)),
+            );
+            daemon
+                .tenants()
+                .add("acme:tok:100:100:1000".parse().unwrap());
+            let addr = daemon.bind_query("127.0.0.1:0").expect("bind");
+            let mut client = ServeClient::connect(addr).expect("connect");
+            for seed in 0..4u64 {
+                let mut q = query(creds("acme", "tok"));
+                q.mode = Mode::Sample(seed);
+                assert!(matches!(client.query(q).unwrap(), Response::Ok(_)));
+            }
+            daemon
+        };
+        // Phase 1: serve sampled traffic with logging on; the drain
+        // report accounts for every record.
+        let report = serve_one(true).shutdown();
+        let sink = report.experience.expect("sink report");
+        assert!(sink.written >= 1, "{sink:?}");
+        assert_eq!(sink.dropped, 0);
+        assert_eq!(sink.failed, 0);
+        // Phase 2: a fresh daemon retrains from the captured log over the
+        // admin port; the result lands in the challenger slot only.
+        let reg = ModelRegistry::new();
+        reg.load(CHAMPION, &base_dir, 0.3).expect("load champion");
+        let mut daemon = Daemon::start(reg, DaemonConfig::default(), Arc::new(ManualClock::at(0)));
+        daemon.bind_admin("127.0.0.1:0").expect("bind admin");
+        let admin = AdminClient::new(daemon.admin_addr().unwrap(), None);
+        let reply = admin
+            .call(&AdminRequest::Retrain {
+                base: base_dir.display().to_string(),
+                log: exp_path.display().to_string(),
+                out: out_dir.display().to_string(),
+                seed: 0xE1,
+                steps: 2,
+            })
+            .unwrap();
+        let AdminReply::Ok { info } = reply else {
+            panic!("retrain failed: {reply:?}")
+        };
+        assert!(info.contains("staged"), "{info}");
+        let AdminReply::Status(status) = admin.call(&AdminRequest::Status).unwrap() else {
+            panic!("expected status")
+        };
+        assert_eq!(status.champion.as_ref().unwrap().version, 0);
+        let challenger = status.challenger.expect("challenger staged");
+        assert_eq!(challenger.version, 2, "version bumps by the step count");
+        // Phase 3: promotion is the only path to tenants.
+        let reply = admin.call(&AdminRequest::Promote { force: true }).unwrap();
+        assert!(matches!(reply, AdminReply::Ok { .. }), "{reply:?}");
+        let AdminReply::Status(status) = admin.call(&AdminRequest::Status).unwrap() else {
+            panic!("expected status")
+        };
+        assert_eq!(status.champion.as_ref().unwrap().version, 2);
+        assert_eq!(daemon.shutdown().drain.dropped(), 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! The replay buffer: deduplicated, staleness-bounded experience with a
+//! deterministic iteration order.
+//!
+//! Determinism is the spine of the closed loop: a retrain must be a pure
+//! function of (base checkpoint, experience log, seed). The buffer keeps
+//! records in a `BTreeMap` keyed by content id — so membership and
+//! ordering never depend on insertion order or hash randomization — and
+//! [`ReplayBuffer::iter_shuffled`] derives the training order from a
+//! caller seed via Fisher–Yates over the id-sorted records.
+//!
+//! Staleness is measured in *policy-version distance*: a record served by
+//! policy version `v` is dropped once `current_version − v` exceeds the
+//! configured bound (the behavior policy is too far from the training
+//! policy for a clamped importance weight to say anything useful).
+//! Records claiming a version *newer* than the current policy are
+//! "unknown": they cannot have been produced by any ancestor of this
+//! checkpoint, so they are skipped with a counter — never a panic.
+
+use crate::record::ExpRecord;
+use crate::ExpError;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::io::BufRead;
+
+/// Why records did or did not make it into the buffer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Records admitted.
+    pub accepted: usize,
+    /// Records dropped because their content id was already present.
+    pub duplicates: usize,
+    /// Records dropped because their policy version is newer than the
+    /// current policy (no ancestor could have produced them).
+    pub unknown_version: usize,
+    /// Records dropped (at admission or by
+    /// [`ReplayBuffer::advance_version`]) because their policy-version
+    /// distance exceeded the staleness bound.
+    pub evicted_stale: usize,
+}
+
+/// A deduplicated, staleness-bounded set of experience records.
+#[derive(Debug)]
+pub struct ReplayBuffer {
+    current_version: usize,
+    max_staleness: usize,
+    records: BTreeMap<u64, ExpRecord>,
+    stats: BufferStats,
+}
+
+impl ReplayBuffer {
+    /// An empty buffer filtering against `current_version`: records newer
+    /// than it are unknown, records more than `max_staleness` versions
+    /// older are stale.
+    pub fn new(current_version: usize, max_staleness: usize) -> Self {
+        Self {
+            current_version,
+            max_staleness,
+            records: BTreeMap::new(),
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Offers one record; returns whether it was admitted. Duplicates,
+    /// unknown versions, and stale records are counted, never errors.
+    pub fn push(&mut self, record: ExpRecord) -> bool {
+        if record.policy_version > self.current_version {
+            self.stats.unknown_version += 1;
+            rl_ccd_obs::counter!("exp.buffer.unknown_version", 1);
+            return false;
+        }
+        if self.current_version - record.policy_version > self.max_staleness {
+            self.stats.evicted_stale += 1;
+            rl_ccd_obs::counter!("exp.buffer.stale", 1);
+            return false;
+        }
+        match self.records.entry(record.content_id()) {
+            std::collections::btree_map::Entry::Occupied(_) => {
+                self.stats.duplicates += 1;
+                rl_ccd_obs::counter!("exp.buffer.duplicate", 1);
+                false
+            }
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(record);
+                self.stats.accepted += 1;
+                true
+            }
+        }
+    }
+
+    /// Parses an `rl-ccd-exp v1` JSONL stream and offers every record,
+    /// returning how many were admitted.
+    ///
+    /// # Errors
+    /// [`ExpError::Parse`] on the first malformed line (a corrupt log is
+    /// a hard error — silent partial loads would make retrains
+    /// irreproducible), [`ExpError::Io`] on read failure.
+    pub fn load_jsonl<R: BufRead>(&mut self, reader: R) -> Result<usize, ExpError> {
+        let mut admitted = 0;
+        for (idx, line) in reader.lines().enumerate() {
+            let line = line.map_err(ExpError::Io)?;
+            if line.is_empty() {
+                continue;
+            }
+            let record = ExpRecord::parse(&line).map_err(|message| ExpError::Parse {
+                line: idx + 1,
+                message,
+            })?;
+            if self.push(record) {
+                admitted += 1;
+            }
+        }
+        Ok(admitted)
+    }
+
+    /// Moves the staleness window forward: re-filters everything already
+    /// admitted against the new current version, evicting what fell out.
+    /// Returns the number evicted.
+    pub fn advance_version(&mut self, current_version: usize) -> usize {
+        self.current_version = current_version;
+        let bound = self.max_staleness;
+        let before = self.records.len();
+        self.records
+            .retain(|_, r| current_version.saturating_sub(r.policy_version) <= bound);
+        let evicted = before - self.records.len();
+        self.stats.evicted_stale += evicted;
+        evicted
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the buffer holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Admission/eviction counters.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// The buffer's records in the deterministic training order for
+    /// `seed`: id-sorted, then Fisher–Yates shuffled by a
+    /// [`StdRng`] seeded with `seed`. Same buffer + same seed → the same
+    /// order, byte for byte, in any process.
+    pub fn iter_shuffled(&self, seed: u64) -> Vec<&ExpRecord> {
+        let mut out: Vec<&ExpRecord> = self.records.values().collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        out.shuffle(&mut rng);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(tag: u64, version: usize) -> ExpRecord {
+        ExpRecord {
+            design: "gate_a:360:7nm:5".into(),
+            feat_fp: 1,
+            model: "champion".into(),
+            policy_version: version,
+            policy_fp: 2,
+            rho: 0.3,
+            fanout_cap: 24,
+            seed: tag,
+            selection: vec![1, 2],
+            log_probs: vec![-0.5, -0.25],
+            reward_tns_ps: -10.0,
+            base_tns_ps: -20.0,
+            wns_delta_ps: 0.5,
+        }
+    }
+
+    #[test]
+    fn empty_log_loads_to_an_empty_buffer() {
+        let mut buf = ReplayBuffer::new(5, 3);
+        assert_eq!(buf.load_jsonl(&b""[..]).expect("empty ok"), 0);
+        assert!(buf.is_empty());
+        assert_eq!(buf.stats(), BufferStats::default());
+    }
+
+    #[test]
+    fn duplicates_are_counted_not_stored() {
+        let mut buf = ReplayBuffer::new(5, 3);
+        assert!(buf.push(record(1, 5)));
+        assert!(!buf.push(record(1, 5)));
+        assert!(!buf.push(record(1, 5)));
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.stats().duplicates, 2);
+        assert_eq!(buf.stats().accepted, 1);
+    }
+
+    #[test]
+    fn all_duplicate_log_keeps_one_record() {
+        let line = record(9, 5).to_jsonl();
+        let file = format!("{line}\n{line}\n{line}\n");
+        let mut buf = ReplayBuffer::new(5, 3);
+        assert_eq!(buf.load_jsonl(file.as_bytes()).expect("valid"), 1);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.stats().duplicates, 2);
+    }
+
+    #[test]
+    fn unknown_and_stale_versions_are_skipped_with_counters() {
+        let mut buf = ReplayBuffer::new(5, 2);
+        assert!(!buf.push(record(1, 6)), "future version admitted");
+        assert!(!buf.push(record(2, 1)), "stale version admitted");
+        assert!(buf.push(record(3, 3)), "in-window version rejected");
+        assert!(buf.push(record(4, 5)));
+        assert_eq!(buf.stats().unknown_version, 1);
+        assert_eq!(buf.stats().evicted_stale, 1);
+        assert_eq!(buf.len(), 2);
+        // Advancing the window evicts what fell out of it.
+        assert_eq!(buf.advance_version(7), 1);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.stats().evicted_stale, 2);
+    }
+
+    #[test]
+    fn shuffled_order_is_seed_deterministic_and_insertion_independent() {
+        let mut a = ReplayBuffer::new(5, 5);
+        let mut b = ReplayBuffer::new(5, 5);
+        for tag in 0..8 {
+            a.push(record(tag, 5));
+        }
+        for tag in (0..8).rev() {
+            b.push(record(tag, 5));
+        }
+        let seeds_a: Vec<u64> = a.iter_shuffled(0xCCD).iter().map(|r| r.seed).collect();
+        let seeds_b: Vec<u64> = b.iter_shuffled(0xCCD).iter().map(|r| r.seed).collect();
+        assert_eq!(seeds_a, seeds_b, "insertion order leaked into iteration");
+        let again: Vec<u64> = a.iter_shuffled(0xCCD).iter().map(|r| r.seed).collect();
+        assert_eq!(seeds_a, again, "same seed gave a different order");
+        let other: Vec<u64> = a.iter_shuffled(0xCCE).iter().map(|r| r.seed).collect();
+        assert_ne!(seeds_a, other, "different seeds gave the same order");
+    }
+
+    #[test]
+    fn corrupt_log_is_a_hard_error_with_line_number() {
+        let file = format!("{}\ngarbage\n", record(1, 5).to_jsonl());
+        let err = ReplayBuffer::new(5, 3)
+            .load_jsonl(file.as_bytes())
+            .unwrap_err();
+        let ExpError::Parse { line, .. } = err else {
+            panic!("expected parse error, got {err:?}")
+        };
+        assert_eq!(line, 2);
+    }
+}

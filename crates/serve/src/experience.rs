@@ -1,0 +1,56 @@
+//! Experience-emission hook: the seam between serving and learning.
+//!
+//! Every completed *sampled* query is a logged interaction with the
+//! policy — exactly the raw material offline retraining wants. The server
+//! does not know (or link) the experience subsystem; it only calls an
+//! installed [`ExperienceHook`] with an [`ExperienceEvent`] carrying what
+//! the hot path already has in hand: the design key, the serving model's
+//! identity, the sampled selection, and the behavior log-probabilities.
+//! Everything expensive — rebuilding the environment, running the timing
+//! flow to realize the reward, content-addressing, deduplication, disk
+//! I/O — happens behind the hook, off the request path. The contract is
+//! that `on_sample` is one bounded enqueue (the `rl-ccd-exp` sink drops
+//! and counts on overflow rather than blocking a serve worker).
+
+use crate::protocol::DesignKey;
+use rl_ccd_netlist::EndpointId;
+
+/// Everything the server knows about one completed sampled query.
+///
+/// The selection and `log_probs` are parallel: `log_probs[i]` is the
+/// behavior policy's log-probability of picking `selection[i]` at step
+/// `i`. `rho` and `fanout_cap` pin the serving-side knobs an experience
+/// consumer needs to rebuild the identical environment and selection
+/// mask.
+#[derive(Clone, Debug)]
+pub struct ExperienceEvent {
+    /// The design the query ran against (fully pins the environment).
+    pub design: DesignKey,
+    /// Registry name of the model that served the query.
+    pub model: String,
+    /// Checkpoint version of that model (its training iteration).
+    pub version: usize,
+    /// FNV-1a 64 fingerprint of the model's checkpoint bytes.
+    pub fingerprint: u64,
+    /// Cone-overlap selection threshold the model served with.
+    pub rho: f32,
+    /// Fanout cap the environment was built with.
+    pub fanout_cap: usize,
+    /// The client-supplied sampling seed.
+    pub seed: u64,
+    /// Sampled endpoints, in selection order.
+    pub selection: Vec<EndpointId>,
+    /// Behavior log-probability of each selected action.
+    pub log_probs: Vec<f32>,
+}
+
+/// A consumer of [`ExperienceEvent`]s, installed via
+/// [`crate::ServeConfig::experience`].
+///
+/// Implementations MUST return quickly: `on_sample` runs on a serve
+/// worker between computing a selection and delivering the reply. Hand
+/// the event to a channel and do the real work elsewhere.
+pub trait ExperienceHook: Send + Sync + std::fmt::Debug {
+    /// Called once per completed sampled query.
+    fn on_sample(&self, event: ExperienceEvent);
+}

@@ -44,6 +44,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod experience;
 pub mod protocol;
 mod reactor;
 pub mod registry;
@@ -52,6 +53,7 @@ pub mod server;
 
 pub use cache::{EnvCache, LruCache, SelectionCache};
 pub use client::{ClientBuilder, ServeClient};
+pub use experience::{ExperienceEvent, ExperienceHook};
 pub use protocol::{
     Credentials, DesignKey, HealthReply, Mode, ModelVersion, QueryReply, QueryRequest, RejectKind,
     Request, Response, PROTOCOL_VERSION,

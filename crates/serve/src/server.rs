@@ -15,6 +15,7 @@
 //! request was answered.
 
 use crate::cache::{EnvCache, SelectionCache};
+use crate::experience::{ExperienceEvent, ExperienceHook};
 use crate::protocol::{HealthReply, Mode, QueryReply, QueryRequest, RejectKind, Request, Response};
 use crate::registry::ModelRegistry;
 use crate::scheduler::{Job, ReplySink, Scheduler};
@@ -57,6 +58,9 @@ pub struct ServeConfig {
     /// of sockets, and makes a client that stops reading hit the
     /// write-stall eviction instead of hiding in autotuned buffers.
     pub sock_send_buffer: Option<usize>,
+    /// Experience hook called once per completed sampled query (the
+    /// closed-loop learning seam); `None` serves without logging.
+    pub experience: Option<Arc<dyn ExperienceHook>>,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +75,7 @@ impl Default for ServeConfig {
             fanout_cap: 24,
             write_timeout: Duration::from_secs(5),
             sock_send_buffer: None,
+            experience: None,
         }
     }
 }
@@ -184,6 +189,8 @@ pub(crate) struct Shared {
     shed_retry_after_ms: u64,
     pub(crate) write_timeout: Duration,
     pub(crate) sock_send_buffer: Option<usize>,
+    fanout_cap: usize,
+    experience: Option<Arc<dyn ExperienceHook>>,
 }
 
 impl std::fmt::Debug for Shared {
@@ -257,6 +264,8 @@ impl Server {
             shed_retry_after_ms: config.shed_retry_after_ms(),
             write_timeout: config.write_timeout,
             sock_send_buffer: config.sock_send_buffer,
+            fanout_cap: config.fanout_cap,
+            experience: config.experience.clone(),
         });
         let workers = (0..config.workers.max(1))
             .map(|w| {
@@ -639,16 +648,29 @@ fn execute_batch(shared: &Shared, batch: Vec<Job>) {
                 }
                 Mode::Sample(seed) => {
                     let mut rng = StdRng::seed_from_u64(seed);
-                    (
-                        Arc::new(
-                            session
-                                .get_or_insert_with(|| {
-                                    InferSession::new(&model.model, &model.params)
-                                })
-                                .sample(&env, &mut rng),
-                        ),
-                        false,
-                    )
+                    let session = session
+                        .get_or_insert_with(|| InferSession::new(&model.model, &model.params));
+                    let selection = if let Some(hook) = &shared.experience {
+                        // The logged path is bit-identical to the plain
+                        // one; the hook call is the one enqueue the
+                        // request path pays for closed-loop learning.
+                        let (sel, log_probs) = session.sample_logged(&env, &mut rng);
+                        hook.on_sample(ExperienceEvent {
+                            design: job.request.design.clone(),
+                            model: model.name.clone(),
+                            version: model.version,
+                            fingerprint: model.fingerprint,
+                            rho: model.model.config.rho,
+                            fanout_cap: shared.fanout_cap,
+                            seed,
+                            selection: sel.clone(),
+                            log_probs,
+                        });
+                        sel
+                    } else {
+                        session.sample(&env, &mut rng)
+                    };
+                    (Arc::new(selection), false)
                 }
             };
             let reply = QueryReply {
@@ -928,6 +950,58 @@ mod tests {
         let h = handle.health();
         assert!(!h.ready, "a draining server is not ready");
         assert_eq!(handle.stats().health_probes, 2);
+    }
+
+    #[test]
+    fn experience_hook_sees_sampled_queries_with_matching_log_probs() {
+        #[derive(Debug, Default)]
+        struct Capture(Mutex<Vec<ExperienceEvent>>);
+        impl ExperienceHook for Capture {
+            fn on_sample(&self, event: ExperienceEvent) {
+                self.0.lock().expect("capture lock").push(event);
+            }
+        }
+        let hook = Arc::new(Capture::default());
+        let config = ServeConfig {
+            experience: Some(hook.clone() as Arc<dyn ExperienceHook>),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(registry(), config);
+        let handle = server.handle();
+        // A greedy query emits nothing; a sampled one emits one event.
+        let g = handle.query(query("default", design("hooked", 4), Mode::Greedy));
+        assert!(matches!(g, Response::Ok(_)));
+        let r = handle.query(query("default", design("hooked", 4), Mode::Sample(77)));
+        let Response::Ok(reply) = r else {
+            panic!("sample failed: {r:?}")
+        };
+        let report = server.shutdown();
+        assert_eq!(report.dropped(), 0);
+        let events = hook.0.lock().expect("capture lock");
+        assert_eq!(events.len(), 1, "one sampled query, one event");
+        let e = &events[0];
+        assert_eq!(e.model, "default");
+        assert_eq!(e.seed, 77);
+        assert_eq!(e.design, design("hooked", 4));
+        // The event's selection is the one the client got, with log-probs
+        // aligned per step.
+        let global: Vec<usize> = e.selection.iter().map(|x| x.index()).collect();
+        assert_eq!(global, reply.selection);
+        assert_eq!(e.log_probs.len(), e.selection.len());
+        assert!(e.log_probs.iter().all(|lp| lp.is_finite() && *lp <= 0.0));
+        assert_eq!(e.rho, 0.3);
+        assert_eq!(e.fanout_cap, ServeConfig::default().fanout_cap);
+        // Logged sampling must not have perturbed the served selection:
+        // an unhooked server gives the same answer for the same seed.
+        let plain = Server::start(registry(), ServeConfig::default());
+        let p = plain
+            .handle()
+            .query(query("default", design("hooked", 4), Mode::Sample(77)));
+        let Response::Ok(plain_reply) = p else {
+            panic!("plain sample failed: {p:?}")
+        };
+        assert_eq!(plain_reply.selection, reply.selection);
+        assert_eq!(plain.shutdown().dropped(), 0);
     }
 
     #[test]

@@ -25,9 +25,13 @@
 //! rlccd probe    --addr HOST:PORT | --workers host:port,host:port [--timeout-ms MS]
 //! rlccd daemon   --checkpoint DIR [--port P] [--admin-port P] [--tenants SPEC,SPEC]
 //!                [--rho R] [--admin-token T] [--audit-out FILE] [--usage-out FILE]
+//!                [--usage-flush-ms MS] [--exp-out FILE]
 //!                [--gate-samples N] [--gate-seed S] [--max-batch N] [--queue N]
 //! rlccd admin    <status|load|gate|promote|rollback|canary|tenant-add|tenant-del|
-//!                 tenant-list|drain> [--addr HOST:PORT] [--admin-token T] [options]
+//!                 tenant-list|retrain|drain> [--addr HOST:PORT] [--admin-token T] [options]
+//! rlccd exp-validate --in exp.jsonl
+//! rlccd retrain  --base DIR --log exp.jsonl --out DIR [--seed S] [--steps N]
+//!                [--batch N] [--max-staleness N] [--w-max F] [--lr F] [--grad-clip F]
 //! ```
 //!
 //! `daemon` is the multi-tenant production front-end: queries must carry
@@ -35,6 +39,14 @@
 //! `id:token:rate:burst:quota`), checkpoints hot-reload through the admin
 //! port, and champion/challenger promotion is gated on a held-out eval
 //! set — see `rlccd admin promote`.
+//!
+//! The closed learning loop: `daemon --exp-out exp.jsonl` logs every
+//! sampled query as a content-addressed `rl-ccd-exp v1` record
+//! (`exp-validate` schema-checks a log); `retrain` replays the log with
+//! importance-weighted offline REINFORCE into a fresh checkpoint
+//! (bit-reproducible for a fixed `--seed`); `admin retrain` does the same
+//! on the daemon and stages the result in the challenger slot, where only
+//! `admin gate`/`admin promote` can put it in front of tenants.
 //!
 //! `generate` writes the plain-text netlist format of
 //! [`rl_ccd_netlist::serialize`]; the clock period is embedded as a comment
@@ -141,6 +153,7 @@ const USAGE_TABLE: &[(&str, &str)] = &[
         "daemon",
         "daemon   --checkpoint DIR [--port P] [--admin-port P] [--tenants SPEC,SPEC]\n\
          \u{20}         [--rho R] [--admin-token T] [--audit-out FILE] [--usage-out FILE]\n\
+         \u{20}         [--usage-flush-ms MS] [--exp-out FILE]\n\
          \u{20}         [--gate-samples N] [--gate-seed S] [--max-batch N] [--window-ms MS]\n\
          \u{20}         [--queue N] [--serve-workers N] [--trace-out FILE]\n\
          \u{20}         (a tenant SPEC is id:token:rate:burst:quota)",
@@ -151,12 +164,19 @@ const USAGE_TABLE: &[(&str, &str)] = &[
          \u{20}         status | tenant-list | gate | rollback | drain\n\
          \u{20}         | load --slot champion|challenger --dir DIR [--rho R]\n\
          \u{20}         | promote [--force] | canary --fraction F\n\
-         \u{20}         | tenant-add --spec id:token:rate:burst:quota | tenant-del --id ID",
+         \u{20}         | tenant-add --spec id:token:rate:burst:quota | tenant-del --id ID\n\
+         \u{20}         | retrain --base DIR --log FILE --out DIR [--seed S] [--steps N]",
+    ),
+    ("exp-validate", "exp-validate --in exp.jsonl"),
+    (
+        "retrain",
+        "retrain  --base DIR --log exp.jsonl --out DIR [--seed S] [--steps N]\n\
+         \u{20}         [--batch N] [--max-staleness N] [--w-max F] [--lr F] [--grad-clip F]",
     ),
 ];
 
 fn usage() -> ExitCode {
-    eprintln!("usage: rlccd <generate|report|flow|train|transfer|baseline|verilog|suite|trace-validate|serve|query|probe|daemon|admin> [options]\n");
+    eprintln!("usage: rlccd <generate|report|flow|train|transfer|baseline|verilog|suite|trace-validate|serve|query|probe|daemon|admin|exp-validate|retrain> [options]\n");
     for (_, line) in USAGE_TABLE {
         eprintln!("{line}");
     }
@@ -565,6 +585,76 @@ fn cmd_trace_validate(args: &[String]) -> Result<(), Error> {
     Ok(())
 }
 
+fn cmd_exp_validate(args: &[String]) -> Result<(), Error> {
+    let path: String =
+        arg(args, "--in").ok_or_else(|| Error::Config("missing --in FILE".into()))?;
+    let file = File::open(&path)?;
+    let summary = rl_ccd_exp::validate_exp_jsonl(BufReader::new(file))
+        .map_err(|e| Error::Config(format!("{path}: {e}")))?;
+    println!(
+        "{path}: valid {} — {} records, {} unique ({} duplicates, dedup ratio {:.3})",
+        rl_ccd_exp::EXP_SCHEMA,
+        summary.records,
+        summary.unique,
+        summary.duplicates,
+        summary.dedup_ratio()
+    );
+    println!(
+        "designs: {}, total selection steps: {}",
+        summary.designs, summary.total_steps
+    );
+    println!("policy-version histogram:");
+    for (version, count) in &summary.versions {
+        println!("  v{version:<6} {count}");
+    }
+    Ok(())
+}
+
+fn cmd_retrain(args: &[String]) -> Result<(), Error> {
+    let base: String =
+        arg(args, "--base").ok_or_else(|| Error::Config("missing --base DIR".into()))?;
+    let log: String =
+        arg(args, "--log").ok_or_else(|| Error::Config("missing --log FILE".into()))?;
+    let out: String =
+        arg(args, "--out").ok_or_else(|| Error::Config("missing --out DIR".into()))?;
+    let defaults = rl_ccd_exp::RetrainConfig::default();
+    let cfg = rl_ccd_exp::RetrainConfig {
+        seed: arg(args, "--seed").unwrap_or(defaults.seed),
+        steps: arg(args, "--steps").unwrap_or(defaults.steps),
+        batch: arg(args, "--batch").unwrap_or(defaults.batch),
+        max_staleness: arg(args, "--max-staleness").unwrap_or(defaults.max_staleness),
+        w_max: arg(args, "--w-max").unwrap_or(defaults.w_max),
+        learning_rate: arg(args, "--lr"),
+        grad_clip: arg(args, "--grad-clip").unwrap_or(defaults.grad_clip),
+    };
+    let report = rl_ccd_exp::retrain(
+        std::path::Path::new(&base),
+        std::path::Path::new(&log),
+        std::path::Path::new(&out),
+        &cfg,
+    )
+    .map_err(|e| Error::Config(e.to_string()))?;
+    println!(
+        "retrained v{} -> v{} into {out} ({} offline steps, {} guarded)",
+        report.base_version, report.new_version, report.steps_taken, report.guarded_steps
+    );
+    println!(
+        "records: {} loaded, {} duplicates, {} unknown-version, {} stale, \
+         {} config-mismatched, {} replay failures",
+        report.records_loaded,
+        report.duplicates,
+        report.unknown_version,
+        report.stale,
+        report.config_mismatch,
+        report.replay_failures
+    );
+    println!(
+        "mean importance weight: {:.4}",
+        report.mean_importance_weight
+    );
+    Ok(())
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), Error> {
     let dir: String = arg(args, "--checkpoint")
         .ok_or_else(|| Error::Config("missing --checkpoint DIR".into()))?;
@@ -933,6 +1023,8 @@ fn cmd_daemon(args: &[String]) -> Result<(), Error> {
         admin_token: arg(args, "--admin-token"),
         audit_path: arg::<String>(args, "--audit-out").map(PathBuf::from),
         usage_path: arg::<String>(args, "--usage-out").map(PathBuf::from),
+        usage_flush_ms: arg(args, "--usage-flush-ms").unwrap_or(0),
+        experience_path: arg::<String>(args, "--exp-out").map(PathBuf::from),
     };
     let trace = trace_from(args);
     let _obs = trace.as_ref().map(|t| rl_ccd_obs::attach(&t.recorder));
@@ -1032,6 +1124,19 @@ fn cmd_admin(args: &[String]) -> Result<(), Error> {
             id: arg(rest, "--id").ok_or_else(|| Error::Config("tenant-del needs --id".into()))?,
         },
         "tenant-list" => AdminRequest::TenantList,
+        "retrain" => {
+            let defaults = rl_ccd_exp::RetrainConfig::default();
+            AdminRequest::Retrain {
+                base: arg(rest, "--base")
+                    .ok_or_else(|| Error::Config("retrain needs --base DIR".into()))?,
+                log: arg(rest, "--log")
+                    .ok_or_else(|| Error::Config("retrain needs --log FILE".into()))?,
+                out: arg(rest, "--out")
+                    .ok_or_else(|| Error::Config("retrain needs --out DIR".into()))?,
+                seed: arg(rest, "--seed").unwrap_or(defaults.seed),
+                steps: arg(rest, "--steps").unwrap_or(defaults.steps),
+            }
+        }
         "drain" => AdminRequest::Drain,
         other => return Err(Error::Config(format!("unknown admin action {other:?}"))),
     };
@@ -1098,6 +1203,8 @@ fn main() -> ExitCode {
         "worker" => cmd_worker(rest),
         "daemon" => cmd_daemon(rest),
         "admin" => cmd_admin(rest),
+        "exp-validate" => cmd_exp_validate(rest),
+        "retrain" => cmd_retrain(rest),
         _ => return usage(),
     };
     match result {
